@@ -1,0 +1,32 @@
+// Ablation: aggregation on vs off at equal task counts (the paper's first
+// pillar isolated). With aggregation disabled every command ships as its
+// own network message and pays full per-message overhead.
+#include "bench_util.hpp"
+#include "sim/workloads_micro.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::Table table({"tasks", "agg ON MB/s", "agg OFF MB/s", "speedup",
+                      "msgs ON", "msgs OFF"});
+  for (std::uint64_t tasks : {64ull, 512ull, 4096ull}) {
+    sim::PutBenchParams params;
+    params.nodes = 2;
+    params.tasks = tasks;
+    params.puts_per_task = static_cast<std::uint64_t>(64 * args.scale);
+    params.put_size = 16;
+    const auto on = sim::put_bench_gmt(params);
+    params.config.aggregation_enabled = false;
+    const auto off = sim::put_bench_gmt(params);
+    table.add_row(
+        {bench::fmt_u64(tasks), bench::fmt("%.2f", on.payload_rate_MBps()),
+         bench::fmt("%.2f", off.payload_rate_MBps()),
+         bench::fmt("%.1fx",
+                    on.payload_rate_MBps() / off.payload_rate_MBps()),
+         bench::fmt_u64(on.messages), bench::fmt_u64(off.messages)});
+  }
+  table.print("Ablation: message aggregation on/off (16B blocking puts)");
+  table.write_csv(args.csv_path);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation: aggregation buffer size sweep. The paper picks 64 KB as "a
+// good compromise" between bandwidth and memory footprint (§IV-B); this
+// sweep shows the saturating curve that motivates it.
+#include "bench_util.hpp"
+#include "sim/workloads_micro.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::Table table({"buffer size", "rate MB/s", "msgs", "bytes/msg"});
+  for (std::uint32_t size = 4 * 1024; size <= 256 * 1024; size *= 2) {
+    sim::PutBenchParams params;
+    params.nodes = 2;
+    params.tasks = 8192;
+    params.puts_per_task = static_cast<std::uint64_t>(48 * args.scale);
+    params.put_size = 16;
+    params.config.buffer_size = size;
+    const auto result = sim::put_bench_gmt(params);
+    table.add_row(
+        {bench::fmt_u64(size),
+         bench::fmt("%.2f", result.payload_rate_MBps()),
+         bench::fmt_u64(result.messages),
+         bench::fmt("%.0f", result.messages
+                                ? static_cast<double>(result.wire_bytes) /
+                                      result.messages
+                                : 0)});
+  }
+  table.print("Ablation: aggregation buffer size (paper sweet spot: 64 KB)");
+  table.write_csv(args.csv_path);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: the node-local fast path (execute local commands in the
+// issuing worker) vs routing every command through helpers and the
+// loopback. Real-runtime measurement on this host: node-local puts/atomics
+// with the fast path toggled.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "common/time.hpp"
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+struct BenchState {
+  std::uint64_t ops;
+  double seconds;
+};
+
+void local_ops_root(std::uint64_t, const void* raw) {
+  BenchState* state;
+  std::memcpy(&state, raw, sizeof(state));
+  // kLocal allocation: every access is node-local from the root's node.
+  const gmt::gmt_handle h = gmt::gmt_new(1 << 16, gmt::Alloc::kLocal);
+  gmt::StopWatch watch;
+  for (std::uint64_t i = 0; i < state->ops; ++i) {
+    gmt::gmt_put_value(h, (i % 4096) * 8, i, 8);
+    gmt::gmt_atomic_add(h, (i % 4096) * 8, 1, 8);
+  }
+  state->seconds = watch.elapsed_s();
+  gmt::gmt_free(h);
+}
+
+double run(bool fast_path, std::uint64_t ops) {
+  gmt::Config config = gmt::Config::testing();
+  config.local_fast_path = fast_path;
+  gmt::rt::Cluster cluster(2, config);
+  BenchState state{ops, 0};
+  BenchState* ptr = &state;
+  cluster.run(&local_ops_root, &ptr, sizeof(ptr));
+  return state.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = gmt::bench::BenchArgs::parse(argc, argv);
+  const auto ops = static_cast<std::uint64_t>(20000 * args.scale);
+
+  const double with = run(true, ops);
+  const double without = run(false, ops);
+
+  gmt::bench::Table table({"mode", "seconds", "Mops/s"});
+  table.add_row({"fast path ON", gmt::bench::fmt("%.4f", with),
+                 gmt::bench::fmt("%.2f", 2.0 * ops / with / 1e6)});
+  table.add_row({"fast path OFF (via helpers)",
+                 gmt::bench::fmt("%.4f", without),
+                 gmt::bench::fmt("%.2f", 2.0 * ops / without / 1e6)});
+  table.add_row({"speedup", gmt::bench::fmt("%.1fx", without / with), ""});
+  table.print("Ablation: node-local fast path (real runtime, this host)");
+  table.write_csv(args.csv_path);
+  return 0;
+}

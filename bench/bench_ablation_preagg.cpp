@@ -1,0 +1,100 @@
+// Ablation: pre-aggregation via thread-local command blocks vs pushing
+// every command through the shared MPMC aggregation queue (paper §IV-C:
+// "the cost of concurrent accesses to the queues is too high ... if
+// performed for every generated command"). Real measurement: concurrent
+// threads pay per-command either one shared-queue CAS or one local block
+// append (with a queue push every block).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "collections/mpmc_queue.hpp"
+#include "common/time.hpp"
+#include "runtime/aggregation.hpp"
+#include "runtime/command.hpp"
+
+namespace {
+
+using namespace gmt;
+
+constexpr std::uint64_t kCmdsPerThread = 200000;
+
+// Every command CASes into the shared queue (what GMT avoids).
+double direct_ns_per_cmd(std::uint32_t threads) {
+  MpmcQueue<std::uint64_t> queue(1 << 16);
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    std::uint64_t v;
+    while (!stop.load(std::memory_order_relaxed))
+      while (queue.pop(&v)) {
+      }
+  });
+  StopWatch watch;
+  std::vector<std::thread> producers;
+  for (std::uint32_t t = 0; t < threads; ++t)
+    producers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kCmdsPerThread; ++i)
+        while (!queue.push(i)) std::this_thread::yield();
+    });
+  for (auto& p : producers) p.join();
+  const double seconds = watch.elapsed_s();
+  stop.store(true);
+  drainer.join();
+  return seconds * 1e9 / static_cast<double>(threads * kCmdsPerThread);
+}
+
+// Commands append to a thread-local block; the shared queue sees one push
+// per 64 commands (GMT's design).
+double preagg_ns_per_cmd(std::uint32_t threads) {
+  MpmcQueue<std::uint64_t> queue(1 << 16);
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    std::uint64_t v;
+    while (!stop.load(std::memory_order_relaxed))
+      while (queue.pop(&v)) {
+      }
+  });
+  StopWatch watch;
+  std::vector<std::thread> producers;
+  for (std::uint32_t t = 0; t < threads; ++t)
+    producers.emplace_back([&] {
+      rt::CommandBlock block(64 * 64, 64);
+      rt::CmdHeader header;
+      header.op = rt::Op::kPutValue;
+      std::uint64_t pushed = 0;
+      for (std::uint64_t i = 0; i < kCmdsPerThread; ++i) {
+        if (!block.fits(rt::kCmdHeaderSize)) {
+          block.reset();
+          while (!queue.push(++pushed)) std::this_thread::yield();
+        }
+        header.aux1 = i;
+        rt::encode_cmd(block.append(rt::kCmdHeaderSize, 0), header, nullptr);
+      }
+    });
+  for (auto& p : producers) p.join();
+  const double seconds = watch.elapsed_s();
+  stop.store(true);
+  drainer.join();
+  return seconds * 1e9 / static_cast<double>(threads * kCmdsPerThread);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  (void)args;
+
+  bench::Table table({"producer threads", "direct MPMC ns/cmd",
+                      "pre-aggregated ns/cmd", "speedup"});
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    const double direct = direct_ns_per_cmd(threads);
+    const double preagg = preagg_ns_per_cmd(threads);
+    table.add_row({bench::fmt_u64(threads), bench::fmt("%.1f", direct),
+                   bench::fmt("%.1f", preagg),
+                   bench::fmt("%.1fx", direct / preagg)});
+  }
+  table.print("Ablation: per-command shared-queue access vs command blocks");
+  table.write_csv(args.csv_path);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: worker/helper split at a fixed thread budget. The paper's
+// Olympus configuration dedicates 15 cores to workers and 15 to helpers
+// (Table IV); this sweep shows why a balanced split wins — workers
+// generate commands, helpers execute them and generate replies, and the
+// slower side gates throughput.
+#include "bench_util.hpp"
+#include "graph/generator.hpp"
+#include "sim/workloads_graph.hpp"
+#include "sim/workloads_micro.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  constexpr std::uint32_t kThreadBudget = 30;
+
+  const auto csr = graph::build_csr(
+      static_cast<std::uint64_t>(20000 * args.scale),
+      graph::generate_uniform(
+          {static_cast<std::uint64_t>(20000 * args.scale), 4, 16, 3}));
+
+  bench::Table table({"workers", "helpers", "puts MB/s", "BFS MTEPS"});
+  for (std::uint32_t workers : {5u, 10u, 15u, 20u, 25u}) {
+    const std::uint32_t helpers = kThreadBudget - workers;
+
+    sim::PutBenchParams puts;
+    puts.nodes = 2;
+    puts.tasks = 8192;
+    puts.puts_per_task = 48;
+    puts.put_size = 16;
+    puts.config.num_workers = workers;
+    puts.config.num_helpers = helpers;
+    puts.config.max_tasks_per_worker = 16384 / workers;
+
+    sim::SimGmtConfig bfs_config;
+    bfs_config.num_workers = workers;
+    bfs_config.num_helpers = helpers;
+    const auto bfs = sim::sim_bfs_gmt(csr, 4, 0, bfs_config, {});
+
+    table.add_row(
+        {bench::fmt_u64(workers), bench::fmt_u64(helpers),
+         bench::fmt("%.2f", sim::put_bench_gmt(puts).payload_rate_MBps()),
+         bench::fmt("%.2f", bfs.mteps())});
+  }
+  table.print("Ablation: worker/helper split at 30 threads (paper: 15/15)");
+  table.write_csv(args.csv_path);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation: command/buffer flush deadline sweep (paper §IV-C condition
+// (ii)). Short deadlines cut sparse-traffic latency but ship small
+// buffers; long deadlines maximise coalescing but stall low-concurrency
+// workloads. Reported at both a starved and a saturated task count.
+#include "bench_util.hpp"
+#include "sim/workloads_micro.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::Table table({"flush deadline us", "rate @256 tasks MB/s",
+                      "rate @8192 tasks MB/s"});
+  for (double timeout_us : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    std::vector<std::string> row{bench::fmt("%.0f", timeout_us)};
+    for (std::uint64_t tasks : {256ull, 8192ull}) {
+      sim::PutBenchParams params;
+      params.nodes = 2;
+      params.tasks = tasks;
+      params.puts_per_task = static_cast<std::uint64_t>(48 * args.scale);
+      params.put_size = 16;
+      params.config.agg_timeout_s = timeout_us * 1e-6;
+      row.push_back(
+          bench::fmt("%.2f", sim::put_bench_gmt(params).payload_rate_MBps()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("Ablation: flush deadline vs throughput");
+  table.write_csv(args.csv_path);
+  return 0;
+}

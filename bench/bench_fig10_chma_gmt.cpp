@@ -1,0 +1,41 @@
+// Paper Figure 10: Concurrent Hash Map Access throughput (million accesses
+// per second) for GMT, while increasing cluster nodes and varying the
+// number of concurrent tasks W and the steps per task L. Paper workload:
+// 100M-string pool, 10M-entry map (scaled here; --scale grows it).
+#include "bench_util.hpp"
+#include "sim/workloads_chma.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  // W is per node (the workload weak-scales with the cluster, like the
+  // paper's other kernels); L is steps per task.
+  bench::Table table({"nodes", "W=128/node L=8", "W=512/node L=8",
+                      "W=1280/node L=8", "W=1280/node L=32"});
+  for (std::uint32_t nodes : {2u, 8u, 32u, 128u}) {
+    std::vector<std::string> row{bench::fmt_u64(nodes)};
+    for (auto [tasks_per_node, steps] :
+         {std::pair{128ull, 8ull}, {512ull, 8ull}, {1280ull, 8ull},
+          {1280ull, 32ull}}) {
+      sim::ChmaSimParams params;
+      params.nodes = nodes;
+      params.tasks = tasks_per_node * nodes;
+      params.steps = steps;
+      params.map_capacity =
+          static_cast<std::uint64_t>((1 << 17) * args.scale);  // paper: 10M
+      params.pool_size =
+          static_cast<std::uint64_t>((1 << 15) * args.scale);  // paper: 100M
+      params.populate = params.pool_size / 2;
+      const auto result = sim::sim_chma_gmt(params, {}, {});
+      row.push_back(bench::fmt("%.3f", result.maccesses_per_s()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("Figure 10: CHMA GMT throughput (Macc/s)");
+  table.write_csv(args.csv_path);
+
+  std::printf("\nshape target: throughput grows with W (more concurrency "
+              "to aggregate) and with nodes\n");
+  return 0;
+}

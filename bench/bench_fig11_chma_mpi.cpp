@@ -1,0 +1,53 @@
+// Paper Figure 11: CHMA throughput for the hand-coded MPI implementation
+// on the same axes as Figure 10. Paper observation: "the performance
+// between the GMT and the MPI implementations differs by two or more
+// orders of magnitude, because of the fine grained communication involved
+// in the kernel" — each MPI process blocks on every string until the owner
+// replies.
+#include "bench_util.hpp"
+#include "sim/workloads_chma.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  // W per node, matching the GMT figure's weak-scaled workload.
+  bench::Table table({"nodes", "W=128/node L=8", "W=512/node L=8",
+                      "W=1280/node L=8", "GMT/MPI @W=1280"});
+  for (std::uint32_t nodes : {2u, 8u, 32u, 128u}) {
+    std::vector<std::string> row{bench::fmt_u64(nodes)};
+    double mpi_large = 0;
+    for (auto [tasks_per_node, steps] :
+         {std::pair{128ull, 8ull}, {512ull, 8ull}, {1280ull, 8ull}}) {
+      sim::ChmaSimParams params;
+      params.nodes = nodes;
+      params.tasks = tasks_per_node * nodes;
+      params.steps = steps;
+      params.map_capacity =
+          static_cast<std::uint64_t>((1 << 17) * args.scale);
+      params.pool_size = static_cast<std::uint64_t>((1 << 15) * args.scale);
+      params.populate = params.pool_size / 2;
+      const double rate = sim::sim_chma_mpi(params, {}).maccesses_per_s();
+      if (tasks_per_node == 1280ull) mpi_large = rate;
+      row.push_back(bench::fmt("%.4f", rate));
+    }
+    // The headline ratio against the GMT series of Figure 10.
+    sim::ChmaSimParams params;
+    params.nodes = nodes;
+    params.tasks = 1280ull * nodes;
+    params.steps = 8;
+    params.map_capacity = static_cast<std::uint64_t>((1 << 17) * args.scale);
+    params.pool_size = static_cast<std::uint64_t>((1 << 15) * args.scale);
+    params.populate = params.pool_size / 2;
+    const double gmt_rate = sim::sim_chma_gmt(params, {}, {}).maccesses_per_s();
+    row.push_back(bench::fmt("%.0fx", gmt_rate / (mpi_large > 0 ? mpi_large
+                                                                : 1e-9)));
+    table.add_row(std::move(row));
+  }
+  table.print("Figure 11: CHMA MPI throughput (Macc/s) + GMT ratio");
+  table.write_csv(args.csv_path);
+
+  std::printf("\nshape target: MPI flat in W (rank-serial), far below GMT; "
+              "paper reports a 2+ order gap\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Paper Figure 2: bandwidth between two nodes vs message (put) size with
+// one worker and one communication server, against raw MPI of the same
+// size.
+//
+// Primary series: the simulated runtime with the Olympus calibration
+// (paper-comparable numbers). Secondary series: the *real* threaded
+// runtime moving actual bytes between two in-process nodes — functional
+// verification of the same path; its absolute rate reflects this host, not
+// QDR InfiniBand, so it is labelled separately.
+#include <cstring>
+#include <vector>
+
+#include "common/time.hpp"
+
+#include "bench_util.hpp"
+#include "gmt/gmt.hpp"
+#include "net/network_model.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/workloads_micro.hpp"
+
+namespace {
+
+struct RealArgs {
+  gmt::gmt_handle handle;
+  std::uint64_t puts;
+  std::uint64_t size;
+};
+
+void real_put_task(std::uint64_t, const void* raw) {
+  RealArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::vector<std::uint8_t> buffer(args.size, 0x5a);
+  for (std::uint64_t i = 0; i < args.puts; ++i)
+    gmt::gmt_put(args.handle, (i * args.size) % (1 << 20), buffer.data(),
+                 args.size);
+}
+
+struct RealBench {
+  std::uint64_t size;
+  std::uint64_t puts;
+  double mbps;
+};
+
+void real_root(std::uint64_t, const void* raw) {
+  RealBench* bench;
+  std::memcpy(&bench, raw, sizeof(bench));
+  // Array on node 1 only (kRemote from node 0 with 2 nodes).
+  const gmt::gmt_handle h =
+      gmt::gmt_new((1 << 20) + 64 * 1024, gmt::Alloc::kRemote);
+  RealArgs args{h, bench->puts, bench->size};
+  gmt::StopWatch watch;
+  gmt::gmt_parfor(16, 1, &real_put_task, &args, sizeof(args),
+                  gmt::Spawn::kLocal);
+  const double seconds = watch.elapsed_s();
+  bench->mbps = static_cast<double>(16 * bench->puts * bench->size) /
+                seconds / (1 << 20);
+  gmt::gmt_free(h);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::Table table({"put size", "GMT model MB/s", "raw MPI model MB/s",
+                      "real runtime MB/s (this host)"});
+
+  rt::Cluster cluster(2, Config::testing());
+  for (std::uint64_t size = 64; size <= 64 * 1024; size *= 4) {
+    // Modelled series: one worker, enough tasks to keep the pipe busy.
+    sim::PutBenchParams params;
+    params.nodes = 2;
+    params.config.num_workers = 1;
+    params.config.num_helpers = 1;
+    params.tasks = 512;
+    params.puts_per_task = static_cast<std::uint64_t>(32 * args.scale);
+    params.put_size = static_cast<std::uint32_t>(size);
+    const auto modelled = sim::put_bench_gmt(params);
+
+    net::MpiEndpointModel mpi;
+    mpi.processes = 1;
+    const double mpi_rate = mpi.aggregate_rate_Bps(size) / (1 << 20);
+
+    // Real series: node 0 tasks put into node 1's memory.
+    RealBench real{size, std::max<std::uint64_t>(
+                             4, static_cast<std::uint64_t>(
+                                    256 * 1024 * args.scale / size)),
+                   0};
+    RealBench* real_ptr = &real;
+    cluster.run(&real_root, &real_ptr, sizeof(real_ptr));
+
+    table.add_row({bench::fmt_u64(size) + " B",
+                   bench::fmt("%.2f", modelled.payload_rate_MBps()),
+                   bench::fmt("%.2f", mpi_rate),
+                   bench::fmt("%.2f", real.mbps)});
+  }
+  table.print("Figure 2: bandwidth vs put size, 2 nodes, 1 worker");
+  table.write_csv(args.csv_path);
+
+  std::printf("\npaper: GMT reaches 2630 MB/s at 64KB vs MPI 2815 MB/s "
+              "(93%% of raw MPI)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Paper Figure 8: BFS strong scaling on a fixed random graph (paper: 10M
+// vertices / 2.5B edges, bounded by the Cray XMT's 1 TB): GMT vs UPC vs
+// Cray XMT.
+//
+// Shape targets: GMT scales and outperforms UPC by orders of magnitude;
+// UPC does not scale (the paper could not complete runs beyond 16 nodes
+// in reasonable time); the XMT is competitive with GMT. The UPC series is
+// capped at 16 nodes here too — not because the simulation cannot run it,
+// but to mirror the paper's protocol (and the simulated times already
+// show the flat trend).
+#include "bench_util.hpp"
+#include "graph/generator.hpp"
+#include "sim/workloads_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto vertices =
+      static_cast<std::uint64_t>(50000 * args.scale);  // paper: 10M
+
+  const auto csr = graph::build_csr(
+      vertices, graph::generate_uniform({vertices, 6, 30, 7}));
+  std::printf("graph: %llu vertices, %llu edges\n",
+              static_cast<unsigned long long>(vertices),
+              static_cast<unsigned long long>(csr.edges()));
+
+  bench::Table table(
+      {"nodes", "GMT MTEPS", "UPC MTEPS", "XMT MTEPS (model)"});
+  for (std::uint32_t nodes : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto gmt_result = sim::sim_bfs_gmt(csr, nodes, 0, {}, {});
+    std::string upc = "-";
+    if (nodes <= 16)
+      upc = bench::fmt("%.2f", sim::sim_bfs_upc(csr, nodes, 0, {}).mteps());
+    const auto xmt_result = sim::sim_bfs_xmt(csr, nodes, 0);
+    table.add_row({bench::fmt_u64(nodes),
+                   bench::fmt("%.2f", gmt_result.mteps()), upc,
+                   bench::fmt("%.2f", xmt_result.mteps())});
+  }
+  table.print("Figure 8: BFS strong scaling, GMT vs UPC vs Cray XMT");
+  table.write_csv(args.csv_path);
+
+  std::printf("\nshape targets: GMT >> UPC (orders of magnitude); GMT "
+              "competitive with XMT; GMT gains flatten at high node counts "
+              "as per-node parallelism runs out (paper: above 64 nodes)\n");
+  return 0;
+}

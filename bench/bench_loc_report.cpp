@@ -1,0 +1,87 @@
+// Programming-effort comparison (paper §V-B/§V-C): source lines of the
+// kernels under each programming model. The paper reports ~80 LoC for the
+// GMT/XMT BFS vs ~700 for the optimised UPC BFS, and an MPI GRW 15x longer
+// than the GMT version. This tool counts non-blank, non-comment lines of
+// this repository's kernels at run time.
+#include <cctype>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+
+#ifndef GMT_SOURCE_DIR
+#define GMT_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::uint64_t count_loc(const std::string& relative) {
+  std::ifstream in(std::string(GMT_SOURCE_DIR) + "/" + relative);
+  if (!in) return 0;
+  std::uint64_t lines = 0;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size()) continue;
+    if (in_block_comment) {
+      if (line.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) continue;
+    if (line.compare(i, 2, "/*") == 0 &&
+        line.find("*/", i + 2) == std::string::npos) {
+      in_block_comment = true;
+      continue;
+    }
+    ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = gmt::bench::BenchArgs::parse(argc, argv);
+  using gmt::bench::fmt_u64;
+
+  const std::uint64_t bfs_gmt = count_loc("src/kernels/bfs_gmt.cpp");
+  const std::uint64_t bfs_upc = count_loc("src/baselines/bfs_upc.cpp") +
+                                count_loc("src/baselines/upc_like.cpp");
+  const std::uint64_t grw_gmt = count_loc("src/kernels/grw_gmt.cpp");
+  const std::uint64_t grw_mpi = count_loc("src/baselines/grw_mpi.cpp") +
+                                count_loc("src/baselines/mpi_like.cpp");
+  const std::uint64_t chma_gmt = count_loc("src/kernels/chma_gmt.cpp");
+  const std::uint64_t chma_mpi = count_loc("src/baselines/chma_mpi.cpp");
+
+  gmt::bench::Table table({"kernel", "GMT LoC", "baseline LoC", "ratio"});
+  table.add_row({"BFS (vs UPC + its runtime)", fmt_u64(bfs_gmt),
+                 fmt_u64(bfs_upc),
+                 gmt::bench::fmt("%.1fx", bfs_gmt ? static_cast<double>(
+                                                        bfs_upc) /
+                                                        bfs_gmt
+                                                  : 0)});
+  table.add_row({"GRW (vs MPI + its runtime)", fmt_u64(grw_gmt),
+                 fmt_u64(grw_mpi),
+                 gmt::bench::fmt("%.1fx", grw_gmt ? static_cast<double>(
+                                                        grw_mpi) /
+                                                        grw_gmt
+                                                  : 0)});
+  table.add_row({"CHMA (vs MPI kernel only)", fmt_u64(chma_gmt),
+                 fmt_u64(chma_mpi),
+                 gmt::bench::fmt("%.1fx", chma_gmt ? static_cast<double>(
+                                                         chma_mpi) /
+                                                         chma_gmt
+                                                   : 0)});
+  table.print("Programming effort: kernel source lines by model");
+  table.write_csv(args.csv_path);
+
+  std::printf("\npaper: BFS ~80 LoC (GMT/XMT) vs ~700 (UPC); MPI GRW 15x "
+              "the GMT source\n");
+  std::printf("note: baseline counts include the hand-rolled runtime "
+              "support the application programmer must own under that "
+              "model.\n");
+  return 0;
+}

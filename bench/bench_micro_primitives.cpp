@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the runtime's building blocks:
+// channel queues (SPSC), aggregation queues (MPMC), pools, the command
+// codec and the context switch. These are the per-operation costs the
+// simulator's GmtCosts are sanity-checked against.
+#include <benchmark/benchmark.h>
+
+#include "collections/mpmc_queue.hpp"
+#include "collections/pool.hpp"
+#include "collections/spsc_ring.hpp"
+#include "runtime/command.hpp"
+#include "uthread/context.hpp"
+#include "uthread/stack.hpp"
+
+namespace {
+
+using namespace gmt;
+
+void BM_SpscPushPop(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(1);
+    ring.pop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SpscPushPop);
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  MpmcQueue<std::uint64_t> queue(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    queue.push(1);
+    queue.pop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  ObjectPool<std::uint64_t> pool(64);
+  for (auto _ : state) {
+    std::uint64_t* obj = pool.try_acquire();
+    benchmark::DoNotOptimize(obj);
+    pool.release(obj);
+  }
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+void BM_CommandEncode(benchmark::State& state) {
+  std::uint8_t wire[256];
+  std::uint8_t payload[16] = {};
+  rt::CmdHeader header;
+  header.op = rt::Op::kPut;
+  header.payload_size = 16;
+  for (auto _ : state) {
+    rt::encode_cmd(wire, header, payload);
+    benchmark::DoNotOptimize(wire[0]);
+  }
+}
+BENCHMARK(BM_CommandEncode);
+
+void BM_CommandDecode(benchmark::State& state) {
+  std::uint8_t wire[256];
+  std::uint8_t payload[16] = {};
+  rt::CmdHeader header;
+  header.op = rt::Op::kPut;
+  header.payload_size = 16;
+  rt::encode_cmd(wire, header, payload);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    const std::uint8_t* out;
+    const rt::CmdHeader h = rt::decode_cmd(wire, sizeof(wire), &pos, &out);
+    benchmark::DoNotOptimize(h.token);
+  }
+}
+BENCHMARK(BM_CommandDecode);
+
+Context g_main, g_task;
+
+void switch_body(void*) {
+  for (;;) switch_context(&g_task, g_main);
+}
+
+void BM_ContextSwitchRoundTrip(benchmark::State& state) {
+  Stack stack(32 * 1024);
+  g_task = make_context(stack.base(), stack.size(), &switch_body, nullptr);
+  for (auto _ : state) switch_context(&g_main, g_task);
+}
+BENCHMARK(BM_ContextSwitchRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

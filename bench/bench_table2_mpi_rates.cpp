@@ -1,0 +1,44 @@
+// Paper Table II: MPI transfer rates between two Olympus nodes vs message
+// size, for 32 processes and 1/2/4 threads per process.
+//
+// The physical testbed is modelled by net::MpiEndpointModel, calibrated
+// against the paper's published anchors (2815 MB/s at 64 KB; 9.63 MB/s at
+// 16 B and 72.26 MB/s at 128 B with 32 processes). Rows reproduce the
+// table's regimes: processes recover throughput at large sizes, threads
+// stay low at every size.
+#include "bench_util.hpp"
+#include "net/network_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmt;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::Table table({"msg size", "32 procs MB/s", "1 thread MB/s",
+                      "2 threads MB/s", "4 threads MB/s"});
+
+  const auto rate = [](std::uint32_t processes, std::uint32_t threads,
+                       std::uint64_t size) {
+    net::MpiEndpointModel model;
+    model.processes = processes;
+    model.threads = threads;
+    return model.aggregate_rate_Bps(size) / (1 << 20);
+  };
+
+  for (std::uint64_t size = 64; size <= 64 * 1024; size *= 4) {
+    table.add_row({bench::fmt_u64(size) + " B",
+                   bench::fmt("%.2f", rate(32, 1, size)),
+                   bench::fmt("%.2f", rate(1, 1, size)),
+                   bench::fmt("%.2f", rate(1, 2, size)),
+                   bench::fmt("%.2f", rate(1, 4, size))});
+  }
+  table.print("Table II: modelled MPI transfer rates, 2 nodes");
+  table.write_csv(args.csv_path);
+
+  std::printf(
+      "\npaper anchors: 2815 MB/s @64KB; 9.63 MB/s @16B and 72.26 MB/s "
+      "@128B (32 procs)\n");
+  std::printf("model:         %.2f MB/s @64KB; %.2f MB/s @16B and %.2f MB/s "
+              "@128B\n",
+              rate(32, 1, 64 * 1024), rate(32, 1, 16), rate(32, 1, 128));
+  return 0;
+}

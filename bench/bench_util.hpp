@@ -1,0 +1,92 @@
+// Shared benchmark-harness helpers: aligned table printing, CSV emission,
+// and a --scale flag so every bench can run quickly by default yet approach
+// paper-scale workloads on capable machines.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gmt::bench {
+
+// Parses "--scale=N" (workload multiplier) and "--csv=path".
+struct BenchArgs {
+  double scale = 1.0;
+  std::string csv_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0)
+        args.scale = std::atof(argv[i] + 8);
+      else if (std::strncmp(argv[i], "--csv=", 6) == 0)
+        args.csv_path = argv[i] + 6;
+    }
+    if (args.scale <= 0) args.scale = 1.0;
+    return args;
+  }
+};
+
+// Accumulates rows, prints an aligned table, optionally writes CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(const char* title) const {
+    std::printf("\n== %s ==\n", title);
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    for (const auto& row : rows_) line(row);
+  }
+
+  void write_csv(const std::string& path) const {
+    if (path.empty()) return;
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        std::fprintf(f, "%s%s", cells[c].c_str(),
+                     c + 1 < cells.size() ? "," : "\n");
+    };
+    line(headers_);
+    for (const auto& row : rows_) line(row);
+    std::fclose(f);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace gmt::bench

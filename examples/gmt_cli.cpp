@@ -1,0 +1,146 @@
+// gmt_cli: run any kernel from the command line — the "try the library in
+// one command" entry point a downstream user reaches for first.
+//
+//   gmt_cli <kernel> [--nodes=N] [--vertices=V] [--walkers=W] [--length=L]
+//           [--tasks=W] [--steps=L] [--seed=S] [--stats]
+//
+//   kernels: bfs | grw | cc | pagerank | chma
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/dist_graph.hpp"
+#include "graph/generator.hpp"
+#include "kernels/bfs_gmt.hpp"
+#include "kernels/cc_gmt.hpp"
+#include "kernels/chma_gmt.hpp"
+#include "kernels/grw_gmt.hpp"
+#include "kernels/pagerank_gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/stats_report.hpp"
+
+namespace {
+
+struct CliArgs {
+  std::string kernel = "bfs";
+  std::uint32_t nodes = 2;
+  std::uint64_t vertices = 5000;
+  std::uint64_t walkers = 256;
+  std::uint64_t length = 32;
+  std::uint64_t tasks = 128;
+  std::uint64_t steps = 32;
+  std::uint64_t seed = 42;
+  bool stats = false;
+
+  static std::uint64_t value_of(const char* arg) {
+    const char* eq = std::strchr(arg, '=');
+    return eq ? std::strtoull(eq + 1, nullptr, 10) : 0;
+  }
+
+  static CliArgs parse(int argc, char** argv) {
+    CliArgs args;
+    if (argc > 1 && argv[1][0] != '-') args.kernel = argv[1];
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--nodes=", 8) == 0)
+        args.nodes = static_cast<std::uint32_t>(value_of(a));
+      else if (std::strncmp(a, "--vertices=", 11) == 0)
+        args.vertices = value_of(a);
+      else if (std::strncmp(a, "--walkers=", 10) == 0)
+        args.walkers = value_of(a);
+      else if (std::strncmp(a, "--length=", 9) == 0)
+        args.length = value_of(a);
+      else if (std::strncmp(a, "--tasks=", 8) == 0)
+        args.tasks = value_of(a);
+      else if (std::strncmp(a, "--steps=", 8) == 0)
+        args.steps = value_of(a);
+      else if (std::strncmp(a, "--seed=", 7) == 0)
+        args.seed = value_of(a);
+      else if (std::strcmp(a, "--stats") == 0)
+        args.stats = true;
+    }
+    return args;
+  }
+};
+
+void run_kernel(std::uint64_t, const void* raw) {
+  const CliArgs* args;
+  std::memcpy(&args, raw, sizeof(args));
+
+  if (args->kernel == "chma") {
+    auto workload = gmt::kernels::ChmaWorkload::setup(
+        args->vertices * 4, args->vertices, args->vertices / 2, args->seed);
+    const auto result =
+        gmt::kernels::chma_gmt(workload, args->tasks, args->steps,
+                               args->seed);
+    std::printf("chma: %llu accesses in %.3fs (%.3f Macc/s)\n",
+                static_cast<unsigned long long>(result.accesses),
+                result.seconds, result.maccesses_per_s());
+    workload.destroy();
+    return;
+  }
+
+  const auto csr = gmt::graph::build_csr(
+      args->vertices,
+      gmt::graph::generate_uniform({args->vertices, 2, 12, args->seed}));
+  auto graph = gmt::graph::DistGraph::build(csr);
+  std::printf("graph: %llu vertices, %llu edges on %u nodes\n",
+              static_cast<unsigned long long>(graph.vertices),
+              static_cast<unsigned long long>(graph.edges),
+              gmt::gmt_num_nodes());
+
+  if (args->kernel == "bfs") {
+    const auto result = gmt::kernels::bfs_gmt(graph, 0);
+    std::printf("bfs: visited %llu, %llu edges, %llu levels, %.3fs "
+                "(%.2f MTEPS)\n",
+                static_cast<unsigned long long>(result.visited),
+                static_cast<unsigned long long>(result.edges_traversed),
+                static_cast<unsigned long long>(result.levels),
+                result.seconds, result.mteps());
+  } else if (args->kernel == "grw") {
+    const auto result = gmt::kernels::grw_gmt(graph, args->walkers,
+                                              args->length, args->seed);
+    std::printf("grw: %llu edges traversed in %.3fs (%.2f MTEPS)\n",
+                static_cast<unsigned long long>(result.edges_traversed),
+                result.seconds, result.mteps());
+  } else if (args->kernel == "cc") {
+    const auto result = gmt::kernels::cc_gmt(graph);
+    std::printf("cc: %llu components in %llu rounds, %.3fs\n",
+                static_cast<unsigned long long>(result.components),
+                static_cast<unsigned long long>(result.iterations),
+                result.seconds);
+    gmt::gmt_free(result.labels);
+  } else if (args->kernel == "pagerank") {
+    const auto result = gmt::kernels::pagerank_gmt(graph, 10);
+    std::uint64_t r0 = 0;
+    gmt::gmt_get(result.ranks, 0, &r0, 8);
+    std::printf("pagerank: %llu iterations, rank[0]=%.6f, %.3fs\n",
+                static_cast<unsigned long long>(result.iterations),
+                gmt::kernels::PagerankResult::to_double(r0), result.seconds);
+    gmt::gmt_free(result.ranks);
+  } else {
+    std::printf("unknown kernel '%s' (bfs|grw|cc|pagerank|chma)\n",
+                args->kernel.c_str());
+  }
+  graph.destroy();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  if (argc <= 1) {
+    std::printf(
+        "usage: gmt_cli <bfs|grw|cc|pagerank|chma> [--nodes=N] "
+        "[--vertices=V]\n               [--walkers=W] [--length=L] "
+        "[--tasks=W] [--steps=L] [--seed=S] [--stats]\n");
+    return 1;
+  }
+  gmt::rt::Cluster cluster(args.nodes, gmt::Config::testing());
+  const CliArgs* ptr = &args;
+  cluster.run(&run_kernel, &ptr, sizeof(ptr));
+  if (args.stats)
+    std::printf("\n%s", gmt::rt::format_stats_report(cluster).c_str());
+  return 0;
+}

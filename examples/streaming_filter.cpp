@@ -1,0 +1,60 @@
+// Streaming-filter example: the paper's CHMA pattern as an application —
+// concurrent streams check strings against a distributed signature table
+// (virus scanning / spam filtering / NLP token stores), mutating and
+// re-inserting hits.
+//
+//   ./streaming_filter [num_nodes] [streams]
+#include <cstdio>
+#include <cstring>
+
+#include "hash/dist_hash_map.hpp"
+#include "kernels/chma_gmt.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+struct Params {
+  std::uint64_t streams;
+};
+
+void root_task(std::uint64_t, const void* raw) {
+  Params params;
+  std::memcpy(&params, raw, sizeof(params));
+
+  // Signature table + string pool (paper: 10M-entry map, 100M strings).
+  std::printf("building distributed signature table...\n");
+  auto workload = gmt::kernels::ChmaWorkload::setup(
+      /*map_capacity=*/1 << 14, /*pool_size=*/1 << 12,
+      /*populate=*/1 << 11, /*seed=*/2024);
+  std::printf("table: %llu slots across %u nodes, %llu signatures loaded\n",
+              static_cast<unsigned long long>(workload.map.capacity),
+              gmt::gmt_num_nodes(),
+              static_cast<unsigned long long>(1ull << 11));
+
+  // Stream processing: each task repeatedly checks a string; hits are
+  // transformed (reversed) and stored back.
+  const auto result =
+      gmt::kernels::chma_gmt(workload, params.streams, /*steps=*/32);
+  std::printf("processed %llu accesses from %llu streams in %.3fs "
+              "(%.2f Macc/s)\n",
+              static_cast<unsigned long long>(result.accesses),
+              static_cast<unsigned long long>(result.tasks), result.seconds,
+              result.maccesses_per_s());
+
+  // Spot check: a known signature is still present.
+  const auto pool = gmt::hash::generate_pool(1 << 12, 2024);
+  std::printf("spot check: signature \"%s\" present: %s\n",
+              pool[7].to_string().c_str(),
+              workload.map.contains(pool[7]) ? "yes" : "no");
+  workload.destroy();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t nodes = argc > 1 ? std::atoi(argv[1]) : 2;
+  Params params{argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 128ull};
+  gmt::rt::Cluster cluster(nodes, gmt::Config::testing());
+  cluster.run(&root_task, &params, sizeof(params));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Typed convenience wrapper over the raw byte-addressed API.
+//
+// GlobalArray<T> owns nothing: it is a (handle, element count) pair with
+// element-granular accessors, copyable and trivially serialisable into
+// gmt_parfor argument buffers. T must be trivially copyable — elements move
+// through put/get as raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "gmt/gmt.hpp"
+
+namespace gmt {
+
+template <typename T>
+class GlobalArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "GlobalArray elements cross the network as raw bytes");
+
+ public:
+  GlobalArray() = default;
+
+  // Allocates room for `count` elements (inside a task).
+  static GlobalArray allocate(std::uint64_t count,
+                              Alloc policy = Alloc::kPartition) {
+    GlobalArray array;
+    array.handle_ = gmt_new(count * sizeof(T), policy);
+    array.count_ = count;
+    return array;
+  }
+
+  void free() {
+    if (handle_ != kNullHandle) gmt_free(handle_);
+    handle_ = kNullHandle;
+    count_ = 0;
+  }
+
+  gmt_handle handle() const { return handle_; }
+  std::uint64_t size() const { return count_; }
+
+  T get(std::uint64_t index) const {
+    T value;
+    gmt_get(handle_, index * sizeof(T), &value, sizeof(T));
+    return value;
+  }
+
+  void put(std::uint64_t index, const T& value) {
+    gmt_put(handle_, index * sizeof(T), &value, sizeof(T));
+  }
+
+  void put_nb(std::uint64_t index, const T& value) {
+    gmt_put_nb(handle_, index * sizeof(T), &value, sizeof(T));
+  }
+
+  // Bulk element transfer.
+  void get_range(std::uint64_t first, T* out, std::uint64_t n) const {
+    gmt_get(handle_, first * sizeof(T), out, n * sizeof(T));
+  }
+  void put_range(std::uint64_t first, const T* data, std::uint64_t n) {
+    gmt_put(handle_, first * sizeof(T), data, n * sizeof(T));
+  }
+
+  // Atomics (T must be a 4- or 8-byte integer).
+  T atomic_add(std::uint64_t index, T value) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    return static_cast<T>(
+        gmt_atomic_add(handle_, index * sizeof(T),
+                       static_cast<std::uint64_t>(value), sizeof(T)));
+  }
+  T atomic_cas(std::uint64_t index, T expected, T desired) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    return static_cast<T>(gmt_atomic_cas(
+        handle_, index * sizeof(T), static_cast<std::uint64_t>(expected),
+        static_cast<std::uint64_t>(desired), sizeof(T)));
+  }
+
+ private:
+  gmt_handle handle_ = kNullHandle;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace gmt

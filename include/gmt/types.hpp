@@ -1,0 +1,32 @@
+// Public GMT types: handles, allocation and spawn policies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gmt {
+
+// Handle to a global array. Opaque; encodes the allocating node and a slot
+// in that node's handle space. kNullHandle is never a valid allocation.
+using gmt_handle = std::uint64_t;
+inline constexpr gmt_handle kNullHandle = 0;
+
+// Data distribution policies (paper §III-C).
+enum class Alloc : std::uint8_t {
+  kPartition = 0,  // block-distributed uniformly across all nodes
+  kLocal = 1,      // entirely on the allocating node
+  kRemote = 2,     // block-distributed across every node but the allocator
+};
+
+// Task placement policies for parallel loops (paper §III-C).
+enum class Spawn : std::uint8_t {
+  kPartition = 0,  // iterations split across all nodes
+  kLocal = 1,      // all iterations on the calling node
+  kRemote = 2,     // iterations split across every node but the caller
+};
+
+// A parallel-loop body: called once per iteration with the iteration index
+// and the (node-local copy of the) argument buffer passed to gmt_parfor.
+using TaskFn = void (*)(std::uint64_t iteration, const void* args);
+
+}  // namespace gmt

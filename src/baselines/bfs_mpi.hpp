@@ -1,0 +1,36 @@
+// Breadth-First Search, hand-coded MPI style.
+//
+// The classic distributed-memory BFS a cluster programmer writes without a
+// PGAS runtime: the graph is partitioned by vertex range; each level every
+// rank expands its owned slice of the frontier and sends each discovered
+// remote neighbour to its owner in per-destination batches; owners
+// deduplicate against their local visited set. Level-synchronous with an
+// allreduce on the next frontier size. This completes the baseline matrix
+// (the paper shows UPC/XMT for BFS; the MPI discipline is the one its GRW
+// and CHMA baselines use).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/generator.hpp"
+#include "net/network_model.hpp"
+
+namespace gmt::baselines {
+
+struct BfsMpiResult {
+  std::uint64_t visited = 0;
+  std::uint64_t edges_traversed = 0;
+  std::uint64_t levels = 0;
+  double seconds = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+BfsMpiResult bfs_mpi(const graph::Csr& csr, std::uint32_t ranks,
+                     std::uint64_t root,
+                     net::NetworkModel model = net::NetworkModel::instant());
+
+}  // namespace gmt::baselines

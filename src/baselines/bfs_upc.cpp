@@ -1,0 +1,126 @@
+#include "baselines/bfs_upc.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "baselines/upc_like.hpp"
+#include "common/time.hpp"
+
+namespace gmt::baselines {
+
+namespace {
+constexpr std::uint64_t kNoParent = ~0ULL;
+}
+
+BfsUpcResult bfs_upc(const graph::Csr& csr, std::uint32_t threads,
+                     std::uint64_t root, bool use_visited_cache,
+                     net::NetworkModel model) {
+  BfsUpcResult result;
+  const std::uint64_t vertices = csr.vertices;
+  std::atomic<std::uint64_t> total_edges{0};
+  std::atomic<std::uint64_t> out_visited{0};
+  std::atomic<std::uint64_t> out_levels{0};
+
+  UpcWorld world(threads, model);
+  StopWatch watch;
+  world.run([&](UpcThread& upc) {
+    // Collective allocations (same order on every thread).
+    const upc_array offsets = upc.alloc_shared((vertices + 1) * 8);
+    const upc_array adjacency =
+        upc.alloc_shared((csr.edges() ? csr.edges() : 1) * 8);
+    const upc_array parents = upc.alloc_shared(vertices * 8);
+    const upc_array frontier = upc.alloc_shared(vertices * 8);
+    const upc_array next_frontier = upc.alloc_shared(vertices * 8);
+    const upc_array counters = upc.alloc_shared(threads * 8);  // [0] used
+
+    // Local initialisation of the owned blocks (standard UPC idiom: write
+    // shared-local data through a private pointer).
+    const auto fill_local = [&](upc_array array, const std::uint64_t* host,
+                                std::uint64_t count) {
+      const std::uint64_t block = upc.block_size(array) / 8;
+      const std::uint64_t local = upc.local_block_bytes(array) / 8;
+      const std::uint64_t begin = static_cast<std::uint64_t>(upc.id()) * block;
+      if (begin >= count || local == 0) return;
+      std::uint64_t n = count - begin < block ? count - begin : block;
+      if (n > local) n = local;
+      std::memcpy(upc.local_block(array), host + begin, n * 8);
+    };
+    fill_local(offsets, csr.offsets.data(), vertices + 1);
+    fill_local(adjacency, csr.adjacency.data(), csr.edges());
+    {
+      std::vector<std::uint64_t> noparent(upc.local_block_bytes(parents) / 8,
+                                          kNoParent);
+      std::memcpy(upc.local_block(parents), noparent.data(),
+                  noparent.size() * 8);
+    }
+    upc.barrier();
+
+    if (upc.id() == 0) {
+      upc.sput(parents, root * 8, &root, 8);
+      upc.sput(frontier, 0, &root, 8);
+      std::uint64_t one = 1;
+      upc.sput(counters, 0, &one, 8);
+    }
+    upc.barrier();
+
+    std::vector<std::uint8_t> visited_cache;
+    if (use_visited_cache) visited_cache.assign(vertices, 0);
+
+    std::uint64_t my_edges = 0;
+    std::uint64_t my_visited = upc.id() == 0 ? 1 : 0;
+    std::uint64_t levels = 0;
+    upc_array cur = frontier, next = next_frontier;
+
+    for (;;) {
+      std::uint64_t frontier_size = 0;
+      upc.sget(counters, 0, &frontier_size, 8);
+      if (frontier_size == 0) break;
+      ++levels;
+      upc.barrier();
+      if (upc.id() == 0) {
+        const std::uint64_t zero = 0;
+        upc.sput(counters, 0, &zero, 8);
+      }
+      upc.barrier();
+
+      // Static split of the frontier across threads.
+      for (std::uint64_t i = upc.id(); i < frontier_size; i += threads) {
+        std::uint64_t v = 0;
+        upc.sget(cur, i * 8, &v, 8);
+        // Two single-word reads (the bounds may live on different owners).
+        std::uint64_t range[2];
+        upc.sget(offsets, v * 8, &range[0], 8);
+        upc.sget(offsets, (v + 1) * 8, &range[1], 8);
+        for (std::uint64_t e = range[0]; e < range[1]; ++e) {
+          std::uint64_t u = 0;
+          upc.sget(adjacency, e * 8, &u, 8);  // one word per edge
+          ++my_edges;
+          if (use_visited_cache && visited_cache[u]) continue;
+          const std::uint64_t old = upc.scas(parents, u * 8, kNoParent, v);
+          if (use_visited_cache) visited_cache[u] = 1;
+          if (old == kNoParent) {
+            const std::uint64_t slot = upc.sadd(counters, 0, 1);
+            upc.sput(next, slot * 8, &u, 8);
+            ++my_visited;
+          }
+        }
+      }
+      upc.barrier();
+      std::swap(cur, next);
+    }
+
+    total_edges.fetch_add(my_edges, std::memory_order_relaxed);
+    out_visited.fetch_add(my_visited, std::memory_order_relaxed);
+    if (upc.id() == 0)
+      out_levels.store(levels, std::memory_order_relaxed);
+    upc.barrier();
+  });
+  result.seconds = watch.elapsed_s();
+  result.edges_traversed = total_edges.load();
+  result.visited = out_visited.load();
+  result.levels = out_levels.load();
+  return result;
+}
+
+}  // namespace gmt::baselines

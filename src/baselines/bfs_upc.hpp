@@ -1,0 +1,38 @@
+// Breadth-First Search, UPC style (paper §V-B).
+//
+// The queue-based BFS the paper runs under UPC: level-synchronous, the
+// frontier split statically across SPMD threads, every neighbour id fetched
+// with a blocking single-word shared read and every parent claimed with a
+// blocking remote CAS. No tasking, no aggregation — each remote access is a
+// full round trip stalling the issuing thread, which is precisely why this
+// version does not scale in the paper (Fig. 8).
+//
+// An optional software cache of the exploration map models the paper's
+// hand-optimised UPC variant (visited bits cached locally to skip repeat
+// CAS attempts).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/generator.hpp"
+#include "net/network_model.hpp"
+
+namespace gmt::baselines {
+
+struct BfsUpcResult {
+  std::uint64_t visited = 0;
+  std::uint64_t edges_traversed = 0;
+  std::uint64_t levels = 0;
+  double seconds = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+BfsUpcResult bfs_upc(const graph::Csr& csr, std::uint32_t threads,
+                     std::uint64_t root, bool use_visited_cache = false,
+                     net::NetworkModel model = net::NetworkModel::instant());
+
+}  // namespace gmt::baselines

@@ -1,0 +1,190 @@
+#include "baselines/chma_mpi.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "baselines/mpi_like.hpp"
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "hash/string_pool.hpp"
+
+namespace gmt::baselines {
+
+namespace {
+
+constexpr std::uint64_t kTagStep = 200;    // request: lookup-and-maybe-have
+constexpr std::uint64_t kTagInsert = 201;  // request: insert
+constexpr std::uint64_t kTagReply = 202;
+constexpr std::uint64_t kTagDone = 203;
+constexpr std::uint64_t kTagStop = 204;
+
+// Per-rank sub-table: local open addressing with the same 32-byte-slot
+// geometry as the distributed map (tag + key).
+class SubTable {
+ public:
+  explicit SubTable(std::uint64_t slots) : tags_(slots, 0), keys_(slots) {}
+
+  bool contains(const hash::StringKey& key) const {
+    const std::uint64_t h = hash::hash_key(key);
+    const std::uint64_t n = tags_.size();
+    for (std::uint64_t probe = 0; probe < n; ++probe) {
+      const std::uint64_t i = (h + probe) % n;
+      if (tags_[i] == 0) return false;
+      if (tags_[i] == h && keys_[i] == key) return true;
+    }
+    return false;
+  }
+
+  bool insert(const hash::StringKey& key) {
+    const std::uint64_t h = hash::hash_key(key);
+    const std::uint64_t n = tags_.size();
+    for (std::uint64_t probe = 0; probe < n; ++probe) {
+      const std::uint64_t i = (h + probe) % n;
+      if (tags_[i] == 0) {
+        tags_[i] = h;
+        keys_[i] = key;
+        return true;
+      }
+      if (tags_[i] == h && keys_[i] == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> tags_;
+  std::vector<hash::StringKey> keys_;
+};
+
+}  // namespace
+
+ChmaMpiResult chma_mpi(std::uint32_t ranks, std::uint64_t map_capacity,
+                       std::uint64_t pool_size, std::uint64_t populate,
+                       std::uint64_t streams, std::uint64_t steps,
+                       std::uint64_t seed, net::NetworkModel model) {
+  ChmaMpiResult result;
+  result.streams = streams;
+  result.steps_per_stream = steps;
+
+  const std::vector<hash::StringKey> pool =
+      hash::generate_pool(pool_size, seed);
+  std::atomic<std::uint64_t> total_accesses{0};
+
+  MpiWorld world(ranks, model);
+  StopWatch watch;
+  world.run([&](MpiRank& rank) {
+    SubTable table((map_capacity + ranks - 1) / ranks);
+    const auto owner = [&](const hash::StringKey& key) {
+      return static_cast<std::uint32_t>(hash::hash_key(key) % ranks);
+    };
+
+    // Phase 1: populate — every rank inserts the pool keys it owns.
+    for (std::uint64_t i = 0; i < populate && i < pool.size(); ++i)
+      if (owner(pool[i]) == rank.rank()) table.insert(pool[i]);
+    rank.barrier();
+
+    // Request servicing shared by every wait below. Rank 0 may see DONE
+    // notifications from early-finishing ranks while still in its own
+    // access phase; they are counted here and credited in the drain phase.
+    std::uint32_t done = 1;
+    const auto service = [&](std::uint32_t src, std::uint64_t tag,
+                             std::vector<std::uint8_t>& payload) {
+      if (tag == kTagDone) {
+        ++done;
+        return;
+      }
+      hash::StringKey key;
+      GMT_CHECK(payload.size() == sizeof(key));
+      std::memcpy(&key, payload.data(), sizeof(key));
+      if (tag == kTagStep) {
+        const std::uint8_t present = table.contains(key) ? 1 : 0;
+        rank.send(src, kTagReply, &present, 1);
+      } else if (tag == kTagInsert) {
+        table.insert(key);
+        const std::uint8_t ok = 1;
+        rank.send(src, kTagReply, &ok, 1);
+      }
+    };
+
+    // Phase 2: this rank's share of the W streams, run sequentially (an
+    // MPI process is single-threaded in the paper's baseline).
+    std::uint64_t my_accesses = 0;
+    for (std::uint64_t s = rank.rank(); s < streams; s += ranks) {
+      Xoshiro256 rng(seed ^ (s * 0xbf58476d1ce4e5b9ULL));
+      hash::StringKey current = pool[rng.below(pool.size())];
+      for (std::uint64_t step = 0; step < steps; ++step) {
+        // Lookup at the owner.
+        bool present;
+        if (owner(current) == rank.rank()) {
+          present = table.contains(current);
+        } else {
+          rank.send(owner(current), kTagStep, &current, sizeof(current));
+          std::uint32_t src;
+          std::vector<std::uint8_t> payload;
+          rank.recv_tag_serving(kTagReply, &src, &payload, service);
+          present = payload[0] != 0;
+        }
+        if (present) {
+          current.reverse();
+          if (owner(current) == rank.rank()) {
+            table.insert(current);
+          } else {
+            rank.send(owner(current), kTagInsert, &current, sizeof(current));
+            std::uint32_t src;
+            std::vector<std::uint8_t> payload;
+            rank.recv_tag_serving(kTagReply, &src, &payload, service);
+          }
+        } else {
+          current = pool[rng.below(pool.size())];
+        }
+        ++my_accesses;
+      }
+    }
+
+    // Phase 3: drain — keep serving until every rank reported done.
+    if (rank.rank() == 0) {
+      Backoff backoff;
+      while (done < ranks) {
+        std::uint32_t src;
+        std::uint64_t tag;
+        std::vector<std::uint8_t> payload;
+        if (!rank.try_recv(&src, &tag, &payload)) {
+          backoff.pause();
+          continue;
+        }
+        backoff.reset();
+        if (tag == kTagDone)
+          ++done;
+        else
+          service(src, tag, payload);
+      }
+      const std::uint8_t stop = 1;
+      for (std::uint32_t r = 1; r < ranks; ++r)
+        rank.send(r, kTagStop, &stop, 1);
+    } else {
+      const std::uint8_t flag = 1;
+      rank.send(0, kTagDone, &flag, 1);
+      Backoff backoff;
+      for (;;) {
+        std::uint32_t src;
+        std::uint64_t tag;
+        std::vector<std::uint8_t> payload;
+        if (!rank.try_recv(&src, &tag, &payload)) {
+          backoff.pause();
+          continue;
+        }
+        backoff.reset();
+        if (tag == kTagStop) break;
+        service(src, tag, payload);
+      }
+    }
+    total_accesses.fetch_add(my_accesses, std::memory_order_relaxed);
+  });
+  result.seconds = watch.elapsed_s();
+  result.accesses = total_accesses.load();
+  return result;
+}
+
+}  // namespace gmt::baselines

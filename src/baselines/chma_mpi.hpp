@@ -1,0 +1,39 @@
+// Concurrent Hash Map Access, hand-coded MPI style (paper §V-D).
+//
+// Owner-compute: each rank owns a sub-table selected by key hash; only the
+// owner checks and inserts. A rank whose current string hashes elsewhere
+// sends it to the owner and blocks on the reply — "a process cannot proceed
+// with a new string until it has finished manipulating the previous one" —
+// servicing other ranks' requests while it waits. This is exactly the
+// fine-grained, frequent-small-message pattern the paper contrasts with
+// GMT's aggregated accesses.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network_model.hpp"
+
+namespace gmt::baselines {
+
+struct ChmaMpiResult {
+  std::uint64_t streams = 0;         // concurrent streams (W equivalent)
+  std::uint64_t steps_per_stream = 0;
+  std::uint64_t accesses = 0;
+  double seconds = 0;
+
+  double maccesses_per_s() const {
+    return seconds > 0 ? static_cast<double>(accesses) / seconds / 1e6 : 0;
+  }
+};
+
+// Runs the owner-compute CHMA: `ranks` SPMD processes, a hash map of
+// `map_capacity` total slots partitioned by hash, a deterministic pool of
+// `pool_size` strings with the first `populate` pre-inserted, and
+// `streams`x`steps` accesses split across ranks.
+ChmaMpiResult chma_mpi(std::uint32_t ranks, std::uint64_t map_capacity,
+                       std::uint64_t pool_size, std::uint64_t populate,
+                       std::uint64_t streams, std::uint64_t steps,
+                       std::uint64_t seed = 42,
+                       net::NetworkModel model = net::NetworkModel::instant());
+
+}  // namespace gmt::baselines

@@ -1,0 +1,120 @@
+#include "baselines/grw_mpi.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+
+#include "baselines/mpi_like.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace gmt::baselines {
+
+namespace {
+
+constexpr std::uint64_t kTagWalks = 100;
+
+struct WalkState {
+  std::uint64_t current;
+  std::uint64_t remaining;
+  std::uint64_t rng_state;
+};
+
+}  // namespace
+
+GrwMpiResult grw_mpi(const graph::Csr& csr, std::uint32_t ranks,
+                     std::uint64_t walkers, std::uint64_t length,
+                     std::uint64_t seed, net::NetworkModel model) {
+  GrwMpiResult result;
+  result.walkers = walkers;
+  result.steps_per_walker = length;
+
+  const std::uint64_t vertices = csr.vertices;
+  const std::uint64_t block = (vertices + ranks - 1) / ranks;
+  std::atomic<std::uint64_t> total_edges{0};
+  std::atomic<std::uint64_t> total_rounds{0};
+
+  MpiWorld world(ranks, model);
+  StopWatch watch;
+  world.run([&](MpiRank& rank) {
+    const auto owner = [&](std::uint64_t v) {
+      return static_cast<std::uint32_t>(v / block);
+    };
+
+    // Walks whose start vertex this rank owns.
+    std::deque<WalkState> active;
+    for (std::uint64_t w = 0; w < walkers; ++w) {
+      const std::uint64_t start = w % vertices;
+      if (owner(start) == rank.rank())
+        active.push_back(
+            WalkState{start, length, seed ^ (w * 0x9e3779b97f4a7c15ULL)});
+    }
+
+    std::uint64_t my_edges = 0;
+    std::uint64_t my_completed = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t done_total = 0;
+
+    while (done_total < walkers) {
+      ++rounds;
+      // Advance every local walk as far as it stays local; buffer the rest
+      // per destination (the paper's end-of-round batching).
+      std::vector<std::vector<WalkState>> outbox(ranks);
+      while (!active.empty()) {
+        WalkState walk = active.front();
+        active.pop_front();
+        while (walk.remaining > 0 && owner(walk.current) == rank.rank()) {
+          const std::uint64_t deg = csr.degree(walk.current);
+          if (deg == 0) {
+            walk.current = splitmix64(walk.rng_state) % vertices;
+            continue;  // teleport; not an edge traversal
+          }
+          const std::uint64_t pick = splitmix64(walk.rng_state) % deg;
+          walk.current = csr.adjacency[csr.offsets[walk.current] + pick];
+          --walk.remaining;
+          ++my_edges;
+        }
+        if (walk.remaining == 0)
+          ++my_completed;
+        else
+          outbox[owner(walk.current)].push_back(walk);
+      }
+
+      // Synchronous all-to-all of delegation batches (possibly empty, so
+      // every rank knows exactly what to expect).
+      for (std::uint32_t r = 0; r < ranks; ++r) {
+        if (r == rank.rank()) continue;
+        rank.send(r, kTagWalks, outbox[r].data(),
+                  outbox[r].size() * sizeof(WalkState));
+      }
+      for (std::uint32_t r = 0; r + 1 < ranks; ++r) {
+        std::uint32_t src;
+        std::vector<std::uint8_t> payload;
+        rank.recv_tag(kTagWalks, &src, &payload);
+        const std::size_t count = payload.size() / sizeof(WalkState);
+        for (std::size_t i = 0; i < count; ++i) {
+          WalkState walk;
+          std::memcpy(&walk, payload.data() + i * sizeof(WalkState),
+                      sizeof(WalkState));
+          active.push_back(walk);
+        }
+      }
+
+      done_total = rank.allreduce_sum(my_completed) -
+                   /* completed are re-counted every round */ 0;
+      // Each rank reports its cumulative count; the sum is the global
+      // cumulative count, so the loop exits on all ranks together.
+    }
+
+    total_edges.fetch_add(my_edges, std::memory_order_relaxed);
+    if (rank.rank() == 0)
+      total_rounds.store(rounds, std::memory_order_relaxed);
+  });
+  result.seconds = watch.elapsed_s();
+  result.edges_traversed = total_edges.load();
+  result.rounds = total_rounds.load();
+  return result;
+}
+
+}  // namespace gmt::baselines

@@ -1,0 +1,40 @@
+// Graph Random Walk, hand-coded MPI style (paper §V-C).
+//
+// The comparator the paper describes: the graph is partitioned by vertex
+// range across ranks; a rank advances each walk while it stays local and
+// *delegates* it to the owner of the next vertex otherwise. Delegations are
+// buffered per destination and exchanged only at the end of each round —
+// the application-level aggregation the paper's MPI code implements by
+// hand. Rounds are synchronous: an all-to-all batch exchange plus an
+// allreduce of the completed-walk count.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/generator.hpp"
+#include "net/network_model.hpp"
+
+namespace gmt::baselines {
+
+struct GrwMpiResult {
+  std::uint64_t walkers = 0;
+  std::uint64_t steps_per_walker = 0;
+  std::uint64_t edges_traversed = 0;
+  std::uint64_t rounds = 0;
+  double seconds = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+// Runs the MPI-style GRW over `ranks` SPMD processes on the shared host
+// CSR (each rank only touches its own vertex range, as a real MPI code
+// would its local slice).
+GrwMpiResult grw_mpi(const graph::Csr& csr, std::uint32_t ranks,
+                     std::uint64_t walkers, std::uint64_t length,
+                     std::uint64_t seed = 42,
+                     net::NetworkModel model = net::NetworkModel::instant());
+
+}  // namespace gmt::baselines

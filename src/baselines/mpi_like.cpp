@@ -1,0 +1,159 @@
+#include "baselines/mpi_like.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+
+namespace gmt::baselines {
+
+std::uint32_t MpiRank::size() const { return world_->size(); }
+
+void MpiRank::send(std::uint32_t dst, std::uint64_t tag, const void* data,
+                   std::size_t size) {
+  std::vector<std::uint8_t> wire(sizeof(tag) + size);
+  std::memcpy(wire.data(), &tag, sizeof(tag));
+  if (size) std::memcpy(wire.data() + sizeof(tag), data, size);
+  Backoff backoff;
+  while (!transport_->send(dst, wire)) backoff.pause();
+}
+
+bool MpiRank::pump() {
+  net::InMessage msg;
+  if (!transport_->try_recv(&msg)) return false;
+  GMT_CHECK(msg.payload.size() >= sizeof(std::uint64_t));
+  Unmatched u;
+  u.src = msg.src;
+  std::memcpy(&u.tag, msg.payload.data(), sizeof(u.tag));
+  u.payload.assign(msg.payload.begin() + sizeof(u.tag), msg.payload.end());
+  unmatched_.push_back(std::move(u));
+  return true;
+}
+
+bool MpiRank::try_recv(std::uint32_t* src, std::uint64_t* tag,
+                       std::vector<std::uint8_t>* payload) {
+  if (unmatched_.empty() && !pump()) return false;
+  Unmatched u = std::move(unmatched_.front());
+  unmatched_.pop_front();
+  *src = u.src;
+  *tag = u.tag;
+  *payload = std::move(u.payload);
+  return true;
+}
+
+void MpiRank::recv_tag(std::uint64_t tag, std::uint32_t* src,
+                       std::vector<std::uint8_t>* payload) {
+  Backoff backoff;
+  for (;;) {
+    for (auto it = unmatched_.begin(); it != unmatched_.end(); ++it) {
+      if (it->tag == tag) {
+        *src = it->src;
+        *payload = std::move(it->payload);
+        unmatched_.erase(it);
+        return;
+      }
+    }
+    if (pump())
+      backoff.reset();
+    else
+      backoff.pause();
+  }
+}
+
+void MpiRank::recv_tag_serving(
+    std::uint64_t tag, std::uint32_t* src, std::vector<std::uint8_t>* payload,
+    const std::function<void(std::uint32_t, std::uint64_t,
+                             std::vector<std::uint8_t>&)>& service) {
+  Backoff backoff;
+  for (;;) {
+    while (!unmatched_.empty()) {
+      Unmatched u = std::move(unmatched_.front());
+      unmatched_.pop_front();
+      if (u.tag == tag) {
+        *src = u.src;
+        *payload = std::move(u.payload);
+        return;
+      }
+      service(u.src, u.tag, u.payload);
+    }
+    if (pump())
+      backoff.reset();
+    else
+      backoff.pause();
+  }
+}
+
+void MpiRank::barrier() {
+  // Dissemination barrier: log2(N) rounds of paired send/recv. Tokens
+  // carry (barrier sequence, round) — barriers are collective and called
+  // in the same order on every rank, so the sequence disambiguates tokens
+  // that arrive early from a *later* barrier. Matching scans the
+  // unmatched queue directly and pumps the transport when nothing fits
+  // (a recv_tag loop that requeues mismatches would keep re-matching the
+  // stale token and never pump).
+  const std::uint32_t n = size();
+  const std::uint64_t seq = barrier_seq_++;
+  Backoff backoff;
+  for (std::uint32_t round = 1; round < n; round <<= 1) {
+    const std::uint64_t token = (seq << 16) | round;
+    send((rank_ + round) % n, kTagBarrier, &token, sizeof(token));
+    for (bool got = false; !got;) {
+      for (auto it = unmatched_.begin(); it != unmatched_.end(); ++it) {
+        if (it->tag != kTagBarrier) continue;
+        std::uint64_t seen;
+        std::memcpy(&seen, it->payload.data(), sizeof(seen));
+        if (seen == token) {
+          unmatched_.erase(it);
+          got = true;
+          break;
+        }
+      }
+      if (got) break;
+      if (pump())
+        backoff.reset();
+      else
+        backoff.pause();
+    }
+  }
+}
+
+std::uint64_t MpiRank::allreduce_sum(std::uint64_t value) {
+  // Gather to rank 0, broadcast back. Small n; simplicity over latency.
+  std::uint32_t src;
+  std::vector<std::uint8_t> payload;
+  if (rank_ == 0) {
+    std::uint64_t total = value;
+    for (std::uint32_t i = 1; i < size(); ++i) {
+      recv_tag(kTagReduce, &src, &payload);
+      std::uint64_t v;
+      std::memcpy(&v, payload.data(), sizeof(v));
+      total += v;
+    }
+    for (std::uint32_t i = 1; i < size(); ++i)
+      send(i, kTagReduce + 1, &total, sizeof(total));
+    return total;
+  }
+  send(0, kTagReduce, &value, sizeof(value));
+  recv_tag(kTagReduce + 1, &src, &payload);
+  std::uint64_t total;
+  std::memcpy(&total, payload.data(), sizeof(total));
+  return total;
+}
+
+MpiWorld::MpiWorld(std::uint32_t ranks, net::NetworkModel model)
+    : ranks_(ranks), fabric_(ranks, model) {}
+
+void MpiWorld::run(const std::function<void(MpiRank&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
+  for (std::uint32_t r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      MpiRank rank(this, r, fabric_.endpoint(r));
+      fn(rank);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace gmt::baselines

@@ -1,0 +1,97 @@
+// MPI-like SPMD baseline runtime.
+//
+// The paper's hand-coded comparators are plain MPI programs: one rank per
+// node, blocking tagged sends/receives, no user-level tasking and no
+// runtime-level aggregation (any batching is written into the application,
+// as the paper's GRW delegation code does). This module reproduces that
+// programming model over the same in-process fabric the GMT runtime uses,
+// so kernel comparisons isolate the runtime rather than the transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/inproc_transport.hpp"
+
+namespace gmt::baselines {
+
+class MpiWorld;
+
+// One rank's communication context. All calls happen on the rank's thread.
+class MpiRank {
+ public:
+  std::uint32_t rank() const { return rank_; }
+  std::uint32_t size() const;
+
+  // Blocking tagged send (spins on transport backpressure).
+  void send(std::uint32_t dst, std::uint64_t tag, const void* data,
+            std::size_t size);
+
+  // Non-blocking receive of any message; false when none available.
+  bool try_recv(std::uint32_t* src, std::uint64_t* tag,
+                std::vector<std::uint8_t>* payload);
+
+  // Blocking receive of the first message whose tag matches; messages with
+  // other tags are queued for later receives in arrival order.
+  void recv_tag(std::uint64_t tag, std::uint32_t* src,
+                std::vector<std::uint8_t>* payload);
+
+  // Blocking receive that lets the caller service other traffic: every
+  // non-matching message is handed to `service` immediately (the classic
+  // "poll while waiting for your reply" MPI idiom that avoids request/
+  // request deadlock).
+  void recv_tag_serving(
+      std::uint64_t tag, std::uint32_t* src,
+      std::vector<std::uint8_t>* payload,
+      const std::function<void(std::uint32_t, std::uint64_t,
+                               std::vector<std::uint8_t>&)>& service);
+
+  // Dissemination barrier over point-to-point messages.
+  void barrier();
+
+  // Sum-reduction of one u64 to every rank (allreduce).
+  std::uint64_t allreduce_sum(std::uint64_t value);
+
+ private:
+  friend class MpiWorld;
+  MpiRank(MpiWorld* world, std::uint32_t rank, net::Transport* transport)
+      : world_(world), rank_(rank), transport_(transport) {}
+
+  bool pump();  // moves one transport message into the unmatched queue
+
+  struct Unmatched {
+    std::uint32_t src;
+    std::uint64_t tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  MpiWorld* world_;
+  std::uint32_t rank_;
+  net::Transport* transport_;
+  std::deque<Unmatched> unmatched_;
+  std::uint64_t barrier_seq_ = 0;
+};
+
+// Reserved tags (top of the tag space) used by barrier/allreduce.
+inline constexpr std::uint64_t kTagBarrier = ~0ULL - 16;
+inline constexpr std::uint64_t kTagReduce = ~0ULL - 17;
+
+class MpiWorld {
+ public:
+  explicit MpiWorld(std::uint32_t ranks,
+                    net::NetworkModel model = net::NetworkModel::instant());
+
+  std::uint32_t size() const { return ranks_; }
+  net::InprocFabric& fabric() { return fabric_; }
+
+  // Runs fn on every rank concurrently (one OS thread each) and joins.
+  void run(const std::function<void(MpiRank&)>& fn);
+
+ private:
+  const std::uint32_t ranks_;
+  net::InprocFabric fabric_;
+};
+
+}  // namespace gmt::baselines

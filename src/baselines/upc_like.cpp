@@ -1,0 +1,348 @@
+#include "baselines/upc_like.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+#include "runtime/node.hpp"  // for the shared atomic appliers
+
+namespace gmt::baselines {
+
+namespace {
+
+// Wire format: [u8 op][u32 array][u64 offset][u32 size][fields...]
+enum UpcOp : std::uint8_t {
+  kGetReq = 1,
+  kPutReq,
+  kCasReq,
+  kAddReq,
+  kReply,
+  kBarrier,
+};
+
+struct WireHeader {
+  std::uint8_t op;
+  std::uint32_t array;
+  std::uint64_t offset;
+  std::uint32_t size;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+std::vector<std::uint8_t> pack(const WireHeader& h, const void* payload,
+                               std::size_t payload_size) {
+  std::vector<std::uint8_t> wire(sizeof(WireHeader) + payload_size);
+  std::memcpy(wire.data(), &h, sizeof(h));
+  if (payload_size)
+    std::memcpy(wire.data() + sizeof(h), payload, payload_size);
+  return wire;
+}
+
+WireHeader unpack(const std::vector<std::uint8_t>& wire,
+                  const std::uint8_t** payload) {
+  GMT_CHECK(wire.size() >= sizeof(WireHeader));
+  WireHeader h;
+  std::memcpy(&h, wire.data(), sizeof(h));
+  *payload = wire.data() + sizeof(h);
+  return h;
+}
+
+std::uint64_t apply_add(std::uint8_t* addr, std::uint64_t operand) {
+  auto* p = reinterpret_cast<std::uint64_t*>(addr);
+  return std::atomic_ref<std::uint64_t>(*p).fetch_add(
+      operand, std::memory_order_acq_rel);
+}
+
+std::uint64_t apply_cas(std::uint8_t* addr, std::uint64_t expected,
+                        std::uint64_t desired) {
+  auto* p = reinterpret_cast<std::uint64_t*>(addr);
+  std::uint64_t want = expected;
+  std::atomic_ref<std::uint64_t>(*p).compare_exchange_strong(
+      want, desired, std::memory_order_acq_rel);
+  return want;
+}
+
+}  // namespace
+
+std::uint32_t UpcThread::size() const { return world_->size(); }
+
+void UpcThread::send_wire(std::uint32_t dst,
+                          const std::vector<std::uint8_t>& wire) {
+  Backoff backoff;
+  while (!transport_->send(dst, wire)) {
+    // Keep serving while blocked so peers can drain.
+    progress();
+    backoff.pause();
+  }
+}
+
+bool UpcThread::progress() {
+  net::InMessage msg;
+  if (!transport_->try_recv(&msg)) return false;
+  const std::uint8_t* payload = nullptr;
+  const WireHeader h = unpack(msg.payload, &payload);
+  switch (h.op) {
+    case kReply:
+      replies_.push_back(std::move(msg.payload));
+      break;
+    case kBarrier:
+      barrier_tokens_.push_back(Incoming{msg.src, std::move(msg.payload)});
+      break;
+    default:
+      serve(msg.src, msg.payload);
+      break;
+  }
+  return true;
+}
+
+void UpcThread::serve(std::uint32_t src,
+                      const std::vector<std::uint8_t>& wire) {
+  const std::uint8_t* payload = nullptr;
+  const WireHeader h = unpack(wire, &payload);
+  GMT_CHECK(h.array < arrays_.size());
+  SharedBlock& block = arrays_[h.array];
+  std::uint8_t* addr = block.storage.data() + h.offset;
+
+  WireHeader reply{};
+  reply.op = kReply;
+  switch (h.op) {
+    case kGetReq:
+      send_wire(src, pack(reply, addr, h.size));
+      break;
+    case kPutReq:
+      std::memcpy(addr, payload, h.size);
+      send_wire(src, pack(reply, nullptr, 0));
+      break;
+    case kCasReq:
+      reply.a = apply_cas(addr, h.a, h.b);
+      send_wire(src, pack(reply, nullptr, 0));
+      break;
+    case kAddReq:
+      reply.a = apply_add(addr, h.a);
+      send_wire(src, pack(reply, nullptr, 0));
+      break;
+    default:
+      GMT_CHECK_MSG(false, "bad UPC request");
+  }
+}
+
+std::vector<std::uint8_t> UpcThread::wait_reply() {
+  Backoff backoff;
+  while (replies_.empty()) {
+    if (progress())
+      backoff.reset();
+    else
+      backoff.pause();
+  }
+  std::vector<std::uint8_t> reply = std::move(replies_.front());
+  replies_.pop_front();
+  return reply;
+}
+
+upc_array UpcThread::alloc_shared(std::uint64_t bytes) {
+  SharedBlock block;
+  block.total = bytes;
+  // Blocks are rounded to 8 bytes so naturally-aligned words never
+  // straddle an ownership boundary (required for remote atomics).
+  block.block = ((bytes + size() - 1) / size() + 7) & ~std::uint64_t{7};
+  const std::uint64_t begin = static_cast<std::uint64_t>(id_) * block.block;
+  const std::uint64_t end =
+      begin + block.block < bytes ? begin + block.block : bytes;
+  block.storage.assign(end > begin ? end - begin : 0, 0);
+  arrays_.push_back(std::move(block));
+  const auto handle = static_cast<upc_array>(arrays_.size() - 1);
+  barrier();  // collective: usable only when every thread allocated
+  return handle;
+}
+
+std::uint64_t UpcThread::block_size(upc_array array) const {
+  return arrays_[array].block;
+}
+
+std::uint32_t UpcThread::owner_of(upc_array array,
+                                  std::uint64_t offset) const {
+  return static_cast<std::uint32_t>(offset / arrays_[array].block);
+}
+
+std::uint8_t* UpcThread::local_block(upc_array array) {
+  return arrays_[array].storage.data();
+}
+
+std::uint64_t UpcThread::local_block_bytes(upc_array array) const {
+  return arrays_[array].storage.size();
+}
+
+void UpcThread::sget(upc_array array, std::uint64_t offset, void* out,
+                     std::uint32_t size) {
+  SharedBlock& block = arrays_[array];
+  const std::uint32_t owner = owner_of(array, offset);
+  const std::uint64_t local = offset - owner * block.block;
+  GMT_DCHECK(local + size <= block.block);
+  if (owner == id_) {
+    std::memcpy(out, block.storage.data() + local, size);
+    return;
+  }
+  WireHeader h{};
+  h.op = kGetReq;
+  h.array = array;
+  h.offset = local;
+  h.size = size;
+  send_wire(owner, pack(h, nullptr, 0));
+  const std::vector<std::uint8_t> reply = wait_reply();
+  std::memcpy(out, reply.data() + sizeof(WireHeader), size);
+}
+
+void UpcThread::sput(upc_array array, std::uint64_t offset, const void* data,
+                     std::uint32_t size) {
+  SharedBlock& block = arrays_[array];
+  const std::uint32_t owner = owner_of(array, offset);
+  const std::uint64_t local = offset - owner * block.block;
+  GMT_DCHECK(local + size <= block.block);
+  if (owner == id_) {
+    std::memcpy(block.storage.data() + local, data, size);
+    return;
+  }
+  WireHeader h{};
+  h.op = kPutReq;
+  h.array = array;
+  h.offset = local;
+  h.size = size;
+  send_wire(owner, pack(h, data, size));
+  wait_reply();
+}
+
+std::uint64_t UpcThread::scas(upc_array array, std::uint64_t offset,
+                              std::uint64_t expected, std::uint64_t desired) {
+  SharedBlock& block = arrays_[array];
+  const std::uint32_t owner = owner_of(array, offset);
+  const std::uint64_t local = offset - owner * block.block;
+  if (owner == id_)
+    return apply_cas(block.storage.data() + local, expected, desired);
+  WireHeader h{};
+  h.op = kCasReq;
+  h.array = array;
+  h.offset = local;
+  h.a = expected;
+  h.b = desired;
+  send_wire(owner, pack(h, nullptr, 0));
+  const std::vector<std::uint8_t> reply = wait_reply();
+  const std::uint8_t* payload = nullptr;
+  return unpack(reply, &payload).a;
+}
+
+std::uint64_t UpcThread::sadd(upc_array array, std::uint64_t offset,
+                              std::uint64_t value) {
+  SharedBlock& block = arrays_[array];
+  const std::uint32_t owner = owner_of(array, offset);
+  const std::uint64_t local = offset - owner * block.block;
+  if (owner == id_)
+    return apply_add(block.storage.data() + local, value);
+  WireHeader h{};
+  h.op = kAddReq;
+  h.array = array;
+  h.offset = local;
+  h.a = value;
+  send_wire(owner, pack(h, nullptr, 0));
+  const std::vector<std::uint8_t> reply = wait_reply();
+  const std::uint8_t* payload = nullptr;
+  return unpack(reply, &payload).a;
+}
+
+void UpcThread::barrier() {
+  // Dissemination barrier; tokens carry (sequence, round) so a token from
+  // a *later* barrier arriving early (collectives are same-order on every
+  // thread) cannot satisfy the current one.
+  const std::uint32_t n = size();
+  const std::uint64_t seq = barrier_seq_++;
+  for (std::uint32_t round = 1; round < n; round <<= 1) {
+    WireHeader h{};
+    h.op = kBarrier;
+    h.a = (seq << 16) | round;
+    send_wire((id_ + round) % n, pack(h, nullptr, 0));
+    // Wait for this round's token, serving requests meanwhile.
+    Backoff backoff;
+    for (bool got = false; !got;) {
+      for (auto it = barrier_tokens_.begin(); it != barrier_tokens_.end();
+           ++it) {
+        const std::uint8_t* payload = nullptr;
+        if (unpack(it->payload, &payload).a == ((seq << 16) | round)) {
+          barrier_tokens_.erase(it);
+          got = true;
+          break;
+        }
+      }
+      if (got) break;
+      if (progress())
+        backoff.reset();
+      else
+        backoff.pause();
+    }
+  }
+}
+
+std::uint64_t UpcThread::allreduce_sum(std::uint64_t value) {
+  // Gather to thread 0, broadcast back — correct for any thread count
+  // (a dissemination exchange of partial sums double-counts off powers of
+  // two). Tokens travel on the barrier channel with distinct markers, and
+  // every wait keeps serving remote-access requests.
+  constexpr std::uint64_t kGatherMark = 0x8000000000000000ULL;
+  constexpr std::uint64_t kBcastMark = 0x4000000000000000ULL;
+  const std::uint32_t n = size();
+
+  const auto wait_token = [&](std::uint64_t mark) -> std::uint64_t {
+    Backoff backoff;
+    for (;;) {
+      for (auto it = barrier_tokens_.begin(); it != barrier_tokens_.end();
+           ++it) {
+        const std::uint8_t* payload = nullptr;
+        const WireHeader t = unpack(it->payload, &payload);
+        if (t.a == mark) {
+          const std::uint64_t v = t.b;
+          barrier_tokens_.erase(it);
+          return v;
+        }
+      }
+      if (progress())
+        backoff.reset();
+      else
+        backoff.pause();
+    }
+  };
+
+  if (id_ == 0) {
+    std::uint64_t total = value;
+    for (std::uint32_t i = 1; i < n; ++i) total += wait_token(kGatherMark);
+    for (std::uint32_t i = 1; i < n; ++i) {
+      WireHeader h{};
+      h.op = kBarrier;
+      h.a = kBcastMark;
+      h.b = total;
+      send_wire(i, pack(h, nullptr, 0));
+    }
+    return total;
+  }
+  WireHeader h{};
+  h.op = kBarrier;
+  h.a = kGatherMark;
+  h.b = value;
+  send_wire(0, pack(h, nullptr, 0));
+  return wait_token(kBcastMark);
+}
+
+UpcWorld::UpcWorld(std::uint32_t threads, net::NetworkModel model)
+    : threads_(threads), fabric_(threads, model) {}
+
+void UpcWorld::run(const std::function<void(UpcThread&)>& fn) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (std::uint32_t t = 0; t < threads_; ++t) {
+    workers.emplace_back([this, t, &fn] {
+      UpcThread thread(this, t, fabric_.endpoint(t));
+      fn(thread);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace gmt::baselines

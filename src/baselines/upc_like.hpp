@@ -1,0 +1,106 @@
+// UPC-like PGAS baseline runtime.
+//
+// Models what the paper compares against (§V-B): an SPMD PGAS language on a
+// commodity cluster — shared arrays with block distribution and *blocking*
+// fine-grained remote accesses, one thread per node, no user-level tasking
+// and no aggregation. Each UPC thread both executes application code and
+// services remote-access requests while it waits (the runtime progress a
+// GASNet-backed UPC provides). What makes this model slow on irregular
+// codes is visible directly in the API: every remote dereference is a full
+// request/reply round trip that stalls the only thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/inproc_transport.hpp"
+
+namespace gmt::baselines {
+
+class UpcWorld;
+
+// Identifier of a collectively allocated shared array.
+using upc_array = std::uint32_t;
+
+class UpcThread {
+ public:
+  std::uint32_t id() const { return id_; }
+  std::uint32_t size() const;
+
+  // Collective allocation: every thread must call in the same order with
+  // the same size. Block-distributed; includes a barrier.
+  upc_array alloc_shared(std::uint64_t bytes);
+
+  // Blocking element access (services incoming requests while waiting).
+  void sget(upc_array array, std::uint64_t offset, void* out,
+            std::uint32_t size);
+  void sput(upc_array array, std::uint64_t offset, const void* data,
+            std::uint32_t size);
+  std::uint64_t scas(upc_array array, std::uint64_t offset,
+                     std::uint64_t expected, std::uint64_t desired);
+  std::uint64_t sadd(upc_array array, std::uint64_t offset,
+                     std::uint64_t value);
+
+  // Collective operations (service requests while waiting).
+  void barrier();
+  std::uint64_t allreduce_sum(std::uint64_t value);
+
+  // Direct pointer to the local block of an array (the "private pointer to
+  // shared local data" optimisation every real UPC code uses).
+  std::uint8_t* local_block(upc_array array);
+  std::uint64_t block_size(upc_array array) const;
+  // Bytes actually stored on this thread (the last block may be short).
+  std::uint64_t local_block_bytes(upc_array array) const;
+  std::uint32_t owner_of(upc_array array, std::uint64_t offset) const;
+
+ private:
+  friend class UpcWorld;
+  UpcThread(UpcWorld* world, std::uint32_t id, net::Transport* transport)
+      : world_(world), id_(id), transport_(transport) {}
+
+  struct SharedBlock {
+    std::uint64_t total = 0;
+    std::uint64_t block = 0;
+    std::vector<std::uint8_t> storage;  // this thread's partition
+  };
+
+  struct Incoming {
+    std::uint32_t src;
+    std::vector<std::uint8_t> payload;
+  };
+
+  // Pumps the transport, services any requests, returns true on progress.
+  bool progress();
+  void serve(std::uint32_t src, const std::vector<std::uint8_t>& wire);
+  // Waits for a reply (op echo) while serving; returns its payload.
+  std::vector<std::uint8_t> wait_reply();
+  void send_wire(std::uint32_t dst, const std::vector<std::uint8_t>& wire);
+
+  UpcWorld* world_;
+  std::uint32_t id_;
+  net::Transport* transport_;
+  std::vector<SharedBlock> arrays_;
+  std::deque<std::vector<std::uint8_t>> replies_;
+  std::deque<Incoming> barrier_tokens_;
+  std::uint64_t barrier_seq_ = 0;
+};
+
+class UpcWorld {
+ public:
+  explicit UpcWorld(std::uint32_t threads,
+                    net::NetworkModel model = net::NetworkModel::instant());
+
+  std::uint32_t size() const { return threads_; }
+  net::InprocFabric& fabric() { return fabric_; }
+
+  void run(const std::function<void(UpcThread&)>& fn);
+
+ private:
+  const std::uint32_t threads_;
+  net::InprocFabric fabric_;
+};
+
+}  // namespace gmt::baselines

@@ -1,0 +1,110 @@
+// Bounded multi-producer multi-consumer queue (Vyukov's array queue).
+//
+// This is the paper's "aggregation queue": all workers and helpers of a node
+// concurrently push filled command blocks for one destination, and whichever
+// thread triggers aggregation concurrently pops them. Each slot carries a
+// sequence number; producers and consumers claim slots with a single CAS on
+// a ticket counter, so the queue is non-blocking and linearisable per
+// operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/cacheline.hpp"
+
+namespace gmt {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity ? capacity : 1)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i)
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Returns false when full.
+  bool push(T item) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          slot.value = std::move(item);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Returns false when empty.
+  bool pop(T* out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          *out = std::move(slot.value);
+          slot.sequence.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Approximate occupancy (exact only at quiescence).
+  std::size_t size_approx() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_acquire);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_acquire);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace gmt

@@ -1,0 +1,97 @@
+// Fixed-population lock-free object pools.
+//
+// The paper recycles command blocks and aggregation buffers from
+// pre-allocated pools "for performance reasons" (no allocation on the
+// command path). ObjectPool owns all objects for its lifetime and hands out
+// raw pointers through a Vyukov MPMC freelist; acquire() fails (nullptr)
+// under exhaustion so callers can apply backpressure instead of allocating.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "collections/mpmc_queue.hpp"
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+
+namespace gmt {
+
+template <typename T>
+class ObjectPool {
+ public:
+  // Constructs `population` objects, each built with `args...`.
+  template <typename... Args>
+  explicit ObjectPool(std::size_t population, Args&&... args)
+      : population_(population), freelist_(population) {
+    storage_.reserve(population);
+    for (std::size_t i = 0; i < population; ++i) {
+      storage_.push_back(std::make_unique<T>(args...));
+      GMT_CHECK(freelist_.push(storage_.back().get()));
+    }
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  // nullptr when the pool is exhausted.
+  T* try_acquire() {
+    T* obj = nullptr;
+    freelist_.pop(&obj);
+    return obj;
+  }
+
+  void release(T* obj) {
+    GMT_DCHECK(obj != nullptr);
+    // A Vyukov queue's push can fail *transiently* when the queue is
+    // near-full while concurrent pops are mid-flight (the popped slot's
+    // sequence is not yet republished). With a fixed population the queue
+    // can never be genuinely full at a release, so retry; a genuine
+    // over-release (a real bug) would spin forever, caught by the bounded
+    // check below.
+    Backoff backoff;
+    for (std::uint32_t attempt = 0; !freelist_.push(obj); ++attempt) {
+      GMT_CHECK_MSG(attempt < 1u << 24, "pool released more than acquired");
+      backoff.pause();
+    }
+  }
+
+  std::size_t population() const { return population_; }
+
+  // Number of objects currently in the freelist; equals population() at
+  // quiescence — the leak-detection invariant tests assert on.
+  std::size_t available_approx() const { return freelist_.size_approx(); }
+
+ private:
+  const std::size_t population_;
+  std::vector<std::unique_ptr<T>> storage_;
+  MpmcQueue<T*> freelist_;
+};
+
+// RAII guard returning an object to its pool on scope exit.
+template <typename T>
+class PoolGuard {
+ public:
+  PoolGuard(ObjectPool<T>& pool, T* obj) : pool_(&pool), obj_(obj) {}
+  ~PoolGuard() {
+    if (obj_) pool_->release(obj_);
+  }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+  PoolGuard(PoolGuard&& other) noexcept
+      : pool_(other.pool_), obj_(std::exchange(other.obj_, nullptr)) {}
+
+  T* get() const { return obj_; }
+  T* operator->() const { return obj_; }
+  explicit operator bool() const { return obj_ != nullptr; }
+
+  // Detaches ownership (e.g., when the object is handed to another thread).
+  T* detach() { return std::exchange(obj_, nullptr); }
+
+ private:
+  ObjectPool<T>* pool_;
+  T* obj_;
+};
+
+}  // namespace gmt

@@ -1,0 +1,88 @@
+// Bounded single-producer single-consumer ring buffer.
+//
+// This is the paper's "channel queue": the high-throughput SPSC queue
+// through which exactly one worker (or helper) hands filled aggregation
+// buffers to the single communication server, and through which the comm
+// server returns drained buffers. Head and tail live on separate cache
+// lines; each side caches the opposite index to avoid coherence traffic on
+// the fast path (classic Lamport queue with index caching).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cacheline.hpp"
+
+namespace gmt {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity ? capacity : 1)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full.
+  bool push(T item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool pop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side emptiness probe (exact for the consumer, a hint for
+  // anyone else).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Approximate occupancy; safe from any thread, exact only at quiescence.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // consumer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // producer-owned
+};
+
+}  // namespace gmt

@@ -1,0 +1,39 @@
+// Lightweight runtime checks.
+//
+// GMT_CHECK is always on (cheap invariants on cold paths); GMT_DCHECK
+// compiles out in release builds and guards hot-path invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmt {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "GMT check failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gmt
+
+#define GMT_CHECK(cond)                                        \
+  do {                                                         \
+    if (__builtin_expect(!(cond), 0))                          \
+      ::gmt::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define GMT_CHECK_MSG(cond, msg)                           \
+  do {                                                     \
+    if (__builtin_expect(!(cond), 0))                      \
+      ::gmt::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define GMT_DCHECK(cond) GMT_CHECK(cond)
+#else
+#define GMT_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif

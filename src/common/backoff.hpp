@@ -1,0 +1,56 @@
+// Progressive spin backoff.
+//
+// Every polling loop in the runtime (workers waiting for tasks, the comm
+// server polling channel queues, pool acquisition under pressure) uses this
+// policy: spin briefly with `pause`, then yield the CPU, then sleep for short
+// intervals. On the paper's cluster each specialised thread owns a core and
+// pure spinning is fine; on an oversubscribed host (this repo's in-process
+// multi-node mode) yielding keeps all simulated nodes live.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace gmt {
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spin_limit = 64,
+                   std::uint32_t yield_limit = 16)
+      : spin_limit_(spin_limit), yield_limit_(yield_limit) {}
+
+  // One backoff step; escalates spin -> yield -> sleep.
+  void pause() {
+    if (step_ < spin_limit_) {
+      cpu_relax();
+    } else if (step_ < spin_limit_ + yield_limit_) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ++step_;
+  }
+
+  void reset() { step_ = 0; }
+
+  bool sleeping() const { return step_ >= spin_limit_ + yield_limit_; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t yield_limit_;
+  std::uint32_t step_ = 0;
+};
+
+}  // namespace gmt

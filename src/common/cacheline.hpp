@@ -1,0 +1,28 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace gmt {
+
+// Hardcoded rather than std::hardware_destructive_interference_size: the
+// libstdc++ value is a compile-time guess anyway, and 64 matches every x86-64
+// part this targets (the paper's Interlagos included).
+inline constexpr std::size_t kCacheLine = 64;
+
+// A value padded out to a full cache line so adjacent instances never share.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad[kCacheLine - (sizeof(T) % kCacheLine ? sizeof(T) % kCacheLine
+                                                : kCacheLine)];
+};
+
+// Cache-line-isolated atomic counter (e.g., per-worker statistics).
+struct alignas(kCacheLine) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace gmt

@@ -1,0 +1,85 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/units.hpp"
+
+namespace gmt {
+
+Config Config::olympus() {
+  Config c;
+  c.num_workers = 15;
+  c.num_helpers = 15;
+  c.num_buf_per_channel = 4;
+  c.max_tasks_per_worker = 1024;
+  c.buffer_size = 64 * 1024;
+  c.pin_threads = true;
+  return c;
+}
+
+Config Config::testing() {
+  Config c;
+  c.num_workers = 1;
+  c.num_helpers = 1;
+  c.num_buf_per_channel = 2;
+  c.max_tasks_per_worker = 64;
+  c.buffer_size = 8 * 1024;
+  c.cmd_block_entries = 16;
+  c.cmd_block_pool_size = 64;
+  c.task_stack_size = 32 * 1024;
+  c.pin_threads = false;
+  return c;
+}
+
+namespace {
+
+void env_u32(const char* name, std::uint32_t* out) {
+  if (const char* v = std::getenv(name)) {
+    std::uint64_t parsed;
+    if (parse_size(v, &parsed)) *out = static_cast<std::uint32_t>(parsed);
+  }
+}
+
+void env_u64(const char* name, std::uint64_t* out) {
+  if (const char* v = std::getenv(name)) {
+    std::uint64_t parsed;
+    if (parse_size(v, &parsed)) *out = parsed;
+  }
+}
+
+}  // namespace
+
+void Config::apply_env() {
+  env_u32("GMT_NUM_WORKERS", &num_workers);
+  env_u32("GMT_NUM_HELPERS", &num_helpers);
+  env_u32("GMT_NUM_BUF_PER_CHANNEL", &num_buf_per_channel);
+  env_u32("GMT_MAX_TASKS_PER_WORKER", &max_tasks_per_worker);
+  env_u32("GMT_BUFFER_SIZE", &buffer_size);
+  env_u32("GMT_CMD_BLOCK_ENTRIES", &cmd_block_entries);
+  env_u32("GMT_CMD_BLOCK_POOL_SIZE", &cmd_block_pool_size);
+  env_u64("GMT_CMD_BLOCK_TIMEOUT_NS", &cmd_block_timeout_ns);
+  env_u64("GMT_AGG_QUEUE_TIMEOUT_NS", &agg_queue_timeout_ns);
+  if (const char* v = std::getenv("GMT_TASK_STACK_SIZE")) {
+    std::uint64_t parsed;
+    if (parse_size(v, &parsed)) task_stack_size = parsed;
+  }
+  if (const char* v = std::getenv("GMT_LOCAL_FAST_PATH"))
+    local_fast_path = v[0] != '0';
+  if (const char* v = std::getenv("GMT_PIN_THREADS"))
+    pin_threads = v[0] != '0';
+}
+
+std::string Config::validate() const {
+  if (num_workers == 0) return "num_workers must be >= 1";
+  if (num_helpers == 0) return "num_helpers must be >= 1";
+  if (num_buf_per_channel == 0) return "num_buf_per_channel must be >= 1";
+  if (max_tasks_per_worker == 0) return "max_tasks_per_worker must be >= 1";
+  if (buffer_size < 512) return "buffer_size must be >= 512 bytes";
+  if (cmd_block_entries == 0) return "cmd_block_entries must be >= 1";
+  if (cmd_block_pool_size < num_workers + num_helpers)
+    return "cmd_block_pool_size must cover all workers and helpers";
+  if (task_stack_size < 16 * 1024) return "task_stack_size must be >= 16KB";
+  return {};
+}
+
+}  // namespace gmt

@@ -1,0 +1,70 @@
+// Runtime configuration (paper Table IV).
+//
+// The paper's Olympus configuration is NUM_WORKERS=15, NUM_HELPERS=15,
+// NUM_BUF_PER_CHANNEL=4, MAX_NUM_TASKS_PER_WORKER=1024, SIZE_BUFFERS=64KB —
+// one specialised thread per core on a 32-core node (15+15+1 comm server,
+// one core left for the OS). In-process multi-node mode defaults much
+// smaller so several simulated nodes stay live on a few host cores; every
+// field can be overridden programmatically or via GMT_* environment
+// variables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gmt {
+
+struct Config {
+  // Specialised threads per node.
+  std::uint32_t num_workers = 2;
+  std::uint32_t num_helpers = 1;
+
+  // Aggregation buffers available per worker/helper->comm-server channel.
+  std::uint32_t num_buf_per_channel = 4;
+
+  // Concurrent user-level tasks a single worker multiplexes.
+  std::uint32_t max_tasks_per_worker = 1024;
+
+  // Aggregation buffer capacity in bytes (the paper's 64 KB sweet spot).
+  std::uint32_t buffer_size = 64 * 1024;
+
+  // Commands per pre-aggregation command block.
+  std::uint32_t cmd_block_entries = 64;
+
+  // Command blocks available per node (pool size).
+  std::uint32_t cmd_block_pool_size = 256;
+
+  // Flush timeouts (nanoseconds): a command block or aggregation queue that
+  // waited longer than this is flushed even if not full (paper §IV-C
+  // condition (ii)).
+  std::uint64_t cmd_block_timeout_ns = 50'000;
+  std::uint64_t agg_queue_timeout_ns = 100'000;
+
+  // User-level task stack size in bytes.
+  std::size_t task_stack_size = 64 * 1024;
+
+  // Execute node-local commands directly in the issuing worker instead of
+  // routing them through a helper (fast path; ablation knob).
+  bool local_fast_path = true;
+
+  // Pin specialised threads to cores (only sensible when the host has at
+  // least as many cores as threads; off by default for in-process mode).
+  bool pin_threads = false;
+
+  // Paper Table IV values.
+  static Config olympus();
+
+  // Small configuration for unit tests on an oversubscribed host.
+  static Config testing();
+
+  // Applies GMT_NUM_WORKERS, GMT_NUM_HELPERS, GMT_BUFFER_SIZE,
+  // GMT_MAX_TASKS_PER_WORKER, ... environment overrides.
+  void apply_env();
+
+  // Fails (returns message) on inconsistent settings, e.g. zero workers or a
+  // buffer smaller than the largest single command.
+  std::string validate() const;
+};
+
+}  // namespace gmt

@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/time.hpp"
+
+namespace gmt {
+
+namespace {
+
+std::atomic<int> g_level{-1};
+std::mutex g_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("GMT_LOG_LEVEL");
+  if (!env) return LogLevel::kWarn;
+  if (!std::strcmp(env, "error")) return LogLevel::kError;
+  if (!std::strcmp(env, "warn")) return LogLevel::kWarn;
+  if (!std::strcmp(env, "info")) return LogLevel::kInfo;
+  if (!std::strcmp(env, "debug")) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = static_cast<int>(level_from_env());
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[gmt %-5s %12.6f] ", level_name(level), wall_s());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace gmt

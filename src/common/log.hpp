@@ -1,0 +1,26 @@
+// Minimal levelled logger.
+//
+// The runtime logs only on cold paths (startup, shutdown, configuration,
+// fatal conditions); hot paths use statistics counters instead. Level is
+// controlled with GMT_LOG_LEVEL (error|warn|info|debug) in the environment.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gmt {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace gmt
+
+#define GMT_LOG_ERROR(...) ::gmt::log_message(::gmt::LogLevel::kError, __VA_ARGS__)
+#define GMT_LOG_WARN(...) ::gmt::log_message(::gmt::LogLevel::kWarn, __VA_ARGS__)
+#define GMT_LOG_INFO(...) ::gmt::log_message(::gmt::LogLevel::kInfo, __VA_ARGS__)
+#define GMT_LOG_DEBUG(...) ::gmt::log_message(::gmt::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,32 @@
+#include "common/time.hpp"
+
+#include <thread>
+
+namespace gmt {
+
+namespace {
+
+double calibrate_tsc_hz() {
+  // Two short windows; take the larger estimate to discount preemption.
+  double best = 0;
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t w0 = wall_ns();
+    const std::uint64_t t0 = rdtsc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::uint64_t t1 = rdtsc();
+    const std::uint64_t w1 = wall_ns();
+    const double hz = static_cast<double>(t1 - t0) /
+                      (static_cast<double>(w1 - w0) * 1e-9);
+    if (hz > best) best = hz;
+  }
+  return best > 0 ? best : 1e9;
+}
+
+}  // namespace
+
+double tsc_hz() {
+  static const double hz = calibrate_tsc_hz();
+  return hz;
+}
+
+}  // namespace gmt

@@ -1,0 +1,63 @@
+// Timing: wall clock, TSC cycle counter, and a calibrated cycles<->seconds
+// conversion used both by measurements (Table III) and the simulator's
+// virtual clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gmt {
+
+// Monotonic wall-clock time in nanoseconds.
+inline std::uint64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double wall_s() { return static_cast<double>(wall_ns()) * 1e-9; }
+
+// Raw TSC read. On every x86-64 part this project targets the TSC is
+// invariant (constant rate across idle states), so it is usable as a clock.
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return wall_ns();
+#endif
+}
+
+// Serialising TSC read for measurement boundaries.
+inline std::uint64_t rdtscp() {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi, aux;
+  asm volatile("rdtscp" : "=a"(lo), "=d"(hi), "=c"(aux));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return wall_ns();
+#endif
+}
+
+// Measured TSC frequency in Hz; calibrated once on first use (~10 ms).
+double tsc_hz();
+
+inline double cycles_to_ns(double cycles) { return cycles / tsc_hz() * 1e9; }
+inline double ns_to_cycles(double ns) { return ns * 1e-9 * tsc_hz(); }
+
+// Simple scope timer for benchmarks and tests.
+class StopWatch {
+ public:
+  StopWatch() : start_(wall_ns()) {}
+  void reset() { start_ = wall_ns(); }
+  double elapsed_s() const {
+    return static_cast<double>(wall_ns() - start_) * 1e-9;
+  }
+  std::uint64_t elapsed_ns() const { return wall_ns() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace gmt

@@ -1,0 +1,63 @@
+#include "common/units.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmt {
+
+bool parse_size(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return false;
+  std::uint64_t multiplier = 1;
+  if (*end) {
+    switch (std::toupper(*end)) {
+      case 'K': multiplier = 1ULL << 10; break;
+      case 'M': multiplier = 1ULL << 20; break;
+      case 'G': multiplier = 1ULL << 30; break;
+      case 'T': multiplier = 1ULL << 40; break;
+      default: return false;
+    }
+    ++end;
+    if (*end && std::toupper(*end) == 'B') ++end;
+    if (*end) return false;
+  }
+  *out = static_cast<std::uint64_t>(value * static_cast<double>(multiplier));
+  return true;
+}
+
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes,
+                          int count, double base) {
+  int idx = 0;
+  while (value >= base && idx + 1 < count) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* const kSuffixes[] = {"B", "KB", "MB", "GB", "TB"};
+  return format_scaled(bytes, kSuffixes, 5, 1024.0);
+}
+
+std::string format_rate(double bytes_per_second) {
+  static const char* const kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s",
+                                          "TB/s"};
+  return format_scaled(bytes_per_second, kSuffixes, 5, 1024.0);
+}
+
+std::string format_count(double count) {
+  static const char* const kSuffixes[] = {"", "K", "M", "G", "T"};
+  return format_scaled(count, kSuffixes, 5, 1000.0);
+}
+
+}  // namespace gmt

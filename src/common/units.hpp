@@ -1,0 +1,22 @@
+// Size/count parsing and human-readable formatting ("64KB", "2.5e9", ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gmt {
+
+// Parses "64", "64K", "64KB", "2M", "1GB" (binary multiples). Returns false
+// on malformed input.
+bool parse_size(const std::string& text, std::uint64_t* out);
+
+// "65536" -> "64.0 KB"; used by bench output.
+std::string format_bytes(double bytes);
+
+// "2630000000" -> "2.63 GB/s".
+std::string format_rate(double bytes_per_second);
+
+// "12345678" -> "12.3 M" (decimal multiples, for counts like MTEPS).
+std::string format_count(double count);
+
+}  // namespace gmt

@@ -1,0 +1,61 @@
+#include "graph/dist_graph.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace gmt::graph {
+
+namespace {
+
+// Upload task arguments: which host array to copy into which handle.
+struct UploadArgs {
+  gmt_handle handle;
+  const std::uint64_t* host;
+  std::uint64_t count;
+  std::uint64_t stripe;
+};
+
+void upload_body(std::uint64_t stripe_index, const void* raw) {
+  UploadArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  const std::uint64_t begin = stripe_index * args.stripe;
+  if (begin >= args.count) return;
+  const std::uint64_t count =
+      args.stripe < args.count - begin ? args.stripe : args.count - begin;
+  gmt_put(args.handle, begin * 8, args.host + begin, count * 8);
+}
+
+void upload(gmt_handle handle, const std::uint64_t* host,
+            std::uint64_t count) {
+  // Stripes sized so each task moves ~64 KB (one aggregation buffer).
+  const std::uint64_t stripe = 8 * 1024;
+  const std::uint64_t stripes = (count + stripe - 1) / stripe;
+  UploadArgs args{handle, host, count, stripe};
+  // The host pointer is only valid on the calling node, so the copy tasks
+  // must stay local.
+  gmt_parfor(stripes, 1, &upload_body, &args, sizeof(args), Spawn::kLocal);
+}
+
+}  // namespace
+
+DistGraph DistGraph::build(const Csr& csr) {
+  DistGraph graph;
+  graph.vertices = csr.vertices;
+  graph.edges = csr.edges();
+  graph.offsets = gmt_new((csr.vertices + 1) * 8, Alloc::kPartition);
+  graph.adjacency =
+      gmt_new(graph.edges ? graph.edges * 8 : 8, Alloc::kPartition);
+  upload(graph.offsets, csr.offsets.data(), csr.offsets.size());
+  if (graph.edges) upload(graph.adjacency, csr.adjacency.data(), graph.edges);
+  return graph;
+}
+
+void DistGraph::destroy() {
+  if (offsets != kNullHandle) gmt_free(offsets);
+  if (adjacency != kNullHandle) gmt_free(adjacency);
+  offsets = adjacency = kNullHandle;
+  vertices = edges = 0;
+}
+
+}  // namespace gmt::graph

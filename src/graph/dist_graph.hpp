@@ -1,0 +1,52 @@
+// Distributed CSR graph over GMT global arrays.
+//
+// Offsets and adjacency live in block-distributed gmt_arrays, so vertices
+// and edges spread uniformly across nodes regardless of structure — the
+// "allocate the difficult-to-partition dataset in the global space" pattern
+// the paper's kernels rely on. All accessors run inside tasks.
+#pragma once
+
+#include <cstdint>
+
+#include "gmt/gmt.hpp"
+#include "graph/generator.hpp"
+
+namespace gmt::graph {
+
+// Trivially copyable: passed through gmt_parfor argument buffers.
+struct DistGraph {
+  gmt_handle offsets = kNullHandle;    // (vertices + 1) x u64
+  gmt_handle adjacency = kNullHandle;  // edges x u64
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+
+  // Uploads a host CSR into freshly allocated global arrays. Must run
+  // inside a task; the upload itself is parallelised with a nested parfor.
+  static DistGraph build(const Csr& csr);
+
+  void destroy();
+
+  // Degree and adjacency range of v (two offset reads).
+  std::uint64_t degree(std::uint64_t v) const {
+    std::uint64_t range[2];
+    gmt_get(offsets, v * 8, range, 16);
+    return range[1] - range[0];
+  }
+
+  // Reads [edge_begin, edge_begin+count) neighbour ids into out.
+  void neighbors(std::uint64_t edge_begin, std::uint64_t count,
+                 std::uint64_t* out) const {
+    gmt_get(adjacency, edge_begin * 8, out, count * 8);
+  }
+
+  // Convenience: adjacency bounds of v.
+  void edge_range(std::uint64_t v, std::uint64_t* begin,
+                  std::uint64_t* end) const {
+    std::uint64_t range[2];
+    gmt_get(offsets, v * 8, range, 16);
+    *begin = range[0];
+    *end = range[1];
+  }
+};
+
+}  // namespace gmt::graph

@@ -1,0 +1,71 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gmt::graph {
+
+std::vector<Edge> generate_uniform(const UniformConfig& config) {
+  GMT_CHECK(config.vertices > 0);
+  GMT_CHECK(config.min_degree <= config.max_degree);
+  Xoshiro256 rng(config.seed);
+  std::vector<Edge> edges;
+  const std::uint64_t span = config.max_degree - config.min_degree + 1;
+  edges.reserve(config.vertices *
+                ((config.min_degree + config.max_degree) / 2 + 1));
+  for (std::uint64_t v = 0; v < config.vertices; ++v) {
+    const std::uint64_t degree = config.min_degree + rng.below(span);
+    for (std::uint64_t e = 0; e < degree; ++e)
+      edges.push_back(Edge{v, rng.below(config.vertices)});
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_rmat(const RmatConfig& config) {
+  const std::uint64_t vertices = 1ULL << config.scale;
+  const std::uint64_t count = vertices * config.edge_factor;
+  Xoshiro256 rng(config.seed);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  const double ab = config.a + config.b;
+  const double abc = ab + config.c;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    std::uint64_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < config.scale; ++bit) {
+      const double r = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r >= abc) {
+        src |= 1;
+        dst |= 1;
+      } else if (r >= ab) {
+        src |= 1;
+      } else if (r >= config.a) {
+        dst |= 1;
+      }
+    }
+    edges.push_back(Edge{src, dst});
+  }
+  return edges;
+}
+
+Csr build_csr(std::uint64_t vertices, const std::vector<Edge>& edges) {
+  Csr csr;
+  csr.vertices = vertices;
+  csr.offsets.assign(vertices + 1, 0);
+  for (const Edge& e : edges) {
+    GMT_DCHECK(e.src < vertices && e.dst < vertices);
+    ++csr.offsets[e.src + 1];
+  }
+  for (std::uint64_t v = 0; v < vertices; ++v)
+    csr.offsets[v + 1] += csr.offsets[v];
+  csr.adjacency.resize(edges.size());
+  std::vector<std::uint64_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const Edge& e : edges) csr.adjacency[cursor[e.src]++] = e.dst;
+  return csr;
+}
+
+}  // namespace gmt::graph

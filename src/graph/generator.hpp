@@ -1,0 +1,59 @@
+// Graph workload generators.
+//
+// The paper evaluates on "randomly generated graphs" with a bounded random
+// out-degree (up to 4000 edges per vertex, uniform endpoints) for BFS/GRW
+// weak scaling, plus a fixed random graph for strong scaling. Uniform
+// generation is implemented here together with an R-MAT generator (the
+// Graph500 §V-B reference workload) for power-law experiments. All
+// generation is deterministic from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gmt::graph {
+
+struct Edge {
+  std::uint64_t src;
+  std::uint64_t dst;
+};
+
+struct UniformConfig {
+  std::uint64_t vertices = 1 << 10;
+  // Out-degree drawn uniformly from [min_degree, max_degree].
+  std::uint32_t min_degree = 1;
+  std::uint32_t max_degree = 16;
+  std::uint64_t seed = 42;
+};
+
+// Random graph: per-vertex uniform out-degree, uniform random endpoints
+// (self-loops permitted, as in the paper's generator).
+std::vector<Edge> generate_uniform(const UniformConfig& config);
+
+struct RmatConfig {
+  std::uint32_t scale = 10;        // vertices = 2^scale
+  std::uint32_t edge_factor = 16;  // edges = edge_factor * vertices
+  // Graph500 partition probabilities.
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 42;
+};
+
+// R-MAT power-law generator (recursive quadrant descent).
+std::vector<Edge> generate_rmat(const RmatConfig& config);
+
+// Compressed sparse row form of an edge list (host-side; the distributed
+// graph is built from this).
+struct Csr {
+  std::uint64_t vertices = 0;
+  std::vector<std::uint64_t> offsets;    // size vertices + 1
+  std::vector<std::uint64_t> adjacency;  // size edges
+
+  std::uint64_t edges() const { return adjacency.size(); }
+  std::uint64_t degree(std::uint64_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+Csr build_csr(std::uint64_t vertices, const std::vector<Edge>& edges);
+
+}  // namespace gmt::graph

@@ -1,0 +1,72 @@
+#include "hash/dist_hash_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace gmt::hash {
+
+DistHashMap DistHashMap::create(std::uint64_t min_capacity) {
+  std::uint64_t capacity = 1;
+  while (capacity < min_capacity) capacity <<= 1;
+  DistHashMap map;
+  map.capacity = capacity;
+  map.slots = gmt_new(capacity * kSlotBytes, Alloc::kPartition);
+  return map;
+}
+
+void DistHashMap::destroy() {
+  if (slots != kNullHandle) gmt_free(slots);
+  slots = kNullHandle;
+  capacity = 0;
+}
+
+bool DistHashMap::insert(const StringKey& key) const {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t mask = capacity - 1;
+  for (std::uint64_t probe = 0; probe < capacity; ++probe) {
+    const std::uint64_t index = (hash + probe) & mask;
+    const std::uint64_t base = slot_offset(index);
+    const std::uint64_t tag = gmt_atomic_cas(slots, base, 0, hash, 8);
+    if (tag == 0) {
+      // Claimed an empty slot: land the key bytes.
+      gmt_put(slots, base + 8, &key, sizeof(StringKey));
+      return true;
+    }
+    if (tag == hash) {
+      // Same hash: identical key (already present) or a collision.
+      StringKey existing;
+      gmt_get(slots, base + 8, &existing, sizeof(StringKey));
+      if (existing == key) return true;
+    }
+  }
+  return false;  // table full
+}
+
+bool DistHashMap::contains(const StringKey& key) const {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t mask = capacity - 1;
+  for (std::uint64_t probe = 0; probe < capacity; ++probe) {
+    const std::uint64_t index = (hash + probe) & mask;
+    const std::uint64_t base = slot_offset(index);
+    std::uint64_t tag = 0;
+    gmt_get(slots, base, &tag, 8);
+    if (tag == 0) return false;
+    if (tag == hash) {
+      StringKey existing;
+      gmt_get(slots, base + 8, &existing, sizeof(StringKey));
+      if (existing == key) return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t DistHashMap::count_occupied() const {
+  std::uint64_t occupied = 0;
+  for (std::uint64_t index = 0; index < capacity; ++index) {
+    std::uint64_t tag = 0;
+    gmt_get(slots, slot_offset(index), &tag, 8);
+    if (tag != 0) ++occupied;
+  }
+  return occupied;
+}
+
+}  // namespace gmt::hash

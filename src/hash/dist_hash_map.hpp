@@ -1,0 +1,53 @@
+// Distributed open-addressing hash map over a GMT global array.
+//
+// The CHMA kernel's data structure: fixed-size slots block-distributed
+// across nodes, linear probing, CAS-based slot claiming. A slot is 32
+// bytes: an 8-byte tag (0 = empty, otherwise the key's hash) followed by a
+// 24-byte StringKey. Insertion claims the tag with gmt_atomic_cas and then
+// writes the key; lookups probe tags and confirm with a key read.
+//
+// Concurrency semantics (synthetic-workload grade, like the paper's CHMA):
+// inserts of distinct keys linearise on the tag CAS; a lookup racing the
+// insert of the *same* key may miss it (tag visible before key bytes). The
+// kernels never depend on that window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gmt/gmt.hpp"
+#include "hash/string_pool.hpp"
+
+namespace gmt::hash {
+
+// Trivially copyable: passed through gmt_parfor argument buffers.
+struct DistHashMap {
+  gmt_handle slots = kNullHandle;
+  std::uint64_t capacity = 0;  // number of slots (power of two)
+
+  static constexpr std::uint64_t kSlotBytes = 32;
+
+  // Allocates a map with at least `min_capacity` slots (inside a task).
+  static DistHashMap create(std::uint64_t min_capacity);
+  void destroy();
+
+  // Inserts (or re-inserts) a key. Returns false when the table is full
+  // (probed every slot) — callers treat that as workload exhaustion.
+  bool insert(const StringKey& key) const;
+
+  // True if the key is present.
+  bool contains(const StringKey& key) const;
+
+  // Removes a key by tombstoning is *not* provided: the paper's CHMA only
+  // inserts and looks up; removal would need tombstone handling in probes.
+
+  // Number of occupied slots (O(capacity); test/debug use).
+  std::uint64_t count_occupied() const;
+
+ private:
+  std::uint64_t slot_offset(std::uint64_t index) const {
+    return index * kSlotBytes;
+  }
+};
+
+}  // namespace gmt::hash

@@ -1,0 +1,48 @@
+#include "hash/string_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gmt::hash {
+
+bool StringKey::operator==(const StringKey& other) const {
+  return length == other.length &&
+         std::memcmp(chars, other.chars, length) == 0;
+}
+
+StringKey StringKey::from_string(const char* s, std::size_t n) {
+  GMT_CHECK(n <= sizeof(StringKey::chars));
+  StringKey key;
+  key.length = static_cast<std::uint8_t>(n);
+  std::memcpy(key.chars, s, n);
+  return key;
+}
+
+void StringKey::reverse() { std::reverse(chars, chars + length); }
+
+std::uint64_t hash_key(const StringKey& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = (h ^ key.length) * 1099511628211ULL;
+  for (std::uint8_t i = 0; i < key.length; ++i)
+    h = (h ^ static_cast<std::uint8_t>(key.chars[i])) * 1099511628211ULL;
+  return h ? h : 1;
+}
+
+std::vector<StringKey> generate_pool(std::uint64_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<StringKey> pool;
+  pool.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    StringKey key;
+    key.length = static_cast<std::uint8_t>(4 + rng.below(17));  // 4..20
+    for (std::uint8_t c = 0; c < key.length; ++c)
+      key.chars[c] = static_cast<char>('a' + rng.below(26));
+    pool.push_back(key);
+  }
+  return pool;
+}
+
+}  // namespace gmt::hash

@@ -1,0 +1,34 @@
+// Deterministic string workload for CHMA (paper §V-D: "a pool of 100
+// million strings with at most 20 characters each").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmt::hash {
+
+// Fixed-size string record: length byte + up to 23 chars, 24 bytes total,
+// trivially copyable so it moves through gmt_put/gmt_get and hash slots.
+struct StringKey {
+  std::uint8_t length = 0;
+  char chars[23] = {};
+
+  bool operator==(const StringKey& other) const;
+
+  std::string to_string() const { return std::string(chars, length); }
+  static StringKey from_string(const char* s, std::size_t n);
+
+  // In-place character reversal (the paper's step-3 mutation).
+  void reverse();
+};
+static_assert(sizeof(StringKey) == 24);
+
+// FNV-1a over the record's significant bytes; never returns 0 (0 is the
+// hash map's empty-slot marker).
+std::uint64_t hash_key(const StringKey& key);
+
+// Deterministic pool of random lowercase strings, lengths 4..20.
+std::vector<StringKey> generate_pool(std::uint64_t count, std::uint64_t seed);
+
+}  // namespace gmt::hash

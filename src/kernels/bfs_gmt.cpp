@@ -1,0 +1,98 @@
+#include "kernels/bfs_gmt.hpp"
+
+#include <cstring>
+
+#include "common/time.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+constexpr std::uint64_t kNoParent = ~0ULL;
+// Neighbour ids fetched per gmt_get while expanding a vertex.
+constexpr std::uint64_t kNeighborChunk = 512;
+
+struct BfsArgs {
+  graph::DistGraph graph;
+  gmt_handle parents;
+  gmt_handle frontier;       // current frontier (vertex ids)
+  gmt_handle next_frontier;  // next frontier (vertex ids)
+  gmt_handle counters;       // [0] next frontier size, [1] edges examined
+};
+
+void init_parents_body(std::uint64_t v, const void* raw) {
+  BfsArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  gmt_put_value_nb(args.parents, v * 8, kNoParent, 8);
+}
+
+void expand_body(std::uint64_t i, const void* raw) {
+  BfsArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t v = 0;
+  gmt_get(args.frontier, i * 8, &v, 8);
+
+  std::uint64_t begin = 0, end = 0;
+  args.graph.edge_range(v, &begin, &end);
+  if (end > begin)
+    gmt_atomic_add(args.counters, 8, end - begin, 8);
+
+  std::uint64_t buffer[kNeighborChunk];
+  for (std::uint64_t e = begin; e < end; e += kNeighborChunk) {
+    const std::uint64_t n =
+        end - e < kNeighborChunk ? end - e : kNeighborChunk;
+    args.graph.neighbors(e, n, buffer);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t u = buffer[k];
+      const std::uint64_t old =
+          gmt_atomic_cas(args.parents, u * 8, kNoParent, v, 8);
+      if (old == kNoParent) {
+        const std::uint64_t slot = gmt_atomic_add(args.counters, 0, 1, 8);
+        gmt_put_value_nb(args.next_frontier, slot * 8, u, 8);
+      }
+    }
+  }
+  gmt_wait_commands();
+}
+
+}  // namespace
+
+BfsResult bfs_gmt(const graph::DistGraph& graph, std::uint64_t root,
+                  std::uint64_t chunk) {
+  BfsArgs args;
+  args.graph = graph;
+  args.parents = gmt_new(graph.vertices * 8, Alloc::kPartition);
+  args.frontier = gmt_new(graph.vertices * 8, Alloc::kPartition);
+  args.next_frontier = gmt_new(graph.vertices * 8, Alloc::kPartition);
+  args.counters = gmt_new(2 * 8, Alloc::kLocal);
+
+  gmt_parfor(graph.vertices, 0, &init_parents_body, &args, sizeof(args),
+             Spawn::kPartition);
+
+  StopWatch watch;
+  gmt_put_value(args.parents, root * 8, root, 8);
+  gmt_put_value(args.frontier, 0, root, 8);
+  std::uint64_t frontier_size = 1;
+
+  BfsResult result;
+  result.visited = 1;
+  while (frontier_size > 0) {
+    ++result.levels;
+    gmt_put_value(args.counters, 0, 0, 8);
+    gmt_parfor(frontier_size, chunk, &expand_body, &args, sizeof(args),
+               Spawn::kPartition);
+    gmt_get(args.counters, 0, &frontier_size, 8);
+    result.visited += frontier_size;
+    std::swap(args.frontier, args.next_frontier);
+  }
+  gmt_get(args.counters, 8, &result.edges_traversed, 8);
+  result.seconds = watch.elapsed_s();
+
+  gmt_free(args.parents);
+  gmt_free(args.frontier);
+  gmt_free(args.next_frontier);
+  gmt_free(args.counters);
+  return result;
+}
+
+}  // namespace gmt::kernels

@@ -1,0 +1,35 @@
+// Breadth-First Search over a distributed graph, GMT programming model
+// (paper §V-B).
+//
+// Level-synchronous, queue-based — the same structure as the paper's
+// XMT/GMT codes: a parallel loop over the current frontier; every neighbour
+// is claimed with an atomic CAS on its parent word; winners append to the
+// next frontier through an atomic counter. Fine-grained single-word global
+// accesses throughout; the runtime's aggregation and multithreading are
+// what make it scale.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dist_graph.hpp"
+
+namespace gmt::kernels {
+
+struct BfsResult {
+  std::uint64_t visited = 0;          // vertices reached (incl. root)
+  std::uint64_t edges_traversed = 0;  // adjacency entries examined
+  std::uint64_t levels = 0;
+  double seconds = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+// Runs BFS from `root`. Must be called from inside a GMT task. `chunk` is
+// the parfor chunk size (0 = runtime default).
+BfsResult bfs_gmt(const graph::DistGraph& graph, std::uint64_t root,
+                  std::uint64_t chunk = 0);
+
+}  // namespace gmt::kernels

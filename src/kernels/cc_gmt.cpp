@@ -1,0 +1,109 @@
+#include "kernels/cc_gmt.hpp"
+
+#include <cstring>
+
+#include "common/time.hpp"
+#include "runtime/collectives.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+struct CcArgs {
+  graph::DistGraph graph;
+  gmt_handle labels;
+  gmt_handle changed;  // [0]: updates performed this round
+};
+
+void init_labels_body(std::uint64_t v, const void* raw) {
+  CcArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  gmt_put_value_nb(args.labels, v * 8, v, 8);
+}
+
+// Lowers labels[index] to at most `bound`; returns true on change.
+bool cas_min(gmt_handle labels, std::uint64_t index, std::uint64_t bound) {
+  std::uint64_t seen;
+  gmt_get(labels, index * 8, &seen, 8);
+  bool changed = false;
+  while (bound < seen) {
+    const std::uint64_t old =
+        gmt_atomic_cas(labels, index * 8, seen, bound, 8);
+    if (old == seen) {
+      changed = true;
+      break;
+    }
+    seen = old;
+  }
+  return changed;
+}
+
+void propagate_body(std::uint64_t v, const void* raw) {
+  CcArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin = 0, end = 0;
+  args.graph.edge_range(v, &begin, &end);
+  if (begin == end) return;
+
+  std::uint64_t label_v;
+  gmt_get(args.labels, v * 8, &label_v, 8);
+
+  std::uint64_t updates = 0;
+  std::uint64_t buffer[256];
+  for (std::uint64_t e = begin; e < end; e += 256) {
+    const std::uint64_t n = end - e < 256 ? end - e : 256;
+    args.graph.neighbors(e, n, buffer);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t u = buffer[k];
+      std::uint64_t label_u;
+      gmt_get(args.labels, u * 8, &label_u, 8);
+      // Propagate the smaller label across the edge, both directions.
+      if (label_v < label_u) {
+        if (cas_min(args.labels, u, label_v)) ++updates;
+      } else if (label_u < label_v) {
+        if (cas_min(args.labels, v, label_u)) ++updates;
+        label_v = label_u;  // keep pushing the improved label
+      }
+    }
+  }
+  if (updates) gmt_atomic_add(args.changed, 0, updates, 8);
+}
+
+}  // namespace
+
+CcResult cc_gmt(const graph::DistGraph& graph) {
+  CcArgs args;
+  args.graph = graph;
+  args.labels = gmt_new(graph.vertices * 8, Alloc::kPartition);
+  args.changed = gmt_new(8, Alloc::kPartition);
+
+  CcResult result;
+  StopWatch watch;
+  gmt_parfor(graph.vertices, 0, &init_labels_body, &args, sizeof(args),
+             Spawn::kPartition);
+
+  for (;;) {
+    ++result.iterations;
+    gmt_put_value(args.changed, 0, 0, 8);
+    gmt_parfor(graph.vertices, 0, &propagate_body, &args, sizeof(args),
+               Spawn::kPartition);
+    std::uint64_t changed = 0;
+    gmt_get(args.changed, 0, &changed, 8);
+    if (changed == 0) break;
+  }
+
+  // A vertex whose label equals its own id roots a component.
+  std::uint64_t roots = 0;
+  for (std::uint64_t v = 0; v < graph.vertices; ++v) {
+    std::uint64_t label;
+    gmt_get(args.labels, v * 8, &label, 8);
+    if (label == v) ++roots;
+  }
+  result.components = roots;
+  result.seconds = watch.elapsed_s();
+  result.labels = args.labels;
+  gmt_free(args.changed);
+  return result;
+}
+
+}  // namespace gmt::kernels

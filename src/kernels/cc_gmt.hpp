@@ -1,0 +1,27 @@
+// Connected components by label propagation, GMT programming model.
+//
+// An extension kernel beyond the paper's three: the same fine-grained
+// irregular pattern (per-edge CAS-min label updates) used by community
+// detection and graph clustering — application areas the paper's
+// introduction motivates. Edges are treated as undirected (labels
+// propagate both ways), so the result is weakly connected components.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dist_graph.hpp"
+
+namespace gmt::kernels {
+
+struct CcResult {
+  std::uint64_t components = 0;
+  std::uint64_t iterations = 0;
+  double seconds = 0;
+  // Component label per vertex (a gmt array of V u64; caller frees).
+  gmt_handle labels = kNullHandle;
+};
+
+// Must be called from inside a GMT task.
+CcResult cc_gmt(const graph::DistGraph& graph);
+
+}  // namespace gmt::kernels

@@ -1,0 +1,111 @@
+#include "kernels/chma_gmt.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+struct PopulateArgs {
+  hash::DistHashMap map;
+  gmt_handle pool;
+};
+
+void populate_body(std::uint64_t i, const void* raw) {
+  PopulateArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  hash::StringKey key;
+  gmt_get(args.pool, i * sizeof(hash::StringKey), &key, sizeof(key));
+  args.map.insert(key);
+}
+
+struct AccessArgs {
+  hash::DistHashMap map;
+  gmt_handle pool;
+  std::uint64_t pool_size;
+  gmt_handle counters;  // [0] accesses
+  std::uint64_t steps;
+  std::uint64_t seed;
+};
+
+void access_body(std::uint64_t task, const void* raw) {
+  AccessArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  Xoshiro256 rng(args.seed ^ (task * 0xbf58476d1ce4e5b9ULL));
+
+  std::uint64_t accesses = 0;
+  hash::StringKey current;
+  gmt_get(args.pool, rng.below(args.pool_size) * sizeof(current), &current,
+          sizeof(current));
+  for (std::uint64_t step = 0; step < args.steps; ++step) {
+    if (args.map.contains(current)) {
+      current.reverse();
+      args.map.insert(current);
+    } else {
+      gmt_get(args.pool, rng.below(args.pool_size) * sizeof(current),
+              &current, sizeof(current));
+    }
+    ++accesses;
+  }
+  gmt_atomic_add(args.counters, 0, accesses, 8);
+}
+
+}  // namespace
+
+ChmaWorkload ChmaWorkload::setup(std::uint64_t map_capacity,
+                                 std::uint64_t pool_size,
+                                 std::uint64_t populate, std::uint64_t seed) {
+  ChmaWorkload workload;
+  workload.map = hash::DistHashMap::create(map_capacity);
+  workload.pool_size = pool_size;
+  workload.pool =
+      gmt_new(pool_size * sizeof(hash::StringKey), Alloc::kPartition);
+
+  // Upload the deterministic pool, then insert the first `populate` keys in
+  // parallel from all nodes.
+  const std::vector<hash::StringKey> host_pool =
+      hash::generate_pool(pool_size, seed);
+  gmt_put(workload.pool, 0, host_pool.data(),
+          pool_size * sizeof(hash::StringKey));
+
+  PopulateArgs args{workload.map, workload.pool};
+  if (populate)
+    gmt_parfor(populate, 0, &populate_body, &args, sizeof(args),
+               Spawn::kPartition);
+  return workload;
+}
+
+void ChmaWorkload::destroy() {
+  map.destroy();
+  if (pool != kNullHandle) gmt_free(pool);
+  pool = kNullHandle;
+  pool_size = 0;
+}
+
+ChmaResult chma_gmt(const ChmaWorkload& workload, std::uint64_t tasks,
+                    std::uint64_t steps, std::uint64_t seed) {
+  AccessArgs args;
+  args.map = workload.map;
+  args.pool = workload.pool;
+  args.pool_size = workload.pool_size;
+  args.counters = gmt_new(8, Alloc::kLocal);
+  args.steps = steps;
+  args.seed = seed;
+
+  ChmaResult result;
+  result.tasks = tasks;
+  result.steps_per_task = steps;
+
+  StopWatch watch;
+  gmt_parfor(tasks, 1, &access_body, &args, sizeof(args), Spawn::kPartition);
+  result.seconds = watch.elapsed_s();
+  gmt_get(args.counters, 0, &result.accesses, 8);
+  gmt_free(args.counters);
+  return result;
+}
+
+}  // namespace gmt::kernels

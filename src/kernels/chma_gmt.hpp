@@ -1,0 +1,46 @@
+// Concurrent Hash Map Access, GMT programming model (paper §V-D).
+//
+// W tasks stream strings against a distributed hash map for L steps each:
+// look the string up; if present, reverse it and store the reversed string
+// back; otherwise move to the next input string. Each step is a handful of
+// fine-grained gets plus a CAS — the access pattern of streaming filters
+// and information-retrieval pipelines the paper motivates.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/dist_hash_map.hpp"
+
+namespace gmt::kernels {
+
+struct ChmaResult {
+  std::uint64_t tasks = 0;             // W
+  std::uint64_t steps_per_task = 0;    // L
+  std::uint64_t accesses = 0;          // hash-map operations completed
+  double seconds = 0;
+
+  double maccesses_per_s() const {
+    return seconds > 0 ? static_cast<double>(accesses) / seconds / 1e6 : 0;
+  }
+};
+
+// Populates `map` with the first `populate` strings of a deterministic
+// pool of `pool_size` strings (parallel insert). Must run inside a task.
+// The pool is uploaded to a global array so every node draws inputs from
+// the same dataset.
+struct ChmaWorkload {
+  hash::DistHashMap map;
+  gmt_handle pool = kNullHandle;  // pool_size x StringKey
+  std::uint64_t pool_size = 0;
+
+  static ChmaWorkload setup(std::uint64_t map_capacity,
+                            std::uint64_t pool_size, std::uint64_t populate,
+                            std::uint64_t seed = 42);
+  void destroy();
+};
+
+// Runs the W x L access pattern. Must be called from inside a GMT task.
+ChmaResult chma_gmt(const ChmaWorkload& workload, std::uint64_t tasks,
+                    std::uint64_t steps, std::uint64_t seed = 42);
+
+}  // namespace gmt::kernels

@@ -1,0 +1,66 @@
+#include "kernels/grw_gmt.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+struct GrwArgs {
+  graph::DistGraph graph;
+  gmt_handle counters;  // [0] edges traversed
+  std::uint64_t length;
+  std::uint64_t seed;
+};
+
+void walk_body(std::uint64_t walker, const void* raw) {
+  GrwArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  Xoshiro256 rng(args.seed ^ (walker * 0x9e3779b97f4a7c15ULL));
+
+  // Sources spread across the vertex range (paper: V/2 distinct sources).
+  std::uint64_t v = walker % args.graph.vertices;
+  std::uint64_t traversed = 0;
+  for (std::uint64_t step = 0; step < args.length; ++step) {
+    std::uint64_t begin = 0, end = 0;
+    args.graph.edge_range(v, &begin, &end);
+    if (end == begin) {
+      // Dead end: teleport, not counted as an edge traversal.
+      v = rng.below(args.graph.vertices);
+      continue;
+    }
+    std::uint64_t next = 0;
+    gmt_get(args.graph.adjacency, (begin + rng.below(end - begin)) * 8,
+            &next, 8);
+    v = next;
+    ++traversed;
+  }
+  gmt_atomic_add(args.counters, 0, traversed, 8);
+}
+
+}  // namespace
+
+GrwResult grw_gmt(const graph::DistGraph& graph, std::uint64_t walkers,
+                  std::uint64_t length, std::uint64_t seed) {
+  GrwArgs args;
+  args.graph = graph;
+  args.counters = gmt_new(8, Alloc::kLocal);
+  args.length = length;
+  args.seed = seed;
+
+  GrwResult result;
+  result.walkers = walkers;
+  result.steps_per_walker = length;
+
+  StopWatch watch;
+  gmt_parfor(walkers, 1, &walk_body, &args, sizeof(args), Spawn::kPartition);
+  result.seconds = watch.elapsed_s();
+  gmt_get(args.counters, 0, &result.edges_traversed, 8);
+  gmt_free(args.counters);
+  return result;
+}
+
+}  // namespace gmt::kernels

@@ -1,0 +1,32 @@
+// Graph Random Walk, GMT programming model (paper §V-C).
+//
+// W walker tasks each start at a distinct source vertex and take L steps;
+// every step reads the current vertex's adjacency bounds and one random
+// neighbour id from the global graph — three fine-grained remote reads per
+// step, the paper's archetype of unpredictable single-word traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dist_graph.hpp"
+
+namespace gmt::kernels {
+
+struct GrwResult {
+  std::uint64_t walkers = 0;
+  std::uint64_t steps_per_walker = 0;
+  std::uint64_t edges_traversed = 0;
+  double seconds = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+// Must be called from inside a GMT task. Walker w starts at vertex
+// (w * stride) % V; dead ends teleport to a seeded random vertex.
+GrwResult grw_gmt(const graph::DistGraph& graph, std::uint64_t walkers,
+                  std::uint64_t length, std::uint64_t seed = 42);
+
+}  // namespace gmt::kernels

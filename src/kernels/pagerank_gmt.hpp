@@ -1,0 +1,33 @@
+// PageRank, GMT programming model.
+//
+// Extension kernel: power iteration with per-edge atomic scatter — ranks
+// held in Q32.32 fixed point so contributions accumulate with
+// gmt_atomic_add (no remote float atomics needed). Demonstrates the
+// runtime on a bandwidth-heavier irregular kernel than BFS.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dist_graph.hpp"
+
+namespace gmt::kernels {
+
+struct PagerankResult {
+  std::uint64_t iterations = 0;
+  double seconds = 0;
+  // Final ranks in Q32.32 fixed point (V x u64 gmt array; caller frees).
+  gmt_handle ranks = kNullHandle;
+
+  static double to_double(std::uint64_t fixed) {
+    return static_cast<double>(fixed) / 4294967296.0;
+  }
+};
+
+// Runs `iterations` power-iteration steps with damping factor `damping`.
+// Must be called from inside a GMT task. Dangling vertices redistribute
+// uniformly.
+PagerankResult pagerank_gmt(const graph::DistGraph& graph,
+                            std::uint32_t iterations = 10,
+                            double damping = 0.85);
+
+}  // namespace gmt::kernels

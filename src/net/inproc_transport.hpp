@@ -1,0 +1,103 @@
+// In-process cluster fabric.
+//
+// Substitutes for the physical network: N node endpoints living in one OS
+// process, connected by per-ordered-pair SPSC rings (each pair has exactly
+// one producing comm server and one consuming comm server, so SPSC is
+// sufficient and fast). An optional NetworkModel injects realistic delivery
+// delays — per-message overhead, wire time and propagation latency — so the
+// threaded runtime above experiences cluster-like timing: a message is
+// visible to try_recv() only once its modelled delivery time has passed,
+// and back-to-back messages on one link serialise on modelled occupancy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "collections/spsc_ring.hpp"
+#include "net/network_model.hpp"
+#include "net/transport.hpp"
+
+namespace gmt::net {
+
+class InprocFabric;
+
+class InprocEndpoint final : public Transport {
+ public:
+  std::uint32_t node_id() const override { return id_; }
+  std::uint32_t num_nodes() const override;
+
+  bool send(std::uint32_t dst, std::vector<std::uint8_t> payload) override;
+  bool try_recv(InMessage* out) override;
+
+  std::uint64_t bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_sent() const override {
+    return msgs_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class InprocFabric;
+  InprocEndpoint(InprocFabric* fabric, std::uint32_t id)
+      : fabric_(fabric), id_(id) {}
+
+  InprocFabric* fabric_;
+  std::uint32_t id_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> msgs_sent_{0};
+
+  // Messages popped from rings but not yet past their delivery deadline.
+  struct Pending {
+    std::uint64_t deliver_at_ns;
+    InMessage msg;
+  };
+  std::deque<Pending> pending_;
+  std::uint32_t rr_cursor_ = 0;  // fair round-robin over source rings
+};
+
+class InprocFabric {
+ public:
+  // `model` instant() means zero injected delay (pure functional fabric).
+  InprocFabric(std::uint32_t num_nodes, NetworkModel model,
+               std::size_t ring_capacity = 1024);
+  ~InprocFabric();
+
+  InprocFabric(const InprocFabric&) = delete;
+  InprocFabric& operator=(const InprocFabric&) = delete;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  const NetworkModel& model() const { return model_; }
+
+  // Endpoint for node `id`; owned by the fabric, valid for its lifetime.
+  InprocEndpoint* endpoint(std::uint32_t id);
+
+  // Total traffic across all endpoints.
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+
+ private:
+  friend class InprocEndpoint;
+
+  struct TimedMessage {
+    std::uint64_t deliver_at_ns;
+    std::uint32_t src;
+    std::vector<std::uint8_t> payload;
+  };
+  using Ring = SpscRing<TimedMessage*>;
+
+  Ring& ring(std::uint32_t src, std::uint32_t dst) {
+    return *rings_[static_cast<std::size_t>(src) * num_nodes_ + dst];
+  }
+
+  const std::uint32_t num_nodes_;
+  const NetworkModel model_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<InprocEndpoint>> endpoints_;
+  // Per ordered pair: modelled time the link becomes free (ns since epoch).
+  std::vector<std::atomic<std::uint64_t>> link_free_ns_;
+};
+
+}  // namespace gmt::net

@@ -1,0 +1,82 @@
+// Parametric network cost model (LogP-style alpha-beta), calibrated against
+// the paper's Olympus measurements.
+//
+// The paper's QDR InfiniBand numbers pin the model:
+//   - small messages are per-message-overhead bound: 32-process MPI moves
+//     9.63 MB/s at 16 B and 72.26 MB/s at 128 B — both ~0.6 M msgs/s, i.e.
+//     ~1.7 us of NIC/stack occupancy per message regardless of size;
+//   - large messages are bandwidth bound: 2815.01 MB/s at 64 KB.
+// transfer_time(n) = alpha + n / bandwidth reproduces both regimes, and the
+// economics that make aggregation win: 4096 16-byte commands cost 4096*alpha
+// sent raw, but ~1*alpha + 64KB/B aggregated.
+//
+// The model is used three ways: (1) the discrete-event simulator charges it
+// for every modelled message; (2) the in-process transport can inject the
+// corresponding real delays so the threaded runtime experiences cluster-like
+// latency; (3) the Table II bench evaluates it directly to regenerate the
+// paper's MPI rate table.
+#pragma once
+
+#include <cstdint>
+
+namespace gmt::net {
+
+struct NetworkModel {
+  // Per-message overhead (seconds): NIC + MPI stack occupancy. Calibrated
+  // from the paper's small-message MPI rates.
+  double alpha_s = 1.7e-6;
+
+  // Effective link bandwidth (bytes/second). Calibrated so a 64 KB message
+  // sustains the paper's 2815 MB/s.
+  double bandwidth_Bps = 2.95e9;
+
+  // One-way propagation latency (seconds): time before the first byte is
+  // visible at the receiver, on top of occupancy. QDR IB end-to-end.
+  double latency_s = 1.5e-6;
+
+  // Deterministic per-message latency jitter bound (seconds). Nonzero
+  // values make in-flight messages from different sources overtake each
+  // other — a robustness knob for tests: GMT's completion protocol never
+  // relies on cross-source ordering.
+  double jitter_s = 0;
+
+  // Time the link is occupied by a message of `bytes` payload.
+  double occupancy_s(std::uint64_t bytes) const {
+    return alpha_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  // End-to-end delivery time for an uncontended message.
+  double delivery_s(std::uint64_t bytes) const {
+    return occupancy_s(bytes) + latency_s;
+  }
+
+  // Steady-state transfer rate (bytes/second) for back-to-back messages of
+  // a given size on one link — the quantity Table II and Fig. 2 report.
+  double rate_Bps(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / occupancy_s(bytes);
+  }
+
+  // The paper's Olympus QDR InfiniBand calibration (default).
+  static NetworkModel olympus();
+
+  // Zero-cost model: in-process tests that want no injected delay.
+  static NetworkModel instant();
+};
+
+// Models the paper's Table II MPI configurations. MPI with t threads per
+// process funnels sends through a lock, capping message rate; p processes
+// drive the NIC concurrently but share link occupancy. Effective per-message
+// overhead scales as alpha * contention_factor.
+struct MpiEndpointModel {
+  NetworkModel link = NetworkModel::olympus();
+  std::uint32_t processes = 1;     // concurrently sending ranks
+  std::uint32_t threads = 1;       // threads inside one rank
+  double thread_lock_penalty = 0.35e-6;  // per extra thread, per message
+  double sender_sw_s = 1.2e-6;     // per-message MPI library cost in a rank
+
+  // Aggregate transfer rate between two nodes for messages of `bytes`
+  // (paper Table II rows).
+  double aggregate_rate_Bps(std::uint64_t bytes) const;
+};
+
+}  // namespace gmt::net

@@ -1,0 +1,43 @@
+// Transport abstraction.
+//
+// The paper's runtime sits on MPI point-to-point messaging; everything GMT
+// needs from it is "move an opaque buffer from node A to node B, polled,
+// non-blocking". Transport captures exactly that, so the runtime is
+// oblivious to whether bytes travel over MPI, sockets, or the in-process
+// fabric this repo substitutes for a physical cluster.
+//
+// Threading contract (mirrors the paper's single communication server):
+// for a given endpoint, send() and try_recv() are each called by one thread
+// at a time — the node's comm server. Different endpoints run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gmt::net {
+
+struct InMessage {
+  std::uint32_t src = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::uint32_t node_id() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+
+  // Non-blocking send attempt; false means backpressure (retry later).
+  // Self-sends (dst == node_id()) are legal and loop back through recv.
+  virtual bool send(std::uint32_t dst, std::vector<std::uint8_t> payload) = 0;
+
+  // Non-blocking receive; false when nothing is deliverable yet.
+  virtual bool try_recv(InMessage* out) = 0;
+
+  // Bytes and messages sent by this endpoint (monotonic; for benches).
+  virtual std::uint64_t bytes_sent() const = 0;
+  virtual std::uint64_t messages_sent() const = 0;
+};
+
+}  // namespace gmt::net

@@ -1,0 +1,122 @@
+#include "net/uds_transport.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace gmt::net {
+
+namespace {
+
+// Largest datagram we attempt; the runtime's buffers stay below this.
+constexpr std::size_t kMaxDatagram = 192 * 1024;
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  GMT_CHECK_MSG(path.size() < sizeof(addr.sun_path), "socket path too long");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UdsFabric::UdsFabric(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+  GMT_CHECK(num_nodes >= 1);
+  const char* tmp = std::getenv("TMPDIR");
+  char tmpl[256];
+  std::snprintf(tmpl, sizeof(tmpl), "%s/gmt-uds-XXXXXX",
+                tmp && *tmp ? tmp : "/tmp");
+  GMT_CHECK_MSG(mkdtemp(tmpl) != nullptr, "mkdtemp for UDS sockets failed");
+  directory_ = tmpl;
+
+  paths_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    paths_.push_back(directory_ + "/node" + std::to_string(i) + ".sock");
+
+  endpoints_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    endpoints_.push_back(
+        std::unique_ptr<UdsEndpoint>(new UdsEndpoint(this, i)));
+}
+
+UdsFabric::~UdsFabric() {
+  endpoints_.clear();  // closes fds first
+  for (const std::string& path : paths_) ::unlink(path.c_str());
+  ::rmdir(directory_.c_str());
+}
+
+UdsEndpoint* UdsFabric::endpoint(std::uint32_t id) {
+  GMT_CHECK(id < num_nodes_);
+  return endpoints_[id].get();
+}
+
+UdsEndpoint::UdsEndpoint(UdsFabric* fabric, std::uint32_t id)
+    : fabric_(fabric), id_(id), recv_buffer_(kMaxDatagram + 8) {
+  fd_ = ::socket(AF_UNIX, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  GMT_CHECK_MSG(fd_ >= 0, "AF_UNIX socket() failed");
+  // Generous kernel buffers: the comm server may burst many 64 KB
+  // datagrams before the receiver drains.
+  const int size = 4 << 20;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &size, sizeof(size));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+  const sockaddr_un addr = make_addr(fabric->socket_path(id));
+  GMT_CHECK_MSG(::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "bind on UDS socket failed");
+}
+
+UdsEndpoint::~UdsEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint32_t UdsEndpoint::num_nodes() const { return fabric_->num_nodes(); }
+
+bool UdsEndpoint::send(std::uint32_t dst, std::vector<std::uint8_t> payload) {
+  GMT_CHECK_MSG(payload.size() <= kMaxDatagram,
+                "payload exceeds UDS datagram bound");
+  // Prefix the source id (datagram senders are anonymous on AF_UNIX).
+  std::uint8_t header[4];
+  std::memcpy(header, &id_, 4);
+  iovec iov[2] = {{header, 4}, {payload.data(), payload.size()}};
+  sockaddr_un addr = make_addr(fabric_->socket_path(dst));
+  msghdr msg{};
+  msg.msg_name = &addr;
+  msg.msg_namelen = sizeof(addr);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+
+  const ssize_t sent = ::sendmsg(fd_, &msg, 0);
+  if (sent < 0) {
+    // Receiver's buffer full (or not yet draining): backpressure.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+      return false;
+    GMT_CHECK_MSG(false, "UDS sendmsg failed");
+  }
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool UdsEndpoint::try_recv(InMessage* out) {
+  const ssize_t got =
+      ::recv(fd_, recv_buffer_.data(), recv_buffer_.size(), 0);
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    GMT_CHECK_MSG(false, "UDS recv failed");
+  }
+  GMT_CHECK_MSG(got >= 4, "short UDS datagram (missing source header)");
+  std::memcpy(&out->src, recv_buffer_.data(), 4);
+  out->payload.assign(recv_buffer_.begin() + 4, recv_buffer_.begin() + got);
+  return true;
+}
+
+}  // namespace gmt::net

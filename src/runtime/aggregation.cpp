@@ -1,0 +1,221 @@
+#include "runtime/aggregation.hpp"
+
+#include "common/backoff.hpp"
+#include "common/time.hpp"
+
+namespace gmt::rt {
+
+namespace {
+
+// Pool must let every thread hold one open block per destination and still
+// leave slack for blocks parked in aggregation queues.
+std::size_t block_population(const Config& config, std::uint32_t num_nodes,
+                             std::uint32_t num_threads) {
+  const std::size_t floor_needed =
+      static_cast<std::size_t>(num_threads) * num_nodes + 4 * num_threads + 16;
+  return config.cmd_block_pool_size > floor_needed
+             ? config.cmd_block_pool_size
+             : floor_needed;
+}
+
+std::size_t buffer_population(const Config& config,
+                              std::uint32_t num_threads) {
+  const std::size_t n =
+      static_cast<std::size_t>(config.num_buf_per_channel) * num_threads;
+  return n < 8 ? 8 : n;
+}
+
+}  // namespace
+
+Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
+                       std::uint32_t num_threads)
+    : config_(config),
+      num_nodes_(num_nodes),
+      block_pool_(block_population(config, num_nodes, num_threads),
+                  config.buffer_size, config.cmd_block_entries),
+      buffer_pool_(buffer_population(config, num_threads),
+                   config.buffer_size) {
+  queues_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    queues_.push_back(
+        std::make_unique<DestQueue>(block_pool_.population()));
+  slots_.reserve(num_threads);
+  for (std::uint32_t i = 0; i < num_threads; ++i)
+    slots_.push_back(std::make_unique<AggregationSlot>(
+        this, num_nodes, config.num_buf_per_channel * 2 + 2));
+}
+
+CommandBlock* Aggregator::acquire_block(AggregationSlot& slot) {
+  CommandBlock* block = block_pool_.try_acquire();
+  if (block) return block;
+  // Pool dry: recycle by aggregating the fullest queue, then retry.
+  Backoff backoff;
+  for (;;) {
+    std::uint32_t best = 0;
+    std::uint64_t best_bytes = 0;
+    for (std::uint32_t d = 0; d < num_nodes_; ++d) {
+      const std::uint64_t bytes =
+          queues_[d]->queued_bytes.load(std::memory_order_relaxed);
+      if (bytes > best_bytes) {
+        best_bytes = bytes;
+        best = d;
+      }
+    }
+    if (best_bytes > 0) aggregate(slot, best, /*force=*/true);
+    block = block_pool_.try_acquire();
+    if (block) return block;
+    backoff.pause();
+  }
+}
+
+AggBuffer* Aggregator::acquire_buffer(AggregationSlot& slot) {
+  // Buffers come back from the comm server after each send; under
+  // exhaustion just wait for it to catch up — but keep draining our own
+  // channel-visible state via backoff (the comm server runs on its own
+  // thread).
+  (void)slot;
+  Backoff backoff;
+  for (;;) {
+    AggBuffer* buffer = buffer_pool_.try_acquire();
+    if (buffer) return buffer;
+    backoff.pause();
+  }
+}
+
+void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
+                        const CmdHeader& header, const void* payload) {
+  GMT_DCHECK(dst < num_nodes_);
+  const std::size_t wire = cmd_wire_size(header);
+  GMT_CHECK_MSG(wire + kCmdHeaderSize <= config_.buffer_size,
+                "single command exceeds aggregation buffer (chunk it)");
+
+  CommandBlock*& current = slot.current_[dst];
+  if (current && !current->fits(wire)) {
+    push_block(slot, dst);
+    stats_.blocks_full.v.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!current) current = acquire_block(slot);
+
+  std::uint8_t* out = current->append(wire, wall_ns());
+  encode_cmd(out, header, payload);
+  stats_.commands.v.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Aggregator::push_block(AggregationSlot& slot, std::uint32_t dst) {
+  CommandBlock* block = slot.current_[dst];
+  GMT_DCHECK(block && block->cmds() > 0);
+  slot.current_[dst] = nullptr;
+
+  DestQueue& queue = *queues_[dst];
+  const std::uint64_t bytes = block->bytes();
+  // Sized to the block-pool population, the queue can never be genuinely
+  // full — but a Vyukov push can fail transiently while concurrent pops
+  // are mid-flight, so retry.
+  Backoff push_backoff;
+  for (std::uint32_t attempt = 0; !queue.blocks.push(block); ++attempt) {
+    GMT_CHECK_MSG(attempt < 1u << 24,
+                  "aggregation queue overflow (sized to pool population)");
+    push_backoff.pause();
+  }
+  const std::uint64_t prev =
+      queue.queued_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (prev == 0)
+    queue.oldest_ns.store(wall_ns(), std::memory_order_relaxed);
+
+  // Enough queued for a full network buffer? Aggregate now (paper step 4).
+  if (prev + bytes >= config_.buffer_size)
+    aggregate(slot, dst, /*force=*/false);
+}
+
+void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
+                           bool force) {
+  DestQueue& queue = *queues_[dst];
+  AggBuffer* buffer = nullptr;
+  CommandBlock* block = nullptr;
+
+  stats_.aggregations.v.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    if (!block && !queue.blocks.pop(&block)) break;
+    if (!buffer) {
+      buffer = acquire_buffer(slot);
+      buffer->reset();
+      buffer->dst = dst;
+    }
+    if (!buffer->fits(block->bytes())) {
+      // Ship the filled buffer, keep the block for the next one.
+      send_buffer(slot, buffer);
+      buffer = nullptr;
+      continue;
+    }
+    buffer->append(block->data(), block->bytes());
+    queue.queued_bytes.fetch_sub(block->bytes(), std::memory_order_relaxed);
+    block->reset();
+    block_pool_.release(block);
+    block = nullptr;
+    // Without force, stop once less than a buffer's worth remains queued;
+    // the remainder waits for more traffic or the timeout.
+    if (!force && buffer->data().size() >= config_.buffer_size / 2 &&
+        queue.queued_bytes.load(std::memory_order_relaxed) == 0)
+      break;
+  }
+  if (buffer) {
+    if (!buffer->data().empty()) {
+      send_buffer(slot, buffer);
+    } else {
+      buffer_pool_.release(buffer);
+    }
+  }
+  if (queue.queued_bytes.load(std::memory_order_relaxed) == 0)
+    queue.oldest_ns.store(0, std::memory_order_relaxed);
+}
+
+void Aggregator::send_buffer(AggregationSlot& slot, AggBuffer* buffer) {
+  stats_.buffers_sent.v.fetch_add(1, std::memory_order_relaxed);
+  stats_.buffer_bytes.v.fetch_add(buffer->data().size(),
+                                  std::memory_order_relaxed);
+  Backoff backoff;
+  while (!slot.channel_.push(buffer)) backoff.pause();
+}
+
+void Aggregator::poll_flush(AggregationSlot& slot, std::uint64_t now_ns) {
+  for (std::uint32_t dst = 0; dst < num_nodes_; ++dst) {
+    CommandBlock* current = slot.current_[dst];
+    if (current && current->cmds() > 0 &&
+        now_ns - current->first_cmd_ns() >= config_.cmd_block_timeout_ns) {
+      push_block(slot, dst);
+      stats_.blocks_timeout.v.fetch_add(1, std::memory_order_relaxed);
+    }
+    DestQueue& queue = *queues_[dst];
+    const std::uint64_t oldest =
+        queue.oldest_ns.load(std::memory_order_relaxed);
+    if (oldest != 0 && now_ns - oldest >= config_.agg_queue_timeout_ns)
+      aggregate(slot, dst, /*force=*/true);
+  }
+}
+
+void Aggregator::flush_all(AggregationSlot& slot) {
+  for (std::uint32_t dst = 0; dst < num_nodes_; ++dst) {
+    CommandBlock* current = slot.current_[dst];
+    if (current && current->cmds() > 0) push_block(slot, dst);
+    if (queues_[dst]->queued_bytes.load(std::memory_order_relaxed) > 0)
+      aggregate(slot, dst, /*force=*/true);
+  }
+}
+
+void Aggregator::release_buffer(AggBuffer* buffer) {
+  buffer->reset();
+  buffer_pool_.release(buffer);
+}
+
+bool Aggregator::idle() const {
+  for (const auto& queue : queues_)
+    if (queue->queued_bytes.load(std::memory_order_relaxed) != 0) return false;
+  for (const auto& slot : slots_) {
+    for (CommandBlock* block : slot->current_)
+      if (block && block->cmds() > 0) return false;
+    if (!slot->channel_.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,191 @@
+// Multi-level command aggregation (paper §IV-C, Fig. 3).
+//
+// Level 1 — pre-aggregation: each worker/helper owns one *command block*
+// per destination node and appends commands to it without synchronisation.
+// Level 2 — aggregation queues: full (or timed-out) command blocks are
+// pushed into a per-destination MPMC queue shared by all threads of the
+// node. Level 3 — aggregation buffers: whichever thread observes a queue
+// holding a buffer's worth of bytes pops blocks, memcpys them into a pooled
+// aggregation buffer, and hands the buffer to the communication server over
+// its private SPSC channel queue. Blocks and buffers recycle through
+// fixed-population pools; nothing allocates on the command path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collections/mpmc_queue.hpp"
+#include "collections/pool.hpp"
+#include "collections/spsc_ring.hpp"
+#include "common/cacheline.hpp"
+#include "common/config.hpp"
+#include "runtime/command.hpp"
+
+namespace gmt::rt {
+
+// Reusable array of serialised commands bound for one destination.
+class CommandBlock {
+ public:
+  CommandBlock(std::uint32_t capacity_bytes, std::uint32_t capacity_cmds)
+      : capacity_bytes_(capacity_bytes),
+        capacity_cmds_(capacity_cmds),
+        data_(std::make_unique<std::uint8_t[]>(capacity_bytes)) {}
+
+  bool fits(std::size_t wire_bytes) const {
+    return bytes_ + wire_bytes <= capacity_bytes_ && cmds_ < capacity_cmds_;
+  }
+
+  // Reserves wire_bytes and returns the write cursor.
+  std::uint8_t* append(std::size_t wire_bytes, std::uint64_t now_ns) {
+    GMT_DCHECK(fits(wire_bytes));
+    if (cmds_ == 0) first_cmd_ns_ = now_ns;
+    std::uint8_t* out = data_.get() + bytes_;
+    bytes_ += static_cast<std::uint32_t>(wire_bytes);
+    ++cmds_;
+    return out;
+  }
+
+  void reset() {
+    bytes_ = 0;
+    cmds_ = 0;
+    first_cmd_ns_ = 0;
+  }
+
+  const std::uint8_t* data() const { return data_.get(); }
+  std::uint32_t bytes() const { return bytes_; }
+  std::uint32_t cmds() const { return cmds_; }
+  std::uint64_t first_cmd_ns() const { return first_cmd_ns_; }
+  std::uint32_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  const std::uint32_t capacity_bytes_;
+  const std::uint32_t capacity_cmds_;
+  std::unique_ptr<std::uint8_t[]> data_;
+  std::uint32_t bytes_ = 0;
+  std::uint32_t cmds_ = 0;
+  std::uint64_t first_cmd_ns_ = 0;
+};
+
+// Pooled network-sized buffer the comm server sends as one message.
+class AggBuffer {
+ public:
+  explicit AggBuffer(std::uint32_t capacity) : capacity_(capacity) {
+    data_.reserve(capacity);
+  }
+
+  std::uint32_t dst = 0;
+
+  bool fits(std::size_t more) const { return data_.size() + more <= capacity_; }
+  void append(const std::uint8_t* bytes, std::size_t count) {
+    data_.insert(data_.end(), bytes, bytes + count);
+  }
+  void reset() { data_.clear(); }
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<std::uint8_t> data_;
+};
+
+// Aggregation statistics (per node, relaxed counters).
+struct AggStats {
+  PaddedAtomicU64 commands;          // commands appended
+  PaddedAtomicU64 blocks_full;       // blocks flushed because full
+  PaddedAtomicU64 blocks_timeout;    // blocks flushed on timeout
+  PaddedAtomicU64 buffers_sent;      // aggregation buffers to comm server
+  PaddedAtomicU64 buffer_bytes;      // payload bytes in those buffers
+  PaddedAtomicU64 aggregations;      // aggregation passes executed
+};
+
+class Aggregator;
+
+// Per-thread face of the aggregator: the thread-local command blocks and
+// the SPSC channel to the comm server. One per worker and per helper.
+class AggregationSlot {
+ public:
+  AggregationSlot(Aggregator* owner, std::uint32_t num_nodes,
+                  std::size_t channel_capacity)
+      : owner_(owner), current_(num_nodes, nullptr),
+        channel_(channel_capacity) {}
+
+  SpscRing<AggBuffer*>& channel() { return channel_; }
+
+ private:
+  friend class Aggregator;
+  Aggregator* owner_;
+  std::vector<CommandBlock*> current_;  // per destination; lazily acquired
+  SpscRing<AggBuffer*> channel_;        // filled buffers -> comm server
+};
+
+// Node-wide aggregation state: pools, per-destination queues, slots.
+class Aggregator {
+ public:
+  Aggregator(const Config& config, std::uint32_t num_nodes,
+             std::uint32_t num_threads);
+
+  std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  AggregationSlot& slot(std::uint32_t i) { return *slots_[i]; }
+
+  // Appends one command (header + optional payload) bound for `dst` to the
+  // slot's command block, flushing/aggregating as thresholds trip. Never
+  // fails; applies internal backpressure (spins on pool exhaustion after
+  // forcing aggregation).
+  void append(AggregationSlot& slot, std::uint32_t dst,
+              const CmdHeader& header, const void* payload);
+
+  // Pushes the slot's non-empty timed-out command blocks into the
+  // aggregation queues and runs aggregation on queues past their timeout
+  // (paper's condition (ii)). Called by idle workers/helpers.
+  void poll_flush(AggregationSlot& slot, std::uint64_t now_ns);
+
+  // Unconditionally flushes everything the slot holds and aggregates all
+  // queues (used at barriers/shutdown so no command is stranded).
+  void flush_all(AggregationSlot& slot);
+
+  // Comm server side: returns a sent buffer to the pool.
+  void release_buffer(AggBuffer* buffer);
+
+  const AggStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+  // True when no commands are buffered anywhere in the aggregator (used by
+  // quiescence tests).
+  bool idle() const;
+
+ private:
+  struct alignas(kCacheLine) DestQueue {
+    explicit DestQueue(std::size_t capacity) : blocks(capacity) {}
+    MpmcQueue<CommandBlock*> blocks;
+    std::atomic<std::uint64_t> queued_bytes{0};
+    std::atomic<std::uint64_t> oldest_ns{0};  // 0 = empty
+  };
+
+  // Moves the slot's current block for dst into the destination queue.
+  void push_block(AggregationSlot& slot, std::uint32_t dst);
+
+  // Drains queue `dst` into aggregation buffers pushed on slot's channel.
+  // With `force`, sends even a partially filled buffer.
+  void aggregate(AggregationSlot& slot, std::uint32_t dst, bool force);
+
+  // Hands a filled buffer to the comm server via the slot's channel queue.
+  void send_buffer(AggregationSlot& slot, AggBuffer* buffer);
+
+  CommandBlock* acquire_block(AggregationSlot& slot);
+  AggBuffer* acquire_buffer(AggregationSlot& slot);
+
+  Config config_;
+  std::uint32_t num_nodes_;
+  ObjectPool<CommandBlock> block_pool_;
+  ObjectPool<AggBuffer> buffer_pool_;
+  std::vector<std::unique_ptr<DestQueue>> queues_;
+  std::vector<std::unique_ptr<AggregationSlot>> slots_;
+  AggStats stats_;
+};
+
+}  // namespace gmt::rt

@@ -1,0 +1,105 @@
+// Implementation of the public API: thin dispatch from the calling worker
+// thread to its node's operation layer.
+#include "gmt/gmt.hpp"
+
+#include "common/assert.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt {
+
+namespace {
+
+rt::Worker& current_worker() {
+  rt::Worker* worker = rt::Worker::current();
+  GMT_CHECK_MSG(worker != nullptr && worker->current_task() != nullptr,
+                "GMT API called outside a task context");
+  return *worker;
+}
+
+}  // namespace
+
+gmt_handle gmt_new(std::uint64_t size, Alloc policy) {
+  rt::Worker& w = current_worker();
+  return w.node().op_alloc(w, size, policy);
+}
+
+void gmt_free(gmt_handle handle) {
+  rt::Worker& w = current_worker();
+  w.node().op_free(w, handle);
+}
+
+void gmt_put(gmt_handle handle, std::uint64_t offset, const void* data,
+             std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_put(w, handle, offset, data, size, /*blocking=*/true);
+}
+
+void gmt_put_nb(gmt_handle handle, std::uint64_t offset, const void* data,
+                std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_put(w, handle, offset, data, size, /*blocking=*/false);
+}
+
+void gmt_put_value(gmt_handle handle, std::uint64_t offset,
+                   std::uint64_t value, std::uint32_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_put_value(w, handle, offset, value, size, /*blocking=*/true);
+}
+
+void gmt_put_value_nb(gmt_handle handle, std::uint64_t offset,
+                      std::uint64_t value, std::uint32_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_put_value(w, handle, offset, value, size, /*blocking=*/false);
+}
+
+void gmt_get(gmt_handle handle, std::uint64_t offset, void* data,
+             std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_get(w, handle, offset, data, size, /*blocking=*/true);
+}
+
+void gmt_get_nb(gmt_handle handle, std::uint64_t offset, void* data,
+                std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  w.node().op_get(w, handle, offset, data, size, /*blocking=*/false);
+}
+
+void gmt_wait_commands() {
+  rt::Worker& w = current_worker();
+  w.node().op_wait_commands(w);
+}
+
+std::uint64_t gmt_atomic_add(gmt_handle handle, std::uint64_t offset,
+                             std::uint64_t value, std::uint32_t width) {
+  rt::Worker& w = current_worker();
+  return w.node().op_atomic_add(w, handle, offset, value, width);
+}
+
+std::uint64_t gmt_atomic_cas(gmt_handle handle, std::uint64_t offset,
+                             std::uint64_t expected, std::uint64_t desired,
+                             std::uint32_t width) {
+  rt::Worker& w = current_worker();
+  return w.node().op_atomic_cas(w, handle, offset, expected, desired, width);
+}
+
+void gmt_parfor(std::uint64_t iterations, std::uint64_t chunk, TaskFn fn,
+                const void* args, std::size_t args_size, Spawn policy) {
+  rt::Worker& w = current_worker();
+  w.node().op_parfor(w, iterations, chunk, fn, args, args_size, policy);
+}
+
+void gmt_on(std::uint32_t node, TaskFn fn, const void* args,
+            std::size_t args_size) {
+  rt::Worker& w = current_worker();
+  w.node().op_execute_on(w, node, fn, args, args_size);
+}
+
+void gmt_yield() { current_worker().task_yield(); }
+
+std::uint32_t gmt_node_id() { return current_worker().node().id(); }
+
+std::uint32_t gmt_num_nodes() {
+  return current_worker().node().num_nodes();
+}
+
+}  // namespace gmt

@@ -1,0 +1,73 @@
+#include "runtime/cluster.hpp"
+
+#include "common/backoff.hpp"
+#include "common/log.hpp"
+
+namespace gmt::rt {
+
+Cluster::Cluster(std::uint32_t num_nodes, const Config& config,
+                 net::NetworkModel model)
+    : num_nodes_(num_nodes),
+      fabric_(std::make_unique<net::InprocFabric>(num_nodes, model)) {
+  GMT_CHECK(num_nodes >= 1);
+  for (std::uint32_t n = 0; n < num_nodes; ++n)
+    transports_.push_back(fabric_->endpoint(n));
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t n = 0; n < num_nodes; ++n)
+    nodes_.push_back(
+        std::make_unique<Node>(n, num_nodes, config, transports_[n]));
+}
+
+Cluster::Cluster(const std::vector<net::Transport*>& transports,
+                 const Config& config)
+    : num_nodes_(static_cast<std::uint32_t>(transports.size())),
+      transports_(transports) {
+  GMT_CHECK(num_nodes_ >= 1);
+  nodes_.reserve(num_nodes_);
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    GMT_CHECK(transports_[n]->node_id() == n);
+    nodes_.push_back(
+        std::make_unique<Node>(n, num_nodes_, config, transports_[n]));
+  }
+}
+
+std::uint64_t Cluster::total_network_bytes() const {
+  std::uint64_t total = 0;
+  for (const net::Transport* t : transports_) total += t->bytes_sent();
+  return total;
+}
+
+std::uint64_t Cluster::total_network_messages() const {
+  std::uint64_t total = 0;
+  for (const net::Transport* t : transports_) total += t->messages_sent();
+  return total;
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  if (started_) return;
+  for (auto& node : nodes_) node->start();
+  started_ = true;
+}
+
+void Cluster::stop() {
+  if (!started_) return;
+  for (auto& node : nodes_) node->request_stop();
+  for (auto& node : nodes_) node->join();
+  started_ = false;
+}
+
+void Cluster::run(TaskFn fn, const void* args, std::size_t args_size) {
+  start();
+  // The root completion is tracked through an inert Task that never runs —
+  // it only carries the pending_ops counter the root iteration block
+  // reports into.
+  Task root;
+  nodes_[0]->spawn_root(fn, args, args_size, &root);
+  Backoff backoff;
+  while (root.pending_ops.load(std::memory_order_acquire) != 0)
+    backoff.pause();
+}
+
+}  // namespace gmt::rt

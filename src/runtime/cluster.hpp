@@ -1,0 +1,57 @@
+// Cluster: the in-process stand-in for an N-node machine. Owns the fabric
+// and the N node runtimes, and drives the root task (the program's "task
+// zero", paper §IV-D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "net/inproc_transport.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::rt {
+
+class Cluster {
+ public:
+  // `model` instant() runs the fabric with no injected delay; pass
+  // NetworkModel::olympus() for cluster-like timing.
+  Cluster(std::uint32_t num_nodes, const Config& config,
+          net::NetworkModel model = net::NetworkModel::instant());
+
+  // Runs the nodes over caller-provided transports (one per node, e.g. a
+  // UdsFabric's endpoints). The transports must outlive the cluster.
+  Cluster(const std::vector<net::Transport*>& transports,
+          const Config& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  Node& node(std::uint32_t id) { return *nodes_[id]; }
+  // Valid only for the in-process-fabric constructor.
+  net::InprocFabric& fabric() { return *fabric_; }
+
+  // Runs fn(0, args) as the root task on node 0 and blocks until it — and
+  // transitively everything it spawned — completes. May be called several
+  // times; the runtime threads stay up between runs.
+  void run(TaskFn fn, const void* args = nullptr, std::size_t args_size = 0);
+
+  // Aggregate statistics across nodes (bytes on the wire, messages, ...).
+  std::uint64_t total_network_bytes() const;
+  std::uint64_t total_network_messages() const;
+
+ private:
+  void start();
+  void stop();
+
+  const std::uint32_t num_nodes_;
+  std::unique_ptr<net::InprocFabric> fabric_;  // null with external transports
+  std::vector<net::Transport*> transports_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace gmt::rt

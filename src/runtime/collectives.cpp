@@ -1,0 +1,246 @@
+#include "runtime/collectives.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gmt::coll {
+
+namespace {
+
+// Elements processed per task: large enough to amortise spawn cost, small
+// enough that the stripe buffer (kStripe * 8 bytes) fits comfortably on a
+// task stack alongside call frames.
+constexpr std::uint64_t kStripe = 512;
+
+struct RangeArgs {
+  gmt_handle array;
+  std::uint64_t first;
+  std::uint64_t count;
+  std::uint64_t value;       // fill value / probe value
+  gmt_handle accumulator;    // reduction cell(s)
+  std::uint64_t num_bins;
+};
+
+std::uint64_t stripe_count(std::uint64_t count) {
+  return (count + kStripe - 1) / kStripe;
+}
+
+// Bounds of stripe s within [first, first+count).
+void stripe_bounds(const RangeArgs& args, std::uint64_t stripe,
+                   std::uint64_t* begin, std::uint64_t* n) {
+  *begin = args.first + stripe * kStripe;
+  const std::uint64_t end = args.first + args.count;
+  *n = *begin < end ? (end - *begin < kStripe ? end - *begin : kStripe) : 0;
+}
+
+void fill_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  std::uint64_t buffer[kStripe];
+  for (std::uint64_t i = 0; i < n; ++i) buffer[i] = args.value;
+  if (n) gmt_put(args.array, begin * 8, buffer, n * 8);
+}
+
+void sum_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.array, begin * 8, buffer, n * 8);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) sum += buffer[i];
+  gmt_atomic_add(args.accumulator, 0, sum, 8);
+}
+
+void min_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.array, begin * 8, buffer, n * 8);
+  std::uint64_t local = ~0ULL;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (buffer[i] < local) local = buffer[i];
+  // CAS-minimise the global cell.
+  std::uint64_t seen;
+  gmt_get(args.accumulator, 0, &seen, 8);
+  while (local < seen) {
+    const std::uint64_t old = gmt_atomic_cas(args.accumulator, 0, seen,
+                                             local, 8);
+    if (old == seen) break;
+    seen = old;
+  }
+}
+
+void max_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.array, begin * 8, buffer, n * 8);
+  std::uint64_t local = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (buffer[i] > local) local = buffer[i];
+  std::uint64_t seen;
+  gmt_get(args.accumulator, 0, &seen, 8);
+  while (local > seen) {
+    const std::uint64_t old = gmt_atomic_cas(args.accumulator, 0, seen,
+                                             local, 8);
+    if (old == seen) break;
+    seen = old;
+  }
+}
+
+void count_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.array, begin * 8, buffer, n * 8);
+  std::uint64_t matches = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (buffer[i] == args.value) ++matches;
+  if (matches) gmt_atomic_add(args.accumulator, 0, matches, 8);
+}
+
+void histogram_body(std::uint64_t stripe, const void* raw) {
+  RangeArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  stripe_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.array, begin * 8, buffer, n * 8);
+  for (std::uint64_t i = 0; i < n; ++i)
+    gmt_atomic_add(args.accumulator, (buffer[i] % args.num_bins) * 8, 1, 8);
+}
+
+struct CopyArgs {
+  gmt_handle dst;
+  gmt_handle src;
+  std::uint64_t dst_offset;
+  std::uint64_t src_offset;
+  std::uint64_t bytes;
+  std::uint64_t stripe_bytes;
+};
+
+void copy_body(std::uint64_t stripe, const void* raw) {
+  CopyArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  const std::uint64_t begin = stripe * args.stripe_bytes;
+  if (begin >= args.bytes) return;
+  const std::uint64_t n = args.bytes - begin < args.stripe_bytes
+                              ? args.bytes - begin
+                              : args.stripe_bytes;
+  std::vector<std::uint8_t> buffer(n);
+  gmt_get(args.src, args.src_offset + begin, buffer.data(), n);
+  gmt_put(args.dst, args.dst_offset + begin, buffer.data(), n);
+}
+
+std::uint64_t run_reduction(gmt_handle array, std::uint64_t first,
+                            std::uint64_t count, TaskFn body,
+                            std::uint64_t init) {
+  if (count == 0) return init;
+  RangeArgs args;
+  args.array = array;
+  args.first = first;
+  args.count = count;
+  args.accumulator = gmt_new(8, Alloc::kPartition);
+  gmt_put_value(args.accumulator, 0, init, 8);
+  gmt_parfor(stripe_count(count), 0, body, &args, sizeof(args),
+             Spawn::kPartition);
+  std::uint64_t result = 0;
+  gmt_get(args.accumulator, 0, &result, 8);
+  gmt_free(args.accumulator);
+  return result;
+}
+
+}  // namespace
+
+void fill_u64(gmt_handle array, std::uint64_t first, std::uint64_t count,
+              std::uint64_t value) {
+  if (count == 0) return;
+  RangeArgs args;
+  args.array = array;
+  args.first = first;
+  args.count = count;
+  args.value = value;
+  gmt_parfor(stripe_count(count), 0, &fill_body, &args, sizeof(args),
+             Spawn::kPartition);
+}
+
+std::uint64_t reduce_sum_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count) {
+  return run_reduction(array, first, count, &sum_body, 0);
+}
+
+std::uint64_t reduce_min_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count) {
+  return run_reduction(array, first, count, &min_body, ~0ULL);
+}
+
+std::uint64_t reduce_max_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count) {
+  return run_reduction(array, first, count, &max_body, 0);
+}
+
+std::uint64_t count_equal_u64(gmt_handle array, std::uint64_t first,
+                              std::uint64_t count, std::uint64_t value) {
+  if (count == 0) return 0;
+  RangeArgs args;
+  args.array = array;
+  args.first = first;
+  args.count = count;
+  args.value = value;
+  args.accumulator = gmt_new(8, Alloc::kPartition);
+  gmt_parfor(stripe_count(count), 0, &count_body, &args, sizeof(args),
+             Spawn::kPartition);
+  std::uint64_t result = 0;
+  gmt_get(args.accumulator, 0, &result, 8);
+  gmt_free(args.accumulator);
+  return result;
+}
+
+void histogram_mod_u64(gmt_handle array, std::uint64_t first,
+                       std::uint64_t count, gmt_handle bins,
+                       std::uint64_t num_bins) {
+  GMT_CHECK(num_bins > 0);
+  if (count == 0) return;
+  RangeArgs args;
+  args.array = array;
+  args.first = first;
+  args.count = count;
+  args.accumulator = bins;
+  args.num_bins = num_bins;
+  gmt_parfor(stripe_count(count), 0, &histogram_body, &args, sizeof(args),
+             Spawn::kPartition);
+}
+
+void copy(gmt_handle dst, std::uint64_t dst_offset, gmt_handle src,
+          std::uint64_t src_offset, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  CopyArgs args;
+  args.dst = dst;
+  args.src = src;
+  args.dst_offset = dst_offset;
+  args.src_offset = src_offset;
+  args.bytes = bytes;
+  args.stripe_bytes = 32 * 1024;
+  const std::uint64_t stripes =
+      (bytes + args.stripe_bytes - 1) / args.stripe_bytes;
+  gmt_parfor(stripes, 1, &copy_body, &args, sizeof(args), Spawn::kPartition);
+}
+
+}  // namespace gmt::coll

@@ -1,0 +1,48 @@
+// Collective helpers built on the public GMT primitives.
+//
+// The paper keeps the core API lean (Table I) and expects richer patterns
+// to be composed from it; these are the compositions every kernel ends up
+// needing: bulk fill, parallel reductions over a global array, histogram,
+// min/max search, and a global-to-global copy. All run inside a task and
+// parallelise with nested gmt_parfor, so they inherit the runtime's
+// aggregation and latency tolerance.
+#pragma once
+
+#include <cstdint>
+
+#include "gmt/gmt.hpp"
+
+namespace gmt::coll {
+
+// Fills `count` u64 elements starting at element `first` with `value`.
+void fill_u64(gmt_handle array, std::uint64_t first, std::uint64_t count,
+              std::uint64_t value);
+
+// Sum of `count` u64 elements starting at element `first`.
+std::uint64_t reduce_sum_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count);
+
+// Minimum / maximum over the same range (~0 / 0 for an empty range).
+std::uint64_t reduce_min_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count);
+std::uint64_t reduce_max_u64(gmt_handle array, std::uint64_t first,
+                             std::uint64_t count);
+
+// Number of elements equal to `value` in the range.
+std::uint64_t count_equal_u64(gmt_handle array, std::uint64_t first,
+                              std::uint64_t count, std::uint64_t value);
+
+// Copies `bytes` from src[src_offset] to dst[dst_offset] (both global),
+// parallelised in aggregation-buffer-sized stripes. Ranges must not
+// overlap within the same handle.
+void copy(gmt_handle dst, std::uint64_t dst_offset, gmt_handle src,
+          std::uint64_t src_offset, std::uint64_t bytes);
+
+// Histogram: for each element e in [first, first+count), atomically
+// increments bins[e % num_bins] (u64 bins). A building block for degree
+// distributions and load-balance diagnostics.
+void histogram_mod_u64(gmt_handle array, std::uint64_t first,
+                       std::uint64_t count, gmt_handle bins,
+                       std::uint64_t num_bins);
+
+}  // namespace gmt::coll

@@ -1,0 +1,74 @@
+#include "common/backoff.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::rt {
+
+CommServer::CommServer(Node* node) : node_(node) {}
+
+void CommServer::start() {
+  thread_ = std::thread([this] { main_loop(); });
+}
+
+void CommServer::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void CommServer::main_loop() {
+  Backoff backoff;
+  Aggregator& agg = node_->aggregator();
+  net::Transport& transport = node_->transport();
+  // A message received but not yet accepted by the (full) incoming queue.
+  net::InMessage* held = nullptr;
+
+  for (;;) {
+    bool progressed = false;
+
+    // Outgoing: retry buffers that hit backpressure, in order per paper's
+    // non-blocking MPI_Isend discipline, then drain every channel queue.
+    while (!retry_.empty()) {
+      AggBuffer* buffer = retry_.front();
+      if (!transport.send(buffer->dst, {buffer->data().begin(),
+                                        buffer->data().end()}))
+        break;
+      retry_.pop_front();
+      agg.release_buffer(buffer);
+      progressed = true;
+    }
+    if (retry_.empty()) {
+      for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+        AggBuffer* buffer = nullptr;
+        while (agg.slot(s).channel().pop(&buffer)) {
+          if (transport.send(buffer->dst, {buffer->data().begin(),
+                                           buffer->data().end()})) {
+            agg.release_buffer(buffer);
+          } else {
+            retry_.push_back(buffer);
+          }
+          progressed = true;
+        }
+      }
+    }
+
+    // Incoming: move messages from the transport to the helpers' queue.
+    for (;;) {
+      if (!held) {
+        auto msg = std::make_unique<net::InMessage>();
+        if (!transport.try_recv(msg.get())) break;
+        held = msg.release();
+      }
+      if (!node_->incoming().push(held)) break;  // helpers saturated
+      held = nullptr;
+      progressed = true;
+    }
+
+    if (progressed) {
+      backoff.reset();
+    } else {
+      if (node_->stopping() && retry_.empty() && held == nullptr) break;
+      backoff.pause();
+    }
+  }
+  delete held;
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,85 @@
+// GMT command set and wire format.
+//
+// Every interaction between nodes — data movement, synchronisation, task
+// management (paper §IV-A) — is a fixed-header command, optionally followed
+// by inline payload bytes. Commands are written into command blocks,
+// aggregated into buffers, and parsed back out by helpers at the receiving
+// node. The encoding is position-independent except for `token` values,
+// which are opaque 64-bit cookies meaningful only to the node that issued
+// the request (they round-trip unchanged in replies — the same discipline a
+// real MPI backend would use with request-table indices).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace gmt::rt {
+
+enum class Op : std::uint8_t {
+  kPut = 1,        // write payload into [handle,offset); acks with kPutAck
+  kPutValue,       // write an immediate value (no payload)
+  kGet,            // read [handle,offset,aux2); replies with kGetReply
+  kGetReply,       // payload = data; aux1 = requester-local dest address
+  kPutAck,         // completion of kPut / kPutValue
+  kAtomicAdd,      // aux1 = operand; flags = width; replies kAtomicReply
+  kAtomicCas,      // aux1 = expected, aux2 = desired; replies kAtomicReply
+  kAtomicReply,    // aux1 = old value; aux2 = requester-local result address
+  kSpawn,          // handle = fn, offset = chunk, aux1 = begin, aux2 = count
+  kSpawnDone,      // aux1 = iterations completed
+  kAlloc,          // offset = size; flags = policy; aux1 = allocating node
+  kAllocAck,       //
+  kFree,           //
+  kFreeAck,        //
+};
+
+// Width of an atomic/immediate operand in bytes (4 or 8), kept in flags.
+enum Flags : std::uint8_t {
+  kWidth8 = 0,
+  kWidth4 = 1,
+};
+
+struct CmdHeader {
+  std::uint32_t payload_size = 0;
+  Op op{};
+  std::uint8_t flags = 0;
+  std::uint16_t reserved = 0;
+  std::uint64_t handle = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t token = 0;  // opaque to the receiver; echoed in replies
+  std::uint64_t aux1 = 0;
+  std::uint64_t aux2 = 0;
+};
+static_assert(sizeof(CmdHeader) == 48, "wire format is 48-byte headers");
+
+inline constexpr std::size_t kCmdHeaderSize = sizeof(CmdHeader);
+
+// Total wire size of a command.
+inline std::size_t cmd_wire_size(const CmdHeader& h) {
+  return kCmdHeaderSize + h.payload_size;
+}
+
+// Serialises header+payload at `out` (caller guarantees space).
+inline void encode_cmd(std::uint8_t* out, const CmdHeader& header,
+                       const void* payload) {
+  std::memcpy(out, &header, kCmdHeaderSize);
+  if (header.payload_size)
+    std::memcpy(out + kCmdHeaderSize, payload, header.payload_size);
+}
+
+// Reads one command starting at data[pos]; advances pos past it. Returns
+// the header and a pointer to the in-place payload.
+inline CmdHeader decode_cmd(const std::uint8_t* data, std::size_t size,
+                            std::size_t* pos, const std::uint8_t** payload) {
+  GMT_CHECK(*pos + kCmdHeaderSize <= size);
+  CmdHeader header;
+  std::memcpy(&header, data + *pos, kCmdHeaderSize);
+  *pos += kCmdHeaderSize;
+  GMT_CHECK(*pos + header.payload_size <= size);
+  *payload = data + *pos;
+  *pos += header.payload_size;
+  return header;
+}
+
+}  // namespace gmt::rt

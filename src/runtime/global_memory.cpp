@@ -1,0 +1,96 @@
+#include "runtime/global_memory.hpp"
+
+#include <cstring>
+
+namespace gmt::rt {
+
+void ArrayMeta::decompose(std::uint64_t offset, std::uint64_t length,
+                          std::vector<OwnedSpan>* out) const {
+  GMT_CHECK_MSG(offset + length <= size, "gmt access out of bounds");
+  const std::uint64_t block = block_size();
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t part = pos / block;
+    const std::uint64_t local = pos % block;
+    const std::uint64_t in_block = block - local;
+    const std::uint64_t take = remaining < in_block ? remaining : in_block;
+    out->push_back(OwnedSpan{
+        partition_node(static_cast<std::uint32_t>(part)), local, pos, take});
+    pos += take;
+    remaining -= take;
+  }
+}
+
+GlobalMemory::GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
+                           std::uint32_t max_handles)
+    : node_id_(node_id),
+      num_nodes_(num_nodes),
+      max_handles_(max_handles),
+      slots_(max_handles) {}
+
+gmt_handle GlobalMemory::reserve_handle() {
+  const std::uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  GMT_CHECK_MSG(slot < max_handles_, "handle space exhausted");
+  const std::uint16_t gen = static_cast<std::uint16_t>(
+      slots_[slot].generation.load(std::memory_order_relaxed) + 1);
+  return make_handle(node_id_, slot, gen);
+}
+
+void GlobalMemory::register_array(gmt_handle handle, std::uint64_t size,
+                                  Alloc policy, std::uint32_t home_node) {
+  const std::uint32_t slot = handle_slot(handle);
+  GMT_CHECK(slot > 0 && slot < max_handles_);
+  GMT_CHECK_MSG(slots_[slot].array.load(std::memory_order_acquire) == nullptr,
+                "handle slot already registered");
+
+  auto array = std::make_unique<LocalArray>();
+  array->meta.size = size;
+  array->meta.policy = policy;
+  array->meta.home_node = home_node;
+  array->meta.num_nodes = num_nodes_;
+  array->meta.generation = handle_generation(handle);
+
+  const std::uint64_t mine = array->meta.bytes_on_node(node_id_);
+  if (mine > 0) {
+    array->partition = std::make_unique<std::uint8_t[]>(mine);
+    std::memset(array->partition.get(), 0, mine);
+    array->partition_bytes = mine;
+    local_bytes_.fetch_add(mine, std::memory_order_relaxed);
+  }
+
+  slots_[slot].generation.store(handle_generation(handle),
+                                std::memory_order_relaxed);
+  slots_[slot].array.store(array.release(), std::memory_order_release);
+}
+
+void GlobalMemory::unregister_array(gmt_handle handle) {
+  const std::uint32_t slot = handle_slot(handle);
+  GMT_CHECK(slot > 0 && slot < max_handles_);
+  LocalArray* array = slots_[slot].array.exchange(nullptr,
+                                                  std::memory_order_acq_rel);
+  GMT_CHECK_MSG(array != nullptr, "double free of gmt_array");
+  GMT_CHECK_MSG(array->meta.generation == handle_generation(handle),
+                "stale handle in gmt_free");
+  local_bytes_.fetch_sub(array->partition_bytes, std::memory_order_relaxed);
+  delete array;
+}
+
+LocalArray& GlobalMemory::get(gmt_handle handle) {
+  const std::uint32_t slot = handle_slot(handle);
+  GMT_CHECK_MSG(slot > 0 && slot < max_handles_, "invalid gmt handle");
+  LocalArray* array = slots_[slot].array.load(std::memory_order_acquire);
+  GMT_CHECK_MSG(array != nullptr, "use of unallocated gmt handle");
+  GMT_CHECK_MSG(array->meta.generation == handle_generation(handle),
+                "use of stale gmt handle (freed and reused)");
+  return *array;
+}
+
+bool GlobalMemory::valid(gmt_handle handle) const {
+  const std::uint32_t slot = handle_slot(handle);
+  if (slot == 0 || slot >= max_handles_) return false;
+  const LocalArray* array = slots_[slot].array.load(std::memory_order_acquire);
+  return array && array->meta.generation == handle_generation(handle);
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,178 @@
+// Global address space: handle table, block distribution, and the node's
+// local partitions.
+//
+// A gmt_array is identified by a handle and addressed by byte offset; the
+// runtime maps (handle, offset) to (owner node, local offset) with the
+// block-distribution arithmetic below. Every node holds an identical copy
+// of each allocation's metadata (size, policy, block size) plus the storage
+// for its own partition — exactly the state a PGAS runtime replicates so no
+// remote lookup is ever needed to route a request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "gmt/types.hpp"
+
+namespace gmt::rt {
+
+// Handle encoding: [ node (16) | slot (32) | generation (16) ].
+inline gmt_handle make_handle(std::uint32_t node, std::uint32_t slot,
+                              std::uint16_t generation) {
+  return (static_cast<std::uint64_t>(node) << 48) |
+         (static_cast<std::uint64_t>(slot) << 16) | generation;
+}
+inline std::uint32_t handle_node(gmt_handle h) {
+  return static_cast<std::uint32_t>(h >> 48);
+}
+inline std::uint32_t handle_slot(gmt_handle h) {
+  return static_cast<std::uint32_t>((h >> 16) & 0xffffffffULL);
+}
+inline std::uint16_t handle_generation(gmt_handle h) {
+  return static_cast<std::uint16_t>(h & 0xffffULL);
+}
+
+// One contiguous span of a global range owned by a single node.
+struct OwnedSpan {
+  std::uint32_t node;
+  std::uint64_t local_offset;   // offset into the owner's partition
+  std::uint64_t global_offset;  // offset into the gmt_array
+  std::uint64_t size;
+};
+
+// Metadata for one allocation, identical on every node.
+struct ArrayMeta {
+  std::uint64_t size = 0;   // total bytes
+  Alloc policy = Alloc::kPartition;
+  std::uint32_t home_node = 0;   // the allocating node
+  std::uint32_t num_nodes = 1;   // cluster size at allocation
+  std::uint16_t generation = 0;
+
+  // Nodes that hold a partition, in partition order.
+  std::uint32_t partition_count() const {
+    switch (policy) {
+      case Alloc::kPartition: return num_nodes;
+      case Alloc::kLocal: return 1;
+      case Alloc::kRemote: return num_nodes > 1 ? num_nodes - 1 : 1;
+    }
+    return 1;
+  }
+
+  // Bytes per partition block (last block may be short). Rounded to 8
+  // bytes so naturally-aligned words never straddle an ownership boundary
+  // (remote atomics require their word to live on a single node).
+  std::uint64_t block_size() const {
+    const std::uint64_t parts = partition_count();
+    return (((size + parts - 1) / parts) + 7) & ~std::uint64_t{7};
+  }
+
+  // The cluster node holding partition index `part`.
+  std::uint32_t partition_node(std::uint32_t part) const {
+    switch (policy) {
+      case Alloc::kPartition:
+        return part;
+      case Alloc::kLocal:
+        return home_node;
+      case Alloc::kRemote:
+        // Skip the home node: partitions map to 0..N-1 minus home.
+        if (num_nodes <= 1) return home_node;
+        return part < home_node ? part : part + 1;
+    }
+    return home_node;
+  }
+
+  // Inverse of partition_node: the partition index owned by `node`, or -1.
+  std::int64_t node_partition(std::uint32_t node) const {
+    switch (policy) {
+      case Alloc::kPartition:
+        return node < num_nodes ? static_cast<std::int64_t>(node) : -1;
+      case Alloc::kLocal:
+        return node == home_node ? 0 : -1;
+      case Alloc::kRemote:
+        if (node == home_node || node >= num_nodes || num_nodes <= 1)
+          return node == home_node && num_nodes <= 1 ? 0 : -1;
+        return node < home_node ? node : node - 1;
+    }
+    return -1;
+  }
+
+  // Bytes of this array stored on `node`.
+  std::uint64_t bytes_on_node(std::uint32_t node) const {
+    const std::int64_t part = node_partition(node);
+    if (part < 0) return 0;
+    const std::uint64_t block = block_size();
+    const std::uint64_t begin = static_cast<std::uint64_t>(part) * block;
+    if (begin >= size) return 0;
+    const std::uint64_t end = begin + block;
+    return (end > size ? size : end) - begin;
+  }
+
+  // Decomposes [offset, offset+size) into per-owner contiguous spans,
+  // appended to *out. Ranges crossing block boundaries split.
+  void decompose(std::uint64_t offset, std::uint64_t length,
+                 std::vector<OwnedSpan>* out) const;
+};
+
+// Per-node view of one allocation: shared metadata + this node's storage.
+struct LocalArray {
+  ArrayMeta meta;
+  std::unique_ptr<std::uint8_t[]> partition;  // null if no partition here
+  std::uint64_t partition_bytes = 0;
+
+  std::uint8_t* local_ptr(std::uint64_t local_offset) {
+    GMT_DCHECK(local_offset < partition_bytes);
+    return partition.get() + local_offset;
+  }
+};
+
+// The handle table of one node. Registration happens via broadcast ALLOC
+// commands, so all nodes agree on (slot, generation) for each handle.
+class GlobalMemory {
+ public:
+  GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
+               std::uint32_t max_handles = 1 << 16);
+
+  std::uint32_t node_id() const { return node_id_; }
+  std::uint32_t num_nodes() const { return num_nodes_; }
+
+  // Reserves a slot on the allocating node (local step of gmt_new).
+  // Returns the handle all nodes will register under.
+  gmt_handle reserve_handle();
+
+  // Registers an allocation under `handle` and materialises this node's
+  // partition (zero-initialised). Called on every node.
+  void register_array(gmt_handle handle, std::uint64_t size, Alloc policy,
+                      std::uint32_t home_node);
+
+  // Drops the allocation and frees this node's partition.
+  void unregister_array(gmt_handle handle);
+
+  // Lookup; fails loudly on stale or unknown handles.
+  LocalArray& get(gmt_handle handle);
+  const ArrayMeta& meta(gmt_handle handle) { return get(handle).meta; }
+
+  bool valid(gmt_handle handle) const;
+
+  // Bytes currently allocated for partitions on this node.
+  std::uint64_t local_bytes() const {
+    return local_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<LocalArray*> array{nullptr};
+    std::atomic<std::uint16_t> generation{0};
+  };
+
+  const std::uint32_t node_id_;
+  const std::uint32_t num_nodes_;
+  const std::uint32_t max_handles_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint32_t> next_slot_{1};  // slot 0 unused (null handle)
+  std::atomic<std::uint64_t> local_bytes_{0};
+};
+
+}  // namespace gmt::rt

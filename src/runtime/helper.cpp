@@ -1,0 +1,180 @@
+#include <cstring>
+
+#include "common/backoff.hpp"
+#include "common/time.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::rt {
+
+Helper::Helper(Node* node, std::uint32_t helper_id, AggregationSlot* slot)
+    : node_(node), id_(helper_id), slot_(slot) {}
+
+void Helper::start() {
+  thread_ = std::thread([this] { main_loop(); });
+}
+
+void Helper::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Helper::main_loop() {
+  Backoff backoff;
+  for (;;) {
+    net::InMessage* msg = nullptr;
+    if (node_->incoming().pop(&msg)) {
+      process_buffer(*msg);
+      delete msg;
+      backoff.reset();
+    } else {
+      node_->aggregator().poll_flush(*slot_, wall_ns());
+      if (node_->stopping() && node_->incoming().empty_approx()) break;
+      backoff.pause();
+    }
+  }
+}
+
+void Helper::process_buffer(const net::InMessage& msg) {
+  node_->stats().buffers_received.v.fetch_add(1, std::memory_order_relaxed);
+  const std::uint8_t* data = msg.payload.data();
+  const std::size_t size = msg.payload.size();
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::uint8_t* payload = nullptr;
+    const CmdHeader cmd = decode_cmd(data, size, &pos, &payload);
+    execute(cmd, payload, msg.src);
+    node_->stats().cmds_executed.v.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
+                     std::uint32_t src) {
+  auto& gm = node_->memory();
+  switch (cmd.op) {
+    case Op::kPut: {
+      LocalArray& array = gm.get(cmd.handle);
+      std::memcpy(array.local_ptr(cmd.offset), payload, cmd.payload_size);
+      CmdHeader ack;
+      ack.op = Op::kPutAck;
+      ack.token = cmd.token;
+      node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
+    case Op::kPutValue: {
+      LocalArray& array = gm.get(cmd.handle);
+      const std::uint64_t value = cmd.aux1;
+      const auto size = static_cast<std::uint32_t>(cmd.aux2);
+      GMT_DCHECK(size <= 8);
+      std::memcpy(array.local_ptr(cmd.offset), &value, size);
+      CmdHeader ack;
+      ack.op = Op::kPutAck;
+      ack.token = cmd.token;
+      node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
+    case Op::kGet: {
+      LocalArray& array = gm.get(cmd.handle);
+      CmdHeader reply;
+      reply.op = Op::kGetReply;
+      reply.token = cmd.token;
+      reply.aux1 = cmd.aux1;  // requester-local destination address
+      reply.payload_size = static_cast<std::uint32_t>(cmd.aux2);
+      node_->emit(*slot_, src, reply, array.local_ptr(cmd.offset));
+      break;
+    }
+    case Op::kGetReply: {
+      // Back at the origin: land the data, then release the waiter.
+      std::memcpy(reinterpret_cast<void*>(cmd.aux1), payload,
+                  cmd.payload_size);
+      complete_one(cmd.token);
+      break;
+    }
+    case Op::kPutAck: {
+      complete_one(cmd.token);
+      break;
+    }
+    case Op::kAtomicAdd: {
+      LocalArray& array = gm.get(cmd.handle);
+      const std::uint32_t width = (cmd.flags & kWidth4) ? 4 : 8;
+      const std::uint64_t old =
+          Node::apply_atomic_add(array.local_ptr(cmd.offset), cmd.aux1, width);
+      CmdHeader reply;
+      reply.op = Op::kAtomicReply;
+      reply.token = cmd.token;
+      reply.aux1 = old;
+      reply.aux2 = cmd.aux2;  // requester-local result address
+      node_->emit(*slot_, src, reply, nullptr);
+      break;
+    }
+    case Op::kAtomicCas: {
+      LocalArray& array = gm.get(cmd.handle);
+      const std::uint32_t width = (cmd.flags & kWidth4) ? 4 : 8;
+      // CAS packs expected in aux1 and desired in aux2; the requester-local
+      // result address rides in `offset`'s upper companion — we reuse the
+      // payload for it to keep the header compact.
+      std::uint64_t result_addr = 0;
+      GMT_DCHECK(cmd.payload_size == sizeof(result_addr));
+      std::memcpy(&result_addr, payload, sizeof(result_addr));
+      const std::uint64_t old = Node::apply_atomic_cas(
+          array.local_ptr(cmd.offset), cmd.aux1, cmd.aux2, width);
+      CmdHeader reply;
+      reply.op = Op::kAtomicReply;
+      reply.token = cmd.token;
+      reply.aux1 = old;
+      reply.aux2 = result_addr;
+      node_->emit(*slot_, src, reply, nullptr);
+      break;
+    }
+    case Op::kAtomicReply: {
+      if (cmd.aux2)
+        std::memcpy(reinterpret_cast<void*>(cmd.aux2), &cmd.aux1, 8);
+      complete_one(cmd.token);
+      break;
+    }
+    case Op::kSpawn: {
+      auto* itb = new IterBlock;
+      itb->fn = reinterpret_cast<TaskFn>(cmd.handle);
+      itb->chunk = cmd.offset ? cmd.offset : 1;
+      itb->begin = cmd.aux1;
+      itb->end = cmd.aux1 + cmd.aux2;
+      itb->next.store(itb->begin, std::memory_order_relaxed);
+      itb->origin_node = src;
+      itb->token = cmd.token;
+      if (cmd.payload_size)
+        itb->args.assign(payload, payload + cmd.payload_size);
+      GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
+      break;
+    }
+    case Op::kSpawnDone: {
+      complete_one(cmd.token);
+      break;
+    }
+    case Op::kAlloc: {
+      gm.register_array(cmd.handle, cmd.offset,
+                        static_cast<Alloc>(cmd.flags),
+                        static_cast<std::uint32_t>(cmd.aux1));
+      CmdHeader ack;
+      ack.op = Op::kAllocAck;
+      ack.token = cmd.token;
+      node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
+    case Op::kAllocAck: {
+      complete_one(cmd.token);
+      break;
+    }
+    case Op::kFree: {
+      gm.unregister_array(cmd.handle);
+      CmdHeader ack;
+      ack.op = Op::kFreeAck;
+      ack.token = cmd.token;
+      node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
+    case Op::kFreeAck: {
+      complete_one(cmd.token);
+      break;
+    }
+  }
+}
+
+}  // namespace gmt::rt

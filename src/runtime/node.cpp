@@ -1,0 +1,479 @@
+#include "runtime/node.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace gmt::rt {
+
+Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
+           net::Transport* transport)
+    : id_(id),
+      num_nodes_(num_nodes),
+      config_(config),
+      transport_(transport),
+      gm_(id, num_nodes),
+      agg_(config, num_nodes, config.num_workers + config.num_helpers),
+      itbs_(4096),
+      incoming_(1024) {
+  const std::string error = config.validate();
+  GMT_CHECK_MSG(error.empty(), error.c_str());
+  workers_.reserve(config.num_workers);
+  for (std::uint32_t w = 0; w < config.num_workers; ++w)
+    workers_.push_back(std::make_unique<Worker>(this, w, &agg_.slot(w)));
+  helpers_.reserve(config.num_helpers);
+  for (std::uint32_t h = 0; h < config.num_helpers; ++h)
+    helpers_.push_back(std::make_unique<Helper>(
+        this, h, &agg_.slot(config.num_workers + h)));
+  comm_ = std::make_unique<CommServer>(this);
+}
+
+Node::~Node() {
+  join();
+  // Reclaim any iteration blocks that never ran (abnormal shutdown).
+  IterBlock* itb = nullptr;
+  while (itbs_.pop(&itb)) delete itb;
+  net::InMessage* msg = nullptr;
+  while (incoming_.pop(&msg)) delete msg;
+}
+
+void Node::start() {
+  for (auto& helper : helpers_) helper->start();
+  comm_->start();
+  for (auto& worker : workers_) worker->start();
+  GMT_LOG_INFO("node %u started (%u workers, %u helpers)", id_,
+               config_.num_workers, config_.num_helpers);
+}
+
+void Node::join() {
+  for (auto& worker : workers_) worker->join();
+  for (auto& helper : helpers_) helper->join();
+  if (comm_) comm_->join();
+}
+
+void Node::emit(AggregationSlot& slot, std::uint32_t dst,
+                const CmdHeader& header, const void* payload) {
+  stats_.remote_ops.v.fetch_add(1, std::memory_order_relaxed);
+  agg_.append(slot, dst, header, payload);
+}
+
+std::uint64_t Node::apply_atomic_add(std::uint8_t* addr, std::uint64_t operand,
+                                     std::uint32_t width) {
+  if (width == 4) {
+    auto* p = reinterpret_cast<std::uint32_t*>(addr);
+    return std::atomic_ref<std::uint32_t>(*p).fetch_add(
+        static_cast<std::uint32_t>(operand), std::memory_order_acq_rel);
+  }
+  auto* p = reinterpret_cast<std::uint64_t*>(addr);
+  return std::atomic_ref<std::uint64_t>(*p).fetch_add(
+      operand, std::memory_order_acq_rel);
+}
+
+std::uint64_t Node::apply_atomic_cas(std::uint8_t* addr,
+                                     std::uint64_t expected,
+                                     std::uint64_t desired,
+                                     std::uint32_t width) {
+  if (width == 4) {
+    auto* p = reinterpret_cast<std::uint32_t*>(addr);
+    auto want = static_cast<std::uint32_t>(expected);
+    std::atomic_ref<std::uint32_t>(*p).compare_exchange_strong(
+        want, static_cast<std::uint32_t>(desired), std::memory_order_acq_rel);
+    return want;  // holds the observed value either way
+  }
+  auto* p = reinterpret_cast<std::uint64_t*>(addr);
+  std::uint64_t want = expected;
+  std::atomic_ref<std::uint64_t>(*p).compare_exchange_strong(
+      want, desired, std::memory_order_acq_rel);
+  return want;
+}
+
+// ---------------------------------------------------------------- alloc --
+
+gmt_handle Node::op_alloc(Worker& w, std::uint64_t size, Alloc policy) {
+  GMT_CHECK_MSG(size > 0, "gmt_new of zero bytes");
+  const gmt_handle handle = gm_.reserve_handle();
+  register_everywhere(w, handle, size, policy);
+  return handle;
+}
+
+void Node::register_everywhere(Worker& w, gmt_handle handle,
+                               std::uint64_t size, Alloc policy) {
+  gm_.register_array(handle, size, policy, id_);
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_new outside task context");
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    if (n == id_) continue;
+    task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+    CmdHeader cmd;
+    cmd.op = Op::kAlloc;
+    cmd.handle = handle;
+    cmd.offset = size;
+    cmd.flags = static_cast<std::uint8_t>(policy);
+    cmd.aux1 = id_;
+    cmd.token = task_token(task);
+    emit(w.agg_slot(), n, cmd, nullptr);
+  }
+  w.task_block();  // allocation is globally visible when this returns
+}
+
+void Node::op_free(Worker& w, gmt_handle handle) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_free outside task context");
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    if (n == id_) continue;
+    task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+    CmdHeader cmd;
+    cmd.op = Op::kFree;
+    cmd.handle = handle;
+    cmd.token = task_token(task);
+    emit(w.agg_slot(), n, cmd, nullptr);
+  }
+  w.task_block();
+  gm_.unregister_array(handle);  // local partition last: remote acks are in
+}
+
+// ------------------------------------------------------------- put/get --
+
+void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
+                  const void* data, std::uint64_t size, bool blocking) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_put outside task context");
+  const ArrayMeta& meta = gm_.meta(h);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(offset, size, &spans);
+  const auto* src = static_cast<const std::uint8_t*>(data);
+
+  for (const OwnedSpan& span : spans) {
+    const std::uint8_t* span_src = src + (span.global_offset - offset);
+    if (span.node == id_ && config_.local_fast_path) {
+      std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
+                  span.size);
+      stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Chunk to the command payload limit.
+    std::uint64_t done = 0;
+    while (done < span.size) {
+      const std::uint64_t piece =
+          span.size - done < max_payload() ? span.size - done : max_payload();
+      task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+      CmdHeader cmd;
+      cmd.op = Op::kPut;
+      cmd.handle = h;
+      cmd.offset = span.local_offset + done;
+      cmd.token = task_token(task);
+      cmd.payload_size = static_cast<std::uint32_t>(piece);
+      emit(w.agg_slot(), span.node, cmd, span_src + done);
+      done += piece;
+    }
+  }
+  if (blocking) w.task_block();
+}
+
+void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
+                        std::uint64_t value, std::uint32_t size,
+                        bool blocking) {
+  GMT_CHECK_MSG(size >= 1 && size <= 8, "gmt_put_value size must be 1..8");
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_put_value outside task context");
+  const ArrayMeta& meta = gm_.meta(h);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(offset, size, &spans);
+
+  if (spans.size() > 1) {
+    // Crosses a partition boundary: degrade to a byte put.
+    op_put(w, h, offset, &value, size, blocking);
+    return;
+  }
+  const OwnedSpan& span = spans.front();
+  if (span.node == id_ && config_.local_fast_path) {
+    std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
+    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kPutValue;
+  cmd.handle = h;
+  cmd.offset = span.local_offset;
+  cmd.token = task_token(task);
+  cmd.aux1 = value;
+  cmd.aux2 = size;
+  emit(w.agg_slot(), span.node, cmd, nullptr);
+  if (blocking) w.task_block();
+}
+
+void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
+                  std::uint64_t size, bool blocking) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_get outside task context");
+  const ArrayMeta& meta = gm_.meta(h);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(offset, size, &spans);
+  auto* dst = static_cast<std::uint8_t*>(data);
+
+  for (const OwnedSpan& span : spans) {
+    std::uint8_t* span_dst = dst + (span.global_offset - offset);
+    if (span.node == id_ && config_.local_fast_path) {
+      std::memcpy(span_dst, gm_.get(h).local_ptr(span.local_offset),
+                  span.size);
+      stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::uint64_t done = 0;
+    while (done < span.size) {
+      const std::uint64_t piece =
+          span.size - done < max_payload() ? span.size - done : max_payload();
+      task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+      CmdHeader cmd;
+      cmd.op = Op::kGet;
+      cmd.handle = h;
+      cmd.offset = span.local_offset + done;
+      cmd.token = task_token(task);
+      cmd.aux1 = reinterpret_cast<std::uint64_t>(span_dst + done);
+      cmd.aux2 = piece;
+      emit(w.agg_slot(), span.node, cmd, nullptr);
+      done += piece;
+    }
+  }
+  if (blocking) w.task_block();
+}
+
+// ------------------------------------------------------------- atomics --
+
+namespace {
+
+// Atomics must target one naturally-aligned word on one node.
+const OwnedSpan& atomic_span(const std::vector<OwnedSpan>& spans,
+                             std::uint64_t offset, std::uint32_t width) {
+  GMT_CHECK_MSG(spans.size() == 1, "gmt atomic crosses a partition boundary");
+  GMT_CHECK_MSG(offset % width == 0, "gmt atomic misaligned");
+  GMT_CHECK_MSG(spans.front().local_offset % width == 0,
+                "gmt atomic misaligned within partition");
+  return spans.front();
+}
+
+}  // namespace
+
+std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
+                                  std::uint64_t offset, std::uint64_t operand,
+                                  std::uint32_t width) {
+  GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add outside task context");
+  const ArrayMeta& meta = gm_.meta(h);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(offset, width, &spans);
+  const OwnedSpan& span = atomic_span(spans, offset, width);
+
+  if (span.node == id_ && config_.local_fast_path) {
+    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    return apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
+                            width);
+  }
+  std::uint64_t old = 0;
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kAtomicAdd;
+  cmd.flags = width == 4 ? kWidth4 : kWidth8;
+  cmd.handle = h;
+  cmd.offset = span.local_offset;
+  cmd.token = task_token(task);
+  cmd.aux1 = operand;
+  cmd.aux2 = reinterpret_cast<std::uint64_t>(&old);
+  emit(w.agg_slot(), span.node, cmd, nullptr);
+  w.task_block();  // atomics return the old value, so they always block
+  return old;
+}
+
+std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
+                                  std::uint64_t offset, std::uint64_t expected,
+                                  std::uint64_t desired, std::uint32_t width) {
+  GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_atomic_cas outside task context");
+  const ArrayMeta& meta = gm_.meta(h);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(offset, width, &spans);
+  const OwnedSpan& span = atomic_span(spans, offset, width);
+
+  if (span.node == id_ && config_.local_fast_path) {
+    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    return apply_atomic_cas(gm_.get(h).local_ptr(span.local_offset), expected,
+                            desired, width);
+  }
+  std::uint64_t old = 0;
+  const std::uint64_t result_addr = reinterpret_cast<std::uint64_t>(&old);
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kAtomicCas;
+  cmd.flags = width == 4 ? kWidth4 : kWidth8;
+  cmd.handle = h;
+  cmd.offset = span.local_offset;
+  cmd.token = task_token(task);
+  cmd.aux1 = expected;
+  cmd.aux2 = desired;
+  cmd.payload_size = sizeof(result_addr);
+  emit(w.agg_slot(), span.node, cmd, &result_addr);
+  w.task_block();
+  return old;
+}
+
+// -------------------------------------------------------- waits/parfor --
+
+void Node::op_wait_commands(Worker& w) {
+  GMT_CHECK_MSG(w.current_task() != nullptr,
+                "gmt_wait_commands outside task context");
+  w.task_block();
+}
+
+void Node::op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
+                     TaskFn fn, const void* args, std::size_t args_size,
+                     Spawn policy) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_parfor outside task context");
+  GMT_CHECK_MSG(args_size <= max_payload(), "gmt_parfor args too large");
+  if (iterations == 0) return;
+
+  // Split [0, iterations) into per-node shares.
+  struct Share {
+    std::uint32_t node;
+    std::uint64_t begin;
+    std::uint64_t count;
+  };
+  std::vector<Share> shares;
+  const auto split = [&](const std::vector<std::uint32_t>& nodes) {
+    const auto n = static_cast<std::uint64_t>(nodes.size());
+    const std::uint64_t per = (iterations + n - 1) / n;
+    std::uint64_t begin = 0;
+    for (std::uint32_t node : nodes) {
+      if (begin >= iterations) break;
+      const std::uint64_t count =
+          per < iterations - begin ? per : iterations - begin;
+      shares.push_back(Share{node, begin, count});
+      begin += count;
+    }
+  };
+  switch (policy) {
+    case Spawn::kLocal:
+      shares.push_back(Share{id_, 0, iterations});
+      break;
+    case Spawn::kPartition: {
+      std::vector<std::uint32_t> nodes(num_nodes_);
+      for (std::uint32_t n = 0; n < num_nodes_; ++n) nodes[n] = n;
+      split(nodes);
+      break;
+    }
+    case Spawn::kRemote: {
+      std::vector<std::uint32_t> nodes;
+      for (std::uint32_t n = 0; n < num_nodes_; ++n)
+        if (n != id_ || num_nodes_ == 1) nodes.push_back(n);
+      split(nodes);
+      break;
+    }
+  }
+
+  for (const Share& share : shares) {
+    // Default chunk: enough tasks to keep every worker multithreaded
+    // without flooding the task queues.
+    std::uint64_t effective_chunk = chunk;
+    if (effective_chunk == 0) {
+      const std::uint64_t target_tasks =
+          static_cast<std::uint64_t>(config_.num_workers) * 16;
+      effective_chunk = share.count / (target_tasks ? target_tasks : 1);
+      if (effective_chunk == 0) effective_chunk = 1;
+    }
+    task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+    if (share.node == id_) {
+      auto* itb = new IterBlock;
+      itb->fn = fn;
+      itb->chunk = effective_chunk;
+      itb->begin = share.begin;
+      itb->end = share.begin + share.count;
+      itb->next.store(itb->begin, std::memory_order_relaxed);
+      itb->origin_node = id_;
+      itb->token = task_token(task);
+      if (args_size)
+        itb->args.assign(static_cast<const std::uint8_t*>(args),
+                         static_cast<const std::uint8_t*>(args) + args_size);
+      GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
+    } else {
+      CmdHeader cmd;
+      cmd.op = Op::kSpawn;
+      cmd.handle = reinterpret_cast<std::uint64_t>(fn);
+      cmd.offset = effective_chunk;
+      cmd.aux1 = share.begin;
+      cmd.aux2 = share.count;
+      cmd.token = task_token(task);
+      cmd.payload_size = static_cast<std::uint32_t>(args_size);
+      emit(w.agg_slot(), share.node, cmd, args);
+    }
+  }
+  // The calling task suspends until all iterations complete (paper §III-B).
+  w.task_block();
+}
+
+void Node::op_execute_on(Worker& w, std::uint32_t target, TaskFn fn,
+                         const void* args, std::size_t args_size) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_on outside task context");
+  GMT_CHECK_MSG(target < num_nodes_, "gmt_on target out of range");
+  GMT_CHECK_MSG(args_size <= max_payload(), "gmt_on args too large");
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  if (target == id_) {
+    auto* itb = new IterBlock;
+    itb->fn = fn;
+    itb->chunk = 1;
+    itb->begin = 0;
+    itb->end = 1;
+    itb->origin_node = id_;
+    itb->token = task_token(task);
+    if (args_size)
+      itb->args.assign(static_cast<const std::uint8_t*>(args),
+                       static_cast<const std::uint8_t*>(args) + args_size);
+    GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
+  } else {
+    CmdHeader cmd;
+    cmd.op = Op::kSpawn;
+    cmd.handle = reinterpret_cast<std::uint64_t>(fn);
+    cmd.offset = 1;  // chunk
+    cmd.aux1 = 0;
+    cmd.aux2 = 1;  // one iteration
+    cmd.token = task_token(task);
+    cmd.payload_size = static_cast<std::uint32_t>(args_size);
+    emit(w.agg_slot(), target, cmd, args);
+  }
+  w.task_block();
+}
+
+void Node::spawn_root(TaskFn fn, const void* args, std::size_t args_size,
+                      Task* root) {
+  auto* itb = new IterBlock;
+  itb->fn = fn;
+  itb->chunk = 1;
+  itb->begin = 0;
+  itb->end = 1;
+  itb->origin_node = id_;
+  itb->token = task_token(root);
+  if (args_size)
+    itb->args.assign(static_cast<const std::uint8_t*>(args),
+                     static_cast<const std::uint8_t*>(args) + args_size);
+  root->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
+}
+
+void Node::report_spawn_done(Worker& w, IterBlock* itb) {
+  if (itb->origin_node == id_) {
+    complete_one(itb->token);
+  } else {
+    CmdHeader cmd;
+    cmd.op = Op::kSpawnDone;
+    cmd.token = itb->token;
+    cmd.aux1 = itb->total();
+    emit(w.agg_slot(), itb->origin_node, cmd, nullptr);
+  }
+  delete itb;
+}
+
+}  // namespace gmt::rt

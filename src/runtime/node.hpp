@@ -1,0 +1,228 @@
+// One GMT node: global memory partition, aggregator, and the three kinds of
+// specialised threads (paper §IV-A) — workers execute tasks, helpers manage
+// the global address space and replies, a single communication server owns
+// the network endpoint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "collections/mpmc_queue.hpp"
+#include "common/cacheline.hpp"
+#include "common/config.hpp"
+#include "gmt/types.hpp"
+#include "net/transport.hpp"
+#include "runtime/aggregation.hpp"
+#include "runtime/global_memory.hpp"
+#include "runtime/task.hpp"
+#include "uthread/context.hpp"
+#include "uthread/stack.hpp"
+
+namespace gmt::rt {
+
+class Node;
+
+// Per-node counters surfaced to benches and tests.
+struct NodeStats {
+  PaddedAtomicU64 tasks_executed;
+  PaddedAtomicU64 iterations_executed;
+  PaddedAtomicU64 ctx_switches;
+  PaddedAtomicU64 local_ops;        // ops satisfied by the local fast path
+  PaddedAtomicU64 remote_ops;       // commands issued to other nodes
+  PaddedAtomicU64 cmds_executed;    // commands executed by helpers
+  PaddedAtomicU64 buffers_received; // aggregation buffers from the network
+};
+
+// Worker: executes application tasks, generates commands (paper Fig. 4).
+class Worker {
+ public:
+  Worker(Node* node, std::uint32_t worker_id, AggregationSlot* slot);
+
+  void start();
+  void join();
+
+  Node& node() { return *node_; }
+  std::uint32_t id() const { return id_; }
+  AggregationSlot& agg_slot() { return *slot_; }
+  Task* current_task() { return current_; }
+
+  // --- called from task context (the task is current_) ---
+
+  // Parks the current task until its pending_ops drains to zero. This is
+  // the latency-tolerance primitive: the worker switches to another task
+  // while the reply is in flight.
+  void task_block();
+
+  // Cooperative yield; the task stays runnable.
+  void task_yield();
+
+  // The worker that created the currently-running OS thread, or null when
+  // called from a non-worker thread (helpers, main).
+  static Worker* current();
+
+ private:
+  friend class Node;
+
+  void main_loop();
+  void run_task(Task* task);
+  bool try_adopt_work();
+  void finish_task(Task* task);
+  static void task_entry(void* raw_task);
+  Task* make_task(IterBlock* itb, std::uint64_t begin, std::uint64_t end);
+
+  Node* node_;
+  std::uint32_t id_;
+  AggregationSlot* slot_;
+  StackPool stacks_;
+  std::deque<Task*> runq_;
+  std::uint64_t live_tasks_ = 0;
+  Context sched_ctx_{};
+  Task* current_ = nullptr;
+  std::thread thread_;
+};
+
+// Helper: executes incoming commands against the local partition and
+// generates replies.
+class Helper {
+ public:
+  Helper(Node* node, std::uint32_t helper_id, AggregationSlot* slot);
+
+  void start();
+  void join();
+
+ private:
+  void main_loop();
+  void process_buffer(const net::InMessage& msg);
+  void execute(const CmdHeader& cmd, const std::uint8_t* payload,
+               std::uint32_t src);
+
+  Node* node_;
+  std::uint32_t id_;
+  AggregationSlot* slot_;
+  std::thread thread_;
+};
+
+// Communication server: the node's single network endpoint (paper §IV-B).
+class CommServer {
+ public:
+  explicit CommServer(Node* node);
+
+  void start();
+  void join();
+
+ private:
+  void main_loop();
+
+  Node* node_;
+  std::thread thread_;
+  // Buffers that hit transport backpressure, retried in order.
+  std::deque<AggBuffer*> retry_;
+};
+
+class Node {
+ public:
+  Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
+       net::Transport* transport);
+  ~Node();
+
+  void start();
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+  void join();
+
+  std::uint32_t id() const { return id_; }
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  const Config& config() const { return config_; }
+  GlobalMemory& memory() { return gm_; }
+  Aggregator& aggregator() { return agg_; }
+  net::Transport& transport() { return *transport_; }
+  MpmcQueue<IterBlock*>& itb_queue() { return itbs_; }
+  MpmcQueue<net::InMessage*>& incoming() { return incoming_; }
+  NodeStats& stats() { return stats_; }
+  Worker& worker(std::uint32_t i) { return *workers_[i]; }
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  // ---- operation layer: called from task context on this node ----
+
+  gmt_handle op_alloc(Worker& w, std::uint64_t size, Alloc policy);
+  void op_free(Worker& w, gmt_handle handle);
+
+  void op_put(Worker& w, gmt_handle h, std::uint64_t offset, const void* data,
+              std::uint64_t size, bool blocking);
+  void op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
+                    std::uint64_t value, std::uint32_t size, bool blocking);
+  void op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
+              std::uint64_t size, bool blocking);
+  std::uint64_t op_atomic_add(Worker& w, gmt_handle h, std::uint64_t offset,
+                              std::uint64_t operand, std::uint32_t width);
+  std::uint64_t op_atomic_cas(Worker& w, gmt_handle h, std::uint64_t offset,
+                              std::uint64_t expected, std::uint64_t desired,
+                              std::uint32_t width);
+  void op_wait_commands(Worker& w);
+  void op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
+                 TaskFn fn, const void* args, std::size_t args_size,
+                 Spawn policy);
+  void op_execute_on(Worker& w, std::uint32_t target, TaskFn fn,
+                     const void* args, std::size_t args_size);
+
+  // Registers `handle` locally and broadcasts kAlloc; used by op_alloc and
+  // by the bootstrap path (pre-registering before workers run).
+  void register_everywhere(Worker& w, gmt_handle handle, std::uint64_t size,
+                           Alloc policy);
+
+  // Enqueues the root work item (one iteration running `fn`); completion
+  // decrements root->pending_ops. Called by Cluster before/while threads run.
+  void spawn_root(TaskFn fn, const void* args, std::size_t args_size,
+                  Task* root);
+
+  // Worker-side completion of an iteration block (last iteration done).
+  void report_spawn_done(Worker& w, IterBlock* itb);
+
+  // Largest payload a single command may carry.
+  std::uint32_t max_payload() const {
+    return config_.buffer_size - 2 * kCmdHeaderSize;
+  }
+
+ private:
+  friend class Worker;
+  friend class Helper;
+  friend class CommServer;
+
+  // Emits one command on behalf of `task` (pending_ops already counted by
+  // the caller) or executes it locally when the fast path applies.
+  void emit(AggregationSlot& slot, std::uint32_t dst, const CmdHeader& header,
+            const void* payload);
+
+  // Shared atomic appliers (used by the local fast path and by helpers).
+  static std::uint64_t apply_atomic_add(std::uint8_t* addr,
+                                        std::uint64_t operand,
+                                        std::uint32_t width);
+  static std::uint64_t apply_atomic_cas(std::uint8_t* addr,
+                                        std::uint64_t expected,
+                                        std::uint64_t desired,
+                                        std::uint32_t width);
+
+  const std::uint32_t id_;
+  const std::uint32_t num_nodes_;
+  const Config config_;
+  net::Transport* transport_;
+
+  GlobalMemory gm_;
+  Aggregator agg_;
+  MpmcQueue<IterBlock*> itbs_;
+  MpmcQueue<net::InMessage*> incoming_;
+  NodeStats stats_;
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Helper>> helpers_;
+  std::unique_ptr<CommServer> comm_;
+};
+
+}  // namespace gmt::rt

@@ -1,0 +1,67 @@
+#include "runtime/stats_report.hpp"
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gmt::rt {
+
+ClusterStatsSummary summarize_stats(Cluster& cluster) {
+  ClusterStatsSummary summary;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    Node& node = cluster.node(n);
+    const NodeStats& stats = node.stats();
+    summary.tasks_executed += stats.tasks_executed.v.load();
+    summary.iterations_executed += stats.iterations_executed.v.load();
+    summary.ctx_switches += stats.ctx_switches.v.load();
+    summary.local_ops += stats.local_ops.v.load();
+    summary.remote_commands += stats.remote_ops.v.load();
+    summary.commands_executed += stats.cmds_executed.v.load();
+    const AggStats& agg = node.aggregator().stats();
+    summary.buffers_sent += agg.buffers_sent.v.load();
+    summary.buffer_bytes += agg.buffer_bytes.v.load();
+  }
+  summary.network_messages = cluster.total_network_messages();
+  summary.network_bytes = cluster.total_network_bytes();
+  return summary;
+}
+
+std::string format_stats_report(Cluster& cluster) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-5s %12s %12s %12s %12s %12s %12s\n", "node", "tasks",
+                "iters", "ctx-switch", "local ops", "remote cmds",
+                "cmds exec");
+  out += line;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    const NodeStats& stats = cluster.node(n).stats();
+    std::snprintf(line, sizeof(line),
+                  "%-5u %12llu %12llu %12llu %12llu %12llu %12llu\n", n,
+                  static_cast<unsigned long long>(
+                      stats.tasks_executed.v.load()),
+                  static_cast<unsigned long long>(
+                      stats.iterations_executed.v.load()),
+                  static_cast<unsigned long long>(
+                      stats.ctx_switches.v.load()),
+                  static_cast<unsigned long long>(stats.local_ops.v.load()),
+                  static_cast<unsigned long long>(stats.remote_ops.v.load()),
+                  static_cast<unsigned long long>(
+                      stats.cmds_executed.v.load()));
+    out += line;
+  }
+  const ClusterStatsSummary summary = summarize_stats(cluster);
+  std::snprintf(line, sizeof(line),
+                "network: %llu messages, %s, %.1f commands/message, "
+                "%s/message\n",
+                static_cast<unsigned long long>(summary.network_messages),
+                format_bytes(static_cast<double>(summary.network_bytes))
+                    .c_str(),
+                summary.commands_per_message(),
+                format_bytes(summary.bytes_per_message()).c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,45 @@
+// Runtime statistics reporting: a human-readable snapshot of every node's
+// task, command and aggregation counters — the first diagnostic for "is
+// aggregation actually coalescing?" and "are workers or helpers the
+// bottleneck?".
+#pragma once
+
+#include <string>
+
+namespace gmt::rt {
+
+class Cluster;
+
+struct ClusterStatsSummary {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t iterations_executed = 0;
+  std::uint64_t ctx_switches = 0;
+  std::uint64_t local_ops = 0;
+  std::uint64_t remote_commands = 0;
+  std::uint64_t commands_executed = 0;
+  std::uint64_t buffers_sent = 0;
+  std::uint64_t buffer_bytes = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+
+  // Average commands coalesced per network message (the aggregation
+  // figure of merit; 1.0 means aggregation did nothing).
+  double commands_per_message() const {
+    return network_messages
+               ? static_cast<double>(remote_commands) / network_messages
+               : 0;
+  }
+  double bytes_per_message() const {
+    return network_messages
+               ? static_cast<double>(network_bytes) / network_messages
+               : 0;
+  }
+};
+
+// Aggregates counters across all nodes of the cluster.
+ClusterStatsSummary summarize_stats(Cluster& cluster);
+
+// Multi-line report: per-node rows plus the cluster summary.
+std::string format_stats_report(Cluster& cluster);
+
+}  // namespace gmt::rt

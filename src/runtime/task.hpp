@@ -1,0 +1,96 @@
+// Task control blocks and iteration blocks (paper §IV-D, Fig. 4).
+//
+// A *task* is one user-level execution context: a function pointer, an
+// iteration range carved from a parallel loop, a stack and a saved context.
+// Workers multiplex up to max_tasks_per_worker of them, switching on every
+// blocking remote operation. An *iteration block* (itb) is the compact
+// representation of a spawned loop — "function, arguments, and the number
+// of tasks that execute the same function" — that travels in a single spawn
+// command instead of per-iteration messages.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gmt/types.hpp"
+#include "uthread/context.hpp"
+#include "uthread/stack.hpp"
+
+namespace gmt::rt {
+
+class Worker;
+struct IterBlock;
+
+enum class TaskState : std::uint8_t {
+  kReady,    // runnable (or never started)
+  kRunning,  // currently on a worker
+  kWaiting,  // parked until pending_ops drains to zero
+  kDone,     // finished; worker reclaims stack and TCB
+};
+
+struct Task {
+  // Execution state.
+  Context ctx{};
+  Stack stack;
+  TaskState state = TaskState::kReady;
+  bool started = false;
+  Worker* worker = nullptr;  // owning worker (tasks do not migrate)
+
+  // Outstanding operations: every remote command issued on behalf of this
+  // task (blocking or not, including spawn-done acks of a parfor)
+  // increments it; the completion handler decrements. The scheduler resumes
+  // a kWaiting task only when this reaches zero. Written by helper threads,
+  // read by the worker.
+  std::atomic<std::uint32_t> pending_ops{0};
+
+  // Work assignment: iterations [begin, end) of `itb` (null for the root
+  // task, which carries fn/args directly).
+  IterBlock* itb = nullptr;
+  TaskFn fn = nullptr;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  const void* args = nullptr;
+
+  bool runnable() const {
+    return state == TaskState::kReady ||
+           (state == TaskState::kWaiting &&
+            pending_ops.load(std::memory_order_acquire) == 0);
+  }
+};
+
+// Completion tokens: commands carry an opaque 64-bit cookie identifying the
+// waiting task at the origin node; replies echo it and the origin helper
+// decrements the task. (A real-MPI backend would index a request table; the
+// cookie discipline is identical.)
+inline std::uint64_t task_token(Task* task) {
+  return reinterpret_cast<std::uint64_t>(task);
+}
+inline void complete_one(std::uint64_t token) {
+  reinterpret_cast<Task*>(token)->pending_ops.fetch_sub(
+      1, std::memory_order_acq_rel);
+}
+
+// One spawned loop at one node. Lives until every iteration completed;
+// tasks reference its argument buffer in place.
+struct IterBlock {
+  TaskFn fn = nullptr;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t chunk = 1;
+  std::vector<std::uint8_t> args;
+
+  // Origin bookkeeping: where the parfor was issued and which task waits.
+  std::uint32_t origin_node = 0;
+  std::uint64_t token = 0;
+
+  // Claim cursor: workers fetch_add chunks off it (may overshoot end).
+  std::atomic<std::uint64_t> next{0};
+  // Completed iterations; the worker that completes the last one reports
+  // back to the origin and deletes the block.
+  std::atomic<std::uint64_t> completed{0};
+
+  std::uint64_t total() const { return end - begin; }
+};
+
+}  // namespace gmt::rt

@@ -1,0 +1,181 @@
+#include <pthread.h>
+
+#include "common/backoff.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::rt {
+
+namespace {
+thread_local Worker* t_current_worker = nullptr;
+}  // namespace
+
+Worker* Worker::current() { return t_current_worker; }
+
+Worker::Worker(Node* node, std::uint32_t worker_id, AggregationSlot* slot)
+    : node_(node),
+      id_(worker_id),
+      slot_(slot),
+      stacks_(node->config().task_stack_size,
+              /*initial_population=*/8) {}
+
+void Worker::start() {
+  thread_ = std::thread([this] {
+    t_current_worker = this;
+    if (node_->config().pin_threads) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(id_ % std::thread::hardware_concurrency(), &set);
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+    main_loop();
+    t_current_worker = nullptr;
+  });
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Task* Worker::make_task(IterBlock* itb, std::uint64_t begin,
+                        std::uint64_t end) {
+  Task* task = new Task;
+  task->stack = stacks_.acquire();
+  task->worker = this;
+  task->itb = itb;
+  task->fn = itb->fn;
+  task->args = itb->args.empty() ? nullptr : itb->args.data();
+  task->begin = begin;
+  task->end = end;
+  task->ctx = make_context(task->stack.base(), task->stack.size(),
+                           &Worker::task_entry, task);
+  return task;
+}
+
+void Worker::task_entry(void* raw_task) {
+  Task* task = static_cast<Task*>(raw_task);
+  Worker* worker = task->worker;
+  for (std::uint64_t i = task->begin; i < task->end; ++i) {
+    task->fn(i, task->args);
+    worker = task->worker;  // re-read: blocking ops resume on same worker
+  }
+  // Implicit wait: a task may finish its body with non-blocking operations
+  // still in flight; it must not be reclaimed until they complete.
+  worker->task_block();
+  task->state = TaskState::kDone;
+  // Final switch back to the scheduler; never returns.
+  gmt_ctx_switch(&task->ctx.sp, worker->sched_ctx_.sp);
+  GMT_CHECK_MSG(false, "finished task resumed");
+}
+
+void Worker::run_task(Task* task) {
+  current_ = task;
+  task->state = TaskState::kRunning;
+  task->started = true;
+  node_->stats().ctx_switches.v.fetch_add(1, std::memory_order_relaxed);
+  switch_context(&sched_ctx_, task->ctx);
+  current_ = nullptr;
+  if (task->state == TaskState::kDone) {
+    finish_task(task);
+  } else {
+    runq_.push_back(task);
+  }
+}
+
+void Worker::task_block() {
+  Task* task = current_;
+  GMT_CHECK_MSG(task != nullptr, "task_block outside task context");
+  while (task->pending_ops.load(std::memory_order_acquire) != 0) {
+    task->state = TaskState::kWaiting;
+    switch_context(&task->ctx, sched_ctx_);
+  }
+  task->state = TaskState::kRunning;
+}
+
+void Worker::task_yield() {
+  Task* task = current_;
+  GMT_CHECK_MSG(task != nullptr, "task_yield outside task context");
+  task->state = TaskState::kReady;
+  switch_context(&task->ctx, sched_ctx_);
+  task->state = TaskState::kRunning;
+}
+
+void Worker::finish_task(Task* task) {
+  node_->stats().tasks_executed.v.fetch_add(1, std::memory_order_relaxed);
+  node_->stats().iterations_executed.v.fetch_add(task->end - task->begin,
+                                                 std::memory_order_relaxed);
+  IterBlock* itb = task->itb;
+  const std::uint64_t n = task->end - task->begin;
+  stacks_.release(std::move(task->stack));
+  delete task;
+  --live_tasks_;
+  if (itb) {
+    const std::uint64_t done =
+        itb->completed.fetch_add(n, std::memory_order_acq_rel) + n;
+    if (done == itb->total()) node_->report_spawn_done(*this, itb);
+  }
+}
+
+bool Worker::try_adopt_work() {
+  IterBlock* itb = nullptr;
+  if (!node_->itb_queue().pop(&itb)) return false;
+
+  const std::uint64_t chunk = itb->chunk ? itb->chunk : 1;
+  const std::uint64_t begin =
+      itb->next.fetch_add(chunk, std::memory_order_relaxed);
+  if (begin >= itb->end) {
+    // Lost the race for the last chunk; nothing left to claim. The block
+    // stays alive until its completed counter fires — just drop it from
+    // the queue.
+    return false;
+  }
+  const std::uint64_t end =
+      begin + chunk < itb->end ? begin + chunk : itb->end;
+  if (end < itb->end) {
+    // More iterations remain: make the block visible to other workers.
+    GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
+  }
+  runq_.push_back(make_task(itb, begin, end));
+  ++live_tasks_;
+  return true;
+}
+
+void Worker::main_loop() {
+  Backoff backoff;
+  const std::uint64_t max_tasks = node_->config().max_tasks_per_worker;
+  for (;;) {
+    bool progressed = false;
+
+    // One scheduling pass: run the first runnable task (round-robin).
+    const std::size_t scan = runq_.size();
+    for (std::size_t i = 0; i < scan; ++i) {
+      Task* task = runq_.front();
+      runq_.pop_front();
+      if (task->runnable()) {
+        run_task(task);
+        progressed = true;
+        break;
+      }
+      runq_.push_back(task);
+    }
+
+    // Adopt new work while below the concurrency cap — or, as the nested-
+    // parallelism escape hatch, whenever every resident task is blocked
+    // (their children may be the very work sitting in the itb queue).
+    if (live_tasks_ < max_tasks || !progressed)
+      progressed |= try_adopt_work();
+
+    // Flush command blocks and aggregation queues past their deadlines.
+    node_->aggregator().poll_flush(*slot_, wall_ns());
+
+    if (progressed) {
+      backoff.reset();
+    } else {
+      if (node_->stopping() && live_tasks_ == 0) break;
+      backoff.pause();
+    }
+  }
+}
+
+}  // namespace gmt::rt

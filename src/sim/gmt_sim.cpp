@@ -1,0 +1,351 @@
+#include "sim/gmt_sim.hpp"
+
+#include <algorithm>
+
+namespace gmt::sim {
+
+SimGmtRuntime::SimGmtRuntime(Engine* engine, std::uint32_t num_nodes,
+                             const SimGmtConfig& config,
+                             const GmtCosts& costs)
+    : engine_(engine),
+      num_nodes_(num_nodes),
+      config_(config),
+      costs_(costs),
+      link_free_(static_cast<std::size_t>(num_nodes) * num_nodes, 0) {
+  GMT_CHECK(num_nodes >= 1);
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    auto node = std::make_unique<NodeSim>();
+    node->workers.resize(config.num_workers);
+    node->helper_free.assign(config.num_helpers, 0);
+    node->agg.resize(num_nodes);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+SimGmtRuntime::~SimGmtRuntime() {
+  // Normal completion leaves no live tasks or itbs; reclaim leftovers from
+  // aborted simulations.
+  for (auto& node : nodes_) {
+    for (ItbSim* itb : node->itbs) delete itb;
+    for (auto& worker : node->workers)
+      for (TaskRec* task : worker.runnable) delete task;
+  }
+}
+
+void SimGmtRuntime::parfor(std::uint64_t iterations, std::uint64_t chunk,
+                           TaskFactory factory,
+                           std::function<void()> on_complete,
+                           std::uint32_t origin) {
+  GMT_CHECK(iterations > 0);
+  auto rec = std::make_unique<ParforRec>();
+  rec->on_complete = std::move(on_complete);
+  ParforRec* parfor_rec = rec.get();
+  parfors_.push_back(std::move(rec));
+
+  auto shared_factory = std::make_shared<TaskFactory>(std::move(factory));
+  const std::uint64_t per = (iterations + num_nodes_ - 1) / num_nodes_;
+  std::uint64_t begin = 0;
+  for (std::uint32_t n = 0; n < num_nodes_ && begin < iterations; ++n) {
+    const std::uint64_t count = std::min(per, iterations - begin);
+    ++parfor_rec->pending_nodes;
+
+    auto* itb = new ItbSim;
+    itb->begin = begin;
+    itb->next = begin;
+    itb->end = begin + count;
+    itb->origin = origin;
+    itb->parfor = parfor_rec;
+    itb->factory = shared_factory;
+    itb->chunk = chunk;
+    if (itb->chunk == 0) {
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(config_.num_workers) * 16;
+      itb->chunk = std::max<std::uint64_t>(1, count / std::max<std::uint64_t>(
+                                                          target, 1));
+    }
+
+    if (n == origin) {
+      node(n).itbs.push_back(itb);
+      wake_node(n);
+    } else {
+      Entry spawn;
+      spawn.kind = Entry::Kind::kSpawn;
+      spawn.wire_bytes = config_.cmd_header_bytes + 64;  // args buffer
+      spawn.itb = itb;
+      spawn.src = origin;
+      append(origin, n, spawn);
+    }
+    begin += count;
+  }
+}
+
+void SimGmtRuntime::parfor_single(std::uint32_t target, std::uint64_t iterations,
+                                  std::uint64_t chunk, TaskFactory factory,
+                                  std::function<void()> on_complete) {
+  GMT_CHECK(iterations > 0 && target < num_nodes_);
+  auto rec = std::make_unique<ParforRec>();
+  rec->on_complete = std::move(on_complete);
+  rec->pending_nodes = 1;
+  ParforRec* parfor_rec = rec.get();
+  parfors_.push_back(std::move(rec));
+
+  auto* itb = new ItbSim;
+  itb->begin = 0;
+  itb->next = 0;
+  itb->end = iterations;
+  itb->origin = target;
+  itb->parfor = parfor_rec;
+  itb->factory = std::make_shared<TaskFactory>(std::move(factory));
+  itb->chunk = chunk ? chunk : 1;
+  node(target).itbs.push_back(itb);
+  wake_node(target);
+}
+
+void SimGmtRuntime::wake_worker(std::uint32_t n, std::uint32_t w) {
+  WorkerSim& worker = node(n).workers[w];
+  if (worker.tick_scheduled) return;
+  worker.tick_scheduled = true;
+  engine_->schedule_in(0, [this, n, w] { worker_tick(n, w); });
+}
+
+void SimGmtRuntime::wake_node(std::uint32_t n) {
+  NodeSim& target = node(n);
+  for (std::uint32_t w = 0; w < target.workers.size(); ++w) {
+    const WorkerSim& worker = target.workers[w];
+    if (!worker.runnable.empty() ||
+        (!target.itbs.empty() &&
+         worker.live_tasks < config_.max_tasks_per_worker))
+      wake_worker(n, w);
+  }
+}
+
+void SimGmtRuntime::worker_tick(std::uint32_t n, std::uint32_t w) {
+  NodeSim& home = node(n);
+  WorkerSim& worker = home.workers[w];
+  // tick_scheduled stays true while this tick runs: wake-ups triggered by
+  // the tick's own task completions must not spawn a parallel zero-delay
+  // tick chain (which would let the worker do unbounded work per instant).
+  GMT_DCHECK(worker.tick_scheduled);
+
+  double cycles = 0;
+  bool progressed = false;
+
+  if (!worker.runnable.empty()) {
+    TaskRec* task = worker.runnable.front();
+    worker.runnable.pop_front();
+    cycles += costs_.ctx_switch_cycles + costs_.sched_cycles;
+    cycles += run_task(task);
+    progressed = true;
+  } else if (!home.itbs.empty() &&
+             worker.live_tasks < config_.max_tasks_per_worker) {
+    ItbSim* itb = home.itbs.front();
+    const std::uint64_t begin = itb->next;
+    const std::uint64_t end = std::min(begin + itb->chunk, itb->end);
+    itb->next = end;
+    if (itb->next >= itb->end) home.itbs.pop_front();
+
+    auto* task = new TaskRec;
+    task->logic = (*itb->factory)(n, begin, end);
+    task->node = n;
+    task->worker = w;
+    task->itb = itb;
+    task->iterations = end - begin;
+    worker.runnable.push_back(task);
+    ++worker.live_tasks;
+    cycles += costs_.task_spawn_cycles;
+    progressed = true;
+  }
+
+  if (progressed) {
+    engine_->schedule_in(costs_.cycles_to_s(cycles),
+                         [this, n, w] { worker_tick(n, w); });
+  } else {
+    // Sleep; replies or spawns wake the worker, and partial aggregation
+    // buffers drain through their timeout events.
+    worker.tick_scheduled = false;
+  }
+}
+
+double SimGmtRuntime::run_task(TaskRec* task) {
+  double cycles = 0;
+  SimOp op;
+  for (;;) {
+    op = SimOp{};
+    const SimTask::Status status = task->logic->next(&op);
+    if (status == SimTask::Status::kDone) {
+      task->finished = true;
+      if (task->outstanding == 0) finish_task(task);
+      // else: zombie until the last reply credits it.
+      break;
+    }
+    cycles += op.work_cycles + costs_.cmd_gen_cycles;
+    ++commands_;
+    if (op.dst == task->node) {
+      // Local fast path: executed in place, no traffic, no suspension.
+      cycles += costs_.cmd_exec_cycles;
+      continue;
+    }
+    Entry request;
+    request.kind = Entry::Kind::kRequest;
+    request.wire_bytes = config_.cmd_header_bytes + op.request_payload;
+    request.task = task;
+    request.reply_payload = op.reply_payload;
+    request.src = task->node;
+    ++task->outstanding;
+    append(task->node, op.dst, request);
+    if (op.blocking) {
+      task->blocked = true;
+      break;
+    }
+  }
+  return cycles;
+}
+
+void SimGmtRuntime::finish_task(TaskRec* task) {
+  WorkerSim& worker = node(task->node).workers[task->worker];
+  GMT_DCHECK(worker.live_tasks > 0);
+  --worker.live_tasks;
+  ItbSim* itb = task->itb;
+  const std::uint64_t n = task->iterations;
+  const std::uint32_t at_node = task->node;
+  delete task;
+  if (itb) complete_iterations(itb, n, at_node);
+  // Freed capacity may unblock itb adoption.
+  wake_node(at_node);
+}
+
+void SimGmtRuntime::credit_reply(TaskRec* task) {
+  GMT_DCHECK(task->outstanding > 0);
+  --task->outstanding;
+  if (task->outstanding > 0) return;
+  if (task->finished) {
+    finish_task(task);
+  } else if (task->blocked) {
+    task->blocked = false;
+    node(task->node).workers[task->worker].runnable.push_back(task);
+    wake_worker(task->node, task->worker);
+  }
+}
+
+void SimGmtRuntime::complete_iterations(ItbSim* itb, std::uint64_t n,
+                                        std::uint32_t at_node) {
+  itb->completed += n;
+  if (itb->completed < itb->end - itb->begin) return;
+  ParforRec* parfor_rec = itb->parfor;
+  const std::uint32_t origin = itb->origin;
+  delete itb;
+  if (origin == at_node) {
+    if (--parfor_rec->pending_nodes == 0)
+      engine_->schedule_in(0, parfor_rec->on_complete);
+  } else {
+    Entry done;
+    done.kind = Entry::Kind::kDone;
+    done.wire_bytes = config_.cmd_header_bytes;
+    done.parfor = parfor_rec;
+    done.src = at_node;
+    append(at_node, origin, done);
+  }
+}
+
+void SimGmtRuntime::append(std::uint32_t src, std::uint32_t dst,
+                           Entry entry) {
+  AggQueue& queue = node(src).agg[dst];
+  queue.entries.push_back(entry);
+  queue.bytes += entry.wire_bytes;
+
+  if (!config_.aggregation_enabled) {
+    flush(src, dst);  // every command is its own message
+    return;
+  }
+  if (queue.bytes >= config_.buffer_size) {
+    flush(src, dst);
+  } else if (queue.entries.size() == 1) {
+    // First command since the last send: arm the flush deadline.
+    const std::uint64_t generation = queue.generation;
+    engine_->schedule_in(config_.agg_timeout_s, [this, src, dst, generation] {
+      AggQueue& q = node(src).agg[dst];
+      if (q.generation == generation && !q.entries.empty()) flush(src, dst);
+    });
+  }
+}
+
+void SimGmtRuntime::flush(std::uint32_t src, std::uint32_t dst) {
+  AggQueue& queue = node(src).agg[dst];
+  if (queue.entries.empty()) return;
+  std::vector<Entry> entries = std::move(queue.entries);
+  const std::uint64_t wire = queue.bytes;
+  queue.entries.clear();
+  queue.bytes = 0;
+  ++queue.generation;
+
+  // Aggregation copy, then link serialisation, then the wire.
+  const double copy_s = costs_.cycles_to_s(
+      costs_.aggregate_cycles +
+      costs_.copy_cycles_per_byte * static_cast<double>(wire));
+  SimTime& link = link_free_[static_cast<std::size_t>(src) * num_nodes_ + dst];
+  const SimTime depart = std::max(link, engine_->now() + copy_s);
+  const double occupancy = costs_.net.occupancy_s(wire);
+  link = depart + occupancy;
+  const SimTime arrive = depart + occupancy + costs_.net.latency_s;
+
+  ++messages_;
+  bytes_ += wire;
+  engine_->schedule(arrive,
+                    [this, src, dst, wire,
+                     moved = std::make_shared<std::vector<Entry>>(
+                         std::move(entries))]() mutable {
+                      deliver(src, dst, std::move(*moved), wire);
+                    });
+}
+
+void SimGmtRuntime::deliver(std::uint32_t src, std::uint32_t dst,
+                            std::vector<Entry> entries,
+                            std::uint64_t wire_bytes) {
+  (void)src;
+  (void)wire_bytes;
+  // Earliest-free helper services the whole buffer.
+  NodeSim& home = node(dst);
+  auto helper = std::min_element(home.helper_free.begin(),
+                                 home.helper_free.end());
+  const SimTime start = std::max(*helper, engine_->now());
+  const double service_s = costs_.cycles_to_s(
+      costs_.cmd_exec_cycles * static_cast<double>(entries.size()));
+  *helper = start + service_s;
+  engine_->schedule(start + service_s,
+                    [this, dst,
+                     moved = std::make_shared<std::vector<Entry>>(
+                         std::move(entries))] {
+                      execute_entries(dst, *moved);
+                    });
+}
+
+void SimGmtRuntime::execute_entries(std::uint32_t dst,
+                                    const std::vector<Entry>& entries) {
+  for (const Entry& entry : entries) {
+    switch (entry.kind) {
+      case Entry::Kind::kRequest: {
+        Entry reply;
+        reply.kind = Entry::Kind::kReply;
+        reply.wire_bytes = config_.cmd_header_bytes + entry.reply_payload;
+        reply.task = entry.task;
+        reply.src = dst;
+        append(dst, entry.src, reply);
+        break;
+      }
+      case Entry::Kind::kReply:
+        credit_reply(entry.task);
+        break;
+      case Entry::Kind::kSpawn:
+        node(dst).itbs.push_back(entry.itb);
+        wake_node(dst);
+        break;
+      case Entry::Kind::kDone:
+        if (--entry.parfor->pending_nodes == 0)
+          engine_->schedule_in(0, entry.parfor->on_complete);
+        break;
+    }
+  }
+}
+
+}  // namespace gmt::sim

@@ -1,0 +1,173 @@
+// Simulated GMT runtime: the paper's node architecture (workers multiplexing
+// tasks, per-destination aggregation with size/timeout flushing, helper
+// service, one network endpoint per node) as deterministic virtual-time
+// actors.
+//
+// Division of labour with the workloads: a SimTask executes its *semantics*
+// eagerly against host-side state (real BFS parent claims, real hash-map
+// mutations — the DES is single-threaded, so this is safe) and describes
+// each operation's *traffic* (destination, request/reply bytes, blocking)
+// to the runtime model, which reproduces the queueing behaviour: tasks
+// block until their reply returns, commands aggregate into buffers, links
+// serialise, helpers service buffers in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace gmt::sim {
+
+// One operation a task issues.
+struct SimOp {
+  std::uint32_t dst = 0;             // target node
+  std::uint32_t request_payload = 0; // bytes after the 48-byte header
+  std::uint32_t reply_payload = 0;   // bytes after the reply header
+  double work_cycles = 0;            // app compute preceding the op
+  bool blocking = true;              // task suspends until the reply lands
+};
+
+// A user task: produces operations until done. The runtime passes the
+// op buffer; semantics are applied by the task itself when producing.
+class SimTask {
+ public:
+  virtual ~SimTask() = default;
+  enum class Status { kOp, kDone };
+  virtual Status next(SimOp* op) = 0;
+};
+
+// Builds the task that executes iterations [begin, end) on `node`.
+using TaskFactory = std::function<std::unique_ptr<SimTask>(
+    std::uint32_t node, std::uint64_t begin, std::uint64_t end)>;
+
+class SimGmtRuntime {
+ public:
+  SimGmtRuntime(Engine* engine, std::uint32_t num_nodes,
+                const SimGmtConfig& config, const GmtCosts& costs);
+  ~SimGmtRuntime();
+
+  SimGmtRuntime(const SimGmtRuntime&) = delete;
+  SimGmtRuntime& operator=(const SimGmtRuntime&) = delete;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  Engine& engine() { return *engine_; }
+
+  // Distributes `iterations` over all nodes in contiguous shares, carves
+  // them into `chunk`-sized tasks, and calls on_complete (in virtual time)
+  // when every iteration finished. Spawn commands from node `origin` incur
+  // network traffic like any other command.
+  void parfor(std::uint64_t iterations, std::uint64_t chunk,
+              TaskFactory factory, std::function<void()> on_complete,
+              std::uint32_t origin = 0);
+
+  // All iterations on one node (the GMT_SPAWN_LOCAL pattern — e.g. the
+  // paper's two-node put experiments run every task on node 0).
+  void parfor_single(std::uint32_t node, std::uint64_t iterations,
+                     std::uint64_t chunk, TaskFactory factory,
+                     std::function<void()> on_complete);
+
+  // Traffic statistics.
+  std::uint64_t network_messages() const { return messages_; }
+  std::uint64_t network_bytes() const { return bytes_; }
+  std::uint64_t commands() const { return commands_; }
+
+ private:
+  struct ParforRec {
+    std::uint32_t pending_nodes = 0;
+    std::function<void()> on_complete;
+  };
+
+  struct ItbSim {
+    std::uint64_t next = 0;
+    std::uint64_t end = 0;
+    std::uint64_t chunk = 1;
+    std::uint64_t completed = 0;
+    std::uint64_t begin = 0;
+    std::uint32_t origin = 0;
+    ParforRec* parfor = nullptr;
+    std::shared_ptr<TaskFactory> factory;
+  };
+
+  struct TaskRec {
+    std::unique_ptr<SimTask> logic;
+    std::uint32_t node = 0;
+    std::uint32_t worker = 0;
+    ItbSim* itb = nullptr;
+    std::uint64_t iterations = 0;
+    std::uint32_t outstanding = 0;  // replies not yet received
+    bool blocked = false;
+    bool finished = false;  // logic done; zombie until outstanding == 0
+  };
+
+  // What a delivered command does at the destination.
+  struct Entry {
+    enum class Kind : std::uint8_t { kRequest, kReply, kSpawn, kDone };
+    Kind kind = Kind::kRequest;
+    std::uint32_t wire_bytes = 0;
+    // kRequest: reply routing; kReply: task to credit.
+    TaskRec* task = nullptr;
+    std::uint32_t reply_payload = 0;
+    std::uint32_t src = 0;
+    // kSpawn: the iteration block to instantiate at the destination.
+    ItbSim* itb = nullptr;
+    // kDone: parfor to credit.
+    ParforRec* parfor = nullptr;
+  };
+
+  struct AggQueue {
+    std::vector<Entry> entries;
+    std::uint64_t bytes = 0;
+    std::uint64_t generation = 0;  // bumped on every send
+  };
+
+  struct WorkerSim {
+    std::deque<TaskRec*> runnable;
+    std::uint64_t live_tasks = 0;
+    bool tick_scheduled = false;
+  };
+
+  struct NodeSim {
+    std::vector<WorkerSim> workers;
+    std::deque<ItbSim*> itbs;
+    std::vector<SimTime> helper_free;
+    std::vector<AggQueue> agg;  // per destination
+  };
+
+  NodeSim& node(std::uint32_t n) { return *nodes_[n]; }
+
+  void worker_tick(std::uint32_t n, std::uint32_t w);
+  void wake_worker(std::uint32_t n, std::uint32_t w);
+  void wake_node(std::uint32_t n);  // wake workers that can adopt itbs
+
+  // Runs `task` until it blocks or finishes; returns consumed cycles.
+  double run_task(TaskRec* task);
+  void finish_task(TaskRec* task);
+  void credit_reply(TaskRec* task);
+  void complete_iterations(ItbSim* itb, std::uint64_t n,
+                           std::uint32_t at_node);
+
+  void append(std::uint32_t src, std::uint32_t dst, Entry entry);
+  void flush(std::uint32_t src, std::uint32_t dst);
+  void deliver(std::uint32_t src, std::uint32_t dst,
+               std::vector<Entry> entries, std::uint64_t wire_bytes);
+  void execute_entries(std::uint32_t dst, const std::vector<Entry>& entries);
+
+  Engine* engine_;
+  const std::uint32_t num_nodes_;
+  SimGmtConfig config_;
+  GmtCosts costs_;
+  std::vector<std::unique_ptr<NodeSim>> nodes_;
+  std::vector<SimTime> link_free_;  // per ordered pair
+  std::vector<std::unique_ptr<ParforRec>> parfors_;
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t commands_ = 0;
+};
+
+}  // namespace gmt::sim

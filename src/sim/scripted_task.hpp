@@ -1,0 +1,56 @@
+// ScriptedTask: the common shape of simulated kernels. A task owns an
+// iteration range; per iteration a refill callback applies the kernel's
+// semantics against host-side state and scripts the operations (traffic)
+// that iteration would issue; the runtime model replays them with real
+// blocking behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/gmt_sim.hpp"
+
+namespace gmt::sim {
+
+class ScriptedTask final : public SimTask {
+ public:
+  // refill(iteration, &ops): append this iteration's operations (may append
+  // none — an iteration with purely local work).
+  using Refill = std::function<void(std::uint64_t, std::vector<SimOp>*)>;
+
+  ScriptedTask(std::uint64_t begin, std::uint64_t end, Refill refill)
+      : cursor_(begin), end_(end), refill_(std::move(refill)) {}
+
+  Status next(SimOp* op) override {
+    while (pending_.empty()) {
+      if (cursor_ >= end_) return Status::kDone;
+      scratch_.clear();
+      refill_(cursor_++, &scratch_);
+      pending_.insert(pending_.end(), scratch_.begin(), scratch_.end());
+    }
+    *op = pending_.front();
+    pending_.pop_front();
+    return Status::kOp;
+  }
+
+ private:
+  std::uint64_t cursor_;
+  std::uint64_t end_;
+  Refill refill_;
+  std::vector<SimOp> scratch_;
+  std::deque<SimOp> pending_;
+};
+
+// Block-distribution ownership arithmetic matching the real runtime's
+// ArrayMeta (8-byte-aligned blocks over `nodes` partitions).
+inline std::uint32_t owner_of_word(std::uint64_t word_index,
+                                   std::uint64_t total_words,
+                                   std::uint32_t nodes) {
+  const std::uint64_t block = (total_words + nodes - 1) / nodes;
+  const std::uint64_t owner = word_index / (block ? block : 1);
+  return static_cast<std::uint32_t>(owner < nodes ? owner : nodes - 1);
+}
+
+}  // namespace gmt::sim

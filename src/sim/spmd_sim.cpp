@@ -1,0 +1,117 @@
+#include "sim/spmd_sim.hpp"
+
+#include <algorithm>
+
+namespace gmt::sim {
+
+SimSpmd::SimSpmd(Engine* engine, std::uint32_t ranks, const SpmdCosts& costs)
+    : engine_(engine),
+      ranks_(ranks),
+      costs_(costs),
+      sims_(ranks),
+      link_free_(static_cast<std::size_t>(ranks) * ranks, 0) {
+  GMT_CHECK(ranks >= 1);
+}
+
+void SimSpmd::start(const RankFactory& factory,
+                    std::function<void()> on_complete) {
+  on_complete_ = std::move(on_complete);
+  for (std::uint32_t r = 0; r < ranks_; ++r) {
+    sims_[r].logic = factory(r);
+    engine_->schedule_in(0, [this, r] { step(r); });
+  }
+}
+
+void SimSpmd::send_message(std::uint32_t src, std::uint32_t dst,
+                           std::uint32_t bytes,
+                           std::function<void()> on_arrival) {
+  SimTime& link = link_free_[static_cast<std::size_t>(src) * ranks_ + dst];
+  const SimTime depart = std::max(link, engine_->now());
+  const double occupancy = costs_.net.occupancy_s(bytes);
+  link = depart + occupancy;
+  ++messages_;
+  bytes_ += bytes;
+  engine_->schedule(depart + occupancy + costs_.net.latency_s,
+                    std::move(on_arrival));
+}
+
+void SimSpmd::arrive_request(std::uint32_t dst, std::uint32_t src,
+                             SpmdOp op) {
+  // The owner is a serial resource: service starts when it is free. The
+  // receive occupies the owner for the NIC/stack interval (alpha), then
+  // the application-level service, then the blocking reply send (library
+  // envelope + another NIC interval) — all on the owner's single thread.
+  constexpr double kReplySendCycles = 2500;  // MPI_Send software cost
+  RankSim& owner = sims_[dst];
+  const SimTime start = std::max(owner.busy_until, engine_->now());
+  const SimTime finished =
+      start + 2 * costs_.net.alpha_s +
+      costs_.cycles_to_s(op.service_cycles + kReplySendCycles);
+  owner.busy_until = finished;
+  engine_->schedule(finished, [this, dst, src, op] {
+    send_message(dst, src, op.reply_bytes, [this, src] {
+      RankSim& requester = sims_[src];
+      GMT_DCHECK(requester.waiting_reply);
+      requester.waiting_reply = false;
+      step(src);
+    });
+  });
+}
+
+void SimSpmd::release_barrier() {
+  barrier_waiting_ = 0;
+  for (std::uint32_t r = 0; r < ranks_; ++r) {
+    if (sims_[r].in_barrier) {
+      sims_[r].in_barrier = false;
+      engine_->schedule_in(0, [this, r] { step(r); });
+    }
+  }
+}
+
+void SimSpmd::step(std::uint32_t rank) {
+  RankSim& sim = sims_[rank];
+  if (sim.done || sim.waiting_reply || sim.in_barrier) return;
+
+  SpmdOp op;
+  const RankLogic::Status status = sim.logic->next(&op);
+
+  // Own work also contends with servicing on the serial resource.
+  const SimTime start = std::max(sim.busy_until, engine_->now());
+  const SimTime after_work = start + costs_.cycles_to_s(op.work_cycles);
+  sim.busy_until = after_work;
+
+  switch (status) {
+    case RankLogic::Status::kLocal:
+      engine_->schedule(after_work, [this, rank] { step(rank); });
+      break;
+    case RankLogic::Status::kOp: {
+      sim.waiting_reply = true;
+      // Blocking send: the rank is occupied through the NIC interval.
+      sim.busy_until += costs_.net.alpha_s;
+      const std::uint32_t dst = op.dst;
+      engine_->schedule(sim.busy_until, [this, rank, dst, op] {
+        send_message(rank, dst, op.request_bytes, [this, rank, dst, op] {
+          arrive_request(dst, rank, op);
+        });
+      });
+      break;
+    }
+    case RankLogic::Status::kBarrier:
+      sim.in_barrier = true;
+      engine_->schedule(after_work, [this] {
+        if (++barrier_waiting_ == ranks_ - done_count_) release_barrier();
+      });
+      break;
+    case RankLogic::Status::kDone:
+      sim.done = true;
+      ++done_count_;
+      // A straggler barrier must not wait for finished ranks.
+      if (barrier_waiting_ > 0 && barrier_waiting_ == ranks_ - done_count_)
+        release_barrier();
+      if (done_count_ == ranks_ && on_complete_)
+        engine_->schedule_in(0, on_complete_);
+      break;
+  }
+}
+
+}  // namespace gmt::sim

@@ -1,0 +1,92 @@
+// Simulated SPMD baseline (MPI-like / UPC-like): one serial process per
+// node, blocking fine-grained request/reply messaging, no tasking, no
+// aggregation.
+//
+// Each rank is a serial server in virtual time. Its application logic
+// yields a stream of actions: local work, a blocking remote request (full
+// round trip: per-message overhead + wire + latency each way, plus service
+// at the owner, who is itself a contended serial resource), or a barrier.
+// Incoming requests are serviced whenever they arrive — the "poll while
+// you wait" discipline real codes need to avoid deadlock — consuming the
+// rank's serial capacity, which is exactly the contention that strangles
+// fine-grained PGAS/MPI codes in the paper's Figures 8, 9 and 11.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace gmt::sim {
+
+struct SpmdOp {
+  std::uint32_t dst = 0;
+  std::uint32_t request_bytes = 16;     // fine-grained message size
+  std::uint32_t reply_bytes = 16;
+  double work_cycles = 0;               // local compute before the action
+  double service_cycles = 300;          // owner-side handling cost
+};
+
+class RankLogic {
+ public:
+  virtual ~RankLogic() = default;
+  enum class Status {
+    kOp,       // blocking remote request/reply described in *op
+    kLocal,    // only local work (op->work_cycles)
+    kBarrier,  // synchronise with all ranks
+    kDone,     // this rank's stream is finished
+  };
+  virtual Status next(SpmdOp* op) = 0;
+};
+
+using RankFactory =
+    std::function<std::unique_ptr<RankLogic>(std::uint32_t rank)>;
+
+struct SpmdCosts {
+  double ghz = 2.1;
+  net::NetworkModel net = net::NetworkModel::olympus();
+  double cycles_to_s(double cycles) const { return cycles / (ghz * 1e9); }
+};
+
+class SimSpmd {
+ public:
+  SimSpmd(Engine* engine, std::uint32_t ranks, const SpmdCosts& costs);
+
+  // Instantiates logic per rank and starts them; on_complete fires when
+  // every rank returned kDone.
+  void start(const RankFactory& factory, std::function<void()> on_complete);
+
+  std::uint64_t network_messages() const { return messages_; }
+  std::uint64_t network_bytes() const { return bytes_; }
+
+ private:
+  struct RankSim {
+    std::unique_ptr<RankLogic> logic;
+    SimTime busy_until = 0;   // serial-resource horizon (serving + own work)
+    bool waiting_reply = false;
+    bool in_barrier = false;
+    bool done = false;
+  };
+
+  void step(std::uint32_t rank);
+  void send_message(std::uint32_t src, std::uint32_t dst,
+                    std::uint32_t bytes, std::function<void()> on_arrival);
+  void arrive_request(std::uint32_t dst, std::uint32_t src, SpmdOp op);
+  void release_barrier();
+
+  Engine* engine_;
+  const std::uint32_t ranks_;
+  SpmdCosts costs_;
+  std::vector<RankSim> sims_;
+  std::vector<SimTime> link_free_;
+  std::uint32_t barrier_waiting_ = 0;
+  std::uint32_t done_count_ = 0;
+  std::function<void()> on_complete_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gmt::sim

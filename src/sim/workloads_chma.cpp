@@ -1,0 +1,270 @@
+#include "sim/workloads_chma.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/string_pool.hpp"
+#include "sim/gmt_sim.hpp"
+#include "sim/scripted_task.hpp"
+
+namespace gmt::sim {
+
+namespace {
+
+// Host mirror of the distributed map (32-byte slots, linear probing) that
+// both simulated versions execute their semantics against.
+struct HostMap {
+  std::uint64_t capacity;
+  std::vector<std::uint64_t> tags;
+  std::vector<hash::StringKey> keys;
+
+  explicit HostMap(std::uint64_t min_capacity) {
+    capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    tags.assign(capacity, 0);
+    keys.resize(capacity);
+  }
+
+  // Returns the probe count and fills `found`.
+  std::uint64_t lookup(const hash::StringKey& key, bool* found) const {
+    const std::uint64_t h = hash::hash_key(key);
+    for (std::uint64_t probe = 0; probe < capacity; ++probe) {
+      const std::uint64_t i = (h + probe) & (capacity - 1);
+      if (tags[i] == 0) {
+        *found = false;
+        return probe + 1;
+      }
+      if (tags[i] == h && keys[i] == key) {
+        *found = true;
+        return probe + 1;
+      }
+    }
+    *found = false;
+    return capacity;
+  }
+
+  // Returns probes used; inserts if room.
+  std::uint64_t insert(const hash::StringKey& key) {
+    const std::uint64_t h = hash::hash_key(key);
+    for (std::uint64_t probe = 0; probe < capacity; ++probe) {
+      const std::uint64_t i = (h + probe) & (capacity - 1);
+      if (tags[i] == 0) {
+        tags[i] = h;
+        keys[i] = key;
+        return probe + 1;
+      }
+      if (tags[i] == h && keys[i] == key) return probe + 1;
+    }
+    return capacity;
+  }
+
+  std::uint64_t slot_of(const hash::StringKey& key) const {
+    return hash::hash_key(key) & (capacity - 1);
+  }
+};
+
+}  // namespace
+
+ChmaSimResult sim_chma_gmt(const ChmaSimParams& params,
+                           const SimGmtConfig& config,
+                           const GmtCosts& costs) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, params.nodes, config, costs);
+
+  const std::vector<hash::StringKey> pool =
+      hash::generate_pool(params.pool_size, params.seed);
+  auto map = std::make_shared<HostMap>(params.map_capacity);
+  for (std::uint64_t i = 0; i < params.populate && i < pool.size(); ++i)
+    map->insert(pool[i]);
+
+  // Slot words are 32 bytes = 4 words; ownership by slot index over the
+  // block-distributed slot array.
+  const std::uint64_t slots = map->capacity;
+  const auto owner_slot = [&](std::uint64_t slot) {
+    return owner_of_word(slot * 4, slots * 4, params.nodes);
+  };
+  const auto owner_pool = [&](std::uint64_t i) {
+    return owner_of_word(i * 3, params.pool_size * 3, params.nodes);
+  };
+
+  ChmaSimResult result;
+  result.accesses = params.tasks * params.steps;
+  double finish = 0;
+
+  runtime.parfor(
+      params.tasks, 1,
+      [&](std::uint32_t, std::uint64_t begin, std::uint64_t)
+          -> std::unique_ptr<SimTask> {
+        auto rng = std::make_shared<Xoshiro256>(
+            params.seed ^ (begin * 0xbf58476d1ce4e5b9ULL));
+        auto current = std::make_shared<hash::StringKey>(
+            pool[rng->below(pool.size())]);
+        return std::make_unique<ScriptedTask>(
+            0, params.steps,
+            [&, rng, current](std::uint64_t, std::vector<SimOp>* ops) {
+              // Pool fetch for the first step is folded into the miss path.
+              bool found = false;
+              const std::uint64_t probes = map->lookup(*current, &found);
+              const std::uint64_t base = map->slot_of(*current);
+              // One tag get per probe; a key get on the hit.
+              for (std::uint64_t p = 0; p < probes; ++p)
+                ops->push_back(SimOp{
+                    owner_slot((base + p) & (map->capacity - 1)), 0, 8, 50,
+                    true});
+              if (found) {
+                ops->push_back(SimOp{
+                    owner_slot((base + probes - 1) & (map->capacity - 1)), 0,
+                    24, 40, true});
+                current->reverse();
+                const std::uint64_t ins_probes = map->insert(*current);
+                const std::uint64_t ins_base = map->slot_of(*current);
+                // CAS per probe; key put on the claimed slot.
+                for (std::uint64_t p = 0; p < ins_probes; ++p)
+                  ops->push_back(SimOp{
+                      owner_slot((ins_base + p) & (map->capacity - 1)), 8, 8,
+                      50, true});
+                ops->push_back(SimOp{
+                    owner_slot((ins_base + ins_probes - 1) &
+                               (map->capacity - 1)),
+                    24, 0, 40, true});
+              } else {
+                const std::uint64_t i = rng->below(pool.size());
+                *current = pool[i];
+                ops->push_back(SimOp{owner_pool(i), 0, 24, 40, true});
+              }
+            });
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+
+  result.seconds = finish;
+  result.messages = runtime.network_messages();
+  result.wire_bytes = runtime.network_bytes();
+  return result;
+}
+
+ChmaSimResult sim_chma_mpi(const ChmaSimParams& params,
+                           const SpmdCosts& costs) {
+  Engine engine;
+  SimSpmd spmd(&engine, params.nodes, costs);
+
+  const std::vector<hash::StringKey> pool =
+      hash::generate_pool(params.pool_size, params.seed);
+  // Per-rank sub-tables selected by hash (owner-compute partitioning).
+  auto tables = std::make_shared<std::vector<HostMap>>();
+  for (std::uint32_t r = 0; r < params.nodes; ++r)
+    tables->emplace_back((params.map_capacity + params.nodes - 1) /
+                         params.nodes);
+  const auto owner = [&](const hash::StringKey& key) {
+    return static_cast<std::uint32_t>(hash::hash_key(key) % params.nodes);
+  };
+  for (std::uint64_t i = 0; i < params.populate && i < pool.size(); ++i)
+    (*tables)[owner(pool[i])].insert(pool[i]);
+
+  // Each rank runs its share of the W streams sequentially; each remote
+  // step is a 24-byte request + small reply against the owner.
+  class Logic final : public RankLogic {
+   public:
+    Logic(std::uint32_t rank, const ChmaSimParams& params,
+          const std::vector<hash::StringKey>* pool,
+          std::vector<HostMap>* tables,
+          std::function<std::uint32_t(const hash::StringKey&)> owner)
+        : rank_(rank),
+          params_(params),
+          pool_(pool),
+          tables_(tables),
+          owner_(std::move(owner)),
+          rng_(params.seed ^ (rank * 0x2545f4914f6cdd1dULL)) {
+      stream_ = rank_;
+      if (stream_ < params_.tasks) begin_stream();
+    }
+
+    Status next(SpmdOp* op) override {
+      for (;;) {
+        if (stream_ >= params_.tasks) return Status::kDone;
+        if (step_ >= params_.steps) {
+          stream_ += stride();
+          if (stream_ >= params_.tasks) return Status::kDone;
+          begin_stream();
+          continue;
+        }
+        // One step: lookup (+insert on hit) at the owner.
+        ++step_;
+        bool found = false;
+        const std::uint32_t look_owner = owner_(current_);
+        const std::uint64_t probes =
+            (*tables_)[look_owner].lookup(current_, &found);
+        if (found) {
+          current_.reverse();
+          const std::uint32_t ins_owner = owner_(current_);
+          (*tables_)[ins_owner].insert(current_);
+          // Model: the lookup round trip; the insert to a (usually
+          // different) owner is a second request. Fold both into the
+          // dominant one per step plus extra service for the probes.
+          if (look_owner != rank_) {
+            fill_op(op, look_owner, probes + 2);
+            return Status::kOp;
+          }
+          if (ins_owner != rank_) {
+            fill_op(op, ins_owner, 2);
+            return Status::kOp;
+          }
+          op->work_cycles = 600 * static_cast<double>(probes);
+          return Status::kLocal;
+        }
+        current_ = (*pool_)[rng_.below(pool_->size())];
+        if (look_owner != rank_) {
+          fill_op(op, look_owner, probes);
+          return Status::kOp;
+        }
+        op->work_cycles = 600 * static_cast<double>(probes);
+        return Status::kLocal;
+      }
+    }
+
+   private:
+    std::uint32_t stride() const { return params_.nodes; }
+    void begin_stream() {
+      step_ = 0;
+      current_ = (*pool_)[rng_.below(pool_->size())];
+    }
+    void fill_op(SpmdOp* op, std::uint32_t dst, std::uint64_t probes) {
+      op->dst = dst;
+      op->request_bytes = 24 + 16;
+      op->reply_bytes = 16;
+      // Sender-side MPI library cost per message (envelope, matching).
+      op->work_cycles = 2500;
+      // Receiver-side envelope + the owner's local probe sequence.
+      op->service_cycles = 2000 + 300 * static_cast<double>(probes);
+    }
+
+    std::uint32_t rank_;
+    const ChmaSimParams params_;
+    const std::vector<hash::StringKey>* pool_;
+    std::vector<HostMap>* tables_;
+    std::function<std::uint32_t(const hash::StringKey&)> owner_;
+    Xoshiro256 rng_;
+    std::uint64_t stream_ = 0;
+    std::uint64_t step_ = 0;
+    hash::StringKey current_;
+  };
+
+  ChmaSimResult result;
+  result.accesses = params.tasks * params.steps;
+  double finish = 0;
+  spmd.start(
+      [&](std::uint32_t rank) -> std::unique_ptr<RankLogic> {
+        return std::make_unique<Logic>(rank, params, &pool, tables.get(),
+                                       owner);
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+
+  result.seconds = finish;
+  result.messages = spmd.network_messages();
+  result.wire_bytes = spmd.network_bytes();
+  return result;
+}
+
+}  // namespace gmt::sim

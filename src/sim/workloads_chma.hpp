@@ -1,0 +1,44 @@
+// Simulated Concurrent Hash Map Access (paper Figs. 10 and 11): the GMT
+// tasking version and the owner-compute MPI version over the same
+// deterministic string workload.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/spmd_sim.hpp"
+
+namespace gmt::sim {
+
+struct ChmaSimResult {
+  std::uint64_t accesses = 0;
+  double seconds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+
+  double maccesses_per_s() const {
+    return seconds > 0 ? static_cast<double>(accesses) / seconds / 1e6 : 0;
+  }
+};
+
+struct ChmaSimParams {
+  std::uint32_t nodes = 2;
+  std::uint64_t map_capacity = 1 << 20;
+  std::uint64_t pool_size = 1 << 16;
+  std::uint64_t populate = 1 << 15;
+  std::uint64_t tasks = 1024;   // W
+  std::uint64_t steps = 128;    // L
+  std::uint64_t seed = 42;
+};
+
+// GMT version: W tasks, each step a probe sequence of fine-grained gets
+// plus CAS/put on insert, against a block-distributed slot array.
+ChmaSimResult sim_chma_gmt(const ChmaSimParams& params,
+                           const SimGmtConfig& config, const GmtCosts& costs);
+
+// MPI version: ranks own hash-partitioned sub-tables; every remote step is
+// a blocking request/reply against the (serial, contended) owner.
+ChmaSimResult sim_chma_mpi(const ChmaSimParams& params,
+                           const SpmdCosts& costs);
+
+}  // namespace gmt::sim

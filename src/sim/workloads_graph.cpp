@@ -1,0 +1,588 @@
+#include "sim/workloads_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/gmt_sim.hpp"
+#include "sim/scripted_task.hpp"
+
+namespace gmt::sim {
+
+namespace {
+
+constexpr std::uint64_t kNoParent = ~0ULL;
+constexpr std::uint64_t kNeighborChunk = 512;
+
+// Host-side BFS state shared by all simulated tasks (single-threaded DES).
+struct BfsState {
+  const graph::Csr* csr;
+  std::uint32_t nodes;
+  std::vector<std::uint64_t> parents;
+  std::vector<std::uint64_t> frontier;
+  std::vector<std::uint64_t> next;
+  std::uint64_t edges = 0;
+  std::uint64_t visited = 0;
+
+  std::uint32_t owner_offsets(std::uint64_t v) const {
+    return owner_of_word(v, csr->vertices + 1, nodes);
+  }
+  std::uint32_t owner_adjacency(std::uint64_t e) const {
+    return owner_of_word(e, std::max<std::uint64_t>(csr->edges(), 1), nodes);
+  }
+  std::uint32_t owner_vertex_word(std::uint64_t v) const {
+    return owner_of_word(v, csr->vertices, nodes);
+  }
+};
+
+// Scripts one frontier vertex: offsets read, chunked neighbour reads, a CAS
+// per neighbour, and counter/frontier updates for the winners — the same
+// operations the real kernel in src/kernels/bfs_gmt.cpp issues.
+void script_bfs_vertex(BfsState& state, std::uint64_t frontier_index,
+                       std::vector<SimOp>* ops) {
+  const graph::Csr& csr = *state.csr;
+  const std::uint64_t v = state.frontier[frontier_index];
+
+  // Frontier read + edge_range (two offset words in one get).
+  ops->push_back(SimOp{state.owner_vertex_word(frontier_index), 0, 8, 60,
+                       true});
+  ops->push_back(SimOp{state.owner_offsets(v), 0, 16, 60, true});
+
+  const std::uint64_t begin = csr.offsets[v];
+  const std::uint64_t end = csr.offsets[v + 1];
+  if (end > begin) {
+    // Edge-counter atomic (counters array lives on node 0).
+    ops->push_back(SimOp{0, 8, 8, 30, true});
+  }
+  for (std::uint64_t e = begin; e < end; e += kNeighborChunk) {
+    const std::uint64_t n = std::min<std::uint64_t>(kNeighborChunk, end - e);
+    ops->push_back(SimOp{state.owner_adjacency(e), 0,
+                         static_cast<std::uint32_t>(8 * n), 80, true});
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t u = csr.adjacency[e + k];
+      ++state.edges;
+      // Parent CAS (blocking, returns old value).
+      ops->push_back(SimOp{state.owner_vertex_word(u), 8, 8, 40, true});
+      if (state.parents[u] == kNoParent) {
+        state.parents[u] = v;
+        ++state.visited;
+        const std::uint64_t slot = state.next.size();
+        state.next.push_back(u);
+        // Slot reservation on node 0, then the non-blocking frontier put.
+        ops->push_back(SimOp{0, 8, 8, 30, true});
+        ops->push_back(SimOp{state.owner_vertex_word(slot), 8, 0, 30, false});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GraphKernelResult sim_bfs_gmt(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t root, const SimGmtConfig& config,
+                              const GmtCosts& costs, std::uint64_t chunk) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, nodes, config, costs);
+
+  BfsState state;
+  state.csr = &csr;
+  state.nodes = nodes;
+  state.parents.assign(csr.vertices, kNoParent);
+  state.parents[root] = root;
+  state.frontier.push_back(root);
+  state.visited = 1;
+
+  GraphKernelResult result;
+  double finish = 0;
+
+  // Level-synchronous driver: each level is one cluster-wide parfor; the
+  // completion callback starts the next level.
+  auto run_level = std::make_shared<std::function<void()>>();
+  *run_level = [&, run_level] {
+    if (state.frontier.empty()) {
+      finish = engine.now();
+      return;
+    }
+    ++result.levels;
+    state.next.clear();
+    runtime.parfor(
+        state.frontier.size(), chunk,
+        [&](std::uint32_t, std::uint64_t begin, std::uint64_t end)
+            -> std::unique_ptr<SimTask> {
+          return std::make_unique<ScriptedTask>(
+              begin, end, [&](std::uint64_t i, std::vector<SimOp>* ops) {
+                script_bfs_vertex(state, i, ops);
+              });
+        },
+        [&, run_level] {
+          std::swap(state.frontier, state.next);
+          (*run_level)();
+        });
+  };
+  (*run_level)();
+  engine.run();
+
+  result.edges_traversed = state.edges;
+  result.visited = state.visited;
+  result.seconds = finish;
+  result.messages = runtime.network_messages();
+  result.wire_bytes = runtime.network_bytes();
+  return result;
+}
+
+// -------------------------------------------------------------- UPC BFS --
+
+namespace {
+
+// One UPC thread's BFS: processes frontier slice id, id+T, ... with one
+// blocking shared read per word and a remote CAS per neighbour; barrier
+// between levels. Shared host state mirrors the real bfs_upc kernel.
+struct UpcBfsShared {
+  const graph::Csr* csr;
+  std::uint32_t threads;
+  std::vector<std::uint64_t> parents;
+  std::vector<std::uint64_t> frontier;
+  std::vector<std::uint64_t> next;
+  std::uint64_t edges = 0;
+  std::uint64_t visited = 1;
+  std::uint64_t levels = 0;
+  std::uint32_t swap_epoch = 0;  // guards the once-per-level swap
+
+  std::uint32_t owner_word(std::uint64_t w, std::uint64_t total) const {
+    return owner_of_word(w, total, threads);
+  }
+};
+
+class UpcBfsLogic final : public RankLogic {
+ public:
+  UpcBfsLogic(UpcBfsShared* shared, std::uint32_t id)
+      : shared_(shared), id_(id) {}
+
+  Status next(SpmdOp* op) override {
+    if (!pending_.empty()) {
+      *op = pending_.front();
+      pending_.erase(pending_.begin());
+      return Status::kOp;
+    }
+    if (at_barrier_) {
+      at_barrier_ = false;
+      // First thread resuming in the new epoch performs the level swap.
+      if (shared_->swap_epoch == epoch_) {
+        ++shared_->swap_epoch;
+        std::swap(shared_->frontier, shared_->next);
+        shared_->next.clear();
+        if (!shared_->frontier.empty()) ++shared_->levels;
+      }
+      ++epoch_;
+      cursor_ = id_;
+      if (shared_->frontier.empty()) return Status::kDone;
+    }
+    // Script the next owned frontier vertex.
+    while (cursor_ < shared_->frontier.size()) {
+      const std::uint64_t i = cursor_;
+      cursor_ += shared_->threads;
+      script_vertex(i);
+      if (!pending_.empty()) {
+        *op = pending_.front();
+        pending_.erase(pending_.begin());
+        return Status::kOp;
+      }
+    }
+    at_barrier_ = true;
+    return Status::kBarrier;
+  }
+
+ private:
+  void script_vertex(std::uint64_t i) {
+    const graph::Csr& csr = *shared_->csr;
+    const std::uint64_t v = shared_->frontier[i];
+    const auto word_op = [&](std::uint32_t dst, double work) {
+      SpmdOp op;
+      op.dst = dst;
+      op.request_bytes = 16;
+      op.reply_bytes = 16;
+      op.work_cycles = work;
+      op.service_cycles = 250;
+      if (dst != id_) pending_.push_back(op);
+    };
+    // Frontier word + two offset words.
+    word_op(shared_->owner_word(i, csr.vertices), 60);
+    word_op(shared_->owner_word(v, csr.vertices + 1), 40);
+    word_op(shared_->owner_word(v + 1, csr.vertices + 1), 40);
+    for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+      const std::uint64_t u = csr.adjacency[e];
+      ++shared_->edges;
+      // Adjacency word, then the parent CAS.
+      word_op(shared_->owner_word(
+                  e, std::max<std::uint64_t>(csr.edges(), 1)),
+              40);
+      word_op(shared_->owner_word(u, csr.vertices), 50);
+      if (shared_->parents[u] == kNoParent) {
+        shared_->parents[u] = v;
+        ++shared_->visited;
+        shared_->next.push_back(u);
+        // Counter add (thread 0) + next-frontier put.
+        word_op(0, 30);
+        word_op(shared_->owner_word(shared_->next.size() - 1, csr.vertices),
+                30);
+      }
+    }
+  }
+
+  UpcBfsShared* shared_;
+  std::uint32_t id_;
+  std::uint64_t cursor_ = 0;
+  std::uint32_t epoch_ = 0;
+  bool at_barrier_ = false;
+  std::vector<SpmdOp> pending_;
+};
+
+}  // namespace
+
+GraphKernelResult sim_bfs_upc(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t root, const SpmdCosts& costs) {
+  Engine engine;
+  SimSpmd spmd(&engine, nodes, costs);
+
+  UpcBfsShared shared;
+  shared.csr = &csr;
+  shared.threads = nodes;
+  shared.parents.assign(csr.vertices, kNoParent);
+  shared.parents[root] = root;
+  shared.next.push_back(root);  // swapped in by the first epoch
+  shared.swap_epoch = 0;
+
+  GraphKernelResult result;
+  double finish = 0;
+  // Every thread starts at the barrier state so the first swap installs
+  // the root frontier.
+  spmd.start(
+      [&](std::uint32_t rank) -> std::unique_ptr<RankLogic> {
+        auto logic = std::make_unique<UpcBfsLogic>(&shared, rank);
+        return logic;
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+
+  result.edges_traversed = shared.edges;
+  result.visited = shared.visited;
+  result.levels = shared.levels;
+  result.seconds = finish;
+  result.messages = spmd.network_messages();
+  result.wire_bytes = spmd.network_bytes();
+  return result;
+}
+
+// -------------------------------------------------------------- XMT BFS --
+
+GraphKernelResult sim_bfs_xmt(const graph::Csr& csr,
+                              std::uint32_t processors, std::uint64_t root,
+                              const XmtModel& model) {
+  // Host BFS to obtain per-level edge counts, then the analytic model.
+  GraphKernelResult result;
+  std::vector<std::uint64_t> parents(csr.vertices, kNoParent);
+  std::vector<std::uint64_t> frontier{root}, next;
+  parents[root] = root;
+  result.visited = 1;
+
+  double seconds = 0;
+  while (!frontier.empty()) {
+    ++result.levels;
+    std::uint64_t level_edges = 0;
+    next.clear();
+    for (std::uint64_t v : frontier) {
+      for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+        const std::uint64_t u = csr.adjacency[e];
+        ++level_edges;
+        if (parents[u] == kNoParent) {
+          parents[u] = v;
+          next.push_back(u);
+          ++result.visited;
+        }
+      }
+    }
+    result.edges_traversed += level_edges;
+    // Saturated rate scaled down when a level lacks parallelism.
+    const double per_proc = static_cast<double>(level_edges) / processors;
+    const double utilisation =
+        std::min(1.0, per_proc / model.min_parallel_edges);
+    const double rate =
+        model.edge_rate_per_proc * processors * std::max(utilisation, 1e-3);
+    seconds += static_cast<double>(level_edges) / rate +
+               model.level_overhead_s;
+    frontier.swap(next);
+  }
+  result.seconds = seconds;
+  return result;
+}
+
+// -------------------------------------------------------------- GRW GMT --
+
+GraphKernelResult sim_grw_gmt(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t walkers, std::uint64_t length,
+                              const SimGmtConfig& config,
+                              const GmtCosts& costs, std::uint64_t seed) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, nodes, config, costs);
+
+  std::uint64_t edges = 0;
+  GraphKernelResult result;
+  double finish = 0;
+
+  runtime.parfor(
+      walkers, 1,
+      [&](std::uint32_t, std::uint64_t begin, std::uint64_t end)
+          -> std::unique_ptr<SimTask> {
+        // One walker per task; iterations within the task are its steps.
+        auto rng = std::make_shared<Xoshiro256>(
+            seed ^ (begin * 0x9e3779b97f4a7c15ULL));
+        auto current =
+            std::make_shared<std::uint64_t>(begin % csr.vertices);
+        return std::make_unique<ScriptedTask>(
+            0, length * (end - begin),
+            [&, rng, current](std::uint64_t, std::vector<SimOp>* ops) {
+              const std::uint64_t v = *current;
+              ops->push_back(SimOp{
+                  owner_of_word(v, csr.vertices + 1, nodes), 0, 16, 60,
+                  true});
+              const std::uint64_t deg = csr.degree(v);
+              if (deg == 0) {
+                *current = rng->below(csr.vertices);
+                return;
+              }
+              const std::uint64_t e = csr.offsets[v] + rng->below(deg);
+              ops->push_back(SimOp{
+                  owner_of_word(e, std::max<std::uint64_t>(csr.edges(), 1),
+                                nodes),
+                  0, 8, 60, true});
+              *current = csr.adjacency[e];
+              ++edges;
+            });
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+
+  result.edges_traversed = edges;
+  result.seconds = finish;
+  result.messages = runtime.network_messages();
+  result.wire_bytes = runtime.network_bytes();
+  return result;
+}
+
+// -------------------------------------------------------------- GRW MPI --
+
+GraphKernelResult sim_grw_mpi_batched(const graph::Csr& csr,
+                                      std::uint32_t ranks,
+                                      std::uint64_t walkers,
+                                      std::uint64_t length,
+                                      const SpmdCosts& costs,
+                                      std::uint64_t seed) {
+  // Semantic execution of the round-based delegation algorithm with
+  // alpha-beta costs per round: local advance time, batched all-to-all
+  // exchange, allreduce for termination.
+  struct Walk {
+    std::uint64_t current;
+    std::uint64_t remaining;
+    std::uint64_t rng;
+  };
+  const std::uint64_t vertices = csr.vertices;
+  const std::uint64_t block = (vertices + ranks - 1) / ranks;
+  const auto owner = [&](std::uint64_t v) {
+    return static_cast<std::uint32_t>(v / block);
+  };
+
+  std::vector<std::vector<Walk>> active(ranks);
+  for (std::uint64_t w = 0; w < walkers; ++w) {
+    const std::uint64_t start = w % vertices;
+    active[owner(start)].push_back(
+        Walk{start, length, seed ^ (w * 0x9e3779b97f4a7c15ULL)});
+  }
+
+  GraphKernelResult result;
+  constexpr double kStepCycles = 800;      // degree lookup + pick + move
+                                             // (cache-missing random access)
+  constexpr double kPackCycles = 120;      // serialise/deserialise one walk
+  constexpr double kSenderSwS = 1.2e-6;    // MPI library cost per message
+  constexpr std::uint32_t kWalkBytes = 24;
+
+  std::uint64_t completed = 0;
+  double seconds = 0;
+  while (completed < walkers) {
+    ++result.levels;  // rounds
+    double max_local_s = 0;
+    double max_send_s = 0;
+    std::size_t recv_walks = 0;
+    std::vector<std::vector<Walk>> inbox(ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      std::uint64_t steps = 0;
+      std::vector<std::vector<Walk>> outbox(ranks);
+      for (Walk walk : active[r]) {
+        while (walk.remaining > 0 && owner(walk.current) == r) {
+          const std::uint64_t deg = csr.degree(walk.current);
+          if (deg == 0) {
+            walk.current = splitmix64(walk.rng) % vertices;
+            ++steps;
+            continue;
+          }
+          walk.current =
+              csr.adjacency[csr.offsets[walk.current] +
+                            splitmix64(walk.rng) % deg];
+          --walk.remaining;
+          ++result.edges_traversed;
+          ++steps;
+        }
+        if (walk.remaining == 0)
+          ++completed;
+        else
+          outbox[owner(walk.current)].push_back(walk);
+      }
+      double send_s = 0;
+      for (std::uint32_t d = 0; d < ranks; ++d) {
+        if (d == r || outbox[d].empty()) continue;
+        const std::uint64_t bytes = outbox[d].size() * kWalkBytes;
+        send_s += kSenderSwS + costs.net.occupancy_s(bytes) +
+                  costs.cycles_to_s(kPackCycles *
+                                    static_cast<double>(outbox[d].size()));
+        ++result.messages;
+        result.wire_bytes += bytes;
+        for (const Walk& walk : outbox[d]) inbox[d].push_back(walk);
+      }
+      max_local_s = std::max(
+          max_local_s,
+          costs.cycles_to_s(kStepCycles * static_cast<double>(steps)));
+      max_send_s = std::max(max_send_s, send_s);
+      recv_walks = std::max(recv_walks, inbox[r].size());
+    }
+    active = std::move(inbox);
+    // Round time: slowest rank's local phase, slowest sender's exchange,
+    // one latency for delivery, and a log-depth allreduce.
+    const double allreduce_s =
+        2.0 * std::ceil(std::log2(std::max<std::uint32_t>(ranks, 2))) *
+        (costs.net.alpha_s + costs.net.latency_s);
+    seconds += max_local_s + max_send_s +
+               costs.cycles_to_s(kPackCycles *
+                                 static_cast<double>(recv_walks)) +
+               costs.net.latency_s + allreduce_s;
+  }
+  result.seconds = seconds;
+  return result;
+}
+
+
+GraphKernelResult sim_grw_mpi(const graph::Csr& csr, std::uint32_t ranks,
+                              std::uint64_t walkers, std::uint64_t length,
+                              const SpmdCosts& costs, std::uint64_t seed) {
+  // Fire-and-forget per-walk delegation: a rank advances one walk at a
+  // time; when the walk leaves the local partition the rank sends the
+  // 24-byte walk state to the owner and moves on. Every send and every
+  // receive pays the MPI library envelope on the rank's single thread —
+  // the fine-grained message cost the paper contrasts with GMT.
+  struct Walk {
+    std::uint64_t current;
+    std::uint64_t remaining;
+    std::uint64_t rng;
+  };
+  struct RankState {
+    std::deque<Walk> pending;
+    SimTime busy_until = 0;
+    bool step_scheduled = false;
+  };
+
+  constexpr double kStepCycles = 800;
+  constexpr double kSendEnvelopeCycles = 2500;  // MPI_Send software cost
+  constexpr double kRecvEnvelopeCycles = 2500;  // matching + copy-out
+  constexpr std::uint32_t kWalkBytes = 24;
+
+  const std::uint64_t vertices = csr.vertices;
+  const std::uint64_t block = (vertices + ranks - 1) / ranks;
+  const auto owner = [&](std::uint64_t v) {
+    return static_cast<std::uint32_t>(v / block);
+  };
+
+  Engine engine;
+  std::vector<RankState> states(ranks);
+  std::vector<SimTime> link_free(static_cast<std::size_t>(ranks) * ranks, 0);
+
+  GraphKernelResult result;
+  std::uint64_t completed = 0;
+  double finish = 0;
+
+  for (std::uint64_t w = 0; w < walkers; ++w) {
+    const std::uint64_t start = w % vertices;
+    states[owner(start)].pending.push_back(
+        Walk{start, length, seed ^ (w * 0x9e3779b97f4a7c15ULL)});
+  }
+
+  // One event per processed walk segment on each rank's serial timeline.
+  std::function<void(std::uint32_t)> pump = [&](std::uint32_t r) {
+    RankState& state = states[r];
+    state.step_scheduled = false;
+    if (state.pending.empty()) return;
+
+    Walk walk = state.pending.front();
+    state.pending.pop_front();
+    const SimTime start = std::max(state.busy_until, engine.now());
+    double cycles = 0;
+    while (walk.remaining > 0 && owner(walk.current) == r) {
+      const std::uint64_t deg = csr.degree(walk.current);
+      cycles += kStepCycles;
+      if (deg == 0) {
+        walk.current = splitmix64(walk.rng) % vertices;
+        continue;
+      }
+      walk.current = csr.adjacency[csr.offsets[walk.current] +
+                                   splitmix64(walk.rng) % deg];
+      --walk.remaining;
+      ++result.edges_traversed;
+    }
+    SimTime done = start + costs.cycles_to_s(cycles);
+    if (walk.remaining == 0) {
+      ++completed;
+      if (completed == walkers) finish = done;
+    } else {
+      // Delegate: envelope + NIC interaction on this rank (a blocking
+      // MPI_Send holds the caller through the alpha occupancy), wire,
+      // envelope + NIC at the owner.
+      done += costs.cycles_to_s(kSendEnvelopeCycles) + costs.net.alpha_s;
+      const std::uint32_t dst = owner(walk.current);
+      SimTime& link = link_free[static_cast<std::size_t>(r) * ranks + dst];
+      const SimTime depart = std::max(link, done);
+      const double occupancy = costs.net.occupancy_s(kWalkBytes);
+      link = depart + occupancy;
+      ++result.messages;
+      result.wire_bytes += kWalkBytes;
+      engine.schedule(
+          depart + occupancy + costs.net.latency_s, [&, dst, walk] {
+            RankState& peer = states[dst];
+            peer.busy_until = std::max(peer.busy_until, engine.now()) +
+                              costs.cycles_to_s(kRecvEnvelopeCycles) +
+                              costs.net.alpha_s;
+            peer.pending.push_back(walk);
+            if (!peer.step_scheduled) {
+              peer.step_scheduled = true;
+              engine.schedule(peer.busy_until, [&, dst] { pump(dst); });
+            }
+          });
+    }
+    state.busy_until = done;
+    if (!state.pending.empty()) {
+      state.step_scheduled = true;
+      engine.schedule(done, [&, r] { pump(r); });
+    }
+  };
+
+  for (std::uint32_t r = 0; r < ranks; ++r)
+    if (!states[r].pending.empty()) {
+      states[r].step_scheduled = true;
+      engine.schedule_in(0, [&, r] { pump(r); });
+    }
+  engine.run();
+
+  result.seconds = finish;
+  return result;
+}
+}  // namespace gmt::sim

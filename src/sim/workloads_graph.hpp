@@ -1,0 +1,82 @@
+// Simulated graph kernels: BFS (GMT / UPC / Cray XMT models) and Graph
+// Random Walk (GMT / MPI models) for Figures 7, 8 and 9.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/generator.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/spmd_sim.hpp"
+
+namespace gmt::sim {
+
+struct GraphKernelResult {
+  std::uint64_t edges_traversed = 0;
+  std::uint64_t visited = 0;  // BFS only
+  std::uint64_t levels = 0;   // BFS only
+  double seconds = 0;         // virtual time
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+
+  double mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+// ---- BFS (paper Figs. 7 and 8) ----
+
+// GMT model: the real level-synchronous queue-based kernel executed over
+// the simulated runtime (CAS claims, frontier appends, counter atomics).
+GraphKernelResult sim_bfs_gmt(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t root, const SimGmtConfig& config,
+                              const GmtCosts& costs,
+                              std::uint64_t chunk = 0);
+
+// UPC model: one SPMD thread per node, blocking single-word reads and
+// remote CAS per edge, barrier per level.
+GraphKernelResult sim_bfs_upc(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t root, const SpmdCosts& costs);
+
+// Cray XMT model: 128 hardware streams per processor over a uniformly
+// scrambled memory — enough inherent latency tolerance that per-level time
+// is issue-rate-bound. Calibrated comparator (see DESIGN.md): per-processor
+// saturated traversal rate plus a per-level synchronisation overhead.
+struct XmtModel {
+  double edge_rate_per_proc = 20e6;  // saturated edges/s per processor
+  double level_overhead_s = 4e-3;    // full-machine sync + restart
+  // Parallelism ramp: a level with fewer edges than this per processor
+  // cannot saturate the streams.
+  double min_parallel_edges = 4096;
+};
+GraphKernelResult sim_bfs_xmt(const graph::Csr& csr, std::uint32_t processors,
+                              std::uint64_t root, const XmtModel& model = {});
+
+// ---- Graph Random Walk (paper Fig. 9) ----
+
+// GMT model: W walker tasks, three fine-grained reads per step.
+GraphKernelResult sim_grw_gmt(const graph::Csr& csr, std::uint32_t nodes,
+                              std::uint64_t walkers, std::uint64_t length,
+                              const SimGmtConfig& config,
+                              const GmtCosts& costs, std::uint64_t seed = 42);
+
+// MPI model: vertex-partitioned ranks; a walk leaving the local partition
+// is delegated to the owner with one fine-grained message (the paper's
+// measured baseline — §V-C notes that batching "is possible", i.e. the
+// plain version sends small messages per delegation). Each rank is a
+// serial resource paying library envelope costs per send and per receive.
+GraphKernelResult sim_grw_mpi(const graph::Csr& csr, std::uint32_t ranks,
+                              std::uint64_t walkers, std::uint64_t length,
+                              const SpmdCosts& costs, std::uint64_t seed = 42);
+
+// The batched variant (end-of-round all-to-all delegation exchange +
+// allreduce): the paper's suggested application-level aggregation,
+// reproduced as an ablation comparator.
+GraphKernelResult sim_grw_mpi_batched(const graph::Csr& csr,
+                                      std::uint32_t ranks,
+                                      std::uint64_t walkers,
+                                      std::uint64_t length,
+                                      const SpmdCosts& costs,
+                                      std::uint64_t seed = 42);
+
+}  // namespace gmt::sim

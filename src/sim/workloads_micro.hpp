@@ -1,0 +1,47 @@
+// Micro-workloads on the simulated runtimes: the paper's put-rate
+// experiments (Figs. 2, 5, 6) and the raw MPI comparator lines.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/spmd_sim.hpp"
+
+namespace gmt::sim {
+
+struct PutBenchResult {
+  std::uint64_t puts = 0;          // completed blocking puts
+  std::uint64_t payload_bytes = 0; // application payload moved
+  std::uint64_t wire_bytes = 0;    // bytes on the network
+  std::uint64_t messages = 0;      // network messages
+  double seconds = 0;              // virtual time
+
+  double payload_rate_MBps() const {
+    return seconds > 0
+               ? static_cast<double>(payload_bytes) / seconds / (1 << 20)
+               : 0;
+  }
+};
+
+struct PutBenchParams {
+  std::uint32_t nodes = 2;
+  std::uint64_t tasks = 1024;          // total concurrent tasks
+  std::uint64_t puts_per_task = 4096;  // blocking puts each (paper value)
+  std::uint32_t put_size = 8;          // payload bytes per put
+  bool all_nodes_send = false;  // false: node 0 -> node 1 (Fig. 5);
+                                // true: every node -> random peers (Fig. 6)
+  std::uint64_t seed = 42;
+  SimGmtConfig config;
+  GmtCosts costs;
+};
+
+// GMT blocking-put rate (runs its own engine to quiescence).
+PutBenchResult put_bench_gmt(const PutBenchParams& params);
+
+// The MPI comparator of Figs. 5/6: `processes` ranks per node issuing
+// back-to-back sends of `put_size` bytes with no aggregation — evaluated
+// through the same endpoint model as Table II.
+double mpi_send_rate_MBps(std::uint32_t put_size, std::uint32_t processes,
+                          const GmtCosts& costs);
+
+}  // namespace gmt::sim

@@ -1,0 +1,36 @@
+#include "uthread/context.hpp"
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace gmt {
+
+Context make_context(void* stack_base, std::size_t stack_size,
+                     ContextEntry entry, void* arg) {
+  GMT_CHECK(stack_base != nullptr);
+  GMT_CHECK(stack_size >= 1024);
+
+  // 16-byte align the usable top of the stack.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~static_cast<std::uintptr_t>(15);
+
+  // Synthetic frame: six callee-saved slots plus the trampoline as the
+  // return target. After gmt_ctx_switch's `ret`, rsp == top (16-aligned);
+  // the trampoline's `call` then establishes the entry's ABI-required
+  // alignment (rsp % 16 == 8 at function entry).
+  auto* frame = reinterpret_cast<std::uint64_t*>(top) - 7;
+  frame[0] = 0;                                         // r15
+  frame[1] = 0;                                         // r14
+  frame[2] = reinterpret_cast<std::uint64_t>(arg);      // r13 -> rdi
+  frame[3] = reinterpret_cast<std::uint64_t>(entry);    // r12 -> call target
+  frame[4] = 0;                                         // rbx
+  frame[5] = 0;                                         // rbp
+  frame[6] = reinterpret_cast<std::uint64_t>(&gmt_ctx_trampoline);
+
+  Context ctx;
+  ctx.sp = frame;
+  return ctx;
+}
+
+}  // namespace gmt

@@ -1,0 +1,50 @@
+// Custom user-level context switching.
+//
+// The paper (§IV-D): "GMT implements custom context switching primitives
+// that avoid some of the lengthy operations (e.g., saving and restoring
+// signal mask) performed by the standard libc context switching routines."
+// swapcontext() makes a sigprocmask syscall on every switch (~hundreds of
+// ns); this switch saves only the SysV callee-saved integer registers and
+// the stack pointer, giving the few-hundred-cycle switches of Table III.
+//
+// Floating-point state: the x87 control word and MXCSR are not saved. Tasks
+// inherit the process defaults and the runtime never changes rounding or
+// exception masks, so this is safe — and it is exactly the shortcut a
+// latency-critical runtime takes.
+#pragma once
+
+#include <cstdint>
+
+namespace gmt {
+
+// Opaque context: the saved stack pointer of a suspended execution.
+struct Context {
+  void* sp = nullptr;
+};
+
+using ContextEntry = void (*)(void* arg);
+
+extern "C" {
+// Saves the current callee-saved state on the running stack, stores the
+// resulting stack pointer into *save_sp, and resumes execution from
+// restore_sp. Implemented in context_x86_64.S.
+void gmt_ctx_switch(void** save_sp, void* restore_sp);
+
+// Entry glue (assembly): loads the argument and tail-calls the entry
+// function; aborts if the entry ever returns.
+void gmt_ctx_trampoline();
+}
+
+// Prepares a context on [stack_base, stack_base + stack_size) so that the
+// first switch into it invokes entry(arg). The stack top is 16-byte aligned
+// per the SysV ABI. entry must never return (finish by switching away).
+Context make_context(void* stack_base, std::size_t stack_size,
+                     ContextEntry entry, void* arg);
+
+// Switches from the current execution to `to`, saving the current state in
+// *from. Returns when something later switches back into *from.
+inline void switch_context(Context* from, const Context& to) {
+  gmt_ctx_switch(&from->sp, to.sp);
+}
+
+}  // namespace gmt

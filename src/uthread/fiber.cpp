@@ -1,0 +1,33 @@
+#include "uthread/fiber.hpp"
+
+#include "common/assert.hpp"
+
+namespace gmt {
+
+Fiber::Fiber(Stack stack, std::function<void(Fiber&)> body)
+    : stack_(std::move(stack)), body_(std::move(body)) {
+  own_ = make_context(stack_.base(), stack_.size(), &Fiber::entry, this);
+}
+
+void Fiber::entry(void* self) {
+  auto* fiber = static_cast<Fiber*>(self);
+  fiber->body_(*fiber);
+  fiber->finished_ = true;
+  // Final suspension: control returns to resume() and never comes back.
+  gmt_ctx_switch(&fiber->own_.sp, fiber->host_.sp);
+  GMT_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+bool Fiber::resume() {
+  GMT_CHECK_MSG(!finished_, "resume() on finished fiber");
+  started_ = true;
+  switch_context(&host_, own_);
+  return !finished_;
+}
+
+void Fiber::yield() {
+  GMT_DCHECK(started_);
+  switch_context(&own_, host_);
+}
+
+}  // namespace gmt

@@ -1,0 +1,50 @@
+// Fiber: one user-level execution (stack + context + entry closure).
+//
+// The runtime's Task wraps a Fiber; a Fiber is also directly usable, which
+// is what the context-switch measurements (Table III) and the uthread unit
+// tests do. A fiber is resumed from a host context and suspends back to it;
+// the host is whichever OS thread called resume() — fibers may migrate
+// between hosts across suspensions.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "uthread/context.hpp"
+#include "uthread/stack.hpp"
+
+namespace gmt {
+
+class Fiber {
+ public:
+  // The body runs on the fiber's own stack; it may call yield() any number
+  // of times and finishes by returning.
+  Fiber(Stack stack, std::function<void(Fiber&)> body);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Runs the fiber until it yields or finishes. Must not be called on a
+  // finished fiber. Returns true while the fiber has more work.
+  bool resume();
+
+  // Called from inside the fiber body: suspends back to the resume() caller.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+  // Reclaims the stack after the fiber finished (e.g., back into a pool).
+  Stack take_stack() && { return std::move(stack_); }
+
+ private:
+  static void entry(void* self);
+
+  Stack stack_;
+  std::function<void(Fiber&)> body_;
+  Context own_{};   // fiber-side saved context
+  Context host_{};  // resumer-side saved context
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace gmt

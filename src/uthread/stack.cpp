@@ -1,0 +1,76 @@
+#include "uthread/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace gmt {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+Stack::Stack(std::size_t usable_size) {
+  usable_size_ = round_up_pages(usable_size);
+  mapping_size_ = usable_size_ + page_size();
+  mapping_ = mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  GMT_CHECK_MSG(mapping_ != MAP_FAILED, "stack mmap failed");
+  // Guard page at the low end: stacks grow down into it on overflow.
+  GMT_CHECK(mprotect(mapping_, page_size(), PROT_NONE) == 0);
+  usable_ = static_cast<char*>(mapping_) + page_size();
+}
+
+Stack::~Stack() {
+  if (mapping_) munmap(mapping_, mapping_size_);
+}
+
+Stack::Stack(Stack&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      usable_(std::exchange(other.usable_, nullptr)),
+      mapping_size_(std::exchange(other.mapping_size_, 0)),
+      usable_size_(std::exchange(other.usable_size_, 0)) {}
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    if (mapping_) munmap(mapping_, mapping_size_);
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    usable_ = std::exchange(other.usable_, nullptr);
+    mapping_size_ = std::exchange(other.mapping_size_, 0);
+    usable_size_ = std::exchange(other.usable_size_, 0);
+  }
+  return *this;
+}
+
+StackPool::StackPool(std::size_t stack_size, std::size_t initial_population)
+    : stack_size_(stack_size) {
+  free_.reserve(initial_population);
+  for (std::size_t i = 0; i < initial_population; ++i)
+    free_.emplace_back(stack_size_);
+}
+
+Stack StackPool::acquire() {
+  if (free_.empty()) return Stack(stack_size_);
+  Stack stack = std::move(free_.back());
+  free_.pop_back();
+  return stack;
+}
+
+void StackPool::release(Stack stack) { free_.push_back(std::move(stack)); }
+
+}  // namespace gmt

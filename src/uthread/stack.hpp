@@ -1,0 +1,57 @@
+// Task stack allocation.
+//
+// Stacks are mmap'd with an inaccessible guard page below the usable range
+// so a task overflowing its stack faults instead of corrupting a neighbour.
+// StackPool pre-allocates and recycles stacks: with up to 1024 tasks per
+// worker (Table IV), per-task mmap/munmap would dominate spawn cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gmt {
+
+class Stack {
+ public:
+  // Empty stack (no mapping); assign a real one before use.
+  Stack() = default;
+
+  // Allocates usable_size bytes of stack plus one guard page.
+  explicit Stack(std::size_t usable_size);
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+
+  // Base of the usable region (above the guard page).
+  void* base() const { return usable_; }
+  std::size_t size() const { return usable_size_; }
+
+ private:
+  void* mapping_ = nullptr;
+  void* usable_ = nullptr;
+  std::size_t mapping_size_ = 0;
+  std::size_t usable_size_ = 0;
+};
+
+// Single-owner freelist of equally-sized stacks. Each worker owns one pool,
+// so no synchronisation is needed.
+class StackPool {
+ public:
+  StackPool(std::size_t stack_size, std::size_t initial_population);
+
+  // Grows on demand; never fails except by throwing on OOM.
+  Stack acquire();
+  void release(Stack stack);
+
+  std::size_t stack_size() const { return stack_size_; }
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::size_t stack_size_;
+  std::vector<Stack> free_;
+};
+
+}  // namespace gmt

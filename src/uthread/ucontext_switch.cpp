@@ -1,0 +1,39 @@
+#include "uthread/ucontext_switch.hpp"
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace gmt {
+
+namespace {
+
+// makecontext only passes int arguments portably; split the pointer.
+void entry_shim(unsigned hi, unsigned lo, unsigned fhi, unsigned flo) {
+  auto arg = reinterpret_cast<void*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  auto fn = reinterpret_cast<void (*)(void*)>(
+      (static_cast<std::uintptr_t>(fhi) << 32) | flo);
+  fn(arg);
+}
+
+}  // namespace
+
+void make_ucontext(UContext* out, void* stack_base, std::size_t stack_size,
+                   void (*entry)(void*), void* arg, UContext* link) {
+  GMT_CHECK(getcontext(&out->ctx) == 0);
+  out->ctx.uc_stack.ss_sp = stack_base;
+  out->ctx.uc_stack.ss_size = stack_size;
+  out->ctx.uc_link = link ? &link->ctx : nullptr;
+  const auto a = reinterpret_cast<std::uintptr_t>(arg);
+  const auto f = reinterpret_cast<std::uintptr_t>(entry);
+  makecontext(&out->ctx, reinterpret_cast<void (*)()>(entry_shim), 4,
+              static_cast<unsigned>(a >> 32), static_cast<unsigned>(a),
+              static_cast<unsigned>(f >> 32), static_cast<unsigned>(f));
+}
+
+void switch_ucontext(UContext* from, UContext* to) {
+  GMT_CHECK(swapcontext(&from->ctx, &to->ctx) == 0);
+}
+
+}  // namespace gmt

@@ -1,0 +1,25 @@
+// libc ucontext-based switching — the comparator the paper's custom switch
+// is measured against (swapcontext performs a sigprocmask syscall per
+// switch). Used only by the ablation benchmark; the runtime always uses the
+// custom switch.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+
+namespace gmt {
+
+struct UContext {
+  ucontext_t ctx;
+};
+
+// Prepares a ucontext running entry(arg) on the given stack; `link` resumes
+// when entry returns.
+void make_ucontext(UContext* out, void* stack_base, std::size_t stack_size,
+                   void (*entry)(void*), void* arg, UContext* link);
+
+// swapcontext wrapper (saves signal mask — the cost under study).
+void switch_ucontext(UContext* from, UContext* to);
+
+}  // namespace gmt

@@ -1,0 +1,250 @@
+// Tests for the MPI-like and UPC-like baseline runtimes and their kernels,
+// including cross-model agreement with the host reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <queue>
+
+#include "baselines/bfs_upc.hpp"
+#include "baselines/chma_mpi.hpp"
+#include "baselines/grw_mpi.hpp"
+#include "baselines/mpi_like.hpp"
+#include "baselines/upc_like.hpp"
+
+namespace gmt::baselines {
+namespace {
+
+// ------------------------------------------------------------- MPI world --
+
+TEST(MpiWorld, PingPong) {
+  MpiWorld world(2);
+  std::atomic<int> checks{0};
+  world.run([&](MpiRank& rank) {
+    if (rank.rank() == 0) {
+      const std::uint64_t payload = 0xabcdef;
+      rank.send(1, 7, &payload, sizeof(payload));
+      std::uint32_t src;
+      std::vector<std::uint8_t> reply;
+      rank.recv_tag(8, &src, &reply);
+      EXPECT_EQ(src, 1u);
+      std::uint64_t value;
+      std::memcpy(&value, reply.data(), 8);
+      EXPECT_EQ(value, 0xabcdef + 1);
+      ++checks;
+    } else {
+      std::uint32_t src;
+      std::vector<std::uint8_t> request;
+      rank.recv_tag(7, &src, &request);
+      std::uint64_t value;
+      std::memcpy(&value, request.data(), 8);
+      ++value;
+      rank.send(0, 8, &value, sizeof(value));
+      ++checks;
+    }
+  });
+  EXPECT_EQ(checks.load(), 2);
+}
+
+TEST(MpiWorld, TagMatchingSkipsOthers) {
+  MpiWorld world(2);
+  world.run([&](MpiRank& rank) {
+    if (rank.rank() == 0) {
+      const int a = 1, b = 2;
+      rank.send(1, 100, &a, sizeof(a));
+      rank.send(1, 200, &b, sizeof(b));
+    } else {
+      std::uint32_t src;
+      std::vector<std::uint8_t> payload;
+      rank.recv_tag(200, &src, &payload);  // out of order
+      int value;
+      std::memcpy(&value, payload.data(), 4);
+      EXPECT_EQ(value, 2);
+      rank.recv_tag(100, &src, &payload);
+      std::memcpy(&value, payload.data(), 4);
+      EXPECT_EQ(value, 1);
+    }
+  });
+}
+
+class MpiRanks : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MpiRanks, BarrierSynchronises) {
+  const std::uint32_t ranks = GetParam();
+  MpiWorld world(ranks);
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  world.run([&](MpiRank& rank) {
+    for (int round = 0; round < 3; ++round) {
+      phase_one.fetch_add(1);
+      rank.barrier();
+      // After the barrier, everyone finished the increment.
+      if (phase_one.load() < static_cast<int>(ranks) * (round + 1))
+        violated.store(true);
+      rank.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(MpiRanks, AllreduceSums) {
+  const std::uint32_t ranks = GetParam();
+  MpiWorld world(ranks);
+  std::atomic<bool> ok{true};
+  world.run([&](MpiRank& rank) {
+    const std::uint64_t total = rank.allreduce_sum(rank.rank() + 1);
+    if (total != static_cast<std::uint64_t>(ranks) * (ranks + 1) / 2)
+      ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MpiRanks, ::testing::Values(1, 2, 3, 5));
+
+// ------------------------------------------------------------- UPC world --
+
+class UpcThreads : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(UpcThreads, SharedArrayRoundTrip) {
+  const std::uint32_t threads = GetParam();
+  UpcWorld world(threads);
+  world.run([&](UpcThread& upc) {
+    const upc_array array = upc.alloc_shared(threads * 64);
+    // Each thread writes a pattern into every 64-byte stripe it owns by
+    // index, then all verify everything.
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      if (t == upc.id()) {
+        for (std::uint64_t w = 0; w < 8; ++w) {
+          const std::uint64_t value = t * 100 + w;
+          upc.sput(array, t * 64 + w * 8, &value, 8);
+        }
+      }
+    }
+    upc.barrier();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      for (std::uint64_t w = 0; w < 8; ++w) {
+        std::uint64_t value = 0;
+        upc.sget(array, t * 64 + w * 8, &value, 8);
+        EXPECT_EQ(value, t * 100 + w);
+      }
+    }
+    upc.barrier();
+  });
+}
+
+TEST_P(UpcThreads, RemoteAtomics) {
+  const std::uint32_t threads = GetParam();
+  UpcWorld world(threads);
+  world.run([&](UpcThread& upc) {
+    const upc_array counter = upc.alloc_shared(8);
+    for (int i = 0; i < 50; ++i) upc.sadd(counter, 0, 1);
+    upc.barrier();
+    std::uint64_t total = 0;
+    upc.sget(counter, 0, &total, 8);
+    EXPECT_EQ(total, threads * 50u);
+    upc.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, UpcThreads, ::testing::Values(1, 2, 4));
+
+TEST(UpcWorld, CasClaimsExactlyOnce) {
+  UpcWorld world(3);
+  std::atomic<int> wins{0};
+  world.run([&](UpcThread& upc) {
+    const upc_array cell = upc.alloc_shared(8);
+    if (upc.scas(cell, 0, 0, upc.id() + 1) == 0) wins.fetch_add(1);
+    upc.barrier();
+  });
+  EXPECT_EQ(wins.load(), 1);
+}
+
+TEST(UpcWorld, AllreduceCorrectForNonPowerOfTwo) {
+  UpcWorld world(3);
+  std::atomic<bool> ok{true};
+  world.run([&](UpcThread& upc) {
+    if (upc.allreduce_sum(10) != 30) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+// ------------------------------------------------------------ kernels ----
+
+struct HostBfs {
+  std::uint64_t visited = 0;
+  std::uint64_t edges = 0;
+};
+
+HostBfs host_bfs(const graph::Csr& csr, std::uint64_t root) {
+  HostBfs result;
+  std::vector<bool> seen(csr.vertices, false);
+  std::queue<std::uint64_t> queue;
+  seen[root] = true;
+  queue.push(root);
+  result.visited = 1;
+  while (!queue.empty()) {
+    const std::uint64_t v = queue.front();
+    queue.pop();
+    for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+      ++result.edges;
+      const std::uint64_t u = csr.adjacency[e];
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push(u);
+        ++result.visited;
+      }
+    }
+  }
+  return result;
+}
+
+graph::Csr test_graph(std::uint64_t vertices, std::uint64_t seed) {
+  return graph::build_csr(vertices,
+                          graph::generate_uniform({vertices, 1, 5, seed}));
+}
+
+TEST(BfsUpcKernel, MatchesHostReference) {
+  const graph::Csr csr = test_graph(500, 41);
+  const HostBfs reference = host_bfs(csr, 0);
+  for (std::uint32_t threads : {1u, 2u, 3u}) {
+    const BfsUpcResult result = bfs_upc(csr, threads, 0);
+    EXPECT_EQ(result.visited, reference.visited) << threads << " threads";
+    EXPECT_EQ(result.edges_traversed, reference.edges);
+  }
+}
+
+TEST(BfsUpcKernel, VisitedCacheVariantAgrees) {
+  const graph::Csr csr = test_graph(400, 43);
+  const HostBfs reference = host_bfs(csr, 0);
+  const BfsUpcResult result = bfs_upc(csr, 2, 0, /*use_visited_cache=*/true);
+  EXPECT_EQ(result.visited, reference.visited);
+}
+
+TEST(GrwMpiKernel, CompletesAllWalks) {
+  const graph::Csr csr = test_graph(300, 47);  // min degree 1: no dead ends
+  const GrwMpiResult result = grw_mpi(csr, 3, 30, 15);
+  EXPECT_EQ(result.edges_traversed, 30u * 15);
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(GrwMpiKernel, SingleRankDegeneratesToLocal) {
+  const graph::Csr csr = test_graph(100, 51);
+  const GrwMpiResult result = grw_mpi(csr, 1, 10, 10);
+  EXPECT_EQ(result.edges_traversed, 100u);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(ChmaMpiKernel, RunsAllSteps) {
+  const ChmaMpiResult result =
+      chma_mpi(/*ranks=*/3, /*map=*/2048, /*pool=*/512, /*populate=*/256,
+               /*streams=*/9, /*steps=*/12);
+  EXPECT_EQ(result.accesses, 9u * 12);
+}
+
+TEST(ChmaMpiKernel, WorksWithSingleRank) {
+  const ChmaMpiResult result = chma_mpi(1, 1024, 256, 128, 4, 10);
+  EXPECT_EQ(result.accesses, 40u);
+}
+
+}  // namespace
+}  // namespace gmt::baselines

@@ -1,0 +1,83 @@
+// Tests for the MPI-style BFS baseline against a host reference and the
+// other programming models.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "baselines/bfs_mpi.hpp"
+#include "baselines/bfs_upc.hpp"
+
+namespace gmt::baselines {
+namespace {
+
+struct HostBfs {
+  std::uint64_t visited = 0;
+  std::uint64_t edges = 0;
+};
+
+HostBfs host_bfs(const graph::Csr& csr, std::uint64_t root) {
+  HostBfs result;
+  std::vector<bool> seen(csr.vertices, false);
+  std::queue<std::uint64_t> queue;
+  seen[root] = true;
+  queue.push(root);
+  result.visited = 1;
+  while (!queue.empty()) {
+    const std::uint64_t v = queue.front();
+    queue.pop();
+    for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+      ++result.edges;
+      const std::uint64_t u = csr.adjacency[e];
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push(u);
+        ++result.visited;
+      }
+    }
+  }
+  return result;
+}
+
+class BfsMpiRanks : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BfsMpiRanks, MatchesHostReference) {
+  const std::uint32_t ranks = GetParam();
+  const auto csr = graph::build_csr(
+      600, graph::generate_uniform({600, 1, 5, 61}));
+  const HostBfs reference = host_bfs(csr, 0);
+  const BfsMpiResult result = bfs_mpi(csr, ranks, 0);
+  EXPECT_EQ(result.visited, reference.visited);
+  EXPECT_EQ(result.edges_traversed, reference.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, BfsMpiRanks, ::testing::Values(1, 2, 3));
+
+TEST(BfsMpi, DifferentRoots) {
+  const auto csr = graph::build_csr(
+      300, graph::generate_uniform({300, 1, 4, 67}));
+  for (std::uint64_t root : {7ull, 150ull, 299ull}) {
+    const HostBfs reference = host_bfs(csr, root);
+    const BfsMpiResult result = bfs_mpi(csr, 2, root);
+    EXPECT_EQ(result.visited, reference.visited) << "root " << root;
+  }
+}
+
+TEST(BfsMpi, AgreesWithUpcBaseline) {
+  const auto csr = graph::build_csr(
+      400, graph::generate_uniform({400, 1, 5, 71}));
+  const BfsMpiResult mpi = bfs_mpi(csr, 2, 0);
+  const BfsUpcResult upc = bfs_upc(csr, 2, 0);
+  EXPECT_EQ(mpi.visited, upc.visited);
+  EXPECT_EQ(mpi.edges_traversed, upc.edges_traversed);
+}
+
+TEST(BfsMpi, IsolatedRootVisitsOnlyItself) {
+  const auto csr = graph::build_csr(10, {{1, 2}, {2, 3}});
+  const BfsMpiResult result = bfs_mpi(csr, 2, 0);
+  EXPECT_EQ(result.visited, 1u);
+  EXPECT_EQ(result.edges_traversed, 0u);
+}
+
+}  // namespace
+}  // namespace gmt::baselines

@@ -1,0 +1,231 @@
+// Unit and stress tests for the lock-free collections.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "collections/mpmc_queue.hpp"
+#include "collections/pool.hpp"
+#include "collections/spsc_ring.hpp"
+
+namespace gmt {
+namespace {
+
+// ----------------------------------------------------------------- SPSC --
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(&out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  SpscRing<int> one(1);
+  EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> ring(4);
+  int out;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SpscRing, SizeApprox) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size_approx(), 2u);
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i)
+      while (!ring.push(i)) std::this_thread::yield();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t got;
+  while (expected < kCount) {
+    if (ring.pop(&got)) {
+      ASSERT_EQ(got, expected);  // strict FIFO, no loss, no duplication
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MovesOwnership) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.pop(&out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+// ----------------------------------------------------------------- MPMC --
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_FALSE(queue.push(99));
+  int out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.pop(&out));
+}
+
+TEST(MpmcQueue, ReusableAfterDrain) {
+  MpmcQueue<int> queue(4);
+  int out;
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(queue.push(round));
+    EXPECT_TRUE(queue.push(round + 1000));
+    ASSERT_TRUE(queue.pop(&out));
+    ASSERT_TRUE(queue.pop(&out));
+  }
+  EXPECT_TRUE(queue.empty_approx());
+}
+
+TEST(MpmcQueue, MultiThreadSumPreserved) {
+  // All pushed values are popped exactly once: the sum is conserved.
+  MpmcQueue<std::uint64_t> queue(256);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 30000;
+
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value = p * kPerProducer + i + 1;
+        while (!queue.push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t value;
+      while (consumed_count.load() < kProducers * kPerProducer) {
+        if (queue.pop(&value)) {
+          consumed_sum.fetch_add(value);
+          consumed_count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::uint64_t expected = 0;
+  for (std::uint64_t v = 1; v <= kProducers * kPerProducer; ++v) expected += v;
+  EXPECT_EQ(consumed_sum.load(), expected);
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+}
+
+// ----------------------------------------------------------------- pool --
+
+TEST(ObjectPool, AcquireReleaseCycle) {
+  ObjectPool<int> pool(4);
+  EXPECT_EQ(pool.population(), 4u);
+  std::vector<int*> held;
+  for (int i = 0; i < 4; ++i) {
+    int* obj = pool.try_acquire();
+    ASSERT_NE(obj, nullptr);
+    held.push_back(obj);
+  }
+  EXPECT_EQ(pool.try_acquire(), nullptr);  // exhausted, no allocation
+  for (int* obj : held) pool.release(obj);
+  EXPECT_EQ(pool.available_approx(), 4u);  // leak-free invariant
+}
+
+TEST(ObjectPool, ObjectsAreDistinct) {
+  ObjectPool<int> pool(8);
+  std::vector<int*> held;
+  for (int i = 0; i < 8; ++i) held.push_back(pool.try_acquire());
+  std::sort(held.begin(), held.end());
+  EXPECT_EQ(std::adjacent_find(held.begin(), held.end()), held.end());
+  for (int* obj : held) pool.release(obj);
+}
+
+TEST(ObjectPool, ConstructorArgsForwarded) {
+  struct Sized {
+    explicit Sized(std::size_t n) : data(n) {}
+    std::vector<int> data;
+  };
+  ObjectPool<Sized> pool(2, 37);
+  Sized* obj = pool.try_acquire();
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->data.size(), 37u);
+  pool.release(obj);
+}
+
+TEST(ObjectPool, GuardReturnsOnScopeExit) {
+  ObjectPool<int> pool(1);
+  {
+    PoolGuard<int> guard(pool, pool.try_acquire());
+    EXPECT_TRUE(guard);
+    EXPECT_EQ(pool.available_approx(), 0u);
+  }
+  EXPECT_EQ(pool.available_approx(), 1u);
+}
+
+TEST(ObjectPool, GuardDetachKeepsObject) {
+  ObjectPool<int> pool(1);
+  int* raw = nullptr;
+  {
+    PoolGuard<int> guard(pool, pool.try_acquire());
+    raw = guard.detach();
+  }
+  EXPECT_EQ(pool.available_approx(), 0u);  // detach prevented release
+  pool.release(raw);
+  EXPECT_EQ(pool.available_approx(), 1u);
+}
+
+TEST(ObjectPool, ConcurrentRecycling) {
+  ObjectPool<std::uint64_t> pool(16);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> cycles{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        std::uint64_t* obj = nullptr;
+        while (!(obj = pool.try_acquire())) std::this_thread::yield();
+        *obj = 42;  // touch
+        pool.release(obj);
+        cycles.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cycles.load(), 80000u);
+  EXPECT_EQ(pool.available_approx(), 16u);  // population restored
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,150 @@
+// Property-style parameterised sweeps over the lock-free collections:
+// conservation (nothing lost, nothing duplicated) across capacities and
+// thread mixes, and FIFO per producer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "collections/mpmc_queue.hpp"
+#include "collections/pool.hpp"
+#include "collections/spsc_ring.hpp"
+
+namespace gmt {
+namespace {
+
+// ---- SPSC across capacities ----
+
+class SpscCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpscCapacity, ConservationAndOrder) {
+  SpscRing<std::uint64_t> ring(GetParam());
+  constexpr std::uint64_t kCount = 50000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i)
+      while (!ring.push(i)) std::this_thread::yield();
+  });
+  std::uint64_t expected = 0, got;
+  while (expected < kCount) {
+    if (ring.pop(&got)) {
+      ASSERT_EQ(got, expected++);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpscCapacity,
+                         ::testing::Values(1, 2, 4, 64, 1024));
+
+// ---- MPMC across (capacity, producers, consumers) ----
+
+using MpmcParam = std::tuple<std::size_t, int, int>;
+
+class MpmcMix : public ::testing::TestWithParam<MpmcParam> {};
+
+TEST_P(MpmcMix, EveryValueExactlyOnce) {
+  const auto [capacity, producers, consumers] = GetParam();
+  MpmcQueue<std::uint64_t> queue(capacity);
+  constexpr std::uint64_t kPerProducer = 20000;
+  const std::uint64_t total = producers * kPerProducer;
+
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::atomic<std::uint8_t>> seen(total);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!queue.push(p * kPerProducer + i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t value;
+      while (popped.load() < total) {
+        if (queue.pop(&value)) {
+          // Exactly-once: flag must flip 0 -> 1.
+          ASSERT_EQ(seen[value].exchange(1), 0) << "duplicate " << value;
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(popped.load(), total);
+  for (std::uint64_t v = 0; v < total; ++v)
+    ASSERT_EQ(seen[v].load(), 1) << "lost " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, MpmcMix,
+    ::testing::Values(MpmcParam{4, 1, 1}, MpmcParam{64, 2, 1},
+                      MpmcParam{64, 1, 2}, MpmcParam{256, 2, 2},
+                      MpmcParam{16, 3, 3}));
+
+// FIFO holds per producer even under MPMC contention.
+TEST(MpmcProperty, PerProducerOrderPreserved) {
+  MpmcQueue<std::uint64_t> queue(128);
+  constexpr int kProducers = 2;
+  constexpr std::uint64_t kPerProducer = 30000;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, sequence).
+        while (!queue.push((static_cast<std::uint64_t>(p) << 32) | i))
+          std::this_thread::yield();
+      }
+    });
+  }
+  std::map<std::uint64_t, std::uint64_t> next_seq;
+  std::uint64_t value;
+  std::uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    if (!queue.pop(&value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t producer = value >> 32;
+    const std::uint64_t seq = value & 0xffffffff;
+    ASSERT_EQ(seq, next_seq[producer]++);
+    ++popped;
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+// ---- pool under many-thread churn, population invariant ----
+
+class PoolThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolThreads, PopulationConserved) {
+  const int threads = GetParam();
+  ObjectPool<std::uint64_t> pool(8);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 30000; ++i) {
+        std::uint64_t* obj;
+        while (!(obj = pool.try_acquire())) std::this_thread::yield();
+        *obj ^= 0x5a5a5a5a;  // touch
+        pool.release(obj);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(pool.available_approx(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PoolThreads, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,146 @@
+// Tests for the collective helpers composed from GMT primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "runtime/collectives.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  rt::Cluster cluster_{GetParam(), Config::testing()};
+};
+
+TEST_P(Collectives, FillWritesEveryElement) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 3000;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 0xabcd);
+    std::vector<std::uint64_t> data(kCount);
+    gmt_get(h, 0, data.data(), kCount * 8);
+    for (std::uint64_t v : data) ASSERT_EQ(v, 0xabcdu);
+    gmt_free(h);
+  });
+}
+
+TEST_P(Collectives, FillSubRangeLeavesRestUntouched) {
+  test::run_task(cluster_, [] {
+    const gmt_handle h = gmt_new(100 * 8, Alloc::kPartition);
+    coll::fill_u64(h, 10, 30, 7);
+    std::vector<std::uint64_t> data(100);
+    gmt_get(h, 0, data.data(), 100 * 8);
+    for (std::uint64_t i = 0; i < 100; ++i)
+      ASSERT_EQ(data[i], (i >= 10 && i < 40) ? 7u : 0u) << i;
+    gmt_free(h);
+  });
+}
+
+TEST_P(Collectives, ReduceSum) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 2500;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    std::vector<std::uint64_t> data(kCount);
+    std::iota(data.begin(), data.end(), 1);
+    gmt_put(h, 0, data.data(), kCount * 8);
+    EXPECT_EQ(coll::reduce_sum_u64(h, 0, kCount), kCount * (kCount + 1) / 2);
+    EXPECT_EQ(coll::reduce_sum_u64(h, 100, 5),
+              101u + 102 + 103 + 104 + 105);
+    EXPECT_EQ(coll::reduce_sum_u64(h, 0, 0), 0u);  // empty range
+    gmt_free(h);
+  });
+}
+
+TEST_P(Collectives, ReduceMinMax) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 1200;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    std::vector<std::uint64_t> data(kCount);
+    for (std::uint64_t i = 0; i < kCount; ++i)
+      data[i] = (i * 7919) % 10000 + 5;
+    data[577] = 3;        // global min
+    data[901] = 1 << 20;  // global max
+    gmt_put(h, 0, data.data(), kCount * 8);
+    EXPECT_EQ(coll::reduce_min_u64(h, 0, kCount), 3u);
+    EXPECT_EQ(coll::reduce_max_u64(h, 0, kCount), 1u << 20);
+    gmt_free(h);
+  });
+}
+
+TEST_P(Collectives, CountEqual) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 2000;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 1);
+    coll::fill_u64(h, 500, 250, 42);
+    EXPECT_EQ(coll::count_equal_u64(h, 0, kCount, 42), 250u);
+    EXPECT_EQ(coll::count_equal_u64(h, 0, kCount, 1), kCount - 250);
+    EXPECT_EQ(coll::count_equal_u64(h, 0, kCount, 99), 0u);
+    gmt_free(h);
+  });
+}
+
+TEST_P(Collectives, CopyBetweenArrays) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kBytes = 200000;
+    const gmt_handle src = gmt_new(kBytes, Alloc::kPartition);
+    const gmt_handle dst = gmt_new(kBytes, Alloc::kRemote);
+    std::vector<std::uint8_t> pattern(kBytes);
+    for (std::uint64_t i = 0; i < kBytes; ++i)
+      pattern[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    gmt_put(src, 0, pattern.data(), kBytes);
+    coll::copy(dst, 0, src, 0, kBytes);
+    std::vector<std::uint8_t> readback(kBytes);
+    gmt_get(dst, 0, readback.data(), kBytes);
+    EXPECT_EQ(readback, pattern);
+    gmt_free(src);
+    gmt_free(dst);
+  });
+}
+
+TEST_P(Collectives, CopyWithOffsets) {
+  test::run_task(cluster_, [] {
+    const gmt_handle src = gmt_new(1000, Alloc::kPartition);
+    const gmt_handle dst = gmt_new(1000, Alloc::kPartition);
+    std::uint8_t marker[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    gmt_put(src, 123, marker, 10);
+    coll::copy(dst, 777, src, 123, 10);
+    std::uint8_t out[10];
+    gmt_get(dst, 777, out, 10);
+    EXPECT_EQ(std::memcmp(out, marker, 10), 0);
+    gmt_free(src);
+    gmt_free(dst);
+  });
+}
+
+TEST_P(Collectives, HistogramCounts) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 1000;
+    constexpr std::uint64_t kBins = 8;
+    const gmt_handle data = gmt_new(kCount * 8, Alloc::kPartition);
+    const gmt_handle bins = gmt_new(kBins * 8, Alloc::kPartition);
+    std::vector<std::uint64_t> values(kCount);
+    std::vector<std::uint64_t> expected(kBins, 0);
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      values[i] = i * i + 3;
+      ++expected[values[i] % kBins];
+    }
+    gmt_put(data, 0, values.data(), kCount * 8);
+    coll::histogram_mod_u64(data, 0, kCount, bins, kBins);
+    std::vector<std::uint64_t> counts(kBins);
+    gmt_get(bins, 0, counts.data(), kBins * 8);
+    EXPECT_EQ(counts, expected);
+    gmt_free(data);
+    gmt_free(bins);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, Collectives, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gmt

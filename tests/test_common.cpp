@@ -1,0 +1,216 @@
+// Unit tests for src/common: units, config, rng, timing, backoff.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace gmt {
+namespace {
+
+// ---------------------------------------------------------------- units --
+
+TEST(Units, ParsesPlainNumbers) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parse_size("0", &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(parse_size("12345", &v));
+  EXPECT_EQ(v, 12345u);
+}
+
+TEST(Units, ParsesBinarySuffixes) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parse_size("64K", &v));
+  EXPECT_EQ(v, 64u << 10);
+  ASSERT_TRUE(parse_size("64KB", &v));
+  EXPECT_EQ(v, 64u << 10);
+  ASSERT_TRUE(parse_size("2M", &v));
+  EXPECT_EQ(v, 2u << 20);
+  ASSERT_TRUE(parse_size("1GB", &v));
+  EXPECT_EQ(v, 1ull << 30);
+  ASSERT_TRUE(parse_size("1T", &v));
+  EXPECT_EQ(v, 1ull << 40);
+}
+
+TEST(Units, ParsesLowercaseSuffixes) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parse_size("8kb", &v));
+  EXPECT_EQ(v, 8u << 10);
+}
+
+TEST(Units, ParsesFractions) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parse_size("1.5K", &v));
+  EXPECT_EQ(v, 1536u);
+}
+
+TEST(Units, RejectsGarbage) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_size("", &v));
+  EXPECT_FALSE(parse_size("abc", &v));
+  EXPECT_FALSE(parse_size("12X", &v));
+  EXPECT_FALSE(parse_size("12KBs", &v));
+  EXPECT_FALSE(parse_size("-5", &v));
+}
+
+TEST(Units, FormatsBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(65536), "64.00 KB");
+  EXPECT_EQ(format_bytes(2.5 * 1024 * 1024), "2.50 MB");
+}
+
+TEST(Units, FormatsRatesAndCounts) {
+  EXPECT_EQ(format_rate(2048), "2.00 KB/s");
+  EXPECT_EQ(format_count(1.5e6), "1.50 M");
+}
+
+// --------------------------------------------------------------- config --
+
+TEST(Config, OlympusMatchesPaperTableIV) {
+  const Config c = Config::olympus();
+  EXPECT_EQ(c.num_workers, 15u);
+  EXPECT_EQ(c.num_helpers, 15u);
+  EXPECT_EQ(c.num_buf_per_channel, 4u);
+  EXPECT_EQ(c.max_tasks_per_worker, 1024u);
+  EXPECT_EQ(c.buffer_size, 64u * 1024);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Config, TestingConfigValidates) {
+  EXPECT_TRUE(Config::testing().validate().empty());
+}
+
+TEST(Config, RejectsZeroWorkers) {
+  Config c = Config::testing();
+  c.num_workers = 0;
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Config, RejectsTinyBuffers) {
+  Config c = Config::testing();
+  c.buffer_size = 64;
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Config, RejectsTinyStacks) {
+  Config c = Config::testing();
+  c.task_stack_size = 1024;
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Config, EnvOverrides) {
+  setenv("GMT_NUM_WORKERS", "7", 1);
+  setenv("GMT_BUFFER_SIZE", "32K", 1);
+  Config c = Config::testing();
+  c.apply_env();
+  EXPECT_EQ(c.num_workers, 7u);
+  EXPECT_EQ(c.buffer_size, 32u * 1024);
+  unsetenv("GMT_NUM_WORKERS");
+  unsetenv("GMT_BUFFER_SIZE");
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+// ----------------------------------------------------------------- time --
+
+TEST(Time, WallClockMonotonic) {
+  const std::uint64_t a = wall_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const std::uint64_t b = wall_ns();
+  EXPECT_GT(b, a);
+}
+
+TEST(Time, TscCalibrationSane) {
+  const double hz = tsc_hz();
+  EXPECT_GT(hz, 1e8);   // >100 MHz
+  EXPECT_LT(hz, 1e11);  // <100 GHz
+}
+
+TEST(Time, CycleConversionRoundTrips) {
+  const double ns = cycles_to_ns(ns_to_cycles(1000.0));
+  EXPECT_NEAR(ns, 1000.0, 1e-6);
+}
+
+TEST(Time, StopWatchMeasures) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.elapsed_s(), 0.004);
+  EXPECT_LT(watch.elapsed_s(), 1.0);
+}
+
+// -------------------------------------------------------------- backoff --
+
+TEST(Backoff, EscalatesToSleeping) {
+  Backoff backoff(4, 4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(backoff.sleeping());
+    backoff.pause();
+  }
+  EXPECT_TRUE(backoff.sleeping());
+  backoff.reset();
+  EXPECT_FALSE(backoff.sleeping());
+}
+
+// ------------------------------------------------------------ cacheline --
+
+TEST(Cacheline, PaddedIsolates) {
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLine, 0u);
+  EXPECT_EQ(sizeof(PaddedAtomicU64), kCacheLine);
+  EXPECT_EQ(alignof(PaddedAtomicU64), kCacheLine);
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,207 @@
+// Tests for the global address space: handle encoding, block distribution
+// properties, and handle-table lifecycle.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "runtime/global_memory.hpp"
+
+namespace gmt::rt {
+namespace {
+
+TEST(Handle, EncodingRoundTrips) {
+  const gmt_handle h = make_handle(300, 123456, 7);
+  EXPECT_EQ(handle_node(h), 300u);
+  EXPECT_EQ(handle_slot(h), 123456u);
+  EXPECT_EQ(handle_generation(h), 7u);
+}
+
+TEST(Handle, NullIsNeverValid) {
+  GlobalMemory gm(0, 4);
+  EXPECT_FALSE(gm.valid(kNullHandle));
+}
+
+// ---- block distribution properties (parameterised sweep) ----
+// Tuple: (total size, num nodes, policy, home node)
+
+using DistParam = std::tuple<std::uint64_t, std::uint32_t, Alloc,
+                             std::uint32_t>;
+
+class Distribution : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(Distribution, PartitionsCoverWithoutOverlap) {
+  const auto [size, nodes, policy, home] = GetParam();
+  ArrayMeta meta;
+  meta.size = size;
+  meta.policy = policy;
+  meta.home_node = home;
+  meta.num_nodes = nodes;
+
+  // Sum of per-node bytes equals the total.
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n) total += meta.bytes_on_node(n);
+  EXPECT_EQ(total, size);
+
+  // Decomposing the full range produces contiguous, non-overlapping spans
+  // whose owners match bytes_on_node accounting.
+  std::vector<OwnedSpan> spans;
+  meta.decompose(0, size, &spans);
+  std::uint64_t covered = 0;
+  std::vector<std::uint64_t> per_node(nodes, 0);
+  for (const OwnedSpan& span : spans) {
+    EXPECT_EQ(span.global_offset, covered);
+    EXPECT_GT(span.size, 0u);
+    ASSERT_LT(span.node, nodes);
+    per_node[span.node] += span.size;
+    covered += span.size;
+  }
+  EXPECT_EQ(covered, size);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    EXPECT_EQ(per_node[n], meta.bytes_on_node(n)) << "node " << n;
+}
+
+TEST_P(Distribution, PolicyRespectsPlacement) {
+  const auto [size, nodes, policy, home] = GetParam();
+  ArrayMeta meta;
+  meta.size = size;
+  meta.policy = policy;
+  meta.home_node = home;
+  meta.num_nodes = nodes;
+
+  if (policy == Alloc::kLocal) {
+    EXPECT_EQ(meta.bytes_on_node(home), size);
+  }
+  if (policy == Alloc::kRemote && nodes > 1) {
+    EXPECT_EQ(meta.bytes_on_node(home), 0u);
+  }
+}
+
+TEST_P(Distribution, BlocksAreWordAligned) {
+  const auto [size, nodes, policy, home] = GetParam();
+  ArrayMeta meta;
+  meta.size = size;
+  meta.policy = policy;
+  meta.home_node = home;
+  meta.num_nodes = nodes;
+  EXPECT_EQ(meta.block_size() % 8, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Distribution,
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(1, 7, 8, 64, 1000, 4096, 100000,
+                                         1 << 20),
+        ::testing::Values<std::uint32_t>(1, 2, 3, 5, 8, 16),
+        ::testing::Values(Alloc::kPartition, Alloc::kLocal, Alloc::kRemote),
+        ::testing::Values<std::uint32_t>(0)));
+
+INSTANTIATE_TEST_SUITE_P(
+    NonZeroHome, Distribution,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1000, 4096),
+                       ::testing::Values<std::uint32_t>(3, 8),
+                       ::testing::Values(Alloc::kPartition, Alloc::kLocal,
+                                         Alloc::kRemote),
+                       ::testing::Values<std::uint32_t>(1, 2)));
+
+TEST(Distribution, DecomposeSubRanges) {
+  ArrayMeta meta;
+  meta.size = 1000;
+  meta.policy = Alloc::kPartition;
+  meta.num_nodes = 4;
+  // block_size = roundup8(250) = 256.
+  EXPECT_EQ(meta.block_size(), 256u);
+
+  std::vector<OwnedSpan> spans;
+  meta.decompose(250, 20, &spans);  // crosses the 256 boundary
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].node, 0u);
+  EXPECT_EQ(spans[0].local_offset, 250u);
+  EXPECT_EQ(spans[0].size, 6u);
+  EXPECT_EQ(spans[1].node, 1u);
+  EXPECT_EQ(spans[1].local_offset, 0u);
+  EXPECT_EQ(spans[1].size, 14u);
+}
+
+TEST(Distribution, RemotePolicySkipsHome) {
+  ArrayMeta meta;
+  meta.size = 3000;
+  meta.policy = Alloc::kRemote;
+  meta.home_node = 1;
+  meta.num_nodes = 4;
+  std::vector<OwnedSpan> spans;
+  meta.decompose(0, meta.size, &spans);
+  for (const OwnedSpan& span : spans) EXPECT_NE(span.node, 1u);
+}
+
+// ---- handle table lifecycle ----
+
+TEST(GlobalMemory, RegisterAndAccess) {
+  GlobalMemory gm(0, 2);
+  const gmt_handle h = gm.reserve_handle();
+  gm.register_array(h, 1024, Alloc::kPartition, 0);
+  EXPECT_TRUE(gm.valid(h));
+  LocalArray& array = gm.get(h);
+  EXPECT_EQ(array.meta.size, 1024u);
+  EXPECT_EQ(array.partition_bytes, array.meta.bytes_on_node(0));
+  // Storage is zero-initialised.
+  for (std::uint64_t i = 0; i < array.partition_bytes; ++i)
+    ASSERT_EQ(array.partition[i], 0);
+  EXPECT_EQ(gm.local_bytes(), array.partition_bytes);
+  gm.unregister_array(h);
+  EXPECT_FALSE(gm.valid(h));
+  EXPECT_EQ(gm.local_bytes(), 0u);
+}
+
+TEST(GlobalMemory, HandlesAreUniqueAndTagged) {
+  GlobalMemory gm(3, 8);
+  const gmt_handle a = gm.reserve_handle();
+  const gmt_handle b = gm.reserve_handle();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(handle_node(a), 3u);
+  EXPECT_EQ(handle_node(b), 3u);
+}
+
+TEST(GlobalMemory, RemoteNodeHoldsNoLocalPartition) {
+  GlobalMemory gm(1, 2);
+  const gmt_handle h = make_handle(0, 5, 1);
+  gm.register_array(h, 100, Alloc::kLocal, /*home=*/0);
+  EXPECT_TRUE(gm.valid(h));
+  EXPECT_EQ(gm.get(h).partition_bytes, 0u);
+  gm.unregister_array(h);
+}
+
+using GlobalMemoryDeath = GlobalMemory;
+
+TEST(GlobalMemoryDeathTest, DoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GlobalMemory gm(0, 1);
+  const gmt_handle h = gm.reserve_handle();
+  gm.register_array(h, 64, Alloc::kLocal, 0);
+  gm.unregister_array(h);
+  EXPECT_DEATH(gm.unregister_array(h), "double free");
+}
+
+TEST(GlobalMemoryDeathTest, StaleGenerationDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GlobalMemory gm(0, 1);
+  const gmt_handle h = gm.reserve_handle();
+  gm.register_array(h, 64, Alloc::kLocal, 0);
+  const gmt_handle stale = make_handle(handle_node(h), handle_slot(h),
+                                       handle_generation(h) + 1);
+  EXPECT_FALSE(gm.valid(stale));
+  EXPECT_DEATH(gm.get(stale), "stale");
+  gm.unregister_array(h);
+}
+
+TEST(GlobalMemoryDeathTest, OutOfBoundsDecomposeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ArrayMeta meta;
+  meta.size = 100;
+  meta.num_nodes = 2;
+  std::vector<OwnedSpan> spans;
+  EXPECT_DEATH(meta.decompose(90, 20, &spans), "out of bounds");
+}
+
+}  // namespace
+}  // namespace gmt::rt

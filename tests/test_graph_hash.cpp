@@ -1,0 +1,229 @@
+// Tests for the graph and hash substrates (host-side pieces plus the
+// distributed structures over a live runtime).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dist_graph.hpp"
+#include "graph/generator.hpp"
+#include "hash/dist_hash_map.hpp"
+#include "hash/string_pool.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// ------------------------------------------------------------ generator --
+
+TEST(Generator, UniformDeterministic) {
+  const graph::UniformConfig config{100, 1, 8, 99};
+  const auto a = graph::generate_uniform(config);
+  const auto b = graph::generate_uniform(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+TEST(Generator, UniformRespectsDegreeBounds) {
+  const auto edges = graph::generate_uniform({50, 2, 5, 7});
+  std::vector<int> degree(50, 0);
+  for (const auto& e : edges) {
+    ASSERT_LT(e.src, 50u);
+    ASSERT_LT(e.dst, 50u);
+    ++degree[e.src];
+  }
+  for (int d : degree) {
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 5);
+  }
+}
+
+TEST(Generator, RmatSizesAndBounds) {
+  graph::RmatConfig config;
+  config.scale = 8;
+  config.edge_factor = 4;
+  const auto edges = graph::generate_rmat(config);
+  EXPECT_EQ(edges.size(), (1ull << 8) * 4);
+  for (const auto& e : edges) {
+    ASSERT_LT(e.src, 1ull << 8);
+    ASSERT_LT(e.dst, 1ull << 8);
+  }
+}
+
+TEST(Generator, RmatIsSkewed) {
+  // Power-law generation concentrates edges: the busiest vertex should
+  // far exceed the average out-degree.
+  graph::RmatConfig config;
+  config.scale = 10;
+  config.edge_factor = 8;
+  const auto edges = graph::generate_rmat(config);
+  std::vector<std::uint64_t> degree(1 << 10, 0);
+  for (const auto& e : edges) ++degree[e.src];
+  const std::uint64_t max_degree =
+      *std::max_element(degree.begin(), degree.end());
+  EXPECT_GT(max_degree, 8u * 4);  // > 4x the mean
+}
+
+TEST(Generator, CsrBuildMatchesEdgeList) {
+  const std::vector<graph::Edge> edges = {
+      {0, 1}, {0, 2}, {1, 2}, {3, 0}, {3, 3}, {1, 0}};
+  const graph::Csr csr = graph::build_csr(4, edges);
+  EXPECT_EQ(csr.vertices, 4u);
+  EXPECT_EQ(csr.edges(), 6u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  EXPECT_EQ(csr.degree(2), 0u);
+  EXPECT_EQ(csr.degree(3), 2u);
+  const std::set<std::uint64_t> n0(csr.adjacency.begin() + csr.offsets[0],
+                                   csr.adjacency.begin() + csr.offsets[1]);
+  EXPECT_EQ(n0, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST(Generator, CsrOffsetsMonotone) {
+  const auto edges = graph::generate_uniform({200, 0, 6, 5});
+  const graph::Csr csr = graph::build_csr(200, edges);
+  for (std::uint64_t v = 0; v < 200; ++v)
+    ASSERT_LE(csr.offsets[v], csr.offsets[v + 1]);
+  EXPECT_EQ(csr.offsets.back(), edges.size());
+}
+
+// ------------------------------------------------------------ dist graph --
+
+TEST(DistGraph, MirrorsHostCsr) {
+  const auto edges = graph::generate_uniform({300, 1, 6, 11});
+  const graph::Csr csr = graph::build_csr(300, edges);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    EXPECT_EQ(dist.vertices, 300u);
+    EXPECT_EQ(dist.edges, csr.edges());
+    for (std::uint64_t v = 0; v < 300; v += 17) {
+      ASSERT_EQ(dist.degree(v), csr.degree(v)) << "vertex " << v;
+      std::uint64_t begin = 0, end = 0;
+      dist.edge_range(v, &begin, &end);
+      ASSERT_EQ(begin, csr.offsets[v]);
+      ASSERT_EQ(end, csr.offsets[v + 1]);
+      if (end > begin) {
+        std::vector<std::uint64_t> nbrs(end - begin);
+        dist.neighbors(begin, end - begin, nbrs.data());
+        for (std::uint64_t k = 0; k < end - begin; ++k)
+          ASSERT_EQ(nbrs[k], csr.adjacency[begin + k]);
+      }
+    }
+    dist.destroy();
+  });
+}
+
+// ------------------------------------------------------------ string pool --
+
+TEST(StringPool, Deterministic) {
+  const auto a = hash::generate_pool(100, 5);
+  const auto b = hash::generate_pool(100, 5);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(StringPool, LengthsInRange) {
+  for (const auto& key : hash::generate_pool(1000, 9)) {
+    EXPECT_GE(key.length, 4);
+    EXPECT_LE(key.length, 20);
+    for (std::uint8_t i = 0; i < key.length; ++i) {
+      EXPECT_GE(key.chars[i], 'a');
+      EXPECT_LE(key.chars[i], 'z');
+    }
+  }
+}
+
+TEST(StringPool, ReverseIsInvolution) {
+  auto key = hash::StringKey::from_string("abcdef", 6);
+  auto copy = key;
+  key.reverse();
+  EXPECT_EQ(key.to_string(), "fedcba");
+  key.reverse();
+  EXPECT_TRUE(key == copy);
+}
+
+TEST(StringPool, HashNeverZeroAndStable) {
+  for (const auto& key : hash::generate_pool(500, 2)) {
+    EXPECT_NE(hash::hash_key(key), 0u);
+    EXPECT_EQ(hash::hash_key(key), hash::hash_key(key));
+  }
+}
+
+TEST(StringPool, HashDiscriminates) {
+  const auto a = hash::StringKey::from_string("hello", 5);
+  const auto b = hash::StringKey::from_string("hellp", 5);
+  const auto c = hash::StringKey::from_string("hell", 4);
+  EXPECT_NE(hash::hash_key(a), hash::hash_key(b));
+  EXPECT_NE(hash::hash_key(a), hash::hash_key(c));
+}
+
+// ---------------------------------------------------------- dist hash map --
+
+TEST(DistHashMap, InsertAndFind) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto map = hash::DistHashMap::create(256);
+    const auto pool = hash::generate_pool(64, 3);
+    for (const auto& key : pool) EXPECT_TRUE(map.insert(key));
+    for (const auto& key : pool) EXPECT_TRUE(map.contains(key));
+    EXPECT_FALSE(map.contains(hash::StringKey::from_string("notthere", 8)));
+    map.destroy();
+  });
+}
+
+TEST(DistHashMap, InsertIsIdempotent) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto map = hash::DistHashMap::create(128);
+    const auto key = hash::StringKey::from_string("samekey", 7);
+    EXPECT_TRUE(map.insert(key));
+    EXPECT_TRUE(map.insert(key));
+    EXPECT_EQ(map.count_occupied(), 1u);
+    map.destroy();
+  });
+}
+
+TEST(DistHashMap, CapacityRoundsToPowerOfTwo) {
+  rt::Cluster cluster(1, Config::testing());
+  test::run_task(cluster, [] {
+    auto map = hash::DistHashMap::create(100);
+    EXPECT_EQ(map.capacity, 128u);
+    map.destroy();
+  });
+}
+
+TEST(DistHashMap, ConcurrentInsertsAllLand) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto map = hash::DistHashMap::create(512);
+    const auto pool = hash::generate_pool(128, 13);
+    const hash::StringKey* keys = pool.data();
+    std::function<void(std::uint64_t)> body = [&](std::uint64_t i) {
+      map.insert(keys[i]);
+    };
+    test::parfor_lambda(128, 4, body);
+    for (const auto& key : pool) ASSERT_TRUE(map.contains(key));
+    map.destroy();
+  });
+}
+
+TEST(DistHashMap, OccupancyMatchesDistinctKeys) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto map = hash::DistHashMap::create(512);
+    const auto pool = hash::generate_pool(100, 21);
+    std::set<std::string> distinct;
+    for (const auto& key : pool) {
+      map.insert(key);
+      distinct.insert(key.to_string());
+    }
+    EXPECT_EQ(map.count_occupied(), distinct.size());
+    map.destroy();
+  });
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,197 @@
+// Tests of the GMT kernels against host-side reference implementations.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "kernels/bfs_gmt.hpp"
+#include "kernels/chma_gmt.hpp"
+#include "kernels/grw_gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// Host reference BFS: visited count and level structure.
+struct HostBfs {
+  std::uint64_t visited = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t edges = 0;
+  std::vector<std::uint64_t> depth;  // ~0 = unreached
+};
+
+HostBfs host_bfs(const graph::Csr& csr, std::uint64_t root) {
+  HostBfs result;
+  result.depth.assign(csr.vertices, ~0ULL);
+  std::queue<std::uint64_t> queue;
+  result.depth[root] = 0;
+  queue.push(root);
+  result.visited = 1;
+  while (!queue.empty()) {
+    const std::uint64_t v = queue.front();
+    queue.pop();
+    result.levels = std::max(result.levels, result.depth[v] + 1);
+    for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+      ++result.edges;
+      const std::uint64_t u = csr.adjacency[e];
+      if (result.depth[u] == ~0ULL) {
+        result.depth[u] = result.depth[v] + 1;
+        queue.push(u);
+        ++result.visited;
+      }
+    }
+  }
+  return result;
+}
+
+graph::Csr test_graph(std::uint64_t vertices, std::uint64_t seed) {
+  return graph::build_csr(
+      vertices, graph::generate_uniform({vertices, 1, 6, seed}));
+}
+
+// ---- BFS ----
+
+class BfsNodes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BfsNodes, MatchesHostReference) {
+  const std::uint32_t nodes = GetParam();
+  const graph::Csr csr = test_graph(800, 17);
+  const HostBfs reference = host_bfs(csr, 0);
+
+  rt::Cluster cluster(nodes, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::BfsResult result = kernels::bfs_gmt(dist, 0);
+    EXPECT_EQ(result.visited, reference.visited);
+    EXPECT_EQ(result.levels, reference.levels);
+    EXPECT_EQ(result.edges_traversed, reference.edges);
+    dist.destroy();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, BfsNodes, ::testing::Values(1, 2, 3));
+
+TEST(Bfs, DifferentRootsStillCorrect) {
+  const graph::Csr csr = test_graph(400, 5);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    for (std::uint64_t root : {1ULL, 57ULL, 399ULL}) {
+      const HostBfs reference = host_bfs(csr, root);
+      const kernels::BfsResult result = kernels::bfs_gmt(dist, root);
+      EXPECT_EQ(result.visited, reference.visited) << "root " << root;
+      EXPECT_EQ(result.edges_traversed, reference.edges) << "root " << root;
+    }
+    dist.destroy();
+  });
+}
+
+TEST(Bfs, IsolatedRoot) {
+  // A root with no outgoing edges: BFS visits just the root.
+  graph::Csr csr = graph::build_csr(10, {{1, 2}, {2, 3}});
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::BfsResult result = kernels::bfs_gmt(dist, 0);
+    EXPECT_EQ(result.visited, 1u);
+    EXPECT_EQ(result.edges_traversed, 0u);
+    dist.destroy();
+  });
+}
+
+TEST(Bfs, ExplicitChunkSize) {
+  const graph::Csr csr = test_graph(300, 23);
+  const HostBfs reference = host_bfs(csr, 0);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::BfsResult result = kernels::bfs_gmt(dist, 0, /*chunk=*/3);
+    EXPECT_EQ(result.visited, reference.visited);
+    dist.destroy();
+  });
+}
+
+// ---- GRW ----
+
+TEST(Grw, TraversesExactlyRequestedEdges) {
+  // On a graph with no dead ends every step traverses one edge.
+  const graph::Csr csr = test_graph(200, 31);  // min_degree 1: no dead ends
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::GrwResult result = kernels::grw_gmt(dist, 40, 25);
+    EXPECT_EQ(result.edges_traversed, 40u * 25);
+    dist.destroy();
+  });
+}
+
+TEST(Grw, DeadEndsTeleportWithoutCounting) {
+  // Star graph pointing at a sink: walks hit the sink and teleport.
+  std::vector<graph::Edge> edges;
+  for (std::uint64_t v = 1; v < 20; ++v) edges.push_back({v, 0});
+  const graph::Csr csr = graph::build_csr(20, edges);  // vertex 0: no out
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::GrwResult result = kernels::grw_gmt(dist, 10, 12);
+    EXPECT_LE(result.edges_traversed, 10u * 12);
+    EXPECT_GT(result.edges_traversed, 0u);
+    dist.destroy();
+  });
+}
+
+TEST(Grw, WalkerCountScalesWork) {
+  const graph::Csr csr = test_graph(100, 3);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const auto small = kernels::grw_gmt(dist, 10, 10);
+    const auto large = kernels::grw_gmt(dist, 30, 10);
+    EXPECT_EQ(small.edges_traversed, 100u);
+    EXPECT_EQ(large.edges_traversed, 300u);
+    dist.destroy();
+  });
+}
+
+// ---- CHMA ----
+
+TEST(Chma, SetupPopulatesMap) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto workload = kernels::ChmaWorkload::setup(1024, 256, 128, 7);
+    const auto pool = hash::generate_pool(256, 7);
+    // The first 128 pool strings are present.
+    for (int i = 0; i < 128; ++i)
+      ASSERT_TRUE(workload.map.contains(pool[i])) << "key " << i;
+    workload.destroy();
+  });
+}
+
+TEST(Chma, AccessesCountMatchesWxL) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto workload = kernels::ChmaWorkload::setup(1024, 256, 128, 7);
+    const auto result = kernels::chma_gmt(workload, 16, 8);
+    EXPECT_EQ(result.accesses, 16u * 8);
+    EXPECT_EQ(result.tasks, 16u);
+    EXPECT_EQ(result.steps_per_task, 8u);
+    workload.destroy();
+  });
+}
+
+TEST(Chma, ReverseInsertionsLand) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto workload = kernels::ChmaWorkload::setup(2048, 128, 128, 9);
+    kernels::chma_gmt(workload, 8, 16, 9);
+    // Every original key still present (re-inserts are idempotent; the
+    // kernel only adds reversed variants).
+    const auto pool = hash::generate_pool(128, 9);
+    for (const auto& key : pool) ASSERT_TRUE(workload.map.contains(key));
+    workload.destroy();
+  });
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,182 @@
+// Tests for the extension kernels (connected components, PageRank)
+// against host references.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "kernels/cc_gmt.hpp"
+#include "kernels/pagerank_gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// Host weakly-connected components via union-find.
+std::uint64_t host_components(const graph::Csr& csr) {
+  std::vector<std::uint64_t> parent(csr.vertices);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::uint64_t(std::uint64_t)> find =
+      [&](std::uint64_t x) {
+        while (parent[x] != x) {
+          parent[x] = parent[parent[x]];
+          x = parent[x];
+        }
+        return x;
+      };
+  for (std::uint64_t v = 0; v < csr.vertices; ++v)
+    for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+      const std::uint64_t a = find(v), b = find(csr.adjacency[e]);
+      if (a != b) parent[a] = b;
+    }
+  std::uint64_t roots = 0;
+  for (std::uint64_t v = 0; v < csr.vertices; ++v)
+    if (find(v) == v) ++roots;
+  return roots;
+}
+
+// Host PageRank reference (double precision).
+std::vector<double> host_pagerank(const graph::Csr& csr,
+                                  std::uint32_t iterations,
+                                  double damping) {
+  const std::uint64_t n = csr.vertices;
+  std::vector<double> cur(n, 1.0 / n), next(n);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const std::uint64_t deg = csr.degree(v);
+      if (deg == 0) {
+        dangling += damping * cur[v];
+        continue;
+      }
+      const double share = damping * cur[v] / deg;
+      for (std::uint64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e)
+        next[csr.adjacency[e]] += share;
+    }
+    const double base = (1.0 - damping) / n + dangling / n;
+    for (std::uint64_t v = 0; v < n; ++v) next[v] += base;
+    cur.swap(next);
+  }
+  return cur;
+}
+
+TEST(ConnectedComponents, MatchesUnionFind) {
+  for (std::uint64_t seed : {3ull, 7ull}) {
+    // min_degree 0 leaves isolated vertices -> several components.
+    const auto csr = graph::build_csr(
+        300, graph::generate_uniform({300, 0, 3, seed}));
+    const std::uint64_t expected = host_components(csr);
+    rt::Cluster cluster(2, Config::testing());
+    test::run_task(cluster, [&] {
+      graph::DistGraph dist = graph::DistGraph::build(csr);
+      const kernels::CcResult result = kernels::cc_gmt(dist);
+      EXPECT_EQ(result.components, expected) << "seed " << seed;
+      gmt_free(result.labels);
+      dist.destroy();
+    });
+  }
+}
+
+TEST(ConnectedComponents, LabelsAgreeWithinComponent) {
+  // Two disjoint cliques: every vertex labelled by its clique minimum.
+  std::vector<graph::Edge> edges;
+  for (std::uint64_t a = 0; a < 5; ++a)
+    for (std::uint64_t b = 0; b < 5; ++b)
+      if (a != b) edges.push_back({a, b});
+  for (std::uint64_t a = 5; a < 10; ++a)
+    for (std::uint64_t b = 5; b < 10; ++b)
+      if (a != b) edges.push_back({a, b});
+  const auto csr = graph::build_csr(10, edges);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::CcResult result = kernels::cc_gmt(dist);
+    EXPECT_EQ(result.components, 2u);
+    std::uint64_t labels[10];
+    gmt_get(result.labels, 0, labels, 80);
+    for (int v = 0; v < 5; ++v) EXPECT_EQ(labels[v], 0u);
+    for (int v = 5; v < 10; ++v) EXPECT_EQ(labels[v], 5u);
+    gmt_free(result.labels);
+    dist.destroy();
+  });
+}
+
+TEST(ConnectedComponents, SingleChain) {
+  std::vector<graph::Edge> edges;
+  for (std::uint64_t v = 0; v + 1 < 50; ++v) edges.push_back({v, v + 1});
+  const auto csr = graph::build_csr(50, edges);
+  rt::Cluster cluster(3, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::CcResult result = kernels::cc_gmt(dist);
+    EXPECT_EQ(result.components, 1u);
+    gmt_free(result.labels);
+    dist.destroy();
+  });
+}
+
+TEST(Pagerank, MatchesHostReference) {
+  const auto csr = graph::build_csr(
+      200, graph::generate_uniform({200, 1, 5, 11}));
+  const std::vector<double> expected = host_pagerank(csr, 8, 0.85);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::PagerankResult result = kernels::pagerank_gmt(dist, 8);
+    for (std::uint64_t v = 0; v < 200; v += 13) {
+      std::uint64_t fixed;
+      gmt_get(result.ranks, v * 8, &fixed, 8);
+      EXPECT_NEAR(kernels::PagerankResult::to_double(fixed), expected[v],
+                  1e-4)
+          << "vertex " << v;
+    }
+    gmt_free(result.ranks);
+    dist.destroy();
+  });
+}
+
+TEST(Pagerank, MassApproximatelyConserved) {
+  const auto csr = graph::build_csr(
+      150, graph::generate_uniform({150, 1, 4, 17}));
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::PagerankResult result = kernels::pagerank_gmt(dist, 6);
+    double total = 0;
+    for (std::uint64_t v = 0; v < 150; ++v) {
+      std::uint64_t fixed;
+      gmt_get(result.ranks, v * 8, &fixed, 8);
+      total += kernels::PagerankResult::to_double(fixed);
+    }
+    EXPECT_NEAR(total, 1.0, 0.01);  // fixed-point truncation loses a little
+    gmt_free(result.ranks);
+    dist.destroy();
+  });
+}
+
+TEST(Pagerank, SinkReceivesMoreRank) {
+  // A star pointing at vertex 0: vertex 0 must outrank the leaves.
+  std::vector<graph::Edge> edges;
+  for (std::uint64_t v = 1; v < 20; ++v) {
+    edges.push_back({v, 0});
+    edges.push_back({0, v});  // keep 0 non-dangling
+  }
+  const auto csr = graph::build_csr(20, edges);
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    graph::DistGraph dist = graph::DistGraph::build(csr);
+    const kernels::PagerankResult result = kernels::pagerank_gmt(dist, 10);
+    std::uint64_t hub, leaf;
+    gmt_get(result.ranks, 0, &hub, 8);
+    gmt_get(result.ranks, 5 * 8, &leaf, 8);
+    EXPECT_GT(hub, 5 * leaf);
+    gmt_free(result.ranks);
+    dist.destroy();
+  });
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,177 @@
+// Randomised model-checking of the runtime's memory semantics: a long
+// random sequence of API operations runs against the distributed runtime
+// AND a flat host mirror; after every phase the two must agree. This is
+// the strongest correctness property the suite has — any lost command,
+// double-executed reply, mis-routed span or stale-buffer bug shows up as
+// a mirror divergence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+constexpr std::uint64_t kArrayBytes = 8192;
+
+struct Mirror {
+  std::vector<std::uint8_t> bytes = std::vector<std::uint8_t>(kArrayBytes, 0);
+
+  std::uint64_t read_word(std::uint64_t offset) const {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + offset, 8);
+    return v;
+  }
+  void write_word(std::uint64_t offset, std::uint64_t v) {
+    std::memcpy(bytes.data() + offset, &v, 8);
+  }
+};
+
+// One phase: `ops` random operations applied identically to both sides
+// (sequentially, from the root task — this checks routing and data
+// integrity, not concurrency; the concurrent properties are covered by
+// the atomic-sum and CAS-claim tests).
+void random_phase(gmt_handle h, Mirror& mirror, Xoshiro256& rng,
+                  int ops) {
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.below(6)) {
+      case 0: {  // bulk put
+        const std::uint64_t size = 1 + rng.below(300);
+        const std::uint64_t offset = rng.below(kArrayBytes - size);
+        std::vector<std::uint8_t> data(size);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+        gmt_put(h, offset, data.data(), size);
+        std::memcpy(mirror.bytes.data() + offset, data.data(), size);
+        break;
+      }
+      case 1: {  // put_value
+        const std::uint32_t size = 1 + static_cast<std::uint32_t>(
+                                           rng.below(8));
+        const std::uint64_t offset = rng.below(kArrayBytes - size);
+        const std::uint64_t value = rng();
+        gmt_put_value(h, offset, value, size);
+        std::memcpy(mirror.bytes.data() + offset, &value, size);
+        break;
+      }
+      case 2: {  // non-blocking puts + wait
+        for (int k = 0; k < 4; ++k) {
+          const std::uint64_t offset = rng.below(kArrayBytes - 8) & ~7ULL;
+          const std::uint64_t value = rng();
+          gmt_put_value_nb(h, offset, value, 8);
+          mirror.write_word(offset, value);
+        }
+        gmt_wait_commands();
+        break;
+      }
+      case 3: {  // atomic add
+        const std::uint64_t offset = rng.below(kArrayBytes / 8) * 8;
+        const std::uint64_t operand = rng.below(1 << 20);
+        const std::uint64_t old = gmt_atomic_add(h, offset, operand, 8);
+        ASSERT_EQ(old, mirror.read_word(offset));
+        mirror.write_word(offset, old + operand);
+        break;
+      }
+      case 4: {  // atomic CAS (sometimes expected-correct, sometimes not)
+        const std::uint64_t offset = rng.below(kArrayBytes / 8) * 8;
+        const std::uint64_t current = mirror.read_word(offset);
+        const std::uint64_t expected = rng.below(2) ? current : rng();
+        const std::uint64_t desired = rng();
+        const std::uint64_t old = gmt_atomic_cas(h, offset, expected,
+                                                 desired, 8);
+        ASSERT_EQ(old, current);
+        if (current == expected) mirror.write_word(offset, desired);
+        break;
+      }
+      case 5: {  // random read-back of a slice
+        const std::uint64_t size = 1 + rng.below(200);
+        const std::uint64_t offset = rng.below(kArrayBytes - size);
+        std::vector<std::uint8_t> data(size);
+        gmt_get(h, offset, data.data(), size);
+        ASSERT_EQ(std::memcmp(data.data(), mirror.bytes.data() + offset,
+                              size),
+                  0);
+        break;
+      }
+    }
+  }
+  // Phase barrier: full verification.
+  std::vector<std::uint8_t> all(kArrayBytes);
+  gmt_get(h, 0, all.data(), kArrayBytes);
+  ASSERT_EQ(std::memcmp(all.data(), mirror.bytes.data(), kArrayBytes), 0);
+}
+
+using ModelParam = std::tuple<std::uint32_t, Alloc, std::uint64_t>;
+
+class ModelCheck : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(ModelCheck, RuntimeMatchesMirror) {
+  const auto [nodes, policy, seed] = GetParam();
+  rt::Cluster cluster(nodes, Config::testing());
+  test::run_task(cluster, [&, policy = policy, seed = seed] {
+    const gmt_handle h = gmt_new(kArrayBytes, policy);
+    Mirror mirror;
+    Xoshiro256 rng(seed);
+    for (int phase = 0; phase < 3; ++phase)
+      random_phase(h, mirror, rng, 120);
+    gmt_free(h);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelCheck,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 3),
+                       ::testing::Values(Alloc::kPartition, Alloc::kRemote),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+// The same random workload with the local fast path disabled: every op
+// takes the full command/helper path, including node-local ones.
+TEST(ModelCheckNoFastPath, RuntimeMatchesMirror) {
+  Config config = Config::testing();
+  config.local_fast_path = false;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [&] {
+    const gmt_handle h = gmt_new(kArrayBytes, Alloc::kPartition);
+    Mirror mirror;
+    Xoshiro256 rng(99);
+    random_phase(h, mirror, rng, 200);
+    gmt_free(h);
+  });
+}
+
+// Concurrent model check: tasks race on *disjoint* stripes; each stripe
+// must match its own mirror at the end (cross-stripe isolation).
+TEST(ModelCheckConcurrent, DisjointStripesIsolated) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [&] {
+    constexpr std::uint64_t kStripes = 16;
+    constexpr std::uint64_t kStripeBytes = 512;
+    const gmt_handle h = gmt_new(kStripes * kStripeBytes, Alloc::kPartition);
+    test::parfor_lambda(kStripes, 1, [&](std::uint64_t stripe) {
+      Xoshiro256 rng(stripe * 31 + 7);
+      std::vector<std::uint8_t> mirror(kStripeBytes, 0);
+      const std::uint64_t base = stripe * kStripeBytes;
+      for (int op = 0; op < 60; ++op) {
+        const std::uint64_t size = 1 + rng.below(64);
+        const std::uint64_t offset = rng.below(kStripeBytes - size);
+        std::vector<std::uint8_t> data(size);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+        gmt_put(h, base + offset, data.data(), size);
+        std::memcpy(mirror.data() + offset, data.data(), size);
+      }
+      std::vector<std::uint8_t> readback(kStripeBytes);
+      gmt_get(h, base, readback.data(), kStripeBytes);
+      EXPECT_EQ(std::memcmp(readback.data(), mirror.data(), kStripeBytes),
+                0)
+          << "stripe " << stripe;
+    });
+    gmt_free(h);
+  });
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,191 @@
+// Tests for the network layer: cost model calibration and the in-process
+// fabric.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc_transport.hpp"
+#include "net/network_model.hpp"
+
+namespace gmt::net {
+namespace {
+
+// ----------------------------------------------------------- cost model --
+
+TEST(NetworkModel, OccupancyGrowsWithSize) {
+  const NetworkModel m = NetworkModel::olympus();
+  EXPECT_GT(m.occupancy_s(1024), m.occupancy_s(64));
+  EXPECT_GT(m.delivery_s(64), m.occupancy_s(64));  // latency added
+}
+
+TEST(NetworkModel, RateApproachesBandwidthForLargeMessages) {
+  const NetworkModel m = NetworkModel::olympus();
+  // 1 MB messages amortise alpha almost entirely.
+  EXPECT_GT(m.rate_Bps(1 << 20), 0.9 * m.bandwidth_Bps);
+  // Tiny messages are overhead-bound, far below wire speed.
+  EXPECT_LT(m.rate_Bps(8), 0.01 * m.bandwidth_Bps);
+}
+
+TEST(NetworkModel, PaperAnchor64KB) {
+  // The paper measures 2815 MB/s for 64 KB MPI messages on Olympus; the
+  // calibrated model must land within 10%.
+  const NetworkModel m = NetworkModel::olympus();
+  const double mbps = m.rate_Bps(64 * 1024) / (1 << 20);
+  EXPECT_NEAR(mbps, 2815.0, 281.0);
+}
+
+TEST(NetworkModel, InstantIsFree) {
+  const NetworkModel m = NetworkModel::instant();
+  EXPECT_LT(m.delivery_s(1 << 20), 1e-9);  // effectively free
+}
+
+TEST(MpiEndpointModel, PaperAnchorsSmallMessages) {
+  // 32-process MPI between two Olympus nodes: 9.63 MB/s at 16 B and
+  // 72.26 MB/s at 128 B (paper §IV-B / §V-A). Within 20%.
+  MpiEndpointModel m;
+  m.processes = 32;
+  EXPECT_NEAR(m.aggregate_rate_Bps(16) / (1 << 20), 9.63, 9.63 * 0.2);
+  EXPECT_NEAR(m.aggregate_rate_Bps(128) / (1 << 20), 72.26, 72.26 * 0.2);
+}
+
+TEST(MpiEndpointModel, MoreProcessesNeverSlower) {
+  MpiEndpointModel one;
+  MpiEndpointModel many;
+  many.processes = 32;
+  for (std::uint32_t size : {64u, 1024u, 65536u})
+    EXPECT_GE(many.aggregate_rate_Bps(size),
+              one.aggregate_rate_Bps(size) * 0.999);
+}
+
+TEST(MpiEndpointModel, ThreadsHurtThroughput) {
+  // Table II's observation: multithreaded MPI rates are low.
+  MpiEndpointModel single;
+  MpiEndpointModel threaded;
+  threaded.threads = 4;
+  EXPECT_LT(threaded.aggregate_rate_Bps(1024),
+            single.aggregate_rate_Bps(1024));
+}
+
+TEST(MpiEndpointModel, RateMonotonicInSize) {
+  MpiEndpointModel m;
+  m.processes = 32;
+  double prev = 0;
+  for (std::uint32_t size = 8; size <= 65536; size *= 2) {
+    const double rate = m.aggregate_rate_Bps(size);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+// --------------------------------------------------------------- fabric --
+
+TEST(InprocFabric, DeliversBetweenEndpoints) {
+  InprocFabric fabric(2, NetworkModel::instant());
+  InprocEndpoint* a = fabric.endpoint(0);
+  InprocEndpoint* b = fabric.endpoint(1);
+
+  EXPECT_TRUE(a->send(1, {1, 2, 3}));
+  InMessage msg;
+  // Instant model: deliverable immediately.
+  ASSERT_TRUE(b->try_recv(&msg));
+  EXPECT_EQ(msg.src, 0u);
+  EXPECT_EQ(msg.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(b->try_recv(&msg));
+}
+
+TEST(InprocFabric, SelfSendLoopsBack) {
+  InprocFabric fabric(2, NetworkModel::instant());
+  InprocEndpoint* a = fabric.endpoint(0);
+  EXPECT_TRUE(a->send(0, {9}));
+  InMessage msg;
+  ASSERT_TRUE(a->try_recv(&msg));
+  EXPECT_EQ(msg.src, 0u);
+  EXPECT_EQ(msg.payload.size(), 1u);
+}
+
+TEST(InprocFabric, PerSourceFifoOrder) {
+  InprocFabric fabric(2, NetworkModel::instant());
+  for (std::uint8_t i = 0; i < 100; ++i)
+    ASSERT_TRUE(fabric.endpoint(0)->send(1, {i}));
+  InMessage msg;
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fabric.endpoint(1)->try_recv(&msg));
+    EXPECT_EQ(msg.payload[0], i);
+  }
+}
+
+TEST(InprocFabric, CountsTraffic) {
+  InprocFabric fabric(3, NetworkModel::instant());
+  fabric.endpoint(0)->send(1, std::vector<std::uint8_t>(100));
+  fabric.endpoint(2)->send(1, std::vector<std::uint8_t>(50));
+  EXPECT_EQ(fabric.total_messages(), 2u);
+  EXPECT_EQ(fabric.total_bytes(), 150u);
+  InMessage msg;
+  while (fabric.endpoint(1)->try_recv(&msg)) {
+  }
+}
+
+TEST(InprocFabric, BackpressureWhenRingFull) {
+  InprocFabric fabric(2, NetworkModel::instant(), /*ring_capacity=*/4);
+  int accepted = 0;
+  while (fabric.endpoint(0)->send(1, {1}) && accepted < 100) ++accepted;
+  EXPECT_GE(accepted, 4);
+  EXPECT_LT(accepted, 100);  // eventually refused
+  // Draining restores capacity.
+  InMessage msg;
+  while (fabric.endpoint(1)->try_recv(&msg)) {
+  }
+  EXPECT_TRUE(fabric.endpoint(0)->send(1, {2}));
+}
+
+TEST(InprocFabric, ModeledLatencyDelaysDelivery) {
+  NetworkModel slow = NetworkModel::instant();
+  slow.latency_s = 20e-3;  // 20 ms
+  InprocFabric fabric(2, slow);
+  fabric.endpoint(0)->send(1, {1});
+  InMessage msg;
+  EXPECT_FALSE(fabric.endpoint(1)->try_recv(&msg));  // too early
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(fabric.endpoint(1)->try_recv(&msg));
+}
+
+TEST(InprocFabric, UndeliveredMessagesReclaimed) {
+  // Destructor must free in-flight payloads (checked under ASan builds).
+  InprocFabric fabric(2, NetworkModel::instant());
+  for (int i = 0; i < 10; ++i)
+    fabric.endpoint(0)->send(1, std::vector<std::uint8_t>(1024));
+}
+
+TEST(InprocFabric, ConcurrentPairsIndependent) {
+  InprocFabric fabric(4, NetworkModel::instant());
+  std::vector<std::thread> threads;
+  for (std::uint32_t pair = 0; pair < 2; ++pair) {
+    threads.emplace_back([&fabric, pair] {
+      const std::uint32_t src = pair * 2, dst = pair * 2 + 1;
+      for (int i = 0; i < 5000; ++i) {
+        while (!fabric.endpoint(src)->send(
+            dst, {static_cast<std::uint8_t>(i & 0xff)}))
+          std::this_thread::yield();
+      }
+    });
+    threads.emplace_back([&fabric, pair] {
+      const std::uint32_t dst = pair * 2 + 1;
+      InMessage msg;
+      int received = 0;
+      int expected = 0;
+      while (received < 5000) {
+        if (fabric.endpoint(dst)->try_recv(&msg)) {
+          ASSERT_EQ(msg.payload[0], expected & 0xff);
+          ++expected;
+          ++received;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace gmt::net

@@ -1,0 +1,155 @@
+// Robustness tests: the runtime under adversarial network conditions
+// (message reordering via latency jitter) and the targeted-execution
+// primitive gmt_on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// ---- gmt_on: targeted remote execution ----
+
+TEST(GmtOn, RunsOnRequestedNode) {
+  rt::Cluster cluster(3, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle where = gmt_new(8 * 4, Alloc::kPartition);
+    for (std::uint32_t target = 0; target < 3; ++target) {
+      struct Args {
+        gmt_handle where;
+        std::uint32_t slot;
+      } args{where, target};
+      gmt_on(
+          target,
+          [](std::uint64_t, const void* raw) {
+            Args a;
+            std::memcpy(&a, raw, sizeof(a));
+            gmt_put_value(a.where, a.slot * 8, gmt_node_id() + 100, 8);
+          },
+          &args, sizeof(args));
+      std::uint64_t ran_on = 0;
+      gmt_get(where, target * 8, &ran_on, 8);
+      EXPECT_EQ(ran_on, target + 100u);
+    }
+    gmt_free(where);
+  });
+}
+
+TEST(GmtOn, BlocksUntilRemoteTaskFinishes) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle counter = gmt_new(8, Alloc::kPartition);
+    // The remote task performs several operations; when gmt_on returns
+    // they must all be visible.
+    struct Args {
+      gmt_handle counter;
+    } args{counter};
+    gmt_on(
+        1,
+        [](std::uint64_t, const void* raw) {
+          Args a;
+          std::memcpy(&a, raw, sizeof(a));
+          for (int i = 0; i < 20; ++i) gmt_atomic_add(a.counter, 0, 1, 8);
+        },
+        &args, sizeof(args));
+    std::uint64_t total = 0;
+    gmt_get(counter, 0, &total, 8);
+    EXPECT_EQ(total, 20u);
+    gmt_free(counter);
+  });
+}
+
+TEST(GmtOn, NestsInsideParfor) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    // Each parfor body delegates an increment to the *other* node.
+    struct Args {
+      gmt_handle sum;
+    };
+    test::parfor_lambda(16, 1, [&](std::uint64_t) {
+      Args args{sum};
+      gmt_on(
+          (gmt_node_id() + 1) % gmt_num_nodes(),
+          [](std::uint64_t, const void* raw) {
+            Args a;
+            std::memcpy(&a, raw, sizeof(a));
+            gmt_atomic_add(a.sum, 0, 1, 8);
+          },
+          &args, sizeof(args));
+    });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 16u);
+    gmt_free(sum);
+  });
+}
+
+// ---- message reordering via latency jitter ----
+
+// GMT's correctness never depends on cross-message ordering: completions
+// are counted per-request (token round trips), allocation is acked before
+// use. With jitter larger than the base latency, buffers from the same
+// source routinely overtake each other.
+TEST(Jitter, RandomWorkloadSurvivesReordering) {
+  net::NetworkModel jittery = net::NetworkModel::instant();
+  jittery.jitter_s = 300e-6;  // far above the (zero) base latency
+  rt::Cluster cluster(3, Config::testing(), jittery);
+  test::run_task(cluster, [&] {
+    const gmt_handle h = gmt_new(4096, Alloc::kPartition);
+    std::vector<std::uint8_t> mirror(4096, 0);
+    Xoshiro256 rng(5);
+    for (int op = 0; op < 150; ++op) {
+      const std::uint64_t size = 1 + rng.below(100);
+      const std::uint64_t offset = rng.below(4096 - size);
+      std::vector<std::uint8_t> data(size);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+      gmt_put(h, offset, data.data(), size);
+      std::memcpy(mirror.data() + offset, data.data(), size);
+    }
+    std::vector<std::uint8_t> readback(4096);
+    gmt_get(h, 0, readback.data(), 4096);
+    EXPECT_EQ(std::memcmp(readback.data(), mirror.data(), 4096), 0);
+    gmt_free(h);
+  });
+}
+
+TEST(Jitter, ParforAndAtomicsUnaffected) {
+  net::NetworkModel jittery = net::NetworkModel::instant();
+  jittery.jitter_s = 200e-6;
+  rt::Cluster cluster(2, Config::testing(), jittery);
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(200, 4,
+                        [&](std::uint64_t i) { gmt_atomic_add(sum, 0, i, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 199u * 200 / 2);
+    gmt_free(sum);
+  });
+}
+
+TEST(Jitter, AllocFreeChurnUnderReordering) {
+  net::NetworkModel jittery = net::NetworkModel::instant();
+  jittery.jitter_s = 100e-6;
+  rt::Cluster cluster(2, Config::testing(), jittery);
+  test::run_task(cluster, [] {
+    for (int round = 0; round < 10; ++round) {
+      const gmt_handle h = gmt_new(256, Alloc::kPartition);
+      gmt_put_value(h, 128, round, 8);
+      std::uint64_t v = 0;
+      gmt_get(h, 128, &v, 8);
+      ASSERT_EQ(v, static_cast<std::uint64_t>(round));
+      gmt_free(h);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gmt

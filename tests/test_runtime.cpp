@@ -1,0 +1,534 @@
+// End-to-end tests of the GMT runtime: the public API exercised on
+// in-process multi-node clusters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "gmt/global_array.hpp"
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+Config test_config() { return Config::testing(); }
+
+// ---- parameterised put/get round trips ----
+// Tuple: (nodes, policy, transfer size, offset)
+
+using RoundTripParam = std::tuple<std::uint32_t, Alloc, std::uint64_t,
+                                  std::uint64_t>;
+
+class PutGetRoundTrip : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(PutGetRoundTrip, DataSurvives) {
+  const auto [nodes, policy, size, offset] = GetParam();
+  rt::Cluster cluster(nodes, test_config());
+  test::run_task(cluster, [&, policy = policy, size = size,
+                           offset = offset] {
+    const gmt_handle h = gmt_new(offset + size + 64, policy);
+    std::vector<std::uint8_t> out(size), in(size);
+    for (std::uint64_t i = 0; i < size; ++i)
+      out[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    gmt_put(h, offset, out.data(), size);
+    gmt_get(h, offset, in.data(), size);
+    EXPECT_EQ(in, out);
+    gmt_free(h);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PutGetRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<std::uint32_t>(1, 2, 3),
+        ::testing::Values(Alloc::kPartition, Alloc::kLocal, Alloc::kRemote),
+        ::testing::Values<std::uint64_t>(1, 8, 100, 4096, 40000),
+        ::testing::Values<std::uint64_t>(0, 13)));
+
+// ---- basic lifecycle ----
+
+TEST(Runtime, AllocZeroInitialised) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1024, Alloc::kPartition);
+    std::vector<std::uint8_t> data(1024, 0xff);
+    gmt_get(h, 0, data.data(), 1024);
+    for (std::uint8_t b : data) ASSERT_EQ(b, 0);
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, ManyAllocations) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    std::vector<gmt_handle> handles;
+    for (int i = 0; i < 32; ++i)
+      handles.push_back(gmt_new(256 + i * 8, Alloc::kPartition));
+    // All distinct and independently writable.
+    for (std::size_t i = 0; i < handles.size(); ++i)
+      gmt_put_value(handles[i], 0, i + 1, 8);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      std::uint64_t v = 0;
+      gmt_get(handles[i], 0, &v, 8);
+      EXPECT_EQ(v, i + 1);
+    }
+    for (const gmt_handle h : handles) gmt_free(h);
+  });
+}
+
+TEST(Runtime, NodeIdentity) {
+  rt::Cluster cluster(3, test_config());
+  test::run_task(cluster, [] {
+    EXPECT_EQ(gmt_num_nodes(), 3u);
+    EXPECT_EQ(gmt_node_id(), 0u);  // root runs on node 0
+  });
+}
+
+TEST(Runtime, RunTwiceOnSameCluster) {
+  rt::Cluster cluster(2, test_config());
+  int runs = 0;
+  test::run_task(cluster, [&] { ++runs; });
+  test::run_task(cluster, [&] { ++runs; });
+  EXPECT_EQ(runs, 2);
+}
+
+// ---- put_value widths ----
+
+TEST(Runtime, PutValueWidths) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(64, Alloc::kPartition);
+    gmt_put_value(h, 0, 0x1122334455667788ULL, 8);
+    gmt_put_value(h, 16, 0xaabbccdd, 4);
+    gmt_put_value(h, 24, 0xeeff, 2);
+    gmt_put_value(h, 32, 0x42, 1);
+    std::uint64_t v8 = 0;
+    std::uint32_t v4 = 0;
+    std::uint16_t v2 = 0;
+    std::uint8_t v1 = 0;
+    gmt_get(h, 0, &v8, 8);
+    gmt_get(h, 16, &v4, 4);
+    gmt_get(h, 24, &v2, 2);
+    gmt_get(h, 32, &v1, 1);
+    EXPECT_EQ(v8, 0x1122334455667788ULL);
+    EXPECT_EQ(v4, 0xaabbccddu);
+    EXPECT_EQ(v2, 0xeeff);
+    EXPECT_EQ(v1, 0x42);
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, PutValueAcrossPartitionBoundary) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    // 16-byte array over 2 nodes -> 8-byte blocks; a 4-byte value at
+    // offset 6 straddles the boundary.
+    const gmt_handle h = gmt_new(16, Alloc::kPartition);
+    gmt_put_value(h, 6, 0xdeadbeef, 4);
+    std::uint32_t v = 0;
+    gmt_get(h, 6, &v, 4);
+    EXPECT_EQ(v, 0xdeadbeefu);
+    gmt_free(h);
+  });
+}
+
+// ---- non-blocking operations ----
+
+TEST(Runtime, NonBlockingPutsCompleteAtWait) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 256, Alloc::kPartition);
+    for (std::uint64_t i = 0; i < 256; ++i)
+      gmt_put_value_nb(h, i * 8, i ^ 0x5a5a, 8);
+    gmt_wait_commands();
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t v = 0;
+      gmt_get(h, i * 8, &v, 8);
+      ASSERT_EQ(v, i ^ 0x5a5a);
+    }
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, NonBlockingGets) {
+  rt::Cluster cluster(3, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 64, Alloc::kPartition);
+    for (std::uint64_t i = 0; i < 64; ++i)
+      gmt_put_value_nb(h, i * 8, i * 3, 8);
+    gmt_wait_commands();
+    std::uint64_t results[64] = {};
+    for (std::uint64_t i = 0; i < 64; ++i)
+      gmt_get_nb(h, i * 8, &results[i], 8);
+    gmt_wait_commands();
+    for (std::uint64_t i = 0; i < 64; ++i) ASSERT_EQ(results[i], i * 3);
+    gmt_free(h);
+  });
+}
+
+// ---- atomics ----
+
+TEST(Runtime, AtomicAddReturnsOld) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(16, Alloc::kPartition);
+    EXPECT_EQ(gmt_atomic_add(h, 0, 5, 8), 0u);
+    EXPECT_EQ(gmt_atomic_add(h, 0, 3, 8), 5u);
+    EXPECT_EQ(gmt_atomic_add(h, 8, 1, 8), 0u);  // second node's partition
+    std::uint64_t v = 0;
+    gmt_get(h, 0, &v, 8);
+    EXPECT_EQ(v, 8u);
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, AtomicCasSemantics) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(16, Alloc::kPartition);
+    EXPECT_EQ(gmt_atomic_cas(h, 8, 0, 100, 8), 0u);    // success
+    EXPECT_EQ(gmt_atomic_cas(h, 8, 0, 200, 8), 100u);  // failure, old value
+    std::uint64_t v = 0;
+    gmt_get(h, 8, &v, 8);
+    EXPECT_EQ(v, 100u);
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, Atomic32Bit) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(16, Alloc::kPartition);
+    EXPECT_EQ(gmt_atomic_add(h, 12, 7, 4), 0u);
+    EXPECT_EQ(gmt_atomic_cas(h, 12, 7, 9, 4), 7u);
+    std::uint32_t v = 0;
+    gmt_get(h, 12, &v, 4);
+    EXPECT_EQ(v, 9u);
+    gmt_free(h);
+  });
+}
+
+// Concurrent atomic adds linearise: the final sum is exact.
+TEST(Runtime, ConcurrentAtomicAddSum) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle counter = gmt_new(8, Alloc::kPartition);
+    constexpr std::uint64_t kTasks = 200;
+    constexpr std::uint64_t kAddsPerTask = 10;
+    test::parfor_lambda(kTasks, 4, [&](std::uint64_t) {
+      for (std::uint64_t i = 0; i < kAddsPerTask; ++i)
+        gmt_atomic_add(counter, 0, 1, 8);
+    });
+    std::uint64_t total = 0;
+    gmt_get(counter, 0, &total, 8);
+    EXPECT_EQ(total, kTasks * kAddsPerTask);
+    gmt_free(counter);
+  });
+}
+
+// Concurrent CAS claims: every slot is won exactly once.
+TEST(Runtime, ConcurrentCasClaims) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle slots = gmt_new(8 * 16, Alloc::kPartition);
+    const gmt_handle wins = gmt_new(8, Alloc::kPartition);
+    // 128 tasks race to claim 16 slots; 16 total wins expected.
+    test::parfor_lambda(128, 2, [&](std::uint64_t i) {
+      const std::uint64_t slot = i % 16;
+      if (gmt_atomic_cas(slots, slot * 8, 0, i + 1, 8) == 0)
+        gmt_atomic_add(wins, 0, 1, 8);
+    });
+    std::uint64_t total = 0;
+    gmt_get(wins, 0, &total, 8);
+    EXPECT_EQ(total, 16u);
+    gmt_free(slots);
+    gmt_free(wins);
+  });
+}
+
+// ---- parfor ----
+
+using ParforParam = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t,
+                               Spawn>;
+
+class Parfor : public ::testing::TestWithParam<ParforParam> {};
+
+TEST_P(Parfor, ExecutesEveryIterationOnce) {
+  const auto [nodes, iterations, chunk, policy] = GetParam();
+  rt::Cluster cluster(nodes, test_config());
+  test::run_task(cluster, [&, iterations = iterations, chunk = chunk,
+                           policy = policy] {
+    const gmt_handle marks = gmt_new(iterations * 8, Alloc::kPartition);
+    test::parfor_lambda(
+        iterations, chunk,
+        [&](std::uint64_t i) { gmt_atomic_add(marks, i * 8, 1, 8); },
+        policy);
+    // Every iteration ran exactly once.
+    std::vector<std::uint64_t> counts(iterations);
+    gmt_get(marks, 0, counts.data(), iterations * 8);
+    for (std::uint64_t i = 0; i < iterations; ++i)
+      ASSERT_EQ(counts[i], 1u) << "iteration " << i;
+    gmt_free(marks);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Parfor,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 7, 64, 500),
+                       ::testing::Values<std::uint64_t>(0, 1, 13),
+                       ::testing::Values(Spawn::kPartition, Spawn::kLocal,
+                                         Spawn::kRemote)));
+
+TEST(ParforMore, IterationIndicesCoverRange) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(100, 0,
+                        [&](std::uint64_t i) { gmt_atomic_add(sum, 0, i, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 99u * 100 / 2);
+    gmt_free(sum);
+  });
+}
+
+TEST(ParforMore, TasksRunOnAllNodes) {
+  rt::Cluster cluster(3, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle per_node = gmt_new(8 * 3, Alloc::kPartition);
+    test::parfor_lambda(300, 1, [&](std::uint64_t) {
+      gmt_atomic_add(per_node, gmt_node_id() * 8, 1, 8);
+    });
+    std::uint64_t counts[3];
+    gmt_get(per_node, 0, counts, 24);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 300u);
+    for (int n = 0; n < 3; ++n)
+      EXPECT_GT(counts[n], 0u) << "node " << n << " ran nothing";
+    gmt_free(per_node);
+  });
+}
+
+TEST(ParforMore, RemotePolicySkipsCaller) {
+  rt::Cluster cluster(3, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle per_node = gmt_new(8 * 3, Alloc::kPartition);
+    test::parfor_lambda(
+        60, 1,
+        [&](std::uint64_t) { gmt_atomic_add(per_node, gmt_node_id() * 8, 1, 8); },
+        Spawn::kRemote);
+    std::uint64_t counts[3];
+    gmt_get(per_node, 0, counts, 24);
+    EXPECT_EQ(counts[0], 0u);  // caller node excluded
+    EXPECT_EQ(counts[1] + counts[2], 60u);
+    gmt_free(per_node);
+  });
+}
+
+TEST(ParforMore, LocalPolicyStaysOnCaller) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle per_node = gmt_new(8 * 2, Alloc::kPartition);
+    test::parfor_lambda(
+        40, 1,
+        [&](std::uint64_t) { gmt_atomic_add(per_node, gmt_node_id() * 8, 1, 8); },
+        Spawn::kLocal);
+    std::uint64_t counts[2];
+    gmt_get(per_node, 0, counts, 16);
+    EXPECT_EQ(counts[0], 40u);
+    EXPECT_EQ(counts[1], 0u);
+    gmt_free(per_node);
+  });
+}
+
+TEST(ParforMore, NestedParfor) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(4, 1, [&](std::uint64_t) {
+      test::parfor_lambda(8, 1, [&](std::uint64_t) {
+        gmt_atomic_add(sum, 0, 1, 8);
+      });
+    });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 32u);
+    gmt_free(sum);
+  });
+}
+
+TEST(ParforMore, ArgumentsCopiedToTasks) {
+  rt::Cluster cluster(2, test_config());
+  struct Args {
+    gmt_handle sum;
+    std::uint64_t magic;
+  };
+  test::run_task(cluster, [] {
+    Args args{gmt_new(8, Alloc::kPartition), 0x12345678};
+    gmt_parfor(
+        10, 1,
+        [](std::uint64_t, const void* raw) {
+          Args a;
+          std::memcpy(&a, raw, sizeof(a));
+          gmt_atomic_add(a.sum, 0, a.magic, 8);
+        },
+        &args, sizeof(args), Spawn::kPartition);
+    std::uint64_t total = 0;
+    gmt_get(args.sum, 0, &total, 8);
+    EXPECT_EQ(total, 10u * 0x12345678);
+    gmt_free(args.sum);
+  });
+}
+
+TEST(ParforMore, ZeroIterationsIsNoop) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    test::parfor_lambda(0, 1, [&](std::uint64_t) { ADD_FAILURE(); });
+  });
+}
+
+TEST(ParforMore, ManyTasksBeyondWorkerLimit) {
+  // More tasks than max_tasks_per_worker x workers forces itb recycling.
+  Config config = test_config();
+  config.max_tasks_per_worker = 8;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(2000, 1,
+                        [&](std::uint64_t) { gmt_atomic_add(sum, 0, 1, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 2000u);
+    gmt_free(sum);
+  });
+}
+
+// ---- typed wrapper ----
+
+TEST(GlobalArrayWrapper, TypedAccess) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    auto array = GlobalArray<std::uint64_t>::allocate(128);
+    EXPECT_EQ(array.size(), 128u);
+    array.put(3, 777);
+    EXPECT_EQ(array.get(3), 777u);
+    EXPECT_EQ(array.atomic_add(3, 1), 777u);
+    EXPECT_EQ(array.atomic_cas(3, 778, 1000), 778u);
+    EXPECT_EQ(array.get(3), 1000u);
+
+    std::uint64_t block[4] = {1, 2, 3, 4};
+    array.put_range(10, block, 4);
+    std::uint64_t readback[4] = {};
+    array.get_range(10, readback, 4);
+    EXPECT_EQ(std::memcmp(block, readback, sizeof(block)), 0);
+    array.free();
+  });
+}
+
+// ---- configuration variants ----
+
+TEST(RuntimeConfig, WithoutLocalFastPath) {
+  Config config = test_config();
+  config.local_fast_path = false;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1024, Alloc::kPartition);
+    std::uint64_t v = 0;
+    gmt_put_value(h, 0, 42, 8);  // offset 0 is node-local; goes via helpers
+    gmt_get(h, 0, &v, 8);
+    EXPECT_EQ(v, 42u);
+    EXPECT_EQ(gmt_atomic_add(h, 0, 1, 8), 42u);
+    gmt_free(h);
+  });
+}
+
+TEST(RuntimeConfig, MultipleWorkersAndHelpers) {
+  Config config = test_config();
+  config.num_workers = 2;
+  config.num_helpers = 2;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(400, 4,
+                        [&](std::uint64_t) { gmt_atomic_add(sum, 0, 1, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 400u);
+    gmt_free(sum);
+  });
+}
+
+TEST(RuntimeConfig, SingleNodeCluster) {
+  rt::Cluster cluster(1, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(256, Alloc::kPartition);
+    gmt_put_value(h, 8, 5, 8);
+    EXPECT_EQ(gmt_atomic_add(h, 8, 2, 8), 5u);
+    const gmt_handle sum = gmt_new(8, Alloc::kLocal);
+    test::parfor_lambda(50, 0,
+                        [&](std::uint64_t) { gmt_atomic_add(sum, 0, 1, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 50u);
+    gmt_free(h);
+    gmt_free(sum);
+  });
+}
+
+// ---- cross-task visibility ----
+
+TEST(Runtime, BlockingPutVisibleToOtherTasks) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 64, Alloc::kPartition);
+    // Phase 1 writes, parfor barrier, phase 2 reads.
+    test::parfor_lambda(64, 1, [&](std::uint64_t i) {
+      gmt_put_value(h, i * 8, i + 1000, 8);
+    });
+    test::parfor_lambda(64, 1, [&](std::uint64_t i) {
+      std::uint64_t v = 0;
+      gmt_get(h, i * 8, &v, 8);
+      EXPECT_EQ(v, i + 1000);
+    });
+    gmt_free(h);
+  });
+}
+
+TEST(Runtime, YieldKeepsTaskRunnable) {
+  rt::Cluster cluster(1, test_config());
+  test::run_task(cluster, [] {
+    int progress = 0;
+    for (int i = 0; i < 10; ++i) {
+      gmt_yield();
+      ++progress;
+    }
+    EXPECT_EQ(progress, 10);
+  });
+}
+
+// ---- quiescence invariants after shutdown ----
+
+TEST(Runtime, StatsAccumulate) {
+  rt::Cluster cluster(2, test_config());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1 << 14, Alloc::kPartition);
+    test::parfor_lambda(100, 2, [&](std::uint64_t i) {
+      gmt_put_value(h, (i % 2048) * 8, i, 8);
+    });
+    gmt_free(h);
+  });
+  std::uint64_t iterations = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    iterations += cluster.node(n).stats().iterations_executed.v.load();
+  // 100 body iterations + 1 root + upload helpers etc.
+  EXPECT_GE(iterations, 101u);
+  EXPECT_GT(cluster.total_network_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace gmt

@@ -1,0 +1,220 @@
+// Stress and failure-injection tests for the threaded runtime: resource
+// exhaustion pressure, deep nesting, tiny buffers, quiescence invariants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+TEST(RuntimeStress, TinyBuffersForceConstantFlushing) {
+  // Aggregation buffers barely larger than one command: every command
+  // ships nearly alone; correctness must be unaffected.
+  Config config = Config::testing();
+  config.buffer_size = 512;
+  config.cmd_block_entries = 2;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 512, Alloc::kPartition);
+    test::parfor_lambda(512, 8, [&](std::uint64_t i) {
+      gmt_put_value(h, i * 8, i + 7, 8);
+    });
+    std::vector<std::uint64_t> data(512);
+    gmt_get(h, 0, data.data(), 512 * 8);
+    for (std::uint64_t i = 0; i < 512; ++i) ASSERT_EQ(data[i], i + 7);
+    gmt_free(h);
+  });
+}
+
+TEST(RuntimeStress, ScarceCommandBlocks) {
+  // A command-block pool at the enforced minimum: recycling pressure on
+  // every append.
+  Config config = Config::testing();
+  // Validation minimum; the aggregator's internal floor then provides just
+  // one open block per thread per destination plus minimal slack.
+  config.cmd_block_pool_size = config.num_workers + config.num_helpers;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(300, 4,
+                        [&](std::uint64_t) { gmt_atomic_add(sum, 0, 1, 8); });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 300u);
+    gmt_free(sum);
+  });
+}
+
+TEST(RuntimeStress, DeepNestedParfor) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    // Three levels of nesting: 3 x 3 x 3 = 27 leaf increments.
+    test::parfor_lambda(3, 1, [&](std::uint64_t) {
+      test::parfor_lambda(3, 1, [&](std::uint64_t) {
+        test::parfor_lambda(3, 1, [&](std::uint64_t) {
+          gmt_atomic_add(sum, 0, 1, 8);
+        });
+      });
+    });
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 27u);
+    gmt_free(sum);
+  });
+}
+
+TEST(RuntimeStress, SingleWorkerSurvivesBlockingStorm) {
+  // One worker, one helper, many tasks that all block: pure
+  // latency-tolerance scheduling.
+  Config config = Config::testing();
+  config.num_workers = 1;
+  config.num_helpers = 1;
+  config.max_tasks_per_worker = 8;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 64, Alloc::kPartition);
+    test::parfor_lambda(64, 1, [&](std::uint64_t i) {
+      for (int repeat = 0; repeat < 4; ++repeat) {
+        gmt_put_value(h, i * 8, i * 10 + repeat, 8);
+        std::uint64_t v = 0;
+        gmt_get(h, i * 8, &v, 8);
+        ASSERT_EQ(v, i * 10 + repeat);
+      }
+    });
+    gmt_free(h);
+  });
+}
+
+TEST(RuntimeStress, ManySmallParforsBackToBack) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    for (int round = 0; round < 40; ++round) {
+      test::parfor_lambda(10, 1,
+                          [&](std::uint64_t) { gmt_atomic_add(sum, 0, 1, 8); });
+    }
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, 400u);
+    gmt_free(sum);
+  });
+}
+
+TEST(RuntimeStress, LargeParforArguments) {
+  // Argument buffers near the command payload ceiling are copied to every
+  // node intact.
+  rt::Cluster cluster(3, Config::testing());
+  test::run_task(cluster, [] {
+    struct BigArgs {
+      gmt_handle sum;
+      std::uint8_t blob[2000];
+    };
+    static BigArgs args;  // static: too big for a task stack
+    args.sum = gmt_new(8, Alloc::kPartition);
+    for (int i = 0; i < 2000; ++i)
+      args.blob[i] = static_cast<std::uint8_t>(i * 13);
+    gmt_parfor(
+        12, 1,
+        [](std::uint64_t, const void* raw) {
+          const BigArgs* a = static_cast<const BigArgs*>(raw);
+          std::uint64_t checksum = 0;
+          for (int i = 0; i < 2000; ++i) checksum += a->blob[i];
+          std::uint64_t expected = 0;
+          for (int i = 0; i < 2000; ++i)
+            expected += static_cast<std::uint8_t>(i * 13);
+          if (checksum == expected) gmt_atomic_add(a->sum, 0, 1, 8);
+        },
+        &args, sizeof(args), Spawn::kPartition);
+    std::uint64_t total = 0;
+    gmt_get(args.sum, 0, &total, 8);
+    EXPECT_EQ(total, 12u);
+    gmt_free(args.sum);
+  });
+}
+
+TEST(RuntimeStress, InterleavedAllocFreeChurn) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    for (int round = 0; round < 25; ++round) {
+      const gmt_handle a = gmt_new(1024, Alloc::kPartition);
+      const gmt_handle b = gmt_new(64, Alloc::kLocal);
+      gmt_put_value(a, 512, round, 8);
+      gmt_put_value(b, 0, round * 2, 8);
+      std::uint64_t va = 0, vb = 0;
+      gmt_get(a, 512, &va, 8);
+      gmt_get(b, 0, &vb, 8);
+      ASSERT_EQ(va, static_cast<std::uint64_t>(round));
+      ASSERT_EQ(vb, static_cast<std::uint64_t>(round * 2));
+      gmt_free(b);
+      gmt_free(a);
+    }
+  });
+}
+
+TEST(RuntimeStress, TransfersSpanningAllPartitions) {
+  // One transfer touching every node's partition in a single call.
+  rt::Cluster cluster(3, Config::testing());
+  test::run_task(cluster, [] {
+    constexpr std::uint64_t kBytes = 30000;  // 10000 per node
+    const gmt_handle h = gmt_new(kBytes, Alloc::kPartition);
+    std::vector<std::uint8_t> out(kBytes);
+    for (std::uint64_t i = 0; i < kBytes; ++i)
+      out[i] = static_cast<std::uint8_t>(i ^ (i >> 8));
+    gmt_put(h, 0, out.data(), kBytes);
+    std::vector<std::uint8_t> in(kBytes);
+    gmt_get(h, 0, in.data(), kBytes);
+    EXPECT_EQ(in, out);
+    gmt_free(h);
+  });
+}
+
+TEST(RuntimeStress, PoolPopulationsRestoredAtQuiescence) {
+  // After a busy run and shutdown, the aggregator must be idle (all
+  // command blocks and buffers returned) on every node.
+  auto cluster = std::make_unique<rt::Cluster>(2, Config::testing());
+  test::run_task(*cluster, [] {
+    const gmt_handle h = gmt_new(8 * 1024, Alloc::kPartition);
+    test::parfor_lambda(1024, 16, [&](std::uint64_t i) {
+      gmt_put_value_nb(h, i * 8, i, 8);
+    });
+    gmt_free(h);
+  });
+  for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n)
+    EXPECT_TRUE(cluster->node(n).aggregator().idle()) << "node " << n;
+}
+
+TEST(RuntimeStressDeathTest, OversizedParforArgsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  rt::Cluster cluster(2, Config::testing());
+  EXPECT_DEATH(
+      test::run_task(cluster,
+                     [] {
+                       std::vector<std::uint8_t> huge(1 << 20);
+                       gmt_parfor(
+                           4, 1, [](std::uint64_t, const void*) {},
+                           huge.data(), huge.size(), Spawn::kPartition);
+                     }),
+      "args too large");
+}
+
+TEST(RuntimeStressDeathTest, MisalignedAtomicRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  rt::Cluster cluster(2, Config::testing());
+  EXPECT_DEATH(test::run_task(cluster,
+                              [] {
+                                const gmt_handle h =
+                                    gmt_new(64, Alloc::kPartition);
+                                gmt_atomic_add(h, 3, 1, 8);
+                              }),
+               "misaligned");
+}
+
+}  // namespace
+}  // namespace gmt

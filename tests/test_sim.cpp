@@ -1,0 +1,383 @@
+// Tests for the discrete-event simulator: engine semantics, runtime model
+// behaviour, workload correctness and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/gmt_sim.hpp"
+#include "sim/scripted_task.hpp"
+#include "sim/spmd_sim.hpp"
+#include "sim/workloads_chma.hpp"
+#include "sim/workloads_graph.hpp"
+#include "sim/workloads_micro.hpp"
+
+namespace gmt::sim {
+namespace {
+
+// ----------------------------------------------------------------- engine --
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, FifoForEqualTimestamps) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) engine.schedule_in(1.0, chain);
+  };
+  engine.schedule_in(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 4.0);
+}
+
+TEST(EngineDeathTest, EventCapCatchesRunaways) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Engine engine;
+  std::function<void()> forever = [&] { engine.schedule_in(1.0, forever); };
+  engine.schedule_in(0, forever);
+  EXPECT_DEATH(engine.run(/*max_events=*/100), "event cap");
+}
+
+// ------------------------------------------------------------- GMT model --
+
+// A trivial task issuing `n` blocking ops to the next node.
+std::unique_ptr<SimTask> ping_task(std::uint32_t node, std::uint32_t nodes,
+                                   std::uint64_t n) {
+  return std::make_unique<ScriptedTask>(
+      0, n, [node, nodes](std::uint64_t, std::vector<SimOp>* ops) {
+        ops->push_back(SimOp{(node + 1) % nodes, 8, 0, 10, true});
+      });
+}
+
+TEST(SimGmt, ParforRunsAllIterations) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, 2, SimGmtConfig{}, GmtCosts{});
+  std::uint64_t executed = 0;
+  bool completed = false;
+  runtime.parfor(
+      100, 5,
+      [&](std::uint32_t, std::uint64_t begin, std::uint64_t end) {
+        executed += end - begin;
+        return ping_task(0, 2, 1);
+      },
+      [&] { completed = true; });
+  engine.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_GT(runtime.network_messages(), 0u);
+}
+
+TEST(SimGmt, VirtualTimeAdvances) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, 2, SimGmtConfig{}, GmtCosts{});
+  double finish = 0;
+  runtime.parfor_single(
+      0, 10, 1,
+      [&](std::uint32_t node, std::uint64_t, std::uint64_t) {
+        return ping_task(node, 2, 50);
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+  EXPECT_GT(finish, 0.0);
+}
+
+TEST(SimGmt, LocalOpsProduceNoTraffic) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, 2, SimGmtConfig{}, GmtCosts{});
+  bool done = false;
+  runtime.parfor_single(
+      0, 4, 1,
+      [&](std::uint32_t node, std::uint64_t, std::uint64_t) {
+        // All ops target the task's own node.
+        return std::make_unique<ScriptedTask>(
+            0, 10, [node](std::uint64_t, std::vector<SimOp>* ops) {
+              ops->push_back(SimOp{node, 8, 8, 10, true});
+            });
+      },
+      [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(runtime.network_messages(), 0u);
+}
+
+TEST(SimGmt, AggregationReducesMessages) {
+  const auto run = [&](bool aggregation) {
+    Engine engine;
+    SimGmtConfig config;
+    config.aggregation_enabled = aggregation;
+    SimGmtRuntime runtime(&engine, 2, config, GmtCosts{});
+    runtime.parfor_single(
+        0, 64, 1,
+        [&](std::uint32_t node, std::uint64_t, std::uint64_t) {
+          return ping_task(node, 2, 32);
+        },
+        [] {});
+    engine.run();
+    return runtime.network_messages();
+  };
+  const std::uint64_t with = run(true);
+  const std::uint64_t without = run(false);
+  EXPECT_LT(with, without / 4);  // aggregation coalesces heavily
+}
+
+TEST(SimGmt, DeterministicAcrossRuns) {
+  const auto run = [] {
+    PutBenchParams params;
+    params.nodes = 4;
+    params.tasks = 64;
+    params.puts_per_task = 32;
+    params.all_nodes_send = true;
+    const PutBenchResult result = put_bench_gmt(params);
+    return std::make_pair(result.seconds, result.messages);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// --------------------------------------------------------- put benchmark --
+
+TEST(PutBench, RateIncreasesWithConcurrency) {
+  PutBenchParams low;
+  low.tasks = 16;
+  low.puts_per_task = 64;
+  PutBenchParams high = low;
+  high.tasks = 1024;
+  EXPECT_GT(put_bench_gmt(high).payload_rate_MBps(),
+            put_bench_gmt(low).payload_rate_MBps() * 2);
+}
+
+TEST(PutBench, LargerPutsMoveMoreBytes) {
+  PutBenchParams small;
+  small.tasks = 256;
+  small.puts_per_task = 64;
+  small.put_size = 8;
+  PutBenchParams big = small;
+  big.put_size = 128;
+  EXPECT_GT(put_bench_gmt(big).payload_rate_MBps(),
+            put_bench_gmt(small).payload_rate_MBps() * 4);
+}
+
+TEST(PutBench, BeatsModeledMpiAtSmallSizes) {
+  // The paper's headline: aggregated 8..128-byte puts at high concurrency
+  // sustain far more than raw 32-process MPI sends of the same size.
+  PutBenchParams params;
+  params.tasks = 15360;
+  params.puts_per_task = 64;
+  params.put_size = 16;
+  const double gmt_rate = put_bench_gmt(params).payload_rate_MBps();
+  const double mpi_rate = mpi_send_rate_MBps(16, 32, GmtCosts{});
+  EXPECT_GT(gmt_rate, 3 * mpi_rate);
+}
+
+// ------------------------------------------------------------ SPMD model --
+
+TEST(SimSpmd, BlockingRoundTripsSerialise) {
+  Engine engine;
+  SimSpmd spmd(&engine, 2, SpmdCosts{});
+  class Logic final : public RankLogic {
+   public:
+    explicit Logic(std::uint32_t rank) : rank_(rank) {}
+    Status next(SpmdOp* op) override {
+      if (rank_ != 0 || count_ >= 10) return Status::kDone;
+      ++count_;
+      op->dst = 1;
+      return Status::kOp;
+    }
+
+   private:
+    std::uint32_t rank_;
+    int count_ = 0;
+  };
+  double finish = 0;
+  spmd.start([](std::uint32_t r) { return std::make_unique<Logic>(r); },
+             [&] { finish = engine.now(); });
+  engine.run();
+  // 10 round trips: at least 10 x (2 messages) and measurable time.
+  EXPECT_EQ(spmd.network_messages(), 20u);
+  EXPECT_GT(finish, 10 * 2 * SpmdCosts{}.net.latency_s);
+}
+
+TEST(SimSpmd, BarrierWaitsForAll) {
+  Engine engine;
+  SimSpmd spmd(&engine, 3, SpmdCosts{});
+  struct Shared {
+    int before = 0;
+    bool ok = true;
+  } shared;
+  class Logic final : public RankLogic {
+   public:
+    Logic(Shared* shared, std::uint32_t rank) : shared_(shared), rank_(rank) {}
+    Status next(SpmdOp* op) override {
+      switch (stage_++) {
+        case 0:
+          ++shared_->before;
+          op->work_cycles = rank_ == 0 ? 1e6 : 10;  // rank 0 is slow
+          return Status::kLocal;
+        case 1:
+          return Status::kBarrier;
+        default:
+          if (shared_->before != 3) shared_->ok = false;
+          return Status::kDone;
+      }
+    }
+
+   private:
+    Shared* shared_;
+    std::uint32_t rank_;
+    int stage_ = 0;
+  };
+  spmd.start(
+      [&](std::uint32_t r) { return std::make_unique<Logic>(&shared, r); },
+      [] {});
+  engine.run();
+  EXPECT_TRUE(shared.ok);
+  EXPECT_EQ(shared.before, 3);
+}
+
+// -------------------------------------------------------- graph workloads --
+
+TEST(SimBfs, SemanticsMatchHostReference) {
+  const auto csr = graph::build_csr(
+      600, graph::generate_uniform({600, 1, 5, 3}));
+  // Host reference visited count.
+  const GraphKernelResult xmt = sim_bfs_xmt(csr, 2, 0);  // host semantics
+  const GraphKernelResult gmt = sim_bfs_gmt(csr, 3, 0, {}, {});
+  const GraphKernelResult upc = sim_bfs_upc(csr, 3, 0, {});
+  EXPECT_EQ(gmt.visited, xmt.visited);
+  EXPECT_EQ(upc.visited, xmt.visited);
+  EXPECT_EQ(gmt.edges_traversed, xmt.edges_traversed);
+  EXPECT_EQ(upc.edges_traversed, xmt.edges_traversed);
+  EXPECT_GT(gmt.seconds, 0.0);
+  EXPECT_GT(upc.seconds, 0.0);
+}
+
+TEST(SimBfs, GmtBeatsUpc) {
+  // Needs a frontier wide enough for multithreading to cover the
+  // aggregation latency — the paper's central premise. (On tiny graphs
+  // the flush deadline dominates and the comparison is meaningless.)
+  const auto csr = graph::build_csr(
+      20000, graph::generate_uniform({20000, 4, 16, 5}));
+  const GraphKernelResult gmt = sim_bfs_gmt(csr, 4, 0, {}, {});
+  const GraphKernelResult upc = sim_bfs_upc(csr, 4, 0, {});
+  EXPECT_GT(gmt.mteps(), 3 * upc.mteps());
+}
+
+TEST(SimBfs, Deterministic) {
+  const auto csr = graph::build_csr(
+      500, graph::generate_uniform({500, 1, 6, 9}));
+  const GraphKernelResult a = sim_bfs_gmt(csr, 2, 0, {}, {});
+  const GraphKernelResult b = sim_bfs_gmt(csr, 2, 0, {}, {});
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(SimGrw, CountsAndDeterminism) {
+  const auto csr = graph::build_csr(
+      400, graph::generate_uniform({400, 1, 6, 13}));
+  const GraphKernelResult a = sim_grw_gmt(csr, 2, 100, 10, {}, {});
+  EXPECT_EQ(a.edges_traversed, 1000u);  // no dead ends
+  const GraphKernelResult b = sim_grw_gmt(csr, 2, 100, 10, {}, {});
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(SimGrw, MpiModelsCompleteAllWalks) {
+  const auto csr = graph::build_csr(
+      300, graph::generate_uniform({300, 1, 5, 17}));
+  const GraphKernelResult plain = sim_grw_mpi(csr, 3, 60, 8, {});
+  const GraphKernelResult batched = sim_grw_mpi_batched(csr, 3, 60, 8, {});
+  EXPECT_EQ(plain.edges_traversed, 60u * 8);
+  EXPECT_EQ(batched.edges_traversed, 60u * 8);
+  // Batching reduces message count by construction.
+  EXPECT_LT(batched.messages, plain.messages);
+}
+
+TEST(SimGrw, GmtBeatsPerDelegationMpiAtScale) {
+  // Weak-scaling shape: with enough walkers per node to keep the workers
+  // multithreaded, GMT clears the per-delegation MPI baseline well.
+  const auto csr = graph::build_csr(
+      16000, graph::generate_uniform({16000, 2, 8, 19}));
+  const GraphKernelResult gmt = sim_grw_gmt(csr, 4, 24000, 10, {}, {});
+  const GraphKernelResult mpi = sim_grw_mpi(csr, 4, 24000, 10, {});
+  EXPECT_GT(gmt.mteps(), 3 * mpi.mteps());
+}
+
+TEST(SimXmt, ModelScalesWithProcessors) {
+  const auto csr = graph::build_csr(
+      3000, graph::generate_uniform({3000, 4, 12, 23}));
+  const GraphKernelResult two = sim_bfs_xmt(csr, 2, 0);
+  const GraphKernelResult eight = sim_bfs_xmt(csr, 8, 0);
+  EXPECT_GT(eight.mteps(), two.mteps());
+}
+
+// --------------------------------------------------------- CHMA workloads --
+
+TEST(SimChma, AccessCountsAndDeterminism) {
+  ChmaSimParams params;
+  params.nodes = 2;
+  params.tasks = 64;
+  params.steps = 8;
+  params.map_capacity = 1 << 12;
+  params.pool_size = 1 << 10;
+  params.populate = 1 << 9;
+  const ChmaSimResult a = sim_chma_gmt(params, {}, {});
+  EXPECT_EQ(a.accesses, 64u * 8);
+  const ChmaSimResult b = sim_chma_gmt(params, {}, {});
+  EXPECT_EQ(a.seconds, b.seconds);
+  const ChmaSimResult mpi = sim_chma_mpi(params, {});
+  EXPECT_EQ(mpi.accesses, 64u * 8);
+  EXPECT_GT(mpi.seconds, 0.0);
+}
+
+TEST(SimChma, GmtThroughputGrowsWithW) {
+  ChmaSimParams small;
+  small.nodes = 2;
+  small.tasks = 64;
+  small.steps = 8;
+  small.map_capacity = 1 << 12;
+  small.pool_size = 1 << 10;
+  small.populate = 1 << 9;
+  ChmaSimParams large = small;
+  large.tasks = 1024;
+  EXPECT_GT(sim_chma_gmt(large, {}, {}).maccesses_per_s(),
+            2 * sim_chma_gmt(small, {}, {}).maccesses_per_s());
+}
+
+TEST(SimChma, MpiThroughputFlatInW) {
+  // The paper's point: MPI throughput is capped by ranks, not W.
+  ChmaSimParams small;
+  small.nodes = 2;
+  small.tasks = 32;
+  small.steps = 8;
+  small.map_capacity = 1 << 12;
+  small.pool_size = 1 << 10;
+  small.populate = 1 << 9;
+  ChmaSimParams large = small;
+  large.tasks = 512;
+  const double rate_small = sim_chma_mpi(small, {}).maccesses_per_s();
+  const double rate_large = sim_chma_mpi(large, {}).maccesses_per_s();
+  EXPECT_LT(rate_large, rate_small * 2);
+}
+
+}  // namespace
+}  // namespace gmt::sim

@@ -1,0 +1,148 @@
+// Regression and property tests for the simulator's virtual-time
+// accounting — including the tick-chain bug where completions inside a
+// worker tick spawned zero-delay tick chains that collapsed all local
+// work to one instant.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cost_model.hpp"
+#include "sim/gmt_sim.hpp"
+#include "sim/scripted_task.hpp"
+#include "sim/workloads_micro.hpp"
+
+namespace gmt::sim {
+namespace {
+
+double run_local_work(std::uint32_t nodes, std::uint64_t tasks,
+                      std::uint64_t ops_per_task, const GmtCosts& costs) {
+  Engine engine;
+  SimGmtRuntime runtime(&engine, nodes, SimGmtConfig{}, costs);
+  double finish = -1;
+  runtime.parfor(
+      tasks, 1,
+      [&](std::uint32_t node, std::uint64_t, std::uint64_t) {
+        return std::make_unique<ScriptedTask>(
+            0, ops_per_task, [node](std::uint64_t, std::vector<SimOp>* ops) {
+              ops->push_back(SimOp{node, 8, 8, 60, true});
+            });
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+  return finish;
+}
+
+TEST(SimTiming, LocalWorkCostsRealTime) {
+  // Regression: 100 tasks x 1000 local ops on one node must take at least
+  // the serial per-op cost divided by worker parallelism.
+  const GmtCosts costs;
+  const double seconds = run_local_work(1, 100, 1000, costs);
+  const double per_op_cycles =
+      costs.cmd_gen_cycles + costs.cmd_exec_cycles + 60;
+  const double floor =
+      100.0 * 1000 * costs.cycles_to_s(per_op_cycles) / 15.0;  // 15 workers
+  EXPECT_GT(seconds, floor * 0.8);
+  EXPECT_LT(seconds, floor * 20);
+}
+
+TEST(SimTiming, MoreLocalWorkTakesProportionallyLonger) {
+  const GmtCosts costs;
+  const double one = run_local_work(1, 50, 200, costs);
+  const double four = run_local_work(1, 200, 200, costs);
+  EXPECT_GT(four, 2.5 * one);
+  EXPECT_LT(four, 8.0 * one);
+}
+
+TEST(SimTiming, WorkerParallelismSpeedsUpLocalWork) {
+  GmtCosts costs;
+  Engine engine;
+  const auto run_with_workers = [&](std::uint32_t workers) {
+    Engine local_engine;
+    SimGmtConfig config;
+    config.num_workers = workers;
+    SimGmtRuntime runtime(&local_engine, 1, config, costs);
+    double finish = -1;
+    runtime.parfor(
+        64, 1,
+        [&](std::uint32_t node, std::uint64_t, std::uint64_t) {
+          return std::make_unique<ScriptedTask>(
+              0, 500, [node](std::uint64_t, std::vector<SimOp>* ops) {
+                ops->push_back(SimOp{node, 8, 8, 60, true});
+              });
+        },
+        [&] { finish = local_engine.now(); });
+    local_engine.run();
+    return finish;
+  };
+  const double one_worker = run_with_workers(1);
+  const double eight_workers = run_with_workers(8);
+  EXPECT_GT(one_worker, 4 * eight_workers);
+}
+
+TEST(SimTiming, RemoteOpsCostAtLeastNetworkLatency) {
+  // A single task doing sequential blocking remote ops cannot finish
+  // faster than ops x one-way latency x 2.
+  Engine engine;
+  GmtCosts costs;
+  SimGmtRuntime runtime(&engine, 2, SimGmtConfig{}, costs);
+  double finish = -1;
+  constexpr std::uint64_t kOps = 50;
+  runtime.parfor_single(
+      0, 1, 1,
+      [&](std::uint32_t, std::uint64_t, std::uint64_t) {
+        return std::make_unique<ScriptedTask>(
+            0, kOps, [](std::uint64_t, std::vector<SimOp>* ops) {
+              ops->push_back(SimOp{1, 8, 8, 10, true});
+            });
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+  EXPECT_GT(finish, kOps * 2 * costs.net.latency_s);
+}
+
+TEST(SimTiming, SaturatedPutsMatchPaperAnchors) {
+  // The headline calibration check: 8-byte blocking puts at the paper's
+  // task counts must land near the published rates (within a factor 2).
+  PutBenchParams params;
+  params.nodes = 2;
+  params.puts_per_task = 64;
+  params.put_size = 8;
+
+  params.tasks = 1024;
+  const double rate_1024 = put_bench_gmt(params).payload_rate_MBps();
+  EXPECT_GT(rate_1024, 8.55 / 2);   // paper: 8.55 MB/s
+  EXPECT_LT(rate_1024, 8.55 * 2);
+
+  params.tasks = 15360;
+  const double rate_15360 = put_bench_gmt(params).payload_rate_MBps();
+  EXPECT_GT(rate_15360, 72.48 / 2);  // paper: 72.48 MB/s
+  EXPECT_LT(rate_15360, 72.48 * 2);
+
+  // And the paper's 8.4x concurrency gain, within a loose band.
+  EXPECT_GT(rate_15360 / rate_1024, 3.0);
+}
+
+TEST(SimTiming, FlushDeadlineBoundsSparseLatency) {
+  // One lonely blocking op: end-to-end must be at least one flush
+  // deadline (request leg) and at most a few (request + reply legs).
+  Engine engine;
+  GmtCosts costs;
+  SimGmtConfig config;
+  SimGmtRuntime runtime(&engine, 2, config, costs);
+  double finish = -1;
+  runtime.parfor_single(
+      0, 1, 1,
+      [&](std::uint32_t, std::uint64_t, std::uint64_t) {
+        return std::make_unique<ScriptedTask>(
+            0, 1, [](std::uint64_t, std::vector<SimOp>* ops) {
+              ops->push_back(SimOp{1, 8, 8, 10, true});
+            });
+      },
+      [&] { finish = engine.now(); });
+  engine.run();
+  EXPECT_GT(finish, config.agg_timeout_s);
+  EXPECT_LT(finish, 6 * config.agg_timeout_s);
+}
+
+}  // namespace
+}  // namespace gmt::sim

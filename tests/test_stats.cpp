@@ -1,0 +1,73 @@
+// Tests for the runtime statistics reporting.
+#include <gtest/gtest.h>
+
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/stats_report.hpp"
+#include "test_util.hpp"
+
+namespace gmt::rt {
+namespace {
+
+TEST(StatsReport, CountersReflectWork) {
+  Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 256, Alloc::kPartition);
+    test::parfor_lambda(256, 4, [&](std::uint64_t i) {
+      gmt_put_value(h, i * 8, i, 8);
+    });
+    gmt_free(h);
+  });
+  const ClusterStatsSummary summary = summarize_stats(cluster);
+  EXPECT_GE(summary.iterations_executed, 257u);  // 256 body + root
+  EXPECT_GT(summary.tasks_executed, 0u);
+  EXPECT_GT(summary.ctx_switches, 0u);
+  EXPECT_GT(summary.remote_commands, 0u);
+  EXPECT_GT(summary.network_messages, 0u);
+  // Every remote command was executed somewhere.
+  EXPECT_GE(summary.commands_executed, summary.remote_commands);
+}
+
+TEST(StatsReport, AggregationCoalesces) {
+  Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(8 * 2048, Alloc::kRemote);
+    // A burst of fine-grained remote puts from many tasks: far more
+    // commands than network messages.
+    test::parfor_lambda(
+        512, 8, [&](std::uint64_t i) { gmt_put_value(h, (i % 2048) * 8, i, 8); },
+        Spawn::kLocal);
+    gmt_free(h);
+  });
+  const ClusterStatsSummary summary = summarize_stats(cluster);
+  EXPECT_GT(summary.commands_per_message(), 2.0);
+}
+
+TEST(StatsReport, FormatIsComplete) {
+  Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1024, Alloc::kPartition);
+    gmt_put_value(h, 512, 1, 8);
+    gmt_free(h);
+  });
+  const std::string report = format_stats_report(cluster);
+  EXPECT_NE(report.find("node"), std::string::npos);
+  EXPECT_NE(report.find("network:"), std::string::npos);
+  EXPECT_NE(report.find("commands/message"), std::string::npos);
+  // One row per node plus header and summary.
+  EXPECT_GE(std::count(report.begin(), report.end(), '\n'), 4);
+}
+
+TEST(StatsReport, LocalFastPathShowsInCounters) {
+  Cluster cluster(1, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1024, Alloc::kLocal);
+    for (int i = 0; i < 50; ++i) gmt_put_value(h, 8 * (i % 100), i, 8);
+    gmt_free(h);
+  });
+  const ClusterStatsSummary summary = summarize_stats(cluster);
+  EXPECT_GE(summary.local_ops, 50u);
+}
+
+}  // namespace
+}  // namespace gmt::rt

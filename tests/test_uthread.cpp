@@ -1,0 +1,212 @@
+// Tests for user-level threading: the custom context switch, fibers,
+// stacks, and parity with the libc ucontext path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "uthread/context.hpp"
+#include "uthread/fiber.hpp"
+#include "uthread/stack.hpp"
+#include "uthread/ucontext_switch.hpp"
+
+namespace gmt {
+namespace {
+
+TEST(Stack, AllocatesUsableMemory) {
+  Stack stack(32 * 1024);
+  ASSERT_NE(stack.base(), nullptr);
+  EXPECT_GE(stack.size(), 32u * 1024);
+  // Touch the whole usable range; the guard page is below it.
+  auto* bytes = static_cast<char*>(stack.base());
+  for (std::size_t i = 0; i < stack.size(); i += 4096) bytes[i] = 1;
+  bytes[stack.size() - 1] = 1;
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+  Stack a(16 * 1024);
+  void* base = a.base();
+  Stack b(std::move(a));
+  EXPECT_EQ(b.base(), base);
+  EXPECT_EQ(a.base(), nullptr);
+  a = std::move(b);
+  EXPECT_EQ(a.base(), base);
+}
+
+TEST(StackPool, RecyclesStacks) {
+  StackPool pool(16 * 1024, 2);
+  EXPECT_EQ(pool.pooled(), 2u);
+  Stack s1 = pool.acquire();
+  Stack s2 = pool.acquire();
+  EXPECT_EQ(pool.pooled(), 0u);
+  Stack s3 = pool.acquire();  // grows on demand
+  ASSERT_NE(s3.base(), nullptr);
+  void* recycled = s1.base();
+  pool.release(std::move(s1));
+  Stack s4 = pool.acquire();
+  EXPECT_EQ(s4.base(), recycled);  // LIFO reuse
+  pool.release(std::move(s2));
+  pool.release(std::move(s3));
+  pool.release(std::move(s4));
+  EXPECT_EQ(pool.pooled(), 3u);
+}
+
+TEST(Fiber, RunsToCompletion) {
+  StackPool pool(32 * 1024, 1);
+  int value = 0;
+  Fiber fiber(pool.acquire(), [&](Fiber&) { value = 42; });
+  EXPECT_FALSE(fiber.resume());
+  EXPECT_TRUE(fiber.finished());
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Fiber, YieldAlternatesControl) {
+  StackPool pool(32 * 1024, 1);
+  std::vector<int> trace;
+  Fiber fiber(pool.acquire(), [&](Fiber& self) {
+    trace.push_back(1);
+    self.yield();
+    trace.push_back(3);
+    self.yield();
+    trace.push_back(5);
+  });
+  EXPECT_TRUE(fiber.resume());
+  trace.push_back(2);
+  EXPECT_TRUE(fiber.resume());
+  trace.push_back(4);
+  EXPECT_FALSE(fiber.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 64;
+  constexpr int kYields = 10;
+  StackPool pool(32 * 1024, kFibers);
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<int> counts(kFibers, 0);
+  for (int f = 0; f < kFibers; ++f) {
+    fibers.push_back(std::make_unique<Fiber>(
+        pool.acquire(), [&counts, f](Fiber& self) {
+          for (int i = 0; i < kYields; ++i) {
+            ++counts[f];
+            self.yield();
+          }
+        }));
+  }
+  // Round-robin scheduling.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& fiber : fibers)
+      if (!fiber->finished() && fiber->resume()) any = true;
+  }
+  for (int f = 0; f < kFibers; ++f) EXPECT_EQ(counts[f], kYields);
+}
+
+TEST(Fiber, LocalStateSurvivesSwitches) {
+  StackPool pool(64 * 1024, 1);
+  long result = 0;
+  Fiber fiber(pool.acquire(), [&](Fiber& self) {
+    // Stack-resident state across many switches.
+    long values[64];
+    std::iota(values, values + 64, 1);
+    for (int round = 0; round < 16; ++round) self.yield();
+    result = std::accumulate(values, values + 64, 0L);
+  });
+  while (fiber.resume()) {
+  }
+  EXPECT_EQ(result, 64L * 65 / 2);
+}
+
+TEST(Fiber, DeepCallChainOnOwnStack) {
+  StackPool pool(256 * 1024, 1);
+  // Recursion that would need ~100KB of stack.
+  struct Recur {
+    static long run(int depth, Fiber& self) {
+      volatile char pad[1024] = {};
+      (void)pad;
+      if (depth == 0) {
+        self.yield();
+        return 0;
+      }
+      return 1 + Recur::run(depth - 1, self);
+    }
+  };
+  long depth_reached = -1;
+  Fiber fiber(pool.acquire(),
+              [&](Fiber& self) { depth_reached = Recur::run(90, self); });
+  while (fiber.resume()) {
+  }
+  EXPECT_EQ(depth_reached, 90);
+}
+
+TEST(Fiber, StackReclaimedAfterFinish) {
+  StackPool pool(32 * 1024, 1);
+  Fiber fiber(pool.acquire(), [](Fiber&) {});
+  while (fiber.resume()) {
+  }
+  pool.release(std::move(fiber).take_stack());
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+// Raw context API: the synthetic first frame must be ABI-correct (this is
+// where a broken trampoline alignment crashes on the first movaps).
+namespace rawctx {
+Context g_main;
+Context g_task;
+int g_stage = 0;
+
+void entry(void* arg) {
+  EXPECT_EQ(*static_cast<int*>(arg), 1234);
+  g_stage = 1;
+  // Use SSE to catch stack misalignment.
+  volatile double d = 3.14159;
+  d = d * d;
+  switch_context(&g_task, g_main);
+  g_stage = 2;
+  switch_context(&g_task, g_main);
+  ADD_FAILURE() << "resumed finished context";
+}
+}  // namespace rawctx
+
+TEST(Context, RawMakeAndSwitch) {
+  Stack stack(32 * 1024);
+  int arg = 1234;
+  rawctx::g_stage = 0;
+  rawctx::g_task = make_context(stack.base(), stack.size(), &rawctx::entry,
+                                &arg);
+  switch_context(&rawctx::g_main, rawctx::g_task);
+  EXPECT_EQ(rawctx::g_stage, 1);
+  switch_context(&rawctx::g_main, rawctx::g_task);
+  EXPECT_EQ(rawctx::g_stage, 2);
+}
+
+// ucontext comparator must provide the same semantics (used by the
+// ablation bench that reproduces the paper's §IV-D claim).
+namespace uctx {
+UContext g_main;
+UContext g_task;
+int g_counter = 0;
+
+void entry(void* arg) {
+  EXPECT_EQ(arg, &g_counter);
+  for (int i = 0; i < 3; ++i) {
+    ++g_counter;
+    switch_ucontext(&g_task, &g_main);
+  }
+}
+}  // namespace uctx
+
+TEST(UContext, ParityWithCustomSwitch) {
+  Stack stack(64 * 1024);
+  uctx::g_counter = 0;
+  make_ucontext(&uctx::g_task, stack.base(), stack.size(), &uctx::entry,
+                &uctx::g_counter, &uctx::g_main);
+  for (int i = 1; i <= 3; ++i) {
+    switch_ucontext(&uctx::g_main, &uctx::g_task);
+    EXPECT_EQ(uctx::g_counter, i);
+  }
+}
+
+}  // namespace
+}  // namespace gmt
