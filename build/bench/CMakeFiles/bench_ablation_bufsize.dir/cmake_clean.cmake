@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bufsize.dir/bench_ablation_bufsize.cpp.o"
+  "CMakeFiles/bench_ablation_bufsize.dir/bench_ablation_bufsize.cpp.o.d"
+  "bench_ablation_bufsize"
+  "bench_ablation_bufsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bufsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

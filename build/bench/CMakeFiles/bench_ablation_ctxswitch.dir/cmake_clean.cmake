@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctxswitch.dir/bench_ablation_ctxswitch.cpp.o"
+  "CMakeFiles/bench_ablation_ctxswitch.dir/bench_ablation_ctxswitch.cpp.o.d"
+  "bench_ablation_ctxswitch"
+  "bench_ablation_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

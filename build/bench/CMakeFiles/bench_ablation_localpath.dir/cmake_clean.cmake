@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localpath.dir/bench_ablation_localpath.cpp.o"
+  "CMakeFiles/bench_ablation_localpath.dir/bench_ablation_localpath.cpp.o.d"
+  "bench_ablation_localpath"
+  "bench_ablation_localpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

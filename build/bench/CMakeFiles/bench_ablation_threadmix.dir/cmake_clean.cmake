@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_threadmix.dir/bench_ablation_threadmix.cpp.o"
+  "CMakeFiles/bench_ablation_threadmix.dir/bench_ablation_threadmix.cpp.o.d"
+  "bench_ablation_threadmix"
+  "bench_ablation_threadmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_threadmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

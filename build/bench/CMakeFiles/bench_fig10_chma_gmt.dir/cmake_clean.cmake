@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_chma_gmt.dir/bench_fig10_chma_gmt.cpp.o"
+  "CMakeFiles/bench_fig10_chma_gmt.dir/bench_fig10_chma_gmt.cpp.o.d"
+  "bench_fig10_chma_gmt"
+  "bench_fig10_chma_gmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_chma_gmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ctxswitch.dir/bench_table3_ctxswitch.cpp.o"
+  "CMakeFiles/bench_table3_ctxswitch.dir/bench_table3_ctxswitch.cpp.o.d"
+  "bench_table3_ctxswitch"
+  "bench_table3_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

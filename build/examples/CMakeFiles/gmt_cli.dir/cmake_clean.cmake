@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_cli.dir/gmt_cli.cpp.o"
+  "CMakeFiles/gmt_cli.dir/gmt_cli.cpp.o.d"
+  "gmt_cli"
+  "gmt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_filter.dir/streaming_filter.cpp.o"
+  "CMakeFiles/streaming_filter.dir/streaming_filter.cpp.o.d"
+  "streaming_filter"
+  "streaming_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

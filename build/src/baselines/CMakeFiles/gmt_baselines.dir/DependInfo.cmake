@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bfs_mpi.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/bfs_mpi.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/bfs_mpi.cpp.o.d"
+  "/root/repo/src/baselines/bfs_upc.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/bfs_upc.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/bfs_upc.cpp.o.d"
+  "/root/repo/src/baselines/chma_mpi.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/chma_mpi.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/chma_mpi.cpp.o.d"
+  "/root/repo/src/baselines/grw_mpi.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/grw_mpi.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/grw_mpi.cpp.o.d"
+  "/root/repo/src/baselines/mpi_like.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/mpi_like.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/mpi_like.cpp.o.d"
+  "/root/repo/src/baselines/upc_like.cpp" "src/baselines/CMakeFiles/gmt_baselines.dir/upc_like.cpp.o" "gcc" "src/baselines/CMakeFiles/gmt_baselines.dir/upc_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gmt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/gmt_uthread.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_baselines.dir/bfs_mpi.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/bfs_mpi.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/bfs_upc.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/bfs_upc.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/chma_mpi.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/chma_mpi.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/grw_mpi.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/grw_mpi.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/mpi_like.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/mpi_like.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/upc_like.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/upc_like.cpp.o.d"
+  "libgmt_baselines.a"
+  "libgmt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_common.dir/config.cpp.o"
+  "CMakeFiles/gmt_common.dir/config.cpp.o.d"
+  "CMakeFiles/gmt_common.dir/log.cpp.o"
+  "CMakeFiles/gmt_common.dir/log.cpp.o.d"
+  "CMakeFiles/gmt_common.dir/time.cpp.o"
+  "CMakeFiles/gmt_common.dir/time.cpp.o.d"
+  "CMakeFiles/gmt_common.dir/units.cpp.o"
+  "CMakeFiles/gmt_common.dir/units.cpp.o.d"
+  "libgmt_common.a"
+  "libgmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_graph.dir/dist_graph.cpp.o"
+  "CMakeFiles/gmt_graph.dir/dist_graph.cpp.o.d"
+  "CMakeFiles/gmt_graph.dir/generator.cpp.o"
+  "CMakeFiles/gmt_graph.dir/generator.cpp.o.d"
+  "libgmt_graph.a"
+  "libgmt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_hash.dir/dist_hash_map.cpp.o"
+  "CMakeFiles/gmt_hash.dir/dist_hash_map.cpp.o.d"
+  "CMakeFiles/gmt_hash.dir/string_pool.cpp.o"
+  "CMakeFiles/gmt_hash.dir/string_pool.cpp.o.d"
+  "libgmt_hash.a"
+  "libgmt_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bfs_gmt.cpp" "src/kernels/CMakeFiles/gmt_kernels.dir/bfs_gmt.cpp.o" "gcc" "src/kernels/CMakeFiles/gmt_kernels.dir/bfs_gmt.cpp.o.d"
+  "/root/repo/src/kernels/cc_gmt.cpp" "src/kernels/CMakeFiles/gmt_kernels.dir/cc_gmt.cpp.o" "gcc" "src/kernels/CMakeFiles/gmt_kernels.dir/cc_gmt.cpp.o.d"
+  "/root/repo/src/kernels/chma_gmt.cpp" "src/kernels/CMakeFiles/gmt_kernels.dir/chma_gmt.cpp.o" "gcc" "src/kernels/CMakeFiles/gmt_kernels.dir/chma_gmt.cpp.o.d"
+  "/root/repo/src/kernels/grw_gmt.cpp" "src/kernels/CMakeFiles/gmt_kernels.dir/grw_gmt.cpp.o" "gcc" "src/kernels/CMakeFiles/gmt_kernels.dir/grw_gmt.cpp.o.d"
+  "/root/repo/src/kernels/pagerank_gmt.cpp" "src/kernels/CMakeFiles/gmt_kernels.dir/pagerank_gmt.cpp.o" "gcc" "src/kernels/CMakeFiles/gmt_kernels.dir/pagerank_gmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gmt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/gmt_uthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_kernels.dir/bfs_gmt.cpp.o"
+  "CMakeFiles/gmt_kernels.dir/bfs_gmt.cpp.o.d"
+  "CMakeFiles/gmt_kernels.dir/cc_gmt.cpp.o"
+  "CMakeFiles/gmt_kernels.dir/cc_gmt.cpp.o.d"
+  "CMakeFiles/gmt_kernels.dir/chma_gmt.cpp.o"
+  "CMakeFiles/gmt_kernels.dir/chma_gmt.cpp.o.d"
+  "CMakeFiles/gmt_kernels.dir/grw_gmt.cpp.o"
+  "CMakeFiles/gmt_kernels.dir/grw_gmt.cpp.o.d"
+  "CMakeFiles/gmt_kernels.dir/pagerank_gmt.cpp.o"
+  "CMakeFiles/gmt_kernels.dir/pagerank_gmt.cpp.o.d"
+  "libgmt_kernels.a"
+  "libgmt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/gmt_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/gmt_net.dir/network_model.cpp.o"
+  "CMakeFiles/gmt_net.dir/network_model.cpp.o.d"
+  "CMakeFiles/gmt_net.dir/uds_transport.cpp.o"
+  "CMakeFiles/gmt_net.dir/uds_transport.cpp.o.d"
+  "libgmt_net.a"
+  "libgmt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

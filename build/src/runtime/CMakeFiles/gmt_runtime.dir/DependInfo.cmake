@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/aggregation.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/aggregation.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/aggregation.cpp.o.d"
+  "/root/repo/src/runtime/api.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/api.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/api.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/collectives.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/collectives.cpp.o.d"
+  "/root/repo/src/runtime/comm_server.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/comm_server.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/comm_server.cpp.o.d"
+  "/root/repo/src/runtime/global_memory.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/global_memory.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/global_memory.cpp.o.d"
+  "/root/repo/src/runtime/helper.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/helper.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/helper.cpp.o.d"
+  "/root/repo/src/runtime/node.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/node.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/node.cpp.o.d"
+  "/root/repo/src/runtime/stats_report.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/stats_report.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/stats_report.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/runtime/CMakeFiles/gmt_runtime.dir/worker.cpp.o" "gcc" "src/runtime/CMakeFiles/gmt_runtime.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/gmt_uthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

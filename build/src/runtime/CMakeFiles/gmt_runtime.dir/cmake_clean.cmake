@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_runtime.dir/aggregation.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/aggregation.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/api.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/api.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/comm_server.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/comm_server.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/global_memory.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/global_memory.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/helper.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/helper.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/node.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/node.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/stats_report.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/stats_report.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/worker.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/worker.cpp.o.d"
+  "libgmt_runtime.a"
+  "libgmt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gmt_sim.cpp" "src/sim/CMakeFiles/gmt_sim.dir/gmt_sim.cpp.o" "gcc" "src/sim/CMakeFiles/gmt_sim.dir/gmt_sim.cpp.o.d"
+  "/root/repo/src/sim/spmd_sim.cpp" "src/sim/CMakeFiles/gmt_sim.dir/spmd_sim.cpp.o" "gcc" "src/sim/CMakeFiles/gmt_sim.dir/spmd_sim.cpp.o.d"
+  "/root/repo/src/sim/workloads_chma.cpp" "src/sim/CMakeFiles/gmt_sim.dir/workloads_chma.cpp.o" "gcc" "src/sim/CMakeFiles/gmt_sim.dir/workloads_chma.cpp.o.d"
+  "/root/repo/src/sim/workloads_graph.cpp" "src/sim/CMakeFiles/gmt_sim.dir/workloads_graph.cpp.o" "gcc" "src/sim/CMakeFiles/gmt_sim.dir/workloads_graph.cpp.o.d"
+  "/root/repo/src/sim/workloads_micro.cpp" "src/sim/CMakeFiles/gmt_sim.dir/workloads_micro.cpp.o" "gcc" "src/sim/CMakeFiles/gmt_sim.dir/workloads_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gmt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/gmt_uthread.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_sim.dir/gmt_sim.cpp.o"
+  "CMakeFiles/gmt_sim.dir/gmt_sim.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/spmd_sim.cpp.o"
+  "CMakeFiles/gmt_sim.dir/spmd_sim.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/workloads_chma.cpp.o"
+  "CMakeFiles/gmt_sim.dir/workloads_chma.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/workloads_graph.cpp.o"
+  "CMakeFiles/gmt_sim.dir/workloads_graph.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/workloads_micro.cpp.o"
+  "CMakeFiles/gmt_sim.dir/workloads_micro.cpp.o.d"
+  "libgmt_sim.a"
+  "libgmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

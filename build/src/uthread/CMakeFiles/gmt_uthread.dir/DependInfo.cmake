@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/uthread/context_x86_64.S" "/root/repo/build/src/uthread/CMakeFiles/gmt_uthread.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  "/root/repo/include"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uthread/context.cpp" "src/uthread/CMakeFiles/gmt_uthread.dir/context.cpp.o" "gcc" "src/uthread/CMakeFiles/gmt_uthread.dir/context.cpp.o.d"
+  "/root/repo/src/uthread/fiber.cpp" "src/uthread/CMakeFiles/gmt_uthread.dir/fiber.cpp.o" "gcc" "src/uthread/CMakeFiles/gmt_uthread.dir/fiber.cpp.o.d"
+  "/root/repo/src/uthread/stack.cpp" "src/uthread/CMakeFiles/gmt_uthread.dir/stack.cpp.o" "gcc" "src/uthread/CMakeFiles/gmt_uthread.dir/stack.cpp.o.d"
+  "/root/repo/src/uthread/ucontext_switch.cpp" "src/uthread/CMakeFiles/gmt_uthread.dir/ucontext_switch.cpp.o" "gcc" "src/uthread/CMakeFiles/gmt_uthread.dir/ucontext_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

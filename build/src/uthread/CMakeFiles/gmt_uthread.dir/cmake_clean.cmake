@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_uthread.dir/context.cpp.o"
+  "CMakeFiles/gmt_uthread.dir/context.cpp.o.d"
+  "CMakeFiles/gmt_uthread.dir/context_x86_64.S.o"
+  "CMakeFiles/gmt_uthread.dir/fiber.cpp.o"
+  "CMakeFiles/gmt_uthread.dir/fiber.cpp.o.d"
+  "CMakeFiles/gmt_uthread.dir/stack.cpp.o"
+  "CMakeFiles/gmt_uthread.dir/stack.cpp.o.d"
+  "CMakeFiles/gmt_uthread.dir/ucontext_switch.cpp.o"
+  "CMakeFiles/gmt_uthread.dir/ucontext_switch.cpp.o.d"
+  "libgmt_uthread.a"
+  "libgmt_uthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/gmt_uthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs_mpi.dir/test_bfs_mpi.cpp.o"
+  "CMakeFiles/test_bfs_mpi.dir/test_bfs_mpi.cpp.o.d"
+  "test_bfs_mpi"
+  "test_bfs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collections_prop.dir/test_collections_prop.cpp.o"
+  "CMakeFiles/test_collections_prop.dir/test_collections_prop.cpp.o.d"
+  "test_collections_prop"
+  "test_collections_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collections_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_ext.dir/test_kernels_ext.cpp.o"
+  "CMakeFiles/test_kernels_ext.dir/test_kernels_ext.cpp.o.d"
+  "test_kernels_ext"
+  "test_kernels_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_timing.dir/test_sim_timing.cpp.o"
+  "CMakeFiles/test_sim_timing.dir/test_sim_timing.cpp.o.d"
+  "test_sim_timing"
+  "test_sim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

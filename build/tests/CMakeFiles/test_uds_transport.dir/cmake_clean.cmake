@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uds_transport.dir/test_uds_transport.cpp.o"
+  "CMakeFiles/test_uds_transport.dir/test_uds_transport.cpp.o.d"
+  "test_uds_transport"
+  "test_uds_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uds_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uthread.dir/test_uthread.cpp.o"
+  "CMakeFiles/test_uthread.dir/test_uthread.cpp.o.d"
+  "test_uthread"
+  "test_uthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
