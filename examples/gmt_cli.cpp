@@ -137,7 +137,9 @@ int main(int argc, char** argv) {
         "[--tasks=W] [--steps=L] [--seed=S] [--stats]\n");
     return 1;
   }
-  gmt::rt::Cluster cluster(args.nodes, gmt::Config::testing());
+  gmt::Config config = gmt::Config::testing();
+  config.apply_env();  // honor GMT_* overrides (threads, reliability, faults)
+  gmt::rt::Cluster cluster(args.nodes, config);
   const CliArgs* ptr = &args;
   cluster.run(&run_kernel, &ptr, sizeof(ptr));
   if (args.stats)

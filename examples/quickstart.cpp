@@ -64,7 +64,9 @@ void root_task(std::uint64_t, const void*) {
 
 int main(int argc, char** argv) {
   const std::uint32_t nodes = argc > 1 ? std::atoi(argv[1]) : 2;
-  gmt::rt::Cluster cluster(nodes, gmt::Config::testing());
+  gmt::Config config = gmt::Config::testing();
+  config.apply_env();  // honor GMT_* overrides (threads, reliability, faults)
+  gmt::rt::Cluster cluster(nodes, config);
   cluster.run(&root_task);
   std::printf("quickstart: done (%llu network messages, %llu bytes)\n",
               static_cast<unsigned long long>(cluster.total_network_messages()),

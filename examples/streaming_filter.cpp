@@ -54,7 +54,9 @@ void root_task(std::uint64_t, const void* raw) {
 int main(int argc, char** argv) {
   const std::uint32_t nodes = argc > 1 ? std::atoi(argv[1]) : 2;
   Params params{argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 128ull};
-  gmt::rt::Cluster cluster(nodes, gmt::Config::testing());
+  gmt::Config config = gmt::Config::testing();
+  config.apply_env();  // honor GMT_* overrides (threads, reliability, faults)
+  gmt::rt::Cluster cluster(nodes, config);
   cluster.run(&root_task, &params, sizeof(params));
   return 0;
 }

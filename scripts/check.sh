@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo health check: configure + build, then run the tier-1 suite and the
+# fault-injection suite (label "fault") separately so a reliability
+# regression is distinguishable from a functional one.
+#
+# Usage: scripts/check.sh [--asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=default
+if [[ "${1:-}" == "--asan" ]]; then
+  preset=asan
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+
+builddir=build
+[[ "$preset" == "asan" ]] && builddir=build-asan
+
+echo "== tier-1 tests =="
+ctest --test-dir "$builddir" -LE fault --output-on-failure -j "$jobs"
+
+echo "== fault-injection tests =="
+ctest --test-dir "$builddir" -L fault --output-on-failure

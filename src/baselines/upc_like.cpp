@@ -67,8 +67,7 @@ std::uint64_t apply_cas(std::uint8_t* addr, std::uint64_t expected,
 
 std::uint32_t UpcThread::size() const { return world_->size(); }
 
-void UpcThread::send_wire(std::uint32_t dst,
-                          const std::vector<std::uint8_t>& wire) {
+void UpcThread::send_wire(std::uint32_t dst, std::vector<std::uint8_t> wire) {
   Backoff backoff;
   while (!transport_->send(dst, wire)) {
     // Keep serving while blocked so peers can drain.

@@ -77,7 +77,10 @@ class UpcThread {
   void serve(std::uint32_t src, const std::vector<std::uint8_t>& wire);
   // Waits for a reply (op echo) while serving; returns its payload.
   std::vector<std::uint8_t> wait_reply();
-  void send_wire(std::uint32_t dst, const std::vector<std::uint8_t>& wire);
+  // Takes the wire buffer by value (call sites pass freshly packed
+  // rvalues); the transport consumes it on success, so backpressure
+  // retries reuse the same allocation.
+  void send_wire(std::uint32_t dst, std::vector<std::uint8_t> wire);
 
   UpcWorld* world_;
   std::uint32_t id_;

@@ -47,6 +47,18 @@ void env_u64(const char* name, std::uint64_t* out) {
   }
 }
 
+void env_probability(const char* name, double* out) {
+  if (const char* v = std::getenv(name)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end != v && parsed >= 0.0 && parsed <= 1.0) *out = parsed;
+  }
+}
+
+void env_bool(const char* name, bool* out) {
+  if (const char* v = std::getenv(name)) *out = v[0] != '0';
+}
+
 }  // namespace
 
 void Config::apply_env() {
@@ -63,10 +75,27 @@ void Config::apply_env() {
     std::uint64_t parsed;
     if (parse_size(v, &parsed)) task_stack_size = parsed;
   }
-  if (const char* v = std::getenv("GMT_LOCAL_FAST_PATH"))
-    local_fast_path = v[0] != '0';
-  if (const char* v = std::getenv("GMT_PIN_THREADS"))
-    pin_threads = v[0] != '0';
+  env_bool("GMT_LOCAL_FAST_PATH", &local_fast_path);
+  env_bool("GMT_PIN_THREADS", &pin_threads);
+
+  env_bool("GMT_RELIABLE", &reliable_transport);
+  env_u64("GMT_RETRY_TIMEOUT_NS", &retry_timeout_ns);
+  env_u64("GMT_RETRY_TIMEOUT_MAX_NS", &retry_timeout_max_ns);
+  env_u32("GMT_RETRY_BUDGET", &retry_budget);
+  env_u64("GMT_ACK_DELAY_NS", &ack_delay_ns);
+  env_u32("GMT_REORDER_WINDOW", &reorder_window);
+
+  env_probability("GMT_FAULT_DROP", &fault.drop);
+  env_probability("GMT_FAULT_DUPLICATE", &fault.duplicate);
+  env_probability("GMT_FAULT_CORRUPT", &fault.corrupt);
+  env_probability("GMT_FAULT_REORDER", &fault.reorder);
+  env_probability("GMT_FAULT_BACKPRESSURE", &fault.backpressure);
+  env_u64("GMT_FAULT_SEED", &fault.seed);
+  // Lossy fault injection is unusable without the reliability layer (a
+  // dropped reply would hang the blocked worker); enabling faults from the
+  // environment implies GMT_RELIABLE unless it was explicitly forced off.
+  if (fault.lossy() && std::getenv("GMT_RELIABLE") == nullptr)
+    reliable_transport = true;
 }
 
 std::string Config::validate() const {
@@ -79,6 +108,16 @@ std::string Config::validate() const {
   if (cmd_block_pool_size < num_workers + num_helpers)
     return "cmd_block_pool_size must cover all workers and helpers";
   if (task_stack_size < 16 * 1024) return "task_stack_size must be >= 16KB";
+  if (retry_timeout_ns == 0) return "retry_timeout_ns must be > 0";
+  if (retry_timeout_max_ns < retry_timeout_ns)
+    return "retry_timeout_max_ns must be >= retry_timeout_ns";
+  if (retry_budget == 0) return "retry_budget must be >= 1";
+  if (reorder_window == 0) return "reorder_window must be >= 1";
+  for (double p : {fault.drop, fault.duplicate, fault.corrupt, fault.reorder,
+                   fault.backpressure})
+    if (p < 0.0 || p > 1.0) return "fault probabilities must be in [0, 1]";
+  if (fault.lossy() && !reliable_transport)
+    return "lossy fault injection requires reliable_transport";
   return {};
 }
 

@@ -15,6 +15,30 @@
 
 namespace gmt {
 
+// Fault-injection knobs consumed by net::FaultyTransport. Probabilities
+// are per message in [0, 1]; all zero (the default) means the decorator is
+// not installed at all.
+struct FaultInjection {
+  double drop = 0;          // message silently discarded
+  double duplicate = 0;     // message delivered twice
+  double corrupt = 0;       // one random payload bit flipped
+  double reorder = 0;       // message held back and released later
+  double backpressure = 0;  // send() transiently refused
+  std::uint64_t seed = 0x5eed;     // deterministic per-endpoint streams
+  std::uint32_t reorder_depth = 4; // sends a held message lets pass
+  std::uint64_t reorder_hold_ns = 200'000;  // max hold before forced release
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0 ||
+           backpressure > 0;
+  }
+  // Faults that lose or damage messages (need the reliability layer to
+  // preserve correctness; backpressure alone is handled by plain retry).
+  bool lossy() const {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0;
+  }
+};
+
 struct Config {
   // Specialised threads per node.
   std::uint32_t num_workers = 2;
@@ -51,6 +75,34 @@ struct Config {
   // Pin specialised threads to cores (only sensible when the host has at
   // least as many cores as threads; off by default for in-process mode).
   bool pin_threads = false;
+
+  // ---- reliability layer (frame/seq/ack/retransmit between comm servers).
+  // Off by default: the framing and protocol code is not on any path when
+  // disabled, so fault-free runs are bit-identical to the bare transport.
+
+  // Frame every aggregation buffer (magic + seq + CRC32C), ack cumulatively
+  // and retransmit unacked frames — required for correctness on transports
+  // that drop, duplicate, reorder or corrupt messages.
+  bool reliable_transport = false;
+
+  // Initial retransmit timeout; doubles per attempt up to the max.
+  std::uint64_t retry_timeout_ns = 500'000;
+  std::uint64_t retry_timeout_max_ns = 8'000'000;
+
+  // Retransmit attempts per frame before the comm server raises a hard
+  // error (instead of hanging the blocked worker forever).
+  std::uint32_t retry_budget = 64;
+
+  // How long received data may wait for a reverse-direction frame to
+  // piggyback its ack before a standalone ack frame is sent.
+  std::uint64_t ack_delay_ns = 100'000;
+
+  // Out-of-order frames buffered per source before arrivals beyond the
+  // window are dropped (the sender retransmits them).
+  std::uint32_t reorder_window = 256;
+
+  // Transport fault injection (applied by Cluster when any knob is set).
+  FaultInjection fault;
 
   // Paper Table IV values.
   static Config olympus();

@@ -1,0 +1,79 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace gmt {
+
+namespace {
+
+// Slicing-by-8 tables for the Castagnoli polynomial (reflected 0x82f63b78).
+struct Tables {
+  std::uint32_t t[8][256];
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int slice = 1; slice < 8; ++slice)
+        t[slice][i] = (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xff];
+  }
+};
+
+std::uint32_t crc32c_sw(const std::uint8_t* p, std::size_t size,
+                        std::uint32_t crc) {
+  static const Tables tables;
+  const auto& t = tables.t;
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
+  return crc;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    const std::uint8_t* p, std::size_t size, std::uint32_t crc) {
+  std::uint64_t crc64 = crc;
+  while (size >= 8) {
+    std::uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (size--) crc = __builtin_ia32_crc32qi(crc, *p++);
+  return crc;
+}
+#endif
+
+using CrcFn = std::uint32_t (*)(const std::uint8_t*, std::size_t,
+                                std::uint32_t);
+
+CrcFn resolve() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("sse4.2")) return crc32c_hw;
+#endif
+  return crc32c_sw;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  static const CrcFn fn = resolve();
+  return ~fn(static_cast<const std::uint8_t*>(data), size, ~seed);
+}
+
+}  // namespace gmt

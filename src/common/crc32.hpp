@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli) checksums for wire framing.
+//
+// The reliability layer stamps every frame with a CRC so a corrupted
+// aggregation buffer is detected and dropped (then recovered by
+// retransmission) instead of being parsed into garbage commands. Uses the
+// SSE4.2 crc32 instruction when the host supports it, with a slicing-by-8
+// software fallback, behind a function pointer resolved once at startup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gmt {
+
+// CRC32C of `size` bytes. `seed` chains partial computations: pass the
+// previous return value to continue a checksum across fragments.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace gmt

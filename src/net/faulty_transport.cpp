@@ -1,0 +1,81 @@
+#include "net/faulty_transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace gmt::net {
+
+FaultyTransport::FaultyTransport(Transport* inner, const FaultInjection& spec)
+    : inner_(inner),
+      spec_(spec),
+      rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL *
+                        (static_cast<std::uint64_t>(inner->node_id()) + 1))) {
+  GMT_CHECK(inner != nullptr);
+}
+
+FaultyTransport::~FaultyTransport() {
+  // Flush stragglers so a message held for reordering is not lost outright
+  // at teardown (best effort; inner backpressure here means it is).
+  release_held(~0ULL, /*force=*/true);
+}
+
+bool FaultyTransport::roll(double probability) {
+  return probability > 0 && rng_.uniform() < probability;
+}
+
+void FaultyTransport::release_held(std::uint64_t now_ns, bool force) {
+  while (!held_.empty()) {
+    Held& front = held_.front();
+    if (!force && front.countdown > 0 && front.release_ns > now_ns) break;
+    if (!inner_->send(front.dst, front.payload)) break;  // retry next call
+    held_.pop_front();
+  }
+}
+
+bool FaultyTransport::send(std::uint32_t dst,
+                          std::vector<std::uint8_t>& payload) {
+  const std::uint64_t now = wall_ns();
+  for (Held& held : held_) {
+    if (held.countdown > 0) --held.countdown;
+  }
+  release_held(now, /*force=*/false);
+
+  if (roll(spec_.backpressure)) {
+    counters_.backpressures.fetch_add(1, std::memory_order_relaxed);
+    return false;  // payload intact: caller sees transient backpressure
+  }
+  if (roll(spec_.drop)) {
+    counters_.drops.fetch_add(1, std::memory_order_relaxed);
+    payload.clear();  // swallowed: reported as sent, never delivered
+    return true;
+  }
+  if (!payload.empty() && roll(spec_.corrupt)) {
+    const std::uint64_t bit = rng_.below(payload.size() * 8);
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    counters_.corruptions.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (roll(spec_.duplicate)) {
+    std::vector<std::uint8_t> copy = payload;
+    if (inner_->send(dst, copy))
+      counters_.duplicates.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (roll(spec_.reorder)) {
+    held_.push_back(Held{dst, std::move(payload),
+                         now + spec_.reorder_hold_ns, spec_.reorder_depth});
+    counters_.reorders.fetch_add(1, std::memory_order_relaxed);
+    payload.clear();
+    return true;
+  }
+  return inner_->send(dst, payload);
+}
+
+bool FaultyTransport::try_recv(InMessage* out) {
+  // Time-based release also happens here so a held message is not stranded
+  // when the sender goes quiet.
+  release_held(wall_ns(), /*force=*/false);
+  return inner_->try_recv(out);
+}
+
+}  // namespace gmt::net

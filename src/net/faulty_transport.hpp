@@ -1,0 +1,109 @@
+// Fault-injecting Transport decorator.
+//
+// Wraps any Transport endpoint and perturbs its send path with seeded,
+// per-message faults: drops, duplicates, single-bit payload corruption,
+// cross-pair reordering (a message is held back while later sends — to any
+// destination — overtake it) and transient backpressure. Every injected
+// fault is counted, so tests can assert both that the reliability layer
+// recovered and that the faults actually fired. Deterministic: the same
+// seed and traffic produce the same fault schedule.
+//
+// Threading: follows the Transport contract — one thread (the node's comm
+// server) calls send() and try_recv(); counters are atomics so other
+// threads (tests, stats) may read them concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace gmt::net {
+
+// Copyable snapshot of the injected-fault counters.
+struct FaultCountersSnapshot {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t backpressures = 0;
+
+  std::uint64_t total() const {
+    return drops + duplicates + corruptions + reorders + backpressures;
+  }
+  FaultCountersSnapshot& operator+=(const FaultCountersSnapshot& other) {
+    drops += other.drops;
+    duplicates += other.duplicates;
+    corruptions += other.corruptions;
+    reorders += other.reorders;
+    backpressures += other.backpressures;
+    return *this;
+  }
+};
+
+struct FaultCounters {
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> corruptions{0};
+  std::atomic<std::uint64_t> reorders{0};
+  std::atomic<std::uint64_t> backpressures{0};
+
+  FaultCountersSnapshot snapshot() const {
+    return FaultCountersSnapshot{drops.load(std::memory_order_relaxed),
+                                 duplicates.load(std::memory_order_relaxed),
+                                 corruptions.load(std::memory_order_relaxed),
+                                 reorders.load(std::memory_order_relaxed),
+                                 backpressures.load(std::memory_order_relaxed)};
+  }
+  std::uint64_t total() const { return snapshot().total(); }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  using Transport::send;
+
+  // Decorates `inner` (not owned; must outlive this object). The fault
+  // stream is seeded from spec.seed and the endpoint id so each node draws
+  // an independent, reproducible sequence.
+  FaultyTransport(Transport* inner, const FaultInjection& spec);
+  ~FaultyTransport() override;
+
+  std::uint32_t node_id() const override { return inner_->node_id(); }
+  std::uint32_t num_nodes() const override { return inner_->num_nodes(); }
+
+  bool send(std::uint32_t dst, std::vector<std::uint8_t>& payload) override;
+  bool try_recv(InMessage* out) override;
+
+  std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+  std::uint64_t messages_sent() const override {
+    return inner_->messages_sent();
+  }
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultInjection& spec() const { return spec_; }
+
+ private:
+  // A message held back for reordering: released once `countdown` later
+  // sends passed it or its deadline expired.
+  struct Held {
+    std::uint32_t dst;
+    std::vector<std::uint8_t> payload;
+    std::uint64_t release_ns;
+    std::uint32_t countdown;
+  };
+
+  bool roll(double probability);
+  void release_held(std::uint64_t now_ns, bool force);
+
+  Transport* inner_;
+  FaultInjection spec_;
+  FaultCounters counters_;
+  Xoshiro256 rng_;
+  std::deque<Held> held_;
+};
+
+}  // namespace gmt::net

@@ -1,0 +1,104 @@
+// Reliable-delivery wire framing.
+//
+// When the reliability layer is enabled every transport message is a frame:
+// a fixed header carrying magic/version, the sender id, a per-(src,dst)
+// sequence number, a piggybacked cumulative ack for the reverse direction,
+// the payload length and CRC32C checksums over header and payload. The
+// header lets the receiver detect corruption and truncation, suppress
+// duplicates, and reorder out-of-order arrivals; pure-ack frames have an
+// empty payload. Aggregation buffers reserve kFrameHeaderSize bytes at the
+// front so the comm server seals the header in place — framing never copies
+// the payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace gmt::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x474d5446;  // "GMTF"
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,  // seq-numbered payload of aggregated commands
+  kAck = 2,   // standalone cumulative ack, empty payload
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t version = kFrameVersion;
+  std::uint8_t type = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t src = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t seq = 0;       // data frames; 0 for pure acks
+  std::uint64_t ack = 0;       // cumulative: all reverse seqs <= ack received
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;  // over the preceding 36 bytes
+};
+static_assert(sizeof(FrameHeader) == 40, "frame header is 40 wire bytes");
+
+inline constexpr std::size_t kFrameHeaderSize = sizeof(FrameHeader);
+
+// Seals `header` into frame[0..kFrameHeaderSize): fills payload_len from
+// the buffer size, computes both CRCs. The payload must already be in
+// place after the header. `payload_crc` is only recomputed when
+// `with_payload_crc` (retransmits reuse the stored value).
+inline void seal_frame(std::vector<std::uint8_t>& frame, FrameHeader header) {
+  header.payload_len =
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderSize);
+  header.payload_crc =
+      crc32c(frame.data() + kFrameHeaderSize, header.payload_len);
+  header.header_crc = crc32c(&header, kFrameHeaderSize - sizeof(std::uint32_t));
+  std::memcpy(frame.data(), &header, kFrameHeaderSize);
+}
+
+// Refreshes only the piggybacked ack of an already-sealed frame (used on
+// retransmission so the peer sees our latest cumulative ack).
+inline void refresh_frame_ack(std::vector<std::uint8_t>& frame,
+                              std::uint64_t ack) {
+  FrameHeader header;
+  std::memcpy(&header, frame.data(), kFrameHeaderSize);
+  header.ack = ack;
+  header.header_crc = crc32c(&header, kFrameHeaderSize - sizeof(std::uint32_t));
+  std::memcpy(frame.data(), &header, kFrameHeaderSize);
+}
+
+// Validates magic, version, header CRC, declared length and payload CRC.
+// Returns false (without touching `out`) on any mismatch — the frame was
+// truncated, corrupted, or is not a frame at all.
+inline bool parse_frame(const std::vector<std::uint8_t>& buf,
+                        FrameHeader* out) {
+  if (buf.size() < kFrameHeaderSize) return false;
+  FrameHeader header;
+  std::memcpy(&header, buf.data(), kFrameHeaderSize);
+  if (header.magic != kFrameMagic || header.version != kFrameVersion)
+    return false;
+  if (crc32c(&header, kFrameHeaderSize - sizeof(std::uint32_t)) !=
+      header.header_crc)
+    return false;
+  if (buf.size() != kFrameHeaderSize + header.payload_len) return false;
+  if (crc32c(buf.data() + kFrameHeaderSize, header.payload_len) !=
+      header.payload_crc)
+    return false;
+  *out = header;
+  return true;
+}
+
+// Cheap length-only sanity check for transports that want to reject torn
+// datagrams before the reliability layer sees them: true when `buf` starts
+// with frame magic but its size contradicts the declared payload length.
+inline bool frame_length_mismatch(const std::uint8_t* buf, std::size_t size) {
+  if (size < kFrameHeaderSize) return false;
+  std::uint32_t magic;
+  std::uint32_t payload_len;
+  std::memcpy(&magic, buf, 4);
+  if (magic != kFrameMagic) return false;
+  std::memcpy(&payload_len, buf + 12, 4);
+  return size != kFrameHeaderSize + payload_len;
+}
+
+}  // namespace gmt::net

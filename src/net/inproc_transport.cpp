@@ -55,7 +55,7 @@ std::uint32_t InprocEndpoint::num_nodes() const {
 }
 
 bool InprocEndpoint::send(std::uint32_t dst,
-                          std::vector<std::uint8_t> payload) {
+                          std::vector<std::uint8_t>& payload) {
   GMT_DCHECK(dst < fabric_->num_nodes());
   const std::uint64_t now = wall_ns();
   const std::uint64_t size = payload.size();
@@ -97,8 +97,10 @@ bool InprocEndpoint::send(std::uint32_t dst,
   msg->payload = std::move(payload);
 
   if (!fabric_->ring(id_, dst).push(msg.get())) {
-    // Ring full: roll back nothing (link model keeps its pessimism; a
-    // retried send will just queue behind). Caller retries later.
+    // Ring full: hand the payload back (the send contract preserves it on
+    // backpressure). The link model keeps its pessimism; a retried send
+    // will just queue behind.
+    payload = std::move(msg->payload);
     return false;
   }
   msg.release();

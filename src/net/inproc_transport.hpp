@@ -26,10 +26,12 @@ class InprocFabric;
 
 class InprocEndpoint final : public Transport {
  public:
+  using Transport::send;
+
   std::uint32_t node_id() const override { return id_; }
   std::uint32_t num_nodes() const override;
 
-  bool send(std::uint32_t dst, std::vector<std::uint8_t> payload) override;
+  bool send(std::uint32_t dst, std::vector<std::uint8_t>& payload) override;
   bool try_recv(InMessage* out) override;
 
   std::uint64_t bytes_sent() const override {

@@ -29,8 +29,16 @@ class Transport {
   virtual std::uint32_t num_nodes() const = 0;
 
   // Non-blocking send attempt; false means backpressure (retry later).
+  // On success the payload is consumed (moved from); on failure it is left
+  // intact so the caller retries the same bytes without reallocating.
   // Self-sends (dst == node_id()) are legal and loop back through recv.
-  virtual bool send(std::uint32_t dst, std::vector<std::uint8_t> payload) = 0;
+  virtual bool send(std::uint32_t dst, std::vector<std::uint8_t>& payload) = 0;
+
+  // Convenience for temporaries; the payload is lost on backpressure, so
+  // only callers that do not retry (tests, fire-and-forget) should use it.
+  bool send(std::uint32_t dst, std::vector<std::uint8_t>&& payload) {
+    return send(dst, payload);
+  }
 
   // Non-blocking receive; false when nothing is deliverable yet.
   virtual bool try_recv(InMessage* out) = 0;

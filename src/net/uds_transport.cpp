@@ -11,6 +11,7 @@
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "net/frame.hpp"
 
 namespace gmt::net {
 
@@ -80,7 +81,7 @@ UdsEndpoint::~UdsEndpoint() {
 
 std::uint32_t UdsEndpoint::num_nodes() const { return fabric_->num_nodes(); }
 
-bool UdsEndpoint::send(std::uint32_t dst, std::vector<std::uint8_t> payload) {
+bool UdsEndpoint::send(std::uint32_t dst, std::vector<std::uint8_t>& payload) {
   GMT_CHECK_MSG(payload.size() <= kMaxDatagram,
                 "payload exceeds UDS datagram bound");
   // Prefix the source id (datagram senders are anonymous on AF_UNIX).
@@ -94,29 +95,58 @@ bool UdsEndpoint::send(std::uint32_t dst, std::vector<std::uint8_t> payload) {
   msg.msg_iov = iov;
   msg.msg_iovlen = 2;
 
-  const ssize_t sent = ::sendmsg(fd_, &msg, 0);
+  ssize_t sent;
+  do {
+    sent = ::sendmsg(fd_, &msg, 0);
+  } while (sent < 0 && errno == EINTR);
   if (sent < 0) {
-    // Receiver's buffer full (or not yet draining): backpressure.
+    // Receiver's buffer full (or not yet draining): backpressure. The
+    // payload stays with the caller per the send contract.
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
       return false;
     GMT_CHECK_MSG(false, "UDS sendmsg failed");
   }
+  // A datagram socket never short-writes a datagram that fit; a short
+  // count here means the kernel truncated — treat as a hard error.
+  GMT_CHECK_MSG(static_cast<std::size_t>(sent) == payload.size() + 4,
+                "UDS short write (datagram truncated by kernel)");
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+  payload.clear();
   return true;
 }
 
 bool UdsEndpoint::try_recv(InMessage* out) {
-  const ssize_t got =
-      ::recv(fd_, recv_buffer_.data(), recv_buffer_.size(), 0);
-  if (got < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
-    GMT_CHECK_MSG(false, "UDS recv failed");
+  for (;;) {
+    // MSG_TRUNC makes recv() return the datagram's true length even when
+    // it exceeds the buffer, so oversized/torn datagrams are detectable.
+    ssize_t got;
+    do {
+      got = ::recv(fd_, recv_buffer_.data(), recv_buffer_.size(), MSG_TRUNC);
+    } while (got < 0 && errno == EINTR);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      GMT_CHECK_MSG(false, "UDS recv failed");
+    }
+    if (static_cast<std::size_t>(got) > recv_buffer_.size() || got < 4) {
+      // Truncated by the kernel or missing the source header: a torn
+      // datagram. Drop it (the reliability layer retransmits) instead of
+      // delivering bytes that would desynchronise command parsing.
+      dropped_invalid_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::uint8_t* body = recv_buffer_.data() + 4;
+    const std::size_t body_size = static_cast<std::size_t>(got) - 4;
+    if (frame_length_mismatch(body, body_size)) {
+      // Starts with frame magic but the declared payload length contradicts
+      // the datagram size: torn mid-frame. Same recovery as above.
+      dropped_invalid_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::memcpy(&out->src, recv_buffer_.data(), 4);
+    out->payload.assign(body, body + body_size);
+    return true;
   }
-  GMT_CHECK_MSG(got >= 4, "short UDS datagram (missing source header)");
-  std::memcpy(&out->src, recv_buffer_.data(), 4);
-  out->payload.assign(recv_buffer_.begin() + 4, recv_buffer_.begin() + got);
-  return true;
 }
 
 }  // namespace gmt::net

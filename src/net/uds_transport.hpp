@@ -26,12 +26,14 @@ class UdsFabric;
 
 class UdsEndpoint final : public Transport {
  public:
+  using Transport::send;
+
   ~UdsEndpoint() override;
 
   std::uint32_t node_id() const override { return id_; }
   std::uint32_t num_nodes() const override;
 
-  bool send(std::uint32_t dst, std::vector<std::uint8_t> payload) override;
+  bool send(std::uint32_t dst, std::vector<std::uint8_t>& payload) override;
   bool try_recv(InMessage* out) override;
 
   std::uint64_t bytes_sent() const override {
@@ -39,6 +41,11 @@ class UdsEndpoint final : public Transport {
   }
   std::uint64_t messages_sent() const override {
     return msgs_sent_.load(std::memory_order_relaxed);
+  }
+
+  // Torn/truncated datagrams detected and dropped by try_recv().
+  std::uint64_t dropped_invalid() const {
+    return dropped_invalid_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -51,6 +58,7 @@ class UdsEndpoint final : public Transport {
   std::vector<std::uint8_t> recv_buffer_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> dropped_invalid_{0};
 };
 
 // Creates and owns the N sockets under a unique directory in $TMPDIR;

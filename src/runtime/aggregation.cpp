@@ -2,6 +2,7 @@
 
 #include "common/backoff.hpp"
 #include "common/time.hpp"
+#include "net/frame.hpp"
 
 namespace gmt::rt {
 
@@ -25,6 +26,16 @@ std::size_t buffer_population(const Config& config,
   return n < 8 ? 8 : n;
 }
 
+// Bytes of a buffer available to commands. The frame header reserve comes
+// out of the command budget so a full command block always fits an empty
+// aggregation buffer.
+std::uint32_t payload_capacity(const Config& config) {
+  return config.buffer_size -
+         (config.reliable_transport
+              ? static_cast<std::uint32_t>(net::kFrameHeaderSize)
+              : 0u);
+}
+
 }  // namespace
 
 Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
@@ -32,9 +43,11 @@ Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
     : config_(config),
       num_nodes_(num_nodes),
       block_pool_(block_population(config, num_nodes, num_threads),
-                  config.buffer_size, config.cmd_block_entries),
-      buffer_pool_(buffer_population(config, num_threads),
-                   config.buffer_size) {
+                  payload_capacity(config), config.cmd_block_entries),
+      buffer_pool_(buffer_population(config, num_threads), config.buffer_size,
+                   config.reliable_transport
+                       ? static_cast<std::uint32_t>(net::kFrameHeaderSize)
+                       : 0u) {
   queues_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i)
     queues_.push_back(
@@ -86,7 +99,7 @@ void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
                         const CmdHeader& header, const void* payload) {
   GMT_DCHECK(dst < num_nodes_);
   const std::size_t wire = cmd_wire_size(header);
-  GMT_CHECK_MSG(wire + kCmdHeaderSize <= config_.buffer_size,
+  GMT_CHECK_MSG(wire + kCmdHeaderSize <= payload_capacity(config_),
                 "single command exceeds aggregation buffer (chunk it)");
 
   CommandBlock*& current = slot.current_[dst];
@@ -159,7 +172,7 @@ void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
       break;
   }
   if (buffer) {
-    if (!buffer->data().empty()) {
+    if (buffer->payload_bytes() > 0) {
       send_buffer(slot, buffer);
     } else {
       buffer_pool_.release(buffer);
@@ -171,7 +184,7 @@ void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
 
 void Aggregator::send_buffer(AggregationSlot& slot, AggBuffer* buffer) {
   stats_.buffers_sent.v.fetch_add(1, std::memory_order_relaxed);
-  stats_.buffer_bytes.v.fetch_add(buffer->data().size(),
+  stats_.buffer_bytes.v.fetch_add(buffer->payload_bytes(),
                                   std::memory_order_relaxed);
   Backoff backoff;
   while (!slot.channel_.push(buffer)) backoff.pause();

@@ -68,11 +68,15 @@ class CommandBlock {
   std::uint64_t first_cmd_ns_ = 0;
 };
 
-// Pooled network-sized buffer the comm server sends as one message.
+// Pooled network-sized buffer the comm server sends as one message. When
+// the reliability layer is on, `header_reserve` placeholder bytes lead the
+// buffer so the comm server seals the frame header in place — commands are
+// never copied again after aggregation.
 class AggBuffer {
  public:
-  explicit AggBuffer(std::uint32_t capacity) : capacity_(capacity) {
-    data_.reserve(capacity);
+  explicit AggBuffer(std::uint32_t capacity, std::uint32_t header_reserve = 0)
+      : capacity_(capacity), header_reserve_(header_reserve) {
+    reset();
   }
 
   std::uint32_t dst = 0;
@@ -81,13 +85,26 @@ class AggBuffer {
   void append(const std::uint8_t* bytes, std::size_t count) {
     data_.insert(data_.end(), bytes, bytes + count);
   }
-  void reset() { data_.clear(); }
+  void reset() {
+    data_.clear();
+    if (data_.capacity() < capacity_) data_.reserve(capacity_);
+    data_.resize(header_reserve_);
+  }
+
+  // Moves the contents (header placeholder + commands) out for sending;
+  // the buffer is unusable until the next reset() (release_buffer does it).
+  std::vector<std::uint8_t> take() { return std::move(data_); }
 
   const std::vector<std::uint8_t>& data() const { return data_; }
+  // Command bytes, excluding the reserved frame-header prefix.
+  std::uint32_t payload_bytes() const {
+    return static_cast<std::uint32_t>(data_.size()) - header_reserve_;
+  }
   std::uint32_t capacity() const { return capacity_; }
 
  private:
   std::uint32_t capacity_;
+  std::uint32_t header_reserve_;
   std::vector<std::uint8_t> data_;
 };
 

@@ -5,6 +5,22 @@
 
 namespace gmt::rt {
 
+void Cluster::wrap_faults(const Config& config) {
+  if (!config.fault.any()) return;
+  faulty_.reserve(num_nodes_);
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    faulty_.push_back(
+        std::make_unique<net::FaultyTransport>(transports_[n], config.fault));
+    transports_[n] = faulty_[n].get();
+  }
+  GMT_LOG_INFO(
+      "fault injection on: drop=%.3f dup=%.3f corrupt=%.3f reorder=%.3f "
+      "backpressure=%.3f seed=%llu",
+      config.fault.drop, config.fault.duplicate, config.fault.corrupt,
+      config.fault.reorder, config.fault.backpressure,
+      static_cast<unsigned long long>(config.fault.seed));
+}
+
 Cluster::Cluster(std::uint32_t num_nodes, const Config& config,
                  net::NetworkModel model)
     : num_nodes_(num_nodes),
@@ -12,6 +28,7 @@ Cluster::Cluster(std::uint32_t num_nodes, const Config& config,
   GMT_CHECK(num_nodes >= 1);
   for (std::uint32_t n = 0; n < num_nodes; ++n)
     transports_.push_back(fabric_->endpoint(n));
+  wrap_faults(config);
   nodes_.reserve(num_nodes);
   for (std::uint32_t n = 0; n < num_nodes; ++n)
     nodes_.push_back(
@@ -23,12 +40,19 @@ Cluster::Cluster(const std::vector<net::Transport*>& transports,
     : num_nodes_(static_cast<std::uint32_t>(transports.size())),
       transports_(transports) {
   GMT_CHECK(num_nodes_ >= 1);
+  wrap_faults(config);
   nodes_.reserve(num_nodes_);
   for (std::uint32_t n = 0; n < num_nodes_; ++n) {
     GMT_CHECK(transports_[n]->node_id() == n);
     nodes_.push_back(
         std::make_unique<Node>(n, num_nodes_, config, transports_[n]));
   }
+}
+
+net::FaultCountersSnapshot Cluster::total_fault_counters() const {
+  net::FaultCountersSnapshot total;
+  for (const auto& faulty : faulty_) total += faulty->counters().snapshot();
+  return total;
 }
 
 std::uint64_t Cluster::total_network_bytes() const {

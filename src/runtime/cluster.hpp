@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "net/faulty_transport.hpp"
 #include "net/inproc_transport.hpp"
 #include "runtime/node.hpp"
 
@@ -43,13 +44,24 @@ class Cluster {
   std::uint64_t total_network_bytes() const;
   std::uint64_t total_network_messages() const;
 
+  // Fault-injection decorator for node `id`, or null when config.fault is
+  // all-zero (no decorator installed).
+  const net::FaultyTransport* faulty_transport(std::uint32_t id) const {
+    return faulty_.empty() ? nullptr : faulty_[id].get();
+  }
+  // Faults injected across all endpoints, by class.
+  net::FaultCountersSnapshot total_fault_counters() const;
+
  private:
   void start();
   void stop();
+  // Installs FaultyTransport decorators over transports_ when configured.
+  void wrap_faults(const Config& config);
 
   const std::uint32_t num_nodes_;
   std::unique_ptr<net::InprocFabric> fabric_;  // null with external transports
   std::vector<net::Transport*> transports_;
+  std::vector<std::unique_ptr<net::FaultyTransport>> faulty_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 };

@@ -1,9 +1,18 @@
+#include <algorithm>
+
 #include "common/backoff.hpp"
+#include "common/time.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt::rt {
 
-CommServer::CommServer(Node* node) : node_(node) {}
+CommServer::CommServer(Node* node) : node_(node) {
+  if (node_->config().reliable_transport)
+    channel_ = std::make_unique<ReliableChannel>(
+        node_->config(), &node_->transport(), &rstats_);
+}
+
+CommServer::~CommServer() = default;
 
 void CommServer::start() {
   thread_ = std::thread([this] { main_loop(); });
@@ -13,48 +22,90 @@ void CommServer::join() {
   if (thread_.joinable()) thread_.join();
 }
 
+// Drains the channel queues into the transport (directly, or through the
+// reliable channel). Each buffer's bytes are moved out once — backpressure
+// retries and retransmissions never re-copy from the aggregation buffer,
+// and the buffer itself returns to its pool immediately.
+bool CommServer::pump_outgoing(std::uint64_t now_ns) {
+  Aggregator& agg = node_->aggregator();
+  net::Transport& transport = node_->transport();
+  bool progressed = false;
+
+  if (channel_) {
+    for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+      AggBuffer* buffer = nullptr;
+      while (agg.slot(s).channel().pop(&buffer)) {
+        const std::uint32_t dst = buffer->dst;
+        std::vector<std::uint8_t> frame = buffer->take();
+        agg.release_buffer(buffer);
+        channel_->submit(dst, std::move(frame));
+        progressed = true;
+      }
+    }
+    if (channel_->pump(now_ns)) progressed = true;
+    return progressed;
+  }
+
+  // Unreliable path: retry backpressured payloads first, in order, per the
+  // paper's non-blocking MPI_Isend discipline.
+  while (!retry_.empty()) {
+    PendingSend& pending = retry_.front();
+    if (!transport.send(pending.dst, pending.payload)) break;
+    retry_.pop_front();
+    progressed = true;
+  }
+  if (retry_.empty()) {
+    for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+      AggBuffer* buffer = nullptr;
+      while (agg.slot(s).channel().pop(&buffer)) {
+        const std::uint32_t dst = buffer->dst;
+        std::vector<std::uint8_t> payload = buffer->take();
+        agg.release_buffer(buffer);
+        if (!transport.send(dst, payload))
+          retry_.push_back(PendingSend{dst, std::move(payload)});
+        progressed = true;
+      }
+    }
+  }
+  return progressed;
+}
+
 void CommServer::main_loop() {
   Backoff backoff;
-  Aggregator& agg = node_->aggregator();
   net::Transport& transport = node_->transport();
   // A message received but not yet accepted by the (full) incoming queue.
   net::InMessage* held = nullptr;
+  // First time the stop request was observed (reliable shutdown grace).
+  std::uint64_t stop_seen_ns = 0;
+  // After the last peer frame, wait this long before trusting the silence:
+  // a peer whose ack got lost retransmits within its capped timeout.
+  const std::uint64_t grace_ns = 2 * node_->config().retry_timeout_max_ns +
+                                 4 * node_->config().retry_timeout_ns;
 
   for (;;) {
     bool progressed = false;
+    const std::uint64_t now = wall_ns();
 
-    // Outgoing: retry buffers that hit backpressure, in order per paper's
-    // non-blocking MPI_Isend discipline, then drain every channel queue.
-    while (!retry_.empty()) {
-      AggBuffer* buffer = retry_.front();
-      if (!transport.send(buffer->dst, {buffer->data().begin(),
-                                        buffer->data().end()}))
-        break;
-      retry_.pop_front();
-      agg.release_buffer(buffer);
-      progressed = true;
-    }
-    if (retry_.empty()) {
-      for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
-        AggBuffer* buffer = nullptr;
-        while (agg.slot(s).channel().pop(&buffer)) {
-          if (transport.send(buffer->dst, {buffer->data().begin(),
-                                           buffer->data().end()})) {
-            agg.release_buffer(buffer);
-          } else {
-            retry_.push_back(buffer);
-          }
-          progressed = true;
-        }
-      }
-    }
+    if (pump_outgoing(now)) progressed = true;
 
     // Incoming: move messages from the transport to the helpers' queue.
     for (;;) {
       if (!held) {
-        auto msg = std::make_unique<net::InMessage>();
-        if (!transport.try_recv(msg.get())) break;
-        held = msg.release();
+        if (channel_) {
+          while (deliverable_.empty()) {
+            net::InMessage raw;
+            if (!transport.try_recv(&raw)) break;
+            channel_->on_message(std::move(raw), now, &deliverable_);
+            progressed = true;
+          }
+          if (deliverable_.empty()) break;
+          held = new net::InMessage(std::move(deliverable_.front()));
+          deliverable_.pop_front();
+        } else {
+          auto msg = std::make_unique<net::InMessage>();
+          if (!transport.try_recv(msg.get())) break;
+          held = msg.release();
+        }
       }
       if (!node_->incoming().push(held)) break;  // helpers saturated
       held = nullptr;
@@ -63,10 +114,22 @@ void CommServer::main_loop() {
 
     if (progressed) {
       backoff.reset();
-    } else {
-      if (node_->stopping() && retry_.empty() && held == nullptr) break;
-      backoff.pause();
+      continue;
     }
+    if (node_->stopping() && held == nullptr) {
+      if (!channel_) {
+        if (retry_.empty()) break;
+      } else if (deliverable_.empty()) {
+        if (stop_seen_ns == 0) {
+          stop_seen_ns = now;
+          channel_->force_acks();  // do not sit on the ack delay at exit
+        }
+        const std::uint64_t quiet_since =
+            std::max(stop_seen_ns, channel_->last_recv_ns());
+        if (channel_->quiescent() && now - quiet_since >= grace_ns) break;
+      }
+    }
+    backoff.pause();
   }
   delete held;
 }

@@ -18,6 +18,7 @@
 #include "net/transport.hpp"
 #include "runtime/aggregation.hpp"
 #include "runtime/global_memory.hpp"
+#include "runtime/reliable_channel.hpp"
 #include "runtime/task.hpp"
 #include "uthread/context.hpp"
 #include "uthread/stack.hpp"
@@ -107,20 +108,36 @@ class Helper {
 };
 
 // Communication server: the node's single network endpoint (paper §IV-B).
+// With config.reliable_transport it runs the seq/ack/retransmit protocol
+// of ReliableChannel under every send and receive; otherwise it moves raw
+// buffers and trusts the transport, at zero added cost.
 class CommServer {
  public:
   explicit CommServer(Node* node);
+  ~CommServer();
 
   void start();
   void join();
 
+  const ReliabilityStats& reliability_stats() const { return rstats_; }
+
  private:
   void main_loop();
+  bool pump_outgoing(std::uint64_t now_ns);
 
   Node* node_;
   std::thread thread_;
-  // Buffers that hit transport backpressure, retried in order.
-  std::deque<AggBuffer*> retry_;
+  // Payloads that hit transport backpressure (unreliable path), retried in
+  // order; each is built exactly once — retries never copy.
+  struct PendingSend {
+    std::uint32_t dst;
+    std::vector<std::uint8_t> payload;
+  };
+  std::deque<PendingSend> retry_;
+  // Reliable path (null when disabled).
+  std::unique_ptr<ReliableChannel> channel_;
+  std::deque<net::InMessage> deliverable_;
+  ReliabilityStats rstats_;
 };
 
 class Node {
@@ -143,6 +160,7 @@ class Node {
   MpmcQueue<IterBlock*>& itb_queue() { return itbs_; }
   MpmcQueue<net::InMessage*>& incoming() { return incoming_; }
   NodeStats& stats() { return stats_; }
+  const CommServer& comm_server() const { return *comm_; }
   Worker& worker(std::uint32_t i) { return *workers_[i]; }
   std::uint32_t num_workers() const {
     return static_cast<std::uint32_t>(workers_.size());
@@ -184,9 +202,13 @@ class Node {
   // Worker-side completion of an iteration block (last iteration done).
   void report_spawn_done(Worker& w, IterBlock* itb);
 
-  // Largest payload a single command may carry.
+  // Largest payload a single command may carry (the reliability layer's
+  // frame header, when enabled, comes out of the same buffer budget).
   std::uint32_t max_payload() const {
-    return config_.buffer_size - 2 * kCmdHeaderSize;
+    return config_.buffer_size - 2 * kCmdHeaderSize -
+           (config_.reliable_transport
+                ? static_cast<std::uint32_t>(net::kFrameHeaderSize)
+                : 0u);
   }
 
  private:

@@ -1,0 +1,196 @@
+#include "runtime/reliable_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace gmt::rt {
+
+ReliableChannel::ReliableChannel(const Config& config,
+                                 net::Transport* transport,
+                                 ReliabilityStats* stats)
+    : config_(config),
+      transport_(transport),
+      stats_(stats),
+      send_(transport->num_nodes()),
+      recv_(transport->num_nodes()) {}
+
+void ReliableChannel::submit(std::uint32_t dst,
+                             std::vector<std::uint8_t>&& frame) {
+  GMT_DCHECK(frame.size() >= net::kFrameHeaderSize);
+  PeerSend& peer = send_[dst];
+  Unacked entry;
+  entry.seq = peer.next_seq++;
+  entry.rto_ns = config_.retry_timeout_ns;
+  entry.frame = std::move(frame);
+
+  net::FrameHeader header;
+  header.type = static_cast<std::uint8_t>(net::FrameType::kData);
+  header.src = transport_->node_id();
+  header.seq = entry.seq;
+  header.ack = recv_[dst].expect - 1;
+  net::seal_frame(entry.frame, header);
+  peer.window.push_back(std::move(entry));
+}
+
+bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
+  bool progressed = false;
+  PeerRecv& reverse = recv_[dst];
+  for (Unacked& u : send_[dst].window) {
+    const bool backpressured = !u.tx.empty();
+    if (!backpressured) {
+      if (u.attempts == 0) {
+        // First transmission.
+      } else if (now_ns >= u.next_retx_ns) {
+        if (u.attempts >= config_.retry_budget) {
+          GMT_LOG_ERROR(
+              "reliable delivery to node %u failed: seq %llu unacked after "
+              "%u attempts (retry budget exhausted)",
+              dst, static_cast<unsigned long long>(u.seq), u.attempts);
+          GMT_CHECK_MSG(false, "reliable delivery retry budget exhausted");
+        }
+        u.rto_ns = std::min(u.rto_ns * 2, config_.retry_timeout_max_ns);
+        stats_->retransmits.v.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        continue;  // in flight, ack still possible before the timeout
+      }
+      // The retained frame keeps its payload CRC; only the piggybacked
+      // cumulative ack is refreshed per transmission.
+      u.tx = u.frame;
+      net::refresh_frame_ack(u.tx, reverse.expect - 1);
+    }
+    if (!transport_->send(dst, u.tx)) return progressed;  // backpressure
+    u.tx.clear();
+    if (u.attempts == 0) {
+      u.first_send_ns = now_ns;
+      stats_->data_frames_sent.v.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++u.attempts;
+    u.next_retx_ns = now_ns + u.rto_ns;
+    // The data frame carried our current cumulative ack for this peer.
+    if (reverse.ack_due) {
+      reverse.ack_due = false;
+      reverse.ack_immediate = false;
+    }
+    progressed = true;
+  }
+  return progressed;
+}
+
+bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
+  PeerRecv& peer = recv_[src];
+  if (!peer.ack_due) return false;
+  if (!peer.ack_immediate &&
+      now_ns - peer.ack_due_since_ns < config_.ack_delay_ns)
+    return false;
+
+  std::vector<std::uint8_t> frame(net::kFrameHeaderSize);
+  net::FrameHeader header;
+  header.type = static_cast<std::uint8_t>(net::FrameType::kAck);
+  header.src = transport_->node_id();
+  header.ack = peer.expect - 1;
+  net::seal_frame(frame, header);
+  if (!transport_->send(src, frame)) return false;  // retry next pump
+  peer.ack_due = false;
+  peer.ack_immediate = false;
+  stats_->acks_sent.v.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReliableChannel::pump(std::uint64_t now_ns) {
+  bool progressed = false;
+  const std::uint32_t n = transport_->num_nodes();
+  for (std::uint32_t peer = 0; peer < n; ++peer) {
+    if (pump_sends(peer, now_ns)) progressed = true;
+    if (pump_acks(peer, now_ns)) progressed = true;
+  }
+  return progressed;
+}
+
+void ReliableChannel::process_ack(std::uint32_t src, std::uint64_t ack,
+                                  std::uint64_t now_ns) {
+  PeerSend& peer = send_[src];
+  while (!peer.window.empty() && peer.window.front().seq <= ack) {
+    const Unacked& u = peer.window.front();
+    if (u.attempts > 0) {
+      stats_->acked_frames.v.fetch_add(1, std::memory_order_relaxed);
+      stats_->ack_latency_ns.v.fetch_add(now_ns - u.first_send_ns,
+                                         std::memory_order_relaxed);
+    }
+    peer.window.pop_front();
+  }
+}
+
+void ReliableChannel::deliver(std::uint32_t src,
+                              std::vector<std::uint8_t>&& frame,
+                              std::deque<net::InMessage>* deliverable) {
+  frame.erase(frame.begin(),
+              frame.begin() + static_cast<std::ptrdiff_t>(
+                                  net::kFrameHeaderSize));
+  deliverable->push_back(net::InMessage{src, std::move(frame)});
+}
+
+void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
+                                 std::deque<net::InMessage>* deliverable) {
+  net::FrameHeader header;
+  if (!net::parse_frame(msg.payload, &header) ||
+      header.src >= transport_->num_nodes()) {
+    stats_->crc_drops.v.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  last_recv_ns_ = now_ns;
+  process_ack(header.src, header.ack, now_ns);
+  if (header.type != static_cast<std::uint8_t>(net::FrameType::kData)) return;
+
+  PeerRecv& peer = recv_[header.src];
+  const auto mark_ack_due = [&](bool immediate) {
+    if (!peer.ack_due) peer.ack_due_since_ns = now_ns;
+    peer.ack_due = true;
+    if (immediate) peer.ack_immediate = true;
+  };
+
+  if (header.seq < peer.expect || peer.held.count(header.seq)) {
+    // Duplicate: our ack was lost or is still in flight. Suppress the
+    // payload and re-ack immediately so the sender stops retransmitting.
+    stats_->dup_suppressed.v.fetch_add(1, std::memory_order_relaxed);
+    mark_ack_due(/*immediate=*/true);
+    return;
+  }
+  if (header.seq == peer.expect) {
+    deliver(header.src, std::move(msg.payload), deliverable);
+    ++peer.expect;
+    // Out-of-order arrivals waiting on this gap become deliverable.
+    for (auto it = peer.held.begin();
+         it != peer.held.end() && it->first == peer.expect;
+         it = peer.held.erase(it)) {
+      deliver(header.src, std::move(it->second), deliverable);
+      ++peer.expect;
+    }
+    mark_ack_due(/*immediate=*/false);
+    return;
+  }
+  // Future frame: hold it within the reorder window; beyond the window it
+  // is dropped and recovered by the sender's retransmission.
+  if (peer.held.size() < config_.reorder_window) {
+    peer.held.emplace(header.seq, std::move(msg.payload));
+    stats_->out_of_order_held.v.fetch_add(1, std::memory_order_relaxed);
+  }
+  mark_ack_due(/*immediate=*/false);
+}
+
+void ReliableChannel::force_acks() {
+  for (PeerRecv& peer : recv_)
+    if (peer.ack_due) peer.ack_immediate = true;
+}
+
+bool ReliableChannel::quiescent() const {
+  for (const PeerSend& peer : send_)
+    if (!peer.window.empty()) return false;
+  for (const PeerRecv& peer : recv_)
+    if (peer.ack_due) return false;
+  return true;
+}
+
+}  // namespace gmt::rt

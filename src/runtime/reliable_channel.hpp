@@ -1,0 +1,111 @@
+// Reliable-delivery protocol between communication servers.
+//
+// The completion protocol (paper §IV) assumes MPI-grade delivery: nothing
+// lost, nothing duplicated, per-pair ordered. ReliableChannel provides that
+// guarantee over an arbitrary Transport: every outgoing aggregation buffer
+// becomes a CRC-framed data frame with a per-(src,dst) sequence number; the
+// receiver verifies integrity, suppresses duplicates through a per-source
+// sequence window, buffers out-of-order arrivals, and acks cumulatively —
+// piggybacked on reverse-direction data frames or as standalone ack frames
+// after a short delay. The sender keeps each frame until acked and
+// retransmits on timeout with exponential backoff, surfacing a hard error
+// once the retry budget is exhausted instead of letting a blocked worker
+// hang forever.
+//
+// Single-threaded by construction: owned and driven only by the node's
+// communication server. Stats counters are atomics so stats readers may
+// observe them concurrently.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/config.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace gmt::rt {
+
+struct ReliabilityStats {
+  PaddedAtomicU64 data_frames_sent;   // first transmissions
+  PaddedAtomicU64 retransmits;        // timeout-driven resends
+  PaddedAtomicU64 acks_sent;          // standalone ack frames
+  PaddedAtomicU64 crc_drops;          // frames failing validation
+  PaddedAtomicU64 dup_suppressed;     // duplicate data frames discarded
+  PaddedAtomicU64 out_of_order_held;  // frames buffered awaiting a gap fill
+  PaddedAtomicU64 acked_frames;       // data frames confirmed by peer acks
+  PaddedAtomicU64 ack_latency_ns;     // sum over acked_frames (first send->ack)
+};
+
+class ReliableChannel {
+ public:
+  ReliableChannel(const Config& config, net::Transport* transport,
+                  ReliabilityStats* stats);
+
+  // Takes ownership of a frame buffer whose payload starts at
+  // net::kFrameHeaderSize (the aggregation layer reserves the prefix),
+  // assigns the next sequence number for `dst` and queues it. The channel
+  // retains the frame until the peer acks it.
+  void submit(std::uint32_t dst, std::vector<std::uint8_t>&& frame);
+
+  // Drives transmission: first sends, expired retransmissions, due
+  // standalone acks. Returns true when any frame moved.
+  bool pump(std::uint64_t now_ns);
+
+  // Ingests one raw transport message. Valid in-order data payloads are
+  // appended to `deliverable` (frame header stripped, ready for helpers).
+  void on_message(net::InMessage&& msg, std::uint64_t now_ns,
+                  std::deque<net::InMessage>* deliverable);
+
+  // Makes every pending ack eligible to send on the next pump (used at
+  // shutdown so peers are not kept retransmitting against the ack delay).
+  void force_acks();
+
+  // True when nothing is unacked or pending on the send side and no ack is
+  // owed on the receive side.
+  bool quiescent() const;
+
+  // Wall time of the last validly received frame (0 if none yet): the
+  // comm server's shutdown grace timer.
+  std::uint64_t last_recv_ns() const { return last_recv_ns_; }
+
+ private:
+  struct Unacked {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> frame;  // sealed; kept until acked
+    std::vector<std::uint8_t> tx;     // in-flight copy after backpressure
+    std::uint64_t first_send_ns = 0;
+    std::uint64_t next_retx_ns = 0;
+    std::uint64_t rto_ns = 0;
+    std::uint32_t attempts = 0;
+  };
+  struct PeerSend {
+    std::uint64_t next_seq = 1;
+    std::deque<Unacked> window;  // seq order: pending + unacked
+  };
+  struct PeerRecv {
+    std::uint64_t expect = 1;  // next in-order sequence number
+    std::map<std::uint64_t, std::vector<std::uint8_t>> held;  // out-of-order
+    bool ack_due = false;
+    bool ack_immediate = false;  // dup seen: re-ack without delay
+    std::uint64_t ack_due_since_ns = 0;
+  };
+
+  bool pump_sends(std::uint32_t dst, std::uint64_t now_ns);
+  bool pump_acks(std::uint32_t src, std::uint64_t now_ns);
+  void process_ack(std::uint32_t src, std::uint64_t ack, std::uint64_t now_ns);
+  void deliver(std::uint32_t src, std::vector<std::uint8_t>&& frame,
+               std::deque<net::InMessage>* deliverable);
+
+  const Config config_;
+  net::Transport* transport_;
+  ReliabilityStats* stats_;
+  std::vector<PeerSend> send_;
+  std::vector<PeerRecv> recv_;
+  std::uint64_t last_recv_ns_ = 0;
+};
+
+}  // namespace gmt::rt

@@ -21,9 +21,19 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
     const AggStats& agg = node.aggregator().stats();
     summary.buffers_sent += agg.buffers_sent.v.load();
     summary.buffer_bytes += agg.buffer_bytes.v.load();
+    const ReliabilityStats& rel = node.comm_server().reliability_stats();
+    summary.data_frames_sent += rel.data_frames_sent.v.load();
+    summary.retransmits += rel.retransmits.v.load();
+    summary.acks_sent += rel.acks_sent.v.load();
+    summary.crc_drops += rel.crc_drops.v.load();
+    summary.dup_suppressed += rel.dup_suppressed.v.load();
+    summary.out_of_order_held += rel.out_of_order_held.v.load();
+    summary.acked_frames += rel.acked_frames.v.load();
+    summary.ack_latency_ns += rel.ack_latency_ns.v.load();
   }
   summary.network_messages = cluster.total_network_messages();
   summary.network_bytes = cluster.total_network_bytes();
+  summary.faults_injected = cluster.total_fault_counters().total();
   return summary;
 }
 
@@ -61,6 +71,33 @@ std::string format_stats_report(Cluster& cluster) {
                 summary.commands_per_message(),
                 format_bytes(summary.bytes_per_message()).c_str());
   out += line;
+  if (summary.data_frames_sent != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "reliability: %llu frames, %llu retransmits, %llu acks, "
+        "%llu crc drops, %llu dups suppressed, %llu held ooo, "
+        "%.1f us mean ack latency\n",
+        static_cast<unsigned long long>(summary.data_frames_sent),
+        static_cast<unsigned long long>(summary.retransmits),
+        static_cast<unsigned long long>(summary.acks_sent),
+        static_cast<unsigned long long>(summary.crc_drops),
+        static_cast<unsigned long long>(summary.dup_suppressed),
+        static_cast<unsigned long long>(summary.out_of_order_held),
+        summary.mean_ack_latency_us());
+    out += line;
+  }
+  const net::FaultCountersSnapshot faults = cluster.total_fault_counters();
+  if (faults.total() != 0) {
+    std::snprintf(line, sizeof(line),
+                  "faults injected: %llu drops, %llu dups, %llu corruptions, "
+                  "%llu reorders, %llu backpressures\n",
+                  static_cast<unsigned long long>(faults.drops),
+                  static_cast<unsigned long long>(faults.duplicates),
+                  static_cast<unsigned long long>(faults.corruptions),
+                  static_cast<unsigned long long>(faults.reorders),
+                  static_cast<unsigned long long>(faults.backpressures));
+    out += line;
+  }
   return out;
 }
 

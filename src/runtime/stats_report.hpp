@@ -4,6 +4,7 @@
 // bottleneck?".
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace gmt::rt {
@@ -22,6 +23,19 @@ struct ClusterStatsSummary {
   std::uint64_t network_messages = 0;
   std::uint64_t network_bytes = 0;
 
+  // Reliability-layer health (all zero when reliable transport is off).
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t crc_drops = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t out_of_order_held = 0;
+  std::uint64_t acked_frames = 0;
+  std::uint64_t ack_latency_ns = 0;
+
+  // Injected faults (all zero unless a FaultyTransport decorator is on).
+  std::uint64_t faults_injected = 0;
+
   // Average commands coalesced per network message (the aggregation
   // figure of merit; 1.0 means aggregation did nothing).
   double commands_per_message() const {
@@ -32,6 +46,12 @@ struct ClusterStatsSummary {
   double bytes_per_message() const {
     return network_messages
                ? static_cast<double>(network_bytes) / network_messages
+               : 0;
+  }
+  // Mean first-send-to-ack latency in microseconds.
+  double mean_ack_latency_us() const {
+    return acked_frames
+               ? static_cast<double>(ack_latency_ns) / acked_frames / 1000.0
                : 0;
   }
 };

@@ -60,7 +60,10 @@ TEST(UdsTransport, LargeDatagrams) {
   std::vector<std::uint8_t> big(64 * 1024);
   for (std::size_t i = 0; i < big.size(); ++i)
     big[i] = static_cast<std::uint8_t>(i * 31);
-  ASSERT_TRUE(fabric.endpoint(0)->send(1, big));
+  // send() consumes the payload on success, so keep a reference copy.
+  std::vector<std::uint8_t> wire = big;
+  ASSERT_TRUE(fabric.endpoint(0)->send(1, wire));
+  EXPECT_TRUE(wire.empty());
   net::InMessage msg;
   for (int spin = 0; spin < 100000 && !fabric.endpoint(1)->try_recv(&msg);
        ++spin)
