@@ -12,10 +12,11 @@
 
 namespace gmt::bench {
 
-// Parses "--scale=N" (workload multiplier) and "--csv=path".
+// Parses "--scale=N" (workload multiplier), "--csv=path" and "--json=path".
 struct BenchArgs {
   double scale = 1.0;
   std::string csv_path;
+  std::string json_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -24,6 +25,8 @@ struct BenchArgs {
         args.scale = std::atof(argv[i] + 8);
       else if (std::strncmp(argv[i], "--csv=", 6) == 0)
         args.csv_path = argv[i] + 6;
+      else if (std::strncmp(argv[i], "--json=", 7) == 0)
+        args.json_path = argv[i] + 7;
     }
     if (args.scale <= 0) args.scale = 1.0;
     return args;
@@ -74,6 +77,63 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// Machine-readable perf record: one BENCH_<name>.json per benchmark holding
+// the config that produced the run and a flat metric list. Committed records
+// form the repo's perf trajectory — regressions show up as a diff, and
+// scripts/check.sh --bench-smoke refreshes the smoke-sized ones.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void set_config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void set_config(const std::string& key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    config_.emplace_back(key, buf);
+  }
+
+  void add_metric(const std::string& name, double value,
+                  const std::string& unit) {
+    metrics_.push_back(Metric{name, value, unit});
+  }
+
+  // Writes to `path`, or to BENCH_<name>.json in the working directory when
+  // path is empty.
+  bool write(const std::string& path = "") const {
+    const std::string file = path.empty() ? "BENCH_" + name_ + ".json" : path;
+    FILE* f = std::fopen(file.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {",
+                 name_.c_str());
+    for (std::size_t i = 0; i < config_.size(); ++i)
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                   config_[i].first.c_str(), config_[i].second.c_str());
+    std::fprintf(f, "\n  },\n  \"metrics\": [");
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+      std::fprintf(
+          f, "%s\n    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}",
+          i ? "," : "", metrics_[i].name.c_str(), metrics_[i].value,
+          metrics_[i].unit.c_str());
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", file.c_str());
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
 };
 
 inline std::string fmt(const char* format, double value) {

@@ -3,14 +3,22 @@
 # fault-injection suite (label "fault") separately so a reliability
 # regression is distinguishable from a functional one.
 #
-# Usage: scripts/check.sh [--asan]
+# Usage: scripts/check.sh [--asan] [--bench-smoke]
+#   --asan         build/test the asan preset instead of default
+#   --bench-smoke  also run the perf-smoke benches (short task-pool
+#                  concurrency sweep; emits BENCH_*.json perf records)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
-if [[ "${1:-}" == "--asan" ]]; then
-  preset=asan
-fi
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) preset=asan ;;
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
@@ -21,7 +29,12 @@ builddir=build
 [[ "$preset" == "asan" ]] && builddir=build-asan
 
 echo "== tier-1 tests =="
-ctest --test-dir "$builddir" -LE fault --output-on-failure -j "$jobs"
+ctest --test-dir "$builddir" -LE 'fault|perf-smoke' --output-on-failure -j "$jobs"
 
 echo "== fault-injection tests =="
 ctest --test-dir "$builddir" -L fault --output-on-failure
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "== perf-smoke benches =="
+  ctest --test-dir "$builddir" -L perf-smoke --output-on-failure
+fi

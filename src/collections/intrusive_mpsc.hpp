@@ -1,0 +1,55 @@
+// Intrusive multi-producer single-consumer stack (Treiber stack).
+//
+// The worker wake-list: helper threads (and peer workers reporting spawn
+// completions) push tasks whose pending_ops just drained to zero; the owning
+// worker drains the whole list with one exchange per scheduling pass. Being
+// intrusive, a push is one CAS and zero allocations — exactly what the
+// completion path needs to stay allocation-free. Each node may be on at most
+// one stack at a time (enforced by the caller's parked-flag handshake).
+#pragma once
+
+#include <atomic>
+
+namespace gmt {
+
+template <typename T>
+class IntrusiveMpscStack {
+ public:
+  IntrusiveMpscStack() = default;
+  IntrusiveMpscStack(const IntrusiveMpscStack&) = delete;
+  IntrusiveMpscStack& operator=(const IntrusiveMpscStack&) = delete;
+
+  // Multi-producer push; wait-free except for CAS retries under contention.
+  void push(T* node) {
+    T* head = head_.load(std::memory_order_relaxed);
+    do {
+      node->wake_next = head;
+    } while (!head_.compare_exchange_weak(head, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  // Single-consumer: detaches the whole stack and returns it in FIFO order
+  // (pushes are LIFO; the reversal restores rough arrival order so early
+  // completions resume first). Null when empty.
+  T* drain_fifo() {
+    T* node = head_.exchange(nullptr, std::memory_order_acquire);
+    T* fifo = nullptr;
+    while (node != nullptr) {
+      T* next = node->wake_next;
+      node->wake_next = fifo;
+      fifo = node;
+      node = next;
+    }
+    return fifo;
+  }
+
+  bool empty_approx() const {
+    return head_.load(std::memory_order_relaxed) == nullptr;
+  }
+
+ private:
+  std::atomic<T*> head_{nullptr};
+};
+
+}  // namespace gmt

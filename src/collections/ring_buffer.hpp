@@ -1,0 +1,70 @@
+// Single-threaded growable ring buffer.
+//
+// The worker's ready queue: push_back/pop_front are pointer stores plus a
+// mask — no deque block allocation, no branchy iterator machinery on the
+// per-task scheduling path. Capacity doubles on demand (amortised O(1));
+// steady state never allocates because the ring only ever holds up to the
+// worker's resident-task cap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace gmt {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t initial_capacity = 16)
+      : capacity_(round_up_pow2(initial_capacity ? initial_capacity : 1)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  void push_back(T item) {
+    if (size_ == capacity_) grow();
+    slots_[(head_ + size_) & mask_] = std::move(item);
+    ++size_;
+  }
+
+  bool pop_front(T* out) {
+    if (size_ == 0) return false;
+    *out = std::move(slots_[head_ & mask_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ * 2;
+    auto new_slots = std::make_unique<T[]>(new_capacity);
+    for (std::size_t i = 0; i < size_; ++i)
+      new_slots[i] = std::move(slots_[(head_ + i) & mask_]);
+    slots_ = std::move(new_slots);
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    head_ = 0;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gmt

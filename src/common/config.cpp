@@ -78,6 +78,11 @@ void Config::apply_env() {
   env_bool("GMT_LOCAL_FAST_PATH", &local_fast_path);
   env_bool("GMT_PIN_THREADS", &pin_threads);
 
+  env_bool("GMT_TASK_POOL", &task_pool);
+  env_u32("GMT_TASK_POOL_RESERVE", &task_pool_reserve);
+  env_u32("GMT_TASK_POOL_CAP", &task_pool_cap);
+  env_u32("GMT_ITB_POOL_SIZE", &itb_pool_size);
+
   env_bool("GMT_RELIABLE", &reliable_transport);
   env_u64("GMT_RETRY_TIMEOUT_NS", &retry_timeout_ns);
   env_u64("GMT_RETRY_TIMEOUT_MAX_NS", &retry_timeout_max_ns);
@@ -108,6 +113,10 @@ std::string Config::validate() const {
   if (cmd_block_pool_size < num_workers + num_helpers)
     return "cmd_block_pool_size must cover all workers and helpers";
   if (task_stack_size < 16 * 1024) return "task_stack_size must be >= 16KB";
+  if (task_pool_cap == 0) return "task_pool_cap must be >= 1";
+  if (task_pool_reserve > task_pool_cap)
+    return "task_pool_reserve must be <= task_pool_cap";
+  if (itb_pool_size == 0) return "itb_pool_size must be >= 1";
   if (retry_timeout_ns == 0) return "retry_timeout_ns must be > 0";
   if (retry_timeout_max_ns < retry_timeout_ns)
     return "retry_timeout_max_ns must be >= retry_timeout_ns";

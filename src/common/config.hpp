@@ -68,6 +68,24 @@ struct Config {
   // User-level task stack size in bytes.
   std::size_t task_stack_size = 64 * 1024;
 
+  // ---- task-lifecycle pools (paper §IV-D: sub-µs spawn/switch/complete).
+
+  // Recycle task control blocks (stack + context re-arm) through per-worker
+  // free-lists, iteration blocks through a per-node pool, and schedule with
+  // the O(1) parked/wake protocol. Off = the allocating path (new/delete
+  // per task, scheduler scans blocked tasks) — kept as an ablation knob.
+  bool task_pool = true;
+
+  // TCBs (with stacks) pre-created per worker at startup.
+  std::uint32_t task_pool_reserve = 8;
+
+  // Free-list cap per worker: TCBs beyond this are genuinely freed so a
+  // burst does not pin stack memory forever.
+  std::uint32_t task_pool_cap = 2048;
+
+  // Iteration blocks pre-allocated per node (heap fallback on exhaustion).
+  std::uint32_t itb_pool_size = 512;
+
   // Execute node-local commands directly in the issuing worker instead of
   // routing them through a helper (fast path; ablation knob).
   bool local_fast_path = true;

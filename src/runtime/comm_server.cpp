@@ -15,7 +15,11 @@ CommServer::CommServer(Node* node) : node_(node) {
 CommServer::~CommServer() = default;
 
 void CommServer::start() {
-  thread_ = std::thread([this] { main_loop(); });
+  thread_ = std::thread([this] {
+    node_->pin_thread(node_->config().num_workers +
+                      node_->config().num_helpers);
+    main_loop();
+  });
 }
 
 void CommServer::join() {

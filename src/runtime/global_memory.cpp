@@ -4,22 +4,39 @@
 
 namespace gmt::rt {
 
-void ArrayMeta::decompose(std::uint64_t offset, std::uint64_t length,
-                          std::vector<OwnedSpan>* out) const {
+std::uint64_t ArrayMeta::decompose_fill(std::uint64_t offset,
+                                        std::uint64_t length, OwnedSpan* out,
+                                        std::size_t cap,
+                                        std::size_t* count) const {
   GMT_CHECK_MSG(offset + length <= size, "gmt access out of bounds");
   const std::uint64_t block = block_size();
   std::uint64_t pos = offset;
   std::uint64_t remaining = length;
-  while (remaining > 0) {
+  std::size_t n = 0;
+  while (remaining > 0 && n < cap) {
     const std::uint64_t part = pos / block;
     const std::uint64_t local = pos % block;
     const std::uint64_t in_block = block - local;
     const std::uint64_t take = remaining < in_block ? remaining : in_block;
-    out->push_back(OwnedSpan{
-        partition_node(static_cast<std::uint32_t>(part)), local, pos, take});
+    out[n++] = OwnedSpan{partition_node(static_cast<std::uint32_t>(part)),
+                         local, pos, take};
     pos += take;
     remaining -= take;
   }
+  *count = n;
+  return pos - offset;
+}
+
+void ArrayMeta::decompose(std::uint64_t offset, std::uint64_t length,
+                          std::vector<OwnedSpan>* out) const {
+  OwnedSpan spans[8];
+  std::uint64_t covered = 0;
+  do {
+    std::size_t count = 0;
+    covered += decompose_fill(offset + covered, length - covered, spans,
+                              sizeof(spans) / sizeof(spans[0]), &count);
+    for (std::size_t i = 0; i < count; ++i) out->push_back(spans[i]);
+  } while (covered < length);
 }
 
 GlobalMemory::GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,

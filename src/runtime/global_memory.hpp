@@ -110,8 +110,19 @@ struct ArrayMeta {
     return (end > size ? size : end) - begin;
   }
 
+  // Decomposes a prefix of [offset, offset+length) into per-owner
+  // contiguous spans, writing at most `cap` of them to `out` and storing
+  // the number written in *count. Returns the bytes covered; callers loop
+  // until the whole range is consumed. This is the hot-path variant: the
+  // span buffer lives on the caller's stack, so op_put/op_get construct no
+  // std::vector per operation.
+  std::uint64_t decompose_fill(std::uint64_t offset, std::uint64_t length,
+                               OwnedSpan* out, std::size_t cap,
+                               std::size_t* count) const;
+
   // Decomposes [offset, offset+size) into per-owner contiguous spans,
-  // appended to *out. Ranges crossing block boundaries split.
+  // appended to *out. Ranges crossing block boundaries split. Convenience
+  // wrapper over decompose_fill for cold paths and tests.
   void decompose(std::uint64_t offset, std::uint64_t length,
                  std::vector<OwnedSpan>* out) const;
 };

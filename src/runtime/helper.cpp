@@ -10,7 +10,10 @@ Helper::Helper(Node* node, std::uint32_t helper_id, AggregationSlot* slot)
     : node_(node), id_(helper_id), slot_(slot) {}
 
 void Helper::start() {
-  thread_ = std::thread([this] { main_loop(); });
+  thread_ = std::thread([this] {
+    node_->pin_thread(node_->config().num_workers + id_);
+    main_loop();
+  });
 }
 
 void Helper::join() {
@@ -131,7 +134,7 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kSpawn: {
-      auto* itb = new IterBlock;
+      IterBlock* itb = node_->acquire_itb();
       itb->fn = reinterpret_cast<TaskFn>(cmd.handle);
       itb->chunk = cmd.offset ? cmd.offset : 1;
       itb->begin = cmd.aux1;
@@ -139,8 +142,7 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       itb->next.store(itb->begin, std::memory_order_relaxed);
       itb->origin_node = src;
       itb->token = cmd.token;
-      if (cmd.payload_size)
-        itb->args.assign(payload, payload + cmd.payload_size);
+      itb->set_args(payload, cmd.payload_size);
       GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
       break;
     }

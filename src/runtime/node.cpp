@@ -1,11 +1,24 @@
 #include "runtime/node.hpp"
 
+#include <pthread.h>
+
 #include <atomic>
 #include <cstring>
+#include <thread>
 
 #include "common/log.hpp"
 
 namespace gmt::rt {
+
+namespace {
+
+// Stack-resident span buffer for the put/get hot path: big enough that a
+// typical transfer decomposes in one pass, small enough to live in a
+// register-friendly stack frame. Longer ranges loop, refilling the buffer —
+// no std::vector is ever constructed per operation.
+constexpr std::size_t kSpanBatch = 8;
+
+}  // namespace
 
 Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
            net::Transport* transport)
@@ -15,6 +28,7 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
       transport_(transport),
       gm_(id, num_nodes),
       agg_(config, num_nodes, config.num_workers + config.num_helpers),
+      itb_pool_(config.task_pool ? config.itb_pool_size : 1),
       itbs_(4096),
       incoming_(1024) {
   const std::string error = config.validate();
@@ -33,7 +47,7 @@ Node::~Node() {
   join();
   // Reclaim any iteration blocks that never ran (abnormal shutdown).
   IterBlock* itb = nullptr;
-  while (itbs_.pop(&itb)) delete itb;
+  while (itbs_.pop(&itb)) release_itb(itb);
   net::InMessage* msg = nullptr;
   while (incoming_.pop(&msg)) delete msg;
 }
@@ -50,6 +64,40 @@ void Node::join() {
   for (auto& worker : workers_) worker->join();
   for (auto& helper : helpers_) helper->join();
   if (comm_) comm_->join();
+}
+
+IterBlock* Node::acquire_itb() {
+  if (config_.task_pool) {
+    if (IterBlock* itb = itb_pool_.try_acquire()) {
+      itb->reset();
+      itb->pooled = true;
+      return itb;
+    }
+  }
+  auto* itb = new IterBlock;
+  itb->pooled = false;
+  return itb;
+}
+
+void Node::release_itb(IterBlock* itb) {
+  if (itb->pooled)
+    itb_pool_.release(itb);
+  else
+    delete itb;
+}
+
+void Node::pin_thread(std::uint32_t slot) const {
+  if (!config_.pin_threads) return;
+  const std::uint32_t per_node = config_.num_workers + config_.num_helpers + 1;
+  const std::uint32_t cores = std::thread::hardware_concurrency();
+  // An in-process cluster runs num_nodes * per_node threads; pinning on a
+  // host with fewer cores would stack them all on the same few cores and
+  // serialise the runtime — skip entirely.
+  if (cores < per_node * num_nodes_) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET((id_ * per_node + slot) % cores, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
 }
 
 void Node::emit(AggregationSlot& slot, std::uint32_t dst,
@@ -140,32 +188,39 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_put outside task context");
   const ArrayMeta& meta = gm_.meta(h);
-  std::vector<OwnedSpan> spans;
-  meta.decompose(offset, size, &spans);
   const auto* src = static_cast<const std::uint8_t*>(data);
 
-  for (const OwnedSpan& span : spans) {
-    const std::uint8_t* span_src = src + (span.global_offset - offset);
-    if (span.node == id_ && config_.local_fast_path) {
-      std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
-                  span.size);
-      stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    // Chunk to the command payload limit.
-    std::uint64_t done = 0;
-    while (done < span.size) {
-      const std::uint64_t piece =
-          span.size - done < max_payload() ? span.size - done : max_payload();
-      task->pending_ops.fetch_add(1, std::memory_order_relaxed);
-      CmdHeader cmd;
-      cmd.op = Op::kPut;
-      cmd.handle = h;
-      cmd.offset = span.local_offset + done;
-      cmd.token = task_token(task);
-      cmd.payload_size = static_cast<std::uint32_t>(piece);
-      emit(w.agg_slot(), span.node, cmd, span_src + done);
-      done += piece;
+  OwnedSpan spans[kSpanBatch];
+  std::uint64_t covered = 0;
+  while (covered < size) {
+    std::size_t count = 0;
+    covered += meta.decompose_fill(offset + covered, size - covered, spans,
+                                   kSpanBatch, &count);
+    for (std::size_t s = 0; s < count; ++s) {
+      const OwnedSpan& span = spans[s];
+      const std::uint8_t* span_src = src + (span.global_offset - offset);
+      if (span.node == id_ && config_.local_fast_path) {
+        std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
+                    span.size);
+        stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Chunk to the command payload limit.
+      std::uint64_t done = 0;
+      while (done < span.size) {
+        const std::uint64_t piece = span.size - done < max_payload()
+                                        ? span.size - done
+                                        : max_payload();
+        task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+        CmdHeader cmd;
+        cmd.op = Op::kPut;
+        cmd.handle = h;
+        cmd.offset = span.local_offset + done;
+        cmd.token = task_token(task);
+        cmd.payload_size = static_cast<std::uint32_t>(piece);
+        emit(w.agg_slot(), span.node, cmd, span_src + done);
+        done += piece;
+      }
     }
   }
   if (blocking) w.task_block();
@@ -178,15 +233,17 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_put_value outside task context");
   const ArrayMeta& meta = gm_.meta(h);
-  std::vector<OwnedSpan> spans;
-  meta.decompose(offset, size, &spans);
+  // <= 8 bytes over >= 8-byte blocks: at most two spans.
+  OwnedSpan spans[2];
+  std::size_t count = 0;
+  meta.decompose_fill(offset, size, spans, 2, &count);
 
-  if (spans.size() > 1) {
+  if (count > 1) {
     // Crosses a partition boundary: degrade to a byte put.
     op_put(w, h, offset, &value, size, blocking);
     return;
   }
-  const OwnedSpan& span = spans.front();
+  const OwnedSpan& span = spans[0];
   if (span.node == id_ && config_.local_fast_path) {
     std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
     stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
@@ -209,32 +266,39 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_get outside task context");
   const ArrayMeta& meta = gm_.meta(h);
-  std::vector<OwnedSpan> spans;
-  meta.decompose(offset, size, &spans);
   auto* dst = static_cast<std::uint8_t*>(data);
 
-  for (const OwnedSpan& span : spans) {
-    std::uint8_t* span_dst = dst + (span.global_offset - offset);
-    if (span.node == id_ && config_.local_fast_path) {
-      std::memcpy(span_dst, gm_.get(h).local_ptr(span.local_offset),
-                  span.size);
-      stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    std::uint64_t done = 0;
-    while (done < span.size) {
-      const std::uint64_t piece =
-          span.size - done < max_payload() ? span.size - done : max_payload();
-      task->pending_ops.fetch_add(1, std::memory_order_relaxed);
-      CmdHeader cmd;
-      cmd.op = Op::kGet;
-      cmd.handle = h;
-      cmd.offset = span.local_offset + done;
-      cmd.token = task_token(task);
-      cmd.aux1 = reinterpret_cast<std::uint64_t>(span_dst + done);
-      cmd.aux2 = piece;
-      emit(w.agg_slot(), span.node, cmd, nullptr);
-      done += piece;
+  OwnedSpan spans[kSpanBatch];
+  std::uint64_t covered = 0;
+  while (covered < size) {
+    std::size_t count = 0;
+    covered += meta.decompose_fill(offset + covered, size - covered, spans,
+                                   kSpanBatch, &count);
+    for (std::size_t s = 0; s < count; ++s) {
+      const OwnedSpan& span = spans[s];
+      std::uint8_t* span_dst = dst + (span.global_offset - offset);
+      if (span.node == id_ && config_.local_fast_path) {
+        std::memcpy(span_dst, gm_.get(h).local_ptr(span.local_offset),
+                    span.size);
+        stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::uint64_t done = 0;
+      while (done < span.size) {
+        const std::uint64_t piece = span.size - done < max_payload()
+                                        ? span.size - done
+                                        : max_payload();
+        task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+        CmdHeader cmd;
+        cmd.op = Op::kGet;
+        cmd.handle = h;
+        cmd.offset = span.local_offset + done;
+        cmd.token = task_token(task);
+        cmd.aux1 = reinterpret_cast<std::uint64_t>(span_dst + done);
+        cmd.aux2 = piece;
+        emit(w.agg_slot(), span.node, cmd, nullptr);
+        done += piece;
+      }
     }
   }
   if (blocking) w.task_block();
@@ -245,13 +309,13 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
 namespace {
 
 // Atomics must target one naturally-aligned word on one node.
-const OwnedSpan& atomic_span(const std::vector<OwnedSpan>& spans,
+const OwnedSpan& atomic_span(const OwnedSpan* spans, std::size_t count,
                              std::uint64_t offset, std::uint32_t width) {
-  GMT_CHECK_MSG(spans.size() == 1, "gmt atomic crosses a partition boundary");
+  GMT_CHECK_MSG(count == 1, "gmt atomic crosses a partition boundary");
   GMT_CHECK_MSG(offset % width == 0, "gmt atomic misaligned");
-  GMT_CHECK_MSG(spans.front().local_offset % width == 0,
+  GMT_CHECK_MSG(spans[0].local_offset % width == 0,
                 "gmt atomic misaligned within partition");
-  return spans.front();
+  return spans[0];
 }
 
 }  // namespace
@@ -263,9 +327,10 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add outside task context");
   const ArrayMeta& meta = gm_.meta(h);
-  std::vector<OwnedSpan> spans;
-  meta.decompose(offset, width, &spans);
-  const OwnedSpan& span = atomic_span(spans, offset, width);
+  OwnedSpan spans[2];
+  std::size_t count = 0;
+  meta.decompose_fill(offset, width, spans, 2, &count);
+  const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
     stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
@@ -294,9 +359,10 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_atomic_cas outside task context");
   const ArrayMeta& meta = gm_.meta(h);
-  std::vector<OwnedSpan> spans;
-  meta.decompose(offset, width, &spans);
-  const OwnedSpan& span = atomic_span(spans, offset, width);
+  OwnedSpan spans[2];
+  std::size_t count = 0;
+  meta.decompose_fill(offset, width, spans, 2, &count);
+  const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
     stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
@@ -386,7 +452,7 @@ void Node::op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
     }
     task->pending_ops.fetch_add(1, std::memory_order_relaxed);
     if (share.node == id_) {
-      auto* itb = new IterBlock;
+      IterBlock* itb = acquire_itb();
       itb->fn = fn;
       itb->chunk = effective_chunk;
       itb->begin = share.begin;
@@ -394,9 +460,7 @@ void Node::op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
       itb->next.store(itb->begin, std::memory_order_relaxed);
       itb->origin_node = id_;
       itb->token = task_token(task);
-      if (args_size)
-        itb->args.assign(static_cast<const std::uint8_t*>(args),
-                         static_cast<const std::uint8_t*>(args) + args_size);
+      itb->set_args(args, args_size);
       GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
     } else {
       CmdHeader cmd;
@@ -422,16 +486,14 @@ void Node::op_execute_on(Worker& w, std::uint32_t target, TaskFn fn,
   GMT_CHECK_MSG(args_size <= max_payload(), "gmt_on args too large");
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
   if (target == id_) {
-    auto* itb = new IterBlock;
+    IterBlock* itb = acquire_itb();
     itb->fn = fn;
     itb->chunk = 1;
     itb->begin = 0;
     itb->end = 1;
     itb->origin_node = id_;
     itb->token = task_token(task);
-    if (args_size)
-      itb->args.assign(static_cast<const std::uint8_t*>(args),
-                       static_cast<const std::uint8_t*>(args) + args_size);
+    itb->set_args(args, args_size);
     GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
   } else {
     CmdHeader cmd;
@@ -449,16 +511,14 @@ void Node::op_execute_on(Worker& w, std::uint32_t target, TaskFn fn,
 
 void Node::spawn_root(TaskFn fn, const void* args, std::size_t args_size,
                       Task* root) {
-  auto* itb = new IterBlock;
+  IterBlock* itb = acquire_itb();
   itb->fn = fn;
   itb->chunk = 1;
   itb->begin = 0;
   itb->end = 1;
   itb->origin_node = id_;
   itb->token = task_token(root);
-  if (args_size)
-    itb->args.assign(static_cast<const std::uint8_t*>(args),
-                     static_cast<const std::uint8_t*>(args) + args_size);
+  itb->set_args(args, args_size);
   root->pending_ops.fetch_add(1, std::memory_order_relaxed);
   GMT_CHECK_MSG(itbs_.push(itb), "itb queue overflow");
 }
@@ -473,7 +533,7 @@ void Node::report_spawn_done(Worker& w, IterBlock* itb) {
     cmd.aux1 = itb->total();
     emit(w.agg_slot(), itb->origin_node, cmd, nullptr);
   }
-  delete itb;
+  release_itb(itb);
 }
 
 }  // namespace gmt::rt

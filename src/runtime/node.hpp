@@ -11,7 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "collections/intrusive_mpsc.hpp"
 #include "collections/mpmc_queue.hpp"
+#include "collections/pool.hpp"
+#include "collections/ring_buffer.hpp"
 #include "common/cacheline.hpp"
 #include "common/config.hpp"
 #include "gmt/types.hpp"
@@ -42,6 +45,7 @@ struct NodeStats {
 class Worker {
  public:
   Worker(Node* node, std::uint32_t worker_id, AggregationSlot* slot);
+  ~Worker();
 
   void start();
   void join();
@@ -65,6 +69,10 @@ class Worker {
   // called from a non-worker thread (helpers, main).
   static Worker* current();
 
+  // TCBs currently cached in the free-list (test/bench introspection; read
+  // from the worker thread or at quiescence only).
+  std::size_t pooled_tasks() const { return free_tasks_.size(); }
+
  private:
   friend class Node;
 
@@ -72,14 +80,25 @@ class Worker {
   void run_task(Task* task);
   bool try_adopt_work();
   void finish_task(Task* task);
+  void drain_wake_list();
   static void task_entry(void* raw_task);
   Task* make_task(IterBlock* itb, std::uint64_t begin, std::uint64_t end);
+  Task* allocate_task();  // fresh TCB: heap Task + pooled stack + cached top
+  void release_task(Task* task);
 
   Node* node_;
   std::uint32_t id_;
   AggregationSlot* slot_;
   StackPool stacks_;
-  std::deque<Task*> runq_;
+  const bool pooling_;  // config.task_pool: recycle TCBs + O(1) scheduling
+  // Ready ring: runnable tasks only (pooling mode). In the ablation mode
+  // (task_pool off) blocked tasks are re-enqueued here and the scheduler
+  // scans for a runnable one — the pre-pool behaviour.
+  RingBuffer<Task*> ready_;
+  // Tasks whose pending_ops drained to zero while parked; pushed by
+  // completers (helpers, peer workers), drained only by this worker.
+  TaskWakeList wake_list_;
+  std::vector<Task*> free_tasks_;  // recycled TCBs, single-owner
   std::uint64_t live_tasks_ = 0;
   Context sched_ctx_{};
   Task* current_ = nullptr;
@@ -202,6 +221,19 @@ class Node {
   // Worker-side completion of an iteration block (last iteration done).
   void report_spawn_done(Worker& w, IterBlock* itb);
 
+  // Iteration-block lifecycle: pooled blocks with heap fallback under
+  // exhaustion (or plain heap blocks when config.task_pool is off). The
+  // returned block is reset and ready to fill.
+  IterBlock* acquire_itb();
+  void release_itb(IterBlock* itb);
+
+  // Pins the calling thread to a core when config.pin_threads is set.
+  // Slots are numbered [workers | helpers | comm server] within a node and
+  // offset by node id, so co-hosted in-process nodes spread instead of
+  // stacking on core 0. Skipped entirely when the host has fewer cores
+  // than the cluster has threads (pinning would serialise the runtime).
+  void pin_thread(std::uint32_t slot) const;
+
   // Largest payload a single command may carry (the reliability layer's
   // frame header, when enabled, comes out of the same buffer budget).
   std::uint32_t max_payload() const {
@@ -237,6 +269,7 @@ class Node {
 
   GlobalMemory gm_;
   Aggregator agg_;
+  ObjectPool<IterBlock> itb_pool_;
   MpmcQueue<IterBlock*> itbs_;
   MpmcQueue<net::InMessage*> incoming_;
   NodeStats stats_;

@@ -7,12 +7,28 @@
 // representation of a spawned loop — "function, arguments, and the number
 // of tasks that execute the same function" — that travels in a single spawn
 // command instead of per-iteration messages.
+//
+// Both live in pools: a worker recycles TCBs (stack and all) through a
+// private free-list, and the node recycles iteration blocks through a shared
+// ObjectPool, so the steady-state spawn/schedule/complete path performs no
+// heap allocation. Recycling forces two disciplines:
+//
+//  - *Token generations.* Completion tokens carry the TCB's generation
+//    counter next to its address; release_task bumps the generation, so a
+//    stale completion (duplicate delivery, protocol bug) is dropped instead
+//    of corrupting whatever task now owns the recycled TCB.
+//  - *Parked/wake handshake.* A blocked task is parked off every queue; the
+//    completion that drains its pending_ops to zero pushes it onto its
+//    owning worker's MPSC wake-list. The scheduler therefore pops runnable
+//    work in O(1) instead of scanning blocked tasks.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "collections/intrusive_mpsc.hpp"
 #include "gmt/types.hpp"
 #include "uthread/context.hpp"
 #include "uthread/stack.hpp"
@@ -21,6 +37,9 @@ namespace gmt::rt {
 
 class Worker;
 struct IterBlock;
+struct Task;
+
+using TaskWakeList = IntrusiveMpscStack<Task>;
 
 enum class TaskState : std::uint8_t {
   kReady,    // runnable (or never started)
@@ -33,16 +52,29 @@ struct Task {
   // Execution state.
   Context ctx{};
   Stack stack;
+  void* ctx_top = nullptr;  // cached 16-aligned stack top for fast re-arm
   TaskState state = TaskState::kReady;
   bool started = false;
   Worker* worker = nullptr;  // owning worker (tasks do not migrate)
 
   // Outstanding operations: every remote command issued on behalf of this
   // task (blocking or not, including spawn-done acks of a parfor)
-  // increments it; the completion handler decrements. The scheduler resumes
-  // a kWaiting task only when this reaches zero. Written by helper threads,
-  // read by the worker.
+  // increments it; the completion handler decrements. Written by helper
+  // threads, read by the worker.
   std::atomic<std::uint32_t> pending_ops{0};
+
+  // Recycling generation: bumped every time the TCB returns to the pool.
+  // Completion tokens embed the generation at issue time; a mismatch marks
+  // the completion stale (see complete_one).
+  std::atomic<std::uint16_t> generation{0};
+
+  // Parked/wake handshake (see task.hpp header comment). `parked` is set by
+  // the scheduler after the task switches out in kWaiting; the completer
+  // that claims it (exchange to false) owns the single wakeup and pushes
+  // the task onto `wake`. Null wake = task never parks (the root task).
+  std::atomic<bool> parked{false};
+  TaskWakeList* wake = nullptr;
+  Task* wake_next = nullptr;  // intrusive link, owned by the wake-list
 
   // Work assignment: iterations [begin, end) of `itb` (null for the root
   // task, which carries fn/args directly).
@@ -61,36 +93,107 @@ struct Task {
 
 // Completion tokens: commands carry an opaque 64-bit cookie identifying the
 // waiting task at the origin node; replies echo it and the origin helper
-// decrements the task. (A real-MPI backend would index a request table; the
-// cookie discipline is identical.)
+// decrements the task. Layout: [ generation (16) | TCB address (48) ] —
+// user-space addresses fit 48 bits, so the generation rides in the spare
+// high bits. (A real-MPI backend would index a request table; the cookie
+// discipline is identical.)
+inline constexpr std::uint64_t kTokenAddrMask = (1ull << 48) - 1;
+
 inline std::uint64_t task_token(Task* task) {
-  return reinterpret_cast<std::uint64_t>(task);
+  return (static_cast<std::uint64_t>(
+              task->generation.load(std::memory_order_relaxed))
+          << 48) |
+         (reinterpret_cast<std::uint64_t>(task) & kTokenAddrMask);
 }
+
+inline Task* task_from_token(std::uint64_t token) {
+  return reinterpret_cast<Task*>(token & kTokenAddrMask);
+}
+
+inline std::uint16_t token_generation(std::uint64_t token) {
+  return static_cast<std::uint16_t>(token >> 48);
+}
+
+// Completes one outstanding operation of the token's task. Stale tokens
+// (generation mismatch: the TCB was recycled since the token was issued)
+// are dropped — a delayed duplicate completion must not wake whatever task
+// now owns the TCB. The decrement that drains pending_ops to zero claims
+// the parked flag and, on success, hands the task to its owning worker
+// through the MPSC wake-list. seq_cst pairs with the scheduler's
+// park-then-recheck sequence (Dekker-style store/load handshake).
 inline void complete_one(std::uint64_t token) {
-  reinterpret_cast<Task*>(token)->pending_ops.fetch_sub(
-      1, std::memory_order_acq_rel);
+  Task* task = task_from_token(token);
+  if (task->generation.load(std::memory_order_acquire) !=
+      token_generation(token))
+    return;  // stale: the waiter is long gone
+  if (task->pending_ops.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    if (task->wake != nullptr &&
+        task->parked.exchange(false, std::memory_order_seq_cst))
+      task->wake->push(task);
+  }
 }
 
 // One spawned loop at one node. Lives until every iteration completed;
-// tasks reference its argument buffer in place.
+// tasks reference its argument buffer in place. Blocks come from the node's
+// ObjectPool (pooled=true) with heap fallback under exhaustion; arguments
+// up to kInlineArgs bytes live inline in the block (SBO), larger ones in a
+// spill buffer whose capacity is retained across recycling.
 struct IterBlock {
+  static constexpr std::size_t kInlineArgs = 64;
+
   TaskFn fn = nullptr;
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   std::uint64_t chunk = 1;
-  std::vector<std::uint8_t> args;
 
   // Origin bookkeeping: where the parfor was issued and which task waits.
   std::uint32_t origin_node = 0;
   std::uint64_t token = 0;
+  bool pooled = false;  // true = owned by the node's pool, not the heap
 
   // Claim cursor: workers fetch_add chunks off it (may overshoot end).
   std::atomic<std::uint64_t> next{0};
   // Completed iterations; the worker that completes the last one reports
-  // back to the origin and deletes the block.
+  // back to the origin and returns the block.
   std::atomic<std::uint64_t> completed{0};
 
+  std::uint32_t args_size = 0;
+  std::uint8_t inline_args[kInlineArgs];
+  std::vector<std::uint8_t> spill_args;  // only for args > kInlineArgs
+
   std::uint64_t total() const { return end - begin; }
+
+  void set_args(const void* data, std::size_t size) {
+    args_size = static_cast<std::uint32_t>(size);
+    if (size == 0) return;
+    if (size <= kInlineArgs) {
+      std::memcpy(inline_args, data, size);
+    } else {
+      spill_args.assign(static_cast<const std::uint8_t*>(data),
+                        static_cast<const std::uint8_t*>(data) + size);
+    }
+  }
+
+  const void* args_ptr() const {
+    if (args_size == 0) return nullptr;
+    return args_size <= kInlineArgs
+               ? static_cast<const void*>(inline_args)
+               : static_cast<const void*>(spill_args.data());
+  }
+
+  // Re-initialises a recycled block. spill_args keeps its capacity so a
+  // block that once carried large arguments never reallocates for them.
+  void reset() {
+    fn = nullptr;
+    begin = end = 0;
+    chunk = 1;
+    origin_node = 0;
+    token = 0;
+    next.store(0, std::memory_order_relaxed);
+    completed.store(0, std::memory_order_relaxed);
+    args_size = 0;
+    spill_args.clear();
+  }
 };
 
 }  // namespace gmt::rt

@@ -18,17 +18,25 @@ Worker::Worker(Node* node, std::uint32_t worker_id, AggregationSlot* slot)
       id_(worker_id),
       slot_(slot),
       stacks_(node->config().task_stack_size,
-              /*initial_population=*/8) {}
+              /*initial_population=*/8),
+      pooling_(node->config().task_pool),
+      ready_(node->config().max_tasks_per_worker) {
+  if (pooling_) {
+    const std::uint32_t reserve = node->config().task_pool_reserve;
+    free_tasks_.reserve(node->config().task_pool_cap);
+    for (std::uint32_t i = 0; i < reserve; ++i)
+      free_tasks_.push_back(allocate_task());
+  }
+}
+
+Worker::~Worker() {
+  for (Task* task : free_tasks_) delete task;
+}
 
 void Worker::start() {
   thread_ = std::thread([this] {
     t_current_worker = this;
-    if (node_->config().pin_threads) {
-      cpu_set_t set;
-      CPU_ZERO(&set);
-      CPU_SET(id_ % std::thread::hardware_concurrency(), &set);
-      pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
-    }
+    node_->pin_thread(id_);
     main_loop();
     t_current_worker = nullptr;
   });
@@ -38,19 +46,49 @@ void Worker::join() {
   if (thread_.joinable()) thread_.join();
 }
 
-Task* Worker::make_task(IterBlock* itb, std::uint64_t begin,
-                        std::uint64_t end) {
+Task* Worker::allocate_task() {
   Task* task = new Task;
   task->stack = stacks_.acquire();
+  task->ctx_top = context_top(task->stack.base(), task->stack.size());
   task->worker = this;
+  task->wake = pooling_ ? &wake_list_ : nullptr;
+  return task;
+}
+
+Task* Worker::make_task(IterBlock* itb, std::uint64_t begin,
+                        std::uint64_t end) {
+  Task* task;
+  if (pooling_ && !free_tasks_.empty()) {
+    task = free_tasks_.back();
+    free_tasks_.pop_back();
+  } else {
+    task = allocate_task();
+  }
+  task->state = TaskState::kReady;
+  task->started = false;
   task->itb = itb;
   task->fn = itb->fn;
-  task->args = itb->args.empty() ? nullptr : itb->args.data();
+  task->args = itb->args_ptr();
   task->begin = begin;
   task->end = end;
-  task->ctx = make_context(task->stack.base(), task->stack.size(),
-                           &Worker::task_entry, task);
+  // Recycled TCBs re-arm from the cached aligned stack top: seven stores,
+  // no full make_context validation.
+  task->ctx = rearm_context(task->ctx_top, &Worker::task_entry, task);
   return task;
+}
+
+void Worker::release_task(Task* task) {
+  // Invalidate every token issued against this incarnation: a delayed
+  // completion now fails the generation check instead of touching the
+  // recycled TCB.
+  task->generation.fetch_add(1, std::memory_order_release);
+  task->itb = nullptr;
+  if (pooling_ && free_tasks_.size() < node_->config().task_pool_cap) {
+    free_tasks_.push_back(task);
+  } else {
+    stacks_.release(std::move(task->stack));
+    delete task;
+  }
 }
 
 void Worker::task_entry(void* raw_task) {
@@ -76,10 +114,31 @@ void Worker::run_task(Task* task) {
   node_->stats().ctx_switches.v.fetch_add(1, std::memory_order_relaxed);
   switch_context(&sched_ctx_, task->ctx);
   current_ = nullptr;
-  if (task->state == TaskState::kDone) {
-    finish_task(task);
-  } else {
-    runq_.push_back(task);
+  switch (task->state) {
+    case TaskState::kDone:
+      finish_task(task);
+      break;
+    case TaskState::kWaiting: {
+      if (!pooling_) {
+        // Ablation mode: blocked tasks stay in the scan queue.
+        ready_.push_back(task);
+        break;
+      }
+      // Park the task: publish the parked flag, then re-check pending_ops.
+      // A completer that drained pending_ops before seeing the flag did not
+      // push a wake — the re-check catches it; a completer that saw the
+      // flag claimed it (exchange to false) and owns the single wake-list
+      // push. seq_cst on both sides closes the store/load race.
+      task->parked.store(true, std::memory_order_seq_cst);
+      if (task->pending_ops.load(std::memory_order_seq_cst) == 0 &&
+          task->parked.exchange(false, std::memory_order_seq_cst))
+        ready_.push_back(task);
+      break;
+    }
+    default:
+      // kReady (yield): still runnable.
+      ready_.push_back(task);
+      break;
   }
 }
 
@@ -107,8 +166,7 @@ void Worker::finish_task(Task* task) {
                                                  std::memory_order_relaxed);
   IterBlock* itb = task->itb;
   const std::uint64_t n = task->end - task->begin;
-  stacks_.release(std::move(task->stack));
-  delete task;
+  release_task(task);
   --live_tasks_;
   if (itb) {
     const std::uint64_t done =
@@ -117,28 +175,37 @@ void Worker::finish_task(Task* task) {
   }
 }
 
+void Worker::drain_wake_list() {
+  for (Task* task = wake_list_.drain_fifo(); task != nullptr;) {
+    Task* next = task->wake_next;
+    ready_.push_back(task);
+    task = next;
+  }
+}
+
 bool Worker::try_adopt_work() {
   IterBlock* itb = nullptr;
-  if (!node_->itb_queue().pop(&itb)) return false;
-
-  const std::uint64_t chunk = itb->chunk ? itb->chunk : 1;
-  const std::uint64_t begin =
-      itb->next.fetch_add(chunk, std::memory_order_relaxed);
-  if (begin >= itb->end) {
-    // Lost the race for the last chunk; nothing left to claim. The block
-    // stays alive until its completed counter fires — just drop it from
-    // the queue.
-    return false;
+  while (node_->itb_queue().pop(&itb)) {
+    const std::uint64_t chunk = itb->chunk ? itb->chunk : 1;
+    const std::uint64_t begin =
+        itb->next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= itb->end) {
+      // Lost the race for the last chunk of this block (it stays alive
+      // until its completed counter fires) — try the next queued block
+      // instead of giving up the whole adoption pass.
+      continue;
+    }
+    const std::uint64_t end =
+        begin + chunk < itb->end ? begin + chunk : itb->end;
+    if (end < itb->end) {
+      // More iterations remain: make the block visible to other workers.
+      GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
+    }
+    ready_.push_back(make_task(itb, begin, end));
+    ++live_tasks_;
+    return true;
   }
-  const std::uint64_t end =
-      begin + chunk < itb->end ? begin + chunk : itb->end;
-  if (end < itb->end) {
-    // More iterations remain: make the block visible to other workers.
-    GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
-  }
-  runq_.push_back(make_task(itb, begin, end));
-  ++live_tasks_;
-  return true;
+  return false;
 }
 
 void Worker::main_loop() {
@@ -147,17 +214,30 @@ void Worker::main_loop() {
   for (;;) {
     bool progressed = false;
 
-    // One scheduling pass: run the first runnable task (round-robin).
-    const std::size_t scan = runq_.size();
-    for (std::size_t i = 0; i < scan; ++i) {
-      Task* task = runq_.front();
-      runq_.pop_front();
-      if (task->runnable()) {
+    if (pooling_) {
+      // O(1) scheduling pass: move freshly-woken tasks into the ready ring
+      // and run its head. Blocked tasks are parked elsewhere, so nothing
+      // here ever scans.
+      drain_wake_list();
+      Task* task = nullptr;
+      if (ready_.pop_front(&task)) {
         run_task(task);
         progressed = true;
-        break;
       }
-      runq_.push_back(task);
+    } else {
+      // Ablation mode (pre-pool behaviour): one rotation over the queue,
+      // running the first runnable task — O(resident tasks) per decision.
+      const std::size_t scan = ready_.size();
+      for (std::size_t i = 0; i < scan; ++i) {
+        Task* task = nullptr;
+        ready_.pop_front(&task);
+        if (task->runnable()) {
+          run_task(task);
+          progressed = true;
+          break;
+        }
+        ready_.push_back(task);
+      }
     }
 
     // Adopt new work while below the concurrency cap — or, as the nested-

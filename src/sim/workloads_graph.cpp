@@ -125,6 +125,9 @@ GraphKernelResult sim_bfs_gmt(const graph::Csr& csr, std::uint32_t nodes,
   };
   (*run_level)();
   engine.run();
+  // engine.run() returned: no callback can fire again. Clear the functor
+  // to break its shared_ptr self-capture cycle.
+  *run_level = nullptr;
 
   result.edges_traversed = state.edges;
   result.visited = state.visited;

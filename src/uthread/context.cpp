@@ -6,20 +6,12 @@
 
 namespace gmt {
 
-Context make_context(void* stack_base, std::size_t stack_size,
-                     ContextEntry entry, void* arg) {
-  GMT_CHECK(stack_base != nullptr);
-  GMT_CHECK(stack_size >= 1024);
-
-  // 16-byte align the usable top of the stack.
-  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
-  top &= ~static_cast<std::uintptr_t>(15);
-
+Context rearm_context(void* aligned_top, ContextEntry entry, void* arg) {
   // Synthetic frame: six callee-saved slots plus the trampoline as the
   // return target. After gmt_ctx_switch's `ret`, rsp == top (16-aligned);
   // the trampoline's `call` then establishes the entry's ABI-required
   // alignment (rsp % 16 == 8 at function entry).
-  auto* frame = reinterpret_cast<std::uint64_t*>(top) - 7;
+  auto* frame = reinterpret_cast<std::uint64_t*>(aligned_top) - 7;
   frame[0] = 0;                                         // r15
   frame[1] = 0;                                         // r14
   frame[2] = reinterpret_cast<std::uint64_t>(arg);      // r13 -> rdi
@@ -31,6 +23,13 @@ Context make_context(void* stack_base, std::size_t stack_size,
   Context ctx;
   ctx.sp = frame;
   return ctx;
+}
+
+Context make_context(void* stack_base, std::size_t stack_size,
+                     ContextEntry entry, void* arg) {
+  GMT_CHECK(stack_base != nullptr);
+  GMT_CHECK(stack_size >= 1024);
+  return rearm_context(context_top(stack_base, stack_size), entry, arg);
 }
 
 }  // namespace gmt

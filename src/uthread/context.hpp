@@ -35,6 +35,21 @@ void gmt_ctx_switch(void** save_sp, void* restore_sp);
 void gmt_ctx_trampoline();
 }
 
+// The 16-byte-aligned usable top of a stack — the anchor every context for
+// that stack is built from. Task recycling caches this per TCB so re-arming
+// skips the pointer arithmetic and validity checks of make_context.
+inline void* context_top(void* stack_base, std::size_t stack_size) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~static_cast<std::uintptr_t>(15);
+  return reinterpret_cast<void*>(top);
+}
+
+// Re-arms a context at a previously computed context_top(): writes only the
+// seven-word synthetic frame (callee-saved slots + trampoline return) and
+// resets the saved stack pointer. This is the recycled-TCB fast path — no
+// alignment recomputation, no checks.
+Context rearm_context(void* aligned_top, ContextEntry entry, void* arg);
+
 // Prepares a context on [stack_base, stack_base + stack_size) so that the
 // first switch into it invokes entry(arg). The stack top is 16-byte aligned
 // per the SysV ABI. entry must never return (finish by switching away).

@@ -1,0 +1,212 @@
+// Task-lifecycle recycling: pooled TCBs, token generations, pooled
+// iteration blocks, and the O(1) parked/wake scheduler under spawn storms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "gmt/gmt.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/task.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// A delayed completion whose token was minted against a previous TCB
+// incarnation must be dropped by the generation check, not decrement (or
+// wake) whatever task owns the recycled TCB now.
+TEST(TaskRecycling, StaleTokenCannotResumeRecycledTask) {
+  rt::Task task;
+  task.pending_ops.store(2, std::memory_order_relaxed);
+  const std::uint64_t token = rt::task_token(&task);
+
+  rt::complete_one(token);
+  EXPECT_EQ(task.pending_ops.load(), 1u);
+
+  // Recycle: release_task bumps the generation; tokens minted before are
+  // now stale.
+  task.generation.fetch_add(1, std::memory_order_release);
+  rt::complete_one(token);
+  EXPECT_EQ(task.pending_ops.load(), 1u) << "stale completion applied";
+
+  // A token minted against the current incarnation still lands.
+  rt::complete_one(rt::task_token(&task));
+  EXPECT_EQ(task.pending_ops.load(), 0u);
+}
+
+TEST(TaskRecycling, TokenRoundTripsPointerAndGeneration) {
+  rt::Task task;
+  task.generation.store(0x1234, std::memory_order_relaxed);
+  const std::uint64_t token = rt::task_token(&task);
+  EXPECT_EQ(rt::task_from_token(token), &task);
+  EXPECT_EQ(rt::token_generation(token), 0x1234);
+}
+
+// The wake handshake: a completion that drains pending_ops while the task
+// is parked pushes it onto the owning wake-list exactly once.
+TEST(TaskRecycling, ParkedTaskWakesThroughMpscList) {
+  rt::TaskWakeList list;
+  rt::Task task;
+  task.wake = &list;
+  task.pending_ops.store(1, std::memory_order_relaxed);
+  task.parked.store(true, std::memory_order_relaxed);
+
+  rt::complete_one(rt::task_token(&task));
+  EXPECT_FALSE(task.parked.load());
+  rt::Task* woken = list.drain_fifo();
+  ASSERT_EQ(woken, &task);
+  EXPECT_EQ(woken->wake_next, nullptr);
+  EXPECT_EQ(list.drain_fifo(), nullptr);
+
+  // Not parked (running, or already claimed): no push.
+  task.pending_ops.store(1, std::memory_order_relaxed);
+  rt::complete_one(rt::task_token(&task));
+  EXPECT_EQ(list.drain_fifo(), nullptr);
+}
+
+// Spawn storm: nested parfors with chunk 1 (one task per iteration) and
+// blocking gets, far more tasks than the resident cap — every TCB and
+// iteration block recycles many times; every iteration must still run
+// exactly once.
+TEST(TaskRecycling, SpawnStormNestedParforCountsExact) {
+  Config config = Config::testing();
+  config.num_workers = 2;
+  config.max_tasks_per_worker = 16;
+  config.task_pool_reserve = 4;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle counter = gmt_new(8, Alloc::kPartition);
+    const gmt_handle data = gmt_new(64 * 8, Alloc::kPartition);
+    test::parfor_lambda(64, 1, [&](std::uint64_t i) {
+      gmt_put_value(data, i * 8, i * 3, 8);
+      test::parfor_lambda(16, 1, [&](std::uint64_t) {
+        std::uint64_t value = 0;
+        gmt_get(data, (i % 64) * 8, &value, 8);  // blocking get parks
+        ASSERT_EQ(value, i * 3);
+        gmt_atomic_add(counter, 0, 1, 8);
+      });
+    });
+    std::uint64_t total = 0;
+    gmt_get(counter, 0, &total, 8);
+    EXPECT_EQ(total, 64u * 16u);
+    gmt_free(counter);
+    gmt_free(data);
+  });
+  std::uint64_t iterations = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    iterations += cluster.node(n).stats().iterations_executed.v.load();
+  // 64 outer + 64*16 inner + root/helper wrappers; at least the user work.
+  EXPECT_GE(iterations, 64u + 64u * 16u);
+}
+
+// Same storm with the pools disabled (ablation mode) — the allocating path
+// and the scanning scheduler must stay correct too.
+TEST(TaskRecycling, SpawnStormAllocatingPathStillCorrect) {
+  Config config = Config::testing();
+  config.task_pool = false;
+  config.max_tasks_per_worker = 8;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    const gmt_handle counter = gmt_new(8, Alloc::kPartition);
+    test::parfor_lambda(32, 1, [&](std::uint64_t) {
+      test::parfor_lambda(8, 1,
+                          [&](std::uint64_t) { gmt_atomic_add(counter, 0, 1, 8); });
+    });
+    std::uint64_t total = 0;
+    gmt_get(counter, 0, &total, 8);
+    EXPECT_EQ(total, 32u * 8u);
+    gmt_free(counter);
+  });
+}
+
+// TCBs actually recycle: after a storm far larger than the pool reserve,
+// the free-list holds at most task_pool_cap TCBs and at least one (the
+// storm's tasks drained back), and repeated runs do not grow it without
+// bound.
+TEST(TaskRecycling, FreeListBoundedAndReused) {
+  Config config = Config::testing();
+  config.num_workers = 1;
+  config.max_tasks_per_worker = 32;
+  config.task_pool_reserve = 2;
+  config.task_pool_cap = 64;
+  rt::Cluster cluster(1, config);
+  for (int round = 0; round < 3; ++round) {
+    test::run_task(cluster, [] {
+      test::parfor_lambda(256, 1, [&](std::uint64_t) { gmt_yield(); });
+    });
+  }
+  const std::size_t pooled = cluster.node(0).worker(0).pooled_tasks();
+  EXPECT_GE(pooled, 1u);
+  EXPECT_LE(pooled, 64u);
+}
+
+// Large parfor arguments spill out of the iteration block's inline buffer;
+// both paths must deliver the same bytes to every task.
+TEST(TaskRecycling, LargeArgsSpillBeyondInlineStorage) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    // parfor_lambda ships a pointer (8 B, inline); exercise the spill path
+    // with a fat argument block through the raw API.
+    struct Fat {
+      std::uint8_t bytes[200];  // > IterBlock::kInlineArgs
+    } fat;
+    for (std::size_t i = 0; i < sizeof(fat.bytes); ++i)
+      fat.bytes[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const gmt_handle sum = gmt_new(8, Alloc::kPartition);
+    static gmt_handle g_sum;
+    g_sum = sum;
+    gmt_parfor(
+        8, 1,
+        [](std::uint64_t, const void* args) {
+          const Fat* f = static_cast<const Fat*>(args);
+          std::uint64_t acc = 0;
+          for (std::size_t i = 0; i < sizeof(f->bytes); ++i)
+            acc += f->bytes[i];
+          gmt_atomic_add(g_sum, 0, acc, 8);
+        },
+        &fat, sizeof(fat), Spawn::kPartition);
+    std::uint64_t expected_one = 0;
+    for (std::size_t i = 0; i < sizeof(fat.bytes); ++i)
+      expected_one += static_cast<std::uint8_t>(i * 7 + 1);
+    std::uint64_t total = 0;
+    gmt_get(sum, 0, &total, 8);
+    EXPECT_EQ(total, expected_one * 8);
+    gmt_free(sum);
+  });
+}
+
+// decompose_fill must agree with the vector decompose for ranges that
+// produce more spans than one buffer fill.
+TEST(TaskRecycling, DecomposeFillMatchesVectorDecompose) {
+  rt::ArrayMeta meta;
+  meta.size = 1024;
+  meta.policy = Alloc::kPartition;
+  meta.num_nodes = 16;  // block_size = 64 -> a long range spans many nodes
+  meta.home_node = 0;
+
+  std::vector<rt::OwnedSpan> expect;
+  meta.decompose(8, 1000, &expect);
+  ASSERT_GT(expect.size(), 3u);
+
+  rt::OwnedSpan spans[3];
+  std::vector<rt::OwnedSpan> got;
+  std::uint64_t covered = 0;
+  while (covered < 1000) {
+    std::size_t count = 0;
+    covered += meta.decompose_fill(8 + covered, 1000 - covered, spans, 3,
+                                   &count);
+    for (std::size_t i = 0; i < count; ++i) got.push_back(spans[i]);
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, expect[i].node);
+    EXPECT_EQ(got[i].local_offset, expect[i].local_offset);
+    EXPECT_EQ(got[i].global_offset, expect[i].global_offset);
+    EXPECT_EQ(got[i].size, expect[i].size);
+  }
+}
+
+}  // namespace
+}  // namespace gmt
