@@ -2,7 +2,7 @@
 // one command" entry point a downstream user reaches for first.
 //
 //   gmt_cli <kernel> [--nodes=N] [--vertices=V] [--walkers=W] [--length=L]
-//           [--tasks=W] [--steps=L] [--seed=S] [--stats]
+//           [--tasks=W] [--steps=L] [--seed=S] [--stats] [--trace=FILE]
 //
 //   kernels: bfs | grw | cc | pagerank | chma
 #include <cstdio>
@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "gmt/gmt.hpp"
 #include "graph/dist_graph.hpp"
 #include "graph/generator.hpp"
 #include "kernels/bfs_gmt.hpp"
@@ -18,7 +19,6 @@
 #include "kernels/grw_gmt.hpp"
 #include "kernels/pagerank_gmt.hpp"
 #include "runtime/cluster.hpp"
-#include "runtime/stats_report.hpp"
 
 namespace {
 
@@ -32,6 +32,7 @@ struct CliArgs {
   std::uint64_t steps = 32;
   std::uint64_t seed = 42;
   bool stats = false;
+  std::string trace_file;
 
   static std::uint64_t value_of(const char* arg) {
     const char* eq = std::strchr(arg, '=');
@@ -59,6 +60,8 @@ struct CliArgs {
         args.seed = value_of(a);
       else if (std::strcmp(a, "--stats") == 0)
         args.stats = true;
+      else if (std::strncmp(a, "--trace=", 8) == 0)
+        args.trace_file = a + 8;
     }
     return args;
   }
@@ -134,15 +137,22 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: gmt_cli <bfs|grw|cc|pagerank|chma> [--nodes=N] "
         "[--vertices=V]\n               [--walkers=W] [--length=L] "
-        "[--tasks=W] [--steps=L] [--seed=S] [--stats]\n");
+        "[--tasks=W] [--steps=L] [--seed=S] [--stats] [--trace=FILE]\n");
     return 1;
   }
   gmt::Config config = gmt::Config::testing();
   config.apply_env();  // honor GMT_* overrides (threads, reliability, faults)
-  gmt::rt::Cluster cluster(args.nodes, config);
-  const CliArgs* ptr = &args;
-  cluster.run(&run_kernel, &ptr, sizeof(ptr));
-  if (args.stats)
-    std::printf("\n%s", gmt::rt::format_stats_report(cluster).c_str());
+  if (!args.trace_file.empty()) {
+    config.trace = true;
+    config.trace_file = args.trace_file;  // dumped at cluster shutdown
+  }
+  {
+    gmt::rt::Cluster cluster(args.nodes, config);
+    const CliArgs* ptr = &args;
+    cluster.run(&run_kernel, &ptr, sizeof(ptr));
+  }
+  // Public observability API: the report survives cluster teardown (and
+  // the teardown is what flushes the trace file).
+  if (args.stats) std::printf("\n%s", gmt::stats_report().c_str());
   return 0;
 }

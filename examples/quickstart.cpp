@@ -4,11 +4,10 @@
 //
 //   ./quickstart [num_nodes]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "gmt/gmt.hpp"
-#include "runtime/cluster.hpp"
-#include "runtime/stats_report.hpp"
 
 namespace {
 
@@ -64,14 +63,18 @@ void root_task(std::uint64_t, const void*) {
 
 int main(int argc, char** argv) {
   const std::uint32_t nodes = argc > 1 ? std::atoi(argv[1]) : 2;
-  gmt::Config config = gmt::Config::testing();
-  config.apply_env();  // honor GMT_* overrides (threads, reliability, faults)
-  gmt::rt::Cluster cluster(nodes, config);
-  cluster.run(&root_task);
+  // gmt::run spins up an in-process cluster (GMT_* env overrides apply),
+  // executes the root task to completion and tears the cluster down.
+  gmt::run(nodes, &root_task);
+
+  // Observability is public API too: the snapshot retains the finished
+  // run's counters even though the cluster is gone.
+  const gmt::obs::Snapshot snap = gmt::stats_snapshot();
   std::printf("quickstart: done (%llu network messages, %llu bytes)\n",
-              static_cast<unsigned long long>(cluster.total_network_messages()),
-              static_cast<unsigned long long>(cluster.total_network_bytes()));
-  std::printf("\nruntime statistics:\n%s",
-              gmt::rt::format_stats_report(cluster).c_str());
+              static_cast<unsigned long long>(
+                  snap.counter(gmt::obs::names::kNetMessages)),
+              static_cast<unsigned long long>(
+                  snap.counter(gmt::obs::names::kNetBytes)));
+  std::printf("\nruntime statistics:\n%s", gmt::stats_report().c_str());
   return 0;
 }

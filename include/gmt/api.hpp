@@ -1,0 +1,141 @@
+// GMT public API (paper Table I).
+//
+// Except for gmt::run, all functions here execute inside a GMT task —
+// application code reached from gmt::run / gmt_parfor. The runtime
+// identifies the calling task through the worker thread executing it;
+// calling these from an arbitrary thread is a checked error.
+//
+//   gmt::run(2 /*nodes*/, [](std::uint64_t, const void*) {
+//     gmt_handle a = gmt::gmt_new(1 << 20, gmt::Alloc::kPartition);
+//     gmt::gmt_parfor(1024, 0, &body, &a, sizeof(a), gmt::Spawn::kPartition);
+//     gmt::gmt_free(a);
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "gmt/types.hpp"
+
+namespace gmt {
+
+// ---- program entry ----
+
+// Brings up an in-process cluster of `num_nodes` simulated nodes (default
+// configuration plus GMT_* environment overrides), runs fn(0, args) as the
+// root task, waits for everything it transitively spawned, and tears the
+// cluster down. The `args` buffer (args_size bytes) is copied before fn
+// runs. Embedders that need programmatic configuration keep using
+// rt::Cluster directly.
+void run(std::uint32_t num_nodes, TaskFn fn, const void* args = nullptr,
+         std::size_t args_size = 0);
+
+// ---- global memory management ----
+
+// Allocates `size` bytes in the global address space with the given
+// distribution. Zero-initialised. Blocking: the handle is valid on every
+// node when this returns.
+gmt_handle gmt_new(std::uint64_t size, Alloc policy);
+
+// Releases an allocation on every node. Blocking. The caller must ensure
+// no operation on the handle is still in flight.
+void gmt_free(gmt_handle handle);
+
+// ---- data movement (blocking unless _nb) ----
+
+// Copies `size` local bytes into the array at byte `offset`.
+void gmt_put(gmt_handle handle, std::uint64_t offset, const void* data,
+             std::uint64_t size);
+void gmt_put_nb(gmt_handle handle, std::uint64_t offset, const void* data,
+                std::uint64_t size);
+
+// Writes the low `size` (1..8) bytes of `value` at byte `offset`.
+void gmt_put_value(gmt_handle handle, std::uint64_t offset,
+                   std::uint64_t value, std::uint32_t size);
+void gmt_put_value_nb(gmt_handle handle, std::uint64_t offset,
+                      std::uint64_t value, std::uint32_t size);
+
+// Copies `size` bytes from the array at byte `offset` into local memory.
+void gmt_get(gmt_handle handle, std::uint64_t offset, void* data,
+             std::uint64_t size);
+void gmt_get_nb(gmt_handle handle, std::uint64_t offset, void* data,
+                std::uint64_t size);
+
+// Suspends the task until every previously issued non-blocking operation
+// of this task has completed (paper §III-D).
+void gmt_wait_commands();
+
+// ---- synchronisation (paper §III-E); width is 4 or 8 bytes ----
+
+// Atomically adds `value` at byte `offset`; returns the previous value.
+std::uint64_t gmt_atomic_add(gmt_handle handle, std::uint64_t offset,
+                             std::uint64_t value, std::uint32_t width = 8);
+
+// Atomic compare-and-swap at byte `offset`; returns the observed previous
+// value (equal to `expected` iff the swap happened).
+std::uint64_t gmt_atomic_cas(gmt_handle handle, std::uint64_t offset,
+                             std::uint64_t expected, std::uint64_t desired,
+                             std::uint32_t width = 8);
+
+// ---- typed data movement ----
+//
+// Span overloads over the byte-addressed primitives: offsets are *element*
+// indices, lengths come from the span — no hand-multiplied sizeof(T). The
+// void* spellings above remain the paper-faithful primitives underneath.
+
+template <typename T>
+void gmt_put(gmt_handle handle, std::uint64_t index, std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  gmt_put(handle, index * sizeof(T), data.data(), data.size_bytes());
+}
+
+template <typename T>
+void gmt_put_nb(gmt_handle handle, std::uint64_t index,
+                std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  gmt_put_nb(handle, index * sizeof(T), data.data(), data.size_bytes());
+}
+
+template <typename T>
+void gmt_get(gmt_handle handle, std::uint64_t index, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  gmt_get(handle, index * sizeof(T), out.data(), out.size_bytes());
+}
+
+template <typename T>
+void gmt_get_nb(gmt_handle handle, std::uint64_t index, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  gmt_get_nb(handle, index * sizeof(T), out.data(), out.size_bytes());
+}
+
+// ---- parallelism (paper §III-B) ----
+
+// Executes fn(i, args_copy) for i in [0, iterations), spawning tasks of
+// `chunk` iterations each (0 = runtime-chosen) on nodes selected by
+// `policy`. The argument buffer is copied to each involved node. Blocks
+// until every iteration completed. Nestable.
+void gmt_parfor(std::uint64_t iterations, std::uint64_t chunk, TaskFn fn,
+                const void* args, std::size_t args_size,
+                Spawn policy = Spawn::kPartition);
+
+// Executes fn(0, args_copy) as one task on the chosen node and blocks
+// until it completes — the targeted "run this there" primitive (delegate
+// execution) composing naturally with data placement.
+void gmt_on(std::uint32_t node, TaskFn fn, const void* args,
+            std::size_t args_size);
+
+// Cooperative yield: lets the worker schedule other tasks.
+void gmt_yield();
+
+// ---- introspection ----
+
+std::uint32_t gmt_node_id();    // node executing the calling task
+std::uint32_t gmt_num_nodes();  // cluster size
+
+}  // namespace gmt

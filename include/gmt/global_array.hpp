@@ -7,9 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <type_traits>
 
-#include "gmt/gmt.hpp"
+#include "gmt/api.hpp"
 
 namespace gmt {
 
@@ -59,6 +60,17 @@ class GlobalArray {
   }
   void put_range(std::uint64_t first, const T* data, std::uint64_t n) {
     gmt_put(handle_, first * sizeof(T), data, n * sizeof(T));
+  }
+
+  // Span forwarding: lengths come from the span, offsets are elements.
+  void get(std::uint64_t first, std::span<T> out) const {
+    gmt_get<T>(handle_, first, out);
+  }
+  void put(std::uint64_t first, std::span<const T> data) {
+    gmt_put<T>(handle_, first, data);
+  }
+  void put_nb(std::uint64_t first, std::span<const T> data) {
+    gmt_put_nb<T>(handle_, first, data);
   }
 
   // Atomics (T must be a 4- or 8-byte integer).

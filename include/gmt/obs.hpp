@@ -1,0 +1,159 @@
+// Public observability API (no runtime internals required).
+//
+// The runtime keeps every counter, gauge and histogram in per-node metric
+// registries (src/obs). This header exposes a read-only view of them —
+// `gmt::stats_snapshot()` merges all live registries into named values —
+// plus the event tracer: `gmt::trace_begin/trace_end` annotate spans on the
+// calling thread's track, and `gmt::dump_trace(path)` writes everything the
+// runtime recorded as Chrome `trace_event` JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Environment: GMT_OBS=0 disables the metric registries (near-zero cost),
+// GMT_TRACE=1 arms the tracer, GMT_TRACE_FILE=out.json dumps at cluster
+// shutdown, GMT_OBS_INTERVAL_MS=N records periodic interval snapshots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmt {
+namespace obs {
+
+// Log2 bucketing: bucket 0 holds value 0, bucket b >= 1 holds values in
+// [2^(b-1), 2^b - 1]; the last bucket absorbs everything larger.
+inline constexpr std::uint32_t kHistogramBuckets = 64;
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  // Largest value recorded in bucket `b` (inclusive upper bound).
+  static std::uint64_t bucket_upper_bound(std::uint32_t b) {
+    if (b == 0) return 0;
+    if (b >= 63) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+};
+
+// A merged, point-in-time view of one or more registries. Values are
+// cumulative: registries that died with their cluster leave their final
+// totals behind, so a snapshot taken after gmt::run() returned still
+// covers the run.
+struct Snapshot {
+  std::uint64_t wall_ns = 0;  // capture time (steady clock)
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  // Lookup helpers: 0 / nullptr when the name is absent.
+  std::uint64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const HistogramValue* histogram(std::string_view name) const;
+  // Adds `other` into this snapshot, summing same-named values.
+  void merge(const Snapshot& other);
+};
+
+// One periodic sample recorded by the interval sampler
+// (GMT_OBS_INTERVAL_MS > 0); `stats` is cumulative at `wall_ns`.
+struct IntervalSample {
+  std::uint64_t wall_ns = 0;
+  Snapshot stats;
+};
+
+// Metric names the runtime registers (a subset; registries may hold more).
+namespace names {
+inline constexpr const char* kTasksExecuted = "tasks.executed";
+inline constexpr const char* kIterationsExecuted = "tasks.iterations";
+inline constexpr const char* kCtxSwitches = "tasks.ctx_switches";
+inline constexpr const char* kTasksResident = "tasks.resident";
+inline constexpr const char* kLocalOps = "ops.local";
+inline constexpr const char* kRemoteOps = "ops.remote";
+inline constexpr const char* kCmdsExecuted = "cmds.executed";
+inline constexpr const char* kBuffersReceived = "agg.buffers_received";
+inline constexpr const char* kAggCommands = "agg.commands";
+inline constexpr const char* kAggBlocksFull = "agg.blocks_full";
+inline constexpr const char* kAggBlocksTimeout = "agg.blocks_timeout";
+inline constexpr const char* kAggBuffersSent = "agg.buffers_sent";
+inline constexpr const char* kAggBufferBytes = "agg.buffer_bytes";
+inline constexpr const char* kAggPasses = "agg.passes";
+inline constexpr const char* kAggFlushBytes = "agg.flush_bytes";
+inline constexpr const char* kNetMessages = "net.messages";
+inline constexpr const char* kNetBytes = "net.bytes";
+inline constexpr const char* kIncomingDepth = "net.incoming_depth";
+inline constexpr const char* kRelDataFrames = "rel.data_frames";
+inline constexpr const char* kRelRetransmits = "rel.retransmits";
+inline constexpr const char* kRelAcksSent = "rel.acks_sent";
+inline constexpr const char* kRelCrcDrops = "rel.crc_drops";
+inline constexpr const char* kRelDupSuppressed = "rel.dup_suppressed";
+inline constexpr const char* kRelOooHeld = "rel.ooo_held";
+inline constexpr const char* kRelAckLatencyNs = "rel.ack_latency_ns";
+inline constexpr const char* kFaultDrops = "fault.drops";
+inline constexpr const char* kFaultDuplicates = "fault.duplicates";
+inline constexpr const char* kFaultCorruptions = "fault.corruptions";
+inline constexpr const char* kFaultReorders = "fault.reorders";
+inline constexpr const char* kFaultBackpressures = "fault.backpressures";
+}  // namespace names
+
+// Process-wide metrics switch. Reads GMT_OBS once, lazily (unset = on);
+// set_enabled overrides it from code. Disabling makes every counter write a
+// single predicted branch and snapshots come back empty.
+bool enabled();
+void set_enabled(bool on);
+
+// Samples recorded so far by the interval sampler (oldest first, bounded).
+std::vector<IntervalSample> interval_history();
+void clear_interval_history();
+
+}  // namespace obs
+
+// Merged snapshot of every live registry (all nodes of all clusters in
+// this process). Empty when obs::enabled() is false.
+obs::Snapshot stats_snapshot();
+
+// Human-readable multi-line report built from stats_snapshot(): per-scope
+// task/op rows plus network, aggregation and reliability summaries.
+std::string stats_report();
+
+// ---- event tracing ----
+
+// Arms / disarms event recording. Also armed by GMT_TRACE=1 (read when the
+// first cluster or simulator instance comes up).
+void trace_enable(bool on);
+bool trace_enabled();
+
+// Opens / closes a span on the calling thread's trace track. `name` must
+// outlive the trace (string literals). Nesting is supported to a small
+// fixed depth; unmatched ends are ignored.
+void trace_begin(const char* name);
+void trace_end();
+
+// Writes everything recorded so far as Chrome trace_event JSON. Returns
+// false when the file cannot be written.
+bool dump_trace(const std::string& path);
+
+// Drops all recorded events and tracks (tests; not thread-safe against
+// concurrent recording).
+void trace_reset();
+
+}  // namespace gmt

@@ -1,10 +1,10 @@
 // Paper-faithful spellings of the GMT API (Table I of the paper uses
 // camelCase: gmt_parFor, gmt_atomicCAS, gmt_waitCommands, ...). These are
-// thin aliases over the snake_case API in gmt.hpp so code can be ported
-// from the paper's listings verbatim.
+// thin aliases over the snake_case API in gmt/api.hpp so code can be
+// ported from the paper's listings verbatim.
 #pragma once
 
-#include "gmt/gmt.hpp"
+#include "gmt/api.hpp"
 
 namespace gmt {
 

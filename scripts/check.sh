@@ -3,19 +3,23 @@
 # fault-injection suite (label "fault") separately so a reliability
 # regression is distinguishable from a functional one.
 #
-# Usage: scripts/check.sh [--asan] [--bench-smoke]
+# Usage: scripts/check.sh [--asan] [--bench-smoke] [--obs-smoke]
 #   --asan         build/test the asan preset instead of default
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
+#   --obs-smoke    also run the observability smoke (traced BFS through
+#                  gmt_cli; validates trace JSON and the stats report)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
 bench_smoke=0
+obs_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --asan) preset=asan ;;
     --bench-smoke) bench_smoke=1 ;;
+    --obs-smoke) obs_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -29,7 +33,7 @@ builddir=build
 [[ "$preset" == "asan" ]] && builddir=build-asan
 
 echo "== tier-1 tests =="
-ctest --test-dir "$builddir" -LE 'fault|perf-smoke' --output-on-failure -j "$jobs"
+ctest --test-dir "$builddir" -LE 'fault|perf-smoke|obs-smoke' --output-on-failure -j "$jobs"
 
 echo "== fault-injection tests =="
 ctest --test-dir "$builddir" -L fault --output-on-failure
@@ -37,4 +41,9 @@ ctest --test-dir "$builddir" -L fault --output-on-failure
 if [[ "$bench_smoke" == 1 ]]; then
   echo "== perf-smoke benches =="
   ctest --test-dir "$builddir" -L perf-smoke --output-on-failure
+fi
+
+if [[ "$obs_smoke" == 1 ]]; then
+  echo "== observability smoke =="
+  ctest --test-dir "$builddir" -L obs-smoke --output-on-failure
 fi

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Observability smoke test: run a small traced BFS through gmt_cli, then
+# assert that (a) the emitted Chrome trace is valid JSON containing the
+# runtime's signature spans (task lifetimes, aggregation buffer flushes)
+# and (b) the stats report shows a nonzero commands/message aggregation
+# ratio — i.e. metrics and tracing both observed real remote traffic.
+#
+# Usage: scripts/obs_smoke.sh <path-to-gmt_cli> [workdir]
+set -euo pipefail
+
+cli=${1:?usage: obs_smoke.sh <path-to-gmt_cli> [workdir]}
+workdir=${2:-$(mktemp -d)}
+mkdir -p "$workdir"
+trace="$workdir/obs_smoke_trace.json"
+out="$workdir/obs_smoke_out.txt"
+
+"$cli" bfs --nodes=2 --vertices=2000 --stats --trace="$trace" | tee "$out"
+
+[[ -s "$trace" ]] || { echo "FAIL: trace file missing or empty: $trace" >&2; exit 1; }
+
+python3 - "$trace" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)  # throws (and fails the smoke) on malformed JSON
+
+events = doc["traceEvents"]
+names = {e.get("name") for e in events}
+for required in ("task.lifetime", "task.run", "buffer.flush"):
+    if required not in names:
+        sys.exit(f"FAIL: no '{required}' span among {len(events)} events")
+spans = sum(1 for e in events if e.get("ph") == "X")
+print(f"trace OK: {len(events)} events, {spans} spans, "
+      f"{len(names)} distinct names")
+EOF
+
+grep -E 'commands/message[^0-9]*[1-9][0-9]*\.' "$out" >/dev/null || {
+  echo "FAIL: stats report lacks a nonzero commands/message ratio" >&2
+  exit 1
+}
+
+echo "obs smoke OK"

@@ -83,6 +83,10 @@ void Config::apply_env() {
   env_u32("GMT_TASK_POOL_CAP", &task_pool_cap);
   env_u32("GMT_ITB_POOL_SIZE", &itb_pool_size);
 
+  env_bool("GMT_TRACE", &trace);
+  if (const char* v = std::getenv("GMT_TRACE_FILE")) trace_file = v;
+  env_u32("GMT_OBS_INTERVAL_MS", &obs_interval_ms);
+
   env_bool("GMT_RELIABLE", &reliable_transport);
   env_u64("GMT_RETRY_TIMEOUT_NS", &retry_timeout_ns);
   env_u64("GMT_RETRY_TIMEOUT_MAX_NS", &retry_timeout_max_ns);

@@ -119,6 +119,18 @@ struct Config {
   // window are dropped (the sender retransmits them).
   std::uint32_t reorder_window = 256;
 
+  // ---- observability (src/obs: metric registries + event tracer).
+
+  // Arm the event tracer from startup (also via GMT_TRACE=1).
+  bool trace = false;
+
+  // Dump the Chrome trace JSON here when the cluster shuts down; empty =
+  // no automatic dump (call gmt::dump_trace yourself).
+  std::string trace_file;
+
+  // Record a merged interval snapshot every N ms (0 = sampler off).
+  std::uint32_t obs_interval_ms = 0;
+
   // Transport fault injection (applied by Cluster when any knob is set).
   FaultInjection fault;
 

@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace gmt::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{true};
+thread_local TlsShardRef t_shard;
+
+namespace {
+
+std::once_flag g_env_once;
+
+void apply_env() {
+  if (const char* v = std::getenv("GMT_OBS"))
+    g_metrics_enabled.store(v[0] != '0', std::memory_order_relaxed);
+}
+
+// Live registries, creation order; guarded by g_registry_mu.
+std::mutex g_registry_mu;
+std::vector<Registry*> g_registries;
+
+// Final snapshots of destroyed registries, merged by scope (guarded by
+// g_registry_mu). Registries die with their cluster, but stats should not:
+// gmt::stats_snapshot() after gmt::run() returns still sees the run.
+std::vector<std::pair<std::string, Snapshot>> g_retired;
+
+// Bounded interval-sample history (oldest dropped past the cap).
+constexpr std::size_t kMaxIntervalSamples = 1024;
+std::mutex g_interval_mu;
+std::deque<IntervalSample> g_interval_history;
+
+}  // namespace
+}  // namespace detail
+
+void apply_metrics_env_once() {
+  std::call_once(detail::g_env_once, detail::apply_env);
+}
+
+bool enabled() { return detail::metrics_on(); }
+
+void set_enabled(bool on) {
+  // Lock in the explicit choice before any lazy env read can race it.
+  std::call_once(detail::g_env_once, [] {});
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name) const {
+  for (const GaugeValue& g : gauges)
+    if (g.name == name) return g.value;
+  return 0;
+}
+
+const HistogramValue* Snapshot::histogram(std::string_view name) const {
+  for (const HistogramValue& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  if (other.wall_ns > wall_ns) wall_ns = other.wall_ns;
+  for (const CounterValue& c : other.counters) {
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const CounterValue& x) { return x.name == c.name; });
+    if (it == counters.end())
+      counters.push_back(c);
+    else
+      it->value += c.value;
+  }
+  for (const GaugeValue& g : other.gauges) {
+    auto it = std::find_if(gauges.begin(), gauges.end(),
+                           [&](const GaugeValue& x) { return x.name == g.name; });
+    if (it == gauges.end())
+      gauges.push_back(g);
+    else
+      it->value += g.value;
+  }
+  for (const HistogramValue& h : other.histograms) {
+    auto it = std::find_if(
+        histograms.begin(), histograms.end(),
+        [&](const HistogramValue& x) { return x.name == h.name; });
+    if (it == histograms.end()) {
+      histograms.push_back(h);
+    } else {
+      it->count += h.count;
+      it->sum += h.sum;
+      for (std::uint32_t b = 0; b < kHistogramBuckets; ++b)
+        it->buckets[b] += h.buckets[b];
+    }
+  }
+}
+
+namespace {
+std::atomic<std::uint64_t> g_next_registry_uid{1};
+}  // namespace
+
+Registry::Registry(std::string scope)
+    : scope_(std::move(scope)),
+      uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {
+  std::call_once(detail::g_env_once, detail::apply_env);
+  std::lock_guard<std::mutex> lock(detail::g_registry_mu);
+  detail::g_registries.push_back(this);
+}
+
+Registry::~Registry() {
+  Snapshot last = snapshot();  // before deregistering (takes only mu_)
+  std::lock_guard<std::mutex> lock(detail::g_registry_mu);
+  if (!last.empty()) {
+    auto& retired = detail::g_retired;
+    auto it = std::find_if(
+        retired.begin(), retired.end(),
+        [&](const auto& entry) { return entry.first == scope_; });
+    if (it == retired.end())
+      retired.emplace_back(scope_, std::move(last));
+    else
+      it->second.merge(last);
+  }
+  auto& regs = detail::g_registries;
+  regs.erase(std::remove(regs.begin(), regs.end(), this), regs.end());
+}
+
+std::uint32_t Registry::reserve(std::string name, Kind kind,
+                                std::uint32_t cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same-name re-registration returns the existing slot, so stats structs
+  // can be rebound without doubling cell usage.
+  for (const Def& def : defs_)
+    if (def.name == name) {
+      GMT_CHECK_MSG(def.kind == kind, "metric re-registered as another kind");
+      return def.base;
+    }
+  GMT_CHECK_MSG(cursor_ + cells <= kMaxCells,
+                "metrics registry shard budget exhausted");
+  const std::uint32_t base = cursor_;
+  cursor_ += cells;
+  defs_.push_back(Def{std::move(name), kind, base});
+  return base;
+}
+
+Counter Registry::counter(std::string name) {
+  return Counter(this, reserve(std::move(name), Kind::kCounter, 1));
+}
+
+Gauge Registry::gauge(std::string name) {
+  return Gauge(this, reserve(std::move(name), Kind::kGauge, 1));
+}
+
+Histogram Registry::histogram(std::string name) {
+  return Histogram(
+      this, reserve(std::move(name), Kind::kHistogram, kHistogramBuckets + 1));
+}
+
+detail::Shard* Registry::attach_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_)
+    if (shard->owner == self) return shard.get();
+  shards_.push_back(std::make_unique<detail::Shard>());
+  shards_.back()->owner = self;
+  return shards_.back().get();
+}
+
+std::uint64_t Registry::merged(std::uint32_t cell) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->cells[cell].load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Counter::read() const {
+  if (reg_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(reg_->mu_);
+  return reg_->merged(cell_);
+}
+
+std::int64_t Gauge::read() const {
+  if (reg_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(reg_->mu_);
+  return static_cast<std::int64_t>(reg_->merged(cell_));
+}
+
+HistogramValue Histogram::read() const {
+  HistogramValue out;
+  if (reg_ == nullptr) return out;
+  std::lock_guard<std::mutex> lock(reg_->mu_);
+  for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    out.buckets[b] = reg_->merged(base_ + b);
+    out.count += out.buckets[b];
+  }
+  out.sum = reg_->merged(base_ + kHistogramBuckets);
+  return out;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.wall_ns = wall_ns();
+  if (!detail::metrics_on()) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Def& def : defs_) {
+    switch (def.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back(CounterValue{def.name, merged(def.base)});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(GaugeValue{
+            def.name, static_cast<std::int64_t>(merged(def.base))});
+        break;
+      case Kind::kHistogram: {
+        HistogramValue h;
+        h.name = def.name;
+        for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+          h.buckets[b] = merged(def.base + b);
+          h.count += h.buckets[b];
+        }
+        h.sum = merged(def.base + kHistogramBuckets);
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+Snapshot global_snapshot() {
+  Snapshot total;
+  total.wall_ns = wall_ns();
+  if (!detail::metrics_on()) return total;
+  std::lock_guard<std::mutex> lock(detail::g_registry_mu);
+  for (const auto& [scope, snap] : detail::g_retired) total.merge(snap);
+  for (const Registry* reg : detail::g_registries)
+    total.merge(reg->snapshot());
+  return total;
+}
+
+std::vector<std::pair<std::string, Snapshot>> scoped_snapshots() {
+  std::vector<std::pair<std::string, Snapshot>> out;
+  if (!detail::metrics_on()) return out;
+  std::lock_guard<std::mutex> lock(detail::g_registry_mu);
+  out = detail::g_retired;  // copies; live registries merge on top
+  for (const Registry* reg : detail::g_registries) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& entry) {
+      return entry.first == reg->scope();
+    });
+    if (it == out.end())
+      out.emplace_back(reg->scope(), reg->snapshot());
+    else
+      it->second.merge(reg->snapshot());
+  }
+  return out;
+}
+
+void clear_retired_snapshots() {
+  std::lock_guard<std::mutex> lock(detail::g_registry_mu);
+  detail::g_retired.clear();
+}
+
+void push_interval_sample(IntervalSample sample) {
+  std::lock_guard<std::mutex> lock(detail::g_interval_mu);
+  detail::g_interval_history.push_back(std::move(sample));
+  if (detail::g_interval_history.size() > detail::kMaxIntervalSamples)
+    detail::g_interval_history.pop_front();
+}
+
+std::vector<IntervalSample> interval_history() {
+  std::lock_guard<std::mutex> lock(detail::g_interval_mu);
+  return std::vector<IntervalSample>(detail::g_interval_history.begin(),
+                                     detail::g_interval_history.end());
+}
+
+void clear_interval_history() {
+  std::lock_guard<std::mutex> lock(detail::g_interval_mu);
+  detail::g_interval_history.clear();
+}
+
+}  // namespace gmt::obs

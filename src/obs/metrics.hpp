@@ -1,0 +1,210 @@
+// Typed metrics registry (observability subsystem, part 1).
+//
+// A Registry owns a set of named instruments — counters, gauges, log2
+// histograms — registered once at startup. Writes go to per-thread
+// *shards*: each OS thread that touches a registry gets its own
+// cache-line-padded array of relaxed atomic cells, so the hot path is one
+// predicted branch (the global enable flag) plus one uncontended
+// fetch_add. snapshot() merges the shards under the registration mutex.
+//
+// Instrument handles (Counter/Gauge/Histogram) are plain {registry, slot}
+// pairs: trivially copyable, safe to keep in stats structs, and inert when
+// default-constructed (writes drop) — so stats structs work unbound in
+// unit tests that never create a registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "gmt/obs.hpp"
+
+namespace gmt::obs {
+
+namespace detail {
+// Process-wide enable flag, mirrored from GMT_OBS / set_enabled so the hot
+// path never re-reads the environment.
+extern std::atomic<bool> g_metrics_enabled;
+inline bool metrics_on() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// One thread's private slice of a registry: a padded array of relaxed
+// atomic cells, indexed by instrument slot.
+struct alignas(kCacheLine) Shard {
+  static constexpr std::uint32_t kMaxCells = 512;
+  std::thread::id owner;
+  std::atomic<std::uint64_t> cells[kMaxCells];
+  Shard() {
+    for (auto& cell : cells) cell.store(0, std::memory_order_relaxed);
+  }
+};
+
+// Per-thread shard cache: one entry, keyed by registry uid. Runtime
+// threads only ever write to their own node's registry, so a single slot
+// is a 100% hit; alternating threads (tests) just re-scan on switch.
+struct TlsShardRef {
+  std::uint64_t registry_uid = 0;
+  Shard* shard = nullptr;
+};
+extern thread_local TlsShardRef t_shard;
+}  // namespace detail
+
+class Registry;
+
+// Monotonic counter. add() is wait-free on the caller's shard.
+class Counter {
+ public:
+  Counter() = default;
+  inline void add(std::uint64_t delta = 1);
+  std::uint64_t read() const;  // merged across shards (not hot)
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t cell) : reg_(reg), cell_(cell) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+// Signed up/down gauge. Shards accumulate deltas in two's complement; the
+// merged sum is the current value.
+class Gauge {
+ public:
+  Gauge() = default;
+  inline void add(std::int64_t delta);
+  void inc() { add(1); }
+  void dec() { add(-1); }
+  std::int64_t read() const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t cell) : reg_(reg), cell_(cell) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+// Log2-bucketed histogram of non-negative values (latencies in ns, sizes
+// in bytes, occupancies). Bucket 0 counts zeros; bucket b >= 1 counts
+// values in [2^(b-1), 2^b - 1]. A sum cell rides along so means need no
+// separate counter.
+class Histogram {
+ public:
+  Histogram() = default;
+  inline void observe(std::uint64_t value);
+  HistogramValue read() const;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, std::uint32_t base) : reg_(reg), base_(base) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t base_ = 0;  // kHistogramBuckets bucket cells + 1 sum cell
+};
+
+// One named metrics scope (the runtime creates one per node). Thread
+// shards attach lazily on first write; registration happens in
+// constructors, before the hot path runs.
+class Registry {
+ public:
+  // `scope` labels this registry in reports ("node0", "test", ...).
+  explicit Registry(std::string scope);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  const std::string& scope() const { return scope_; }
+
+  Counter counter(std::string name);
+  Gauge gauge(std::string name);
+  Histogram histogram(std::string name);
+
+  // Merged view of every instrument. Empty (no entries) when metrics are
+  // globally disabled.
+  Snapshot snapshot() const;
+
+  // Shard cells a single thread may hold across all instruments of one
+  // registry. Registration past this budget is a startup error.
+  static constexpr std::uint32_t kMaxCells = detail::Shard::kMaxCells;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Def {
+    std::string name;
+    Kind kind;
+    std::uint32_t base;  // first cell
+  };
+
+  inline std::atomic<std::uint64_t>& local_cell(std::uint32_t cell);
+  detail::Shard* attach_thread();  // find or create this thread's shard
+  std::uint32_t reserve(std::string name, Kind kind, std::uint32_t cells);
+  std::uint64_t merged(std::uint32_t cell) const;  // callers hold mu_
+
+  const std::string scope_;
+  const std::uint64_t uid_;  // never reused; guards stale TLS shard caches
+  mutable std::mutex mu_;
+  std::vector<Def> defs_;
+  std::uint32_t cursor_ = 0;
+  std::vector<std::unique_ptr<detail::Shard>> shards_;
+};
+
+inline std::atomic<std::uint64_t>& Registry::local_cell(std::uint32_t cell) {
+  detail::TlsShardRef& ref = detail::t_shard;
+  if (ref.registry_uid != uid_) {
+    ref.shard = attach_thread();
+    ref.registry_uid = uid_;
+  }
+  return ref.shard->cells[cell];
+}
+
+inline void Counter::add(std::uint64_t delta) {
+  if (!detail::metrics_on() || reg_ == nullptr) return;
+  reg_->local_cell(cell_).fetch_add(delta, std::memory_order_relaxed);
+}
+
+inline void Gauge::add(std::int64_t delta) {
+  if (!detail::metrics_on() || reg_ == nullptr) return;
+  reg_->local_cell(cell_).fetch_add(static_cast<std::uint64_t>(delta),
+                                    std::memory_order_relaxed);
+}
+
+inline void Histogram::observe(std::uint64_t value) {
+  if (!detail::metrics_on() || reg_ == nullptr) return;
+  std::uint32_t bucket = 0;
+  if (value != 0) {
+    bucket = 64u - static_cast<std::uint32_t>(__builtin_clzll(value));
+    if (bucket > kHistogramBuckets - 1) bucket = kHistogramBuckets - 1;
+  }
+  reg_->local_cell(base_ + bucket).fetch_add(1, std::memory_order_relaxed);
+  reg_->local_cell(base_ + kHistogramBuckets)
+      .fetch_add(value, std::memory_order_relaxed);
+}
+
+// Applies the GMT_OBS environment override once (also done lazily by the
+// first Registry construction).
+void apply_metrics_env_once();
+
+// Merged snapshot of every live Registry in the process (the backing store
+// of gmt::stats_snapshot()).
+Snapshot global_snapshot();
+
+// Per-scope snapshots of every live Registry, in creation order (the
+// backing store of gmt::stats_report()'s per-node rows). Destroyed
+// registries contribute their final snapshot under the same scope, so
+// reports written after a cluster shut down still show the run.
+std::vector<std::pair<std::string, Snapshot>> scoped_snapshots();
+
+// Drops the retained snapshots of destroyed registries (tests).
+void clear_retired_snapshots();
+
+// Appends one sample to the bounded process-wide interval history.
+void push_interval_sample(IntervalSample sample);
+
+}  // namespace gmt::obs

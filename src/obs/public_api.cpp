@@ -1,0 +1,132 @@
+// Implementation of the public observability surface (gmt/obs.hpp): thin
+// veneers over the registry list and the tracer.
+#include "gmt/obs.hpp"
+
+#include <cstdio>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gmt {
+
+obs::Snapshot stats_snapshot() { return obs::global_snapshot(); }
+
+std::string stats_report() {
+  const auto scopes = obs::scoped_snapshots();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-8s %12s %12s %12s %12s %12s %12s\n",
+                "scope", "tasks", "iters", "ctx-switch", "local ops",
+                "remote cmds", "cmds exec");
+  out += line;
+  obs::Snapshot total;
+  for (const auto& [scope, snap] : scopes) {
+    total.merge(snap);
+    std::snprintf(
+        line, sizeof(line), "%-8s %12llu %12llu %12llu %12llu %12llu %12llu\n",
+        scope.c_str(),
+        static_cast<unsigned long long>(
+            snap.counter(obs::names::kTasksExecuted)),
+        static_cast<unsigned long long>(
+            snap.counter(obs::names::kIterationsExecuted)),
+        static_cast<unsigned long long>(snap.counter(obs::names::kCtxSwitches)),
+        static_cast<unsigned long long>(snap.counter(obs::names::kLocalOps)),
+        static_cast<unsigned long long>(snap.counter(obs::names::kRemoteOps)),
+        static_cast<unsigned long long>(
+            snap.counter(obs::names::kCmdsExecuted)));
+    out += line;
+  }
+
+  const std::uint64_t messages = total.counter(obs::names::kNetMessages);
+  const std::uint64_t bytes = total.counter(obs::names::kNetBytes);
+  if (messages == 0) {
+    out += "network: 0 messages (no remote traffic)\n";
+  } else {
+    std::snprintf(
+        line, sizeof(line),
+        "network: %llu messages, %s, %.1f commands/message, %s/message\n",
+        static_cast<unsigned long long>(messages),
+        format_bytes(static_cast<double>(bytes)).c_str(),
+        static_cast<double>(total.counter(obs::names::kRemoteOps)) /
+            static_cast<double>(messages),
+        format_bytes(static_cast<double>(bytes) /
+                     static_cast<double>(messages))
+            .c_str());
+    out += line;
+  }
+
+  if (const obs::HistogramValue* flush =
+          total.histogram(obs::names::kAggFlushBytes);
+      flush != nullptr && flush->count > 0) {
+    std::snprintf(line, sizeof(line),
+                  "aggregation: %llu buffers, %s mean payload\n",
+                  static_cast<unsigned long long>(flush->count),
+                  format_bytes(flush->mean()).c_str());
+    out += line;
+  }
+
+  if (total.counter(obs::names::kRelDataFrames) != 0) {
+    const obs::HistogramValue* ack =
+        total.histogram(obs::names::kRelAckLatencyNs);
+    std::snprintf(
+        line, sizeof(line),
+        "reliability: %llu frames, %llu retransmits, %llu acks, "
+        "%.1f us mean ack latency\n",
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kRelDataFrames)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kRelRetransmits)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kRelAcksSent)),
+        ack != nullptr ? ack->mean() / 1000.0 : 0.0);
+    out += line;
+  }
+
+  const std::uint64_t faults =
+      total.counter(obs::names::kFaultDrops) +
+      total.counter(obs::names::kFaultDuplicates) +
+      total.counter(obs::names::kFaultCorruptions) +
+      total.counter(obs::names::kFaultReorders) +
+      total.counter(obs::names::kFaultBackpressures);
+  if (faults != 0) {
+    std::snprintf(line, sizeof(line),
+                  "faults injected: %llu drops, %llu dups, %llu corruptions, "
+                  "%llu reorders, %llu backpressures\n",
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultDrops)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultDuplicates)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultCorruptions)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultReorders)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultBackpressures)));
+    out += line;
+  }
+  return out;
+}
+
+void trace_enable(bool on) { obs::Tracer::global().set_enabled(on); }
+
+bool trace_enabled() { return obs::trace_on(); }
+
+void trace_begin(const char* name) {
+  if (!obs::trace_on()) return;
+  obs::Tracer::global().thread_track()->begin(name, wall_ns());
+}
+
+void trace_end() {
+  if (!obs::trace_on()) return;
+  obs::Tracer::global().thread_track()->end(wall_ns());
+}
+
+bool dump_trace(const std::string& path) {
+  return obs::Tracer::global().dump(path);
+}
+
+void trace_reset() { obs::Tracer::global().reset(); }
+
+}  // namespace gmt

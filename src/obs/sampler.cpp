@@ -1,0 +1,35 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+
+#include "common/time.hpp"
+
+namespace gmt::obs {
+
+Sampler::Sampler(std::uint64_t interval_ms,
+                 std::function<void(std::uint64_t)> tick)
+    : tick_(std::move(tick)),
+      thread_([this, interval_ms] { loop(interval_ms); }) {}
+
+Sampler::~Sampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Sampler::loop(std::uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(interval_ms), [&] { return stop_; });
+    lock.unlock();
+    tick_(wall_ns());
+    if (stopping) return;  // final tick recorded above
+    lock.lock();
+  }
+}
+
+}  // namespace gmt::obs

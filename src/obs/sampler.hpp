@@ -1,0 +1,36 @@
+// Periodic interval snapshots (observability subsystem, part 3).
+//
+// A Sampler owns one background thread that invokes a tick callback every
+// `interval_ms` until destroyed. The cluster uses it (GMT_OBS_INTERVAL_MS)
+// to record merged per-interval snapshots into the process history and to
+// emit counter series onto the trace, making aggregation efficiency and
+// queue depth visible over time instead of only at exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace gmt::obs {
+
+class Sampler {
+ public:
+  // Starts ticking immediately; `tick(now_ns)` runs on the sampler thread.
+  Sampler(std::uint64_t interval_ms, std::function<void(std::uint64_t)> tick);
+  ~Sampler();  // joins; runs one final tick so short runs record >= 1 sample
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+ private:
+  void loop(std::uint64_t interval_ms);
+
+  std::function<void(std::uint64_t)> tick_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gmt::obs

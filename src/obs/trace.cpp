@@ -1,0 +1,172 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace gmt::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+namespace {
+// Tracks die on Tracer::reset(); the epoch invalidates cached TLS
+// pointers so threads re-attach instead of touching a freed track.
+std::atomic<std::uint64_t> g_track_epoch{1};
+struct TlsTrackRef {
+  TraceTrack* track = nullptr;
+  std::uint64_t epoch = 0;
+};
+thread_local TlsTrackRef t_track;
+}  // namespace
+}  // namespace detail
+
+void TraceTrack::push(TraceEvent event) {
+  if (ring_.empty()) {
+    ring_.resize(capacity_);
+  }
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  ring_[head % capacity_] = event;
+  // Release so a dump racing an active owner reads fully-written slots for
+  // every index below the head it observes.
+  head_.store(head + 1, std::memory_order_release);
+}
+
+Tracer::Tracer() : ring_capacity_(64 * 1024), epoch_ns_(wall_ns()) {
+  if (const char* v = std::getenv("GMT_TRACE_BUF")) {
+    const unsigned long parsed = std::strtoul(v, nullptr, 10);
+    if (parsed >= 16) ring_capacity_ = static_cast<std::uint32_t>(parsed);
+  }
+  if (const char* v = std::getenv("GMT_TRACE"))
+    detail::g_trace_enabled.store(v[0] != '0', std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+TraceTrack* Tracer::make_track(std::string name, bool virtual_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.push_back(std::make_unique<TraceTrack>());
+  TraceTrack* track = tracks_.back().get();
+  track->capacity_ = ring_capacity_;
+  track->tid_ = static_cast<std::uint32_t>(tracks_.size());
+  track->virtual_time_ = virtual_time;
+  if (name.empty()) name = "thread " + std::to_string(track->tid_);
+  track->set_name(std::move(name));
+  return track;
+}
+
+TraceTrack* Tracer::thread_track() {
+  detail::TlsTrackRef& ref = detail::t_track;
+  const std::uint64_t epoch =
+      detail::g_track_epoch.load(std::memory_order_acquire);
+  if (ref.track == nullptr || ref.epoch != epoch) {
+    ref.track = make_track(std::string(), /*virtual_time=*/false);
+    ref.epoch = epoch;
+  }
+  return ref.track;
+}
+
+void Tracer::name_thread_track(std::string name) {
+  thread_track()->set_name(std::move(name));
+}
+
+TraceTrack* Tracer::new_track(std::string name, bool virtual_time) {
+  return make_track(std::move(name), virtual_time);
+}
+
+bool Tracer::dump(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  const auto emit_sep = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+  };
+
+  for (const auto& track : tracks_) {
+    const std::uint64_t head = track->head_.load(std::memory_order_acquire);
+    if (head == 0) continue;  // never recorded: omit entirely
+
+    emit_sep();
+    std::fprintf(f,
+                 "\n{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 track->tid_, track->name().c_str());
+
+    const std::uint64_t cap = track->capacity_;
+    const std::uint64_t count = head < cap ? head : cap;
+    const std::uint64_t start = head - count;
+    for (std::uint64_t i = start; i < head; ++i) {
+      const TraceEvent& e = track->ring_[i % cap];
+      std::uint64_t ts_raw = e.ts_ns;
+      if (!track->virtual_time_)
+        ts_raw = ts_raw >= epoch_ns_ ? ts_raw - epoch_ns_ : 0;
+      // Timestamps are microseconds (double); %.3f keeps ns resolution.
+      const double ts = static_cast<double>(ts_raw) / 1000.0;
+      emit_sep();
+      switch (e.phase) {
+        case 'i':
+          std::fprintf(f,
+                       "\n{\"ph\":\"i\",\"pid\":0,\"tid\":%u,\"name\":\"%s\","
+                       "\"ts\":%.3f,\"s\":\"t\",\"args\":{\"v\":%" PRIu64 "}}",
+                       track->tid_, e.name, ts, e.arg);
+          break;
+        case 'C':
+          std::fprintf(f,
+                       "\n{\"ph\":\"C\",\"pid\":0,\"tid\":%u,\"name\":\"%s\","
+                       "\"ts\":%.3f,\"args\":{\"value\":%" PRIu64 "}}",
+                       track->tid_, e.name, ts, e.arg);
+          break;
+        default:  // 'X'
+          std::fprintf(f,
+                       "\n{\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"name\":\"%s\","
+                       "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"v\":%" PRIu64
+                       "}}",
+                       track->tid_, e.name, ts,
+                       static_cast<double>(e.dur_ns) / 1000.0, e.arg);
+          break;
+      }
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bump the epoch first so cached TLS track pointers are invalidated
+  // before their targets die. Only safe when nothing is recording.
+  detail::g_track_epoch.fetch_add(1, std::memory_order_acq_rel);
+  tracks_.clear();
+  epoch_ns_ = wall_ns();
+}
+
+void trace_instant(const char* name, std::uint64_t arg) {
+  if (!trace_on()) return;
+  Tracer::global().thread_track()->instant(name, wall_ns(), arg);
+}
+
+void trace_counter(const char* name, std::uint64_t value) {
+  if (!trace_on()) return;
+  Tracer::global().thread_track()->counter(name, wall_ns(), value);
+}
+
+void name_thread_track(std::string name) {
+  Tracer::global().name_thread_track(std::move(name));
+}
+
+void init_from_env() {
+  (void)Tracer::global();  // applies GMT_TRACE / GMT_TRACE_BUF once
+  apply_metrics_env_once();
+}
+
+}  // namespace gmt::obs

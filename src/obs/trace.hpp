@@ -1,0 +1,151 @@
+// Ring-buffer event tracer (observability subsystem, part 2).
+//
+// Events are recorded into per-*track* rings: every OS thread that traces
+// gets its own track (no synchronisation on the record path beyond one
+// relaxed head bump), and simulators allocate named tracks explicitly so
+// virtual-time events stay on their own timelines. Each ring holds the
+// most recent GMT_TRACE_BUF events (default 64K) — a run that outlives the
+// ring keeps the tail, which is what you want when staring at "why did the
+// end of the run stall".
+//
+// dump() exports everything as Chrome trace_event JSON: 'X' complete
+// events for spans, 'i' instants, 'C' counter series — loadable in
+// chrome://tracing / Perfetto with no post-processing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gmt::obs {
+
+namespace detail {
+// Tracing armed? Mirrored from GMT_TRACE / gmt::trace_enable so call sites
+// pay one relaxed load when off.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_on() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+struct TraceEvent {
+  const char* name = nullptr;  // static storage (string literals)
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // 'X' only
+  std::uint64_t arg = 0;     // free-form value ("v" in the JSON args)
+  char phase = 'X';          // 'X' complete, 'i' instant, 'C' counter
+};
+
+// One timeline. Written by exactly one thread (its owner); dumped under
+// the tracer mutex after the owner quiesced or between head publications.
+class TraceTrack {
+ public:
+  void complete(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                std::uint64_t arg = 0) {
+    push(TraceEvent{name, ts_ns, dur_ns, arg, 'X'});
+  }
+  void instant(const char* name, std::uint64_t ts_ns, std::uint64_t arg = 0) {
+    push(TraceEvent{name, ts_ns, 0, arg, 'i'});
+  }
+  void counter(const char* name, std::uint64_t ts_ns, std::uint64_t value) {
+    push(TraceEvent{name, ts_ns, 0, value, 'C'});
+  }
+
+  // Nested span annotations (gmt::trace_begin / trace_end).
+  void begin(const char* name, std::uint64_t ts_ns) {
+    if (depth_ < kMaxSpanDepth) open_[depth_] = OpenSpan{name, ts_ns};
+    ++depth_;
+  }
+  void end(std::uint64_t ts_ns) {
+    if (depth_ == 0) return;  // unmatched end: ignore
+    --depth_;
+    if (depth_ < kMaxSpanDepth)
+      complete(open_[depth_].name, open_[depth_].ts_ns,
+               ts_ns - open_[depth_].ts_ns);
+  }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Tracer;
+  static constexpr std::uint32_t kMaxSpanDepth = 16;
+  struct OpenSpan {
+    const char* name;
+    std::uint64_t ts_ns;
+  };
+
+  void push(TraceEvent event);
+
+  std::vector<TraceEvent> ring_;  // allocated on first push
+  std::uint32_t capacity_ = 0;
+  // Total events ever pushed; ring_[i] for i < min(head, capacity) valid.
+  std::atomic<std::uint64_t> head_{0};
+  OpenSpan open_[kMaxSpanDepth] = {};
+  std::uint32_t depth_ = 0;
+  std::uint32_t tid_ = 0;       // JSON tid
+  bool virtual_time_ = false;   // sim tracks: do not rebase to the epoch
+  std::string name_;
+};
+
+class Tracer {
+ public:
+  // Process singleton. First call applies GMT_TRACE / GMT_TRACE_BUF.
+  static Tracer& global();
+
+  void set_enabled(bool on) {
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  // The calling thread's track, created (and auto-named "thread N") on
+  // first use.
+  TraceTrack* thread_track();
+
+  // Names the calling thread's track ("node0/worker1", ...).
+  void name_thread_track(std::string name);
+
+  // A standalone track on its own timeline; `virtual_time` timestamps are
+  // emitted as-is instead of rebased to the process trace epoch.
+  TraceTrack* new_track(std::string name, bool virtual_time = false);
+
+  // Writes all tracks as Chrome trace JSON. False on I/O failure.
+  bool dump(const std::string& path);
+
+  // Drops every recorded event and track. Only safe when no other thread
+  // is recording (tests).
+  void reset();
+
+ private:
+  Tracer();
+  TraceTrack* make_track(std::string name, bool virtual_time);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<TraceTrack>> tracks_;
+  std::uint32_t ring_capacity_;
+  std::uint64_t epoch_ns_;
+};
+
+// ---- zero-argument conveniences for runtime call sites ----
+// All of these no-op (one relaxed load) when tracing is off; the caller
+// should still guard timestamp *collection* behind trace_on().
+
+inline void trace_complete(const char* name, std::uint64_t begin_ns,
+                           std::uint64_t end_ns, std::uint64_t arg = 0) {
+  if (!trace_on()) return;
+  Tracer::global().thread_track()->complete(name, begin_ns, end_ns - begin_ns,
+                                            arg);
+}
+
+void trace_instant(const char* name, std::uint64_t arg = 0);
+void trace_counter(const char* name, std::uint64_t value);
+void name_thread_track(std::string name);
+
+// Applies GMT_OBS / GMT_TRACE once (idempotent); the runtime and the
+// simulator call this at startup so env-only users need no code changes.
+void init_from_env();
+
+}  // namespace gmt::obs

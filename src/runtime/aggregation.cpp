@@ -2,7 +2,9 @@
 
 #include "common/backoff.hpp"
 #include "common/time.hpp"
+#include "gmt/obs.hpp"
 #include "net/frame.hpp"
+#include "obs/trace.hpp"
 
 namespace gmt::rt {
 
@@ -38,8 +40,18 @@ std::uint32_t payload_capacity(const Config& config) {
 
 }  // namespace
 
+void AggStats::bind(obs::Registry& reg) {
+  commands = reg.counter(obs::names::kAggCommands);
+  blocks_full = reg.counter(obs::names::kAggBlocksFull);
+  blocks_timeout = reg.counter(obs::names::kAggBlocksTimeout);
+  buffers_sent = reg.counter(obs::names::kAggBuffersSent);
+  buffer_bytes = reg.counter(obs::names::kAggBufferBytes);
+  aggregations = reg.counter(obs::names::kAggPasses);
+  flush_bytes = reg.histogram(obs::names::kAggFlushBytes);
+}
+
 Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
-                       std::uint32_t num_threads)
+                       std::uint32_t num_threads, obs::Registry* registry)
     : config_(config),
       num_nodes_(num_nodes),
       block_pool_(block_population(config, num_nodes, num_threads),
@@ -48,6 +60,7 @@ Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
                    config.reliable_transport
                        ? static_cast<std::uint32_t>(net::kFrameHeaderSize)
                        : 0u) {
+  if (registry) stats_.bind(*registry);
   queues_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i)
     queues_.push_back(
@@ -105,13 +118,13 @@ void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
   CommandBlock*& current = slot.current_[dst];
   if (current && !current->fits(wire)) {
     push_block(slot, dst);
-    stats_.blocks_full.v.fetch_add(1, std::memory_order_relaxed);
+    stats_.blocks_full.add();
   }
   if (!current) current = acquire_block(slot);
 
   std::uint8_t* out = current->append(wire, wall_ns());
   encode_cmd(out, header, payload);
-  stats_.commands.v.fetch_add(1, std::memory_order_relaxed);
+  stats_.commands.add();
 }
 
 void Aggregator::push_block(AggregationSlot& slot, std::uint32_t dst) {
@@ -146,7 +159,10 @@ void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
   AggBuffer* buffer = nullptr;
   CommandBlock* block = nullptr;
 
-  stats_.aggregations.v.fetch_add(1, std::memory_order_relaxed);
+  stats_.aggregations.add();
+  const bool tracing = obs::trace_on();
+  const std::uint64_t trace_start_ns = tracing ? wall_ns() : 0;
+  std::uint64_t drained_bytes = 0;
   for (;;) {
     if (!block && !queue.blocks.pop(&block)) break;
     if (!buffer) {
@@ -161,6 +177,7 @@ void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
       continue;
     }
     buffer->append(block->data(), block->bytes());
+    drained_bytes += block->bytes();
     queue.queued_bytes.fetch_sub(block->bytes(), std::memory_order_relaxed);
     block->reset();
     block_pool_.release(block);
@@ -180,12 +197,15 @@ void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
   }
   if (queue.queued_bytes.load(std::memory_order_relaxed) == 0)
     queue.oldest_ns.store(0, std::memory_order_relaxed);
+  if (tracing && drained_bytes > 0)
+    obs::trace_complete("buffer.flush", trace_start_ns, wall_ns(),
+                        drained_bytes);
 }
 
 void Aggregator::send_buffer(AggregationSlot& slot, AggBuffer* buffer) {
-  stats_.buffers_sent.v.fetch_add(1, std::memory_order_relaxed);
-  stats_.buffer_bytes.v.fetch_add(buffer->payload_bytes(),
-                                  std::memory_order_relaxed);
+  stats_.buffers_sent.add();
+  stats_.buffer_bytes.add(buffer->payload_bytes());
+  stats_.flush_bytes.observe(buffer->payload_bytes());
   Backoff backoff;
   while (!slot.channel_.push(buffer)) backoff.pause();
 }
@@ -196,7 +216,7 @@ void Aggregator::poll_flush(AggregationSlot& slot, std::uint64_t now_ns) {
     if (current && current->cmds() > 0 &&
         now_ns - current->first_cmd_ns() >= config_.cmd_block_timeout_ns) {
       push_block(slot, dst);
-      stats_.blocks_timeout.v.fetch_add(1, std::memory_order_relaxed);
+      stats_.blocks_timeout.add();
     }
     DestQueue& queue = *queues_[dst];
     const std::uint64_t oldest =

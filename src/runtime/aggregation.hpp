@@ -21,6 +21,7 @@
 #include "collections/spsc_ring.hpp"
 #include "common/cacheline.hpp"
 #include "common/config.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/command.hpp"
 
 namespace gmt::rt {
@@ -108,14 +109,18 @@ class AggBuffer {
   std::vector<std::uint8_t> data_;
 };
 
-// Aggregation statistics (per node, relaxed counters).
+// Aggregation statistics (per node, registry-backed; unbound handles are
+// inert, so an Aggregator built without a registry simply counts nothing).
 struct AggStats {
-  PaddedAtomicU64 commands;          // commands appended
-  PaddedAtomicU64 blocks_full;       // blocks flushed because full
-  PaddedAtomicU64 blocks_timeout;    // blocks flushed on timeout
-  PaddedAtomicU64 buffers_sent;      // aggregation buffers to comm server
-  PaddedAtomicU64 buffer_bytes;      // payload bytes in those buffers
-  PaddedAtomicU64 aggregations;      // aggregation passes executed
+  obs::Counter commands;          // commands appended
+  obs::Counter blocks_full;       // blocks flushed because full
+  obs::Counter blocks_timeout;    // blocks flushed on timeout
+  obs::Counter buffers_sent;      // aggregation buffers to comm server
+  obs::Counter buffer_bytes;      // payload bytes in those buffers
+  obs::Counter aggregations;      // aggregation passes executed
+  obs::Histogram flush_bytes;     // payload-size distribution per buffer
+
+  void bind(obs::Registry& reg);
 };
 
 class Aggregator;
@@ -141,8 +146,9 @@ class AggregationSlot {
 // Node-wide aggregation state: pools, per-destination queues, slots.
 class Aggregator {
  public:
+  // `registry` (may be null) receives the agg.* metrics.
   Aggregator(const Config& config, std::uint32_t num_nodes,
-             std::uint32_t num_threads);
+             std::uint32_t num_threads, obs::Registry* registry = nullptr);
 
   std::uint32_t num_slots() const {
     return static_cast<std::uint32_t>(slots_.size());

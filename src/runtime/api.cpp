@@ -2,10 +2,24 @@
 // thread to its node's operation layer.
 #include "gmt/gmt.hpp"
 
+#include <string>
+
 #include "common/assert.hpp"
+#include "common/config.hpp"
+#include "runtime/cluster.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt {
+
+void run(std::uint32_t num_nodes, TaskFn fn, const void* args,
+         std::size_t args_size) {
+  Config config;
+  config.apply_env();
+  const std::string error = config.validate();
+  GMT_CHECK_MSG(error.empty(), error.c_str());
+  rt::Cluster cluster(num_nodes, config);
+  cluster.run(fn, args, args_size);
+}
 
 namespace {
 

@@ -1,9 +1,46 @@
 #include "runtime/cluster.hpp"
 
+#include <cstdlib>
+#include <utility>
+
 #include "common/backoff.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gmt::rt {
+
+void Cluster::init_obs(const Config& config) {
+  obs::init_from_env();
+  if (config.trace) obs::Tracer::global().set_enabled(true);
+  trace_file_ = config.trace_file;
+  if (trace_file_.empty())
+    if (const char* v = std::getenv("GMT_TRACE_FILE")) trace_file_ = v;
+  obs_interval_ms_ = config.obs_interval_ms;
+}
+
+void Cluster::sample_tick(std::uint64_t now_ns) {
+  obs::Snapshot merged;
+  for (auto& node : nodes_) merged.merge(node->obs().snapshot());
+  merged.wall_ns = now_ns;
+  if (obs::trace_on()) {
+    // Counter series: per-interval throughput deltas plus live gauges, so
+    // the trace shows rates over time, not just end-of-run totals.
+    const std::uint64_t tasks = merged.counter(obs::names::kTasksExecuted);
+    const std::uint64_t buffers = merged.counter(obs::names::kAggBuffersSent);
+    obs::trace_counter("tasks.executed/interval", tasks - prev_tasks_);
+    obs::trace_counter("agg.buffers_sent/interval", buffers - prev_buffers_);
+    obs::trace_counter(
+        obs::names::kTasksResident,
+        static_cast<std::uint64_t>(merged.gauge(obs::names::kTasksResident)));
+    obs::trace_counter(
+        obs::names::kIncomingDepth,
+        static_cast<std::uint64_t>(merged.gauge(obs::names::kIncomingDepth)));
+    prev_tasks_ = tasks;
+    prev_buffers_ = buffers;
+  }
+  obs::push_interval_sample(obs::IntervalSample{now_ns, std::move(merged)});
+}
 
 void Cluster::wrap_faults(const Config& config) {
   if (!config.fault.any()) return;
@@ -26,6 +63,7 @@ Cluster::Cluster(std::uint32_t num_nodes, const Config& config,
     : num_nodes_(num_nodes),
       fabric_(std::make_unique<net::InprocFabric>(num_nodes, model)) {
   GMT_CHECK(num_nodes >= 1);
+  init_obs(config);
   for (std::uint32_t n = 0; n < num_nodes; ++n)
     transports_.push_back(fabric_->endpoint(n));
   wrap_faults(config);
@@ -40,6 +78,7 @@ Cluster::Cluster(const std::vector<net::Transport*>& transports,
     : num_nodes_(static_cast<std::uint32_t>(transports.size())),
       transports_(transports) {
   GMT_CHECK(num_nodes_ >= 1);
+  init_obs(config);
   wrap_faults(config);
   nodes_.reserve(num_nodes_);
   for (std::uint32_t n = 0; n < num_nodes_; ++n) {
@@ -72,14 +111,46 @@ Cluster::~Cluster() { stop(); }
 void Cluster::start() {
   if (started_) return;
   for (auto& node : nodes_) node->start();
+  if (obs_interval_ms_ > 0 && sampler_ == nullptr)
+    sampler_ = std::make_unique<obs::Sampler>(
+        obs_interval_ms_, [this](std::uint64_t now_ns) { sample_tick(now_ns); });
   started_ = true;
 }
 
 void Cluster::stop() {
   if (!started_) return;
+  // The sampler's final tick still reads the node registries, so retire it
+  // while the nodes are alive (threads may still be running: snapshots are
+  // concurrent-safe).
+  sampler_.reset();
   for (auto& node : nodes_) node->request_stop();
   for (auto& node : nodes_) node->join();
   started_ = false;
+  // Mirror the transport fault-injection totals into the metrics registry:
+  // they accumulate in transport-level atomics outside the obs shards, and
+  // the public report can only see registries.
+  const net::FaultCountersSnapshot faults = total_fault_counters();
+  if (faults.total() != prev_faults_.total()) {
+    obs::Registry& reg = nodes_[0]->obs();
+    reg.counter(obs::names::kFaultDrops).add(faults.drops -
+                                             prev_faults_.drops);
+    reg.counter(obs::names::kFaultDuplicates)
+        .add(faults.duplicates - prev_faults_.duplicates);
+    reg.counter(obs::names::kFaultCorruptions)
+        .add(faults.corruptions - prev_faults_.corruptions);
+    reg.counter(obs::names::kFaultReorders)
+        .add(faults.reorders - prev_faults_.reorders);
+    reg.counter(obs::names::kFaultBackpressures)
+        .add(faults.backpressures - prev_faults_.backpressures);
+    prev_faults_ = faults;
+  }
+  // Dump after the join so the trace holds everything the threads recorded.
+  if (!trace_file_.empty() && obs::trace_on()) {
+    if (obs::Tracer::global().dump(trace_file_))
+      GMT_LOG_INFO("trace written to %s", trace_file_.c_str());
+    else
+      GMT_LOG_WARN("failed to write trace to %s", trace_file_.c_str());
+  }
 }
 
 void Cluster::run(TaskFn fn, const void* args, std::size_t args_size) {

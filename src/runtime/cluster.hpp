@@ -5,11 +5,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "gmt/obs.hpp"
 #include "net/faulty_transport.hpp"
 #include "net/inproc_transport.hpp"
+#include "obs/sampler.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt::rt {
@@ -57,6 +60,12 @@ class Cluster {
   void stop();
   // Installs FaultyTransport decorators over transports_ when configured.
   void wrap_faults(const Config& config);
+  // Applies GMT_OBS/GMT_TRACE, arms the tracer and records the sampler and
+  // trace-dump settings (shared ctor tail).
+  void init_obs(const Config& config);
+  // Sampler callback: merged node snapshot -> interval history + trace
+  // counter series.
+  void sample_tick(std::uint64_t now_ns);
 
   const std::uint32_t num_nodes_;
   std::unique_ptr<net::InprocFabric> fabric_;  // null with external transports
@@ -64,6 +73,16 @@ class Cluster {
   std::vector<std::unique_ptr<net::FaultyTransport>> faulty_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
+
+  // Observability wiring (see src/obs): trace auto-dump target, interval
+  // sampler and the previous-sample counters it diffs against.
+  std::string trace_file_;
+  std::uint32_t obs_interval_ms_ = 0;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::uint64_t prev_tasks_ = 0;
+  std::uint64_t prev_buffers_ = 0;
+  // Fault totals already mirrored into the registry (stop() adds deltas).
+  net::FaultCountersSnapshot prev_faults_;
 };
 
 }  // namespace gmt::rt

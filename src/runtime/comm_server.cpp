@@ -2,11 +2,13 @@
 
 #include "common/backoff.hpp"
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt::rt {
 
 CommServer::CommServer(Node* node) : node_(node) {
+  rstats_.bind(node_->obs());
   if (node_->config().reliable_transport)
     channel_ = std::make_unique<ReliableChannel>(
         node_->config(), &node_->transport(), &rstats_);
@@ -18,6 +20,8 @@ void CommServer::start() {
   thread_ = std::thread([this] {
     node_->pin_thread(node_->config().num_workers +
                       node_->config().num_helpers);
+    if (obs::trace_on())
+      obs::name_thread_track("node" + std::to_string(node_->id()) + "/comm");
     main_loop();
   });
 }
@@ -54,7 +58,10 @@ bool CommServer::pump_outgoing(std::uint64_t now_ns) {
   // paper's non-blocking MPI_Isend discipline.
   while (!retry_.empty()) {
     PendingSend& pending = retry_.front();
+    const std::size_t size = pending.payload.size();  // send() moves it out
     if (!transport.send(pending.dst, pending.payload)) break;
+    rstats_.wire_messages.add();
+    rstats_.wire_bytes.add(size);
     retry_.pop_front();
     progressed = true;
   }
@@ -64,9 +71,14 @@ bool CommServer::pump_outgoing(std::uint64_t now_ns) {
       while (agg.slot(s).channel().pop(&buffer)) {
         const std::uint32_t dst = buffer->dst;
         std::vector<std::uint8_t> payload = buffer->take();
+        const std::size_t size = payload.size();  // send() moves it out
         agg.release_buffer(buffer);
-        if (!transport.send(dst, payload))
+        if (!transport.send(dst, payload)) {
           retry_.push_back(PendingSend{dst, std::move(payload)});
+        } else {
+          rstats_.wire_messages.add();
+          rstats_.wire_bytes.add(size);
+        }
         progressed = true;
       }
     }
@@ -112,6 +124,7 @@ void CommServer::main_loop() {
         }
       }
       if (!node_->incoming().push(held)) break;  // helpers saturated
+      node_->stats().incoming_depth.inc();
       held = nullptr;
       progressed = true;
     }

@@ -2,6 +2,7 @@
 
 #include "common/backoff.hpp"
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt::rt {
@@ -12,6 +13,9 @@ Helper::Helper(Node* node, std::uint32_t helper_id, AggregationSlot* slot)
 void Helper::start() {
   thread_ = std::thread([this] {
     node_->pin_thread(node_->config().num_workers + id_);
+    if (obs::trace_on())
+      obs::name_thread_track("node" + std::to_string(node_->id()) +
+                             "/helper" + std::to_string(id_));
     main_loop();
   });
 }
@@ -25,6 +29,7 @@ void Helper::main_loop() {
   for (;;) {
     net::InMessage* msg = nullptr;
     if (node_->incoming().pop(&msg)) {
+      node_->stats().incoming_depth.dec();
       process_buffer(*msg);
       delete msg;
       backoff.reset();
@@ -37,16 +42,22 @@ void Helper::main_loop() {
 }
 
 void Helper::process_buffer(const net::InMessage& msg) {
-  node_->stats().buffers_received.v.fetch_add(1, std::memory_order_relaxed);
+  node_->stats().buffers_received.add();
+  const bool tracing = obs::trace_on();
+  const std::uint64_t trace_start_ns = tracing ? wall_ns() : 0;
   const std::uint8_t* data = msg.payload.data();
   const std::size_t size = msg.payload.size();
   std::size_t pos = 0;
+  std::uint64_t cmds = 0;
   while (pos < size) {
     const std::uint8_t* payload = nullptr;
     const CmdHeader cmd = decode_cmd(data, size, &pos, &payload);
     execute(cmd, payload, msg.src);
-    node_->stats().cmds_executed.v.fetch_add(1, std::memory_order_relaxed);
+    ++cmds;
   }
+  node_->stats().cmds_executed.add(cmds);
+  if (tracing)
+    obs::trace_complete("cmds.process", trace_start_ns, wall_ns(), cmds);
 }
 
 void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,

@@ -7,8 +7,23 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "gmt/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace gmt::rt {
+
+void NodeStats::bind(obs::Registry& reg) {
+  tasks_executed = reg.counter(obs::names::kTasksExecuted);
+  iterations_executed = reg.counter(obs::names::kIterationsExecuted);
+  ctx_switches = reg.counter(obs::names::kCtxSwitches);
+  local_ops = reg.counter(obs::names::kLocalOps);
+  remote_ops = reg.counter(obs::names::kRemoteOps);
+  cmds_executed = reg.counter(obs::names::kCmdsExecuted);
+  buffers_received = reg.counter(obs::names::kBuffersReceived);
+  resident_tasks = reg.gauge(obs::names::kTasksResident);
+  incoming_depth = reg.gauge(obs::names::kIncomingDepth);
+  task_quantum_ns = reg.histogram("tasks.quantum_ns");
+}
 
 namespace {
 
@@ -26,13 +41,16 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
       num_nodes_(num_nodes),
       config_(config),
       transport_(transport),
+      obs_("node" + std::to_string(id)),
       gm_(id, num_nodes),
-      agg_(config, num_nodes, config.num_workers + config.num_helpers),
+      agg_(config, num_nodes, config.num_workers + config.num_helpers,
+           &obs_),
       itb_pool_(config.task_pool ? config.itb_pool_size : 1),
       itbs_(4096),
       incoming_(1024) {
   const std::string error = config.validate();
   GMT_CHECK_MSG(error.empty(), error.c_str());
+  stats_.bind(obs_);
   workers_.reserve(config.num_workers);
   for (std::uint32_t w = 0; w < config.num_workers; ++w)
     workers_.push_back(std::make_unique<Worker>(this, w, &agg_.slot(w)));
@@ -102,7 +120,7 @@ void Node::pin_thread(std::uint32_t slot) const {
 
 void Node::emit(AggregationSlot& slot, std::uint32_t dst,
                 const CmdHeader& header, const void* payload) {
-  stats_.remote_ops.v.fetch_add(1, std::memory_order_relaxed);
+  stats_.remote_ops.add();
   agg_.append(slot, dst, header, payload);
 }
 
@@ -202,7 +220,7 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
       if (span.node == id_ && config_.local_fast_path) {
         std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
                     span.size);
-        stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+        stats_.local_ops.add();
         continue;
       }
       // Chunk to the command payload limit.
@@ -246,7 +264,7 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   const OwnedSpan& span = spans[0];
   if (span.node == id_ && config_.local_fast_path) {
     std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
-    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    stats_.local_ops.add();
     return;
   }
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -280,7 +298,7 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
       if (span.node == id_ && config_.local_fast_path) {
         std::memcpy(span_dst, gm_.get(h).local_ptr(span.local_offset),
                     span.size);
-        stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+        stats_.local_ops.add();
         continue;
       }
       std::uint64_t done = 0;
@@ -333,7 +351,7 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
-    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    stats_.local_ops.add();
     return apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
                             width);
   }
@@ -365,7 +383,7 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
-    stats_.local_ops.v.fetch_add(1, std::memory_order_relaxed);
+    stats_.local_ops.add();
     return apply_atomic_cas(gm_.get(h).local_ptr(span.local_offset), expected,
                             desired, width);
   }

@@ -19,6 +19,7 @@
 #include "common/config.hpp"
 #include "gmt/types.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/aggregation.hpp"
 #include "runtime/global_memory.hpp"
 #include "runtime/reliable_channel.hpp"
@@ -30,15 +31,23 @@ namespace gmt::rt {
 
 class Node;
 
-// Per-node counters surfaced to benches and tests.
+// Per-node counters surfaced to benches and tests. Registry-backed
+// handles: writes shard per thread, read() merges (see obs/metrics.hpp).
+// Unbound (default-constructed) handles drop writes, so the struct is
+// inert until bind() runs against the node's registry.
 struct NodeStats {
-  PaddedAtomicU64 tasks_executed;
-  PaddedAtomicU64 iterations_executed;
-  PaddedAtomicU64 ctx_switches;
-  PaddedAtomicU64 local_ops;        // ops satisfied by the local fast path
-  PaddedAtomicU64 remote_ops;       // commands issued to other nodes
-  PaddedAtomicU64 cmds_executed;    // commands executed by helpers
-  PaddedAtomicU64 buffers_received; // aggregation buffers from the network
+  obs::Counter tasks_executed;
+  obs::Counter iterations_executed;
+  obs::Counter ctx_switches;
+  obs::Counter local_ops;        // ops satisfied by the local fast path
+  obs::Counter remote_ops;       // commands issued to other nodes
+  obs::Counter cmds_executed;    // commands executed by helpers
+  obs::Counter buffers_received; // aggregation buffers from the network
+  obs::Gauge resident_tasks;     // live TCBs across the node's workers
+  obs::Gauge incoming_depth;     // messages queued for helpers
+  obs::Histogram task_quantum_ns;  // run_task slice length (tracing only)
+
+  void bind(obs::Registry& reg);
 };
 
 // Worker: executes application tasks, generates commands (paper Fig. 4).
@@ -179,6 +188,7 @@ class Node {
   MpmcQueue<IterBlock*>& itb_queue() { return itbs_; }
   MpmcQueue<net::InMessage*>& incoming() { return incoming_; }
   NodeStats& stats() { return stats_; }
+  ::gmt::obs::Registry& obs() { return obs_; }
   const CommServer& comm_server() const { return *comm_; }
   Worker& worker(std::uint32_t i) { return *workers_[i]; }
   std::uint32_t num_workers() const {
@@ -267,6 +277,9 @@ class Node {
   const Config config_;
   net::Transport* transport_;
 
+  // Declared before every subsystem that registers metrics (aggregator,
+  // stats, comm server) and therefore destroyed after all of them.
+  ::gmt::obs::Registry obs_;
   GlobalMemory gm_;
   Aggregator agg_;
   ObjectPool<IterBlock> itb_pool_;

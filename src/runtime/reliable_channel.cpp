@@ -5,8 +5,22 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "gmt/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace gmt::rt {
+
+void ReliabilityStats::bind(obs::Registry& reg) {
+  data_frames_sent = reg.counter(obs::names::kRelDataFrames);
+  retransmits = reg.counter(obs::names::kRelRetransmits);
+  acks_sent = reg.counter(obs::names::kRelAcksSent);
+  crc_drops = reg.counter(obs::names::kRelCrcDrops);
+  dup_suppressed = reg.counter(obs::names::kRelDupSuppressed);
+  out_of_order_held = reg.counter(obs::names::kRelOooHeld);
+  ack_latency_ns = reg.histogram(obs::names::kRelAckLatencyNs);
+  wire_messages = reg.counter(obs::names::kNetMessages);
+  wire_bytes = reg.counter(obs::names::kNetBytes);
+}
 
 ReliableChannel::ReliableChannel(const Config& config,
                                  net::Transport* transport,
@@ -52,7 +66,8 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
           GMT_CHECK_MSG(false, "reliable delivery retry budget exhausted");
         }
         u.rto_ns = std::min(u.rto_ns * 2, config_.retry_timeout_max_ns);
-        stats_->retransmits.v.fetch_add(1, std::memory_order_relaxed);
+        stats_->retransmits.add();
+        obs::trace_instant("rel.retransmit", u.seq);
       } else {
         continue;  // in flight, ack still possible before the timeout
       }
@@ -61,11 +76,14 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
       u.tx = u.frame;
       net::refresh_frame_ack(u.tx, reverse.expect - 1);
     }
+    const std::size_t tx_size = u.tx.size();  // send() moves the frame out
     if (!transport_->send(dst, u.tx)) return progressed;  // backpressure
+    stats_->wire_messages.add();
+    stats_->wire_bytes.add(tx_size);
     u.tx.clear();
     if (u.attempts == 0) {
       u.first_send_ns = now_ns;
-      stats_->data_frames_sent.v.fetch_add(1, std::memory_order_relaxed);
+      stats_->data_frames_sent.add();
     }
     ++u.attempts;
     u.next_retx_ns = now_ns + u.rto_ns;
@@ -92,10 +110,13 @@ bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
   header.src = transport_->node_id();
   header.ack = peer.expect - 1;
   net::seal_frame(frame, header);
+  const std::size_t frame_size = frame.size();  // send() moves the frame out
   if (!transport_->send(src, frame)) return false;  // retry next pump
   peer.ack_due = false;
   peer.ack_immediate = false;
-  stats_->acks_sent.v.fetch_add(1, std::memory_order_relaxed);
+  stats_->acks_sent.add();
+  stats_->wire_messages.add();
+  stats_->wire_bytes.add(frame_size);
   return true;
 }
 
@@ -114,11 +135,8 @@ void ReliableChannel::process_ack(std::uint32_t src, std::uint64_t ack,
   PeerSend& peer = send_[src];
   while (!peer.window.empty() && peer.window.front().seq <= ack) {
     const Unacked& u = peer.window.front();
-    if (u.attempts > 0) {
-      stats_->acked_frames.v.fetch_add(1, std::memory_order_relaxed);
-      stats_->ack_latency_ns.v.fetch_add(now_ns - u.first_send_ns,
-                                         std::memory_order_relaxed);
-    }
+    if (u.attempts > 0)
+      stats_->ack_latency_ns.observe(now_ns - u.first_send_ns);
     peer.window.pop_front();
   }
 }
@@ -137,7 +155,7 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
   net::FrameHeader header;
   if (!net::parse_frame(msg.payload, &header) ||
       header.src >= transport_->num_nodes()) {
-    stats_->crc_drops.v.fetch_add(1, std::memory_order_relaxed);
+    stats_->crc_drops.add();
     return;
   }
   last_recv_ns_ = now_ns;
@@ -154,7 +172,7 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
   if (header.seq < peer.expect || peer.held.count(header.seq)) {
     // Duplicate: our ack was lost or is still in flight. Suppress the
     // payload and re-ack immediately so the sender stops retransmitting.
-    stats_->dup_suppressed.v.fetch_add(1, std::memory_order_relaxed);
+    stats_->dup_suppressed.add();
     mark_ack_due(/*immediate=*/true);
     return;
   }
@@ -175,7 +193,7 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
   // is dropped and recovered by the sender's retransmission.
   if (peer.held.size() < config_.reorder_window) {
     peer.held.emplace(header.seq, std::move(msg.payload));
-    stats_->out_of_order_held.v.fetch_add(1, std::memory_order_relaxed);
+    stats_->out_of_order_held.add();
   }
   mark_ack_due(/*immediate=*/false);
 }

@@ -13,8 +13,8 @@
 // hang forever.
 //
 // Single-threaded by construction: owned and driven only by the node's
-// communication server. Stats counters are atomics so stats readers may
-// observe them concurrently.
+// communication server. Stats are registry-backed (sharded atomics), so
+// stats readers may observe them concurrently.
 #pragma once
 
 #include <cstdint>
@@ -26,18 +26,28 @@
 #include "common/config.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace gmt::rt {
 
+// Registry-backed reliability/wire counters. Unbound handles drop writes,
+// so protocol tests that drive a standalone channel either bind() to their
+// own registry or read nothing. Acked-frame count and summed first-send->
+// ack latency live in the ack_latency_ns histogram (count/sum).
 struct ReliabilityStats {
-  PaddedAtomicU64 data_frames_sent;   // first transmissions
-  PaddedAtomicU64 retransmits;        // timeout-driven resends
-  PaddedAtomicU64 acks_sent;          // standalone ack frames
-  PaddedAtomicU64 crc_drops;          // frames failing validation
-  PaddedAtomicU64 dup_suppressed;     // duplicate data frames discarded
-  PaddedAtomicU64 out_of_order_held;  // frames buffered awaiting a gap fill
-  PaddedAtomicU64 acked_frames;       // data frames confirmed by peer acks
-  PaddedAtomicU64 ack_latency_ns;     // sum over acked_frames (first send->ack)
+  obs::Counter data_frames_sent;   // first transmissions
+  obs::Counter retransmits;        // timeout-driven resends
+  obs::Counter acks_sent;          // standalone ack frames
+  obs::Counter crc_drops;          // frames failing validation
+  obs::Counter dup_suppressed;     // duplicate data frames discarded
+  obs::Counter out_of_order_held;  // frames buffered awaiting a gap fill
+  obs::Histogram ack_latency_ns;   // first send -> cumulative ack, per frame
+  // Transport-level sends (every successful send(): data, retransmit, ack
+  // — and raw buffers on the unreliable path, counted by the comm server).
+  obs::Counter wire_messages;
+  obs::Counter wire_bytes;
+
+  void bind(obs::Registry& reg);
 };
 
 class ReliableChannel {

@@ -3,34 +3,38 @@
 #include <cstdio>
 
 #include "common/units.hpp"
+#include "gmt/obs.hpp"
 #include "runtime/cluster.hpp"
 
 namespace gmt::rt {
 
 ClusterStatsSummary summarize_stats(Cluster& cluster) {
+  namespace names = obs::names;
   ClusterStatsSummary summary;
   for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
-    Node& node = cluster.node(n);
-    const NodeStats& stats = node.stats();
-    summary.tasks_executed += stats.tasks_executed.v.load();
-    summary.iterations_executed += stats.iterations_executed.v.load();
-    summary.ctx_switches += stats.ctx_switches.v.load();
-    summary.local_ops += stats.local_ops.v.load();
-    summary.remote_commands += stats.remote_ops.v.load();
-    summary.commands_executed += stats.cmds_executed.v.load();
-    const AggStats& agg = node.aggregator().stats();
-    summary.buffers_sent += agg.buffers_sent.v.load();
-    summary.buffer_bytes += agg.buffer_bytes.v.load();
-    const ReliabilityStats& rel = node.comm_server().reliability_stats();
-    summary.data_frames_sent += rel.data_frames_sent.v.load();
-    summary.retransmits += rel.retransmits.v.load();
-    summary.acks_sent += rel.acks_sent.v.load();
-    summary.crc_drops += rel.crc_drops.v.load();
-    summary.dup_suppressed += rel.dup_suppressed.v.load();
-    summary.out_of_order_held += rel.out_of_order_held.v.load();
-    summary.acked_frames += rel.acked_frames.v.load();
-    summary.ack_latency_ns += rel.ack_latency_ns.v.load();
+    const obs::Snapshot snap = cluster.node(n).obs().snapshot();
+    summary.tasks_executed += snap.counter(names::kTasksExecuted);
+    summary.iterations_executed += snap.counter(names::kIterationsExecuted);
+    summary.ctx_switches += snap.counter(names::kCtxSwitches);
+    summary.local_ops += snap.counter(names::kLocalOps);
+    summary.remote_commands += snap.counter(names::kRemoteOps);
+    summary.commands_executed += snap.counter(names::kCmdsExecuted);
+    summary.buffers_sent += snap.counter(names::kAggBuffersSent);
+    summary.buffer_bytes += snap.counter(names::kAggBufferBytes);
+    summary.data_frames_sent += snap.counter(names::kRelDataFrames);
+    summary.retransmits += snap.counter(names::kRelRetransmits);
+    summary.acks_sent += snap.counter(names::kRelAcksSent);
+    summary.crc_drops += snap.counter(names::kRelCrcDrops);
+    summary.dup_suppressed += snap.counter(names::kRelDupSuppressed);
+    summary.out_of_order_held += snap.counter(names::kRelOooHeld);
+    if (const obs::HistogramValue* ack =
+            snap.histogram(names::kRelAckLatencyNs)) {
+      summary.acked_frames += ack->count;
+      summary.ack_latency_ns += ack->sum;
+    }
   }
+  // Wire totals come from the transports: exact regardless of GMT_OBS and
+  // inclusive of everything the fabric actually carried.
   summary.network_messages = cluster.total_network_messages();
   summary.network_bytes = cluster.total_network_bytes();
   summary.faults_injected = cluster.total_fault_counters().total();
@@ -38,6 +42,7 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
 }
 
 std::string format_stats_report(Cluster& cluster) {
+  namespace names = obs::names;
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
@@ -46,31 +51,35 @@ std::string format_stats_report(Cluster& cluster) {
                 "cmds exec");
   out += line;
   for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
-    const NodeStats& stats = cluster.node(n).stats();
-    std::snprintf(line, sizeof(line),
-                  "%-5u %12llu %12llu %12llu %12llu %12llu %12llu\n", n,
-                  static_cast<unsigned long long>(
-                      stats.tasks_executed.v.load()),
-                  static_cast<unsigned long long>(
-                      stats.iterations_executed.v.load()),
-                  static_cast<unsigned long long>(
-                      stats.ctx_switches.v.load()),
-                  static_cast<unsigned long long>(stats.local_ops.v.load()),
-                  static_cast<unsigned long long>(stats.remote_ops.v.load()),
-                  static_cast<unsigned long long>(
-                      stats.cmds_executed.v.load()));
+    const obs::Snapshot snap = cluster.node(n).obs().snapshot();
+    std::snprintf(
+        line, sizeof(line), "%-5u %12llu %12llu %12llu %12llu %12llu %12llu\n",
+        n,
+        static_cast<unsigned long long>(snap.counter(names::kTasksExecuted)),
+        static_cast<unsigned long long>(
+            snap.counter(names::kIterationsExecuted)),
+        static_cast<unsigned long long>(snap.counter(names::kCtxSwitches)),
+        static_cast<unsigned long long>(snap.counter(names::kLocalOps)),
+        static_cast<unsigned long long>(snap.counter(names::kRemoteOps)),
+        static_cast<unsigned long long>(snap.counter(names::kCmdsExecuted)));
     out += line;
   }
   const ClusterStatsSummary summary = summarize_stats(cluster);
-  std::snprintf(line, sizeof(line),
-                "network: %llu messages, %s, %.1f commands/message, "
-                "%s/message\n",
-                static_cast<unsigned long long>(summary.network_messages),
-                format_bytes(static_cast<double>(summary.network_bytes))
-                    .c_str(),
-                summary.commands_per_message(),
-                format_bytes(summary.bytes_per_message()).c_str());
-  out += line;
+  if (summary.network_messages == 0) {
+    // No ratio to report: a message-free run has no per-message average
+    // (commands_per_message() is NaN here by design).
+    out += "network: 0 messages (no remote traffic)\n";
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "network: %llu messages, %s, %.1f commands/message, "
+                  "%s/message\n",
+                  static_cast<unsigned long long>(summary.network_messages),
+                  format_bytes(static_cast<double>(summary.network_bytes))
+                      .c_str(),
+                  summary.commands_per_message(),
+                  format_bytes(summary.bytes_per_message()).c_str());
+    out += line;
+  }
   if (summary.data_frames_sent != 0) {
     std::snprintf(
         line, sizeof(line),

@@ -2,9 +2,17 @@
 // task, command and aggregation counters — the first diagnostic for "is
 // aggregation actually coalescing?" and "are workers or helpers the
 // bottleneck?".
+//
+// Since the observability subsystem landed this is a thin consumer of the
+// per-node metric registries (src/obs): summarize_stats reads each node's
+// obs::Registry snapshot by name and folds it into the flat summary struct
+// benches and tests consume. Applications should prefer the public
+// gmt::stats_snapshot() / gmt::stats_report() (include/gmt/obs.hpp), which
+// need no runtime internals.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace gmt::rt {
@@ -37,18 +45,20 @@ struct ClusterStatsSummary {
   std::uint64_t faults_injected = 0;
 
   // Average commands coalesced per network message (the aggregation
-  // figure of merit; 1.0 means aggregation did nothing).
+  // figure of merit; 1.0 means aggregation did nothing). NaN when no
+  // message went out at all — a pure-local run has no aggregation ratio,
+  // which is not the same as "aggregation did nothing".
   double commands_per_message() const {
     return network_messages
                ? static_cast<double>(remote_commands) / network_messages
-               : 0;
+               : std::numeric_limits<double>::quiet_NaN();
   }
   double bytes_per_message() const {
     return network_messages
                ? static_cast<double>(network_bytes) / network_messages
-               : 0;
+               : std::numeric_limits<double>::quiet_NaN();
   }
-  // Mean first-send-to-ack latency in microseconds.
+  // Mean first-send-to-ack latency in microseconds (0 until acks flow).
   double mean_ack_latency_us() const {
     return acked_frames
                ? static_cast<double>(ack_latency_ns) / acked_frames / 1000.0
@@ -59,7 +69,8 @@ struct ClusterStatsSummary {
 // Aggregates counters across all nodes of the cluster.
 ClusterStatsSummary summarize_stats(Cluster& cluster);
 
-// Multi-line report: per-node rows plus the cluster summary.
+// Multi-line report: per-node rows plus the cluster summary. The
+// commands/message row is omitted for message-free runs.
 std::string format_stats_report(Cluster& cluster);
 
 }  // namespace gmt::rt

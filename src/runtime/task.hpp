@@ -84,6 +84,10 @@ struct Task {
   std::uint64_t end = 0;
   const void* args = nullptr;
 
+  // Creation timestamp for task-lifetime trace spans; 0 when the tracer
+  // was off at spawn (finish emits nothing).
+  std::uint64_t born_ns = 0;
+
   bool runnable() const {
     return state == TaskState::kReady ||
            (state == TaskState::kWaiting &&

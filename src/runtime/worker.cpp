@@ -3,6 +3,7 @@
 #include "common/backoff.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt::rt {
@@ -37,6 +38,9 @@ void Worker::start() {
   thread_ = std::thread([this] {
     t_current_worker = this;
     node_->pin_thread(id_);
+    if (obs::trace_on())
+      obs::name_thread_track("node" + std::to_string(node_->id()) +
+                             "/worker" + std::to_string(id_));
     main_loop();
     t_current_worker = nullptr;
   });
@@ -71,6 +75,8 @@ Task* Worker::make_task(IterBlock* itb, std::uint64_t begin,
   task->args = itb->args_ptr();
   task->begin = begin;
   task->end = end;
+  // Lifetime spans need a birth timestamp; skip the clock read otherwise.
+  task->born_ns = obs::trace_on() ? wall_ns() : 0;
   // Recycled TCBs re-arm from the cached aligned stack top: seven stores,
   // no full make_context validation.
   task->ctx = rearm_context(task->ctx_top, &Worker::task_entry, task);
@@ -111,8 +117,16 @@ void Worker::run_task(Task* task) {
   current_ = task;
   task->state = TaskState::kRunning;
   task->started = true;
-  node_->stats().ctx_switches.v.fetch_add(1, std::memory_order_relaxed);
+  node_->stats().ctx_switches.add();
+  const bool tracing = obs::trace_on();
+  const std::uint64_t quantum_start_ns = tracing ? wall_ns() : 0;
   switch_context(&sched_ctx_, task->ctx);
+  if (tracing) {
+    const std::uint64_t now = wall_ns();
+    obs::trace_complete("task.run", quantum_start_ns, now,
+                        task->end - task->begin);
+    node_->stats().task_quantum_ns.observe(now - quantum_start_ns);
+  }
   current_ = nullptr;
   switch (task->state) {
     case TaskState::kDone:
@@ -161,13 +175,16 @@ void Worker::task_yield() {
 }
 
 void Worker::finish_task(Task* task) {
-  node_->stats().tasks_executed.v.fetch_add(1, std::memory_order_relaxed);
-  node_->stats().iterations_executed.v.fetch_add(task->end - task->begin,
-                                                 std::memory_order_relaxed);
+  node_->stats().tasks_executed.add();
+  node_->stats().iterations_executed.add(task->end - task->begin);
+  if (task->born_ns != 0 && obs::trace_on())
+    obs::trace_complete("task.lifetime", task->born_ns, wall_ns(),
+                        task->end - task->begin);
   IterBlock* itb = task->itb;
   const std::uint64_t n = task->end - task->begin;
   release_task(task);
   --live_tasks_;
+  node_->stats().resident_tasks.dec();
   if (itb) {
     const std::uint64_t done =
         itb->completed.fetch_add(n, std::memory_order_acq_rel) + n;
@@ -203,6 +220,7 @@ bool Worker::try_adopt_work() {
     }
     ready_.push_back(make_task(itb, begin, end));
     ++live_tasks_;
+    node_->stats().resident_tasks.inc();
     return true;
   }
   return false;

@@ -1,6 +1,8 @@
 #include "sim/gmt_sim.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 namespace gmt::sim {
 
@@ -13,12 +15,21 @@ SimGmtRuntime::SimGmtRuntime(Engine* engine, std::uint32_t num_nodes,
       costs_(costs),
       link_free_(static_cast<std::size_t>(num_nodes) * num_nodes, 0) {
   GMT_CHECK(num_nodes >= 1);
+  obs::init_from_env();  // arm the tracer on GMT_TRACE=1
   nodes_.reserve(num_nodes);
   for (std::uint32_t n = 0; n < num_nodes; ++n) {
     auto node = std::make_unique<NodeSim>();
     node->workers.resize(config.num_workers);
     node->helper_free.assign(config.num_helpers, 0);
     node->agg.resize(num_nodes);
+    if (obs::trace_on()) {
+      // Virtual-time tracks: timestamps are simulated ns, not rebased to
+      // the wall-clock trace epoch.
+      obs::Tracer& tracer = obs::Tracer::global();
+      const std::string prefix = "sim/node" + std::to_string(n);
+      node->task_track = tracer.new_track(prefix + "/tasks", true);
+      node->net_track = tracer.new_track(prefix + "/net", true);
+    }
     nodes_.push_back(std::move(node));
   }
 }
@@ -31,6 +42,11 @@ SimGmtRuntime::~SimGmtRuntime() {
     for (auto& worker : node->workers)
       for (TaskRec* task : worker.runnable) delete task;
   }
+  // Standalone simulations (benches, sim_bfs_gmt runs) have no cluster to
+  // flush the trace at shutdown; honour GMT_TRACE_FILE here instead.
+  if (obs::trace_on())
+    if (const char* path = std::getenv("GMT_TRACE_FILE"))
+      obs::Tracer::global().dump(path);
 }
 
 void SimGmtRuntime::parfor(std::uint64_t iterations, std::uint64_t chunk,
@@ -151,6 +167,7 @@ void SimGmtRuntime::worker_tick(std::uint32_t n, std::uint32_t w) {
     task->worker = w;
     task->itb = itb;
     task->iterations = end - begin;
+    if (home.task_track != nullptr) task->born_vns = vns(engine_->now());
     worker.runnable.push_back(task);
     ++worker.live_tasks;
     cycles += costs_.task_spawn_cycles;
@@ -203,9 +220,15 @@ double SimGmtRuntime::run_task(TaskRec* task) {
 }
 
 void SimGmtRuntime::finish_task(TaskRec* task) {
-  WorkerSim& worker = node(task->node).workers[task->worker];
+  NodeSim& home = node(task->node);
+  WorkerSim& worker = home.workers[task->worker];
   GMT_DCHECK(worker.live_tasks > 0);
   --worker.live_tasks;
+  if (home.task_track != nullptr) {
+    const std::uint64_t now = vns(engine_->now());
+    home.task_track->complete("task.lifetime", task->born_vns,
+                              now - task->born_vns, task->iterations);
+  }
   ItbSim* itb = task->itb;
   const std::uint64_t n = task->iterations;
   const std::uint32_t at_node = task->node;
@@ -288,6 +311,11 @@ void SimGmtRuntime::flush(std::uint32_t src, std::uint32_t dst) {
   const double occupancy = costs_.net.occupancy_s(wire);
   link = depart + occupancy;
   const SimTime arrive = depart + occupancy + costs_.net.latency_s;
+
+  if (node(src).net_track != nullptr)
+    node(src).net_track->complete("buffer.flush", vns(engine_->now()),
+                                  vns(depart + occupancy) - vns(engine_->now()),
+                                  wire);
 
   ++messages_;
   bytes_ += wire;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
 
@@ -102,6 +103,7 @@ class SimGmtRuntime {
     std::uint32_t outstanding = 0;  // replies not yet received
     bool blocked = false;
     bool finished = false;  // logic done; zombie until outstanding == 0
+    std::uint64_t born_vns = 0;  // virtual birth time (tracing only)
   };
 
   // What a delivered command does at the destination.
@@ -136,9 +138,18 @@ class SimGmtRuntime {
     std::deque<ItbSim*> itbs;
     std::vector<SimTime> helper_free;
     std::vector<AggQueue> agg;  // per destination
+    // Virtual-time trace timelines (null when tracing is off): task
+    // lifetimes on one, buffer flushes on the other, in simulated ns.
+    obs::TraceTrack* task_track = nullptr;
+    obs::TraceTrack* net_track = nullptr;
   };
 
   NodeSim& node(std::uint32_t n) { return *nodes_[n]; }
+
+  // Virtual nanoseconds for trace timestamps (SimTime is seconds).
+  static std::uint64_t vns(SimTime t) {
+    return static_cast<std::uint64_t>(t * 1e9);
+  }
 
   void worker_tick(std::uint32_t n, std::uint32_t w);
   void wake_worker(std::uint32_t n, std::uint32_t w);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/aggregation.hpp"
 #include "runtime/command.hpp"
 
@@ -172,7 +173,8 @@ TEST(Aggregator, TimeoutFlushesPartialBlocks) {
 
 TEST(Aggregator, FlushAllDrainsEverything) {
   const Config config = small_config();
-  Aggregator agg(config, 3, 2);
+  obs::Registry registry("test");  // stats handles bind here
+  Aggregator agg(config, 3, 2, &registry);
   AggregationSlot& s0 = agg.slot(0);
   AggregationSlot& s1 = agg.slot(1);
 
@@ -193,12 +195,13 @@ TEST(Aggregator, FlushAllDrainsEverything) {
     }
   EXPECT_GE(buffers, 2u);
   EXPECT_TRUE(agg.idle());
-  EXPECT_EQ(agg.stats().commands.v.load(), 3u);
+  EXPECT_EQ(agg.stats().commands.read(), 3u);
 }
 
 TEST(Aggregator, StatsCountFullBlocks) {
   const Config config = small_config();
-  Aggregator agg(config, 2, 1);
+  obs::Registry registry("test");
+  Aggregator agg(config, 2, 1, &registry);
   AggregationSlot& slot = agg.slot(0);
   const CmdHeader put = make_put(64);
   std::vector<std::uint8_t> payload(64);
@@ -209,8 +212,8 @@ TEST(Aggregator, StatsCountFullBlocks) {
     // backpressure loop never engages (no comm thread in this test).
     while (slot.channel().pop(&buffer)) agg.release_buffer(buffer);
   }
-  EXPECT_GT(agg.stats().blocks_full.v.load(), 0u);
-  EXPECT_GT(agg.stats().buffers_sent.v.load(), 0u);
+  EXPECT_GT(agg.stats().blocks_full.read(), 0u);
+  EXPECT_GT(agg.stats().buffers_sent.read(), 0u);
   agg.flush_all(slot);
   while (slot.channel().pop(&buffer)) agg.release_buffer(buffer);
   EXPECT_TRUE(agg.idle());

@@ -16,6 +16,7 @@
 #include "net/faulty_transport.hpp"
 #include "net/frame.hpp"
 #include "net/inproc_transport.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/reliable_channel.hpp"
 #include "runtime/stats_report.hpp"
@@ -129,6 +130,7 @@ TEST(Frame, RefreshAckPreservesPayloadCrc) {
 struct ChannelFixture {
   Config config;
   net::InprocFabric fabric;
+  obs::Registry registry{"test"};
   rt::ReliabilityStats stats;
   rt::ReliableChannel channel;
   std::deque<net::InMessage> out;
@@ -140,7 +142,9 @@ struct ChannelFixture {
           return c;
         }()),
         fabric(2, net::NetworkModel::instant()),
-        channel(config, fabric.endpoint(1), &stats) {}
+        channel(config, fabric.endpoint(1), &stats) {
+    stats.bind(registry);
+  }
 
   void feed(const std::vector<std::uint8_t>& frame, std::uint64_t now_ns) {
     channel.on_message(net::InMessage{0, frame}, now_ns, &out);
@@ -162,7 +166,7 @@ TEST(ReliableChannel, DuplicateDeliveryIsSuppressed) {
   fx.feed(frame, 2000);  // duplicate (lost-ack retransmission)
   fx.feed(frame, 3000);  // and again
   EXPECT_EQ(fx.out.size(), 1u);
-  EXPECT_EQ(fx.stats.dup_suppressed.v.load(), 2u);
+  EXPECT_EQ(fx.stats.dup_suppressed.read(), 2u);
 }
 
 TEST(ReliableChannel, OutOfOrderFramesDeliveredInOrder) {
@@ -174,7 +178,7 @@ TEST(ReliableChannel, OutOfOrderFramesDeliveredInOrder) {
   fx.feed(make_data_frame(0, 3, 0, third), 1000);
   fx.feed(make_data_frame(0, 2, 0, second), 2000);
   EXPECT_TRUE(fx.out.empty());  // gap at seq 1: nothing deliverable yet
-  EXPECT_EQ(fx.stats.out_of_order_held.v.load(), 2u);
+  EXPECT_EQ(fx.stats.out_of_order_held.read(), 2u);
 
   fx.feed(make_data_frame(0, 1, 0, first), 3000);
   ASSERT_EQ(fx.out.size(), 3u);
@@ -189,32 +193,34 @@ TEST(ReliableChannel, CorruptFrameDroppedAndCounted) {
   frame[net::kFrameHeaderSize] ^= 0x01;  // corrupt the payload
   fx.feed(frame, 1000);
   EXPECT_TRUE(fx.out.empty());
-  EXPECT_EQ(fx.stats.crc_drops.v.load(), 1u);
+  EXPECT_EQ(fx.stats.crc_drops.read(), 1u);
   // The intact retransmission is accepted as seq 1, not a duplicate.
   fx.feed(make_data_frame(0, 1, 0, {5, 6, 7}), 2000);
   EXPECT_EQ(fx.out.size(), 1u);
-  EXPECT_EQ(fx.stats.dup_suppressed.v.load(), 0u);
+  EXPECT_EQ(fx.stats.dup_suppressed.read(), 0u);
 }
 
 TEST(ReliableChannel, RetransmitsUntilAckedThenQuiesces) {
   Config config = Config::testing();
   config.reliable_transport = true;
   net::InprocFabric fabric(2, net::NetworkModel::instant());
+  obs::Registry registry("test");
   rt::ReliabilityStats stats;
+  stats.bind(registry);
   rt::ReliableChannel sender(config, fabric.endpoint(0), &stats);
 
   sender.submit(1, make_data_frame(0, 0, 0, {1, 2, 3}));
   EXPECT_FALSE(sender.quiescent());
   std::uint64_t now = 1'000'000;
   sender.pump(now);
-  EXPECT_EQ(stats.data_frames_sent.v.load(), 1u);
+  EXPECT_EQ(stats.data_frames_sent.read(), 1u);
 
   // No ack arrives: pumping past the timeout retransmits with backoff.
   now += config.retry_timeout_ns + 1;
   sender.pump(now);
   now += 2 * config.retry_timeout_ns + 1;
   sender.pump(now);
-  EXPECT_GE(stats.retransmits.v.load(), 2u);
+  EXPECT_GE(stats.retransmits.read(), 2u);
   EXPECT_FALSE(sender.quiescent());
 
   // A cumulative ack for seq 1 clears the window.
@@ -228,7 +234,8 @@ TEST(ReliableChannel, RetransmitsUntilAckedThenQuiesces) {
   sender.on_message(net::InMessage{1, std::move(ack)}, now, &out);
   EXPECT_TRUE(out.empty());
   EXPECT_TRUE(sender.quiescent());
-  EXPECT_EQ(stats.acked_frames.v.load(), 1u);
+  // Acked-frame accounting lives in the ack-latency histogram now.
+  EXPECT_EQ(stats.ack_latency_ns.read().count, 1u);
 }
 
 // ---- FaultyTransport ----

@@ -1,0 +1,397 @@
+// Observability subsystem tests: histogram bucketing, sharded-counter
+// merging under a thread storm, trace-JSON well-formedness, the typed span
+// overloads, and the GMT_OBS=0 kill switch.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gmt/gmt.hpp"
+#include "graph/generator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/workloads_graph.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+// ---- minimal JSON validator ----
+//
+// Recursive-descent acceptor for the full JSON grammar — enough to assert
+// that a dumped trace is structurally valid (Chrome refuses anything less).
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+
+  explicit JsonParser(const std::string& s)
+      : p(s.data()), end(s.data() + s.size()) {}
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    skip_ws();
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') ++p;
+      ++p;
+    }
+    return p < end && *p++ == '"';
+  }
+  bool number() {
+    skip_ws();
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == '+' || *p == '-'))
+      ++p;
+    return p != start;
+  }
+  bool literal(const char* word) {
+    skip_ws();
+    const std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end - p) < n || std::strncmp(p, word, n) != 0)
+      return false;
+    p += n;
+    return true;
+  }
+  bool value() {
+    skip_ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool document() {
+    if (!value()) return false;
+    skip_ws();
+    return p == end;
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_trace_path(const char* tag) {
+  return ::testing::TempDir() + "/gmt_trace_" + tag + ".json";
+}
+
+TEST(JsonValidator, SelfCheck) {
+  EXPECT_TRUE(JsonParser(R"({"a":[1,2.5,-3e1],"b":{"c":"x\"y"},"d":null})")
+                  .document());
+  EXPECT_FALSE(JsonParser(R"({"a":[1,2})").document());
+  EXPECT_FALSE(JsonParser(R"({"a":1,})").document());
+  EXPECT_FALSE(JsonParser("{\"a\":1} trailing").document());
+}
+
+// ---- histogram bucketing ----
+
+TEST(ObsHistogram, Log2BucketBoundaries) {
+  obs::Registry registry("test");
+  obs::Histogram hist = registry.histogram("h");
+
+  // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  hist.observe(0);
+  hist.observe(1);
+  hist.observe(2);
+  hist.observe(3);
+  hist.observe(4);
+  hist.observe(7);
+  hist.observe(8);
+  hist.observe((1ull << 20) - 1);  // top of bucket 20
+  hist.observe(1ull << 20);        // bottom of bucket 21
+  hist.observe(~0ull);             // saturates into the last bucket
+
+  const obs::HistogramValue v = hist.read();
+  EXPECT_EQ(v.buckets[0], 1u);
+  EXPECT_EQ(v.buckets[1], 1u);
+  EXPECT_EQ(v.buckets[2], 2u);  // 2 and 3
+  EXPECT_EQ(v.buckets[3], 2u);  // 4 and 7
+  EXPECT_EQ(v.buckets[4], 1u);  // 8
+  EXPECT_EQ(v.buckets[20], 1u);
+  EXPECT_EQ(v.buckets[21], 1u);
+  EXPECT_EQ(v.buckets[obs::kHistogramBuckets - 1], 1u);
+  EXPECT_EQ(v.count, 10u);
+
+  // Upper bounds match the bucketing rule.
+  EXPECT_EQ(obs::HistogramValue::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(obs::HistogramValue::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(obs::HistogramValue::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(obs::HistogramValue::bucket_upper_bound(63), ~0ull);
+}
+
+TEST(ObsHistogram, SumAndMeanRideAlong) {
+  obs::Registry registry("test");
+  obs::Histogram hist = registry.histogram("h");
+  hist.observe(100);
+  hist.observe(300);
+  const obs::HistogramValue v = hist.read();
+  EXPECT_EQ(v.sum, 400u);
+  EXPECT_DOUBLE_EQ(v.mean(), 200.0);
+}
+
+// ---- sharded counters ----
+
+TEST(ObsRegistry, ShardedCountersMergeUnderThreadStorm) {
+  obs::Registry registry("test");
+  obs::Counter counter = registry.counter("storm");
+  obs::Gauge gauge = registry.gauge("updown");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        gauge.inc();
+        if (i % 2 == 0) gauge.dec();
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.read(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(gauge.read(), static_cast<std::int64_t>(kThreads) * kPerThread / 2);
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("storm"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, SameNameRebindsToSameSlot) {
+  obs::Registry registry("test");
+  obs::Counter a = registry.counter("shared");
+  obs::Counter b = registry.counter("shared");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.read(), 7u);
+  EXPECT_EQ(b.read(), 7u);
+}
+
+TEST(ObsRegistry, UnboundHandlesAreInert) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram hist;
+  counter.add(5);
+  gauge.inc();
+  hist.observe(42);
+  EXPECT_EQ(counter.read(), 0u);
+  EXPECT_EQ(gauge.read(), 0);
+  EXPECT_EQ(hist.read().count, 0u);
+}
+
+// ---- the GMT_OBS=0 kill switch ----
+
+TEST(ObsEnabled, DisabledRegistryDropsWritesAndSnapshots) {
+  obs::Registry registry("test");
+  obs::Counter counter = registry.counter("c");
+  counter.add(2);
+  obs::set_enabled(false);
+  counter.add(100);                           // dropped
+  EXPECT_TRUE(registry.snapshot().empty());   // snapshots come back empty
+  EXPECT_TRUE(obs::global_snapshot().empty());
+  obs::set_enabled(true);
+  EXPECT_EQ(counter.read(), 2u);  // pre-disable writes were kept
+}
+
+// ---- spans: public typed overloads ----
+
+TEST(ObsPublicApi, SpanOverloadsRoundTrip) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(64 * sizeof(std::uint32_t),
+                                 Alloc::kPartition);
+    std::array<std::uint32_t, 64> data{};
+    for (std::uint32_t i = 0; i < 64; ++i) data[i] = i * 7;
+    gmt_put<std::uint32_t>(h, 0, std::span<const std::uint32_t>(data));
+
+    std::array<std::uint32_t, 64> back{};
+    gmt_get<std::uint32_t>(h, 0, std::span<std::uint32_t>(back));
+    EXPECT_EQ(back, data);
+
+    // Element-indexed partial window.
+    std::array<std::uint32_t, 8> window{};
+    gmt_get<std::uint32_t>(h, 16, std::span<std::uint32_t>(window));
+    for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(window[i], (16 + i) * 7);
+    gmt_free(h);
+  });
+}
+
+TEST(ObsPublicApi, GlobalArraySpanForwarding) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    auto arr = GlobalArray<std::uint64_t>::allocate(128, Alloc::kPartition);
+    std::array<std::uint64_t, 32> data{};
+    for (std::uint64_t i = 0; i < 32; ++i) data[i] = i * i;
+    arr.put(64, std::span<const std::uint64_t>(data));
+    std::array<std::uint64_t, 32> back{};
+    arr.get(64, std::span<std::uint64_t>(back));
+    EXPECT_EQ(back, data);
+    arr.free();
+  });
+}
+
+// ---- tracing ----
+
+TEST(ObsTrace, RuntimeSpansDumpAsValidChromeJson) {
+  trace_reset();
+  trace_enable(true);
+  {
+    rt::Cluster cluster(2, Config::testing());
+    test::run_task(cluster, [] {
+      const gmt_handle h = gmt_new(8 * 512, Alloc::kRemote);
+      trace_begin("user.phase");
+      test::parfor_lambda(128, 4, [&](std::uint64_t i) {
+        gmt_put_value(h, (i % 512) * 8, i, 8);
+      });
+      trace_end();
+      gmt_free(h);
+    });
+  }
+  trace_enable(false);
+
+  const std::string path = temp_trace_path("runtime");
+  ASSERT_TRUE(dump_trace(path));
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonParser(json).document()) << "invalid JSON in " << path;
+
+  // The runtime's signature spans are all present.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("task.lifetime"), std::string::npos);
+  EXPECT_NE(json.find("task.run"), std::string::npos);
+  EXPECT_NE(json.find("buffer.flush"), std::string::npos);
+  EXPECT_NE(json.find("user.phase"), std::string::npos);
+  EXPECT_NE(json.find("worker"), std::string::npos);  // named thread tracks
+  std::remove(path.c_str());
+  trace_reset();
+}
+
+TEST(ObsTrace, SimulatorEmitsVirtualTimeSpans) {
+  trace_reset();
+  trace_enable(true);
+  const graph::Csr csr = graph::build_csr(
+      200, graph::generate_uniform({200, 1, 4, /*seed=*/11}));
+  (void)sim::sim_bfs_gmt(csr, 2, 0, {}, {});
+  trace_enable(false);
+
+  const std::string path = temp_trace_path("sim");
+  ASSERT_TRUE(dump_trace(path));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonParser(json).document()) << "invalid JSON in " << path;
+  EXPECT_NE(json.find("sim/node0/tasks"), std::string::npos);
+  EXPECT_NE(json.find("task.lifetime"), std::string::npos);
+  EXPECT_NE(json.find("buffer.flush"), std::string::npos);
+  std::remove(path.c_str());
+  trace_reset();
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  trace_reset();
+  ASSERT_FALSE(trace_enabled());
+  trace_begin("ghost");
+  trace_end();
+  const std::string path = temp_trace_path("empty");
+  ASSERT_TRUE(dump_trace(path));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonParser(json).document());
+  EXPECT_EQ(json.find("ghost"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- snapshots outliving the cluster ----
+
+TEST(ObsSnapshot, RetainedAfterClusterTeardown) {
+  obs::clear_retired_snapshots();
+  {
+    rt::Cluster cluster(2, Config::testing());
+    test::run_task(cluster, [] {
+      const gmt_handle h = gmt_new(8 * 64, Alloc::kPartition);
+      test::parfor_lambda(64, 4, [&](std::uint64_t i) {
+        gmt_put_value(h, i * 8, i, 8);
+      });
+      gmt_free(h);
+    });
+  }  // registries destroyed here
+  const obs::Snapshot snap = stats_snapshot();
+  EXPECT_GE(snap.counter(obs::names::kIterationsExecuted), 65u);
+  EXPECT_GT(snap.counter(obs::names::kTasksExecuted), 0u);
+
+  const std::string report = stats_report();
+  EXPECT_NE(report.find("node0"), std::string::npos);
+  EXPECT_NE(report.find("node1"), std::string::npos);
+  obs::clear_retired_snapshots();
+}
+
+// ---- interval sampler ----
+
+TEST(ObsSampler, IntervalHistoryRecordsSamples) {
+  obs::clear_interval_history();
+  {
+    Config config = Config::testing();
+    config.obs_interval_ms = 5;
+    rt::Cluster cluster(2, config);
+    test::run_task(cluster, [] {
+      const gmt_handle h = gmt_new(8 * 256, Alloc::kPartition);
+      test::parfor_lambda(256, 2, [&](std::uint64_t i) {
+        gmt_put_value(h, i * 8, i, 8);
+      });
+      gmt_free(h);
+    });
+  }  // sampler's final tick fires before the nodes stop
+  const auto history = obs::interval_history();
+  ASSERT_GE(history.size(), 1u);
+  const obs::Snapshot& last = history.back().stats;
+  EXPECT_GT(last.counter(obs::names::kTasksExecuted), 0u);
+  obs::clear_interval_history();
+}
+
+}  // namespace
+}  // namespace gmt

@@ -524,7 +524,7 @@ TEST(Runtime, StatsAccumulate) {
   });
   std::uint64_t iterations = 0;
   for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
-    iterations += cluster.node(n).stats().iterations_executed.v.load();
+    iterations += cluster.node(n).stats().iterations_executed.read();
   // 100 body iterations + 1 root + upload helpers etc.
   EXPECT_GE(iterations, 101u);
   EXPECT_GT(cluster.total_network_messages(), 0u);

@@ -1,6 +1,8 @@
 // Tests for the runtime statistics reporting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gmt/gmt.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/stats_report.hpp"
@@ -67,6 +69,47 @@ TEST(StatsReport, LocalFastPathShowsInCounters) {
   });
   const ClusterStatsSummary summary = summarize_stats(cluster);
   EXPECT_GE(summary.local_ops, 50u);
+}
+
+// ---- per-message helper math edge cases ----
+
+TEST(StatsReport, RatiosAreNaNWithoutMessages) {
+  // A zero-message summary has no per-message averages; 0 would read as
+  // "aggregation did nothing", which is a different claim entirely.
+  ClusterStatsSummary summary;
+  EXPECT_TRUE(std::isnan(summary.commands_per_message()));
+  EXPECT_TRUE(std::isnan(summary.bytes_per_message()));
+  EXPECT_EQ(summary.mean_ack_latency_us(), 0.0);
+
+  summary.network_messages = 4;
+  summary.remote_commands = 10;
+  summary.network_bytes = 1024;
+  EXPECT_DOUBLE_EQ(summary.commands_per_message(), 2.5);
+  EXPECT_DOUBLE_EQ(summary.bytes_per_message(), 256.0);
+
+  summary.acked_frames = 2;
+  summary.ack_latency_ns = 4'000'000;
+  EXPECT_DOUBLE_EQ(summary.mean_ack_latency_us(), 2000.0);
+}
+
+TEST(StatsReport, LocalOnlyRunOmitsRatioRow) {
+  // A single-node run never touches the network: the summary must report
+  // NaN ratios and the formatted report must drop the commands/message row
+  // instead of printing 0.
+  Cluster cluster(1, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(1024, Alloc::kLocal);
+    for (int i = 0; i < 20; ++i) gmt_put_value(h, 8 * i, i, 8);
+    gmt_free(h);
+  });
+  const ClusterStatsSummary summary = summarize_stats(cluster);
+  EXPECT_EQ(summary.network_messages, 0u);
+  EXPECT_TRUE(std::isnan(summary.commands_per_message()));
+  EXPECT_TRUE(std::isnan(summary.bytes_per_message()));
+
+  const std::string report = format_stats_report(cluster);
+  EXPECT_EQ(report.find("commands/message"), std::string::npos);
+  EXPECT_NE(report.find("no remote traffic"), std::string::npos);
 }
 
 }  // namespace

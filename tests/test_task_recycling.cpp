@@ -96,7 +96,7 @@ TEST(TaskRecycling, SpawnStormNestedParforCountsExact) {
   });
   std::uint64_t iterations = 0;
   for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
-    iterations += cluster.node(n).stats().iterations_executed.v.load();
+    iterations += cluster.node(n).stats().iterations_executed.read();
   // 64 outer + 64*16 inner + root/helper wrappers; at least the user work.
   EXPECT_GE(iterations, 64u + 64u * 16u);
 }
