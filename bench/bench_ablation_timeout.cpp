@@ -1,7 +1,13 @@
 // Ablation: command/buffer flush deadline sweep (paper §IV-C condition
 // (ii)). Short deadlines cut sparse-traffic latency but ship small
 // buffers; long deadlines maximise coalescing but stall low-concurrency
-// workloads. Reported at both a starved and a saturated task count.
+// workloads. Reported at both a starved and a saturated task count, plus
+// an adaptive-flush row (GMT_ADAPTIVE_FLUSH): the controller must match
+// the best fixed deadline without hand-tuning — BENCH_flowcontrol.json
+// records the comparison.
+#include <algorithm>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "sim/workloads_micro.hpp"
 
@@ -9,23 +15,63 @@ int main(int argc, char** argv) {
   using namespace gmt;
   const auto args = bench::BenchArgs::parse(argc, argv);
 
+  const std::vector<std::uint64_t> task_counts{256ull, 8192ull};
+  auto run = [&](double timeout_us, bool adaptive, std::uint64_t tasks) {
+    sim::PutBenchParams params;
+    params.nodes = 2;
+    params.tasks = tasks;
+    params.puts_per_task = static_cast<std::uint64_t>(48 * args.scale);
+    params.put_size = 16;
+    params.config.agg_timeout_s = timeout_us * 1e-6;
+    params.config.adaptive_flush = adaptive;
+    return sim::put_bench_gmt(params).payload_rate_MBps();
+  };
+
   bench::Table table({"flush deadline us", "rate @256 tasks MB/s",
                       "rate @8192 tasks MB/s"});
-  for (double timeout_us : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+  const std::vector<double> sweep{2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0};
+  // [task count index] -> per-sweep-point rates, for the summary metrics.
+  std::vector<std::vector<double>> fixed(task_counts.size());
+  for (double timeout_us : sweep) {
     std::vector<std::string> row{bench::fmt("%.0f", timeout_us)};
-    for (std::uint64_t tasks : {256ull, 8192ull}) {
-      sim::PutBenchParams params;
-      params.nodes = 2;
-      params.tasks = tasks;
-      params.puts_per_task = static_cast<std::uint64_t>(48 * args.scale);
-      params.put_size = 16;
-      params.config.agg_timeout_s = timeout_us * 1e-6;
-      row.push_back(
-          bench::fmt("%.2f", sim::put_bench_gmt(params).payload_rate_MBps()));
+    for (std::size_t t = 0; t < task_counts.size(); ++t) {
+      const double rate = run(timeout_us, /*adaptive=*/false, task_counts[t]);
+      fixed[t].push_back(rate);
+      row.push_back(bench::fmt("%.2f", rate));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<double> adaptive(task_counts.size());
+  {
+    std::vector<std::string> row{"adaptive"};
+    for (std::size_t t = 0; t < task_counts.size(); ++t) {
+      // Deliberately mis-seeded at 25us (5x the sweep optimum): the AIMD
+      // controller must converge down on its own to count as adaptive.
+      adaptive[t] = run(25.0, /*adaptive=*/true, task_counts[t]);
+      row.push_back(bench::fmt("%.2f", adaptive[t]));
     }
     table.add_row(std::move(row));
   }
   table.print("Ablation: flush deadline vs throughput");
   table.write_csv(args.csv_path);
+
+  bench::BenchJson json("flowcontrol");
+  json.set_config("nodes", 2);
+  json.set_config("put_size", 16);
+  json.set_config("sweep_us", "2,5,10,25,50,100,200,400,800");
+  for (std::size_t t = 0; t < task_counts.size(); ++t) {
+    const std::string tag = bench::fmt_u64(task_counts[t]) + "_tasks";
+    const auto minmax =
+        std::minmax_element(fixed[t].begin(), fixed[t].end());
+    json.add_metric("fixed_best_" + tag, *minmax.second, "MB/s");
+    json.add_metric("fixed_worst_" + tag, *minmax.first, "MB/s");
+    json.add_metric("fixed_small_extreme_" + tag, fixed[t].front(), "MB/s");
+    json.add_metric("fixed_large_extreme_" + tag, fixed[t].back(), "MB/s");
+    json.add_metric("adaptive_" + tag, adaptive[t], "MB/s");
+    json.add_metric("adaptive_vs_best_" + tag,
+                    *minmax.second > 0 ? adaptive[t] / *minmax.second : 0,
+                    "ratio");
+  }
+  json.write();
   return 0;
 }

@@ -98,6 +98,13 @@ inline constexpr const char* kAggBuffersSent = "agg.buffers_sent";
 inline constexpr const char* kAggBufferBytes = "agg.buffer_bytes";
 inline constexpr const char* kAggPasses = "agg.passes";
 inline constexpr const char* kAggFlushBytes = "agg.flush_bytes";
+inline constexpr const char* kAggCreditsConsumed = "agg.credits.consumed";
+inline constexpr const char* kAggCreditsGranted = "agg.credits.granted";
+inline constexpr const char* kAggCreditStalls = "agg.credits.stalls";
+inline constexpr const char* kAggCreditStallNs = "agg.credits.stall_ns";
+inline constexpr const char* kAggBlocksEmergency = "agg.blocks_emergency";
+inline constexpr const char* kAggAdaptiveQueueNs = "agg.adaptive.queue_ns";
+inline constexpr const char* kAggAdaptiveBlockNs = "agg.adaptive.block_ns";
 inline constexpr const char* kNetMessages = "net.messages";
 inline constexpr const char* kNetBytes = "net.bytes";
 inline constexpr const char* kIncomingDepth = "net.incoming_depth";

@@ -3,8 +3,12 @@
 # fault-injection suite (label "fault") separately so a reliability
 # regression is distinguishable from a functional one.
 #
-# Usage: scripts/check.sh [--asan] [--bench-smoke] [--obs-smoke]
+# Usage: scripts/check.sh [--asan] [--tsan] [--bench-smoke] [--obs-smoke]
 #   --asan         build/test the asan preset instead of default
+#   --tsan         build the tsan preset and run only the concurrency-
+#                  sensitive labels (runtime|aggregation|flowcontrol) —
+#                  the scheduler, aggregation pipeline and flow control
+#                  are where data races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -18,6 +22,7 @@ obs_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --asan) preset=asan ;;
+    --tsan) preset=tsan ;;
     --bench-smoke) bench_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -31,6 +36,14 @@ cmake --build --preset "$preset" -j "$jobs"
 
 builddir=build
 [[ "$preset" == "asan" ]] && builddir=build-asan
+[[ "$preset" == "tsan" ]] && builddir=build-tsan
+
+if [[ "$preset" == "tsan" ]]; then
+  echo "== thread-sanitized concurrency tests =="
+  ctest --test-dir "$builddir" -L 'runtime|aggregation|flowcontrol' \
+    --output-on-failure
+  exit 0
+fi
 
 echo "== tier-1 tests =="
 ctest --test-dir "$builddir" -LE 'fault|perf-smoke|obs-smoke' --output-on-failure -j "$jobs"

@@ -71,6 +71,8 @@ void Config::apply_env() {
   env_u32("GMT_CMD_BLOCK_POOL_SIZE", &cmd_block_pool_size);
   env_u64("GMT_CMD_BLOCK_TIMEOUT_NS", &cmd_block_timeout_ns);
   env_u64("GMT_AGG_QUEUE_TIMEOUT_NS", &agg_queue_timeout_ns);
+  env_u32("GMT_FLOW_CREDITS", &flow_credits);
+  env_bool("GMT_ADAPTIVE_FLUSH", &adaptive_flush);
   if (const char* v = std::getenv("GMT_TASK_STACK_SIZE")) {
     std::uint64_t parsed;
     if (parse_size(v, &parsed)) task_stack_size = parsed;
@@ -105,6 +107,10 @@ void Config::apply_env() {
   // environment implies GMT_RELIABLE unless it was explicitly forced off.
   if (fault.lossy() && std::getenv("GMT_RELIABLE") == nullptr)
     reliable_transport = true;
+  // Credit grants ride the reliability layer's acks, so enabling flow
+  // control from the environment implies GMT_RELIABLE the same way.
+  if (flow_credits > 0 && std::getenv("GMT_RELIABLE") == nullptr)
+    reliable_transport = true;
 }
 
 std::string Config::validate() const {
@@ -131,6 +137,8 @@ std::string Config::validate() const {
     if (p < 0.0 || p > 1.0) return "fault probabilities must be in [0, 1]";
   if (fault.lossy() && !reliable_transport)
     return "lossy fault injection requires reliable_transport";
+  if (flow_credits > 0 && !reliable_transport)
+    return "flow_credits requires reliable_transport (grants ride acks)";
   return {};
 }
 

@@ -65,6 +65,23 @@ struct Config {
   std::uint64_t cmd_block_timeout_ns = 50'000;
   std::uint64_t agg_queue_timeout_ns = 100'000;
 
+  // ---- end-to-end flow control + adaptive flushing (aggregation layer).
+
+  // Per-destination credit window in aggregation buffers: a sender may have
+  // at most this many unacknowledged-by-drain buffers outstanding toward
+  // each peer; the receiver grants credits back as its helpers drain
+  // buffers (grants ride the reliability layer's acks). 0 = flow control
+  // off (today's behaviour). Requires reliable_transport when non-zero.
+  std::uint32_t flow_credits = 0;
+
+  // Adapt the block/queue flush deadlines per destination by AIMD on flush
+  // outcomes: an underfilled deadline flush halves the deadline, a
+  // size-triggered flush grows it 5/4 — bulk traffic fills 64 KB buffers,
+  // sparse traffic converges to the adaptive floor for low latency (Fig.
+  // 4's sweet spot without hand-tuning the fixed timeouts above). Off =
+  // fixed timeouts (ablation baseline).
+  bool adaptive_flush = false;
+
   // User-level task stack size in bytes.
   std::size_t task_stack_size = 64 * 1024;
 

@@ -31,7 +31,11 @@ struct FrameHeader {
   std::uint32_t magic = kFrameMagic;
   std::uint8_t version = kFrameVersion;
   std::uint8_t type = 0;
-  std::uint16_t reserved = 0;
+  // Flow-control grant: the sender's cumulative count (mod 2^16) of
+  // aggregation buffers its helpers have drained from this frame's
+  // destination. Always 0 when flow control is off (the field's previous
+  // reserved value), so the wire format is unchanged for old traffic.
+  std::uint16_t credit = 0;
   std::uint32_t src = 0;
   std::uint32_t payload_len = 0;
   std::uint64_t seq = 0;       // data frames; 0 for pure acks
@@ -56,13 +60,15 @@ inline void seal_frame(std::vector<std::uint8_t>& frame, FrameHeader header) {
   std::memcpy(frame.data(), &header, kFrameHeaderSize);
 }
 
-// Refreshes only the piggybacked ack of an already-sealed frame (used on
-// retransmission so the peer sees our latest cumulative ack).
+// Refreshes the piggybacked cumulative ack — and the flow-control credit
+// grant — of an already-sealed frame (used on every transmission so the
+// peer sees our latest state; the stored payload CRC is untouched).
 inline void refresh_frame_ack(std::vector<std::uint8_t>& frame,
-                              std::uint64_t ack) {
+                              std::uint64_t ack, std::uint16_t credit = 0) {
   FrameHeader header;
   std::memcpy(&header, frame.data(), kFrameHeaderSize);
   header.ack = ack;
+  header.credit = credit;
   header.header_crc = crc32c(&header, kFrameHeaderSize - sizeof(std::uint32_t));
   std::memcpy(frame.data(), &header, kFrameHeaderSize);
 }

@@ -84,6 +84,38 @@ std::string stats_report() {
     out += line;
   }
 
+  const std::uint64_t credits_consumed =
+      total.counter(obs::names::kAggCreditsConsumed);
+  const std::uint64_t credits_granted =
+      total.counter(obs::names::kAggCreditsGranted);
+  if (credits_consumed != 0 || credits_granted != 0) {
+    const obs::HistogramValue* stall =
+        total.histogram(obs::names::kAggCreditStallNs);
+    std::snprintf(
+        line, sizeof(line),
+        "flow control: %llu credits consumed, %llu granted, %llu stalls "
+        "(%.1f us mean park), %llu emergency blocks\n",
+        static_cast<unsigned long long>(credits_consumed),
+        static_cast<unsigned long long>(credits_granted),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kAggCreditStalls)),
+        stall != nullptr ? stall->mean() / 1000.0 : 0.0,
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kAggBlocksEmergency)));
+    out += line;
+  }
+
+  if (const obs::HistogramValue* adaptive =
+          total.histogram(obs::names::kAggAdaptiveQueueNs);
+      adaptive != nullptr && adaptive->count > 0) {
+    std::snprintf(line, sizeof(line),
+                  "adaptive flush: %llu timeout flushes, %.1f us mean "
+                  "deadline\n",
+                  static_cast<unsigned long long>(adaptive->count),
+                  adaptive->mean() / 1000.0);
+    out += line;
+  }
+
   const std::uint64_t faults =
       total.counter(obs::names::kFaultDrops) +
       total.counter(obs::names::kFaultDuplicates) +

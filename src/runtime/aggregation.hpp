@@ -9,11 +9,37 @@
 // aggregation buffer, and hands the buffer to the communication server over
 // its private SPSC channel queue. Blocks and buffers recycle through
 // fixed-population pools; nothing allocates on the command path.
+//
+// Flow control (config.flow_credits > 0): each destination holds a credit
+// window counted in aggregation buffers. Aggregation consumes one credit
+// per buffer shipped; the receiving node's helpers grant credits back as
+// they drain buffers, and the cumulative drained count rides the
+// reliability layer's frame headers (see net::FrameHeader::credit). A
+// sender out of credit stops draining that DestQueue, and once a full
+// buffer's worth is backlogged, appending *tasks* are parked through the
+// O(1) scheduler wake-list instead of spinning — the same latency-hiding
+// trick GMT uses for remote operations, applied to backpressure.
+//
+// Adaptive flushing (config.adaptive_flush): the block/queue flush
+// deadlines are tuned per destination by an AIMD control loop on flush
+// outcomes. A deadline that fires with the queue still mostly empty is
+// adding latency for no coalescing — halve it; a queue whose buffers fill
+// before the deadline can afford a longer one for free — grow it. The
+// loop converges to the short-deadline floor for elastic, latency-bound
+// traffic (where every extra microsecond of waiting starves the tasks
+// that would produce the next commands) and backs off only when the size
+// trigger is already doing the flushing (paper Fig. 4's sweet spot
+// without hand-tuning the fixed timeouts). A rate-EWMA controller was
+// tried first and rejected: with blocked tasks the offered load is
+// elastic, so a long deadline suppresses the measured rate, which
+// prescribes a still longer deadline — a self-reinforcing bad fixed
+// point.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "collections/mpmc_queue.hpp"
@@ -33,6 +59,10 @@ class CommandBlock {
       : capacity_bytes_(capacity_bytes),
         capacity_cmds_(capacity_cmds),
         data_(std::make_unique<std::uint8_t[]>(capacity_bytes)) {}
+
+  // False for emergency heap blocks handed out when the pool is dry and the
+  // caller must not block (helpers); such blocks are deleted, not released.
+  bool pooled = true;
 
   bool fits(std::size_t wire_bytes) const {
     return bytes_ + wire_bytes <= capacity_bytes_ && cmds_ < capacity_cmds_;
@@ -119,6 +149,13 @@ struct AggStats {
   obs::Counter buffer_bytes;      // payload bytes in those buffers
   obs::Counter aggregations;      // aggregation passes executed
   obs::Histogram flush_bytes;     // payload-size distribution per buffer
+  obs::Counter credits_consumed;  // credits spent shipping buffers
+  obs::Counter credits_granted;   // credits granted to peers (buffers drained)
+  obs::Counter credit_stalls;     // tasks parked on credit/pool exhaustion
+  obs::Counter blocks_emergency;  // off-pool blocks handed to non-task callers
+  obs::Histogram credit_stall_ns; // park duration per stall
+  obs::Histogram adaptive_queue_ns;  // effective queue deadline at flush
+  obs::Histogram adaptive_block_ns;  // effective block deadline at flush
 
   void bind(obs::Registry& reg);
 };
@@ -157,8 +194,11 @@ class Aggregator {
 
   // Appends one command (header + optional payload) bound for `dst` to the
   // slot's command block, flushing/aggregating as thresholds trip. Never
-  // fails; applies internal backpressure (spins on pool exhaustion after
-  // forcing aggregation).
+  // fails; applies *cooperative* backpressure: under pool or credit
+  // exhaustion a calling task is parked on the scheduler wake-list (or
+  // yielded) until resources return, while non-task callers (helpers, comm
+  // server) force aggregation and fall back to off-pool emergency blocks so
+  // they always stay live — nothing hot-spins.
   void append(AggregationSlot& slot, std::uint32_t dst,
               const CmdHeader& header, const void* payload);
 
@@ -181,12 +221,52 @@ class Aggregator {
   // quiescence tests).
   bool idle() const;
 
+  // ---- flow control (config.flow_credits > 0) ----
+
+  bool flow_enabled() const { return config_.flow_credits > 0; }
+
+  // Receiver side: a helper finished processing one aggregation buffer that
+  // arrived from `src` — one more credit to grant back to that peer.
+  void note_buffer_drained(std::uint32_t src);
+
+  // Cumulative count (mod 2^16) of buffers drained from `peer`, i.e. the
+  // grant value the comm server stamps into frames bound for `peer`.
+  std::uint16_t drained_credit(std::uint32_t peer) const;
+
+  // Sender side: peer advertised its cumulative drained count; applies the
+  // delta to the credit window (wrap-guarded — stale or duplicate adverts
+  // are ignored) and wakes any tasks parked on credit exhaustion.
+  void apply_credit_grant(std::uint32_t peer, std::uint16_t cumulative);
+
+  // Remaining credit toward `dst` (may be transiently negative: a pass that
+  // already holds a popped block overdraws rather than strand it).
+  std::int64_t credits_available(std::uint32_t dst) const;
+
+  // Off-pool emergency blocks currently outstanding (test introspection).
+  std::uint32_t emergency_blocks_outstanding() const {
+    return emergency_outstanding_.load(std::memory_order_relaxed);
+  }
+
+  // Completes every registered stall ticket, re-readying parked tasks.
+  // Called when resources return (credits granted, buffers released) and
+  // from poll_flush as a bounded-latency fallback against lost wakeups.
+  void wake_stalled();
+
  private:
   struct alignas(kCacheLine) DestQueue {
     explicit DestQueue(std::size_t capacity) : blocks(capacity) {}
     MpmcQueue<CommandBlock*> blocks;
     std::atomic<std::uint64_t> queued_bytes{0};
     std::atomic<std::uint64_t> oldest_ns{0};  // 0 = empty
+    // Flow control: remaining send credits toward this destination (signed:
+    // overdraft, see credits_available), the peer's last applied cumulative
+    // grant, and our own cumulative drained count *from* this peer.
+    std::atomic<std::int64_t> credits{0};
+    std::atomic<std::uint16_t> grant_seen{0};
+    std::atomic<std::uint64_t> drained{0};
+    // Adaptive flush: current AIMD queue deadline (0 = not yet
+    // initialised; the first read seeds it from the configured timeout).
+    std::atomic<std::uint64_t> adaptive_ns{0};
   };
 
   // Moves the slot's current block for dst into the destination queue.
@@ -199,8 +279,28 @@ class Aggregator {
   // Hands a filled buffer to the comm server via the slot's channel queue.
   void send_buffer(AggregationSlot& slot, AggBuffer* buffer);
 
-  CommandBlock* acquire_block(AggregationSlot& slot);
+  // Returns a pooled block, recycling via forced aggregation under
+  // exhaustion. In task context may park instead and return null — the
+  // caller (append) must then re-evaluate slot state and retry. Non-task
+  // callers never block: they receive an off-pool emergency block once
+  // recycling has demonstrably failed.
+  CommandBlock* acquire_block(AggregationSlot& slot, const CmdHeader* header);
   AggBuffer* acquire_buffer(AggregationSlot& slot);
+
+  // Releases a block back to the pool (or deletes an emergency block).
+  void recycle_block(CommandBlock* block);
+
+  // Parks the calling task until wake_stalled runs; false when there is no
+  // parkable task context (the caller must use a non-blocking fallback).
+  // `header` identifies the command being appended: when it carries the
+  // current task's own token, the op's pre-counted pending_op doubles as
+  // the stall ticket (see the comment in the implementation).
+  bool park_for_aggregation(const CmdHeader* header);
+
+  // Effective flush deadlines for one destination (fixed config values, or
+  // the AIMD-tuned deadline when config.adaptive_flush).
+  std::uint64_t queue_timeout_ns(DestQueue& queue) const;
+  std::uint64_t block_timeout_ns(std::uint64_t queue_timeout) const;
 
   Config config_;
   std::uint32_t num_nodes_;
@@ -209,6 +309,13 @@ class Aggregator {
   std::vector<std::unique_ptr<DestQueue>> queues_;
   std::vector<std::unique_ptr<AggregationSlot>> slots_;
   AggStats stats_;
+
+  // Stall tickets of parked tasks; waiters_ mirrors the vector size so the
+  // hot paths can skip the mutex when nobody is parked.
+  std::mutex stall_mutex_;
+  std::vector<std::uint64_t> stall_tokens_;
+  std::atomic<std::uint32_t> stall_waiters_{0};
+  std::atomic<std::uint32_t> emergency_outstanding_{0};
 };
 
 }  // namespace gmt::rt

@@ -157,11 +157,16 @@ void Cluster::run(TaskFn fn, const void* args, std::size_t args_size) {
   start();
   // The root completion is tracked through an inert Task that never runs —
   // it only carries the pending_ops counter the root iteration block
-  // reports into.
-  Task root;
-  nodes_[0]->spawn_root(fn, args, args_size, &root);
+  // reports into. The previous run's last completer can still be reading
+  // the TCB (complete_one checks wake/parked after its final decrement),
+  // so the TCB is a cluster member, and bumping the generation first
+  // invalidates any token still in flight from an earlier run.
+  root_.generation.fetch_add(1, std::memory_order_release);
+  root_.pending_ops.store(0, std::memory_order_relaxed);
+  root_.parked.store(false, std::memory_order_relaxed);
+  nodes_[0]->spawn_root(fn, args, args_size, &root_);
   Backoff backoff;
-  while (root.pending_ops.load(std::memory_order_acquire) != 0)
+  while (root_.pending_ops.load(std::memory_order_acquire) != 0)
     backoff.pause();
 }
 

@@ -74,6 +74,12 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 
+  // Inert TCB carrying the root completion count (see run()). A member —
+  // not a stack local — so a completion token that outlives a run still
+  // dereferences a live Task; the per-run generation bump marks such
+  // tokens stale.
+  Task root_;
+
   // Observability wiring (see src/obs): trace auto-dump target, interval
   // sampler and the previous-sample counters it diffs against.
   std::string trace_file_;

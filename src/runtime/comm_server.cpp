@@ -11,7 +11,19 @@ CommServer::CommServer(Node* node) : node_(node) {
   rstats_.bind(node_->obs());
   if (node_->config().reliable_transport)
     channel_ = std::make_unique<ReliableChannel>(
-        node_->config(), &node_->transport(), &rstats_);
+        node_->config(), &node_->transport(), &rstats_,
+        node_->config().flow_credits > 0 ? this : nullptr);
+}
+
+// FlowTap: the comm server is the only thread driving the channel, so the
+// credit hooks simply forward to the aggregator's atomics.
+std::uint16_t CommServer::outgoing_credit(std::uint32_t peer) {
+  return node_->aggregator().drained_credit(peer);
+}
+
+void CommServer::incoming_credit(std::uint32_t peer,
+                                 std::uint16_t cumulative) {
+  node_->aggregator().apply_credit_grant(peer, cumulative);
 }
 
 CommServer::~CommServer() = default;

@@ -31,6 +31,9 @@ void Helper::main_loop() {
     if (node_->incoming().pop(&msg)) {
       node_->stats().incoming_depth.dec();
       process_buffer(*msg);
+      // One buffer drained = one credit granted back to its sender (rides
+      // the next frame or a standalone ack toward msg->src).
+      node_->aggregator().note_buffer_drained(msg->src);
       delete msg;
       backoff.reset();
     } else {

@@ -47,7 +47,16 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
            &obs_),
       itb_pool_(config.task_pool ? config.itb_pool_size : 1),
       itbs_(4096),
-      incoming_(1024) {
+      // With flow control the incoming queue must admit every credited
+      // buffer from every peer (plus the bounded aggregation overdraft) so
+      // the comm server never refuses a delivery the window permitted.
+      incoming_(config.flow_credits > 0 &&
+                        static_cast<std::size_t>(config.flow_credits) *
+                                num_nodes * 2 >
+                            1024
+                    ? static_cast<std::size_t>(config.flow_credits) *
+                          num_nodes * 2
+                    : 1024) {
   const std::string error = config.validate();
   GMT_CHECK_MSG(error.empty(), error.c_str());
   stats_.bind(obs_);

@@ -138,16 +138,21 @@ class Helper {
 // Communication server: the node's single network endpoint (paper §IV-B).
 // With config.reliable_transport it runs the seq/ack/retransmit protocol
 // of ReliableChannel under every send and receive; otherwise it moves raw
-// buffers and trusts the transport, at zero added cost.
-class CommServer {
+// buffers and trusts the transport, at zero added cost. As the channel's
+// FlowTap it bridges credit grants between the wire and the aggregator.
+class CommServer : public FlowTap {
  public:
   explicit CommServer(Node* node);
-  ~CommServer();
+  ~CommServer() override;
 
   void start();
   void join();
 
   const ReliabilityStats& reliability_stats() const { return rstats_; }
+
+  // FlowTap (called only from the comm server thread's channel pump).
+  std::uint16_t outgoing_credit(std::uint32_t peer) override;
+  void incoming_credit(std::uint32_t peer, std::uint16_t cumulative) override;
 
  private:
   void main_loop();

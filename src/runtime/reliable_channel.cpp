@@ -24,10 +24,11 @@ void ReliabilityStats::bind(obs::Registry& reg) {
 
 ReliableChannel::ReliableChannel(const Config& config,
                                  net::Transport* transport,
-                                 ReliabilityStats* stats)
+                                 ReliabilityStats* stats, FlowTap* flow)
     : config_(config),
       transport_(transport),
       stats_(stats),
+      flow_(flow),
       send_(transport->num_nodes()),
       recv_(transport->num_nodes()) {}
 
@@ -71,10 +72,15 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
       } else {
         continue;  // in flight, ack still possible before the timeout
       }
-      // The retained frame keeps its payload CRC; only the piggybacked
-      // cumulative ack is refreshed per transmission.
+      // The retained frame keeps its payload CRC; the piggybacked
+      // cumulative ack and credit grant are refreshed per transmission.
+      // `credit_advertised` tracks the frame content (not the live value):
+      // a backpressured tx goes out later exactly as built here.
+      const std::uint16_t credit =
+          flow_ != nullptr ? flow_->outgoing_credit(dst) : 0;
       u.tx = u.frame;
-      net::refresh_frame_ack(u.tx, reverse.expect - 1);
+      net::refresh_frame_ack(u.tx, reverse.expect - 1, credit);
+      reverse.credit_advertised = credit;
     }
     const std::size_t tx_size = u.tx.size();  // send() moves the frame out
     if (!transport_->send(dst, u.tx)) return progressed;  // backpressure
@@ -99,6 +105,15 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
 
 bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
   PeerRecv& peer = recv_[src];
+  // An unadvertised credit grant behaves like an owed ack: if no reverse
+  // data frame carries it within the ack delay, a standalone ack does —
+  // otherwise a credit-starved peer with no traffic to ack would stall
+  // forever waiting for a grant that has nothing to ride.
+  if (flow_ != nullptr && !peer.ack_due &&
+      flow_->outgoing_credit(src) != peer.credit_advertised) {
+    peer.ack_due = true;
+    peer.ack_due_since_ns = now_ns;
+  }
   if (!peer.ack_due) return false;
   if (!peer.ack_immediate &&
       now_ns - peer.ack_due_since_ns < config_.ack_delay_ns)
@@ -109,11 +124,13 @@ bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
   header.type = static_cast<std::uint8_t>(net::FrameType::kAck);
   header.src = transport_->node_id();
   header.ack = peer.expect - 1;
+  header.credit = flow_ != nullptr ? flow_->outgoing_credit(src) : 0;
   net::seal_frame(frame, header);
   const std::size_t frame_size = frame.size();  // send() moves the frame out
   if (!transport_->send(src, frame)) return false;  // retry next pump
   peer.ack_due = false;
   peer.ack_immediate = false;
+  peer.credit_advertised = header.credit;
   stats_->acks_sent.add();
   stats_->wire_messages.add();
   stats_->wire_bytes.add(frame_size);
@@ -160,6 +177,7 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
   }
   last_recv_ns_ = now_ns;
   process_ack(header.src, header.ack, now_ns);
+  if (flow_ != nullptr) flow_->incoming_credit(header.src, header.credit);
   if (header.type != static_cast<std::uint8_t>(net::FrameType::kData)) return;
 
   PeerRecv& peer = recv_[header.src];

@@ -50,10 +50,27 @@ struct ReliabilityStats {
   void bind(obs::Registry& reg);
 };
 
+// Aggregation-layer hook for credit-based flow control. Credit grants ride
+// the reliability protocol: the channel stamps outgoing_credit() into every
+// frame it transmits toward a peer (data and acks alike) and reports every
+// peer-advertised value through incoming_credit(); when a grant has no
+// frame to ride (traffic toward the peer dried up — exactly the starved
+// case), a standalone ack is scheduled to carry it. Null tap = flow control
+// off: frames carry credit 0 and adverts are ignored, at zero added cost.
+class FlowTap {
+ public:
+  virtual ~FlowTap() = default;
+  // Cumulative count (mod 2^16) of `peer`'s buffers this node has drained.
+  virtual std::uint16_t outgoing_credit(std::uint32_t peer) = 0;
+  // `peer` advertised the cumulative count of our buffers it has drained.
+  virtual void incoming_credit(std::uint32_t peer,
+                               std::uint16_t cumulative) = 0;
+};
+
 class ReliableChannel {
  public:
   ReliableChannel(const Config& config, net::Transport* transport,
-                  ReliabilityStats* stats);
+                  ReliabilityStats* stats, FlowTap* flow = nullptr);
 
   // Takes ownership of a frame buffer whose payload starts at
   // net::kFrameHeaderSize (the aggregation layer reserves the prefix),
@@ -102,6 +119,9 @@ class ReliableChannel {
     bool ack_due = false;
     bool ack_immediate = false;  // dup seen: re-ack without delay
     std::uint64_t ack_due_since_ns = 0;
+    // Last credit value stamped on a frame toward this peer; a fresh
+    // outgoing_credit() makes an ack due so the grant is never stranded.
+    std::uint16_t credit_advertised = 0;
   };
 
   bool pump_sends(std::uint32_t dst, std::uint64_t now_ns);
@@ -113,6 +133,7 @@ class ReliableChannel {
   const Config config_;
   net::Transport* transport_;
   ReliabilityStats* stats_;
+  FlowTap* flow_;
   std::vector<PeerSend> send_;
   std::vector<PeerRecv> recv_;
   std::uint64_t last_recv_ns_ = 0;

@@ -32,6 +32,18 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
       summary.acked_frames += ack->count;
       summary.ack_latency_ns += ack->sum;
     }
+    summary.credits_consumed += snap.counter(names::kAggCreditsConsumed);
+    summary.credits_granted += snap.counter(names::kAggCreditsGranted);
+    summary.credit_stalls += snap.counter(names::kAggCreditStalls);
+    summary.blocks_emergency += snap.counter(names::kAggBlocksEmergency);
+    if (const obs::HistogramValue* stall =
+            snap.histogram(names::kAggCreditStallNs))
+      summary.credit_stall_ns += stall->sum;
+    if (const obs::HistogramValue* adaptive =
+            snap.histogram(names::kAggAdaptiveQueueNs)) {
+      summary.adaptive_flushes += adaptive->count;
+      summary.adaptive_queue_deadline_ns += adaptive->sum;
+    }
   }
   // Wire totals come from the transports: exact regardless of GMT_OBS and
   // inclusive of everything the fabric actually carried.
@@ -93,6 +105,26 @@ std::string format_stats_report(Cluster& cluster) {
         static_cast<unsigned long long>(summary.dup_suppressed),
         static_cast<unsigned long long>(summary.out_of_order_held),
         summary.mean_ack_latency_us());
+    out += line;
+  }
+  if (summary.credits_consumed != 0 || summary.credits_granted != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "flow control: %llu credits consumed, %llu granted, %llu stalls "
+        "(%.1f us mean park), %llu emergency blocks\n",
+        static_cast<unsigned long long>(summary.credits_consumed),
+        static_cast<unsigned long long>(summary.credits_granted),
+        static_cast<unsigned long long>(summary.credit_stalls),
+        summary.mean_stall_us(),
+        static_cast<unsigned long long>(summary.blocks_emergency));
+    out += line;
+  }
+  if (summary.adaptive_flushes != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "adaptive flush: %llu timeout flushes, %.1f us mean deadline\n",
+        static_cast<unsigned long long>(summary.adaptive_flushes),
+        summary.mean_adaptive_deadline_us());
     out += line;
   }
   const net::FaultCountersSnapshot faults = cluster.total_fault_counters();

@@ -44,6 +44,18 @@ struct ClusterStatsSummary {
   // Injected faults (all zero unless a FaultyTransport decorator is on).
   std::uint64_t faults_injected = 0;
 
+  // Flow control (all zero when config.flow_credits == 0).
+  std::uint64_t credits_consumed = 0;
+  std::uint64_t credits_granted = 0;
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t credit_stall_ns = 0;  // summed park time across stalls
+  std::uint64_t blocks_emergency = 0;
+
+  // Adaptive flush (zero when config.adaptive_flush is off): count and sum
+  // of the effective queue deadline at each timeout-driven flush.
+  std::uint64_t adaptive_flushes = 0;
+  std::uint64_t adaptive_queue_deadline_ns = 0;
+
   // Average commands coalesced per network message (the aggregation
   // figure of merit; 1.0 means aggregation did nothing). NaN when no
   // message went out at all — a pure-local run has no aggregation ratio,
@@ -63,6 +75,18 @@ struct ClusterStatsSummary {
     return acked_frames
                ? static_cast<double>(ack_latency_ns) / acked_frames / 1000.0
                : 0;
+  }
+  // Mean park time of a credit/pool-stalled task in microseconds.
+  double mean_stall_us() const {
+    return credit_stalls
+               ? static_cast<double>(credit_stall_ns) / credit_stalls / 1000.0
+               : 0;
+  }
+  // Mean effective queue deadline at timeout-driven flushes (microseconds).
+  double mean_adaptive_deadline_us() const {
+    return adaptive_flushes ? static_cast<double>(adaptive_queue_deadline_ns) /
+                                  adaptive_flushes / 1000.0
+                            : 0;
   }
 };
 

@@ -193,8 +193,15 @@ void Worker::finish_task(Task* task) {
 }
 
 void Worker::drain_wake_list() {
-  for (Task* task = wake_list_.drain_fifo(); task != nullptr;) {
+  Task* task = wake_list_.drain_fifo();
+  if (task == nullptr) return;
+  const bool tracing = obs::trace_on();
+  while (task != nullptr) {
     Task* next = task->wake_next;
+    if (tracing)
+      obs::trace_instant("task.wakeup",
+                         reinterpret_cast<std::uint64_t>(task) &
+                             kTokenAddrMask);
     ready_.push_back(task);
     task = next;
   }

@@ -63,6 +63,11 @@ struct SimGmtConfig {
   // buffers) unaffected.
   double agg_timeout_s = 200e-6;
   bool aggregation_enabled = true;  // ablation knob
+  // Derive the flush deadline per destination from the observed arrival
+  // rate instead of the fixed agg_timeout_s above (mirrors the runtime's
+  // GMT_ADAPTIVE_FLUSH controller): heavy traffic waits for full buffers,
+  // sparse traffic flushes near the adaptive floor.
+  bool adaptive_flush = false;
 };
 
 }  // namespace gmt::sim

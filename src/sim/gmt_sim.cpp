@@ -271,6 +271,26 @@ void SimGmtRuntime::complete_iterations(ItbSim* itb, std::uint64_t n,
   }
 }
 
+namespace {
+// Mirror of the runtime's AIMD clamps (kAdaptiveQueueMin/MaxNs).
+constexpr double kAdaptiveMinS = 5e-6;
+constexpr double kAdaptiveMaxS = 1e-3;
+
+double clamp_adaptive_s(double t) {
+  return t < kAdaptiveMinS ? kAdaptiveMinS
+                           : (t > kAdaptiveMaxS ? kAdaptiveMaxS : t);
+}
+}  // namespace
+
+double SimGmtRuntime::flush_deadline_s(AggQueue& queue) const {
+  if (!config_.adaptive_flush) return config_.agg_timeout_s;
+  // Mirror of the runtime's AIMD controller: halve when a deadline flush
+  // finds the queue mostly empty, grow 5/4 when the size trigger fires.
+  if (queue.deadline_s < 0)
+    queue.deadline_s = clamp_adaptive_s(config_.agg_timeout_s);
+  return queue.deadline_s;
+}
+
 void SimGmtRuntime::append(std::uint32_t src, std::uint32_t dst,
                            Entry entry) {
   AggQueue& queue = node(src).agg[dst];
@@ -282,13 +302,26 @@ void SimGmtRuntime::append(std::uint32_t src, std::uint32_t dst,
     return;
   }
   if (queue.bytes >= config_.buffer_size) {
+    if (config_.adaptive_flush) {
+      // AIMD grow: the buffer filled before the deadline fired, so the
+      // deadline costs no latency — lengthen it for sparser phases.
+      const double t = flush_deadline_s(queue);
+      queue.deadline_s = clamp_adaptive_s(t + t / 4);
+    }
     flush(src, dst);
   } else if (queue.entries.size() == 1) {
     // First command since the last send: arm the flush deadline.
     const std::uint64_t generation = queue.generation;
-    engine_->schedule_in(config_.agg_timeout_s, [this, src, dst, generation] {
+    engine_->schedule_in(flush_deadline_s(queue),
+                         [this, src, dst, generation] {
       AggQueue& q = node(src).agg[dst];
-      if (q.generation == generation && !q.entries.empty()) flush(src, dst);
+      if (q.generation != generation || q.entries.empty()) return;
+      if (config_.adaptive_flush && q.bytes < config_.buffer_size / 4) {
+        // AIMD shrink: the deadline fired mostly empty — waiting bought
+        // almost no coalescing, so it was pure latency.
+        q.deadline_s = clamp_adaptive_s(flush_deadline_s(q) / 2);
+      }
+      flush(src, dst);
     });
   }
 }

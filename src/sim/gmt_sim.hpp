@@ -125,6 +125,10 @@ class SimGmtRuntime {
     std::vector<Entry> entries;
     std::uint64_t bytes = 0;
     std::uint64_t generation = 0;  // bumped on every send
+    // Adaptive flush (config.adaptive_flush): current AIMD deadline.
+    // Negative = not yet initialised; the first read seeds it from the
+    // configured timeout. Mirrors DestQueue::adaptive_ns in the runtime.
+    double deadline_s = -1;
   };
 
   struct WorkerSim {
@@ -163,6 +167,9 @@ class SimGmtRuntime {
                            std::uint32_t at_node);
 
   void append(std::uint32_t src, std::uint32_t dst, Entry entry);
+  // Effective flush deadline for one queue: the fixed config value, or the
+  // AIMD-tuned deadline when config.adaptive_flush (lazily seeded).
+  double flush_deadline_s(AggQueue& queue) const;
   void flush(std::uint32_t src, std::uint32_t dst);
   void deliver(std::uint32_t src, std::uint32_t dst,
                std::vector<Entry> entries, std::uint64_t wire_bytes);

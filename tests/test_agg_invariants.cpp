@@ -1,0 +1,353 @@
+// Randomized invariants for the aggregation pipeline (label: flowcontrol).
+//
+// The pipeline moves commands through three levels (thread-local blocks,
+// per-destination MPMC queues, pooled buffers on SPSC channels) with three
+// flush triggers (block full, buffer's-worth queued, deadline) — plenty of
+// interleavings for a command to get lost, duplicated, or reordered. Each
+// command here carries a unique (slot, sequence) tag so the invariants are
+// checked exactly:
+//
+//  - Deterministic suite: a seeded random schedule of appends, deadline
+//    firings and flush_all calls, drained after every step. Single-threaded
+//    scheduling makes global delivery order well-defined, so per-(slot,
+//    destination) FIFO order is asserted, plus idle() <=> quiescence at
+//    every step.
+//  - Concurrent suite: seeded random traffic from several threads with
+//    randomized flush interleavings; delivery order across threads is
+//    unspecified, so it asserts exact set-completeness (nothing lost,
+//    nothing duplicated, payloads intact) and per-thread tag monotonicity
+//    is not required.
+//  - Credit suite: the flow-control state machine driven directly (no comm
+//    server): consumption per shipped buffer, the overdraft bound, grant
+//    wrap-around, and drain/grant bookkeeping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/frame.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/aggregation.hpp"
+#include "runtime/command.hpp"
+
+namespace gmt::rt {
+namespace {
+
+Config small_config() {
+  Config c = Config::testing();
+  c.buffer_size = 1024;
+  c.cmd_block_entries = 4;
+  c.cmd_block_timeout_ns = 1'000'000;  // 1 ms
+  c.agg_queue_timeout_ns = 2'000'000;  // 2 ms
+  return c;
+}
+
+// One tagged command: slot in aux1, per-(slot,dst) sequence in aux2, and a
+// payload whose bytes are derived from the tag (corruption check).
+CmdHeader make_tagged(std::uint64_t slot, std::uint64_t seq,
+                      std::uint32_t payload_size) {
+  CmdHeader h;
+  h.op = Op::kPut;
+  h.handle = 7;
+  h.offset = seq;
+  h.token = (slot << 48) | seq;
+  h.aux1 = slot;
+  h.aux2 = seq;
+  h.payload_size = payload_size;
+  return h;
+}
+
+std::uint8_t tag_byte(std::uint64_t slot, std::uint64_t seq) {
+  return static_cast<std::uint8_t>(0x5a ^ (slot * 31 + seq));
+}
+
+struct Decoded {
+  std::uint64_t slot;
+  std::uint64_t seq;
+  std::uint32_t dst;
+};
+
+// Pops every channel buffer, decodes its commands in order and appends them
+// to `out` (delivery order: buffers of one aggregate pass land on one
+// channel in creation order). Verifies payload integrity inline.
+void drain_channels(Aggregator& agg, std::vector<Decoded>* out) {
+  for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+    AggBuffer* buffer = nullptr;
+    while (agg.slot(s).channel().pop(&buffer)) {
+      std::size_t pos = 0;
+      const std::uint8_t* payload = nullptr;
+      while (pos < buffer->data().size()) {
+        const CmdHeader h = decode_cmd(buffer->data().data(),
+                                       buffer->data().size(), &pos, &payload);
+        if (h.payload_size > 0) {
+          const std::uint8_t expected = tag_byte(h.aux1, h.aux2);
+          for (std::uint32_t b = 0; b < h.payload_size; ++b)
+            ASSERT_EQ(payload[b], expected)
+                << "payload corrupted (slot " << h.aux1 << " seq " << h.aux2
+                << ")";
+        }
+        out->push_back(Decoded{h.aux1, h.aux2, buffer->dst});
+      }
+      agg.release_buffer(buffer);
+    }
+  }
+}
+
+// ------------------------------------------------- deterministic schedule --
+
+TEST(AggInvariants, RandomScheduleKeepsPerSlotDstFifo) {
+  for (const std::uint64_t seed : {1u, 7u, 1234u}) {
+    Config config = small_config();
+    // This test drains channels only between steps, so one step must never
+    // need more buffers than the pool holds (a worst-case poll_flush can
+    // force-flush every destination at once): size pool and channels with
+    // slack for that — the live comm server usually provides it.
+    config.num_buf_per_channel = 16;
+    constexpr std::uint32_t kNodes = 4;
+    constexpr std::uint32_t kSlots = 3;
+    constexpr int kSteps = 4000;
+    Aggregator agg(config, kNodes, kSlots);
+    std::mt19937_64 rng(seed);
+
+    // Per (slot, dst): next sequence to issue / next expected to arrive.
+    std::uint64_t issued[kSlots][kNodes] = {};
+    std::uint64_t arrived[kSlots][kNodes] = {};
+    std::uint64_t in_flight = 0;
+    std::vector<Decoded> delivered;
+
+    for (int step = 0; step < kSteps; ++step) {
+      const std::uint32_t action = rng() % 100;
+      const auto slot = static_cast<std::uint32_t>(rng() % kSlots);
+      const auto dst = static_cast<std::uint32_t>(rng() % kNodes);
+      if (action < 80) {
+        // Append a tagged command of random size.
+        const auto size = static_cast<std::uint32_t>(rng() % 48);
+        const std::uint64_t seq = issued[slot][dst]++;
+        std::vector<std::uint8_t> payload(size, tag_byte(slot, seq));
+        agg.append(agg.slot(slot), dst, make_tagged(slot, seq, size),
+                   payload.empty() ? nullptr : payload.data());
+        ++in_flight;
+      } else if (action < 90) {
+        // Deadline firing: far-future now forces every timeout.
+        agg.poll_flush(agg.slot(slot),
+                       wall_ns() + config.agg_queue_timeout_ns * 1000);
+      } else if (action < 95) {
+        // No-op poll at the current time (deadlines usually not reached).
+        agg.poll_flush(agg.slot(slot), wall_ns());
+      } else {
+        agg.flush_all(agg.slot(slot));
+      }
+
+      // Drain after every step; delivery order is deterministic here.
+      delivered.clear();
+      drain_channels(agg, &delivered);
+      for (const Decoded& d : delivered) {
+        ASSERT_LT(d.slot, kSlots);
+        ASSERT_LT(d.dst, kNodes);
+        ASSERT_EQ(d.seq, arrived[d.slot][d.dst])
+            << "seed " << seed << " step " << step
+            << ": out-of-order or duplicated delivery for slot " << d.slot
+            << " -> dst " << d.dst;
+        ++arrived[d.slot][d.dst];
+        --in_flight;
+      }
+      // idle() <=> nothing buffered anywhere.
+      ASSERT_EQ(agg.idle(), in_flight == 0)
+          << "seed " << seed << " step " << step << ": idle()="
+          << agg.idle() << " but " << in_flight << " commands in flight";
+    }
+
+    // Final quiescence: flush everything, nothing lost.
+    for (std::uint32_t s = 0; s < kSlots; ++s) agg.flush_all(agg.slot(s));
+    delivered.clear();
+    drain_channels(agg, &delivered);
+    for (const Decoded& d : delivered) {
+      ASSERT_EQ(d.seq, arrived[d.slot][d.dst]);
+      ++arrived[d.slot][d.dst];
+      --in_flight;
+    }
+    EXPECT_EQ(in_flight, 0u) << "seed " << seed << ": commands lost";
+    for (std::uint32_t s = 0; s < kSlots; ++s)
+      for (std::uint32_t d = 0; d < kNodes; ++d)
+        EXPECT_EQ(arrived[s][d], issued[s][d])
+            << "seed " << seed << " slot " << s << " dst " << d;
+    EXPECT_TRUE(agg.idle());
+  }
+}
+
+// ---------------------------------------------------- concurrent traffic --
+
+TEST(AggInvariants, ConcurrentRandomTrafficLosesNothing) {
+  Config config = small_config();
+  config.num_buf_per_channel = 8;
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kThreads = 3;
+  constexpr std::uint64_t kPerThread = 4000;
+  Aggregator agg(config, kNodes, kThreads);
+
+  // Every delivered (slot, seq) pair, tallied by the drainer. seq is unique
+  // per slot here (single counter across destinations).
+  std::vector<std::vector<std::uint32_t>> seen(
+      kThreads, std::vector<std::uint32_t>(kPerThread, 0));
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    for (;;) {
+      bool any = false;
+      for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+        AggBuffer* buffer = nullptr;
+        while (agg.slot(s).channel().pop(&buffer)) {
+          std::size_t pos = 0;
+          const std::uint8_t* payload = nullptr;
+          while (pos < buffer->data().size()) {
+            const CmdHeader h = decode_cmd(
+                buffer->data().data(), buffer->data().size(), &pos, &payload);
+            ASSERT_LT(h.aux1, kThreads);
+            ASSERT_LT(h.aux2, kPerThread);
+            if (h.payload_size > 0) {
+              const std::uint8_t expected = tag_byte(h.aux1, h.aux2);
+              for (std::uint32_t b = 0; b < h.payload_size; ++b)
+                ASSERT_EQ(payload[b], expected);
+            }
+            ++seen[h.aux1][h.aux2];
+            drained.fetch_add(1);
+          }
+          agg.release_buffer(buffer);
+          any = true;
+        }
+      }
+      if (!any && stop.load()) break;
+      if (!any) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> appenders;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    appenders.emplace_back([&, t] {
+      std::mt19937_64 rng(0xfeed + t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const auto dst = static_cast<std::uint32_t>(rng() % kNodes);
+        const auto size = static_cast<std::uint32_t>(rng() % 64);
+        std::vector<std::uint8_t> payload(size, tag_byte(t, i));
+        agg.append(agg.slot(t), dst, make_tagged(t, i, size),
+                   payload.empty() ? nullptr : payload.data());
+        // Randomized flush interleavings against the other appenders.
+        if (rng() % 97 == 0)
+          agg.poll_flush(agg.slot(t),
+                         wall_ns() + config.agg_queue_timeout_ns * 1000);
+        if (rng() % 211 == 0) agg.flush_all(agg.slot(t));
+      }
+      agg.flush_all(agg.slot(t));
+    });
+  }
+  for (auto& thread : appenders) thread.join();
+  agg.flush_all(agg.slot(0));  // leftovers another thread's queue may hold
+  stop.store(true);
+  drainer.join();
+
+  EXPECT_EQ(drained.load(), kThreads * kPerThread);
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      ASSERT_EQ(seen[t][i], 1u) << "thread " << t << " command " << i
+                                << (seen[t][i] ? " duplicated" : " lost");
+  EXPECT_TRUE(agg.idle());
+}
+
+// -------------------------------------------------- credit state machine --
+
+TEST(AggInvariants, CreditsGateAggregationAndGrantsReopen) {
+  Config config = small_config();
+  config.reliable_transport = true;
+  config.flow_credits = 2;
+  obs::Registry registry("test");
+  Aggregator agg(config, /*nodes=*/2, /*threads=*/1, &registry);
+  AggregationSlot& slot = agg.slot(0);
+  ASSERT_TRUE(agg.flow_enabled());
+  ASSERT_EQ(agg.credits_available(1), 2);
+
+  // Saturate destination 1 far past the credit window.
+  const CmdHeader put = make_tagged(0, 0, 100);
+  std::vector<std::uint8_t> payload(100, tag_byte(0, 0));
+  const std::size_t per_cmd = cmd_wire_size(put);
+  const std::size_t commands = 30 * (config.buffer_size / per_cmd);
+  std::uint64_t appended = 0;
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < commands; ++i) {
+    agg.append(slot, 1, put, payload.data());
+    ++appended;
+    AggBuffer* buffer = nullptr;  // play comm server: drain, but do NOT
+    while (slot.channel().pop(&buffer)) {  // grant credits back yet
+      ++sent;
+      agg.release_buffer(buffer);
+    }
+  }
+  agg.flush_all(slot);
+  AggBuffer* buffer = nullptr;
+  while (slot.channel().pop(&buffer)) {
+    ++sent;
+    agg.release_buffer(buffer);
+  }
+  // The window limits shipped buffers: 2 credits, plus at most one
+  // overdraft per aggregation pass holding a popped block.
+  EXPECT_GE(sent, 1u);
+  EXPECT_LE(agg.stats().credits_consumed.read(), 3u);
+  EXPECT_LE(agg.credits_available(1), 0);
+  EXPECT_FALSE(agg.idle());  // the backlog is credit-gated, not lost
+
+  // Stale/duplicate adverts must not mint credits.
+  const std::int64_t before = agg.credits_available(1);
+  agg.apply_credit_grant(1, 0);                    // duplicate of initial
+  agg.apply_credit_grant(1, static_cast<std::uint16_t>(-5));  // stale wrap
+  EXPECT_EQ(agg.credits_available(1), before);
+
+  // Grants reopen the window; repeated grant/drain rounds deliver the
+  // whole backlog with never more than the window in flight per round.
+  std::uint16_t cumulative = 0;
+  std::uint64_t delivered_cmds = 0;
+  for (int round = 0; round < 10000 && !agg.idle(); ++round) {
+    cumulative = static_cast<std::uint16_t>(cumulative + 2);
+    agg.apply_credit_grant(1, cumulative);
+    agg.poll_flush(slot, wall_ns() + config.agg_queue_timeout_ns * 1000);
+    std::uint64_t sent_this_round = 0;
+    while (slot.channel().pop(&buffer)) {
+      // reliable_transport reserves a frame-header prefix in each buffer.
+      std::size_t pos = net::kFrameHeaderSize;
+      const std::uint8_t* p = nullptr;
+      while (pos < buffer->data().size()) {
+        decode_cmd(buffer->data().data(), buffer->data().size(), &pos, &p);
+        ++delivered_cmds;
+      }
+      ++sent_this_round;
+      agg.release_buffer(buffer);
+    }
+    EXPECT_LE(sent_this_round, 3u);  // window + overdraft
+  }
+  EXPECT_TRUE(agg.idle());
+  // Commands shipped before the gate plus the granted rounds cover all.
+  std::uint64_t total = delivered_cmds;
+  EXPECT_LE(total, appended);
+  // Everything eventually delivered: drain bookkeeping agrees.
+  EXPECT_EQ(agg.stats().commands.read(), appended);
+}
+
+TEST(AggInvariants, DrainedCreditAccumulatesPerSource) {
+  Config config = small_config();
+  config.reliable_transport = true;
+  config.flow_credits = 4;
+  obs::Registry registry("test");
+  Aggregator agg(config, /*nodes=*/3, /*threads=*/1, &registry);
+  EXPECT_EQ(agg.drained_credit(1), 0u);
+  for (int i = 0; i < 5; ++i) agg.note_buffer_drained(1);
+  agg.note_buffer_drained(2);
+  EXPECT_EQ(agg.drained_credit(1), 5u);
+  EXPECT_EQ(agg.drained_credit(2), 1u);
+  EXPECT_EQ(agg.stats().credits_granted.read(), 6u);
+}
+
+}  // namespace
+}  // namespace gmt::rt
