@@ -105,6 +105,15 @@ inline constexpr const char* kAggCreditStallNs = "agg.credits.stall_ns";
 inline constexpr const char* kAggBlocksEmergency = "agg.blocks_emergency";
 inline constexpr const char* kAggAdaptiveQueueNs = "agg.adaptive.queue_ns";
 inline constexpr const char* kAggAdaptiveBlockNs = "agg.adaptive.block_ns";
+inline constexpr const char* kMemLiveHandles = "gmt.mem.live_handles";
+inline constexpr const char* kMemLiveBytes = "gmt.mem.live_bytes";
+inline constexpr const char* kMemFreeListDepth = "gmt.mem.free_list";
+inline constexpr const char* kMemAllocs = "gmt.mem.allocs";
+inline constexpr const char* kMemFrees = "gmt.mem.frees";
+inline constexpr const char* kMemSlotsRecycled = "gmt.mem.slots_recycled";
+inline constexpr const char* kMemDeferredReclaims =
+    "gmt.mem.deferred_reclaims";
+inline constexpr const char* kMemSlotsOrphaned = "gmt.mem.slots_orphaned";
 inline constexpr const char* kNetMessages = "net.messages";
 inline constexpr const char* kNetBytes = "net.bytes";
 inline constexpr const char* kIncomingDepth = "net.incoming_depth";

@@ -12,6 +12,11 @@ using gmt_handle = std::uint64_t;
 inline constexpr gmt_handle kNullHandle = 0;
 
 // Data distribution policies (paper §III-C).
+//
+// kRemote on a single-node cluster has no "other" node to place data on;
+// it deliberately degenerates to one partition on the allocating node
+// (equivalent to kLocal). This is documented, tested behaviour — see
+// GlobalMemory::partition_count — not an error.
 enum class Alloc : std::uint8_t {
   kPartition = 0,  // block-distributed uniformly across all nodes
   kLocal = 1,      // entirely on the allocating node

@@ -6,9 +6,10 @@
 # Usage: scripts/check.sh [--asan] [--tsan] [--bench-smoke] [--obs-smoke]
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
-#                  sensitive labels (runtime|aggregation|flowcontrol) —
-#                  the scheduler, aggregation pipeline and flow control
-#                  are where data races would live
+#                  sensitive labels (runtime|aggregation|flowcontrol|
+#                  memory) — the scheduler, aggregation pipeline, flow
+#                  control and memory reclamation are where data races
+#                  would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -40,13 +41,16 @@ builddir=build
 
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
-  ctest --test-dir "$builddir" -L 'runtime|aggregation|flowcontrol' \
+  ctest --test-dir "$builddir" -L 'runtime|aggregation|flowcontrol|memory' \
     --output-on-failure
   exit 0
 fi
 
 echo "== tier-1 tests =="
 ctest --test-dir "$builddir" -LE 'fault|perf-smoke|obs-smoke' --output-on-failure -j "$jobs"
+
+echo "== memory lifecycle tests =="
+ctest --test-dir "$builddir" -L memory --output-on-failure
 
 echo "== fault-injection tests =="
 ctest --test-dir "$builddir" -L fault --output-on-failure

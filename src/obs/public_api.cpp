@@ -116,6 +116,26 @@ std::string stats_report() {
     out += line;
   }
 
+  if (const std::uint64_t allocs = total.counter(obs::names::kMemAllocs);
+      allocs != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "memory: %lld live entries (%s), %llu allocs, %llu frees, "
+        "%llu slots recycled, %llu deferred reclaims, free list %lld\n",
+        static_cast<long long>(total.gauge(obs::names::kMemLiveHandles)),
+        format_bytes(
+            static_cast<double>(total.gauge(obs::names::kMemLiveBytes)))
+            .c_str(),
+        static_cast<unsigned long long>(allocs),
+        static_cast<unsigned long long>(total.counter(obs::names::kMemFrees)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMemSlotsRecycled)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMemDeferredReclaims)),
+        static_cast<long long>(total.gauge(obs::names::kMemFreeListDepth)));
+    out += line;
+  }
+
   const std::uint64_t faults =
       total.counter(obs::names::kFaultDrops) +
       total.counter(obs::names::kFaultDuplicates) +

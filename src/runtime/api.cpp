@@ -37,8 +37,14 @@ gmt_handle gmt_new(std::uint64_t size, Alloc policy) {
   return w.node().op_alloc(w, size, policy);
 }
 
+// Contract: the handle must be live (allocated, not yet freed) and the
+// caller must have quiesced its own outstanding operations against it.
+// Freeing recycles the slot — a later allocation may reuse it under a new
+// generation — so stale handles kept past the free abort loudly rather
+// than aliasing the new array.
 void gmt_free(gmt_handle handle) {
   rt::Worker& w = current_worker();
+  GMT_CHECK_MSG(handle != kNullHandle, "gmt_free of null handle");
   w.node().op_free(w, handle);
 }
 

@@ -125,6 +125,9 @@ void Cluster::stop() {
   sampler_.reset();
   for (auto& node : nodes_) node->request_stop();
   for (auto& node : nodes_) node->join();
+  // All workers and helpers are parked, so no accessor pin is live: any
+  // free that was deferred behind a pinned epoch is reclaimable now.
+  for (auto& node : nodes_) node->memory().reclaim_deferred();
   started_ = false;
   // Mirror the transport fault-injection totals into the metrics registry:
   // they accumulate in transport-level atomics outside the obs shards, and

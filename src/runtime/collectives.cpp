@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "runtime/node.hpp"
 
 namespace gmt::coll {
 
@@ -69,9 +70,10 @@ void min_body(std::uint64_t stripe, const void* raw) {
   std::uint64_t local = ~0ULL;
   for (std::uint64_t i = 0; i < n; ++i)
     if (buffer[i] < local) local = buffer[i];
-  // CAS-minimise the global cell.
-  std::uint64_t seen;
-  gmt_get(args.accumulator, 0, &seen, 8);
+  // CAS-minimise the global cell. The first CAS doubles as the read that
+  // seeds `seen` — a no-op write when the cell already equals `local` —
+  // saving the blocking gmt_get round-trip the loop used to start with.
+  std::uint64_t seen = gmt_atomic_cas(args.accumulator, 0, local, local, 8);
   while (local < seen) {
     const std::uint64_t old = gmt_atomic_cas(args.accumulator, 0, seen,
                                              local, 8);
@@ -91,8 +93,9 @@ void max_body(std::uint64_t stripe, const void* raw) {
   std::uint64_t local = 0;
   for (std::uint64_t i = 0; i < n; ++i)
     if (buffer[i] > local) local = buffer[i];
-  std::uint64_t seen;
-  gmt_get(args.accumulator, 0, &seen, 8);
+  // Seed `seen` from the first CAS return instead of a blocking gmt_get
+  // (see min_body).
+  std::uint64_t seen = gmt_atomic_cas(args.accumulator, 0, local, local, 8);
   while (local > seen) {
     const std::uint64_t old = gmt_atomic_cas(args.accumulator, 0, seen,
                                              local, 8);
@@ -149,6 +152,25 @@ void copy_body(std::uint64_t stripe, const void* raw) {
   gmt_put(args.dst, args.dst_offset + begin, buffer.data(), n);
 }
 
+// Scratch accumulator lifecycle: reductions claim the calling node's cached
+// 8-byte cell and seed it with `init`; when the cache is empty or already
+// claimed by a concurrent reduction, they fall back to a fresh allocation.
+// Before slot recycling this alloc/free-per-reduction pattern was the
+// fastest way to exhaust the handle space (ISSUE 5); it is still two
+// broadcast barriers per call, so the cache stays.
+gmt_handle scratch_acquire(std::uint64_t init) {
+  rt::Node& node = rt::Worker::current()->node();
+  gmt_handle h = node.coll_scratch_acquire();
+  if (h == kNullHandle) h = gmt_new(8, Alloc::kPartition);
+  gmt_put_value(h, 0, init, 8);
+  return h;
+}
+
+void scratch_release(gmt_handle h) {
+  rt::Node& node = rt::Worker::current()->node();
+  if (!node.coll_scratch_release(h)) gmt_free(h);
+}
+
 std::uint64_t run_reduction(gmt_handle array, std::uint64_t first,
                             std::uint64_t count, TaskFn body,
                             std::uint64_t init) {
@@ -157,13 +179,12 @@ std::uint64_t run_reduction(gmt_handle array, std::uint64_t first,
   args.array = array;
   args.first = first;
   args.count = count;
-  args.accumulator = gmt_new(8, Alloc::kPartition);
-  gmt_put_value(args.accumulator, 0, init, 8);
+  args.accumulator = scratch_acquire(init);
   gmt_parfor(stripe_count(count), 0, body, &args, sizeof(args),
              Spawn::kPartition);
   std::uint64_t result = 0;
   gmt_get(args.accumulator, 0, &result, 8);
-  gmt_free(args.accumulator);
+  scratch_release(args.accumulator);
   return result;
 }
 
@@ -204,12 +225,12 @@ std::uint64_t count_equal_u64(gmt_handle array, std::uint64_t first,
   args.first = first;
   args.count = count;
   args.value = value;
-  args.accumulator = gmt_new(8, Alloc::kPartition);
+  args.accumulator = scratch_acquire(0);
   gmt_parfor(stripe_count(count), 0, &count_body, &args, sizeof(args),
              Spawn::kPartition);
   std::uint64_t result = 0;
   gmt_get(args.accumulator, 0, &result, 8);
-  gmt_free(args.accumulator);
+  scratch_release(args.accumulator);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/global_memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace gmt::rt {
@@ -8,7 +9,10 @@ std::uint64_t ArrayMeta::decompose_fill(std::uint64_t offset,
                                         std::uint64_t length, OwnedSpan* out,
                                         std::size_t cap,
                                         std::size_t* count) const {
-  GMT_CHECK_MSG(offset + length <= size, "gmt access out of bounds");
+  // Overflow-proof form: `offset + length <= size` wraps for offsets near
+  // 2^64 and would admit out-of-bounds decompositions.
+  GMT_CHECK_MSG(offset <= size && length <= size - offset,
+                "gmt access out of bounds");
   const std::uint64_t block = block_size();
   std::uint64_t pos = offset;
   std::uint64_t remaining = length;
@@ -39,18 +43,116 @@ void ArrayMeta::decompose(std::uint64_t offset, std::uint64_t length,
   } while (covered < length);
 }
 
+void MemStats::bind(obs::Registry& reg) {
+  live_handles = reg.gauge(obs::names::kMemLiveHandles);
+  live_bytes = reg.gauge(obs::names::kMemLiveBytes);
+  free_list_depth = reg.gauge(obs::names::kMemFreeListDepth);
+  allocs = reg.counter(obs::names::kMemAllocs);
+  frees = reg.counter(obs::names::kMemFrees);
+  slots_recycled = reg.counter(obs::names::kMemSlotsRecycled);
+  deferred_reclaims = reg.counter(obs::names::kMemDeferredReclaims);
+  slots_orphaned = reg.counter(obs::names::kMemSlotsOrphaned);
+}
+
+namespace {
+
+inline std::uint64_t pack_head(std::uint64_t tag, std::uint32_t slot) {
+  return (tag << 32) | slot;
+}
+
+std::atomic<std::uint64_t> g_gm_uid{1};
+
+// Per-thread accessor registration cache: one entry, keyed by instance
+// uid (not pointer — a recreated GlobalMemory can reuse the address).
+// Runtime threads only ever touch their own node's table, so a single
+// slot is a 100% hit. `depth` makes AccessGuard nestable: only the
+// outermost guard publishes/clears the epoch.
+struct TlsAccessor {
+  std::uint64_t gm_uid = 0;
+  std::uint32_t idx = 0;
+  std::uint32_t depth = 0;
+};
+thread_local TlsAccessor t_accessor;
+
+}  // namespace
+
 GlobalMemory::GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
-                           std::uint32_t max_handles)
+                           std::uint32_t max_handles, obs::Registry* registry)
     : node_id_(node_id),
       num_nodes_(num_nodes),
       max_handles_(max_handles),
-      slots_(max_handles) {}
+      uid_(g_gm_uid.fetch_add(1, std::memory_order_relaxed)),
+      slots_(max_handles),
+      free_head_(pack_head(0, kNoFreeSlot)),
+      accessors_(std::make_unique<Accessor[]>(kMaxAccessors)) {
+  if (registry != nullptr) stats_.bind(*registry);
+}
+
+GlobalMemory::~GlobalMemory() {
+  // Threads are joined before the owning Node dies, so nobody is pinned:
+  // drain the deferred list and delete whatever the application never
+  // freed (the table owns its entries; leaking them on teardown would
+  // trip ASan on every test that ends with live arrays).
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    for (Deferred& d : deferred_) delete d.array;
+    deferred_.clear();
+  }
+  for (Slot& slot : slots_)
+    delete slot.array.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------- free list --
+
+void GlobalMemory::push_free(std::uint32_t slot) {
+  std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    slots_[slot].next_free.store(static_cast<std::uint32_t>(head),
+                                 std::memory_order_relaxed);
+    const std::uint64_t next = pack_head((head >> 32) + 1, slot);
+    if (free_head_.compare_exchange_weak(head, next,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed))
+      break;
+  }
+  free_depth_.fetch_add(1, std::memory_order_relaxed);
+  stats_.free_list_depth.inc();
+}
+
+std::uint32_t GlobalMemory::pop_free() {
+  std::uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    const auto slot = static_cast<std::uint32_t>(head);
+    if (slot == kNoFreeSlot) return kNoFreeSlot;
+    const std::uint32_t next =
+        slots_[slot].next_free.load(std::memory_order_relaxed);
+    const std::uint64_t want = pack_head((head >> 32) + 1, next);
+    if (free_head_.compare_exchange_weak(head, want,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      free_depth_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.free_list_depth.dec();
+      return slot;
+    }
+  }
+}
+
+// -------------------------------------------------------- handle table --
 
 gmt_handle GlobalMemory::reserve_handle() {
-  const std::uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
-  GMT_CHECK_MSG(slot < max_handles_, "handle space exhausted");
-  const std::uint16_t gen = static_cast<std::uint16_t>(
+  // Alloc-time reclamation keeps the deferred list bounded under steady
+  // alloc/free traffic without a dedicated reaper thread.
+  reclaim_deferred();
+  std::uint32_t slot = pop_free();
+  if (slot == kNoFreeSlot) {
+    slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    GMT_CHECK_MSG(slot < max_handles_, "handle space exhausted");
+  } else {
+    stats_.slots_recycled.add();
+  }
+  std::uint16_t gen = static_cast<std::uint16_t>(
       slots_[slot].generation.load(std::memory_order_relaxed) + 1);
+  if (gen == 0) gen = 1;  // generation 0 is reserved: never a live handle
   return make_handle(node_id_, slot, gen);
 }
 
@@ -60,6 +162,8 @@ void GlobalMemory::register_array(gmt_handle handle, std::uint64_t size,
   GMT_CHECK(slot > 0 && slot < max_handles_);
   GMT_CHECK_MSG(slots_[slot].array.load(std::memory_order_acquire) == nullptr,
                 "handle slot already registered");
+  GMT_CHECK_MSG(handle_generation(handle) != 0,
+                "handle with null generation");
 
   auto array = std::make_unique<LocalArray>();
   array->meta.size = size;
@@ -76,6 +180,11 @@ void GlobalMemory::register_array(gmt_handle handle, std::uint64_t size,
     local_bytes_.fetch_add(mine, std::memory_order_relaxed);
   }
 
+  live_handles_.fetch_add(1, std::memory_order_relaxed);
+  stats_.allocs.add();
+  stats_.live_handles.inc();
+  stats_.live_bytes.add(static_cast<std::int64_t>(mine));
+
   slots_[slot].generation.store(handle_generation(handle),
                                 std::memory_order_relaxed);
   slots_[slot].array.store(array.release(), std::memory_order_release);
@@ -90,7 +199,21 @@ void GlobalMemory::unregister_array(gmt_handle handle) {
   GMT_CHECK_MSG(array->meta.generation == handle_generation(handle),
                 "stale handle in gmt_free");
   local_bytes_.fetch_sub(array->partition_bytes, std::memory_order_relaxed);
-  delete array;
+  live_handles_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.frees.add();
+  stats_.live_handles.dec();
+  stats_.live_bytes.add(-static_cast<std::int64_t>(array->partition_bytes));
+  retire(array);
+}
+
+void GlobalMemory::recycle_handle(gmt_handle handle) {
+  GMT_CHECK_MSG(handle_node(handle) == node_id_,
+                "recycle_handle off the reserving node");
+  const std::uint32_t slot = handle_slot(handle);
+  GMT_CHECK(slot > 0 && slot < max_handles_);
+  GMT_CHECK_MSG(slots_[slot].array.load(std::memory_order_acquire) == nullptr,
+                "recycle of a slot still registered");
+  push_free(slot);
 }
 
 LocalArray& GlobalMemory::get(gmt_handle handle) {
@@ -103,11 +226,114 @@ LocalArray& GlobalMemory::get(gmt_handle handle) {
   return *array;
 }
 
+ArrayMeta GlobalMemory::meta(gmt_handle handle) {
+  AccessGuard guard(*this);
+  return get(handle).meta;
+}
+
 bool GlobalMemory::valid(gmt_handle handle) const {
   const std::uint32_t slot = handle_slot(handle);
   if (slot == 0 || slot >= max_handles_) return false;
   const LocalArray* array = slots_[slot].array.load(std::memory_order_acquire);
   return array && array->meta.generation == handle_generation(handle);
+}
+
+// -------------------------------------------------- deferred reclamation --
+
+std::uint32_t GlobalMemory::accessor_index() {
+  if (t_accessor.gm_uid == uid_) return t_accessor.idx;
+  // A thread may re-register against another table (tests that touch
+  // several instances), but never while a guard on the old one is live —
+  // the depth counter is shared across instances.
+  GMT_DCHECK(t_accessor.depth == 0);
+  const std::uint32_t idx =
+      num_accessors_.fetch_add(1, std::memory_order_acq_rel);
+  GMT_CHECK_MSG(idx < kMaxAccessors, "too many gmt memory accessor threads");
+  t_accessor.gm_uid = uid_;
+  t_accessor.idx = idx;
+  t_accessor.depth = 0;
+  return idx;
+}
+
+void GlobalMemory::pin(std::uint32_t idx) {
+  // Publish the pinned epoch, then confirm the global epoch did not move:
+  // both operations are seq_cst, so a retirer that bumped the epoch before
+  // our re-read is guaranteed to either observe this pin in its scan or
+  // have its slot-clearing exchange visible to our subsequent get() —
+  // either way the array cannot be freed under us (store/load ordering,
+  // same shape as the task park/wake handshake).
+  std::atomic<std::uint64_t>& cell = accessors_[idx].epoch;
+  std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  for (;;) {
+    cell.store(e, std::memory_order_seq_cst);
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    if (g == e) break;
+    e = g;
+  }
+}
+
+void GlobalMemory::unpin(std::uint32_t idx) {
+  // seq_cst (a release is the minimum): a reclaim scan that reads the 0
+  // synchronizes with it, ordering this thread's accesses before any
+  // delete the scan performs.
+  accessors_[idx].epoch.store(0, std::memory_order_seq_cst);
+}
+
+GlobalMemory::AccessGuard::AccessGuard(GlobalMemory& gm)
+    : gm_(gm), idx_(gm.accessor_index()), outermost_(t_accessor.depth == 0) {
+  if (outermost_) gm_.pin(idx_);
+  ++t_accessor.depth;
+}
+
+GlobalMemory::AccessGuard::~AccessGuard() {
+  --t_accessor.depth;
+  if (outermost_) gm_.unpin(idx_);
+}
+
+void GlobalMemory::retire(LocalArray* array) {
+  const std::uint64_t safe =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  deferred_.push_back(Deferred{array, safe, false});
+  reclaim_locked();
+}
+
+void GlobalMemory::reclaim_deferred() {
+  // Lock-free empty check first: the steady-state alloc path must not take
+  // the mutex when nothing is retired.
+  if (deferred_count_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  reclaim_locked();
+}
+
+void GlobalMemory::reclaim_locked() {
+  if (deferred_.empty()) return;
+  // An entry is freeable once every pinned accessor's epoch is at or past
+  // its retire epoch: such accessors pinned after the slot was emptied, so
+  // their get() fails loudly instead of returning the dying array.
+  std::uint64_t min_active = ~std::uint64_t{0};
+  const std::uint32_t n = num_accessors_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t e = accessors_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_active) min_active = e;
+  }
+  auto keep = deferred_.begin();
+  for (auto it = deferred_.begin(); it != deferred_.end(); ++it) {
+    if (it->safe_epoch <= min_active) {
+      delete it->array;
+      if (it->survived_scan) stats_.deferred_reclaims.add();
+    } else {
+      it->survived_scan = true;
+      *keep++ = *it;
+    }
+  }
+  deferred_.erase(keep, deferred_.end());
+  deferred_count_.store(deferred_.size(), std::memory_order_release);
+}
+
+std::size_t GlobalMemory::deferred_depth() const {
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  return deferred_.size();
 }
 
 }  // namespace gmt::rt

@@ -7,15 +7,32 @@
 // of each allocation's metadata (size, policy, block size) plus the storage
 // for its own partition — exactly the state a PGAS runtime replicates so no
 // remote lookup is ever needed to route a request.
+//
+// Handle lifecycle (see DESIGN.md "Handle lifecycle"):
+//
+//  - *Slot recycling.* Retired slots return to a lock-free free list on the
+//    node that reserved them; reuse bumps the slot's 16-bit generation
+//    (skipping the reserved null generation 0), so a stale handle still
+//    fails loudly in get()/valid() while steady alloc/free traffic never
+//    exhausts the handle space.
+//  - *Deferred reclamation.* unregister_array unlinks the LocalArray
+//    immediately (new lookups fail) but defers the delete until every
+//    pinned accessor has moved past the retire epoch. Helpers pin around
+//    each incoming buffer and workers around each local fast-path access,
+//    so a remote op racing a free either completes against still-live
+//    storage or fails the generation check — never a use-after-free.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/cacheline.hpp"
 #include "gmt/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace gmt::rt {
 
@@ -51,7 +68,10 @@ struct ArrayMeta {
   std::uint32_t num_nodes = 1;   // cluster size at allocation
   std::uint16_t generation = 0;
 
-  // Nodes that hold a partition, in partition order.
+  // Nodes that hold a partition, in partition order. kRemote on a
+  // single-node cluster has nobody else to hold the data, so it
+  // deliberately degenerates to one home-node partition (same as kLocal);
+  // this is documented, tested behaviour, not a silent fallback.
   std::uint32_t partition_count() const {
     switch (policy) {
       case Alloc::kPartition: return num_nodes;
@@ -139,18 +159,40 @@ struct LocalArray {
   }
 };
 
+// Lifecycle metrics surfaced to the obs registry (inert when unbound).
+struct MemStats {
+  obs::Gauge live_handles;       // entries registered in this node's table
+  obs::Gauge live_bytes;         // partition bytes held on this node
+  obs::Gauge free_list_depth;    // retired slots awaiting reuse
+  obs::Counter allocs;           // register_array calls
+  obs::Counter frees;            // unregister_array calls
+  obs::Counter slots_recycled;   // reservations served from the free list
+  obs::Counter deferred_reclaims;  // frees that outlived a reclaim scan
+  obs::Counter slots_orphaned;   // frees initiated off the home node
+
+  void bind(obs::Registry& reg);
+};
+
 // The handle table of one node. Registration happens via broadcast ALLOC
 // commands, so all nodes agree on (slot, generation) for each handle.
 class GlobalMemory {
  public:
   GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
-               std::uint32_t max_handles = 1 << 16);
+               std::uint32_t max_handles = 1 << 16,
+               obs::Registry* registry = nullptr);
+  ~GlobalMemory();
+  GlobalMemory(const GlobalMemory&) = delete;
+  GlobalMemory& operator=(const GlobalMemory&) = delete;
 
   std::uint32_t node_id() const { return node_id_; }
   std::uint32_t num_nodes() const { return num_nodes_; }
 
-  // Reserves a slot on the allocating node (local step of gmt_new).
-  // Returns the handle all nodes will register under.
+  // Reserves a slot on the allocating node (local step of gmt_new):
+  // recycled from the free list when one is available, carved from the
+  // monotonic counter otherwise. Returns the handle all nodes will
+  // register under; its generation is the slot's previous generation + 1
+  // (never the reserved null generation 0), so every handle minted against
+  // an earlier incarnation of the slot fails the get()/valid() check.
   gmt_handle reserve_handle();
 
   // Registers an allocation under `handle` and materialises this node's
@@ -158,32 +200,135 @@ class GlobalMemory {
   void register_array(gmt_handle handle, std::uint64_t size, Alloc policy,
                       std::uint32_t home_node);
 
-  // Drops the allocation and frees this node's partition.
+  // Drops the allocation: the slot empties immediately (new lookups fail)
+  // and this node's partition is reclaimed once no pinned accessor can
+  // still hold it (immediately when nobody is pinned).
   void unregister_array(gmt_handle handle);
+
+  // Returns `handle`'s slot to this node's free list for reuse. Only legal
+  // on the reserving node (handle_node(handle) == node_id()), after the
+  // free protocol fully completed: every node has unregistered, so a
+  // broadcast re-registration of the recycled slot can no longer race an
+  // in-flight FREE. The caller (op_free) guarantees that ordering.
+  void recycle_handle(gmt_handle handle);
+
+  // Records a free whose initiating node is not the reserving node: the
+  // slot retires without recycling (reuse would race the in-flight FREE
+  // broadcast at third nodes). Observability only.
+  void note_orphaned_slot() { stats_.slots_orphaned.add(); }
 
   // Lookup; fails loudly on stale or unknown handles.
   LocalArray& get(gmt_handle handle);
-  const ArrayMeta& meta(gmt_handle handle) { return get(handle).meta; }
+
+  // Metadata by value: safe to hold across fiber suspension points, where
+  // a reference into the LocalArray could dangle if another task frees the
+  // handle while this one is parked.
+  ArrayMeta meta(gmt_handle handle);
 
   bool valid(gmt_handle handle) const;
+
+  // ---- deferred reclamation (epoch pins) ----
+
+  // Marks the calling thread as actively dereferencing table entries.
+  // While a guard is live, any LocalArray obtained from get() stays
+  // allocated even if another thread unregisters it; the delete is
+  // deferred until the guard (and every other active guard pinned before
+  // the retire) drops. Nestable on one thread; cheap (one fenced store
+  // per outermost pin).
+  class AccessGuard {
+   public:
+    explicit AccessGuard(GlobalMemory& gm);
+    ~AccessGuard();
+    AccessGuard(const AccessGuard&) = delete;
+    AccessGuard& operator=(const AccessGuard&) = delete;
+
+   private:
+    GlobalMemory& gm_;
+    std::uint32_t idx_;
+    bool outermost_;
+  };
+
+  // Frees every deferred partition no pinned accessor can still reach.
+  // Called opportunistically on the alloc/free paths and at teardown.
+  void reclaim_deferred();
 
   // Bytes currently allocated for partitions on this node.
   std::uint64_t local_bytes() const {
     return local_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Test/report introspection (racy snapshots).
+  std::size_t free_list_depth() const {
+    return free_depth_.load(std::memory_order_relaxed);
+  }
+  std::size_t deferred_depth() const;
+  std::uint64_t live_handles() const {
+    return live_handles_.load(std::memory_order_relaxed);
+  }
+
  private:
+  friend class AccessGuard;
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr std::uint32_t kMaxAccessors = 256;
+
   struct Slot {
     std::atomic<LocalArray*> array{nullptr};
     std::atomic<std::uint16_t> generation{0};
+    // Intrusive link for the retired-slot free list (valid only while the
+    // slot sits in the list).
+    std::atomic<std::uint32_t> next_free{0};
   };
+
+  // One pinned-epoch cell per accessor thread. 0 = quiescent; a non-zero
+  // value is the global epoch observed when the thread pinned.
+  struct alignas(kCacheLine) Accessor {
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  // An unlinked LocalArray awaiting reclamation: freeable once every
+  // active accessor's pinned epoch reaches safe_epoch.
+  struct Deferred {
+    LocalArray* array;
+    std::uint64_t safe_epoch;
+    bool survived_scan;  // outlived at least one reclaim pass
+  };
+
+  void push_free(std::uint32_t slot);
+  std::uint32_t pop_free();
+  std::uint32_t accessor_index();  // registers the calling thread lazily
+  void pin(std::uint32_t idx);
+  void unpin(std::uint32_t idx);
+  void retire(LocalArray* array);
+  void reclaim_locked();
 
   const std::uint32_t node_id_;
   const std::uint32_t num_nodes_;
   const std::uint32_t max_handles_;
+  const std::uint64_t uid_;  // distinguishes instances for the TLS cache
   std::vector<Slot> slots_;
   std::atomic<std::uint32_t> next_slot_{1};  // slot 0 unused (null handle)
   std::atomic<std::uint64_t> local_bytes_{0};
+  std::atomic<std::uint64_t> live_handles_{0};
+
+  // Retired-slot free list: Treiber stack over slot indices, head packed
+  // as [ tag (32) | slot (32) ]; the tag increments on every successful
+  // push and pop, closing the classic indexed-stack ABA window.
+  std::atomic<std::uint64_t> free_head_;
+  std::atomic<std::uint32_t> free_depth_{0};
+
+  // Epoch machinery. The global epoch advances on every retire; accessor
+  // cells publish the epoch a thread pinned at (0 = quiescent).
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint32_t> num_accessors_{0};
+  std::unique_ptr<Accessor[]> accessors_;
+  mutable std::mutex deferred_mu_;
+  std::vector<Deferred> deferred_;
+  // Mirror of deferred_.size(), maintained under the mutex: lets the
+  // steady-state alloc path skip the lock when nothing is retired.
+  std::atomic<std::size_t> deferred_count_{0};
+
+  MemStats stats_;
 };
 
 }  // namespace gmt::rt

@@ -52,11 +52,18 @@ void Helper::process_buffer(const net::InMessage& msg) {
   const std::size_t size = msg.payload.size();
   std::size_t pos = 0;
   std::uint64_t cmds = 0;
-  while (pos < size) {
-    const std::uint8_t* payload = nullptr;
-    const CmdHeader cmd = decode_cmd(data, size, &pos, &payload);
-    execute(cmd, payload, msg.src);
-    ++cmds;
+  {
+    // One pin per buffer: every gm.get() inside execute() runs against
+    // storage a concurrent unregister_array cannot reclaim until we unpin.
+    // A kFree executed under our own pin only defers — retire() never
+    // waits on accessors, so the self-pin cannot deadlock.
+    GlobalMemory::AccessGuard guard(node_->memory());
+    while (pos < size) {
+      const std::uint8_t* payload = nullptr;
+      const CmdHeader cmd = decode_cmd(data, size, &pos, &payload);
+      execute(cmd, payload, msg.src);
+      ++cmds;
+    }
   }
   node_->stats().cmds_executed.add(cmds);
   if (tracing)

@@ -42,7 +42,7 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
       config_(config),
       transport_(transport),
       obs_("node" + std::to_string(id)),
-      gm_(id, num_nodes),
+      gm_(id, num_nodes, 1 << 16, &obs_),
       agg_(config, num_nodes, config.num_workers + config.num_helpers,
            &obs_),
       itb_pool_(config.task_pool ? config.itb_pool_size : 1),
@@ -195,6 +195,9 @@ void Node::register_everywhere(Worker& w, gmt_handle handle,
 void Node::op_free(Worker& w, gmt_handle handle) {
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_free outside task context");
+  // Validate before broadcasting: a stale or unknown handle must fail on
+  // the caller, not crash a remote helper with an undiagnosable FREE.
+  GMT_CHECK_MSG(gm_.valid(handle), "gmt_free of unknown or stale handle");
   for (std::uint32_t n = 0; n < num_nodes_; ++n) {
     if (n == id_) continue;
     task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -206,6 +209,16 @@ void Node::op_free(Worker& w, gmt_handle handle) {
   }
   w.task_block();
   gm_.unregister_array(handle);  // local partition last: remote acks are in
+  if (handle_node(handle) == id_) {
+    // Every node (remote acks are in, local unregister just ran) has
+    // emptied the slot, so a re-registration of the recycled slot cannot
+    // race any in-flight command for the old incarnation.
+    gm_.recycle_handle(handle);
+  } else {
+    // Only the reserving node's counter can hand the slot out again;
+    // freeing from elsewhere retires it for good.
+    gm_.note_orphaned_slot();
+  }
 }
 
 // ------------------------------------------------------------- put/get --
@@ -214,7 +227,10 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
                   const void* data, std::uint64_t size, bool blocking) {
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_put outside task context");
-  const ArrayMeta& meta = gm_.meta(h);
+  // By value: emit() below can suspend this fiber (flow-control parks),
+  // and a reference into the table could dangle if another task frees the
+  // handle while this one is parked.
+  const ArrayMeta meta = gm_.meta(h);
   const auto* src = static_cast<const std::uint8_t*>(data);
 
   OwnedSpan spans[kSpanBatch];
@@ -227,6 +243,7 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
       const OwnedSpan& span = spans[s];
       const std::uint8_t* span_src = src + (span.global_offset - offset);
       if (span.node == id_ && config_.local_fast_path) {
+        GlobalMemory::AccessGuard guard(gm_);
         std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
                     span.size);
         stats_.local_ops.add();
@@ -259,7 +276,7 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   GMT_CHECK_MSG(size >= 1 && size <= 8, "gmt_put_value size must be 1..8");
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_put_value outside task context");
-  const ArrayMeta& meta = gm_.meta(h);
+  const ArrayMeta meta = gm_.meta(h);
   // <= 8 bytes over >= 8-byte blocks: at most two spans.
   OwnedSpan spans[2];
   std::size_t count = 0;
@@ -272,6 +289,7 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   }
   const OwnedSpan& span = spans[0];
   if (span.node == id_ && config_.local_fast_path) {
+    GlobalMemory::AccessGuard guard(gm_);
     std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
     stats_.local_ops.add();
     return;
@@ -292,7 +310,7 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
                   std::uint64_t size, bool blocking) {
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_get outside task context");
-  const ArrayMeta& meta = gm_.meta(h);
+  const ArrayMeta meta = gm_.meta(h);
   auto* dst = static_cast<std::uint8_t*>(data);
 
   OwnedSpan spans[kSpanBatch];
@@ -305,6 +323,7 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
       const OwnedSpan& span = spans[s];
       std::uint8_t* span_dst = dst + (span.global_offset - offset);
       if (span.node == id_ && config_.local_fast_path) {
+        GlobalMemory::AccessGuard guard(gm_);
         std::memcpy(span_dst, gm_.get(h).local_ptr(span.local_offset),
                     span.size);
         stats_.local_ops.add();
@@ -353,13 +372,14 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add outside task context");
-  const ArrayMeta& meta = gm_.meta(h);
+  const ArrayMeta meta = gm_.meta(h);
   OwnedSpan spans[2];
   std::size_t count = 0;
   meta.decompose_fill(offset, width, spans, 2, &count);
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
+    GlobalMemory::AccessGuard guard(gm_);
     stats_.local_ops.add();
     return apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
                             width);
@@ -385,13 +405,14 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_atomic_cas outside task context");
-  const ArrayMeta& meta = gm_.meta(h);
+  const ArrayMeta meta = gm_.meta(h);
   OwnedSpan spans[2];
   std::size_t count = 0;
   meta.decompose_fill(offset, width, spans, 2, &count);
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
+    GlobalMemory::AccessGuard guard(gm_);
     stats_.local_ops.add();
     return apply_atomic_cas(gm_.get(h).local_ptr(span.local_offset), expected,
                             desired, width);

@@ -249,6 +249,23 @@ class Node {
   // than the cluster has threads (pinning would serialise the runtime).
   void pin_thread(std::uint32_t slot) const;
 
+  // Cached scratch accumulator for collectives: one 8-byte kPartition cell
+  // reused across reductions instead of an alloc/free pair per call (each
+  // pair costs two broadcast barriers and, before slot recycling, burned a
+  // handle forever). acquire() claims the cached handle — kNullHandle when
+  // absent or already claimed, in which case the caller allocates fresh.
+  // release() re-caches the handle; false means another reduction re-cached
+  // first and the caller must gmt_free its copy. The cached cell lives
+  // until teardown, where ~GlobalMemory reclaims its storage.
+  gmt_handle coll_scratch_acquire() {
+    return coll_scratch_.exchange(kNullHandle, std::memory_order_acq_rel);
+  }
+  bool coll_scratch_release(gmt_handle h) {
+    gmt_handle expected = kNullHandle;
+    return coll_scratch_.compare_exchange_strong(expected, h,
+                                                 std::memory_order_acq_rel);
+  }
+
   // Largest payload a single command may carry (the reliability layer's
   // frame header, when enabled, comes out of the same buffer budget).
   std::uint32_t max_payload() const {
@@ -292,6 +309,7 @@ class Node {
   MpmcQueue<net::InMessage*> incoming_;
   NodeStats stats_;
   std::atomic<bool> stop_{false};
+  std::atomic<gmt_handle> coll_scratch_{kNullHandle};
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Helper>> helpers_;

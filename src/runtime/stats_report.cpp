@@ -127,6 +127,35 @@ std::string format_stats_report(Cluster& cluster) {
         summary.mean_adaptive_deadline_us());
     out += line;
   }
+  // Memory lifecycle totals across the cluster (skipped for runs that never
+  // touched global memory, e.g. pure-spawn benches).
+  std::uint64_t mem_allocs = 0, mem_frees = 0, mem_recycled = 0,
+                mem_deferred = 0;
+  std::int64_t mem_live = 0, mem_bytes = 0, mem_freelist = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    const obs::Snapshot snap = cluster.node(n).obs().snapshot();
+    mem_allocs += snap.counter(names::kMemAllocs);
+    mem_frees += snap.counter(names::kMemFrees);
+    mem_recycled += snap.counter(names::kMemSlotsRecycled);
+    mem_deferred += snap.counter(names::kMemDeferredReclaims);
+    mem_live += snap.gauge(names::kMemLiveHandles);
+    mem_bytes += snap.gauge(names::kMemLiveBytes);
+    mem_freelist += snap.gauge(names::kMemFreeListDepth);
+  }
+  if (mem_allocs != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "memory: %lld live entries (%s), %llu allocs, %llu frees, "
+        "%llu slots recycled, %llu deferred reclaims, free list %lld\n",
+        static_cast<long long>(mem_live),
+        format_bytes(static_cast<double>(mem_bytes)).c_str(),
+        static_cast<unsigned long long>(mem_allocs),
+        static_cast<unsigned long long>(mem_frees),
+        static_cast<unsigned long long>(mem_recycled),
+        static_cast<unsigned long long>(mem_deferred),
+        static_cast<long long>(mem_freelist));
+    out += line;
+  }
   const net::FaultCountersSnapshot faults = cluster.total_fault_counters();
   if (faults.total() != 0) {
     std::snprintf(line, sizeof(line),

@@ -140,6 +140,35 @@ TEST_P(Collectives, HistogramCounts) {
   });
 }
 
+// Reductions reuse a cached scratch accumulator: repeated calls must not
+// grow the handle table (one cell per node is cached at most).
+TEST_P(Collectives, RepeatedReductionsDoNotGrowHandleTable) {
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 500;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 2);
+    EXPECT_EQ(coll::reduce_sum_u64(h, 0, kCount), 2 * kCount);  // caches
+    gmt_free(h);
+  });
+  std::uint64_t base = 0;
+  for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n)
+    base += cluster_.node(n).memory().live_handles();
+  test::run_task(cluster_, [] {
+    constexpr std::uint64_t kCount = 500;
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 2);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(coll::reduce_sum_u64(h, 0, kCount), 2 * kCount);
+      EXPECT_EQ(coll::reduce_min_u64(h, 0, kCount), 2u);
+    }
+    gmt_free(h);
+  });
+  std::uint64_t after = 0;
+  for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n)
+    after += cluster_.node(n).memory().live_handles();
+  EXPECT_EQ(after, base);
+}
+
 INSTANTIATE_TEST_SUITE_P(Nodes, Collectives, ::testing::Values(1, 2, 3));
 
 }  // namespace

@@ -134,6 +134,59 @@ TEST(Distribution, RemotePolicySkipsHome) {
   for (const OwnedSpan& span : spans) EXPECT_NE(span.node, 1u);
 }
 
+// kRemote on one node has nobody else to hold the data: documented
+// degeneration to a single home-node partition (gmt/types.hpp).
+TEST(Distribution, RemoteSingleNodeDegeneratesToHome) {
+  ArrayMeta meta;
+  meta.size = 1000;
+  meta.policy = Alloc::kRemote;
+  meta.home_node = 0;
+  meta.num_nodes = 1;
+  EXPECT_EQ(meta.partition_count(), 1u);
+  EXPECT_EQ(meta.partition_node(0), 0u);
+  EXPECT_EQ(meta.node_partition(0), 0);
+  EXPECT_EQ(meta.bytes_on_node(0), 1000u);
+  std::vector<OwnedSpan> spans;
+  meta.decompose(0, meta.size, &spans);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].node, 0u);
+  EXPECT_EQ(spans[0].size, 1000u);
+}
+
+// Direct unit coverage of the placement arithmetic: partition_node and
+// node_partition are inverses over owning nodes, and non-owners hold zero
+// bytes, for every policy / cluster size / home combination.
+TEST(Distribution, PartitionArithmeticRoundTrips) {
+  for (const Alloc policy :
+       {Alloc::kPartition, Alloc::kLocal, Alloc::kRemote}) {
+    for (const std::uint32_t nodes : {1u, 2u, 5u, 8u}) {
+      for (std::uint32_t home = 0; home < nodes; ++home) {
+        ArrayMeta meta;
+        meta.size = 4096;
+        meta.policy = policy;
+        meta.home_node = home;
+        meta.num_nodes = nodes;
+        for (std::uint32_t p = 0; p < meta.partition_count(); ++p) {
+          const std::uint32_t owner = meta.partition_node(p);
+          ASSERT_LT(owner, nodes)
+              << "policy " << static_cast<int>(policy) << " nodes " << nodes
+              << " home " << home << " part " << p;
+          EXPECT_EQ(meta.node_partition(owner),
+                    static_cast<std::int64_t>(p));
+        }
+        for (std::uint32_t n = 0; n < nodes; ++n) {
+          const std::int64_t part = meta.node_partition(n);
+          if (part < 0)
+            EXPECT_EQ(meta.bytes_on_node(n), 0u);
+          else
+            EXPECT_EQ(meta.partition_node(static_cast<std::uint32_t>(part)),
+                      n);
+        }
+      }
+    }
+  }
+}
+
 // ---- handle table lifecycle ----
 
 TEST(GlobalMemory, RegisterAndAccess) {
@@ -171,6 +224,63 @@ TEST(GlobalMemory, RemoteNodeHoldsNoLocalPartition) {
   gm.unregister_array(h);
 }
 
+// ---- slot recycling ----
+
+TEST(GlobalMemory, RecycleReusesSlotWithBumpedGeneration) {
+  GlobalMemory gm(0, 1);
+  const gmt_handle a = gm.reserve_handle();
+  gm.register_array(a, 64, Alloc::kLocal, 0);
+  gm.unregister_array(a);
+  gm.recycle_handle(a);
+  EXPECT_EQ(gm.free_list_depth(), 1u);
+  const gmt_handle b = gm.reserve_handle();
+  EXPECT_EQ(gm.free_list_depth(), 0u);
+  EXPECT_EQ(handle_slot(b), handle_slot(a));
+  EXPECT_EQ(handle_generation(b),
+            static_cast<std::uint16_t>(handle_generation(a) + 1));
+  EXPECT_NE(a, b);
+  gm.register_array(b, 64, Alloc::kLocal, 0);
+  EXPECT_TRUE(gm.valid(b));
+  EXPECT_FALSE(gm.valid(a));  // the old incarnation is stale
+  gm.unregister_array(b);
+}
+
+TEST(GlobalMemory, SteadyAllocFreeNeverExhausts) {
+  // Far more cycles than the table has slots: without recycling this
+  // aborts with "handle space exhausted" partway through.
+  GlobalMemory gm(0, 1, /*max_handles=*/64);
+  for (int i = 0; i < 10000; ++i) {
+    const gmt_handle h = gm.reserve_handle();
+    gm.register_array(h, 32, Alloc::kLocal, 0);
+    gm.unregister_array(h);
+    gm.recycle_handle(h);
+  }
+  gm.reclaim_deferred();
+  EXPECT_EQ(gm.live_handles(), 0u);
+  EXPECT_EQ(gm.local_bytes(), 0u);
+}
+
+TEST(GlobalMemory, GenerationWrapSkipsNull) {
+  GlobalMemory gm(0, 1, /*max_handles=*/4);
+  gmt_handle h = gm.reserve_handle();
+  std::uint16_t prev = handle_generation(h);
+  bool wrapped = false;
+  // Cycle one slot past the 16-bit generation space: the generation must
+  // wrap without ever minting the reserved null generation 0.
+  for (int i = 0; i < 70000; ++i) {
+    gm.register_array(h, 8, Alloc::kLocal, 0);
+    gm.unregister_array(h);
+    gm.recycle_handle(h);
+    const gmt_handle next = gm.reserve_handle();
+    ASSERT_EQ(handle_slot(next), handle_slot(h));
+    ASSERT_NE(handle_generation(next), 0u);
+    if (handle_generation(next) < prev) wrapped = true;
+    prev = handle_generation(next);
+    h = next;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
 using GlobalMemoryDeath = GlobalMemory;
 
 TEST(GlobalMemoryDeathTest, DoubleFreeAborts) {
@@ -201,6 +311,34 @@ TEST(GlobalMemoryDeathTest, OutOfBoundsDecomposeAborts) {
   meta.num_nodes = 2;
   std::vector<OwnedSpan> spans;
   EXPECT_DEATH(meta.decompose(90, 20, &spans), "out of bounds");
+}
+
+// Regression: `offset + length <= size` wraps for huge offsets —
+// (~0ULL - 10) + 20 == 9 <= 100 — and used to admit the decomposition.
+// The check is now overflow-proof.
+TEST(GlobalMemoryDeathTest, OverflowingBoundsCheckAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ArrayMeta meta;
+  meta.size = 100;
+  meta.num_nodes = 2;
+  std::vector<OwnedSpan> spans;
+  EXPECT_DEATH(meta.decompose(~0ULL - 10, 20, &spans), "out of bounds");
+  EXPECT_DEATH(meta.decompose(~0ULL, 1, &spans), "out of bounds");
+}
+
+TEST(GlobalMemoryDeathTest, StaleHandleAfterRecycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GlobalMemory gm(0, 1);
+  const gmt_handle a = gm.reserve_handle();
+  gm.register_array(a, 64, Alloc::kLocal, 0);
+  gm.unregister_array(a);
+  gm.recycle_handle(a);
+  const gmt_handle b = gm.reserve_handle();
+  gm.register_array(b, 64, Alloc::kLocal, 0);
+  // The recycled slot is live under a new generation; the old handle must
+  // still abort loudly, not alias the new array.
+  EXPECT_DEATH(gm.get(a), "stale");
+  gm.unregister_array(b);
 }
 
 }  // namespace

@@ -1,0 +1,254 @@
+// Lifecycle tests for the PGAS memory layer: handle-exhaustion soaks,
+// deferred-reclamation races, and free-list concurrency. These are the
+// "unbounded run" guarantees — steady alloc/free traffic never exhausts
+// the handle space, and a free racing in-flight accesses never yields a
+// use-after-free (run under the asan and tsan presets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gmt/obs.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/global_memory.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define GMT_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GMT_TEST_TSAN 1
+#endif
+#endif
+
+// tsan slows the blocking-op path ~10x; scale the soak iteration counts
+// (not the race tests) so the binary stays inside the ctest timeout. The
+// default and asan presets run the full counts the acceptance criteria
+// name.
+#ifdef GMT_TEST_TSAN
+constexpr int kSoakScale = 8;
+#else
+constexpr int kSoakScale = 1;
+#endif
+
+// The soaks are latency-bound: every blocking alloc/free pays the command
+// and aggregation flush deadlines per hop. Shrink them — these tests probe
+// lifecycle correctness, not aggregation batching.
+Config fast_config() {
+  Config c = Config::testing();
+  c.cmd_block_timeout_ns = 2'000;
+  c.agg_queue_timeout_ns = 5'000;
+  return c;
+}
+
+// ---- deterministic deferred-reclamation unit tests (no cluster) ----
+
+TEST(DeferredReclaim, UnpinnedFreeReclaimsImmediately) {
+  rt::GlobalMemory gm(0, 1);
+  const gmt_handle h = gm.reserve_handle();
+  gm.register_array(h, 1024, Alloc::kLocal, 0);
+  gm.unregister_array(h);  // nobody pinned: no deferral
+  EXPECT_EQ(gm.deferred_depth(), 0u);
+  EXPECT_EQ(gm.local_bytes(), 0u);
+}
+
+TEST(DeferredReclaim, PinnedReaderKeepsStorageAlive) {
+  rt::GlobalMemory gm(0, 1);
+  const gmt_handle h = gm.reserve_handle();
+  gm.register_array(h, 4096, Alloc::kLocal, 0);
+  std::atomic<int> stage{0};
+  std::thread reader([&] {
+    rt::GlobalMemory::AccessGuard guard(gm);
+    rt::LocalArray& array = gm.get(h);
+    stage.store(1, std::memory_order_release);
+    // Keep dereferencing while the main thread frees the handle: the pin
+    // defers the delete, so asan/tsan verify these reads hit live storage.
+    while (stage.load(std::memory_order_acquire) != 2) {
+      volatile std::uint8_t sink = array.partition[123];
+      (void)sink;
+    }
+    volatile std::uint8_t last = array.local_ptr(4095)[0];
+    (void)last;
+  });
+  while (stage.load(std::memory_order_acquire) != 1) std::this_thread::yield();
+  gm.unregister_array(h);
+  EXPECT_FALSE(gm.valid(h));       // new lookups fail immediately...
+  EXPECT_GE(gm.deferred_depth(), 1u);  // ...but the storage is deferred
+  stage.store(2, std::memory_order_release);
+  reader.join();
+  gm.reclaim_deferred();  // the pin is gone: the partition frees now
+  EXPECT_EQ(gm.deferred_depth(), 0u);
+  EXPECT_EQ(gm.local_bytes(), 0u);
+}
+
+TEST(DeferredReclaim, ConcurrentAllocFreeRecycle) {
+  rt::GlobalMemory gm(0, 1);
+  constexpr int kThreads = 8;
+  constexpr int kCycles = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCycles; ++i) {
+        const gmt_handle h = gm.reserve_handle();
+        gm.register_array(h, 16 + (i & 63), Alloc::kLocal, 0);
+        {
+          rt::GlobalMemory::AccessGuard guard(gm);
+          gm.get(h).local_ptr(0)[0] = static_cast<std::uint8_t>(t);
+        }
+        gm.unregister_array(h);
+        gm.recycle_handle(h);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  gm.reclaim_deferred();
+  EXPECT_EQ(gm.live_handles(), 0u);
+  EXPECT_EQ(gm.deferred_depth(), 0u);
+  EXPECT_EQ(gm.local_bytes(), 0u);
+  EXPECT_GE(gm.free_list_depth(), 1u);
+}
+
+// ---- full-runtime soaks ----
+
+std::int64_t cluster_gauge(rt::Cluster& cluster, const char* name) {
+  std::int64_t total = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    total += cluster.node(n).obs().snapshot().gauge(name);
+  return total;
+}
+
+// >= 200k gmt_new/gmt_free cycles against a 65,536-entry handle table:
+// before slot recycling this aborted with "handle space exhausted" at
+// cycle 65,535. A small rotating window of live handles keeps the free
+// list churning out of order.
+TEST(MemoryLifecycle, AllocFreeSoakNeverExhausts) {
+  rt::Cluster cluster(2, fast_config());
+  // Prime all pools so the baseline gauges are steady-state.
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(64, Alloc::kPartition);
+    gmt_free(h);
+  });
+  const std::int64_t base_handles =
+      cluster_gauge(cluster, obs::names::kMemLiveHandles);
+  const std::int64_t base_bytes =
+      cluster_gauge(cluster, obs::names::kMemLiveBytes);
+
+  test::run_task(cluster, [] {
+    constexpr int kCycles = 200000 / kSoakScale;
+    gmt_handle window[8] = {};
+    for (int i = 0; i < kCycles; ++i) {
+      const int w = i & 7;
+      if (window[w] != kNullHandle) gmt_free(window[w]);
+      const Alloc policy = (i % 3 == 0)   ? Alloc::kLocal
+                           : (i % 3 == 1) ? Alloc::kPartition
+                                          : Alloc::kRemote;
+      window[w] = gmt_new(8 + (i % 5) * 64, policy);
+    }
+    for (gmt_handle h : window)
+      if (h != kNullHandle) gmt_free(h);
+  });
+
+  // Everything freed: the live gauges return to the primed baseline.
+  EXPECT_EQ(cluster_gauge(cluster, obs::names::kMemLiveHandles),
+            base_handles);
+  EXPECT_EQ(cluster_gauge(cluster, obs::names::kMemLiveBytes), base_bytes);
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    EXPECT_EQ(cluster.node(n).memory().live_handles(),
+              static_cast<std::uint64_t>(base_handles) / cluster.num_nodes());
+  // The soak ran on recycled slots, not fresh ones.
+  std::uint64_t recycled = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    recycled += cluster.node(n).obs().snapshot().counter(
+        obs::names::kMemSlotsRecycled);
+  EXPECT_GT(recycled, 100000u / kSoakScale);
+}
+
+// >= 100k reductions: each used to burn one handle (alloc/free per call),
+// exhausting the table at 65,535; the cached scratch accumulator plus
+// recycling make this unbounded.
+constexpr std::uint64_t kCount = 64;  // reduction-soak array elements
+
+TEST(MemoryLifecycle, ReductionSoakReusesScratch) {
+  rt::Cluster cluster(2, fast_config());
+  // Prime: the first reduction caches the scratch cell, which then stays
+  // live until teardown — take the baseline after it exists.
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 1);
+    EXPECT_EQ(coll::reduce_sum_u64(h, 0, kCount), kCount);
+    gmt_free(h);
+  });
+  const std::int64_t base_handles =
+      cluster_gauge(cluster, obs::names::kMemLiveHandles);
+  const std::int64_t base_bytes =
+      cluster_gauge(cluster, obs::names::kMemLiveBytes);
+
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(kCount * 8, Alloc::kPartition);
+    coll::fill_u64(h, 0, kCount, 1);
+    for (int i = 0; i < 100000 / kSoakScale; ++i) {
+      if (i % 4 == 0) {
+        ASSERT_EQ(coll::reduce_min_u64(h, 0, kCount), 1u);
+      } else if (i % 4 == 1) {
+        ASSERT_EQ(coll::reduce_max_u64(h, 0, kCount), 1u);
+      } else if (i % 4 == 2) {
+        ASSERT_EQ(coll::count_equal_u64(h, 0, kCount, 1), kCount);
+      } else {
+        ASSERT_EQ(coll::reduce_sum_u64(h, 0, kCount), kCount);
+      }
+    }
+    gmt_free(h);
+  });
+
+  EXPECT_EQ(cluster_gauge(cluster, obs::names::kMemLiveHandles),
+            base_handles);
+  EXPECT_EQ(cluster_gauge(cluster, obs::names::kMemLiveBytes), base_bytes);
+}
+
+// Free racing remote traffic: tasks keep the helpers busy (and pinned)
+// with puts/gets/atomics on a stable array while one task alloc/frees a
+// second array in a loop. The fast path is disabled so every op takes the
+// command/helper path — the one that touches freed storage without
+// deferred reclamation. asan/tsan verify the protocol.
+TEST(MemoryLifecycle, FreeVsRemoteOpRace) {
+  Config config = fast_config();
+  config.local_fast_path = false;
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    constexpr std::uint64_t kWords = 256;
+    const gmt_handle stable = gmt_new(kWords * 8, Alloc::kPartition);
+    test::parfor_lambda(
+        9, 1,
+        [&](std::uint64_t i) {
+          if (i == 0) {
+            for (int k = 0; k < 300; ++k) {
+              const gmt_handle h = gmt_new(1024, Alloc::kPartition);
+              gmt_put_value(h, 0, static_cast<std::uint64_t>(k), 8);
+              std::uint64_t v = 0;
+              gmt_get(h, 0, &v, 8);
+              ASSERT_EQ(v, static_cast<std::uint64_t>(k));
+              gmt_free(h);
+            }
+          } else {
+            for (int k = 0; k < 2000; ++k) {
+              const std::uint64_t off = ((i * 131 + k) % kWords) * 8;
+              gmt_put_value(stable, off, static_cast<std::uint64_t>(k), 8);
+              std::uint64_t v = 0;
+              gmt_get(stable, off, &v, 8);
+              gmt_atomic_add(stable, off, 1, 8);
+            }
+          }
+        },
+        Spawn::kPartition);
+    gmt_free(stable);
+  });
+}
+
+}  // namespace
+}  // namespace gmt

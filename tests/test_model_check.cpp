@@ -39,7 +39,7 @@ struct Mirror {
 void random_phase(gmt_handle h, Mirror& mirror, Xoshiro256& rng,
                   int ops) {
   for (int i = 0; i < ops; ++i) {
-    switch (rng.below(6)) {
+    switch (rng.below(7)) {
       case 0: {  // bulk put
         const std::uint64_t size = 1 + rng.below(300);
         const std::uint64_t offset = rng.below(kArrayBytes - size);
@@ -95,6 +95,19 @@ void random_phase(gmt_handle h, Mirror& mirror, Xoshiro256& rng,
         ASSERT_EQ(std::memcmp(data.data(), mirror.bytes.data() + offset,
                               size),
                   0);
+        break;
+      }
+      case 6: {  // alloc/free lifecycle mixed into the phase: a scratch
+                 // array comes and goes without disturbing the mirror
+        const std::uint64_t bytes = 8 + rng.below(512);
+        const Alloc policy = rng.below(2) ? Alloc::kPartition : Alloc::kLocal;
+        const gmt_handle scratch = gmt_new(bytes, policy);
+        const std::uint64_t value = rng();
+        gmt_put_value(scratch, 0, value, 8);
+        std::uint64_t readback = 0;
+        gmt_get(scratch, 0, &readback, 8);
+        ASSERT_EQ(readback, value);
+        gmt_free(scratch);
         break;
       }
     }
