@@ -1,0 +1,157 @@
+// Membership-layer cost model, real runtime on this host:
+//   1. detection latency — a peer goes dark and we time the pipeline
+//      kill -> first suspicion -> committed exclusion epoch on the
+//      coordinator (heartbeat silence is the detector; the suspect
+//      timeout dominates);
+//   2. failure-free overhead — BFS throughput with the failure detector
+//      (heartbeats, pending-op tracking) and with buddy replication on
+//      top, against a reliable-transport-only baseline.
+// Emits BENCH_membership.json for the committed perf trajectory.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "gmt/gmt.hpp"
+#include "graph/generator.hpp"
+#include "kernels/bfs_gmt.hpp"
+#include "net/faulty_transport.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/membership.hpp"
+
+namespace {
+
+using namespace gmt;
+
+Config base_config() {
+  Config config = Config::testing();
+  config.reliable_transport = true;
+  return config;
+}
+
+void wait_epoch_root(std::uint64_t, const void*) {
+  while (gmt_membership_epoch() == 0) gmt_yield();
+  gmt_clear_error();
+}
+
+struct DetectionSample {
+  double suspect_us;  // kill -> first suspicion on the coordinator
+  double commit_us;   // kill -> epoch commit on the coordinator
+};
+
+DetectionSample measure_detection(std::uint64_t seed) {
+  Config config = base_config();
+  config.membership = true;
+  config.fault.kill_node = 2;
+  config.fault.kill_at = 0;  // dark from its first send
+  config.fault.seed = seed;
+
+  rt::Cluster cluster(3, config);
+  cluster.run(&wait_epoch_root, nullptr, 0);
+
+  const net::FaultyTransport* victim = cluster.faulty_transport(2);
+  const rt::MembershipManager* m0 = cluster.node(0).membership();
+  // Saturating: with no app traffic the observer's silence timer (which
+  // baselines at startup) can expire marginally before the victim's first
+  // swallowed send stamps killed_ns — that is a zero-latency detection,
+  // not a negative one.
+  const auto since_kill = [&](std::uint64_t ns) {
+    const std::uint64_t killed = victim->killed_ns();
+    return ns > killed ? (ns - killed) / 1e3 : 0.0;
+  };
+  DetectionSample sample{};
+  sample.suspect_us = since_kill(m0->first_suspect_ns());
+  sample.commit_us = since_kill(m0->last_commit_ns());
+  return sample;
+}
+
+struct BfsState {
+  const graph::Csr* csr;
+  kernels::BfsResult result;
+};
+
+void bfs_root(std::uint64_t, const void* raw) {
+  BfsState* state;
+  std::memcpy(&state, raw, sizeof(state));
+  graph::DistGraph dist = graph::DistGraph::build(*state->csr);
+  state->result = kernels::bfs_gmt(dist, 0);
+  dist.destroy();
+}
+
+// Best-of-`reps` fault-free BFS time under the given feature set.
+double bfs_seconds(const graph::Csr& csr, bool membership, bool replicate,
+                   int reps) {
+  Config config = base_config();
+  config.membership = membership;
+  config.replicate = replicate;
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    rt::Cluster cluster(3, config);
+    BfsState state{&csr, {}};
+    BfsState* ptr = &state;
+    cluster.run(&bfs_root, &ptr, sizeof(ptr));
+    if (best == 0 || state.result.seconds < best)
+      best = state.result.seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto trials = static_cast<int>(5 * args.scale) > 1
+                          ? static_cast<int>(5 * args.scale)
+                          : 1;
+  const auto vertices = static_cast<std::uint64_t>(4000 * args.scale);
+
+  double suspect_us = 0, commit_us = 0;
+  for (int t = 0; t < trials; ++t) {
+    const DetectionSample s = measure_detection(0x5eed + t);
+    suspect_us += s.suspect_us;
+    commit_us += s.commit_us;
+  }
+  suspect_us /= trials;
+  commit_us /= trials;
+
+  bench::Table detect({"stage", "latency (us, mean)"});
+  detect.add_row({"kill -> suspicion", bench::fmt("%.1f", suspect_us)});
+  detect.add_row({"kill -> epoch commit", bench::fmt("%.1f", commit_us)});
+  detect.print("Membership: detection latency (3 nodes, node 2 killed)");
+
+  const graph::Csr csr = graph::build_csr(
+      vertices, graph::generate_uniform({vertices, 1, 6, 17}));
+  const int reps = 5;
+  const double base_s = bfs_seconds(csr, false, false, reps);
+  const double member_s = bfs_seconds(csr, true, false, reps);
+  const double replica_s = bfs_seconds(csr, true, true, reps);
+  const double edges = static_cast<double>(csr.edges());
+
+  bench::Table bfs({"mode", "seconds", "MTEPS", "overhead"});
+  bfs.add_row({"reliable only (baseline)", bench::fmt("%.4f", base_s),
+               bench::fmt("%.2f", edges / base_s / 1e6), "-"});
+  bfs.add_row({"+ membership", bench::fmt("%.4f", member_s),
+               bench::fmt("%.2f", edges / member_s / 1e6),
+               bench::fmt("%.1f%%", (member_s / base_s - 1) * 100)});
+  bfs.add_row({"+ membership + replication", bench::fmt("%.4f", replica_s),
+               bench::fmt("%.2f", edges / replica_s / 1e6),
+               bench::fmt("%.1f%%", (replica_s / base_s - 1) * 100)});
+  bfs.print("Membership: fault-free BFS overhead (3 nodes)");
+  bfs.write_csv(args.csv_path);
+
+  bench::BenchJson json("membership");
+  json.set_config("nodes", std::uint64_t{3});
+  json.set_config("detection_trials", static_cast<std::uint64_t>(trials));
+  json.set_config("bfs_vertices", vertices);
+  json.set_config("bfs_edges", csr.edges());
+  json.add_metric("detect_suspect_latency_mean", suspect_us, "us");
+  json.add_metric("detect_commit_latency_mean", commit_us, "us");
+  json.add_metric("bfs_baseline", base_s, "s");
+  json.add_metric("bfs_membership", member_s, "s");
+  json.add_metric("bfs_membership_replicated", replica_s, "s");
+  json.add_metric("bfs_membership_overhead",
+                  (member_s / base_s - 1) * 100, "percent");
+  json.add_metric("bfs_replication_overhead",
+                  (replica_s / base_s - 1) * 100, "percent");
+  json.write(args.json_path);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Error reporting for degraded-mode operation.
+//
+// The runtime is fail-stop at the membership layer: when a peer dies the
+// survivors exclude it via an epoch change and keep running, but every
+// operation that targeted the dead node (or a global-array partition homed
+// there) completes with an error instead of data. Blocking ops cannot
+// return a status without breaking the paper API, so errors are sticky
+// per-task: the first failed operation latches GMT_ERR_NODE_LOST on the
+// calling task, and the application polls it between operations.
+//
+//   gmt_put(h, off, buf, n);                 // may target a dead partition
+//   if (gmt_last_error() == GMT_ERR_NODE_LOST) {
+//     gmt_clear_error();
+//     ... skip / retry against the replica ...
+//   }
+//
+// With membership disabled (GMT_MEMBERSHIP=0, the default) nothing here
+// ever fires: retry-budget exhaustion keeps its historical abort.
+#pragma once
+
+#include <cstdint>
+
+namespace gmt {
+
+// Sticky per-task operation status. Values are stable across releases.
+inline constexpr std::uint32_t GMT_ERR_OK = 0;
+// The operation targeted a node (or an array partition homed on a node)
+// that was excluded from the membership; no data was transferred. Atomics
+// report a previous value of 0.
+inline constexpr std::uint32_t GMT_ERR_NODE_LOST = 1;
+
+// Returns the calling task's sticky error status (GMT_ERR_OK when every
+// operation since the last gmt_clear_error() completed). Must run inside a
+// task.
+std::uint32_t gmt_last_error();
+
+// Resets the calling task's sticky error status to GMT_ERR_OK.
+void gmt_clear_error();
+
+// ---- degraded-mode introspection (valid inside a task) ----
+
+// Current membership epoch of the calling node (0 until a failure is
+// committed; grows by one per committed exclusion).
+std::uint64_t gmt_membership_epoch();
+
+// True while `node` is part of the current membership.
+bool gmt_node_is_live(std::uint32_t node);
+
+}  // namespace gmt

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "gmt/api.hpp"
+#include "gmt/error.hpp"
 #include "gmt/global_array.hpp"
 #include "gmt/obs.hpp"
 #include "gmt/paper_api.hpp"

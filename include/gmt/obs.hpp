@@ -114,6 +114,8 @@ inline constexpr const char* kMemSlotsRecycled = "gmt.mem.slots_recycled";
 inline constexpr const char* kMemDeferredReclaims =
     "gmt.mem.deferred_reclaims";
 inline constexpr const char* kMemSlotsOrphaned = "gmt.mem.slots_orphaned";
+inline constexpr const char* kMemArraysDegraded = "gmt.mem.arrays_degraded";
+inline constexpr const char* kMemArraysRemapped = "gmt.mem.arrays_remapped";
 inline constexpr const char* kNetMessages = "net.messages";
 inline constexpr const char* kNetBytes = "net.bytes";
 inline constexpr const char* kIncomingDepth = "net.incoming_depth";
@@ -129,6 +131,17 @@ inline constexpr const char* kFaultDuplicates = "fault.duplicates";
 inline constexpr const char* kFaultCorruptions = "fault.corruptions";
 inline constexpr const char* kFaultReorders = "fault.reorders";
 inline constexpr const char* kFaultBackpressures = "fault.backpressures";
+inline constexpr const char* kFaultKills = "fault.kills";
+// Membership / failure detection (src/runtime/membership). Per-peer health
+// gauges are runtime-named: "health.peer<N>.state" (0 live, 1 suspect,
+// 2 dead), "health.peer<N>.last_ack_age_us", "health.peer<N>.timeouts".
+inline constexpr const char* kMembEpoch = "memb.epoch";
+inline constexpr const char* kMembLiveNodes = "memb.live_nodes";
+inline constexpr const char* kMembHeartbeats = "memb.heartbeats";
+inline constexpr const char* kMembSuspects = "memb.suspects";
+inline constexpr const char* kMembEpochCommits = "memb.epoch_commits";
+inline constexpr const char* kMembPeersLost = "memb.peers_lost";
+inline constexpr const char* kMembOpsFailed = "memb.ops_failed";
 }  // namespace names
 
 // Process-wide metrics switch. Reads GMT_OBS once, lazily (unset = on);

@@ -4,28 +4,33 @@
 # regression is distinguishable from a functional one.
 #
 # Usage: scripts/check.sh [--asan] [--tsan] [--bench-smoke] [--obs-smoke]
+#                         [--soak]
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
 #                  sensitive labels (runtime|aggregation|flowcontrol|
-#                  memory) — the scheduler, aggregation pipeline, flow
-#                  control and memory reclamation are where data races
-#                  would live
+#                  memory|membership) — the scheduler, aggregation
+#                  pipeline, flow control, memory reclamation and the
+#                  failure detector are where data races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
 #                  gmt_cli; validates trace JSON and the stats report)
+#   --soak         also run the kill-a-node-mid-BFS membership soak 20x
+#                  with rotating victims, kill points and graph seeds
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
 bench_smoke=0
 obs_smoke=0
+soak=0
 for arg in "$@"; do
   case "$arg" in
     --asan) preset=asan ;;
     --tsan) preset=tsan ;;
     --bench-smoke) bench_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
+    --soak) soak=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -41,7 +46,8 @@ builddir=build
 
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
-  ctest --test-dir "$builddir" -L 'runtime|aggregation|flowcontrol|memory' \
+  ctest --test-dir "$builddir" \
+    -L 'runtime|aggregation|flowcontrol|memory|membership' \
     --output-on-failure
   exit 0
 fi
@@ -54,6 +60,29 @@ ctest --test-dir "$builddir" -L memory --output-on-failure
 
 echo "== fault-injection tests =="
 ctest --test-dir "$builddir" -L fault --output-on-failure
+
+echo "== membership tests =="
+ctest --test-dir "$builddir" -L membership --output-on-failure
+
+if [[ "$soak" == 1 ]]; then
+  echo "== membership soak: kill-a-node-mid-BFS x20 =="
+  for i in $(seq 0 19); do
+    victim=$((1 + i % 2))
+    if GMT_FAULT_KILL_NODE=$victim \
+       GMT_FAULT_KILL_AT=$((50 + i * 97)) \
+       GMT_FAULT_SEED=$((24049 + i)) \
+       "$builddir/tests/test_membership" --gtest_filter='*KillMidBfs*' \
+       > /dev/null 2>&1; then
+      echo "  iteration $i ok (victim=$victim)"
+    else
+      echo "  iteration $i FAILED (victim=$victim); re-run with:" >&2
+      echo "  GMT_FAULT_KILL_NODE=$victim GMT_FAULT_KILL_AT=$((50 + i * 97)) \\" >&2
+      echo "  GMT_FAULT_SEED=$((24049 + i)) $builddir/tests/test_membership \\" >&2
+      echo "  --gtest_filter='*KillMidBfs*'" >&2
+      exit 1
+    fi
+  done
+fi
 
 if [[ "$bench_smoke" == 1 ]]; then
   echo "== perf-smoke benches =="

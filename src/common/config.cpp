@@ -96,12 +96,31 @@ void Config::apply_env() {
   env_u64("GMT_ACK_DELAY_NS", &ack_delay_ns);
   env_u32("GMT_REORDER_WINDOW", &reorder_window);
 
+  env_bool("GMT_MEMBERSHIP", &membership);
+  env_u64("GMT_HEARTBEAT_NS", &heartbeat_ns);
+  env_u64("GMT_SUSPECT_TIMEOUT_NS", &suspect_timeout_ns);
+  env_bool("GMT_REPLICATE", &replicate);
+  env_u64("GMT_REPLICATE_MAX_BYTES", &replicate_max_bytes);
+
   env_probability("GMT_FAULT_DROP", &fault.drop);
   env_probability("GMT_FAULT_DUPLICATE", &fault.duplicate);
   env_probability("GMT_FAULT_CORRUPT", &fault.corrupt);
   env_probability("GMT_FAULT_REORDER", &fault.reorder);
   env_probability("GMT_FAULT_BACKPRESSURE", &fault.backpressure);
   env_u64("GMT_FAULT_SEED", &fault.seed);
+  env_u32("GMT_FAULT_KILL_NODE", &fault.kill_node);
+  env_u64("GMT_FAULT_KILL_AT", &fault.kill_at);
+  // A killed peer is only survivable with the membership layer; enabling
+  // the kill fault from the environment implies GMT_MEMBERSHIP (and, below,
+  // GMT_RELIABLE) unless explicitly forced off.
+  if (fault.kill_node != FaultInjection::kNoKill &&
+      std::getenv("GMT_MEMBERSHIP") == nullptr)
+    membership = true;
+  // Membership runs over the reliability layer (suspicion feeds off acks
+  // and retransmit exhaustion), so it implies GMT_RELIABLE the same way
+  // lossy faults do.
+  if (membership && std::getenv("GMT_RELIABLE") == nullptr)
+    reliable_transport = true;
   // Lossy fault injection is unusable without the reliability layer (a
   // dropped reply would hang the blocked worker); enabling faults from the
   // environment implies GMT_RELIABLE unless it was explicitly forced off.
@@ -139,6 +158,11 @@ std::string Config::validate() const {
     return "lossy fault injection requires reliable_transport";
   if (flow_credits > 0 && !reliable_transport)
     return "flow_credits requires reliable_transport (grants ride acks)";
+  if (membership && !reliable_transport)
+    return "membership requires reliable_transport (health rides acks)";
+  if (membership && heartbeat_ns == 0) return "heartbeat_ns must be > 0";
+  if (membership && suspect_timeout_ns < 2 * heartbeat_ns)
+    return "suspect_timeout_ns must be >= 2 * heartbeat_ns";
   return {};
 }
 

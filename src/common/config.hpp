@@ -28,9 +28,16 @@ struct FaultInjection {
   std::uint32_t reorder_depth = 4; // sends a held message lets pass
   std::uint64_t reorder_hold_ns = 200'000;  // max hold before forced release
 
+  // Peer-kill: after the victim has sent `kill_at` messages, its endpoint
+  // goes silent — every send swallowed, every receive discarded — so the
+  // rest of the cluster sees a fail-stop crash mid-run. kNoKill = off.
+  static constexpr std::uint32_t kNoKill = 0xffffffffu;
+  std::uint32_t kill_node = kNoKill;
+  std::uint64_t kill_at = 0;  // victim sends before going dark
+
   bool any() const {
     return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0 ||
-           backpressure > 0;
+           backpressure > 0 || kill_node != kNoKill;
   }
   // Faults that lose or damage messages (need the reliability layer to
   // preserve correctness; backpressure alone is handled by plain retry).
@@ -135,6 +142,31 @@ struct Config {
   // Out-of-order frames buffered per source before arrivals beyond the
   // window are dropped (the sender retransmits them).
   std::uint32_t reorder_window = 256;
+
+  // ---- failure detection + fail-stop membership (src/runtime/membership).
+  // Off by default: with membership disabled, retry-budget exhaustion keeps
+  // its historical hard abort and none of the protocol below runs.
+
+  // Detect dead peers and exclude them via membership epochs instead of
+  // aborting. Requires reliable_transport. Implies: heartbeats to idle
+  // peers, suspicion on silence/retry-exhaustion, epoch propose/ack led by
+  // the lowest live node id, and GMT_ERR_NODE_LOST on affected operations.
+  bool membership = false;
+
+  // Heartbeat interval: the comm server sends an empty kHeartbeat frame to
+  // each live peer it has not otherwise transmitted to in this long.
+  std::uint64_t heartbeat_ns = 200'000;
+
+  // Silence threshold: a peer not heard from (any valid frame) in this long
+  // is suspected dead. Must comfortably exceed heartbeat_ns.
+  std::uint64_t suspect_timeout_ns = 10'000'000;
+
+  // Opt-in replication: global arrays up to replicate_max_bytes (block-
+  // partitioned, >1 partition) mirror each partition to the next node so a
+  // single failure is survivable — the epoch change remaps lost partitions
+  // to their replicas and reads/writes keep working.
+  bool replicate = false;
+  std::uint64_t replicate_max_bytes = 1 << 20;
 
   // ---- observability (src/obs: metric registries + event tracer).
 

@@ -31,9 +31,16 @@ void expand_body(std::uint64_t i, const void* raw) {
   std::memcpy(&args, raw, sizeof(args));
   std::uint64_t v = 0;
   gmt_get(args.frontier, i * 8, &v, 8);
+  // Degraded-mode guard: a get that lost its partition latches
+  // GMT_ERR_NODE_LOST and transfers nothing, so the output buffer is not
+  // data — stop expanding before garbage indexes walk out of bounds. The
+  // sticky error rides the spawn-done back to the caller, who retries
+  // against the surviving membership.
+  if (gmt_last_error() != GMT_ERR_OK) return;
 
   std::uint64_t begin = 0, end = 0;
   args.graph.edge_range(v, &begin, &end);
+  if (gmt_last_error() != GMT_ERR_OK) return;
   if (end > begin)
     gmt_atomic_add(args.counters, 8, end - begin, 8);
 
@@ -42,6 +49,7 @@ void expand_body(std::uint64_t i, const void* raw) {
     const std::uint64_t n =
         end - e < kNeighborChunk ? end - e : kNeighborChunk;
     args.graph.neighbors(e, n, buffer);
+    if (gmt_last_error() != GMT_ERR_OK) return;
     for (std::uint64_t k = 0; k < n; ++k) {
       const std::uint64_t u = buffer[k];
       const std::uint64_t old =
@@ -76,12 +84,15 @@ BfsResult bfs_gmt(const graph::DistGraph& graph, std::uint64_t root,
 
   BfsResult result;
   result.visited = 1;
-  while (frontier_size > 0) {
+  while (frontier_size > 0 && gmt_last_error() == GMT_ERR_OK) {
     ++result.levels;
     gmt_put_value(args.counters, 0, 0, 8);
     gmt_parfor(frontier_size, chunk, &expand_body, &args, sizeof(args),
                Spawn::kPartition);
     gmt_get(args.counters, 0, &frontier_size, 8);
+    // A node loss mid-level can leave a nonsense count behind; never trust
+    // it past the structural bound.
+    if (frontier_size > graph.vertices) break;
     result.visited += frontier_size;
     std::swap(args.frontier, args.next_frontier);
   }

@@ -13,6 +13,7 @@ FaultyTransport::FaultyTransport(Transport* inner, const FaultInjection& spec)
       rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL *
                         (static_cast<std::uint64_t>(inner->node_id()) + 1))) {
   GMT_CHECK(inner != nullptr);
+  kill_armed_ = spec.kill_node == inner->node_id();
 }
 
 FaultyTransport::~FaultyTransport() {
@@ -37,6 +38,19 @@ void FaultyTransport::release_held(std::uint64_t now_ns, bool force) {
 bool FaultyTransport::send(std::uint32_t dst,
                           std::vector<std::uint8_t>& payload) {
   const std::uint64_t now = wall_ns();
+  if (kill_armed_) {
+    if (!killed_.load(std::memory_order_relaxed) &&
+        sends_before_kill_++ >= spec_.kill_at) {
+      killed_ns_.store(now, std::memory_order_release);
+      killed_.store(true, std::memory_order_release);
+      held_.clear();  // in-flight reorder holds die with the node
+    }
+    if (killed_.load(std::memory_order_relaxed)) {
+      counters_.kills.fetch_add(1, std::memory_order_relaxed);
+      payload.clear();  // swallowed: the victim's traffic never leaves
+      return true;
+    }
+  }
   for (Held& held : held_) {
     if (held.countdown > 0) --held.countdown;
   }
@@ -72,6 +86,14 @@ bool FaultyTransport::send(std::uint32_t dst,
 }
 
 bool FaultyTransport::try_recv(InMessage* out) {
+  if (kill_armed_ && killed_.load(std::memory_order_relaxed)) {
+    // The dead node hears nothing: drain and discard whatever peers still
+    // send so the fabric's queues don't fill against a corpse.
+    InMessage sink;
+    while (inner_->try_recv(&sink)) {
+    }
+    return false;
+  }
   // Time-based release also happens here so a held message is not stranded
   // when the sender goes quiet.
   release_held(wall_ns(), /*force=*/false);

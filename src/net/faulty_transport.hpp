@@ -31,9 +31,11 @@ struct FaultCountersSnapshot {
   std::uint64_t corruptions = 0;
   std::uint64_t reorders = 0;
   std::uint64_t backpressures = 0;
+  std::uint64_t kills = 0;  // messages swallowed after the peer-kill fired
 
   std::uint64_t total() const {
-    return drops + duplicates + corruptions + reorders + backpressures;
+    return drops + duplicates + corruptions + reorders + backpressures +
+           kills;
   }
   FaultCountersSnapshot& operator+=(const FaultCountersSnapshot& other) {
     drops += other.drops;
@@ -41,6 +43,7 @@ struct FaultCountersSnapshot {
     corruptions += other.corruptions;
     reorders += other.reorders;
     backpressures += other.backpressures;
+    kills += other.kills;
     return *this;
   }
 };
@@ -51,13 +54,15 @@ struct FaultCounters {
   std::atomic<std::uint64_t> corruptions{0};
   std::atomic<std::uint64_t> reorders{0};
   std::atomic<std::uint64_t> backpressures{0};
+  std::atomic<std::uint64_t> kills{0};
 
   FaultCountersSnapshot snapshot() const {
     return FaultCountersSnapshot{drops.load(std::memory_order_relaxed),
                                  duplicates.load(std::memory_order_relaxed),
                                  corruptions.load(std::memory_order_relaxed),
                                  reorders.load(std::memory_order_relaxed),
-                                 backpressures.load(std::memory_order_relaxed)};
+                                 backpressures.load(std::memory_order_relaxed),
+                                 kills.load(std::memory_order_relaxed)};
   }
   std::uint64_t total() const { return snapshot().total(); }
 };
@@ -86,6 +91,14 @@ class FaultyTransport final : public Transport {
   const FaultCounters& counters() const { return counters_; }
   const FaultInjection& spec() const { return spec_; }
 
+  // Peer-kill state: true once this endpoint went dark, and the wall
+  // timestamp when it did (0 while alive) — the anchor for detection-
+  // latency measurements.
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+  std::uint64_t killed_ns() const {
+    return killed_ns_.load(std::memory_order_acquire);
+  }
+
  private:
   // A message held back for reordering: released once `countdown` later
   // sends passed it or its deadline expired.
@@ -104,6 +117,14 @@ class FaultyTransport final : public Transport {
   FaultCounters counters_;
   Xoshiro256 rng_;
   std::deque<Held> held_;
+
+  // Peer-kill fault: when this endpoint is the victim, after `kill_at`
+  // sends it goes permanently dark — sends swallowed, receives drained and
+  // discarded — modelling a fail-stop crash visible only as silence.
+  bool kill_armed_ = false;
+  std::uint64_t sends_before_kill_ = 0;
+  std::atomic<bool> killed_{false};
+  std::atomic<std::uint64_t> killed_ns_{0};
 };
 
 }  // namespace gmt::net

@@ -25,7 +25,22 @@ inline constexpr std::uint8_t kFrameVersion = 1;
 enum class FrameType : std::uint8_t {
   kData = 1,  // seq-numbered payload of aggregated commands
   kAck = 2,   // standalone cumulative ack, empty payload
+  // Membership-layer control frames (src/runtime/membership). All carry a
+  // live cumulative ack + credit like kAck, so they double as keepalive
+  // traffic for the reliability layer.
+  kHeartbeat = 3,     // empty payload; proves the sender is alive
+  kEpochPropose = 4,  // payload: EpochPayload{epoch, members}
+  kEpochAck = 5,      // payload: EpochPayload echoed by the accepting peer
 };
+
+// Payload of kEpochPropose / kEpochAck: the proposed epoch number and the
+// surviving member set as a bitmask (bit n = node n lives; caps the
+// membership layer at 64 nodes, far above the in-process fabric's reach).
+struct EpochPayload {
+  std::uint64_t epoch = 0;
+  std::uint64_t members = 0;
+};
+static_assert(sizeof(EpochPayload) == 16, "epoch payload is 16 wire bytes");
 
 struct FrameHeader {
   std::uint32_t magic = kFrameMagic;

@@ -141,11 +141,12 @@ std::string stats_report() {
       total.counter(obs::names::kFaultDuplicates) +
       total.counter(obs::names::kFaultCorruptions) +
       total.counter(obs::names::kFaultReorders) +
-      total.counter(obs::names::kFaultBackpressures);
+      total.counter(obs::names::kFaultBackpressures) +
+      total.counter(obs::names::kFaultKills);
   if (faults != 0) {
     std::snprintf(line, sizeof(line),
                   "faults injected: %llu drops, %llu dups, %llu corruptions, "
-                  "%llu reorders, %llu backpressures\n",
+                  "%llu reorders, %llu backpressures, %llu kill-swallowed\n",
                   static_cast<unsigned long long>(
                       total.counter(obs::names::kFaultDrops)),
                   static_cast<unsigned long long>(
@@ -155,8 +156,57 @@ std::string stats_report() {
                   static_cast<unsigned long long>(
                       total.counter(obs::names::kFaultReorders)),
                   static_cast<unsigned long long>(
-                      total.counter(obs::names::kFaultBackpressures)));
+                      total.counter(obs::names::kFaultBackpressures)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kFaultKills)));
     out += line;
+  }
+
+  if (total.counter(obs::names::kMembHeartbeats) != 0 ||
+      total.counter(obs::names::kMembPeersLost) != 0 ||
+      total.counter(obs::names::kMembEpochCommits) != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "membership: epoch %lld, live nodes %lld, %llu peers lost, "
+        "%llu epoch commits, %llu heartbeats, %llu ops failed NODE_LOST\n",
+        static_cast<long long>(total.gauge(obs::names::kMembEpoch)),
+        static_cast<long long>(total.gauge(obs::names::kMembLiveNodes)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMembPeersLost)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMembEpochCommits)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMembHeartbeats)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kMembOpsFailed)));
+    out += line;
+    // Per-peer health, per scope (the merged view would sum gauges across
+    // nodes, which is meaningless for states).
+    for (const auto& [scope, snap] : scopes) {
+      std::string row = "health " + scope + ":";
+      bool any = false;
+      for (const auto& gauge : snap.gauges) {
+        if (gauge.name.rfind("health.peer", 0) != 0) continue;
+        const auto dot = gauge.name.find('.', 11);
+        if (dot == std::string::npos ||
+            gauge.name.compare(dot, std::string::npos, ".state") != 0)
+          continue;
+        const std::string peer = gauge.name.substr(11, dot - 11);
+        const std::int64_t age =
+            snap.gauge("health.peer" + peer + ".last_ack_age_us");
+        const std::int64_t timeouts =
+            snap.gauge("health.peer" + peer + ".timeouts");
+        const char* tag = gauge.value == 0
+                              ? "live"
+                              : (gauge.value == 1 ? "suspect" : "dead");
+        std::snprintf(line, sizeof(line), " %s=%s(age=%lldus,to=%lld)",
+                      peer.c_str(), tag, static_cast<long long>(age),
+                      static_cast<long long>(timeouts));
+        row += line;
+        any = true;
+      }
+      if (any) out += row + "\n";
+    }
   }
   return out;
 }

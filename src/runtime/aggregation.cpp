@@ -256,7 +256,7 @@ AggBuffer* Aggregator::acquire_buffer(AggregationSlot& slot) {
   }
 }
 
-void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
+bool Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
                         const CmdHeader& header, const void* payload) {
   GMT_DCHECK(dst < num_nodes_);
   const std::size_t wire = cmd_wire_size(header);
@@ -269,6 +269,10 @@ void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
   // it, and each iteration re-reads all slot state from scratch.
   const bool flow = flow_enabled();
   for (;;) {
+    // Checked every iteration: a task parked on credit toward a peer that
+    // then died is woken by mark_dead and must land here, not re-park
+    // against a credit grant that will never come.
+    if (dest_dead(dst)) return false;
     if (flow) {
       // Credit backpressure: once a full buffer's worth is backlogged for a
       // credit-starved destination, appending more only grows the backlog.
@@ -306,8 +310,32 @@ void Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
     std::uint8_t* out = current->append(wire, wall_ns());
     encode_cmd(out, header, payload);
     stats_.commands.add();
-    return;
+    return true;
   }
+}
+
+void Aggregator::mark_dead(std::uint32_t dst) {
+  GMT_DCHECK(dst < num_nodes_ && dst < 64);
+  // Bit first (release): after this, append refuses the destination, so the
+  // drain below races only with stragglers whose commands the next
+  // aggregate() pass drops.
+  dead_mask_.fetch_or(std::uint64_t{1} << dst, std::memory_order_acq_rel);
+  drain_dead(dst);
+  // Tasks parked on the dead peer's credit window re-evaluate and fail out
+  // through append() == false instead of waiting for a grant forever.
+  wake_stalled();
+}
+
+void Aggregator::drain_dead(std::uint32_t dst) {
+  DestQueue& queue = *queues_[dst];
+  CommandBlock* block = nullptr;
+  while (queue.blocks.pop(&block)) {
+    queue.queued_bytes.fetch_sub(block->bytes(), std::memory_order_relaxed);
+    recycle_block(block);
+    block = nullptr;
+  }
+  if (queue.queued_bytes.load(std::memory_order_relaxed) == 0)
+    queue.oldest_ns.store(0, std::memory_order_relaxed);
 }
 
 void Aggregator::push_block(AggregationSlot& slot, std::uint32_t dst) {
@@ -348,6 +376,14 @@ void Aggregator::push_block(AggregationSlot& slot, std::uint32_t dst) {
 void Aggregator::aggregate(AggregationSlot& slot, std::uint32_t dst,
                            bool force) {
   DestQueue& queue = *queues_[dst];
+  if (dest_dead(dst)) {
+    // Before the credit check on purpose: a dead peer grants no credits, so
+    // its backlog must drain unconditionally or it pins pool blocks (and
+    // idle()) forever. The commands are dropped; the membership layer
+    // already failed their tracked completions.
+    drain_dead(dst);
+    return;
+  }
   AggBuffer* buffer = nullptr;
   CommandBlock* block = nullptr;
 

@@ -193,14 +193,27 @@ class Aggregator {
   AggregationSlot& slot(std::uint32_t i) { return *slots_[i]; }
 
   // Appends one command (header + optional payload) bound for `dst` to the
-  // slot's command block, flushing/aggregating as thresholds trip. Never
-  // fails; applies *cooperative* backpressure: under pool or credit
-  // exhaustion a calling task is parked on the scheduler wake-list (or
-  // yielded) until resources return, while non-task callers (helpers, comm
-  // server) force aggregation and fall back to off-pool emergency blocks so
-  // they always stay live — nothing hot-spins.
-  void append(AggregationSlot& slot, std::uint32_t dst,
+  // slot's command block, flushing/aggregating as thresholds trip. Applies
+  // *cooperative* backpressure: under pool or credit exhaustion a calling
+  // task is parked on the scheduler wake-list (or yielded) until resources
+  // return, while non-task callers (helpers, comm server) force aggregation
+  // and fall back to off-pool emergency blocks so they always stay live —
+  // nothing hot-spins. Returns false — the command dropped, nothing
+  // buffered — only when `dst` has been declared dead (mark_dead); the
+  // caller owns failing the op's completion.
+  bool append(AggregationSlot& slot, std::uint32_t dst,
               const CmdHeader& header, const void* payload);
+
+  // Membership fail-stop: marks `dst` dead, drains and recycles its queued
+  // command blocks (their commands are dropped — the membership layer fails
+  // the tracked in-flight ops) and wakes every stalled task so none stays
+  // parked on credit that the dead peer will never grant. Idempotent;
+  // called from the comm-server thread.
+  void mark_dead(std::uint32_t dst);
+  bool dest_dead(std::uint32_t dst) const {
+    return dst < 64 &&
+           ((dead_mask_.load(std::memory_order_acquire) >> dst) & 1u);
+  }
 
   // Pushes the slot's non-empty timed-out command blocks into the
   // aggregation queues and runs aggregation on queues past their timeout
@@ -290,6 +303,9 @@ class Aggregator {
   // Releases a block back to the pool (or deletes an emergency block).
   void recycle_block(CommandBlock* block);
 
+  // Pops and recycles every block queued for a dead destination.
+  void drain_dead(std::uint32_t dst);
+
   // Parks the calling task until wake_stalled runs; false when there is no
   // parkable task context (the caller must use a non-blocking fallback).
   // `header` identifies the command being appended: when it carries the
@@ -316,6 +332,11 @@ class Aggregator {
   std::vector<std::uint64_t> stall_tokens_;
   std::atomic<std::uint32_t> stall_waiters_{0};
   std::atomic<std::uint32_t> emergency_outstanding_{0};
+
+  // Destinations declared dead by the membership layer (bit per node id;
+  // the membership protocol caps clusters at 64 nodes). Append refuses
+  // them, aggregation drains them.
+  std::atomic<std::uint64_t> dead_mask_{0};
 };
 
 }  // namespace gmt::rt

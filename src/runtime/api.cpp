@@ -116,6 +116,23 @@ void gmt_on(std::uint32_t node, TaskFn fn, const void* args,
 
 void gmt_yield() { current_worker().task_yield(); }
 
+std::uint32_t gmt_last_error() {
+  return current_worker().current_task()->status.load(
+      std::memory_order_acquire);
+}
+
+void gmt_clear_error() {
+  current_worker().current_task()->status.store(0, std::memory_order_release);
+}
+
+std::uint64_t gmt_membership_epoch() {
+  return current_worker().node().membership_epoch();
+}
+
+bool gmt_node_is_live(std::uint32_t node) {
+  return current_worker().node().node_is_live(node);
+}
+
 std::uint32_t gmt_node_id() { return current_worker().node().id(); }
 
 std::uint32_t gmt_num_nodes() {

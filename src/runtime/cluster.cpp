@@ -145,6 +145,8 @@ void Cluster::stop() {
         .add(faults.reorders - prev_faults_.reorders);
     reg.counter(obs::names::kFaultBackpressures)
         .add(faults.backpressures - prev_faults_.backpressures);
+    reg.counter(obs::names::kFaultKills).add(faults.kills -
+                                             prev_faults_.kills);
     prev_faults_ = faults;
   }
   // Dump after the join so the trace holds everything the threads recorded.
@@ -167,6 +169,7 @@ void Cluster::run(TaskFn fn, const void* args, std::size_t args_size) {
   root_.generation.fetch_add(1, std::memory_order_release);
   root_.pending_ops.store(0, std::memory_order_relaxed);
   root_.parked.store(false, std::memory_order_relaxed);
+  root_.status.store(0, std::memory_order_relaxed);
   nodes_[0]->spawn_root(fn, args, args_size, &root_);
   Backoff backoff;
   while (root_.pending_ops.load(std::memory_order_acquire) != 0)

@@ -13,6 +13,17 @@ CommServer::CommServer(Node* node) : node_(node) {
     channel_ = std::make_unique<ReliableChannel>(
         node_->config(), &node_->transport(), &rstats_,
         node_->config().flow_credits > 0 ? this : nullptr);
+  if (channel_ && node_->membership() != nullptr) {
+    MembershipManager* m = node_->membership();
+    m->attach(channel_.get(), &node_->aggregator(), &node_->memory());
+    channel_->set_suspect_callback([m](std::uint32_t peer) {
+      m->on_suspect(peer);
+    });
+    channel_->set_control_sink([m](std::uint32_t src, net::FrameType type,
+                                   const net::EpochPayload& payload) {
+      m->on_control(src, type, payload);
+    });
+  }
 }
 
 // FlowTap: the comm server is the only thread driving the channel, so the
@@ -110,9 +121,16 @@ void CommServer::main_loop() {
   const std::uint64_t grace_ns = 2 * node_->config().retry_timeout_max_ns +
                                  4 * node_->config().retry_timeout_ns;
 
+  MembershipManager* membership = channel_ ? node_->membership() : nullptr;
+
   for (;;) {
     bool progressed = false;
     const std::uint64_t now = wall_ns();
+
+    // Failure detection only while running: shutdown silence is expected
+    // (peers stop sending as they drain), not a death. Retry-budget
+    // exhaustion keeps working in-stop as the backstop.
+    if (membership != nullptr && !node_->stopping()) membership->tick(now);
 
     if (pump_outgoing(now)) progressed = true;
 
@@ -155,7 +173,13 @@ void CommServer::main_loop() {
         }
         const std::uint64_t quiet_since =
             std::max(stop_seen_ns, channel_->last_recv_ns());
-        if (channel_->quiescent() && now - quiet_since >= grace_ns) break;
+        // All peers confirmed dead: nobody is left to retransmit, so the
+        // silence grace only delays teardown.
+        const bool peers_gone =
+            membership != nullptr && membership->all_peers_dead();
+        if (channel_->quiescent() &&
+            (peers_gone || now - quiet_since >= grace_ns))
+          break;
       }
     }
     backoff.pause();

@@ -34,6 +34,25 @@ enum class Op : std::uint8_t {
   kFreeAck,        //
 };
 
+// True for request ops whose issuer holds a pending_ops count that only a
+// reply (or the membership layer, if the peer dies first) will release.
+// Reply/ack ops expect nothing back and are fire-and-forget on the wire.
+inline bool op_expects_completion(Op op) {
+  switch (op) {
+    case Op::kPut:
+    case Op::kPutValue:
+    case Op::kGet:
+    case Op::kAtomicAdd:
+    case Op::kAtomicCas:
+    case Op::kSpawn:
+    case Op::kAlloc:
+    case Op::kFree:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Width of an atomic/immediate operand in bytes (4 or 8), kept in flags.
 enum Flags : std::uint8_t {
   kWidth8 = 0,

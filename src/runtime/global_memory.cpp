@@ -22,8 +22,15 @@ std::uint64_t ArrayMeta::decompose_fill(std::uint64_t offset,
     const std::uint64_t local = pos % block;
     const std::uint64_t in_block = block - local;
     const std::uint64_t take = remaining < in_block ? remaining : in_block;
-    out[n++] = OwnedSpan{partition_node(static_cast<std::uint32_t>(part)),
-                         local, pos, take};
+    std::uint32_t owner = partition_node(static_cast<std::uint32_t>(part));
+    std::uint64_t local_off = local;
+    if (part == remap_partition) {
+      // Lost partition remapped onto its buddy's replica: same intra-block
+      // arithmetic, biased one block into the buddy's local address space.
+      owner = remap_node;
+      local_off = local + block;
+    }
+    out[n++] = OwnedSpan{owner, local_off, pos, take};
     pos += take;
     remaining -= take;
   }
@@ -52,6 +59,8 @@ void MemStats::bind(obs::Registry& reg) {
   slots_recycled = reg.counter(obs::names::kMemSlotsRecycled);
   deferred_reclaims = reg.counter(obs::names::kMemDeferredReclaims);
   slots_orphaned = reg.counter(obs::names::kMemSlotsOrphaned);
+  arrays_degraded = reg.counter(obs::names::kMemArraysDegraded);
+  arrays_remapped = reg.counter(obs::names::kMemArraysRemapped);
 }
 
 namespace {
@@ -77,10 +86,12 @@ thread_local TlsAccessor t_accessor;
 }  // namespace
 
 GlobalMemory::GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
-                           std::uint32_t max_handles, obs::Registry* registry)
+                           std::uint32_t max_handles, obs::Registry* registry,
+                           std::uint64_t replicate_threshold)
     : node_id_(node_id),
       num_nodes_(num_nodes),
       max_handles_(max_handles),
+      replicate_threshold_(replicate_threshold),
       uid_(g_gm_uid.fetch_add(1, std::memory_order_relaxed)),
       slots_(max_handles),
       free_head_(pack_head(0, kNoFreeSlot)),
@@ -180,11 +191,43 @@ void GlobalMemory::register_array(gmt_handle handle, std::uint64_t size,
     local_bytes_.fetch_add(mine, std::memory_order_relaxed);
   }
 
+  // Buddy replication: every node computes the same predicate, so all
+  // nodes agree on `replicated` without coordination. This node wards the
+  // ring-predecessor partition (the one whose buddy_node() is us).
+  std::uint64_t replica_bytes = 0;
+  array->meta.replicated = replicate_threshold_ > 0 &&
+                           policy == Alloc::kPartition &&
+                           size <= replicate_threshold_ &&
+                           array->meta.partition_count() > 1;
+  if (array->meta.replicated) {
+    const std::uint32_t parts = array->meta.partition_count();
+    if (node_id_ < parts) {
+      const std::uint32_t ward = (node_id_ + parts - 1) % parts;
+      replica_bytes = array->meta.bytes_on_node(ward);  // kPartition: owner==index
+      if (replica_bytes > 0) {
+        array->replica = std::make_unique<std::uint8_t[]>(replica_bytes);
+        std::memset(array->replica.get(), 0, replica_bytes);
+        array->replica_bytes = replica_bytes;
+        array->replica_bias = array->meta.block_size();
+        local_bytes_.fetch_add(replica_bytes, std::memory_order_relaxed);
+      }
+    }
+  }
+
   live_handles_.fetch_add(1, std::memory_order_relaxed);
   stats_.allocs.add();
   stats_.live_handles.inc();
-  stats_.live_bytes.add(static_cast<std::int64_t>(mine));
+  stats_.live_bytes.add(static_cast<std::int64_t>(mine + replica_bytes));
 
+  // Allocations made after a death are born degraded (or remapped).
+  const std::uint64_t dead = dead_mask_.load(std::memory_order_acquire);
+  const std::uint64_t word =
+      dead != 0 ? degrade_word(array->meta, dead) : 0;
+  if (word != 0) {
+    stats_.arrays_degraded.add();
+    if (word & kRemapValidBit) stats_.arrays_remapped.add();
+  }
+  slots_[slot].degrade.store(word, std::memory_order_relaxed);
   slots_[slot].generation.store(handle_generation(handle),
                                 std::memory_order_relaxed);
   slots_[slot].array.store(array.release(), std::memory_order_release);
@@ -198,11 +241,13 @@ void GlobalMemory::unregister_array(gmt_handle handle) {
   GMT_CHECK_MSG(array != nullptr, "double free of gmt_array");
   GMT_CHECK_MSG(array->meta.generation == handle_generation(handle),
                 "stale handle in gmt_free");
-  local_bytes_.fetch_sub(array->partition_bytes, std::memory_order_relaxed);
+  const std::uint64_t held = array->partition_bytes + array->replica_bytes;
+  local_bytes_.fetch_sub(held, std::memory_order_relaxed);
   live_handles_.fetch_sub(1, std::memory_order_relaxed);
   stats_.frees.add();
   stats_.live_handles.dec();
-  stats_.live_bytes.add(-static_cast<std::int64_t>(array->partition_bytes));
+  stats_.live_bytes.add(-static_cast<std::int64_t>(held));
+  slots_[slot].degrade.store(0, std::memory_order_relaxed);
   retire(array);
 }
 
@@ -228,7 +273,63 @@ LocalArray& GlobalMemory::get(gmt_handle handle) {
 
 ArrayMeta GlobalMemory::meta(gmt_handle handle) {
   AccessGuard guard(*this);
-  return get(handle).meta;
+  ArrayMeta m = get(handle).meta;
+  const std::uint64_t word =
+      slots_[handle_slot(handle)].degrade.load(std::memory_order_acquire);
+  if (word != 0) {
+    m.degraded = true;
+    if (word & kRemapValidBit) {
+      m.remap_partition = static_cast<std::uint32_t>(word & 0xffff);
+      m.remap_node = static_cast<std::uint32_t>((word >> 16) & 0xffff);
+    }
+  }
+  return m;
+}
+
+std::uint64_t GlobalMemory::degrade_word(const ArrayMeta& meta,
+                                         std::uint64_t dead_mask) const {
+  std::uint64_t word = 0;
+  for (std::uint32_t dead = 0; dead < num_nodes_ && dead < 64; ++dead) {
+    if (!((dead_mask >> dead) & 1u)) continue;
+    const std::int64_t part = meta.node_partition(dead);
+    if (part < 0 || meta.bytes_on_node(dead) == 0) continue;
+    word |= kDegradedBit;
+    if (meta.replicated && meta.policy == Alloc::kPartition) {
+      const std::uint32_t buddy =
+          meta.buddy_node(static_cast<std::uint32_t>(part));
+      // Remap only when the buddy survives; a second death involving the
+      // buddy (or two lost partitions) leaves the array plain-degraded,
+      // because one remap slot cannot cover both.
+      if (!((dead_mask >> buddy) & 1u) && !(word & kRemapValidBit)) {
+        word |= kRemapValidBit | (static_cast<std::uint64_t>(buddy) << 16) |
+                static_cast<std::uint64_t>(part);
+      } else {
+        word &= ~(kRemapValidBit | 0xffffffffull);
+      }
+    }
+  }
+  return word;
+}
+
+void GlobalMemory::degrade_node(std::uint32_t dead) {
+  const std::uint64_t bit = std::uint64_t{1} << dead;
+  const std::uint64_t mask =
+      dead_mask_.fetch_or(bit, std::memory_order_acq_rel) | bit;
+  // Pin so a concurrent unregister cannot free an array under the sweep.
+  AccessGuard guard(*this);
+  const std::uint32_t limit =
+      std::min(next_slot_.load(std::memory_order_acquire), max_handles_);
+  for (std::uint32_t s = 1; s < limit; ++s) {
+    LocalArray* array = slots_[s].array.load(std::memory_order_acquire);
+    if (array == nullptr) continue;
+    const std::uint64_t word = degrade_word(array->meta, mask);
+    if (word == 0) continue;
+    const std::uint64_t prev =
+        slots_[s].degrade.exchange(word, std::memory_order_acq_rel);
+    if (prev == 0) stats_.arrays_degraded.add();
+    if ((word & kRemapValidBit) && !(prev & kRemapValidBit))
+      stats_.arrays_remapped.add();
+  }
 }
 
 bool GlobalMemory::valid(gmt_handle handle) const {

@@ -62,11 +62,24 @@ struct OwnedSpan {
 
 // Metadata for one allocation, identical on every node.
 struct ArrayMeta {
+  static constexpr std::uint32_t kNoRemap = 0xffffffffu;
+
   std::uint64_t size = 0;   // total bytes
   Alloc policy = Alloc::kPartition;
   std::uint32_t home_node = 0;   // the allocating node
   std::uint32_t num_nodes = 1;   // cluster size at allocation
   std::uint16_t generation = 0;
+
+  // Failure-mode state (populated into the by-value copy meta() returns
+  // from the slot's atomic degrade word; the fields on the stored
+  // LocalArray stay at their defaults except `replicated`). `degraded`
+  // means at least one partition's owner died; operations that touch it
+  // fail with GMT_ERR_NODE_LOST unless the partition was remapped onto its
+  // buddy replica (opt-in replication, GMT_REPLICATE=1).
+  bool replicated = false;
+  bool degraded = false;
+  std::uint32_t remap_partition = kNoRemap;  // lost partition index
+  std::uint32_t remap_node = 0;              // buddy serving its replica
 
   // Nodes that hold a partition, in partition order. kRemote on a
   // single-node cluster has nobody else to hold the data, so it
@@ -87,6 +100,14 @@ struct ArrayMeta {
   std::uint64_t block_size() const {
     const std::uint64_t parts = partition_count();
     return (((size + parts - 1) / parts) + 7) & ~std::uint64_t{7};
+  }
+
+  // Buddy replication (kPartition policy only): partition `part`'s replica
+  // lives on the owner of the next partition in ring order, biased
+  // block_size() bytes into that node's local address space (past its own
+  // partition, whose bytes never exceed one block).
+  std::uint32_t buddy_node(std::uint32_t part) const {
+    return partition_node((part + 1) % partition_count());
   }
 
   // The cluster node holding partition index `part`.
@@ -147,13 +168,25 @@ struct ArrayMeta {
                  std::vector<OwnedSpan>* out) const;
 };
 
-// Per-node view of one allocation: shared metadata + this node's storage.
+// Per-node view of one allocation: shared metadata + this node's storage,
+// plus (opt-in replication) the replica of the partition this node wards.
+// Replica bytes live at local offsets >= replica_bias (= block_size());
+// local_ptr dispatches on the offset so remote requesters address replica
+// bytes with plain `local_offset + block_size()` arithmetic.
 struct LocalArray {
   ArrayMeta meta;
   std::unique_ptr<std::uint8_t[]> partition;  // null if no partition here
   std::uint64_t partition_bytes = 0;
+  std::unique_ptr<std::uint8_t[]> replica;  // warded partition's mirror
+  std::uint64_t replica_bytes = 0;
+  std::uint64_t replica_bias = 0;  // = meta.block_size() when replica set
 
   std::uint8_t* local_ptr(std::uint64_t local_offset) {
+    if (replica && local_offset >= replica_bias) {
+      const std::uint64_t r = local_offset - replica_bias;
+      GMT_DCHECK(r < replica_bytes);
+      return replica.get() + r;
+    }
     GMT_DCHECK(local_offset < partition_bytes);
     return partition.get() + local_offset;
   }
@@ -169,6 +202,8 @@ struct MemStats {
   obs::Counter slots_recycled;   // reservations served from the free list
   obs::Counter deferred_reclaims;  // frees that outlived a reclaim scan
   obs::Counter slots_orphaned;   // frees initiated off the home node
+  obs::Counter arrays_degraded;  // arrays that lost a partition to a death
+  obs::Counter arrays_remapped;  // of those, remapped onto a buddy replica
 
   void bind(obs::Registry& reg);
 };
@@ -177,9 +212,14 @@ struct MemStats {
 // commands, so all nodes agree on (slot, generation) for each handle.
 class GlobalMemory {
  public:
+  // `replicate_threshold` > 0 turns on buddy replication: kPartition
+  // arrays up to that many bytes (with >1 partition) get their partitions
+  // mirrored to the next node in ring order, so a single node's death
+  // remaps instead of degrading them.
   GlobalMemory(std::uint32_t node_id, std::uint32_t num_nodes,
                std::uint32_t max_handles = 1 << 16,
-               obs::Registry* registry = nullptr);
+               obs::Registry* registry = nullptr,
+               std::uint64_t replicate_threshold = 0);
   ~GlobalMemory();
   GlobalMemory(const GlobalMemory&) = delete;
   GlobalMemory& operator=(const GlobalMemory&) = delete;
@@ -226,6 +266,22 @@ class GlobalMemory {
   ArrayMeta meta(gmt_handle handle);
 
   bool valid(gmt_handle handle) const;
+
+  // ---- degraded mode (membership layer) ----
+
+  // Fail-stop: `dead` left the membership. Every registered array with a
+  // partition there is marked degraded via its slot's atomic degrade word;
+  // replicated arrays whose buddy survives are remapped onto the replica
+  // instead. Future register_array calls consult the accumulated dead set,
+  // so allocations made after the death are born degraded/remapped too.
+  // Called from the comm-server thread; readers see the word through
+  // meta(). Idempotent per node.
+  void degrade_node(std::uint32_t dead);
+
+  std::uint64_t dead_mask() const {
+    return dead_mask_.load(std::memory_order_acquire);
+  }
+  bool replicate_enabled() const { return replicate_threshold_ > 0; }
 
   // ---- deferred reclamation (epoch pins) ----
 
@@ -278,7 +334,18 @@ class GlobalMemory {
     // Intrusive link for the retired-slot free list (valid only while the
     // slot sits in the list).
     std::atomic<std::uint32_t> next_free{0};
+    // Degrade word, packed [ degraded(1) | remap_valid(1) | .. |
+    // remap_node(16) | remap_partition(16) ]; 0 = healthy. Written by
+    // degrade_node/register_array, folded into meta()'s by-value copy.
+    std::atomic<std::uint64_t> degrade{0};
   };
+
+  static constexpr std::uint64_t kDegradedBit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kRemapValidBit = std::uint64_t{1} << 62;
+
+  // Degrade word for `meta` given the accumulated dead set (0 = healthy).
+  std::uint64_t degrade_word(const ArrayMeta& meta,
+                             std::uint64_t dead_mask) const;
 
   // One pinned-epoch cell per accessor thread. 0 = quiescent; a non-zero
   // value is the global epoch observed when the thread pinned.
@@ -305,6 +372,8 @@ class GlobalMemory {
   const std::uint32_t node_id_;
   const std::uint32_t num_nodes_;
   const std::uint32_t max_handles_;
+  const std::uint64_t replicate_threshold_;
+  std::atomic<std::uint64_t> dead_mask_{0};
   const std::uint64_t uid_;  // distinguishes instances for the TLS cache
   std::vector<Slot> slots_;
   std::atomic<std::uint32_t> next_slot_{1};  // slot 0 unused (null handle)

@@ -106,13 +106,17 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kGetReply: {
-      // Back at the origin: land the data, then release the waiter.
+      // Back at the origin: land the data, then release the waiter. A
+      // stale reply (its op already failed by the death sweep) must not
+      // touch the destination address — the waiter may have moved on.
+      if (!node_->reply_ok(src, cmd.token)) break;
       std::memcpy(reinterpret_cast<void*>(cmd.aux1), payload,
                   cmd.payload_size);
       complete_one(cmd.token);
       break;
     }
     case Op::kPutAck: {
+      if (!node_->reply_ok(src, cmd.token)) break;
       complete_one(cmd.token);
       break;
     }
@@ -149,6 +153,7 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kAtomicReply: {
+      if (!node_->reply_ok(src, cmd.token)) break;
       if (cmd.aux2)
         std::memcpy(reinterpret_cast<void*>(cmd.aux2), &cmd.aux1, 8);
       complete_one(cmd.token);
@@ -168,7 +173,12 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kSpawnDone: {
-      complete_one(cmd.token);
+      if (!node_->reply_ok(src, cmd.token)) break;
+      if (cmd.aux2 != 0)
+        complete_one_error(cmd.token,
+                           static_cast<std::uint32_t>(cmd.aux2));
+      else
+        complete_one(cmd.token);
       break;
     }
     case Op::kAlloc: {
@@ -182,6 +192,7 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kAllocAck: {
+      if (!node_->reply_ok(src, cmd.token)) break;
       complete_one(cmd.token);
       break;
     }
@@ -194,6 +205,7 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       break;
     }
     case Op::kFreeAck: {
+      if (!node_->reply_ok(src, cmd.token)) break;
       complete_one(cmd.token);
       break;
     }

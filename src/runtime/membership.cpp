@@ -1,0 +1,335 @@
+#include "runtime/membership.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "gmt/error.hpp"
+#include "gmt/obs.hpp"
+#include "runtime/aggregation.hpp"
+#include "runtime/global_memory.hpp"
+#include "runtime/reliable_channel.hpp"
+#include "runtime/task.hpp"
+
+namespace gmt::rt {
+
+void MembershipStats::bind(obs::Registry& reg) {
+  namespace names = obs::names;
+  heartbeats = reg.counter(names::kMembHeartbeats);
+  suspects = reg.counter(names::kMembSuspects);
+  epoch_commits = reg.counter(names::kMembEpochCommits);
+  peers_lost = reg.counter(names::kMembPeersLost);
+  ops_failed = reg.counter(names::kMembOpsFailed);
+  epoch = reg.gauge(names::kMembEpoch);
+  live_nodes = reg.gauge(names::kMembLiveNodes);
+}
+
+PendingOpTracker::PendingOpTracker(std::uint32_t num_nodes)
+    : shards_(new Shard[num_nodes]), num_nodes_(num_nodes) {}
+
+void PendingOpTracker::track(std::uint32_t dst, std::uint64_t token) {
+  GMT_DCHECK(dst < num_nodes_);
+  Shard& shard = shards_[dst];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ops.try_emplace(token, 0).first;
+  if (++it->second == 0) shard.ops.erase(it);  // cancelled a tombstone
+}
+
+bool PendingOpTracker::complete(std::uint32_t dst, std::uint64_t token) {
+  GMT_DCHECK(dst < num_nodes_);
+  Shard& shard = shards_[dst];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ops.find(token);
+  if (it == shard.ops.end() || it->second <= 0) return false;
+  if (--it->second == 0) shard.ops.erase(it);
+  return true;
+}
+
+bool PendingOpTracker::consume_reply(
+    std::uint32_t src, std::uint64_t token,
+    const std::atomic<std::uint64_t>& live_mask) {
+  GMT_DCHECK(src < num_nodes_);
+  Shard& shard = shards_[src];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ops.find(token);
+  if (it != shard.ops.end() && it->second > 0) {
+    if (--it->second == 0) shard.ops.erase(it);
+    return true;
+  }
+  // No tracked count. From a dead source that means the sweep already
+  // failed the op — the reply is stale. From a live source the reply beat
+  // its own track (the sweep cannot have run: the live bit is cleared
+  // before fail_all, and this lock orders us against it); tombstone so the
+  // late track cancels instead of re-arming the count.
+  if (!((live_mask.load(std::memory_order_acquire) >> src) & 1u))
+    return false;
+  --shard.ops[token];
+  return true;
+}
+
+std::size_t PendingOpTracker::fail_all(std::uint32_t dst,
+                                       std::uint32_t status) {
+  GMT_DCHECK(dst < num_nodes_);
+  Shard& shard = shards_[dst];
+  std::vector<std::pair<std::uint64_t, std::int32_t>> taken;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    taken.reserve(shard.ops.size());
+    for (auto it = shard.ops.begin(); it != shard.ops.end();) {
+      if (it->second > 0) {
+        taken.emplace_back(it->first, it->second);
+        it = shard.ops.erase(it);
+      } else {
+        ++it;  // tombstone: its reply was already delivered; keep it for
+               // the late track to cancel
+      }
+    }
+  }
+  // Completions run outside the lock: complete_one_error may wake a task.
+  std::size_t failed = 0;
+  for (const auto& [token, count] : taken) {
+    for (std::int32_t i = 0; i < count; ++i) complete_one_error(token, status);
+    failed += static_cast<std::size_t>(count);
+  }
+  return failed;
+}
+
+MembershipManager::MembershipManager(const Config& config,
+                                     std::uint32_t node_id,
+                                     std::uint32_t num_nodes,
+                                     obs::Registry* registry)
+    : config_(config),
+      node_id_(node_id),
+      num_nodes_(num_nodes),
+      tracker_(num_nodes),
+      live_mask_(num_nodes >= 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << num_nodes) - 1) {
+  GMT_CHECK(num_nodes <= 64);  // EpochPayload.members is a 64-bit bitmask
+  peer_gauges_.resize(num_nodes);
+  if (registry != nullptr) {
+    stats_.bind(*registry);
+    for (std::uint32_t p = 0; p < num_nodes_; ++p) {
+      if (p == node_id_) continue;
+      const std::string base = "health.peer" + std::to_string(p);
+      peer_gauges_[p].state = registry->gauge(base + ".state");
+      peer_gauges_[p].last_ack_age_us =
+          registry->gauge(base + ".last_ack_age_us");
+      peer_gauges_[p].timeouts = registry->gauge(base + ".timeouts");
+    }
+  }
+  stats_.live_nodes.add(static_cast<std::int64_t>(num_nodes));
+  prev_live_gauge_ = static_cast<std::int64_t>(num_nodes);
+}
+
+void MembershipManager::attach(ReliableChannel* channel, Aggregator* agg,
+                               GlobalMemory* gm) {
+  channel_ = channel;
+  agg_ = agg;
+  gm_ = gm;
+}
+
+void MembershipManager::fail_token(std::uint64_t token) {
+  stats_.ops_failed.add();
+  complete_one_error(token, GMT_ERR_NODE_LOST);
+}
+
+void MembershipManager::tick(std::uint64_t now_ns) {
+  if (channel_ == nullptr) return;
+  if (start_ns_ == 0) {
+    // First tick: the silence baseline for peers never heard from, so a
+    // peer that dies before its first frame is still detected.
+    start_ns_ = now_ns;
+    next_health_ns_ = now_ns + config_.heartbeat_ns;
+  }
+  const std::uint64_t mask = live_mask_.load(std::memory_order_relaxed);
+  for (std::uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    if (peer == node_id_ || !((mask >> peer) & 1u)) continue;
+    const PeerHealthSnapshot h = channel_->health(peer);
+    if (h.state != PeerState::kLive) {
+      // Retry-budget exhaustion already flagged it via on_suspect; make
+      // sure the local fail-stop ran even if the callback was unset.
+      declare_dead(peer, now_ns);
+      continue;
+    }
+    const std::uint64_t heard = h.last_heard_ns ? h.last_heard_ns : start_ns_;
+    if (now_ns > heard && now_ns - heard >= config_.suspect_timeout_ns) {
+      channel_->note_suspect(peer);
+      declare_dead(peer, now_ns);
+      continue;
+    }
+    const std::uint64_t sent =
+        std::max(channel_->last_tx_ns(peer), start_ns_);
+    if (now_ns > sent && now_ns - sent >= config_.heartbeat_ns) {
+      if (channel_->send_heartbeat(peer, now_ns)) stats_.heartbeats.add();
+    }
+  }
+  if (proposed_epoch_ != 0 && acks_pending_ != 0 &&
+      now_ns >= next_propose_ns_)
+    broadcast_proposal(now_ns);
+  if (now_ns >= next_health_ns_) {
+    publish_health(now_ns);
+    next_health_ns_ =
+        now_ns + std::max<std::uint64_t>(config_.heartbeat_ns, 1'000'000);
+  }
+}
+
+void MembershipManager::on_suspect(std::uint32_t peer) {
+  declare_dead(peer, wall_ns());
+}
+
+void MembershipManager::declare_dead(std::uint32_t peer,
+                                     std::uint64_t now_ns) {
+  const std::uint64_t bit = std::uint64_t{1} << peer;
+  const std::uint64_t prev = live_mask_.load(std::memory_order_relaxed);
+  if (!(prev & bit)) return;  // idempotent (note_suspect may re-enter)
+  std::uint64_t zero = 0;
+  first_suspect_ns_.compare_exchange_strong(zero, now_ns,
+                                            std::memory_order_acq_rel);
+  // Clear the live bit before touching the channel: note_suspect's callback
+  // re-enters declare_dead and must see the peer already excluded.
+  live_mask_.store(prev & ~bit, std::memory_order_release);
+  stats_.suspects.add();
+  stats_.peers_lost.add();
+  peers_lost_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Drain order matters. (1) Stop the channel: nothing new leaves and its
+  // unacked window empties. (2) Mark the aggregation destination dead: the
+  // queued blocks recycle, credit/stall parks wake, and — crucially before
+  // (3) — emit's append starts refusing the destination, so a track racing
+  // this sweep either lands before the swap (we fail it) or its append is
+  // rejected (the worker fails it). (3) Fail every tracked in-flight op.
+  // (4) Degrade/remap the global arrays that lost partitions.
+  channel_->note_suspect(peer);
+  const std::size_t purged = channel_->purge_peer(peer);
+  if (agg_ != nullptr) agg_->mark_dead(peer);
+  const std::size_t failed = tracker_.fail_all(peer, GMT_ERR_NODE_LOST);
+  stats_.ops_failed.add(failed);
+  if (gm_ != nullptr) gm_->degrade_node(peer);
+  GMT_LOG_WARN(
+      "node %u: peer %u declared dead (%zu unacked frames purged, %zu "
+      "in-flight ops failed, live mask %llx)",
+      node_id_, peer, purged, failed,
+      static_cast<unsigned long long>(prev & ~bit));
+
+  refresh_proposal(now_ns);
+}
+
+void MembershipManager::refresh_proposal(std::uint64_t now_ns) {
+  if (!coordinator()) {
+    // A lower live id leads the agreement; drop any proposal we were
+    // driving and answer its kEpochPropose instead.
+    proposed_epoch_ = 0;
+    acks_pending_ = 0;
+    return;
+  }
+  // Monotone proposal numbers: a second death during an open proposal
+  // supersedes it, and peers adopt whichever carries the higher epoch.
+  proposed_epoch_ =
+      std::max(epoch_.load(std::memory_order_relaxed), proposed_epoch_) + 1;
+  acks_pending_ = live_mask_.load(std::memory_order_relaxed) &
+                  ~(std::uint64_t{1} << node_id_);
+  if (acks_pending_ == 0) {
+    commit(proposed_epoch_, now_ns);
+    return;
+  }
+  broadcast_proposal(now_ns);
+}
+
+void MembershipManager::broadcast_proposal(std::uint64_t now_ns) {
+  const net::EpochPayload payload{
+      proposed_epoch_, live_mask_.load(std::memory_order_relaxed)};
+  for (std::uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    if ((acks_pending_ >> peer) & 1u)
+      channel_->send_control(peer, net::FrameType::kEpochPropose, payload);
+  }
+  next_propose_ns_ = now_ns + config_.heartbeat_ns;
+}
+
+void MembershipManager::commit(std::uint64_t epoch, std::uint64_t now_ns) {
+  epoch_.store(epoch, std::memory_order_release);
+  last_commit_ns_.store(now_ns, std::memory_order_release);
+  stats_.epoch_commits.add();
+  proposed_epoch_ = 0;
+  acks_pending_ = 0;
+  GMT_LOG_INFO("node %u: membership epoch %llu committed (live mask %llx)",
+               node_id_, static_cast<unsigned long long>(epoch),
+               static_cast<unsigned long long>(
+                   live_mask_.load(std::memory_order_relaxed)));
+}
+
+void MembershipManager::on_control(std::uint32_t src, net::FrameType type,
+                                   const net::EpochPayload& payload) {
+  const std::uint64_t now = wall_ns();
+  if (type == net::FrameType::kEpochPropose) {
+    if (!((payload.members >> node_id_) & 1u)) {
+      // The survivors excluded *us* (we were slow, not crashed). Fail-stop
+      // semantics forbid rejoining: keep running locally and let their
+      // epoch stand.
+      GMT_LOG_WARN("node %u: excluded by epoch %llu proposal from node %u",
+                   node_id_, static_cast<unsigned long long>(payload.epoch),
+                   src);
+      return;
+    }
+    // Adopt deaths we have not noticed ourselves yet (the membership set
+    // only ever shrinks, so intersecting views is safe).
+    std::uint64_t excluded = live_mask_.load(std::memory_order_relaxed) &
+                             ~payload.members &
+                             ~(std::uint64_t{1} << node_id_);
+    for (std::uint32_t p = 0; p < num_nodes_ && excluded != 0; ++p) {
+      if ((excluded >> p) & 1u) {
+        declare_dead(p, now);
+        excluded &= ~(std::uint64_t{1} << p);
+      }
+    }
+    if (payload.epoch > epoch_.load(std::memory_order_relaxed))
+      commit(payload.epoch, now);
+    const net::EpochPayload ack{payload.epoch,
+                                live_mask_.load(std::memory_order_relaxed)};
+    channel_->send_control(src, net::FrameType::kEpochAck, ack);
+    return;
+  }
+  if (type == net::FrameType::kEpochAck) {
+    if (proposed_epoch_ == 0 || payload.epoch != proposed_epoch_)
+      return;  // stale ack for a superseded proposal
+    acks_pending_ &= ~(std::uint64_t{1} << src);
+    if (acks_pending_ == 0) commit(proposed_epoch_, now);
+  }
+}
+
+void MembershipManager::publish_health(std::uint64_t now_ns) {
+  const auto epoch_now =
+      static_cast<std::int64_t>(epoch_.load(std::memory_order_relaxed));
+  stats_.epoch.add(epoch_now - prev_epoch_gauge_);
+  prev_epoch_gauge_ = epoch_now;
+  const auto live_now = static_cast<std::int64_t>(
+      std::popcount(live_mask_.load(std::memory_order_relaxed)));
+  stats_.live_nodes.add(live_now - prev_live_gauge_);
+  prev_live_gauge_ = live_now;
+  for (std::uint32_t p = 0; p < num_nodes_; ++p) {
+    if (p == node_id_) continue;
+    PeerGauges& g = peer_gauges_[p];
+    const PeerHealthSnapshot h = channel_->health(p);
+    const auto state = static_cast<std::int64_t>(h.state);
+    g.state.add(state - g.prev_state);
+    g.prev_state = state;
+    std::int64_t age = g.prev_age;  // dead peers freeze at their last age
+    if (h.state != PeerState::kDead) {
+      const std::uint64_t heard =
+          h.last_heard_ns ? h.last_heard_ns : start_ns_;
+      age = static_cast<std::int64_t>(
+          (now_ns > heard ? now_ns - heard : 0) / 1000);
+    }
+    g.last_ack_age_us.add(age - g.prev_age);
+    g.prev_age = age;
+    const auto timeouts = static_cast<std::int64_t>(h.consec_timeouts);
+    g.timeouts.add(timeouts - g.prev_timeouts);
+    g.prev_timeouts = timeouts;
+  }
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,239 @@
+// Failure detection and fail-stop membership epochs.
+//
+// The paper's runtime assumes every node lives for the whole run; a single
+// crashed node turns blocked workers into a cluster-wide hang, because the
+// completion protocol (paper §IV) releases a task only when the reply for
+// each of its pending operations arrives. This layer removes that
+// assumption for fail-stop crashes:
+//
+//   detection  — the reliability layer records per-peer signals (last valid
+//                frame heard, consecutive retransmission timeouts). The
+//                MembershipManager turns them into suspicion: silence past
+//                GMT_SUSPECT_TIMEOUT_NS, or a frame exhausting its retry
+//                budget. Heartbeats keep idle-but-healthy links noisy so
+//                silence is meaningful.
+//   exclusion  — every node that suspects a peer immediately fail-stops it
+//                locally (stops sending, purges channel state, drains
+//                aggregation queues, fails the peer's in-flight operations
+//                with GMT_ERR_NODE_LOST). The lowest live node id then
+//                proposes membership epoch N+1 carrying the survivor set;
+//                peers intersect it with their own view, adopt, and ack;
+//                the coordinator commits once every live peer acked and
+//                rebroadcasts until then. Membership only shrinks, so
+//                concurrent proposals converge to the same set.
+//   recovery   — global arrays with partitions on the dead node are marked
+//                degraded (operations fail loudly with GMT_ERR_NODE_LOST
+//                and the task keeps running); with GMT_REPLICATE=1 small
+//                partitioned arrays carry a buddy replica and the epoch
+//                change remaps lost partitions onto it instead.
+//
+// Exactly-once completion discipline: an operation's token is tracked in
+// the PendingOpTracker *before* its command is offered to the aggregator,
+// and every completion path — normal reply, death sweep, append rejection —
+// must win the token's map entry before touching the task. Replies for
+// untracked tokens are stale (the op was already failed) and are dropped
+// without dereferencing their result addresses.
+//
+// Threading: tick()/on_suspect()/on_control() run on the comm-server
+// thread only. The tracker and the read-side accessors (is_live, epoch)
+// are called from workers and helpers concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/config.hpp"
+#include "net/frame.hpp"
+#include "obs/metrics.hpp"
+
+namespace gmt::rt {
+
+class Aggregator;
+class GlobalMemory;
+class ReliableChannel;
+
+struct MembershipStats {
+  obs::Counter heartbeats;      // kHeartbeat frames sent
+  obs::Counter suspects;        // peers locally declared dead
+  obs::Counter epoch_commits;   // epochs this node committed/adopted
+  obs::Counter peers_lost;      // same as suspects, kept for reports
+  obs::Counter ops_failed;      // operations completed with NODE_LOST
+  obs::Gauge epoch;             // current committed epoch
+  obs::Gauge live_nodes;        // size of the live set (this node's view)
+
+  void bind(obs::Registry& reg);
+};
+
+// In-flight remote operations per destination: token -> outstanding count
+// (one task may aim several chunks of several ops, all sharing its token,
+// at the same peer; counts are fungible because a completion is just a
+// pending_ops decrement). Workers track *after* the aggregator accepted
+// the command — so the aggregation stall-ticket machinery never shares a
+// pending_ops count with the tracker — which means a fast reply can
+// outrun its own track: counts are signed, and such a reply leaves a
+// tombstone (negative count) that the late track cancels. The map entry
+// is the arbiter between the normal reply path and the death sweep, so
+// each count is released exactly once.
+class PendingOpTracker {
+ public:
+  explicit PendingOpTracker(std::uint32_t num_nodes);
+
+  // Records one outstanding completion for `token` toward `dst` (cancels a
+  // tombstone left by a reply that already arrived).
+  void track(std::uint32_t dst, std::uint64_t token);
+
+  // Emit-side failure path: claims one *tracked* completion. True = the
+  // caller owns it and must fail the op; false = a reply or the death
+  // sweep already released it.
+  bool complete(std::uint32_t dst, std::uint64_t token);
+
+  // Helper-side reply arbitration. True = deliver the reply and complete
+  // the op; false = the reply is stale (the death sweep already failed the
+  // op) and must be dropped without touching its result addresses. A reply
+  // with no tracked count from a still-live source outran its track and
+  // leaves a tombstone; `live_mask` is read under the shard lock, which
+  // orders it against fail_all (the membership layer clears the live bit
+  // strictly before sweeping).
+  bool consume_reply(std::uint32_t src, std::uint64_t token,
+                     const std::atomic<std::uint64_t>& live_mask);
+
+  // Fails every tracked completion toward `dst` with `status`
+  // (complete_one_error per count), preserving tombstones. Returns the
+  // number failed.
+  std::size_t fail_all(std::uint32_t dst, std::uint32_t status);
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::int32_t> ops;
+  };
+
+  std::unique_ptr<Shard[]> shards_;  // one per destination node
+  std::uint32_t num_nodes_;
+};
+
+class MembershipManager {
+ public:
+  MembershipManager(const Config& config, std::uint32_t node_id,
+                    std::uint32_t num_nodes, obs::Registry* registry);
+
+  // Wires the comm-side collaborators (called once by the comm server
+  // before its thread starts driving tick()).
+  void attach(ReliableChannel* channel, Aggregator* agg, GlobalMemory* gm);
+
+  // ---- read side (any thread) ----
+  bool is_live(std::uint32_t node) const {
+    return (live_mask_.load(std::memory_order_acquire) >> node) & 1u;
+  }
+  std::uint64_t live_mask() const {
+    return live_mask_.load(std::memory_order_acquire);
+  }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  // True when every peer (not counting this node) has been declared dead —
+  // the comm server's shutdown drain has nobody left to wait for.
+  bool all_peers_dead() const {
+    return live_mask_.load(std::memory_order_acquire) ==
+           (std::uint64_t{1} << node_id_);
+  }
+
+  PendingOpTracker& tracker() { return tracker_; }
+
+  // Helper-side reply arbitration (see PendingOpTracker::consume_reply).
+  bool reply_arrived(std::uint32_t src, std::uint64_t token) {
+    return tracker_.consume_reply(src, token, live_mask_);
+  }
+
+  // Completes `token` with GMT_ERR_NODE_LOST (caller already owns the
+  // completion — emit-side rejection path).
+  void fail_token(std::uint64_t token);
+
+  // ---- comm-server thread ----
+
+  // Periodic driver: heartbeats toward quiet live peers, silence-based
+  // suspicion, proposal rebroadcast, health-gauge refresh.
+  void tick(std::uint64_t now_ns);
+
+  // ReliableChannel's retry-budget-exhaustion callback.
+  void on_suspect(std::uint32_t peer);
+
+  // Membership control frames (kEpochPropose / kEpochAck) routed by the
+  // channel.
+  void on_control(std::uint32_t src, net::FrameType type,
+                  const net::EpochPayload& payload);
+
+  // ---- instrumentation (tests / bench) ----
+  std::uint64_t first_suspect_ns() const {
+    return first_suspect_ns_.load(std::memory_order_acquire);
+  }
+  std::uint64_t last_commit_ns() const {
+    return last_commit_ns_.load(std::memory_order_acquire);
+  }
+  std::uint64_t peers_lost() const {
+    return peers_lost_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Local fail-stop: removes `peer` from the live set and drains every
+  // structure that could otherwise wait on it forever, then (re)enters the
+  // epoch agreement. Idempotent.
+  void declare_dead(std::uint32_t peer, std::uint64_t now_ns);
+
+  // Starts/refreshes the coordinator's proposal for the current live set
+  // (no-op when another live node has a lower id — it leads).
+  void refresh_proposal(std::uint64_t now_ns);
+  void broadcast_proposal(std::uint64_t now_ns);
+  void commit(std::uint64_t epoch, std::uint64_t now_ns);
+
+  bool coordinator() const {
+    const std::uint64_t mask = live_mask_.load(std::memory_order_relaxed);
+    return (mask & ((std::uint64_t{1} << node_id_) - 1)) == 0;
+  }
+
+  void publish_health(std::uint64_t now_ns);
+
+  const Config config_;
+  const std::uint32_t node_id_;
+  const std::uint32_t num_nodes_;
+
+  ReliableChannel* channel_ = nullptr;
+  Aggregator* agg_ = nullptr;
+  GlobalMemory* gm_ = nullptr;
+
+  PendingOpTracker tracker_;
+  MembershipStats stats_;
+
+  std::atomic<std::uint64_t> live_mask_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> first_suspect_ns_{0};
+  std::atomic<std::uint64_t> last_commit_ns_{0};
+  std::atomic<std::uint64_t> peers_lost_{0};
+
+  // Comm-thread-only protocol state.
+  std::uint64_t start_ns_ = 0;           // first tick (silence baseline)
+  std::uint64_t proposed_epoch_ = 0;     // 0 = no proposal in flight
+  std::uint64_t acks_pending_ = 0;       // live peers yet to ack
+  std::uint64_t next_propose_ns_ = 0;    // rebroadcast pacing
+  std::uint64_t next_health_ns_ = 0;     // gauge refresh pacing
+
+  // Gauges accumulate deltas, so remember the last published values.
+  std::int64_t prev_epoch_gauge_ = 0;
+  std::int64_t prev_live_gauge_ = 0;
+  struct PeerGauges {
+    obs::Gauge state;
+    obs::Gauge last_ack_age_us;
+    obs::Gauge timeouts;
+    std::int64_t prev_state = 0;
+    std::int64_t prev_age = 0;
+    std::int64_t prev_timeouts = 0;
+  };
+  std::vector<PeerGauges> peer_gauges_;
+};
+
+}  // namespace gmt::rt

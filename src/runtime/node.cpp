@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "gmt/error.hpp"
 #include "gmt/obs.hpp"
 #include "obs/trace.hpp"
 
@@ -42,7 +43,8 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
       config_(config),
       transport_(transport),
       obs_("node" + std::to_string(id)),
-      gm_(id, num_nodes, 1 << 16, &obs_),
+      gm_(id, num_nodes, 1 << 16, &obs_,
+          config.replicate ? config.replicate_max_bytes : 0),
       agg_(config, num_nodes, config.num_workers + config.num_helpers,
            &obs_),
       itb_pool_(config.task_pool ? config.itb_pool_size : 1),
@@ -67,6 +69,9 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
   for (std::uint32_t h = 0; h < config.num_helpers; ++h)
     helpers_.push_back(std::make_unique<Helper>(
         this, h, &agg_.slot(config.num_workers + h)));
+  if (config.membership && config.reliable_transport)
+    membership_ =
+        std::make_unique<MembershipManager>(config, id, num_nodes, &obs_);
   comm_ = std::make_unique<CommServer>(this);
 }
 
@@ -130,7 +135,97 @@ void Node::pin_thread(std::uint32_t slot) const {
 void Node::emit(AggregationSlot& slot, std::uint32_t dst,
                 const CmdHeader& header, const void* payload) {
   stats_.remote_ops.add();
-  agg_.append(slot, dst, header, payload);
+  MembershipManager* m = membership_.get();
+  if (m == nullptr) {
+    agg_.append(slot, dst, header, payload);
+    return;
+  }
+  const bool tracked = op_expects_completion(header.op);
+  if (!m->is_live(dst)) {
+    if (tracked) m->fail_token(header.token);
+    return;
+  }
+  if (!agg_.append(slot, dst, header, payload)) {
+    // The destination died while (or before) we were parked on credit; the
+    // command was never buffered, so the completion is ours to fail.
+    if (tracked) m->fail_token(header.token);
+    return;
+  }
+  if (tracked) {
+    // Track strictly after append accepted, so the aggregation stall
+    // ticket never shares a pending count with the tracker. A reply that
+    // outruns this track leaves a tombstone the track cancels.
+    m->tracker().track(dst, header.token);
+    // The death sweep may have run between append and track — it could
+    // not see this count, so claim it back ourselves.
+    if (!m->is_live(dst) && m->tracker().complete(dst, header.token))
+      m->fail_token(header.token);
+  }
+}
+
+// Mirrors one span of a put to the buddy holding the partition's replica.
+// Skipped when the partition was already remapped (the primary write went
+// to the replica itself) or the buddy is gone. A buddy that is this node
+// writes the local replica directly; otherwise a kPut rides the task's
+// token at the replica bias, so the task's next block covers the mirror.
+void Node::mirror_span(Worker& w, Task* task, gmt_handle h,
+                       const ArrayMeta& meta, const OwnedSpan& span,
+                       const std::uint8_t* src) {
+  if (!meta.replicated) return;
+  const std::uint64_t block = meta.block_size();
+  const auto part = static_cast<std::uint32_t>(span.global_offset / block);
+  if (part == meta.remap_partition) return;
+  const std::uint32_t buddy = meta.buddy_node(part);
+  if (!node_is_live(buddy)) return;
+  const std::uint64_t moff = block + (span.global_offset % block);
+  if (buddy == id_) {
+    GlobalMemory::AccessGuard guard(gm_);
+    std::memcpy(gm_.get(h).local_ptr(moff), src, span.size);
+    return;
+  }
+  std::uint64_t done = 0;
+  while (done < span.size) {
+    const std::uint64_t piece = span.size - done < max_payload()
+                                    ? span.size - done
+                                    : max_payload();
+    task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+    CmdHeader cmd;
+    cmd.op = Op::kPut;
+    cmd.handle = h;
+    cmd.offset = moff + done;
+    cmd.token = task_token(task);
+    cmd.payload_size = static_cast<std::uint32_t>(piece);
+    emit(w.agg_slot(), buddy, cmd, src + done);
+    done += piece;
+  }
+}
+
+// Value flavour of mirror_span (puts of <= 8 bytes and the final value of
+// remote atomics).
+void Node::mirror_value(Worker& w, Task* task, gmt_handle h,
+                        const ArrayMeta& meta, const OwnedSpan& span,
+                        std::uint64_t value, std::uint32_t size) {
+  if (!meta.replicated) return;
+  const std::uint64_t block = meta.block_size();
+  const auto part = static_cast<std::uint32_t>(span.global_offset / block);
+  if (part == meta.remap_partition) return;
+  const std::uint32_t buddy = meta.buddy_node(part);
+  if (!node_is_live(buddy)) return;
+  const std::uint64_t moff = block + (span.global_offset % block);
+  if (buddy == id_) {
+    GlobalMemory::AccessGuard guard(gm_);
+    std::memcpy(gm_.get(h).local_ptr(moff), &value, size);
+    return;
+  }
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kPutValue;
+  cmd.handle = h;
+  cmd.offset = moff;
+  cmd.token = task_token(task);
+  cmd.aux1 = value;
+  cmd.aux2 = size;
+  emit(w.agg_slot(), buddy, cmd, nullptr);
 }
 
 std::uint64_t Node::apply_atomic_add(std::uint8_t* addr, std::uint64_t operand,
@@ -178,7 +273,9 @@ void Node::register_everywhere(Worker& w, gmt_handle handle,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_new outside task context");
   for (std::uint32_t n = 0; n < num_nodes_; ++n) {
-    if (n == id_) continue;
+    // Dead nodes are skipped silently: the allocation proceeds on the
+    // survivor set and stays usable there.
+    if (n == id_ || !node_is_live(n)) continue;
     task->pending_ops.fetch_add(1, std::memory_order_relaxed);
     CmdHeader cmd;
     cmd.op = Op::kAlloc;
@@ -199,7 +296,7 @@ void Node::op_free(Worker& w, gmt_handle handle) {
   // the caller, not crash a remote helper with an undiagnosable FREE.
   GMT_CHECK_MSG(gm_.valid(handle), "gmt_free of unknown or stale handle");
   for (std::uint32_t n = 0; n < num_nodes_; ++n) {
-    if (n == id_) continue;
+    if (n == id_ || !node_is_live(n)) continue;
     task->pending_ops.fetch_add(1, std::memory_order_relaxed);
     CmdHeader cmd;
     cmd.op = Op::kFree;
@@ -243,10 +340,13 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
       const OwnedSpan& span = spans[s];
       const std::uint8_t* span_src = src + (span.global_offset - offset);
       if (span.node == id_ && config_.local_fast_path) {
-        GlobalMemory::AccessGuard guard(gm_);
-        std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
-                    span.size);
+        {
+          GlobalMemory::AccessGuard guard(gm_);
+          std::memcpy(gm_.get(h).local_ptr(span.local_offset), span_src,
+                      span.size);
+        }
         stats_.local_ops.add();
+        mirror_span(w, task, h, meta, span, span_src);
         continue;
       }
       // Chunk to the command payload limit.
@@ -265,6 +365,7 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
         emit(w.agg_slot(), span.node, cmd, span_src + done);
         done += piece;
       }
+      mirror_span(w, task, h, meta, span, span_src);
     }
   }
   if (blocking) w.task_block();
@@ -289,9 +390,12 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   }
   const OwnedSpan& span = spans[0];
   if (span.node == id_ && config_.local_fast_path) {
-    GlobalMemory::AccessGuard guard(gm_);
-    std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
+    {
+      GlobalMemory::AccessGuard guard(gm_);
+      std::memcpy(gm_.get(h).local_ptr(span.local_offset), &value, size);
+    }
     stats_.local_ops.add();
+    mirror_value(w, task, h, meta, span, value, size);
     return;
   }
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -303,6 +407,7 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   cmd.aux1 = value;
   cmd.aux2 = size;
   emit(w.agg_slot(), span.node, cmd, nullptr);
+  mirror_value(w, task, h, meta, span, value, size);
   if (blocking) w.task_block();
 }
 
@@ -379,10 +484,15 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
-    GlobalMemory::AccessGuard guard(gm_);
+    std::uint64_t old;
+    {
+      GlobalMemory::AccessGuard guard(gm_);
+      old = apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
+                             width);
+    }
     stats_.local_ops.add();
-    return apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
-                            width);
+    mirror_value(w, task, h, meta, span, old + operand, width);
+    return old;
   }
   std::uint64_t old = 0;
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -396,6 +506,13 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   cmd.aux2 = reinterpret_cast<std::uint64_t>(&old);
   emit(w.agg_slot(), span.node, cmd, nullptr);
   w.task_block();  // atomics return the old value, so they always block
+  // Mirror the post-op value only when no op of this task failed: a
+  // NODE_LOST atomic never executed, so `old` is not a real observation
+  // and mirroring from it would corrupt the replica. (Conservative skips
+  // are safe — the application-level retry re-applies against the
+  // replica.)
+  if (task->status.load(std::memory_order_acquire) == 0)
+    mirror_value(w, task, h, meta, span, old + operand, width);
   return old;
 }
 
@@ -412,10 +529,15 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   const OwnedSpan& span = atomic_span(spans, count, offset, width);
 
   if (span.node == id_ && config_.local_fast_path) {
-    GlobalMemory::AccessGuard guard(gm_);
+    std::uint64_t old;
+    {
+      GlobalMemory::AccessGuard guard(gm_);
+      old = apply_atomic_cas(gm_.get(h).local_ptr(span.local_offset), expected,
+                             desired, width);
+    }
     stats_.local_ops.add();
-    return apply_atomic_cas(gm_.get(h).local_ptr(span.local_offset), expected,
-                            desired, width);
+    if (old == expected) mirror_value(w, task, h, meta, span, desired, width);
+    return old;
   }
   std::uint64_t old = 0;
   const std::uint64_t result_addr = reinterpret_cast<std::uint64_t>(&old);
@@ -431,6 +553,10 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   cmd.payload_size = sizeof(result_addr);
   emit(w.agg_slot(), span.node, cmd, &result_addr);
   w.task_block();
+  // Mirror only a successful swap, and only when nothing failed (see
+  // op_atomic_add).
+  if (old == expected && task->status.load(std::memory_order_acquire) == 0)
+    mirror_value(w, task, h, meta, span, desired, width);
   return old;
 }
 
@@ -474,21 +600,36 @@ void Node::op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
       shares.push_back(Share{id_, 0, iterations});
       break;
     case Spawn::kPartition: {
-      std::vector<std::uint32_t> nodes(num_nodes_);
-      for (std::uint32_t n = 0; n < num_nodes_; ++n) nodes[n] = n;
+      // Shares go to the current membership only: after an epoch change a
+      // parfor redistributes over the survivors instead of silently losing
+      // the dead node's iterations. (Self is always live.)
+      std::vector<std::uint32_t> nodes;
+      for (std::uint32_t n = 0; n < num_nodes_; ++n)
+        if (n == id_ || node_is_live(n)) nodes.push_back(n);
       split(nodes);
       break;
     }
     case Spawn::kRemote: {
       std::vector<std::uint32_t> nodes;
       for (std::uint32_t n = 0; n < num_nodes_; ++n)
-        if (n != id_ || num_nodes_ == 1) nodes.push_back(n);
+        if ((n != id_ || num_nodes_ == 1) && node_is_live(n))
+          nodes.push_back(n);
+      if (nodes.empty()) nodes.push_back(id_);  // all remotes dead: degrade
       split(nodes);
       break;
     }
   }
 
   for (const Share& share : shares) {
+    if (share.node != id_ && !node_is_live(share.node)) {
+      // Lost compute must be visible, not silent: latch NODE_LOST on the
+      // spawning task (first error wins) and skip the share.
+      std::uint32_t expected = 0;
+      task->status.compare_exchange_strong(expected, GMT_ERR_NODE_LOST,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed);
+      continue;
+    }
     // Default chunk: enough tasks to keep every worker multithreaded
     // without flooding the task queues.
     std::uint64_t effective_chunk = chunk;
@@ -572,13 +713,18 @@ void Node::spawn_root(TaskFn fn, const void* args, std::size_t args_size,
 }
 
 void Node::report_spawn_done(Worker& w, IterBlock* itb) {
+  const std::uint32_t status = itb->status.load(std::memory_order_acquire);
   if (itb->origin_node == id_) {
-    complete_one(itb->token);
+    if (status != 0)
+      complete_one_error(itb->token, status);
+    else
+      complete_one(itb->token);
   } else {
     CmdHeader cmd;
     cmd.op = Op::kSpawnDone;
     cmd.token = itb->token;
     cmd.aux1 = itb->total();
+    cmd.aux2 = status;  // first child error, 0 when the block was clean
     emit(w.agg_slot(), itb->origin_node, cmd, nullptr);
   }
   release_itb(itb);

@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/aggregation.hpp"
 #include "runtime/global_memory.hpp"
+#include "runtime/membership.hpp"
 #include "runtime/reliable_channel.hpp"
 #include "runtime/task.hpp"
 #include "uthread/context.hpp"
@@ -195,6 +196,21 @@ class Node {
   NodeStats& stats() { return stats_; }
   ::gmt::obs::Registry& obs() { return obs_; }
   const CommServer& comm_server() const { return *comm_; }
+
+  // Membership layer (null when config.membership is off). The epoch and
+  // liveness accessors degrade to static-cluster answers without it.
+  MembershipManager* membership() { return membership_.get(); }
+  std::uint64_t membership_epoch() const {
+    return membership_ ? membership_->epoch() : 0;
+  }
+  bool node_is_live(std::uint32_t node) const {
+    return membership_ ? membership_->is_live(node) : node < num_nodes_;
+  }
+  // Helper-side reply arbitration: false = the reply is stale (its op was
+  // already failed by the death sweep) and must be dropped untouched.
+  bool reply_ok(std::uint32_t src, std::uint64_t token) {
+    return membership_ == nullptr || membership_->reply_arrived(src, token);
+  }
   Worker& worker(std::uint32_t i) { return *workers_[i]; }
   std::uint32_t num_workers() const {
     return static_cast<std::uint32_t>(workers_.size());
@@ -285,6 +301,14 @@ class Node {
   void emit(AggregationSlot& slot, std::uint32_t dst, const CmdHeader& header,
             const void* payload);
 
+  // Buddy-replication mirrors (no-ops unless meta.replicated). They ride
+  // the calling task's token, so the task's next block waits for them.
+  void mirror_span(Worker& w, Task* task, gmt_handle h, const ArrayMeta& meta,
+                   const OwnedSpan& span, const std::uint8_t* src);
+  void mirror_value(Worker& w, Task* task, gmt_handle h, const ArrayMeta& meta,
+                    const OwnedSpan& span, std::uint64_t value,
+                    std::uint32_t size);
+
   // Shared atomic appliers (used by the local fast path and by helpers).
   static std::uint64_t apply_atomic_add(std::uint8_t* addr,
                                         std::uint64_t operand,
@@ -310,6 +334,10 @@ class Node {
   NodeStats stats_;
   std::atomic<bool> stop_{false};
   std::atomic<gmt_handle> coll_scratch_{kNullHandle};
+
+  // Created before the comm server (which wires itself to it) and after
+  // the registry/aggregator/memory it references.
+  std::unique_ptr<MembershipManager> membership_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Helper>> helpers_;

@@ -30,11 +30,13 @@ ReliableChannel::ReliableChannel(const Config& config,
       stats_(stats),
       flow_(flow),
       send_(transport->num_nodes()),
-      recv_(transport->num_nodes()) {}
+      recv_(transport->num_nodes()),
+      health_(new PeerHealth[transport->num_nodes()]) {}
 
 void ReliableChannel::submit(std::uint32_t dst,
                              std::vector<std::uint8_t>&& frame) {
   GMT_DCHECK(frame.size() >= net::kFrameHeaderSize);
+  if (peer_dead(dst)) return;  // excluded: the buffer dies here, not on wire
   PeerSend& peer = send_[dst];
   Unacked entry;
   entry.seq = peer.next_seq++;
@@ -51,6 +53,10 @@ void ReliableChannel::submit(std::uint32_t dst,
 }
 
 bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
+  // Transmissions toward suspect peers are suspended until the membership
+  // layer resolves them (dead = purge; there is no rehabilitation path).
+  if (health_[dst].state.load(std::memory_order_relaxed) != PeerState::kLive)
+    return false;
   bool progressed = false;
   PeerRecv& reverse = recv_[dst];
   for (Unacked& u : send_[dst].window) {
@@ -60,6 +66,16 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
         // First transmission.
       } else if (now_ns >= u.next_retx_ns) {
         if (u.attempts >= config_.retry_budget) {
+          if (suspect_ != nullptr) {
+            // Recoverable: hand the peer to the failure detector instead of
+            // aborting. mark_suspect suspends this peer's transmissions, so
+            // attempts stays exactly at the budget.
+            GMT_LOG_ERROR(
+                "node %u suspected dead: seq %llu unacked after %u attempts",
+                dst, static_cast<unsigned long long>(u.seq), u.attempts);
+            mark_suspect(dst);
+            return progressed;
+          }
           GMT_LOG_ERROR(
               "reliable delivery to node %u failed: seq %llu unacked after "
               "%u attempts (retry budget exhausted)",
@@ -68,6 +84,7 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
         }
         u.rto_ns = std::min(u.rto_ns * 2, config_.retry_timeout_max_ns);
         stats_->retransmits.add();
+        health_[dst].consec_timeouts.fetch_add(1, std::memory_order_relaxed);
         obs::trace_instant("rel.retransmit", u.seq);
       } else {
         continue;  // in flight, ack still possible before the timeout
@@ -86,6 +103,7 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
     if (!transport_->send(dst, u.tx)) return progressed;  // backpressure
     stats_->wire_messages.add();
     stats_->wire_bytes.add(tx_size);
+    health_[dst].last_tx_ns.store(now_ns, std::memory_order_relaxed);
     u.tx.clear();
     if (u.attempts == 0) {
       u.first_send_ns = now_ns;
@@ -104,6 +122,8 @@ bool ReliableChannel::pump_sends(std::uint32_t dst, std::uint64_t now_ns) {
 }
 
 bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
+  if (health_[src].state.load(std::memory_order_relaxed) != PeerState::kLive)
+    return false;
   PeerRecv& peer = recv_[src];
   // An unadvertised credit grant behaves like an owed ack: if no reverse
   // data frame carries it within the ack delay, a standalone ack does —
@@ -134,6 +154,7 @@ bool ReliableChannel::pump_acks(std::uint32_t src, std::uint64_t now_ns) {
   stats_->acks_sent.add();
   stats_->wire_messages.add();
   stats_->wire_bytes.add(frame_size);
+  health_[src].last_tx_ns.store(now_ns, std::memory_order_relaxed);
   return true;
 }
 
@@ -156,6 +177,7 @@ void ReliableChannel::process_ack(std::uint32_t src, std::uint64_t ack,
       stats_->ack_latency_ns.observe(now_ns - u.first_send_ns);
     peer.window.pop_front();
   }
+  health_[src].consec_timeouts.store(0, std::memory_order_relaxed);
 }
 
 void ReliableChannel::deliver(std::uint32_t src,
@@ -175,9 +197,24 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
     stats_->crc_drops.add();
     return;
   }
+  // Fail-stop: a peer excluded by a membership epoch stays excluded — late
+  // frames from it (stragglers in the fabric) are dropped wholesale.
+  if (peer_dead(header.src)) return;
   last_recv_ns_ = now_ns;
+  health_[header.src].last_heard_ns.store(now_ns, std::memory_order_relaxed);
   process_ack(header.src, header.ack, now_ns);
   if (flow_ != nullptr) flow_->incoming_credit(header.src, header.credit);
+  if (header.type == static_cast<std::uint8_t>(net::FrameType::kEpochPropose) ||
+      header.type == static_cast<std::uint8_t>(net::FrameType::kEpochAck)) {
+    if (control_ != nullptr &&
+        header.payload_len == sizeof(net::EpochPayload)) {
+      net::EpochPayload epoch;
+      std::memcpy(&epoch, msg.payload.data() + net::kFrameHeaderSize,
+                  sizeof(epoch));
+      control_(header.src, static_cast<net::FrameType>(header.type), epoch);
+    }
+    return;
+  }
   if (header.type != static_cast<std::uint8_t>(net::FrameType::kData)) return;
 
   PeerRecv& peer = recv_[header.src];
@@ -216,16 +253,91 @@ void ReliableChannel::on_message(net::InMessage&& msg, std::uint64_t now_ns,
   mark_ack_due(/*immediate=*/false);
 }
 
+void ReliableChannel::mark_suspect(std::uint32_t peer) {
+  PeerState expected = PeerState::kLive;
+  if (health_[peer].state.compare_exchange_strong(
+          expected, PeerState::kSuspect, std::memory_order_acq_rel) &&
+      suspect_ != nullptr)
+    suspect_(peer);
+}
+
+void ReliableChannel::note_suspect(std::uint32_t peer) { mark_suspect(peer); }
+
+std::size_t ReliableChannel::purge_peer(std::uint32_t peer) {
+  health_[peer].state.store(PeerState::kDead, std::memory_order_release);
+  const std::size_t dropped = send_[peer].window.size();
+  send_[peer].window.clear();
+  recv_[peer].held.clear();
+  recv_[peer].ack_due = false;
+  recv_[peer].ack_immediate = false;
+  return dropped;
+}
+
+bool ReliableChannel::send_heartbeat(std::uint32_t peer,
+                                     std::uint64_t now_ns) {
+  PeerRecv& reverse = recv_[peer];
+  std::vector<std::uint8_t> frame(net::kFrameHeaderSize);
+  net::FrameHeader header;
+  header.type = static_cast<std::uint8_t>(net::FrameType::kHeartbeat);
+  header.src = transport_->node_id();
+  header.ack = reverse.expect - 1;
+  header.credit = flow_ != nullptr ? flow_->outgoing_credit(peer) : 0;
+  net::seal_frame(frame, header);
+  const std::size_t frame_size = frame.size();
+  if (!transport_->send(peer, frame)) return false;
+  stats_->wire_messages.add();
+  stats_->wire_bytes.add(frame_size);
+  health_[peer].last_tx_ns.store(now_ns, std::memory_order_relaxed);
+  // The heartbeat carried our current cumulative ack and credit.
+  reverse.ack_due = false;
+  reverse.ack_immediate = false;
+  reverse.credit_advertised = header.credit;
+  return true;
+}
+
+bool ReliableChannel::send_control(std::uint32_t dst, net::FrameType type,
+                                   const net::EpochPayload& payload) {
+  std::vector<std::uint8_t> frame(net::kFrameHeaderSize +
+                                  sizeof(net::EpochPayload));
+  std::memcpy(frame.data() + net::kFrameHeaderSize, &payload,
+              sizeof(payload));
+  net::FrameHeader header;
+  header.type = static_cast<std::uint8_t>(type);
+  header.src = transport_->node_id();
+  header.ack = recv_[dst].expect - 1;
+  header.credit = flow_ != nullptr ? flow_->outgoing_credit(dst) : 0;
+  net::seal_frame(frame, header);
+  const std::size_t frame_size = frame.size();
+  if (!transport_->send(dst, frame)) return false;
+  stats_->wire_messages.add();
+  stats_->wire_bytes.add(frame_size);
+  return true;
+}
+
+PeerHealthSnapshot ReliableChannel::health(std::uint32_t peer) const {
+  const PeerHealth& h = health_[peer];
+  return PeerHealthSnapshot{
+      h.state.load(std::memory_order_acquire),
+      h.last_heard_ns.load(std::memory_order_relaxed),
+      h.consec_timeouts.load(std::memory_order_relaxed)};
+}
+
 void ReliableChannel::force_acks() {
   for (PeerRecv& peer : recv_)
     if (peer.ack_due) peer.ack_immediate = true;
 }
 
 bool ReliableChannel::quiescent() const {
-  for (const PeerSend& peer : send_)
-    if (!peer.window.empty()) return false;
-  for (const PeerRecv& peer : recv_)
-    if (peer.ack_due) return false;
+  // Peers the membership layer removed (or is removing) are not waited on:
+  // their windows will never drain and their acks have no audience.
+  const std::uint32_t n = transport_->num_nodes();
+  for (std::uint32_t peer = 0; peer < n; ++peer) {
+    if (health_[peer].state.load(std::memory_order_relaxed) !=
+        PeerState::kLive)
+      continue;
+    if (!send_[peer].window.empty()) return false;
+    if (recv_[peer].ack_due) return false;
+  }
   return true;
 }
 

@@ -17,9 +17,12 @@
 // stats readers may observe them concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/cacheline.hpp"
@@ -29,6 +32,21 @@
 #include "obs/metrics.hpp"
 
 namespace gmt::rt {
+
+// Per-peer health as seen by the reliability layer. The channel records the
+// raw signals (last valid frame heard, consecutive retransmissions without
+// an ack); the membership layer turns them into suspicion and death.
+enum class PeerState : std::uint8_t {
+  kLive = 0,
+  kSuspect = 1,  // retry budget exhausted or silence past the threshold
+  kDead = 2,     // excluded by a membership epoch; all state purged
+};
+
+struct PeerHealthSnapshot {
+  PeerState state = PeerState::kLive;
+  std::uint64_t last_heard_ns = 0;  // 0 = never heard from
+  std::uint32_t consec_timeouts = 0;
+};
 
 // Registry-backed reliability/wire counters. Unbound handles drop writes,
 // so protocol tests that drive a standalone channel either bind() to their
@@ -99,6 +117,54 @@ class ReliableChannel {
   // comm server's shutdown grace timer.
   std::uint64_t last_recv_ns() const { return last_recv_ns_; }
 
+  // ---- failure detection hooks (driven by the membership layer) ----
+
+  // Recoverable retry-budget exhaustion: instead of aborting, the channel
+  // marks the peer suspect, suspends transmissions toward it, and invokes
+  // this callback once (comm-server thread). Unset = historical abort.
+  void set_suspect_callback(std::function<void(std::uint32_t)> cb) {
+    suspect_ = std::move(cb);
+  }
+
+  // Silence-based suspicion (detector decision): suspends transmissions to
+  // `peer` until the membership layer resolves it. Idempotent.
+  void note_suspect(std::uint32_t peer);
+
+  // Fail-stop exclusion: drops every unacked frame, held out-of-order
+  // arrival and owed ack for `peer`; future submits toward it are discarded
+  // and frames from it ignored. Returns the number of unacked data frames
+  // dropped. Idempotent.
+  std::size_t purge_peer(std::uint32_t peer);
+
+  // Sends a standalone heartbeat to `peer` carrying the current cumulative
+  // ack and credit. Returns false on transport backpressure.
+  bool send_heartbeat(std::uint32_t peer, std::uint64_t now_ns);
+
+  // Sends a fire-and-forget membership control frame (kEpochPropose /
+  // kEpochAck). Not retransmitted by the channel: the membership layer
+  // rebroadcasts until acknowledged. Returns false on backpressure.
+  bool send_control(std::uint32_t dst, net::FrameType type,
+                    const net::EpochPayload& payload);
+
+  // Control-frame sink: the channel validates and strips membership frames
+  // and hands {src, type, payload} here (comm-server thread).
+  void set_control_sink(
+      std::function<void(std::uint32_t, net::FrameType,
+                         const net::EpochPayload&)> sink) {
+    control_ = std::move(sink);
+  }
+
+  // Health readbacks (any thread).
+  PeerHealthSnapshot health(std::uint32_t peer) const;
+  bool peer_dead(std::uint32_t peer) const {
+    return health_[peer].state.load(std::memory_order_acquire) ==
+           PeerState::kDead;
+  }
+  // Wall time of the last transmission toward `peer` (heartbeat pacing).
+  std::uint64_t last_tx_ns(std::uint32_t peer) const {
+    return health_[peer].last_tx_ns.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Unacked {
     std::uint64_t seq = 0;
@@ -124,11 +190,21 @@ class ReliableChannel {
     std::uint16_t credit_advertised = 0;
   };
 
+  // Signals are written by the comm-server thread; stats readers poll them
+  // concurrently, hence atomics.
+  struct PeerHealth {
+    std::atomic<PeerState> state{PeerState::kLive};
+    std::atomic<std::uint64_t> last_heard_ns{0};
+    std::atomic<std::uint64_t> last_tx_ns{0};
+    std::atomic<std::uint32_t> consec_timeouts{0};
+  };
+
   bool pump_sends(std::uint32_t dst, std::uint64_t now_ns);
   bool pump_acks(std::uint32_t src, std::uint64_t now_ns);
   void process_ack(std::uint32_t src, std::uint64_t ack, std::uint64_t now_ns);
   void deliver(std::uint32_t src, std::vector<std::uint8_t>&& frame,
                std::deque<net::InMessage>* deliverable);
+  void mark_suspect(std::uint32_t peer);
 
   const Config config_;
   net::Transport* transport_;
@@ -136,6 +212,10 @@ class ReliableChannel {
   FlowTap* flow_;
   std::vector<PeerSend> send_;
   std::vector<PeerRecv> recv_;
+  std::unique_ptr<PeerHealth[]> health_;
+  std::function<void(std::uint32_t)> suspect_;
+  std::function<void(std::uint32_t, net::FrameType, const net::EpochPayload&)>
+      control_;
   std::uint64_t last_recv_ns_ = 0;
 };
 

@@ -44,6 +44,15 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
       summary.adaptive_flushes += adaptive->count;
       summary.adaptive_queue_deadline_ns += adaptive->sum;
     }
+    const auto epoch =
+        static_cast<std::uint64_t>(snap.gauge(names::kMembEpoch));
+    if (epoch > summary.membership_epoch) summary.membership_epoch = epoch;
+    summary.peers_lost += snap.counter(names::kMembPeersLost);
+    summary.epoch_commits += snap.counter(names::kMembEpochCommits);
+    summary.heartbeats_sent += snap.counter(names::kMembHeartbeats);
+    summary.ops_failed_node_lost += snap.counter(names::kMembOpsFailed);
+    summary.arrays_degraded += snap.counter(names::kMemArraysDegraded);
+    summary.arrays_remapped += snap.counter(names::kMemArraysRemapped);
   }
   // Wire totals come from the transports: exact regardless of GMT_OBS and
   // inclusive of everything the fabric actually carried.
@@ -160,13 +169,52 @@ std::string format_stats_report(Cluster& cluster) {
   if (faults.total() != 0) {
     std::snprintf(line, sizeof(line),
                   "faults injected: %llu drops, %llu dups, %llu corruptions, "
-                  "%llu reorders, %llu backpressures\n",
+                  "%llu reorders, %llu backpressures, %llu kill-swallowed\n",
                   static_cast<unsigned long long>(faults.drops),
                   static_cast<unsigned long long>(faults.duplicates),
                   static_cast<unsigned long long>(faults.corruptions),
                   static_cast<unsigned long long>(faults.reorders),
-                  static_cast<unsigned long long>(faults.backpressures));
+                  static_cast<unsigned long long>(faults.backpressures),
+                  static_cast<unsigned long long>(faults.kills));
     out += line;
+  }
+  if (summary.heartbeats_sent != 0 || summary.peers_lost != 0 ||
+      summary.epoch_commits != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "membership: epoch %llu, %llu peers lost, %llu epoch commits, "
+        "%llu heartbeats, %llu ops failed NODE_LOST, "
+        "%llu arrays degraded (%llu remapped)\n",
+        static_cast<unsigned long long>(summary.membership_epoch),
+        static_cast<unsigned long long>(summary.peers_lost),
+        static_cast<unsigned long long>(summary.epoch_commits),
+        static_cast<unsigned long long>(summary.heartbeats_sent),
+        static_cast<unsigned long long>(summary.ops_failed_node_lost),
+        static_cast<unsigned long long>(summary.arrays_degraded),
+        static_cast<unsigned long long>(summary.arrays_remapped));
+    out += line;
+    // Per-peer health as each node's channel sees it: <node>-><peer>
+    // state/last-ack-age/consecutive-timeouts triples.
+    for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+      const obs::Snapshot snap = cluster.node(n).obs().snapshot();
+      std::string row = "health node" + std::to_string(n) + ":";
+      bool any = false;
+      for (std::uint32_t p = 0; p < cluster.num_nodes(); ++p) {
+        if (p == n) continue;
+        const std::string prefix = "health.peer" + std::to_string(p);
+        const std::int64_t state = snap.gauge(prefix + ".state");
+        const std::int64_t age = snap.gauge(prefix + ".last_ack_age_us");
+        const std::int64_t timeouts = snap.gauge(prefix + ".timeouts");
+        const char* tag =
+            state == 0 ? "live" : (state == 1 ? "suspect" : "dead");
+        std::snprintf(line, sizeof(line), " %u=%s(age=%lldus,to=%lld)", p,
+                      tag, static_cast<long long>(age),
+                      static_cast<long long>(timeouts));
+        row += line;
+        any = true;
+      }
+      if (any) out += row + "\n";
+    }
   }
   return out;
 }

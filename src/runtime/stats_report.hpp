@@ -44,6 +44,15 @@ struct ClusterStatsSummary {
   // Injected faults (all zero unless a FaultyTransport decorator is on).
   std::uint64_t faults_injected = 0;
 
+  // Membership / failure detection (all zero when GMT_MEMBERSHIP is off).
+  std::uint64_t membership_epoch = 0;   // max committed epoch across nodes
+  std::uint64_t peers_lost = 0;         // local death declarations (summed)
+  std::uint64_t epoch_commits = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t ops_failed_node_lost = 0;
+  std::uint64_t arrays_degraded = 0;
+  std::uint64_t arrays_remapped = 0;
+
   // Flow control (all zero when config.flow_credits == 0).
   std::uint64_t credits_consumed = 0;
   std::uint64_t credits_granted = 0;

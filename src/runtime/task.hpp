@@ -68,6 +68,12 @@ struct Task {
   // the completion stale (see complete_one).
   std::atomic<std::uint16_t> generation{0};
 
+  // Sticky per-task error status (gmt/error.hpp): the first operation that
+  // fails (node lost mid-flight) latches its code here; the application
+  // reads it via gmt_last_error() and clears it via gmt_clear_error().
+  // Reset when the TCB is re-armed for a new task.
+  std::atomic<std::uint32_t> status{0};
+
   // Parked/wake handshake (see task.hpp header comment). `parked` is set by
   // the scheduler after the task switches out in kWaiting; the completer
   // that claims it (exchange to false) owns the single wakeup and pushes
@@ -137,6 +143,26 @@ inline void complete_one(std::uint64_t token) {
   }
 }
 
+// Completes one outstanding operation *with an error*: latches `status` on
+// the task (first error wins; later codes do not overwrite) before the
+// regular decrement/wake. Used by the membership layer when an in-flight
+// operation's target node is declared dead — the waiter resumes and reads
+// gmt_last_error() instead of hanging on a reply that will never come.
+inline void complete_one_error(std::uint64_t token, std::uint32_t status) {
+  Task* task = task_from_token(token);
+  if (task->generation.load(std::memory_order_acquire) !=
+      token_generation(token))
+    return;  // stale: the waiter is long gone
+  std::uint32_t expected = 0;
+  task->status.compare_exchange_strong(expected, status,
+                                       std::memory_order_relaxed);
+  if (task->pending_ops.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    if (task->wake != nullptr &&
+        task->parked.exchange(false, std::memory_order_seq_cst))
+      task->wake->push(task);
+  }
+}
+
 // One spawned loop at one node. Lives until every iteration completed;
 // tasks reference its argument buffer in place. Blocks come from the node's
 // ObjectPool (pooled=true) with heap fallback under exhaustion; arguments
@@ -160,6 +186,10 @@ struct IterBlock {
   // Completed iterations; the worker that completes the last one reports
   // back to the origin and returns the block.
   std::atomic<std::uint64_t> completed{0};
+  // First nonzero sticky error among the block's iteration tasks; carried
+  // back to the origin so the spawning task's gmt_last_error() sees child
+  // failures (e.g. a remote iteration hitting a dead partition).
+  std::atomic<std::uint32_t> status{0};
 
   std::uint32_t args_size = 0;
   std::uint8_t inline_args[kInlineArgs];
@@ -195,6 +225,7 @@ struct IterBlock {
     token = 0;
     next.store(0, std::memory_order_relaxed);
     completed.store(0, std::memory_order_relaxed);
+    status.store(0, std::memory_order_relaxed);
     args_size = 0;
     spill_args.clear();
   }

@@ -70,6 +70,7 @@ Task* Worker::make_task(IterBlock* itb, std::uint64_t begin,
   }
   task->state = TaskState::kReady;
   task->started = false;
+  task->status.store(0, std::memory_order_relaxed);
   task->itb = itb;
   task->fn = itb->fn;
   task->args = itb->args_ptr();
@@ -182,10 +183,18 @@ void Worker::finish_task(Task* task) {
                         task->end - task->begin);
   IterBlock* itb = task->itb;
   const std::uint64_t n = task->end - task->begin;
+  const std::uint32_t task_status =
+      task->status.load(std::memory_order_acquire);
   release_task(task);
   --live_tasks_;
   node_->stats().resident_tasks.dec();
   if (itb) {
+    if (task_status != 0) {
+      std::uint32_t expected = 0;
+      itb->status.compare_exchange_strong(expected, task_status,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+    }
     const std::uint64_t done =
         itb->completed.fetch_add(n, std::memory_order_acq_rel) + n;
     if (done == itb->total()) node_->report_spawn_done(*this, itb);

@@ -1,0 +1,176 @@
+// Retransmission-timeout schedule unit tests: the exact exponential
+// backoff sequence, the retry_timeout_max_ns cap, attempt accounting up to
+// retry_budget exhaustion, and the recoverable peer-suspect hand-off that
+// replaces the historical hard abort when a failure detector is attached.
+//
+// All timing is synthetic: the channel is pumped at chosen now_ns values,
+// so the schedule is asserted to the nanosecond with no wall-clock
+// flakiness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "net/frame.hpp"
+#include "net/inproc_transport.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/reliable_channel.hpp"
+
+namespace gmt {
+namespace {
+
+constexpr std::uint64_t kRto = 1'000'000;     // initial retry timeout
+constexpr std::uint64_t kRtoMax = 4'000'000;  // backoff cap
+constexpr std::uint32_t kBudget = 6;          // transmissions before suspect
+
+struct RtoFixture {
+  Config config;
+  net::InprocFabric fabric;
+  obs::Registry registry{"test"};
+  rt::ReliabilityStats stats;
+  rt::ReliableChannel channel;
+  std::vector<std::uint32_t> suspected;
+
+  RtoFixture()
+      : config([] {
+          Config c = Config::testing();
+          c.reliable_transport = true;
+          c.retry_timeout_ns = kRto;
+          c.retry_timeout_max_ns = kRtoMax;
+          c.retry_budget = kBudget;
+          return c;
+        }()),
+        fabric(2, net::NetworkModel::instant()),
+        channel(config, fabric.endpoint(0), &stats) {
+    stats.bind(registry);
+    channel.set_suspect_callback(
+        [this](std::uint32_t peer) { suspected.push_back(peer); });
+  }
+
+  void submit_one() {
+    std::vector<std::uint8_t> frame(net::kFrameHeaderSize + 4, 0xab);
+    channel.submit(1, std::move(frame));
+  }
+
+  std::uint64_t retransmits() const { return stats.retransmits.read(); }
+
+  void ack_up_to(std::uint64_t seq, std::uint64_t now_ns) {
+    std::vector<std::uint8_t> ack(net::kFrameHeaderSize);
+    net::FrameHeader header;
+    header.type = static_cast<std::uint8_t>(net::FrameType::kAck);
+    header.src = 1;
+    header.ack = seq;
+    net::seal_frame(ack, header);
+    std::deque<net::InMessage> out;
+    channel.on_message(net::InMessage{1, std::move(ack)}, now_ns, &out);
+    EXPECT_TRUE(out.empty());
+  }
+};
+
+TEST(ReliableRto, ExactExponentialScheduleWithCap) {
+  RtoFixture fx;
+  fx.submit_one();
+
+  const std::uint64_t t0 = 10'000'000;
+  fx.channel.pump(t0);  // first transmission
+  EXPECT_EQ(fx.stats.data_frames_sent.read(), 1u);
+  EXPECT_EQ(fx.retransmits(), 0u);
+
+  // The retransmit fires exactly at first_send + rto, not a tick earlier,
+  // and each timeout doubles the wait up to retry_timeout_max_ns:
+  // gaps of 1ms, 2ms, 4ms, then capped at 4ms.
+  const std::uint64_t gaps[] = {kRto, 2 * kRto, kRtoMax, kRtoMax, kRtoMax};
+  std::uint64_t due = t0;
+  std::uint64_t expected_retx = 0;
+  for (const std::uint64_t gap : gaps) {
+    due += gap;
+    fx.channel.pump(due - 1);
+    EXPECT_EQ(fx.retransmits(), expected_retx) << "early fire at gap " << gap;
+    fx.channel.pump(due);
+    ++expected_retx;
+    EXPECT_EQ(fx.retransmits(), expected_retx) << "missed fire at gap " << gap;
+  }
+  // 1 first send + 5 retransmits = retry_budget transmissions in total.
+  EXPECT_EQ(fx.stats.data_frames_sent.read() + fx.retransmits(),
+            std::uint64_t{kBudget});
+  EXPECT_EQ(fx.channel.health(1).consec_timeouts, kBudget - 1);
+  EXPECT_TRUE(fx.suspected.empty());
+}
+
+TEST(ReliableRto, BudgetExhaustionFiresSuspectOnceAndSuspends) {
+  RtoFixture fx;
+  fx.submit_one();
+
+  // Walk the full schedule to budget exhaustion.
+  std::uint64_t now = 1'000'000;
+  fx.channel.pump(now);
+  std::uint64_t gap = kRto;
+  for (std::uint32_t i = 1; i < kBudget; ++i) {
+    now += gap;
+    fx.channel.pump(now);
+    gap = gap * 2 < kRtoMax ? gap * 2 : kRtoMax;
+  }
+  EXPECT_EQ(fx.retransmits(), std::uint64_t{kBudget} - 1);
+  EXPECT_TRUE(fx.suspected.empty());
+
+  // The next due timeout exceeds the budget: the peer is handed to the
+  // failure detector (no abort), exactly once, and transmissions toward it
+  // are suspended — attempts stay at the budget.
+  now += kRtoMax;
+  fx.channel.pump(now);
+  ASSERT_EQ(fx.suspected.size(), 1u);
+  EXPECT_EQ(fx.suspected[0], 1u);
+  EXPECT_EQ(fx.channel.health(1).state, rt::PeerState::kSuspect);
+
+  now += kRtoMax;
+  fx.channel.pump(now);
+  now += kRtoMax;
+  fx.channel.pump(now);
+  EXPECT_EQ(fx.suspected.size(), 1u);  // not re-fired
+  EXPECT_EQ(fx.retransmits(), std::uint64_t{kBudget} - 1);
+
+  // A suspect peer no longer blocks quiescence: its window will never be
+  // acked, so shutdown must not wait on it.
+  EXPECT_TRUE(fx.channel.quiescent());
+
+  // Fail-stop resolution: purging drops the unacked window and later
+  // submissions toward the dead peer die locally.
+  EXPECT_EQ(fx.channel.purge_peer(1), 1u);
+  EXPECT_TRUE(fx.channel.peer_dead(1));
+  EXPECT_TRUE(fx.channel.quiescent());
+  fx.submit_one();
+  fx.channel.pump(now + kRtoMax);
+  EXPECT_TRUE(fx.channel.quiescent());
+}
+
+TEST(ReliableRto, AckBeforeBudgetKeepsPeerLive) {
+  RtoFixture fx;
+  fx.submit_one();
+
+  std::uint64_t now = 5'000'000;
+  fx.channel.pump(now);
+  now += kRto;
+  fx.channel.pump(now);  // one retransmit
+  EXPECT_EQ(fx.retransmits(), 1u);
+  EXPECT_EQ(fx.channel.health(1).consec_timeouts, 1u);
+
+  fx.ack_up_to(1, now + 1000);
+  EXPECT_TRUE(fx.channel.quiescent());
+  EXPECT_EQ(fx.channel.health(1).state, rt::PeerState::kLive);
+  EXPECT_EQ(fx.channel.health(1).consec_timeouts, 0u);
+  EXPECT_TRUE(fx.suspected.empty());
+
+  // A fresh frame restarts the schedule from the initial timeout (per-frame
+  // rto, not a per-peer carry-over).
+  fx.submit_one();
+  fx.channel.pump(now + 2000);
+  fx.channel.pump(now + 2000 + kRto - 1);
+  EXPECT_EQ(fx.retransmits(), 1u);
+  fx.channel.pump(now + 2000 + kRto);
+  EXPECT_EQ(fx.retransmits(), 2u);
+}
+
+}  // namespace
+}  // namespace gmt
