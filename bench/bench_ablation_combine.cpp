@@ -1,0 +1,166 @@
+// Ablation: source-side combining of remote atomics on the distributed
+// histogram kernel. Sweeps key skew (Zipf s) and the combining-table size
+// with GMT_COMBINE on vs off, recording wall time, increment throughput
+// and — the figure of merit — aggregation commands on the wire: every
+// combining hit is one command and one ack that never left the node.
+// Uniform keys (s = 0) bound the repeat rate at slice_len/buckets per
+// bucket; skew concentrates the mass, so the reduction factor must grow
+// monotonically with s — and must never cost throughput at s = 0.
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "gmt/gmt.hpp"
+#include "gmt/obs.hpp"
+#include "kernels/histogram_gmt.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+using namespace gmt;
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint64_t kBuckets = 512;
+
+// Root-task context: cluster.run takes a plain function, so the bench
+// threads its state through a global (single-threaded driver).
+struct RunContext {
+  const std::vector<std::uint64_t>* keys = nullptr;
+  kernels::HistogramMode mode = kernels::HistogramMode::kDirect;
+  gmt_handle handle = kNullHandle;
+  double seconds = 0;
+  std::uint64_t total = 0;
+} g_ctx;
+
+void upload_root(std::uint64_t, const void*) {
+  g_ctx.handle = kernels::upload_keys(*g_ctx.keys);
+}
+
+void count_root(std::uint64_t, const void*) {
+  const kernels::HistogramResult result = kernels::histogram_gmt(
+      g_ctx.handle, g_ctx.keys->size(), kBuckets, g_ctx.mode);
+  g_ctx.seconds = result.seconds;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  gmt_get(result.counts, 0, counts.data(), kBuckets * 8);
+  g_ctx.total = std::accumulate(counts.begin(), counts.end(), 0ull);
+  gmt_free(result.counts);
+  gmt_free(g_ctx.handle);
+  g_ctx.handle = kNullHandle;
+}
+
+std::uint64_t wire_commands(rt::Cluster& cluster) {
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    total += cluster.node(n).obs().snapshot().counter(
+        obs::names::kAggCommands);
+  return total;
+}
+
+struct RunResult {
+  double seconds = 0;
+  double mops = 0;       // remote increments per microsecond-ish (M ops/s)
+  std::uint64_t cmds = 0;  // wire commands of the counting phase only
+};
+
+RunResult run_once(const std::vector<std::uint64_t>& keys,
+                   kernels::HistogramMode mode, bool combine,
+                   std::uint32_t table) {
+  Config config;
+  config.combine = combine;
+  config.combine_table = table;
+  config.pin_threads = false;  // benches share one oversubscribed host
+  rt::Cluster cluster(kNodes, config);
+
+  g_ctx.keys = &keys;
+  g_ctx.mode = mode;
+  cluster.run(&upload_root);
+  const std::uint64_t before = wire_commands(cluster);
+  cluster.run(&count_root);
+  RunResult r;
+  r.cmds = wire_commands(cluster) - before;
+  r.seconds = g_ctx.seconds;
+  r.mops = static_cast<double>(keys.size()) / g_ctx.seconds / 1e6;
+  if (g_ctx.total != keys.size()) {
+    std::fprintf(stderr, "FATAL: histogram lost counts (%llu != %llu)\n",
+                 static_cast<unsigned long long>(g_ctx.total),
+                 static_cast<unsigned long long>(keys.size()));
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto n = static_cast<std::uint64_t>(400'000 * args.scale);
+
+  bench::BenchJson json("combine");
+  json.set_config("nodes", kNodes);
+  json.set_config("keys", n);
+  json.set_config("buckets", kBuckets);
+
+  bench::Table table({"kernel", "zipf s", "table", "combine", "seconds",
+                      "M ops/s", "wire cmds", "cmds off/on", "ops on/off"});
+  const auto add = [&](const char* kernel, double s, std::uint32_t tbl,
+                       const RunResult& off, const RunResult& on) {
+    const double cmd_reduction =
+        static_cast<double>(off.cmds) / static_cast<double>(on.cmds);
+    const double speedup = on.mops / off.mops;
+    table.add_row({kernel, bench::fmt("%.1f", s), bench::fmt_u64(tbl), "off",
+                   bench::fmt("%.3f", off.seconds),
+                   bench::fmt("%.2f", off.mops), bench::fmt_u64(off.cmds),
+                   "", ""});
+    table.add_row({kernel, bench::fmt("%.1f", s), bench::fmt_u64(tbl), "on",
+                   bench::fmt("%.3f", on.seconds), bench::fmt("%.2f", on.mops),
+                   bench::fmt_u64(on.cmds), bench::fmt("%.2fx", cmd_reduction),
+                   bench::fmt("%.2fx", speedup)});
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "%s_s%.1f_t%u", kernel, s, tbl);
+    json.add_metric(std::string(prefix) + "_cmds_off",
+                    static_cast<double>(off.cmds), "commands");
+    json.add_metric(std::string(prefix) + "_cmds_on",
+                    static_cast<double>(on.cmds), "commands");
+    json.add_metric(std::string(prefix) + "_cmd_reduction", cmd_reduction,
+                    "x");
+    json.add_metric(std::string(prefix) + "_mops_off", off.mops, "Mops/s");
+    json.add_metric(std::string(prefix) + "_mops_on", on.mops, "Mops/s");
+    json.add_metric(std::string(prefix) + "_speedup", speedup, "x");
+  };
+
+  // Skew sweep, direct increments, default table size.
+  for (const double s : {0.0, 0.5, 1.0, 1.5}) {
+    const auto keys = kernels::make_zipf_keys(n, kBuckets, s, 0xc0ffee);
+    const RunResult off =
+        run_once(keys, kernels::HistogramMode::kDirect, false, 256);
+    const RunResult on =
+        run_once(keys, kernels::HistogramMode::kDirect, true, 256);
+    add("direct", s, 256, off, on);
+  }
+
+  // Table-size sweep at the interesting skew.
+  {
+    const auto keys = kernels::make_zipf_keys(n, kBuckets, 1.0, 0xc0ffee);
+    const RunResult off =
+        run_once(keys, kernels::HistogramMode::kDirect, false, 256);
+    for (const std::uint32_t tbl : {64u, 1024u}) {
+      const RunResult on =
+          run_once(keys, kernels::HistogramMode::kDirect, true, tbl);
+      add("direct", 1.0, tbl, off, on);
+    }
+    // The hand-rolled software answer (task-local tables, one add per
+    // nonzero bucket) as the reference point combining competes with.
+    const RunResult tp_off =
+        run_once(keys, kernels::HistogramMode::kTwoPhase, false, 256);
+    const RunResult tp_on =
+        run_once(keys, kernels::HistogramMode::kTwoPhase, true, 256);
+    add("two-phase", 1.0, 256, tp_off, tp_on);
+  }
+
+  table.print("Ablation: source-side combining (distributed histogram)");
+  table.write_csv(args.csv_path);
+  json.write(args.json_path);
+  return 0;
+}

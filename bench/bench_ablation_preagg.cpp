@@ -26,9 +26,14 @@ double direct_ns_per_cmd(std::uint32_t threads) {
   std::atomic<bool> stop{false};
   std::thread drainer([&] {
     std::uint64_t v;
-    while (!stop.load(std::memory_order_relaxed))
-      while (queue.pop(&v)) {
-      }
+    while (!stop.load(std::memory_order_relaxed)) {
+      bool any = false;
+      while (queue.pop(&v)) any = true;
+      // Back off when the queue runs dry instead of spinning on the head
+      // CAS: a hot-spinning drainer steals cycles from the producers under
+      // measurement and skews the per-command figure on small machines.
+      if (!any) std::this_thread::yield();
+    }
   });
   StopWatch watch;
   std::vector<std::thread> producers;
@@ -51,9 +56,14 @@ double preagg_ns_per_cmd(std::uint32_t threads) {
   std::atomic<bool> stop{false};
   std::thread drainer([&] {
     std::uint64_t v;
-    while (!stop.load(std::memory_order_relaxed))
-      while (queue.pop(&v)) {
-      }
+    while (!stop.load(std::memory_order_relaxed)) {
+      bool any = false;
+      while (queue.pop(&v)) any = true;
+      // Back off when the queue runs dry instead of spinning on the head
+      // CAS: a hot-spinning drainer steals cycles from the producers under
+      // measurement and skews the per-command figure on small machines.
+      if (!any) std::this_thread::yield();
+    }
   });
   StopWatch watch;
   std::vector<std::thread> producers;
@@ -83,7 +93,9 @@ double preagg_ns_per_cmd(std::uint32_t threads) {
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  (void)args;
+
+  bench::BenchJson json("preagg");
+  json.set_config("cmds_per_thread", kCmdsPerThread);
 
   bench::Table table({"producer threads", "direct MPMC ns/cmd",
                       "pre-aggregated ns/cmd", "speedup"});
@@ -93,8 +105,17 @@ int main(int argc, char** argv) {
     table.add_row({bench::fmt_u64(threads), bench::fmt("%.1f", direct),
                    bench::fmt("%.1f", preagg),
                    bench::fmt("%.1fx", direct / preagg)});
+    // Thread count tagged into the metric name: the speedup is a function
+    // of producer contention, so the records are not comparable across
+    // thread counts and must not collapse into one series.
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "t%u", threads);
+    json.add_metric(std::string(prefix) + "_direct_ns_per_cmd", direct, "ns");
+    json.add_metric(std::string(prefix) + "_preagg_ns_per_cmd", preagg, "ns");
+    json.add_metric(std::string(prefix) + "_speedup", direct / preagg, "x");
   }
   table.print("Ablation: per-command shared-queue access vs command blocks");
   table.write_csv(args.csv_path);
+  json.write(args.json_path);
   return 0;
 }

@@ -73,6 +73,19 @@ void gmt_wait_commands();
 std::uint64_t gmt_atomic_add(gmt_handle handle, std::uint64_t offset,
                              std::uint64_t value, std::uint32_t width = 8);
 
+// Fire-and-forget atomic add: no previous value comes back and the task
+// does not block — completion is observed at the next gmt_wait_commands
+// (or any blocking call). Because nothing is returned, same-address adds
+// commute, and with GMT_COMBINE=1 the aggregation layer coalesces them in
+// a source-side combining table (one wire command per hot key per flush
+// window). The go-to primitive for histogram/group-by style scatters.
+void gmt_atomic_add_nb(gmt_handle handle, std::uint64_t offset,
+                       std::uint64_t value, std::uint32_t width = 8);
+
+// Convenience spelling of gmt_atomic_add_nb(handle, offset, 1, width).
+void gmt_atomic_inc(gmt_handle handle, std::uint64_t offset,
+                    std::uint32_t width = 8);
+
 // Atomic compare-and-swap at byte `offset`; returns the observed previous
 // value (equal to `expected` iff the swap happened).
 std::uint64_t gmt_atomic_cas(gmt_handle handle, std::uint64_t offset,

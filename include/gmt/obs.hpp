@@ -105,6 +105,10 @@ inline constexpr const char* kAggCreditStallNs = "agg.credits.stall_ns";
 inline constexpr const char* kAggBlocksEmergency = "agg.blocks_emergency";
 inline constexpr const char* kAggAdaptiveQueueNs = "agg.adaptive.queue_ns";
 inline constexpr const char* kAggAdaptiveBlockNs = "agg.adaptive.block_ns";
+inline constexpr const char* kAggCombineHits = "agg.combine.hits";
+inline constexpr const char* kAggCombineInstalls = "agg.combine.installs";
+inline constexpr const char* kAggCombineEvictions = "agg.combine.evictions";
+inline constexpr const char* kAggCombineDrains = "agg.combine.drains";
 inline constexpr const char* kMemLiveHandles = "gmt.mem.live_handles";
 inline constexpr const char* kMemLiveBytes = "gmt.mem.live_bytes";
 inline constexpr const char* kMemFreeListDepth = "gmt.mem.free_list";

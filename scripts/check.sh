@@ -8,9 +8,10 @@
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
 #                  sensitive labels (runtime|aggregation|flowcontrol|
-#                  memory|membership) — the scheduler, aggregation
-#                  pipeline, flow control, memory reclamation and the
-#                  failure detector are where data races would live
+#                  memory|membership|combine) — the scheduler,
+#                  aggregation pipeline, flow control, memory
+#                  reclamation, the failure detector and the combining
+#                  table are where data races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -47,7 +48,7 @@ builddir=build
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
   ctest --test-dir "$builddir" \
-    -L 'runtime|aggregation|flowcontrol|memory|membership' \
+    -L 'runtime|aggregation|flowcontrol|memory|membership|combine' \
     --output-on-failure
   exit 0
 fi
@@ -63,6 +64,9 @@ ctest --test-dir "$builddir" -L fault --output-on-failure
 
 echo "== membership tests =="
 ctest --test-dir "$builddir" -L membership --output-on-failure
+
+echo "== source-side combining tests =="
+ctest --test-dir "$builddir" -L combine --output-on-failure
 
 if [[ "$soak" == 1 ]]; then
   echo "== membership soak: kill-a-node-mid-BFS x20 =="

@@ -73,6 +73,8 @@ void Config::apply_env() {
   env_u64("GMT_AGG_QUEUE_TIMEOUT_NS", &agg_queue_timeout_ns);
   env_u32("GMT_FLOW_CREDITS", &flow_credits);
   env_bool("GMT_ADAPTIVE_FLUSH", &adaptive_flush);
+  env_bool("GMT_COMBINE", &combine);
+  env_u32("GMT_COMBINE_TABLE", &combine_table);
   if (const char* v = std::getenv("GMT_TASK_STACK_SIZE")) {
     std::uint64_t parsed;
     if (parse_size(v, &parsed)) task_stack_size = parsed;
@@ -158,6 +160,11 @@ std::string Config::validate() const {
     return "lossy fault injection requires reliable_transport";
   if (flow_credits > 0 && !reliable_transport)
     return "flow_credits requires reliable_transport (grants ride acks)";
+  if (combine &&
+      (combine_table < 2 || (combine_table & (combine_table - 1)) != 0))
+    return "combine_table must be a power of two >= 2";
+  if (combine && combine_table > (1u << 20))
+    return "combine_table larger than 2^20 entries is surely a typo";
   if (membership && !reliable_transport)
     return "membership requires reliable_transport (health rides acks)";
   if (membership && heartbeat_ns == 0) return "heartbeat_ns must be > 0";

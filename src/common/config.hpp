@@ -89,6 +89,20 @@ struct Config {
   // fixed timeouts (ablation baseline).
   bool adaptive_flush = false;
 
+  // Source-side combining: hold commutative fire-and-forget commands
+  // (kAtomicAdd|kNoReply, non-blocking kPutValue) in a small per-slot,
+  // per-destination direct-mapped table in front of the command blocks and
+  // merge later same-(handle,offset,width) ops into the resident entry —
+  // adds sum, puts dedup last-writer-wins — so a hot key costs one wire
+  // command per flush window instead of one per op. Off = today's
+  // behaviour, zero cost on the append path.
+  bool combine = false;
+
+  // Entries per combining table (per slot, per destination). Power of two;
+  // direct-mapped with evict-on-collision, so bigger tables tolerate more
+  // simultaneously-hot keys at ~56 bytes/entry of footprint.
+  std::uint32_t combine_table = 256;
+
   // User-level task stack size in bytes.
   std::size_t task_stack_size = 64 * 1024;
 

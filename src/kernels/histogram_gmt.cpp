@@ -1,0 +1,134 @@
+#include "kernels/histogram_gmt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/time.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+// Keys handled per task: big enough that a task's hot-bucket increments
+// overlap in the combining table, small enough to spread across workers.
+constexpr std::uint64_t kKeysPerTask = 8192;
+constexpr std::uint64_t kGetBatch = 1024;
+
+struct HistArgs {
+  gmt_handle keys;
+  gmt_handle counts;
+  std::uint64_t n;
+  std::uint64_t buckets;
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void zero_body(std::uint64_t b, const void* raw) {
+  HistArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  gmt_put_value_nb(args.counts, b * 8, 0, 8);
+}
+
+// Fetches the task's whole key slice (chunked blocking gets — each get
+// suspends the fiber, so doing them all up front keeps the increment loop
+// suspension-free and the combining window as wide as the slice).
+std::vector<std::uint64_t> fetch_slice(const HistArgs& args,
+                                       std::uint64_t slice) {
+  const std::uint64_t begin = slice * kKeysPerTask;
+  const std::uint64_t end =
+      begin + kKeysPerTask < args.n ? begin + kKeysPerTask : args.n;
+  std::vector<std::uint64_t> keys(end - begin);
+  for (std::uint64_t k = 0; k < keys.size(); k += kGetBatch) {
+    const std::uint64_t count =
+        keys.size() - k < kGetBatch ? keys.size() - k : kGetBatch;
+    gmt_get(args.keys, (begin + k) * 8, keys.data() + k, count * 8);
+  }
+  return keys;
+}
+
+void direct_body(std::uint64_t slice, const void* raw) {
+  HistArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  const std::vector<std::uint64_t> keys = fetch_slice(args, slice);
+  for (const std::uint64_t key : keys)
+    gmt_atomic_inc(args.counts, key * 8, 8);
+  gmt_wait_commands();
+}
+
+void two_phase_body(std::uint64_t slice, const void* raw) {
+  HistArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  const std::vector<std::uint64_t> keys = fetch_slice(args, slice);
+  std::vector<std::uint32_t> local(args.buckets, 0);
+  for (const std::uint64_t key : keys) ++local[key];
+  for (std::uint64_t b = 0; b < args.buckets; ++b)
+    if (local[b] != 0) gmt_atomic_add_nb(args.counts, b * 8, local[b], 8);
+  gmt_wait_commands();
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> make_zipf_keys(std::uint64_t n,
+                                          std::uint64_t buckets, double s,
+                                          std::uint64_t seed) {
+  // Inverse-CDF sampling over the finite Zipf(s) distribution.
+  std::vector<double> cdf(buckets);
+  double total = 0;
+  for (std::uint64_t r = 0; r < buckets; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+  std::vector<std::uint64_t> keys(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(splitmix64(seed ^ i) >> 11) *
+                     (1.0 / 9007199254740992.0) * total;  // [0, total)
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    std::uint64_t r = static_cast<std::uint64_t>(it - cdf.begin());
+    if (r >= buckets) r = buckets - 1;
+    keys[i] = r;
+  }
+  return keys;
+}
+
+gmt_handle upload_keys(const std::vector<std::uint64_t>& keys) {
+  const gmt_handle h = gmt_new(keys.size() * 8, Alloc::kPartition);
+  constexpr std::uint64_t kPutChunk = 4096;
+  for (std::uint64_t i = 0; i < keys.size(); i += kPutChunk) {
+    const std::uint64_t count =
+        keys.size() - i < kPutChunk ? keys.size() - i : kPutChunk;
+    gmt_put(h, i * 8, keys.data() + i, count * 8);
+  }
+  return h;
+}
+
+HistogramResult histogram_gmt(gmt_handle keys, std::uint64_t n,
+                              std::uint64_t buckets, HistogramMode mode) {
+  HistArgs args;
+  args.keys = keys;
+  args.counts = gmt_new(buckets * 8, Alloc::kPartition);
+  args.n = n;
+  args.buckets = buckets;
+
+  HistogramResult result;
+  result.keys = n;
+  result.buckets = buckets;
+  result.counts = args.counts;
+
+  gmt_parfor(buckets, 0, &zero_body, &args, sizeof(args), Spawn::kPartition);
+
+  const std::uint64_t slices = (n + kKeysPerTask - 1) / kKeysPerTask;
+  StopWatch watch;
+  gmt_parfor(slices, 1, mode == HistogramMode::kDirect ? &direct_body
+                                                       : &two_phase_body,
+             &args, sizeof(args), Spawn::kPartition);
+  result.seconds = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace gmt::kernels

@@ -1,0 +1,54 @@
+// Distributed histogram / group-by count, GMT programming model.
+//
+// The combining-layer proof kernel: N keys scattered across the cluster
+// are counted into a `buckets`-cell global array. Two strategies, after
+// the independent local-aggregate-then-merge designs of Cieslewicz & Ross
+// (VLDB 2007, see PAPERS.md):
+//
+//   kDirect   — one fire-and-forget gmt_atomic_inc per key. Every
+//               increment is a remote command; under skewed (Zipf) keys
+//               the hot buckets make this the worst case the paper's
+//               byte-batching cannot help with — and exactly the traffic
+//               the source-side combining table (GMT_COMBINE=1) collapses
+//               to one wire command per (task, hot bucket) flush window.
+//   kTwoPhase — each task counts its slice into a private local table
+//               first, then merges with one gmt_atomic_add_nb per nonzero
+//               bucket. The classic software answer to the same problem;
+//               its local table is the hand-rolled version of what the
+//               runtime's combining table gives kDirect for free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gmt/gmt.hpp"
+
+namespace gmt::kernels {
+
+enum class HistogramMode { kDirect, kTwoPhase };
+
+struct HistogramResult {
+  double seconds = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t buckets = 0;
+  // Final counts (buckets x u64 gmt array; caller frees).
+  gmt_handle counts = kNullHandle;
+};
+
+// Deterministic Zipf-distributed keys in [0, buckets): rank r is drawn
+// with weight 1/(r+1)^s, so s = 0 is uniform and s = 1.5 concentrates
+// most of the mass on a handful of hot buckets.
+std::vector<std::uint64_t> make_zipf_keys(std::uint64_t n,
+                                          std::uint64_t buckets, double s,
+                                          std::uint64_t seed);
+
+// Uploads host keys into a fresh kPartition u64 array (must be called
+// from inside a GMT task; caller frees).
+gmt_handle upload_keys(const std::vector<std::uint64_t>& keys);
+
+// Counts key occurrences into a fresh global array. Must be called from
+// inside a GMT task. Keys must be < buckets.
+HistogramResult histogram_gmt(gmt_handle keys, std::uint64_t n,
+                              std::uint64_t buckets, HistogramMode mode);
+
+}  // namespace gmt::kernels

@@ -116,6 +116,23 @@ std::string stats_report() {
     out += line;
   }
 
+  const std::uint64_t combine_hits =
+      total.counter(obs::names::kAggCombineHits);
+  const std::uint64_t combine_installs =
+      total.counter(obs::names::kAggCombineInstalls);
+  if (combine_hits != 0 || combine_installs != 0) {
+    std::snprintf(line, sizeof(line),
+                  "combining: %llu commands elided (hits), %llu installs, "
+                  "%llu evictions, %llu drained\n",
+                  static_cast<unsigned long long>(combine_hits),
+                  static_cast<unsigned long long>(combine_installs),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kAggCombineEvictions)),
+                  static_cast<unsigned long long>(
+                      total.counter(obs::names::kAggCombineDrains)));
+    out += line;
+  }
+
   if (const std::uint64_t allocs = total.counter(obs::names::kMemAllocs);
       allocs != 0) {
     std::snprintf(

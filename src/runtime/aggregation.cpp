@@ -82,12 +82,17 @@ void AggStats::bind(obs::Registry& reg) {
   credit_stall_ns = reg.histogram(obs::names::kAggCreditStallNs);
   adaptive_queue_ns = reg.histogram(obs::names::kAggAdaptiveQueueNs);
   adaptive_block_ns = reg.histogram(obs::names::kAggAdaptiveBlockNs);
+  combine_hits = reg.counter(obs::names::kAggCombineHits);
+  combine_installs = reg.counter(obs::names::kAggCombineInstalls);
+  combine_evictions = reg.counter(obs::names::kAggCombineEvictions);
+  combine_drains = reg.counter(obs::names::kAggCombineDrains);
 }
 
 Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
                        std::uint32_t num_threads, obs::Registry* registry)
     : config_(config),
       num_nodes_(num_nodes),
+      combine_entries_(config.combine ? config.combine_table : 0),
       block_pool_(block_population(config, num_nodes, num_threads),
                   payload_capacity(config), config.cmd_block_entries),
       buffer_pool_(buffer_population(config, num_threads), config.buffer_size,
@@ -107,7 +112,8 @@ Aggregator::Aggregator(const Config& config, std::uint32_t num_nodes,
   slots_.reserve(num_threads);
   for (std::uint32_t i = 0; i < num_threads; ++i)
     slots_.push_back(std::make_unique<AggregationSlot>(
-        this, num_nodes, config.num_buf_per_channel * 2 + 2));
+        this, num_nodes, config.num_buf_per_channel * 2 + 2,
+        combine_entries_));
 }
 
 bool Aggregator::park_for_aggregation(const CmdHeader* header) {
@@ -258,6 +264,89 @@ AggBuffer* Aggregator::acquire_buffer(AggregationSlot& slot) {
 
 bool Aggregator::append(AggregationSlot& slot, std::uint32_t dst,
                         const CmdHeader& header, const void* payload) {
+  // Per-(slot,dst) FIFO with held entries: a held combined op must never be
+  // passed by a later command to the same destination (a blocking put after
+  // a held put to one address must land second, and a blocking atomic must
+  // observe every held add), so any ordinary append flushes the table
+  // first. One predicted-not-taken branch when combining is off.
+  if (combine_entries_ != 0 && slot.combine_[dst].live > 0)
+    drain_combined(slot, dst);
+  return append_raw(slot, dst, header, payload);
+}
+
+CombineResult Aggregator::combine(AggregationSlot& slot, std::uint32_t dst,
+                                  const CmdHeader& header) {
+  if (combine_entries_ == 0) return CombineResult::kBypass;
+  GMT_DCHECK(dst < num_nodes_);
+  GMT_DCHECK(header.payload_size == 0);
+  GMT_DCHECK(header.op == Op::kAtomicAdd || header.op == Op::kPutValue);
+  const std::uint32_t index = combine_index(header);
+  // Retry loop: the eviction below appends into the command block, which
+  // can suspend this fiber (credit park, pool wait); a sibling task may
+  // have refilled the cell — or the membership layer killed the
+  // destination — by the time it resumes, so each iteration re-reads
+  // everything from scratch.
+  for (;;) {
+    if (dest_dead(dst)) return CombineResult::kBypass;
+    AggregationSlot::CombineTable& table = slot.combine_[dst];
+    AggregationSlot::CombineEntry& cell = table.cells[index];
+    if (!cell.used) {
+      cell.used = true;
+      cell.handle = header.handle;
+      cell.offset = header.offset;
+      cell.token = header.token;
+      cell.value = header.aux1;
+      cell.aux2 = header.aux2;
+      cell.op = header.op;
+      cell.flags = header.flags;
+      if (table.live++ == 0) table.first_ns = wall_ns();
+      stats_.combine_installs.add();
+      return CombineResult::kInstalled;
+    }
+    if (cell.handle == header.handle && cell.offset == header.offset &&
+        cell.token == header.token && cell.op == header.op &&
+        cell.flags == header.flags && cell.aux2 == header.aux2) {
+      // Same key, same task: fold. Adds accumulate (mod 2^width, exactly
+      // how the destination's fetch_add would have wrapped applying them
+      // one by one); repeated put-values dedup last-writer-wins.
+      if (cell.op == Op::kAtomicAdd)
+        cell.value += header.aux1;
+      else
+        cell.value = header.aux1;
+      stats_.combine_hits.add();
+      return CombineResult::kMerged;
+    }
+    // Collision: evict the resident straight into the command block.
+    // Clear the cell *before* the append — it can suspend this fiber.
+    const CmdHeader evicted = entry_header(cell);
+    cell.used = false;
+    --table.live;
+    stats_.combine_evictions.add();
+    // False only when dst died mid-eviction: the entry is dropped, and the
+    // membership death sweep fails its install-time-tracked token.
+    (void)append_raw(slot, dst, evicted, nullptr);
+  }
+}
+
+void Aggregator::drain_combined(AggregationSlot& slot, std::uint32_t dst) {
+  AggregationSlot::CombineTable& table = slot.combine_[dst];
+  for (std::size_t i = 0; i < table.cells.size(); ++i) {
+    // Indexed re-read each iteration: append_raw can suspend the fiber and
+    // siblings mutate the table meanwhile.
+    AggregationSlot::CombineEntry& cell = table.cells[i];
+    if (!cell.used) continue;
+    const CmdHeader header = entry_header(cell);
+    cell.used = false;
+    --table.live;
+    stats_.combine_drains.add();
+    // Dead destination: dropped without completion — the token was tracked
+    // at install, so the membership sweep owns failing it.
+    (void)append_raw(slot, dst, header, nullptr);
+  }
+}
+
+bool Aggregator::append_raw(AggregationSlot& slot, std::uint32_t dst,
+                            const CmdHeader& header, const void* payload) {
   GMT_DCHECK(dst < num_nodes_);
   const std::size_t wire = cmd_wire_size(header);
   GMT_CHECK_MSG(wire + kCmdHeaderSize <= payload_capacity(config_),
@@ -478,6 +567,15 @@ void Aggregator::poll_flush(AggregationSlot& slot, std::uint64_t now_ns) {
   for (std::uint32_t dst = 0; dst < num_nodes_; ++dst) {
     DestQueue& queue = *queues_[dst];
     const std::uint64_t queue_timeout = queue_timeout_ns(queue);
+    if (combine_entries_ != 0 && slot.combine_[dst].live > 0) {
+      // Held entries share the block deadline: they join the command block
+      // here and ride the normal flush below. A dead destination drains
+      // immediately so held entries never pin idle()/quiescence.
+      if (dest_dead(dst) ||
+          now_ns - slot.combine_[dst].first_ns >=
+              block_timeout_ns(queue_timeout))
+        drain_combined(slot, dst);
+    }
     CommandBlock* current = slot.current_[dst];
     if (current && current->cmds() > 0) {
       const std::uint64_t block_timeout = block_timeout_ns(queue_timeout);
@@ -513,6 +611,8 @@ void Aggregator::poll_flush(AggregationSlot& slot, std::uint64_t now_ns) {
 
 void Aggregator::flush_all(AggregationSlot& slot) {
   for (std::uint32_t dst = 0; dst < num_nodes_; ++dst) {
+    if (combine_entries_ != 0 && slot.combine_[dst].live > 0)
+      drain_combined(slot, dst);
     CommandBlock* current = slot.current_[dst];
     if (current && current->cmds() > 0) push_block(slot, dst);
     if (queues_[dst]->queued_bytes.load(std::memory_order_relaxed) > 0)
@@ -532,6 +632,8 @@ bool Aggregator::idle() const {
   for (const auto& slot : slots_) {
     for (CommandBlock* block : slot->current_)
       if (block && block->cmds() > 0) return false;
+    for (const auto& table : slot->combine_)
+      if (table.live > 0) return false;
     if (!slot->channel_.empty()) return false;
   }
   return true;

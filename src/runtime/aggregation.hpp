@@ -156,28 +156,67 @@ struct AggStats {
   obs::Histogram credit_stall_ns; // park duration per stall
   obs::Histogram adaptive_queue_ns;  // effective queue deadline at flush
   obs::Histogram adaptive_block_ns;  // effective block deadline at flush
+  obs::Counter combine_hits;       // ops merged into a resident entry
+  obs::Counter combine_installs;   // entries installed (one wire cmd each)
+  obs::Counter combine_evictions;  // entries displaced by a colliding key
+  obs::Counter combine_drains;     // entries flushed by deadline/order/barrier
 
   void bind(obs::Registry& reg);
 };
 
 class Aggregator;
 
+// Outcome of offering a fire-and-forget command to the combining table.
+enum class CombineResult : std::uint8_t {
+  kBypass,     // combining off / dst dead / cell conflict: emit normally
+  kInstalled,  // entry holds the op; it owns one eventual completion
+  kMerged,     // folded into a resident same-key entry; no wire command
+};
+
 // Per-thread face of the aggregator: the thread-local command blocks and
 // the SPSC channel to the comm server. One per worker and per helper.
 class AggregationSlot {
  public:
   AggregationSlot(Aggregator* owner, std::uint32_t num_nodes,
-                  std::size_t channel_capacity)
+                  std::size_t channel_capacity,
+                  std::uint32_t combine_entries)
       : owner_(owner), current_(num_nodes, nullptr),
-        channel_(channel_capacity) {}
+        channel_(channel_capacity) {
+    if (combine_entries > 0) {
+      combine_.resize(num_nodes);
+      for (CombineTable& table : combine_)
+        table.cells.resize(combine_entries);
+    }
+  }
 
   SpscRing<AggBuffer*>& channel() { return channel_; }
 
  private:
   friend class Aggregator;
+
+  // One held fire-and-forget command. Only the owning thread touches the
+  // table (same confinement as `current_`); `mark_dead` never reaches in —
+  // entries bound for a dead destination are dropped at drain time.
+  struct CombineEntry {
+    std::uint64_t handle = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t token = 0;  // same-task only: the key includes the token
+    std::uint64_t value = 0;  // summed operand (add) / latest value (put)
+    std::uint64_t aux2 = 0;   // kPutValue size; 0 for adds
+    Op op{};
+    std::uint8_t flags = 0;
+    bool used = false;
+  };
+  struct CombineTable {
+    std::vector<CombineEntry> cells;  // direct-mapped, evict-on-collision
+    std::uint32_t live = 0;           // occupied cells
+    std::uint64_t first_ns = 0;       // stamp of the install that made live>0
+  };
+
   Aggregator* owner_;
   std::vector<CommandBlock*> current_;  // per destination; lazily acquired
   SpscRing<AggBuffer*> channel_;        // filled buffers -> comm server
+  std::vector<CombineTable> combine_;   // per destination; empty = off
 };
 
 // Node-wide aggregation state: pools, per-destination queues, slots.
@@ -203,6 +242,22 @@ class Aggregator {
   // caller owns failing the op's completion.
   bool append(AggregationSlot& slot, std::uint32_t dst,
               const CmdHeader& header, const void* payload);
+
+  // Source-side combining (config.combine): offers a payload-free
+  // fire-and-forget command to the slot's per-destination table instead of
+  // the command block. kInstalled — the entry owns the op's one pending
+  // completion (callers with membership must track the token so the death
+  // sweep can fail it); kMerged — the op was folded into the resident
+  // same-(handle,offset,op,width,token) entry and needs no wire command of
+  // its own (the caller completes it immediately); kBypass — combining is
+  // off or `dst` is dead: emit through append() as usual. A key collision
+  // evicts the resident entry straight into the command block (which may
+  // suspend the calling fiber) and retries.
+  CombineResult combine(AggregationSlot& slot, std::uint32_t dst,
+                        const CmdHeader& header);
+
+  // True when source-side combining is configured on (table size > 0).
+  bool combining() const { return combine_entries_ != 0; }
 
   // Membership fail-stop: marks `dst` dead, drains and recycles its queued
   // command blocks (their commands are dropped — the membership layer fails
@@ -266,6 +321,43 @@ class Aggregator {
   void wake_stalled();
 
  private:
+  // append() minus the combining-table drain: the target of evictions and
+  // drains themselves (entering through append() would recurse).
+  bool append_raw(AggregationSlot& slot, std::uint32_t dst,
+                  const CmdHeader& header, const void* payload);
+
+  // Flushes every held entry for (slot, dst) into the command block in
+  // cell order. Appends may suspend the calling fiber; entries installed
+  // by sibling tasks during such a suspension are later traffic and simply
+  // wait for the next drain. Entries bound for a dead destination are
+  // dropped without completion — their tokens were tracked at install, so
+  // the membership death sweep owns failing them.
+  void drain_combined(AggregationSlot& slot, std::uint32_t dst);
+
+  // Direct-mapped cell index for a combinable command's key.
+  std::uint32_t combine_index(const CmdHeader& header) const {
+    std::uint64_t h = header.handle * 0x9E3779B97F4A7C15ull;
+    h ^= header.offset * 0xFF51AFD7ED558CCDull;
+    h ^= header.token;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ull;
+    h ^= h >> 29;
+    return static_cast<std::uint32_t>(h) & (combine_entries_ - 1);
+  }
+
+  // Rebuilds the wire command a held entry stands for.
+  static CmdHeader entry_header(const AggregationSlot::CombineEntry& cell) {
+    CmdHeader header;
+    header.op = cell.op;
+    header.flags = cell.flags;
+    header.handle = cell.handle;
+    header.offset = cell.offset;
+    header.token = cell.token;
+    header.aux1 = cell.value;
+    header.aux2 = cell.aux2;
+    return header;
+  }
+
   struct alignas(kCacheLine) DestQueue {
     explicit DestQueue(std::size_t capacity) : blocks(capacity) {}
     MpmcQueue<CommandBlock*> blocks;
@@ -320,6 +412,7 @@ class Aggregator {
 
   Config config_;
   std::uint32_t num_nodes_;
+  std::uint32_t combine_entries_;  // cells per table; 0 = combining off
   ObjectPool<CommandBlock> block_pool_;
   ObjectPool<AggBuffer> buffer_pool_;
   std::vector<std::unique_ptr<DestQueue>> queues_;

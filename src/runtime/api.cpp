@@ -95,6 +95,18 @@ std::uint64_t gmt_atomic_add(gmt_handle handle, std::uint64_t offset,
   return w.node().op_atomic_add(w, handle, offset, value, width);
 }
 
+void gmt_atomic_add_nb(gmt_handle handle, std::uint64_t offset,
+                       std::uint64_t value, std::uint32_t width) {
+  rt::Worker& w = current_worker();
+  w.node().op_atomic_add_nb(w, handle, offset, value, width);
+}
+
+void gmt_atomic_inc(gmt_handle handle, std::uint64_t offset,
+                    std::uint32_t width) {
+  rt::Worker& w = current_worker();
+  w.node().op_atomic_add_nb(w, handle, offset, 1, width);
+}
+
 std::uint64_t gmt_atomic_cas(gmt_handle handle, std::uint64_t offset,
                              std::uint64_t expected, std::uint64_t desired,
                              std::uint32_t width) {

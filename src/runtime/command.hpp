@@ -53,10 +53,19 @@ inline bool op_expects_completion(Op op) {
   }
 }
 
-// Width of an atomic/immediate operand in bytes (4 or 8), kept in flags.
+// Width of an atomic/immediate operand in bytes (4 or 8), kept in flags,
+// plus modifier bits for the fire-and-forget path.
 enum Flags : std::uint8_t {
   kWidth8 = 0,
   kWidth4 = 1,
+  // kAtomicAdd only: the issuer does not consume the previous value — the
+  // helper applies the add and acks with kPutAck (token echo) instead of
+  // kAtomicReply, so the command needs no result address.
+  kNoReply = 2,
+  // Source-side hint, ignored by the receiver: the op is fire-and-forget
+  // and commutative/idempotent at its address, so the aggregator may hold
+  // it in the combining table and merge later same-key ops into it.
+  kCombine = 4,
 };
 
 struct CmdHeader {

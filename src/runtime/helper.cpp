@@ -126,10 +126,16 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       const std::uint64_t old =
           Node::apply_atomic_add(array.local_ptr(cmd.offset), cmd.aux1, width);
       CmdHeader reply;
-      reply.op = Op::kAtomicReply;
+      if ((cmd.flags & kNoReply) != 0) {
+        // Fire-and-forget add: nobody consumes the old value, so a bare
+        // ack releases the issuer's pending_op without a result address.
+        reply.op = Op::kPutAck;
+      } else {
+        reply.op = Op::kAtomicReply;
+        reply.aux1 = old;
+        reply.aux2 = cmd.aux2;  // requester-local result address
+      }
       reply.token = cmd.token;
-      reply.aux1 = old;
-      reply.aux2 = cmd.aux2;  // requester-local result address
       node_->emit(*slot_, src, reply, nullptr);
       break;
     }

@@ -136,13 +136,35 @@ void Node::emit(AggregationSlot& slot, std::uint32_t dst,
                 const CmdHeader& header, const void* payload) {
   stats_.remote_ops.add();
   MembershipManager* m = membership_.get();
-  if (m == nullptr) {
-    agg_.append(slot, dst, header, payload);
+  const bool tracked = op_expects_completion(header.op);
+  if (m != nullptr && !m->is_live(dst)) {
+    if (tracked) m->fail_token(header.token);
     return;
   }
-  const bool tracked = op_expects_completion(header.op);
-  if (!m->is_live(dst)) {
-    if (tracked) m->fail_token(header.token);
+  if ((header.flags & kCombine) != 0 && agg_.combining()) {
+    switch (agg_.combine(slot, dst, header)) {
+      case CombineResult::kMerged:
+        // Folded into the resident same-key entry: that entry's single
+        // wire command (and its one ack) now stands for this op too, so
+        // its pre-counted pending_op completes right here.
+        complete_one(header.token);
+        return;
+      case CombineResult::kInstalled:
+        // The held entry owns the op's completion; track it like an
+        // emitted command so the death sweep fails it (and the drain drops
+        // the entry) if the destination dies while it is held.
+        if (m != nullptr) {
+          m->tracker().track(dst, header.token);
+          if (!m->is_live(dst) && m->tracker().complete(dst, header.token))
+            m->fail_token(header.token);
+        }
+        return;
+      case CombineResult::kBypass:
+        break;  // destination died: fall through to the append below
+    }
+  }
+  if (m == nullptr) {
+    agg_.append(slot, dst, header, payload);
     return;
   }
   if (!agg_.append(slot, dst, header, payload)) {
@@ -401,6 +423,11 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
   CmdHeader cmd;
   cmd.op = Op::kPutValue;
+  // A non-blocking put-value is fire-and-forget at one address, so the
+  // combining table may hold it and dedup repeats last-writer-wins. A
+  // blocking one must ship now (the task waits on its ack), and replicated
+  // arrays bypass so the mirror below stays in lockstep with the primary.
+  if (!blocking && !meta.replicated) cmd.flags |= kCombine;
   cmd.handle = h;
   cmd.offset = span.local_offset;
   cmd.token = task_token(task);
@@ -514,6 +541,49 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   if (task->status.load(std::memory_order_acquire) == 0)
     mirror_value(w, task, h, meta, span, old + operand, width);
   return old;
+}
+
+void Node::op_atomic_add_nb(Worker& w, gmt_handle h, std::uint64_t offset,
+                            std::uint64_t operand, std::uint32_t width) {
+  GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add_nb outside task context");
+  const ArrayMeta meta = gm_.meta(h);
+  OwnedSpan spans[2];
+  std::size_t count = 0;
+  meta.decompose_fill(offset, width, spans, 2, &count);
+  const OwnedSpan& span = atomic_span(spans, count, offset, width);
+
+  if (span.node == id_ && config_.local_fast_path) {
+    std::uint64_t old;
+    {
+      GlobalMemory::AccessGuard guard(gm_);
+      old = apply_atomic_add(gm_.get(h).local_ptr(span.local_offset), operand,
+                             width);
+    }
+    stats_.local_ops.add();
+    mirror_value(w, task, h, meta, span, old + operand, width);
+    return;
+  }
+  if (meta.replicated) {
+    // The buddy mirror needs the post-op value, which only the blocking
+    // form observes; replicated arrays are small and rare, so degrade.
+    (void)op_atomic_add(w, h, offset, operand, width);
+    return;
+  }
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kAtomicAdd;
+  // kNoReply: the helper applies the add and acks with kPutAck — no old
+  // value travels back, which is what makes same-key adds commutative and
+  // therefore safe for the combining table (kCombine) to accumulate.
+  cmd.flags = static_cast<std::uint8_t>((width == 4 ? kWidth4 : kWidth8) |
+                                        kNoReply | kCombine);
+  cmd.handle = h;
+  cmd.offset = span.local_offset;
+  cmd.token = task_token(task);
+  cmd.aux1 = operand;
+  emit(w.agg_slot(), span.node, cmd, nullptr);
 }
 
 std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,

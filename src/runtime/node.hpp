@@ -229,6 +229,13 @@ class Node {
               std::uint64_t size, bool blocking);
   std::uint64_t op_atomic_add(Worker& w, gmt_handle h, std::uint64_t offset,
                               std::uint64_t operand, std::uint32_t width);
+  // Fire-and-forget add: no previous value is returned and the task does
+  // not block — the helper applies the add and acks with kPutAck instead of
+  // kAtomicReply (Flags::kNoReply), which makes the command commutative and
+  // eligible for source-side combining (config.combine). Completion is
+  // observed at the task's next blocking point / gmt_wait_commands.
+  void op_atomic_add_nb(Worker& w, gmt_handle h, std::uint64_t offset,
+                        std::uint64_t operand, std::uint32_t width);
   std::uint64_t op_atomic_cas(Worker& w, gmt_handle h, std::uint64_t offset,
                               std::uint64_t expected, std::uint64_t desired,
                               std::uint32_t width);

@@ -44,6 +44,10 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
       summary.adaptive_flushes += adaptive->count;
       summary.adaptive_queue_deadline_ns += adaptive->sum;
     }
+    summary.combine_hits += snap.counter(names::kAggCombineHits);
+    summary.combine_installs += snap.counter(names::kAggCombineInstalls);
+    summary.combine_evictions += snap.counter(names::kAggCombineEvictions);
+    summary.combine_drains += snap.counter(names::kAggCombineDrains);
     const auto epoch =
         static_cast<std::uint64_t>(snap.gauge(names::kMembEpoch));
     if (epoch > summary.membership_epoch) summary.membership_epoch = epoch;
@@ -134,6 +138,17 @@ std::string format_stats_report(Cluster& cluster) {
         "adaptive flush: %llu timeout flushes, %.1f us mean deadline\n",
         static_cast<unsigned long long>(summary.adaptive_flushes),
         summary.mean_adaptive_deadline_us());
+    out += line;
+  }
+  if (summary.combine_installs != 0 || summary.combine_hits != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "combining: %llu commands elided (hits), %llu installs, "
+        "%llu evictions, %llu drained\n",
+        static_cast<unsigned long long>(summary.commands_elided()),
+        static_cast<unsigned long long>(summary.combine_installs),
+        static_cast<unsigned long long>(summary.combine_evictions),
+        static_cast<unsigned long long>(summary.combine_drains));
     out += line;
   }
   // Memory lifecycle totals across the cluster (skipped for runs that never

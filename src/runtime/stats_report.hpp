@@ -65,6 +65,14 @@ struct ClusterStatsSummary {
   std::uint64_t adaptive_flushes = 0;
   std::uint64_t adaptive_queue_deadline_ns = 0;
 
+  // Source-side combining (all zero when GMT_COMBINE is off). Every hit is
+  // one command (and its ack) that never reached the wire.
+  std::uint64_t combine_hits = 0;
+  std::uint64_t combine_installs = 0;
+  std::uint64_t combine_evictions = 0;
+  std::uint64_t combine_drains = 0;
+  std::uint64_t commands_elided() const { return combine_hits; }
+
   // Average commands coalesced per network message (the aggregation
   // figure of merit; 1.0 means aggregation did nothing). NaN when no
   // message went out at all — a pure-local run has no aggregation ratio,

@@ -258,6 +258,208 @@ TEST(AggInvariants, ConcurrentRandomTrafficLosesNothing) {
   EXPECT_TRUE(agg.idle());
 }
 
+// ------------------------------------------------ combining-table checker --
+
+// A combinable fire-and-forget command, as Node::emit would build it: no
+// payload, value in aux1, constant token per (slot, dst) — the issuing
+// task's TCB, shared by all its outstanding non-blocking ops.
+CmdHeader make_combinable(Op op, std::uint64_t offset, std::uint64_t token,
+                          std::uint64_t value) {
+  CmdHeader h;
+  h.op = op;
+  h.handle = 7;
+  h.offset = offset;
+  h.token = token;
+  h.flags = static_cast<std::uint8_t>(
+      kCombine | (op == Op::kAtomicAdd ? kNoReply : 0));
+  h.aux1 = value;
+  return h;
+}
+
+// Seeded random traffic through a deliberately tiny combining table (8
+// cells, 12 live offsets per slot: constant collisions and evictions),
+// mixed with ordinary tagged puts, deadline firings and flush_all. The
+// model checks the two semantic invariants merging must preserve — adds
+// are sum-preserving per (dst, offset) and repeated put-values dedup to
+// the last issued value — plus the structural ones: ordinary traffic
+// keeps per-(slot, dst) FIFO, idle() <=> quiescence (held combine entries
+// count as non-idle), hits equal elided commands, and the wire command
+// count equals issued-minus-elided.
+TEST(AggInvariants, CombiningPreservesSumsFinalValuesAndFifo) {
+  for (const std::uint64_t seed : {3u, 11u, 4242u}) {
+    Config config = small_config();
+    config.num_buf_per_channel = 16;
+    config.combine = true;
+    config.combine_table = 8;
+    constexpr std::uint32_t kNodes = 3;
+    constexpr std::uint32_t kSlots = 2;
+    constexpr std::uint32_t kOffsets = 12;  // per slot, > table size
+    constexpr int kSteps = 6000;
+    obs::Registry registry("test");
+    Aggregator agg(config, kNodes, kSlots, &registry);
+    ASSERT_TRUE(agg.combining());
+    std::mt19937_64 rng(seed);
+
+    // All writes to offset index (slot * kOffsets + j) come from `slot`
+    // only, so per-offset delivery order is the slot's issue order.
+    constexpr std::uint32_t kCells = kSlots * kOffsets;
+    std::uint64_t sum_issued[kNodes][kCells] = {};
+    std::uint64_t sum_delivered[kNodes][kCells] = {};
+    std::uint64_t last_put_issued[kNodes][kCells] = {};
+    std::uint64_t last_put_delivered[kNodes][kCells] = {};
+    bool put_issued[kNodes][kCells] = {};
+    std::uint64_t issued_raw[kSlots][kNodes] = {};
+    std::uint64_t arrived_raw[kSlots][kNodes] = {};
+    std::uint64_t raw_in_flight = 0;
+    std::uint64_t wire_expected = 0;  // combined cmds that must ship once
+    std::uint64_t combined_delivered = 0;
+    std::uint64_t merges = 0;
+
+    const auto issue_combinable = [&](Op op, std::uint32_t slot,
+                                      std::uint32_t dst, std::uint64_t value) {
+      const std::uint32_t cell =
+          slot * kOffsets + static_cast<std::uint32_t>(rng() % kOffsets);
+      const CmdHeader h = make_combinable(
+          op, cell * 8, /*token=*/(std::uint64_t{slot} << 8) | dst, value);
+      if (op == Op::kAtomicAdd) {
+        sum_issued[dst][cell] += value;
+      } else {
+        last_put_issued[dst][cell] = value;
+        put_issued[dst][cell] = true;
+      }
+      switch (agg.combine(agg.slot(slot), dst, h)) {
+        case CombineResult::kMerged:
+          ++merges;
+          break;
+        case CombineResult::kInstalled:
+          ++wire_expected;
+          break;
+        case CombineResult::kBypass:  // no dead dests here, but mirror emit
+          agg.append(agg.slot(slot), dst, h, nullptr);
+          ++wire_expected;
+          break;
+      }
+    };
+
+    std::vector<Decoded> delivered;
+    for (int step = 0; step < kSteps; ++step) {
+      const std::uint32_t action = rng() % 100;
+      const auto slot = static_cast<std::uint32_t>(rng() % kSlots);
+      const auto dst = static_cast<std::uint32_t>(rng() % kNodes);
+      if (action < 35) {
+        issue_combinable(Op::kAtomicAdd, slot, dst, rng() % 1000 + 1);
+      } else if (action < 55) {
+        issue_combinable(Op::kPutValue, slot, dst, rng() + 1);
+      } else if (action < 80) {
+        const auto size = static_cast<std::uint32_t>(rng() % 48);
+        const std::uint64_t seq = issued_raw[slot][dst]++;
+        std::vector<std::uint8_t> payload(size, tag_byte(slot, seq));
+        agg.append(agg.slot(slot), dst, make_tagged(slot, seq, size),
+                   payload.empty() ? nullptr : payload.data());
+        ++raw_in_flight;
+      } else if (action < 90) {
+        // Far-future deadline: fires block timeouts AND combine drains.
+        agg.poll_flush(agg.slot(slot),
+                       wall_ns() + config.agg_queue_timeout_ns * 1000);
+      } else if (action < 95) {
+        agg.poll_flush(agg.slot(slot), wall_ns());
+      } else {
+        agg.flush_all(agg.slot(slot));
+      }
+
+      delivered.clear();
+      for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+        AggBuffer* buffer = nullptr;
+        while (agg.slot(s).channel().pop(&buffer)) {
+          std::size_t pos = 0;
+          const std::uint8_t* payload = nullptr;
+          while (pos < buffer->data().size()) {
+            const CmdHeader h = decode_cmd(
+                buffer->data().data(), buffer->data().size(), &pos, &payload);
+            if (h.op == Op::kAtomicAdd || h.op == Op::kPutValue) {
+              const std::uint64_t cell = h.offset / 8;
+              ASSERT_LT(cell, kCells);
+              if (h.op == Op::kAtomicAdd)
+                sum_delivered[buffer->dst][cell] += h.aux1;
+              else
+                last_put_delivered[buffer->dst][cell] = h.aux1;
+              ++combined_delivered;
+            } else {
+              delivered.push_back(Decoded{h.aux1, h.aux2, buffer->dst});
+            }
+          }
+          agg.release_buffer(buffer);
+        }
+      }
+      for (const Decoded& d : delivered) {
+        ASSERT_EQ(d.seq, arrived_raw[d.slot][d.dst])
+            << "seed " << seed << " step " << step
+            << ": raw FIFO broken for slot " << d.slot << " -> " << d.dst;
+        ++arrived_raw[d.slot][d.dst];
+        --raw_in_flight;
+      }
+      const std::uint64_t outstanding =
+          raw_in_flight + (wire_expected - combined_delivered);
+      ASSERT_EQ(agg.idle(), outstanding == 0)
+          << "seed " << seed << " step " << step << ": idle()=" << agg.idle()
+          << " with " << outstanding << " outstanding";
+    }
+
+    // Quiesce and check the semantic invariants end to end.
+    for (std::uint32_t s = 0; s < kSlots; ++s) agg.flush_all(agg.slot(s));
+    for (std::uint32_t s = 0; s < agg.num_slots(); ++s) {
+      AggBuffer* buffer = nullptr;
+      while (agg.slot(s).channel().pop(&buffer)) {
+        std::size_t pos = 0;
+        const std::uint8_t* payload = nullptr;
+        while (pos < buffer->data().size()) {
+          const CmdHeader h = decode_cmd(buffer->data().data(),
+                                         buffer->data().size(), &pos,
+                                         &payload);
+          if (h.op == Op::kAtomicAdd) {
+            sum_delivered[buffer->dst][h.offset / 8] += h.aux1;
+            ++combined_delivered;
+          } else if (h.op == Op::kPutValue) {
+            last_put_delivered[buffer->dst][h.offset / 8] = h.aux1;
+            ++combined_delivered;
+          } else {
+            ASSERT_EQ(h.aux2, arrived_raw[h.aux1][buffer->dst]);
+            ++arrived_raw[h.aux1][buffer->dst];
+            --raw_in_flight;
+          }
+        }
+        agg.release_buffer(buffer);
+      }
+    }
+    EXPECT_TRUE(agg.idle()) << "seed " << seed;
+    EXPECT_EQ(raw_in_flight, 0u) << "seed " << seed;
+    EXPECT_EQ(combined_delivered, wire_expected) << "seed " << seed;
+    for (std::uint32_t s = 0; s < kSlots; ++s)
+      for (std::uint32_t d = 0; d < kNodes; ++d)
+        EXPECT_EQ(arrived_raw[s][d], issued_raw[s][d])
+            << "seed " << seed << " slot " << s << " dst " << d;
+    for (std::uint32_t d = 0; d < kNodes; ++d)
+      for (std::uint32_t c = 0; c < kCells; ++c) {
+        EXPECT_EQ(sum_delivered[d][c], sum_issued[d][c])
+            << "seed " << seed << ": add sum not preserved for dst " << d
+            << " cell " << c;
+        if (put_issued[d][c])
+          EXPECT_EQ(last_put_delivered[d][c], last_put_issued[d][c])
+              << "seed " << seed << ": put dedup lost the last value for dst "
+              << d << " cell " << c;
+      }
+    EXPECT_GT(merges, 0u) << "seed " << seed << ": table never merged";
+    EXPECT_GT(agg.stats().combine_evictions.read(), 0u) << "seed " << seed;
+    // Every hit is one elided wire command, and nothing else was elided.
+    EXPECT_EQ(agg.stats().combine_hits.read(), merges) << "seed " << seed;
+    std::uint64_t raw_total = 0;
+    for (std::uint32_t s = 0; s < kSlots; ++s)
+      for (std::uint32_t d = 0; d < kNodes; ++d) raw_total += issued_raw[s][d];
+    EXPECT_EQ(agg.stats().commands.read(), raw_total + wire_expected)
+        << "seed " << seed;
+  }
+}
+
 // -------------------------------------------------- credit state machine --
 
 TEST(AggInvariants, CreditsGateAggregationAndGrantsReopen) {
