@@ -67,6 +67,77 @@ void gmt_get_nb(gmt_handle handle, std::uint64_t offset, void* data,
 // of this task has completed (paper §III-D).
 void gmt_wait_commands();
 
+// ---- per-operation completion futures ----
+//
+// The _f variants issue the same one-sided operations but hand back a
+// gmt::Future (types.hpp) instead of blocking or joining the coarse
+// per-task _nb pool. A future is awaited selectively — wait(f) suspends
+// only if f is still in flight, wait_any picks the first of several to
+// land — so a task can overlap independent remote reads and act on each
+// as it arrives, DART-style handle completion rather than a barrier.
+// Issuing costs no allocation: cells are pooled per worker and
+// generation-tagged like TCB completion tokens.
+//
+// Error model: a future resolved by a dead peer surfaces GMT_ERR_NODE_LOST
+// from wait()/wait_any() for THAT operation only — per-op, not via the
+// sticky task error of the blocking/_nb paths (error.hpp).
+//
+// Buffers (`data` of a get_f, `old_out` of an atomic_add_f) must stay
+// valid until the future is waited; an unawaited future is drained by the
+// implicit end-of-task wait.
+
+// Starts the read; `data` fills in by the time wait() returns.
+Future gmt_get_f(gmt_handle handle, std::uint64_t offset, void* data,
+                 std::uint64_t size);
+
+// Starts the write; the bytes are captured before return (aggregation
+// copies them), so `data` may be reused immediately.
+Future gmt_put_f(gmt_handle handle, std::uint64_t offset, const void* data,
+                 std::uint64_t size);
+
+// Starts the atomic add; the previous value lands in *old_out by the time
+// wait() returns (*old_out is 0 if the op failed with GMT_ERR_NODE_LOST).
+Future gmt_atomic_add_f(gmt_handle handle, std::uint64_t offset,
+                        std::uint64_t value, std::uint64_t* old_out,
+                        std::uint32_t width = 8);
+
+// Awaits `f`; returns its per-op status (GMT_ERR_OK / GMT_ERR_NODE_LOST).
+// Futures are single-consume: the first wait that sees `f` resolved
+// releases its cell, and a second wait on a copy returns GMT_ERR_OK.
+std::uint32_t wait(Future f);
+
+// Awaits every future in `fs`; returns the first nonzero status (the
+// remaining futures are still all consumed).
+std::uint32_t wait_all(std::span<const Future> fs);
+
+// Awaits the FIRST future in `fs` to resolve; returns its index and, via
+// `status` (may be null), its per-op status. Only that future is
+// consumed — the rest stay in flight for later wait/wait_any calls. At
+// most 64 distinct futures per call.
+std::size_t wait_any(std::span<const Future> fs,
+                     std::uint32_t* status = nullptr);
+
+// Non-consuming readiness probe: true iff wait(f) would not suspend.
+// (Named is_ready rather than the MPI-style "test" to keep the word free
+// for test namespaces.)
+bool is_ready(Future f);
+
+// Typed future overloads: element indices, lengths from the span.
+template <typename T>
+Future gmt_get_f(gmt_handle handle, std::uint64_t index, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  return gmt_get_f(handle, index * sizeof(T), out.data(), out.size_bytes());
+}
+
+template <typename T>
+Future gmt_put_f(gmt_handle handle, std::uint64_t index,
+                 std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements cross the network as raw bytes");
+  return gmt_put_f(handle, index * sizeof(T), data.data(), data.size_bytes());
+}
+
 // ---- synchronisation (paper §III-E); width is 4 or 8 bytes ----
 
 // Atomically adds `value` at byte `offset`; returns the previous value.
@@ -127,6 +198,63 @@ void gmt_get_nb(gmt_handle handle, std::uint64_t index, std::span<T> out) {
   gmt_get_nb(handle, index * sizeof(T), out.data(), out.size_bytes());
 }
 
+// ---- typed atomics ----
+//
+// Span overloads for the atomic family, mirroring the put/get spellings:
+// offsets are element indices, the width comes from T (a 4- or 8-byte
+// integer), and a span applies the operation element-wise at consecutive
+// indices. Multi-element blocking forms pipeline through futures — every
+// element's op is in flight before the first await.
+
+template <typename T>
+concept GmtAtomicWord = std::is_integral_v<T> &&
+                        (sizeof(T) == 4 || sizeof(T) == 8);
+
+// Element-wise fire-and-forget adds: addends[k] is added at element
+// index + k. Completion at the next blocking call / gmt_wait_commands;
+// combinable exactly like the scalar _nb form.
+template <GmtAtomicWord T>
+void gmt_atomic_add_nb(gmt_handle handle, std::uint64_t index,
+                       std::span<const T> addends) {
+  for (std::size_t k = 0; k < addends.size(); ++k)
+    gmt_atomic_add_nb(handle, (index + k) * sizeof(T),
+                      static_cast<std::uint64_t>(addends[k]), sizeof(T));
+}
+
+// Element-wise blocking adds; previous values land in old_out (sized like
+// addends).
+template <GmtAtomicWord T>
+void gmt_atomic_add(gmt_handle handle, std::uint64_t index,
+                    std::span<const T> addends, std::span<T> old_out) {
+  constexpr std::size_t kBatch = 32;
+  std::uint64_t old[kBatch];
+  Future fs[kBatch];
+  for (std::size_t base = 0; base < addends.size(); base += kBatch) {
+    const std::size_t n =
+        addends.size() - base < kBatch ? addends.size() - base : kBatch;
+    for (std::size_t k = 0; k < n; ++k)
+      fs[k] = gmt_atomic_add_f(handle, (index + base + k) * sizeof(T),
+                               static_cast<std::uint64_t>(addends[base + k]),
+                               &old[k], sizeof(T));
+    wait_all(std::span<const Future>(fs, n));
+    for (std::size_t k = 0; k < n; ++k)
+      old_out[base + k] = static_cast<T>(old[k]);
+  }
+}
+
+// Element-wise compare-and-swap: element index + k swaps desired[k] in iff
+// it holds expected[k]; the observed previous values land in observed.
+template <GmtAtomicWord T>
+void gmt_atomic_cas(gmt_handle handle, std::uint64_t index,
+                    std::span<const T> expected, std::span<const T> desired,
+                    std::span<T> observed) {
+  for (std::size_t k = 0; k < expected.size(); ++k)
+    observed[k] = static_cast<T>(
+        gmt_atomic_cas(handle, (index + k) * sizeof(T),
+                       static_cast<std::uint64_t>(expected[k]),
+                       static_cast<std::uint64_t>(desired[k]), sizeof(T)));
+}
+
 // ---- parallelism (paper §III-B) ----
 
 // Executes fn(i, args_copy) for i in [0, iterations), spawning tasks of
@@ -150,5 +278,55 @@ void gmt_yield();
 
 std::uint32_t gmt_node_id();    // node executing the calling task
 std::uint32_t gmt_num_nodes();  // cluster size
+
+// ---- paper-spelling compatibility shim ----
+//
+// Table I of the paper spells the API in camelCase (gmt_parFor,
+// gmt_atomicCAS, gmt_waitCommands, ...). These aliases exist so the
+// paper's listings port verbatim; they are frozen — new capabilities
+// (futures, typed spans, error introspection) appear only under the
+// canonical snake_case names above, and new code should use those.
+// (gmt/paper_api.hpp is a deprecated forwarder to this header.)
+
+inline void gmt_putValue(gmt_handle h, std::uint64_t offset,
+                         std::uint64_t value, std::uint32_t size) {
+  gmt_put_value(h, offset, value, size);
+}
+
+inline void gmt_putValueNB(gmt_handle h, std::uint64_t offset,
+                           std::uint64_t value, std::uint32_t size) {
+  gmt_put_value_nb(h, offset, value, size);
+}
+
+inline void gmt_putNB(gmt_handle h, std::uint64_t offset, const void* data,
+                      std::uint64_t size) {
+  gmt_put_nb(h, offset, data, size);
+}
+
+inline void gmt_getNB(gmt_handle h, std::uint64_t offset, void* data,
+                      std::uint64_t size) {
+  gmt_get_nb(h, offset, data, size);
+}
+
+inline void gmt_waitCommands() { gmt_wait_commands(); }
+
+inline std::uint64_t gmt_atomicAdd(gmt_handle h, std::uint64_t offset,
+                                   std::uint64_t value,
+                                   std::uint32_t width = 8) {
+  return gmt_atomic_add(h, offset, value, width);
+}
+
+inline std::uint64_t gmt_atomicCAS(gmt_handle h, std::uint64_t offset,
+                                   std::uint64_t expected,
+                                   std::uint64_t desired,
+                                   std::uint32_t width = 8) {
+  return gmt_atomic_cas(h, offset, expected, desired, width);
+}
+
+inline void gmt_parFor(std::uint64_t iterations, std::uint64_t chunk_size,
+                       TaskFn fn, const void* args, std::size_t args_size,
+                       Spawn locality = Spawn::kPartition) {
+  gmt_parfor(iterations, chunk_size, fn, args, args_size, locality);
+}
 
 }  // namespace gmt

@@ -14,6 +14,12 @@
 //     ... skip / retry against the replica ...
 //   }
 //
+// The future API (gmt_get_f / gmt_put_f / gmt_atomic_add_f, api.hpp) is
+// the exception to stickiness: a future resolved by a dead peer reports
+// GMT_ERR_NODE_LOST as the *return value* of gmt::wait / wait_any for
+// that operation alone, and never latches the task's sticky status — the
+// failure is attributed to the op, not smeared across the task.
+//
 // With membership disabled (GMT_MEMBERSHIP=0, the default) nothing here
 // ever fires: retry-budget exhaustion keeps its historical abort.
 #pragma once

@@ -40,10 +40,22 @@ class GlobalArray {
   gmt_handle handle() const { return handle_; }
   std::uint64_t size() const { return count_; }
 
+  // Reads route through the future API: issue + immediate wait is
+  // semantically identical to the blocking primitive (including the cache
+  // fast path, which returns an already-resolved future on a hit) and
+  // keeps one code path for both this and the overlapped get_f below.
   T get(std::uint64_t index) const {
     T value;
-    gmt_get(handle_, index * sizeof(T), &value, sizeof(T));
+    wait(gmt_get_f(handle_, index * sizeof(T), &value, sizeof(T)));
     return value;
+  }
+
+  // Overlapped read: `out` fills in by the time the future is waited.
+  Future get_f(std::uint64_t index, T* out) const {
+    return gmt_get_f(handle_, index * sizeof(T), out, sizeof(T));
+  }
+  Future get_f(std::uint64_t first, std::span<T> out) const {
+    return gmt_get_f<T>(handle_, first, out);
   }
 
   void put(std::uint64_t index, const T& value) {
@@ -56,7 +68,7 @@ class GlobalArray {
 
   // Bulk element transfer.
   void get_range(std::uint64_t first, T* out, std::uint64_t n) const {
-    gmt_get(handle_, first * sizeof(T), out, n * sizeof(T));
+    wait(gmt_get_f(handle_, first * sizeof(T), out, n * sizeof(T)));
   }
   void put_range(std::uint64_t first, const T* data, std::uint64_t n) {
     gmt_put(handle_, first * sizeof(T), data, n * sizeof(T));
@@ -64,7 +76,7 @@ class GlobalArray {
 
   // Span forwarding: lengths come from the span, offsets are elements.
   void get(std::uint64_t first, std::span<T> out) const {
-    gmt_get<T>(handle_, first, out);
+    wait(get_f(first, out));
   }
   void put(std::uint64_t first, std::span<const T> data) {
     gmt_put<T>(handle_, first, data);

@@ -109,6 +109,18 @@ inline constexpr const char* kAggCombineHits = "agg.combine.hits";
 inline constexpr const char* kAggCombineInstalls = "agg.combine.installs";
 inline constexpr const char* kAggCombineEvictions = "agg.combine.evictions";
 inline constexpr const char* kAggCombineDrains = "agg.combine.drains";
+// Read-mostly software cache (GMT_CACHE, src/runtime/swcache).
+inline constexpr const char* kCacheHits = "gmt.cache.hits";
+inline constexpr const char* kCacheMisses = "gmt.cache.misses";
+inline constexpr const char* kCacheInstalls = "gmt.cache.installs";
+inline constexpr const char* kCacheRacySkips = "gmt.cache.racy_skips";
+inline constexpr const char* kCacheInvals = "gmt.cache.invals";
+inline constexpr const char* kCacheInvalLines = "gmt.cache.inval_lines";
+// Per-operation futures (gmt_get_f / gmt_put_f / gmt_atomic_add_f).
+inline constexpr const char* kFuturesIssued = "gmt.futures.issued";
+inline constexpr const char* kFuturesWaits = "gmt.futures.waits";
+inline constexpr const char* kFuturesParked = "gmt.futures.parked";
+inline constexpr const char* kFuturesAbandoned = "gmt.futures.abandoned";
 inline constexpr const char* kMemLiveHandles = "gmt.mem.live_handles";
 inline constexpr const char* kMemLiveBytes = "gmt.mem.live_bytes";
 inline constexpr const char* kMemFreeListDepth = "gmt.mem.free_list";

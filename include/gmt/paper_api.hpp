@@ -1,52 +1,10 @@
-// Paper-faithful spellings of the GMT API (Table I of the paper uses
-// camelCase: gmt_parFor, gmt_atomicCAS, gmt_waitCommands, ...). These are
-// thin aliases over the snake_case API in gmt/api.hpp so code can be
-// ported from the paper's listings verbatim.
+// DEPRECATED forwarder. The paper-faithful camelCase spellings
+// (gmt_parFor, gmt_atomicCAS, gmt_waitCommands, ...) now live in
+// gmt/api.hpp, in the "paper-spelling compatibility shim" section at the
+// bottom — one canonical header instead of two parallel surfaces. Include
+// gmt/api.hpp (or the gmt/gmt.hpp umbrella) directly; this file remains
+// only so historical includes keep compiling and will be removed in a
+// future cleanup.
 #pragma once
 
 #include "gmt/api.hpp"
-
-namespace gmt {
-
-inline void gmt_putValue(gmt_handle h, std::uint64_t offset,
-                         std::uint64_t value, std::uint32_t size) {
-  gmt_put_value(h, offset, value, size);
-}
-
-inline void gmt_putValueNB(gmt_handle h, std::uint64_t offset,
-                           std::uint64_t value, std::uint32_t size) {
-  gmt_put_value_nb(h, offset, value, size);
-}
-
-inline void gmt_putNB(gmt_handle h, std::uint64_t offset, const void* data,
-                      std::uint64_t size) {
-  gmt_put_nb(h, offset, data, size);
-}
-
-inline void gmt_getNB(gmt_handle h, std::uint64_t offset, void* data,
-                      std::uint64_t size) {
-  gmt_get_nb(h, offset, data, size);
-}
-
-inline void gmt_waitCommands() { gmt_wait_commands(); }
-
-inline std::uint64_t gmt_atomicAdd(gmt_handle h, std::uint64_t offset,
-                                   std::uint64_t value,
-                                   std::uint32_t width = 8) {
-  return gmt_atomic_add(h, offset, value, width);
-}
-
-inline std::uint64_t gmt_atomicCAS(gmt_handle h, std::uint64_t offset,
-                                   std::uint64_t expected,
-                                   std::uint64_t desired,
-                                   std::uint32_t width = 8) {
-  return gmt_atomic_cas(h, offset, expected, desired, width);
-}
-
-inline void gmt_parFor(std::uint64_t iterations, std::uint64_t chunk_size,
-                       TaskFn fn, const void* args, std::size_t args_size,
-                       Spawn locality = Spawn::kPartition) {
-  gmt_parfor(iterations, chunk_size, fn, args, args_size, locality);
-}
-
-}  // namespace gmt

@@ -34,4 +34,17 @@ enum class Spawn : std::uint8_t {
 // and the (node-local copy of the) argument buffer passed to gmt_parfor.
 using TaskFn = void (*)(std::uint64_t iteration, const void* args);
 
+// Per-operation completion handle returned by gmt_get_f / gmt_put_f /
+// gmt_atomic_add_f. Lightweight and trivially copyable: it wraps a
+// generation-tagged token into a pooled per-worker completion cell, so
+// issuing a future allocates nothing. Await with gmt::wait / wait_all /
+// wait_any (gmt/api.hpp); a future is single-consume — the first wait()
+// that observes it resolved releases the cell, and later waits on a copy
+// return immediately with GMT_ERR_OK. A default-constructed Future is
+// not valid() and resolves immediately.
+struct Future {
+  std::uint64_t token = 0;  // opaque: [generation | cell address | tag]
+  bool valid() const { return token != 0; }
+};
+
 }  // namespace gmt

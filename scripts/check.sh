@@ -8,10 +8,11 @@
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
 #                  sensitive labels (runtime|aggregation|flowcontrol|
-#                  memory|membership|combine) — the scheduler,
+#                  memory|membership|combine|cache) — the scheduler,
 #                  aggregation pipeline, flow control, memory
-#                  reclamation, the failure detector and the combining
-#                  table are where data races would live
+#                  reclamation, the failure detector, the combining
+#                  table and the cache/futures machinery are where data
+#                  races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -48,7 +49,7 @@ builddir=build
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
   ctest --test-dir "$builddir" \
-    -L 'runtime|aggregation|flowcontrol|memory|membership|combine' \
+    -L 'runtime|aggregation|flowcontrol|memory|membership|combine|cache' \
     --output-on-failure
   exit 0
 fi
@@ -67,6 +68,9 @@ ctest --test-dir "$builddir" -L membership --output-on-failure
 
 echo "== source-side combining tests =="
 ctest --test-dir "$builddir" -L combine --output-on-failure
+
+echo "== cache / futures tests (incl. cached-BFS smoke) =="
+ctest --test-dir "$builddir" -L cache --output-on-failure
 
 if [[ "$soak" == 1 ]]; then
   echo "== membership soak: kill-a-node-mid-BFS x20 =="

@@ -75,6 +75,8 @@ void Config::apply_env() {
   env_bool("GMT_ADAPTIVE_FLUSH", &adaptive_flush);
   env_bool("GMT_COMBINE", &combine);
   env_u32("GMT_COMBINE_TABLE", &combine_table);
+  env_bool("GMT_CACHE", &cache);
+  env_u64("GMT_CACHE_BYTES", &cache_bytes);
   if (const char* v = std::getenv("GMT_TASK_STACK_SIZE")) {
     std::uint64_t parsed;
     if (parse_size(v, &parsed)) task_stack_size = parsed;
@@ -165,6 +167,10 @@ std::string Config::validate() const {
     return "combine_table must be a power of two >= 2";
   if (combine && combine_table > (1u << 20))
     return "combine_table larger than 2^20 entries is surely a typo";
+  if (cache && cache_bytes < 1024)
+    return "cache_bytes must be >= 1024 (one cache line)";
+  if (cache && cache_bytes > (std::uint64_t{1} << 34))
+    return "cache_bytes larger than 16 GiB is surely a typo";
   if (membership && !reliable_transport)
     return "membership requires reliable_transport (health rides acks)";
   if (membership && heartbeat_ns == 0) return "heartbeat_ns must be > 0";

@@ -103,6 +103,22 @@ struct Config {
   // simultaneously-hot keys at ~56 bytes/entry of footprint.
   std::uint32_t combine_table = 256;
 
+  // ---- read-mostly software cache (src/runtime/swcache).
+
+  // Per-node cache of remote read data in front of op_get, keyed by
+  // (handle, 1 KB line). Writes broadcast kCacheInval commands to every
+  // live peer (riding the writing op's completion), so a completed write
+  // is never observed stale — the intended workloads are read-mostly
+  // (immutable/rarely-written arrays), where hits run at local-memory
+  // rates. Off = today's behaviour, zero cost on every path. The knob
+  // must agree across all nodes of a cluster (invalidations are only
+  // generated by nodes that have it on).
+  bool cache = false;
+
+  // Cache capacity in bytes per node (rounded down to a power-of-two
+  // number of 1 KB lines, minimum one line).
+  std::uint64_t cache_bytes = 4 * 1024 * 1024;
+
   // User-level task stack size in bytes.
   std::size_t task_stack_size = 64 * 1024;
 

@@ -133,6 +133,44 @@ std::string stats_report() {
     out += line;
   }
 
+  const std::uint64_t cache_hits = total.counter(obs::names::kCacheHits);
+  const std::uint64_t cache_misses = total.counter(obs::names::kCacheMisses);
+  const std::uint64_t cache_invals = total.counter(obs::names::kCacheInvals);
+  if (cache_hits != 0 || cache_misses != 0 || cache_invals != 0) {
+    const std::uint64_t probes = cache_hits + cache_misses;
+    std::snprintf(
+        line, sizeof(line),
+        "cache: %llu hits, %llu misses (%.1f%% hit rate), %llu installs, "
+        "%llu invalidation rounds (%llu lines dropped)\n",
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        probes ? 100.0 * static_cast<double>(cache_hits) /
+                     static_cast<double>(probes)
+               : 0.0,
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kCacheInstalls)),
+        static_cast<unsigned long long>(cache_invals),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kCacheInvalLines)));
+    out += line;
+  }
+
+  if (const std::uint64_t issued = total.counter(obs::names::kFuturesIssued);
+      issued != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "futures: %llu issued, %llu waits (%llu parked the task), "
+        "%llu abandoned at task end\n",
+        static_cast<unsigned long long>(issued),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kFuturesWaits)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kFuturesParked)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kFuturesAbandoned)));
+    out += line;
+  }
+
   if (const std::uint64_t allocs = total.counter(obs::names::kMemAllocs);
       allocs != 0) {
     std::snprintf(

@@ -89,6 +89,47 @@ void gmt_wait_commands() {
   w.node().op_wait_commands(w);
 }
 
+Future gmt_get_f(gmt_handle handle, std::uint64_t offset, void* data,
+                 std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  return w.node().op_get_f(w, handle, offset, data, size);
+}
+
+Future gmt_put_f(gmt_handle handle, std::uint64_t offset, const void* data,
+                 std::uint64_t size) {
+  rt::Worker& w = current_worker();
+  return w.node().op_put_f(w, handle, offset, data, size);
+}
+
+Future gmt_atomic_add_f(gmt_handle handle, std::uint64_t offset,
+                        std::uint64_t value, std::uint64_t* old_out,
+                        std::uint32_t width) {
+  rt::Worker& w = current_worker();
+  return w.node().op_atomic_add_f(w, handle, offset, value, old_out, width);
+}
+
+std::uint32_t wait(Future f) { return current_worker().future_wait(f.token); }
+
+std::uint32_t wait_all(std::span<const Future> fs) {
+  rt::Worker& w = current_worker();
+  std::uint32_t status = 0;
+  for (const Future& f : fs) {
+    const std::uint32_t st = w.future_wait(f.token);
+    if (status == 0) status = st;
+  }
+  return status;
+}
+
+std::size_t wait_any(std::span<const Future> fs, std::uint32_t* status) {
+  rt::Worker& w = current_worker();
+  return w.future_wait_any(fs.data(), fs.size(), status);
+}
+
+bool is_ready(Future f) {
+  (void)current_worker();  // same task-context contract as wait()
+  return rt::Worker::future_ready(f.token);
+}
+
 std::uint64_t gmt_atomic_add(gmt_handle handle, std::uint64_t offset,
                              std::uint64_t value, std::uint32_t width) {
   rt::Worker& w = current_worker();

@@ -32,6 +32,7 @@ enum class Op : std::uint8_t {
   kAllocAck,       //
   kFree,           //
   kFreeAck,        //
+  kCacheInval,     // drop cached lines of `handle`; acks with kPutAck
 };
 
 // True for request ops whose issuer holds a pending_ops count that only a
@@ -47,6 +48,7 @@ inline bool op_expects_completion(Op op) {
     case Op::kSpawn:
     case Op::kAlloc:
     case Op::kFree:
+    case Op::kCacheInval:
       return true;
     default:
       return false;

@@ -215,6 +215,17 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       complete_one(cmd.token);
       break;
     }
+    case Op::kCacheInval: {
+      // Write-invalidate broadcast from a mutating node: drop every cached
+      // line of the handle, then ack on the writer's completion token so
+      // its blocking point (or future) covers this cache too.
+      if (SwCache* cache = node_->cache()) cache->invalidate(cmd.handle);
+      CmdHeader ack;
+      ack.op = Op::kPutAck;
+      ack.token = cmd.token;
+      node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
   }
 }
 

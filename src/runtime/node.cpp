@@ -24,6 +24,10 @@ void NodeStats::bind(obs::Registry& reg) {
   resident_tasks = reg.gauge(obs::names::kTasksResident);
   incoming_depth = reg.gauge(obs::names::kIncomingDepth);
   task_quantum_ns = reg.histogram("tasks.quantum_ns");
+  futures_issued = reg.counter(obs::names::kFuturesIssued);
+  futures_waits = reg.counter(obs::names::kFuturesWaits);
+  futures_parked = reg.counter(obs::names::kFuturesParked);
+  futures_abandoned = reg.counter(obs::names::kFuturesAbandoned);
 }
 
 namespace {
@@ -62,6 +66,8 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
   const std::string error = config.validate();
   GMT_CHECK_MSG(error.empty(), error.c_str());
   stats_.bind(obs_);
+  if (config.cache)
+    cache_ = std::make_unique<SwCache>(config.cache_bytes, &obs_);
   workers_.reserve(config.num_workers);
   for (std::uint32_t w = 0; w < config.num_workers; ++w)
     workers_.push_back(std::make_unique<Worker>(this, w, &agg_.slot(w)));
@@ -342,16 +348,26 @@ void Node::op_free(Worker& w, gmt_handle handle) {
 
 // ------------------------------------------------------------- put/get --
 
-void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
-                  const void* data, std::uint64_t size, bool blocking) {
-  Task* task = w.current_task();
-  GMT_CHECK_MSG(task != nullptr, "gmt_put outside task context");
-  // By value: emit() below can suspend this fiber (flow-control parks),
-  // and a reference into the table could dangle if another task frees the
-  // handle while this one is parked.
-  const ArrayMeta meta = gm_.meta(h);
-  const auto* src = static_cast<const std::uint8_t*>(data);
+// Writer-side half of the cache coherence protocol: one kCacheInval per
+// live peer, riding `sink` so the write's completion also waits for every
+// remote cache to drop the handle's lines.
+void Node::broadcast_inval(Worker& w, const OpSink& sink, gmt_handle h) {
+  if (cache_ == nullptr) return;
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    if (n == id_ || !node_is_live(n)) continue;
+    sink.pending->fetch_add(1, std::memory_order_relaxed);
+    CmdHeader cmd;
+    cmd.op = Op::kCacheInval;
+    cmd.handle = h;
+    cmd.token = sink.token;
+    emit(w.agg_slot(), n, cmd, nullptr);
+  }
+}
 
+void Node::do_put(Worker& w, Task* task, const OpSink& sink, gmt_handle h,
+                  std::uint64_t offset, const void* data, std::uint64_t size,
+                  const ArrayMeta& meta) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
   OwnedSpan spans[kSpanBatch];
   std::uint64_t covered = 0;
   while (covered < size) {
@@ -377,12 +393,12 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
         const std::uint64_t piece = span.size - done < max_payload()
                                         ? span.size - done
                                         : max_payload();
-        task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+        sink.pending->fetch_add(1, std::memory_order_relaxed);
         CmdHeader cmd;
         cmd.op = Op::kPut;
         cmd.handle = h;
         cmd.offset = span.local_offset + done;
-        cmd.token = task_token(task);
+        cmd.token = sink.token;
         cmd.payload_size = static_cast<std::uint32_t>(piece);
         emit(w.agg_slot(), span.node, cmd, span_src + done);
         done += piece;
@@ -390,7 +406,24 @@ void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
       mirror_span(w, task, h, meta, span, span_src);
     }
   }
-  if (blocking) w.task_block();
+}
+
+void Node::op_put(Worker& w, gmt_handle h, std::uint64_t offset,
+                  const void* data, std::uint64_t size, bool blocking) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_put outside task context");
+  // By value: emit() below can suspend this fiber (flow-control parks),
+  // and a reference into the table could dangle if another task frees the
+  // handle while this one is parked.
+  const ArrayMeta meta = gm_.meta(h);
+  // With the cache on every write bears coherence: invalidations ride the
+  // op's completion, so a non-blocking put degrades to blocking and the
+  // local cache is swept once all acks (data + invalidations) are in.
+  const bool coherent = cache_ != nullptr && !meta.replicated;
+  do_put(w, task, task_sink(task), h, offset, data, size, meta);
+  if (coherent) broadcast_inval(w, task_sink(task), h);
+  if (blocking || coherent) w.task_block();
+  if (coherent) cache_->invalidate(h);
 }
 
 void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
@@ -411,6 +444,7 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
     return;
   }
   const OwnedSpan& span = spans[0];
+  const bool coherent = cache_ != nullptr && !meta.replicated;
   if (span.node == id_ && config_.local_fast_path) {
     {
       GlobalMemory::AccessGuard guard(gm_);
@@ -418,6 +452,11 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
     }
     stats_.local_ops.add();
     mirror_value(w, task, h, meta, span, value, size);
+    if (coherent) {
+      broadcast_inval(w, task_sink(task), h);
+      w.task_block();
+      cache_->invalidate(h);
+    }
     return;
   }
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -425,9 +464,10 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   cmd.op = Op::kPutValue;
   // A non-blocking put-value is fire-and-forget at one address, so the
   // combining table may hold it and dedup repeats last-writer-wins. A
-  // blocking one must ship now (the task waits on its ack), and replicated
-  // arrays bypass so the mirror below stays in lockstep with the primary.
-  if (!blocking && !meta.replicated) cmd.flags |= kCombine;
+  // blocking one must ship now (the task waits on its ack), replicated
+  // arrays bypass so the mirror below stays in lockstep with the primary,
+  // and coherent writes block on their invalidations anyway.
+  if (!blocking && !meta.replicated && !coherent) cmd.flags |= kCombine;
   cmd.handle = h;
   cmd.offset = span.local_offset;
   cmd.token = task_token(task);
@@ -435,16 +475,15 @@ void Node::op_put_value(Worker& w, gmt_handle h, std::uint64_t offset,
   cmd.aux2 = size;
   emit(w.agg_slot(), span.node, cmd, nullptr);
   mirror_value(w, task, h, meta, span, value, size);
-  if (blocking) w.task_block();
+  if (coherent) broadcast_inval(w, task_sink(task), h);
+  if (blocking || coherent) w.task_block();
+  if (coherent) cache_->invalidate(h);
 }
 
-void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
-                  std::uint64_t size, bool blocking) {
-  Task* task = w.current_task();
-  GMT_CHECK_MSG(task != nullptr, "gmt_get outside task context");
-  const ArrayMeta meta = gm_.meta(h);
+void Node::do_get(Worker& w, const OpSink& sink, gmt_handle h,
+                  std::uint64_t offset, void* data, std::uint64_t size,
+                  const ArrayMeta& meta) {
   auto* dst = static_cast<std::uint8_t*>(data);
-
   OwnedSpan spans[kSpanBatch];
   std::uint64_t covered = 0;
   while (covered < size) {
@@ -466,12 +505,12 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
         const std::uint64_t piece = span.size - done < max_payload()
                                         ? span.size - done
                                         : max_payload();
-        task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+        sink.pending->fetch_add(1, std::memory_order_relaxed);
         CmdHeader cmd;
         cmd.op = Op::kGet;
         cmd.handle = h;
         cmd.offset = span.local_offset + done;
-        cmd.token = task_token(task);
+        cmd.token = sink.token;
         cmd.aux1 = reinterpret_cast<std::uint64_t>(span_dst + done);
         cmd.aux2 = piece;
         emit(w.agg_slot(), span.node, cmd, nullptr);
@@ -479,6 +518,152 @@ void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
       }
     }
   }
+}
+
+// Cache-aware blocking get. Walks the request line by line: hits copy out
+// of the cache at local-memory speed; misses fetch the whole line (clipped
+// to the partition and the array tail, so neighbouring data rides along),
+// batched kMissBatch at a time with one suspension per batch, then install
+// under the epoch check. Non-blocking gets probe but never install — they
+// have no completion point to anchor the fetch buffers to.
+void Node::cached_get(Worker& w, Task* task, gmt_handle h,
+                      std::uint64_t offset, void* data, std::uint64_t size,
+                      const ArrayMeta& meta, bool blocking) {
+  constexpr std::uint64_t kLine = SwCache::kLineBytes;
+  constexpr std::size_t kMissBatch = 4;
+  struct Miss {
+    std::uint64_t line;
+    std::uint32_t start;     // first fetched byte within the line
+    std::uint32_t len;       // fetched bytes
+    std::uint64_t epoch;     // shard epoch before the fetch was issued
+    std::uint8_t* dst;       // user destination of the wanted sub-range
+    std::uint32_t want_off;  // wanted bytes start here within the fetch
+    std::uint32_t want_len;
+  };
+  Miss misses[kMissBatch];
+  std::uint8_t bufs[kMissBatch][SwCache::kLineBytes];
+  std::size_t nmiss = 0;
+  std::uint32_t batch_status = 0;  // task status before the batch's fetches
+
+  const auto flush = [&] {
+    if (nmiss == 0) return;
+    w.task_block();
+    // A status change during the batch means some fetch failed (NODE_LOST)
+    // and its buffer holds garbage; skip the whole batch — the sticky task
+    // error already marks the read as failed, exactly like a plain get.
+    const bool clean =
+        task->status.load(std::memory_order_acquire) == batch_status;
+    for (std::size_t i = 0; i < nmiss; ++i) {
+      const Miss& m = misses[i];
+      if (!clean) continue;
+      std::memcpy(m.dst, bufs[i] + m.want_off, m.want_len);
+      cache_->install(h, m.line, bufs[i], m.start, m.len, m.epoch);
+    }
+    nmiss = 0;
+  };
+
+  const std::uint64_t block = meta.block_size();
+  auto* dst = static_cast<std::uint8_t*>(data);
+  OwnedSpan spans[kSpanBatch];
+  std::uint64_t covered = 0;
+  while (covered < size) {
+    std::size_t count = 0;
+    covered += meta.decompose_fill(offset + covered, size - covered, spans,
+                                   kSpanBatch, &count);
+    for (std::size_t s = 0; s < count; ++s) {
+      const OwnedSpan& span = spans[s];
+      if (span.node == id_ && config_.local_fast_path) {
+        GlobalMemory::AccessGuard guard(gm_);
+        std::memcpy(dst + (span.global_offset - offset),
+                    gm_.get(h).local_ptr(span.local_offset), span.size);
+        stats_.local_ops.add();
+        continue;
+      }
+      const bool live = node_is_live(span.node);
+      const std::uint64_t part_start = (span.global_offset / block) * block;
+      const std::uint64_t part_end =
+          part_start + block < meta.size ? part_start + block : meta.size;
+      const std::uint64_t span_end = span.global_offset + span.size;
+      std::uint64_t pos = span.global_offset;
+      while (pos < span_end) {
+        const std::uint64_t line = pos / kLine;
+        const auto line_off = static_cast<std::uint32_t>(pos % kLine);
+        const std::uint64_t seg_len =
+            span_end - pos < kLine - line_off ? span_end - pos
+                                             : kLine - line_off;
+        std::uint8_t* out = dst + (pos - offset);
+        // A dead owner must produce NODE_LOST, not a stale pre-death hit.
+        if (live &&
+            cache_->lookup(h, line, line_off,
+                           static_cast<std::uint32_t>(seg_len), out)) {
+          pos += seg_len;
+          continue;
+        }
+        if (!blocking) {
+          // Probe-only: fetch just the wanted bytes on the task's token
+          // with no install (completion lands at the next blocking point,
+          // long after this frame is gone).
+          task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+          CmdHeader cmd;
+          cmd.op = Op::kGet;
+          cmd.handle = h;
+          cmd.offset = span.local_offset + (pos - span.global_offset);
+          cmd.token = task_token(task);
+          cmd.aux1 = reinterpret_cast<std::uint64_t>(out);
+          cmd.aux2 = seg_len;
+          emit(w.agg_slot(), span.node, cmd, nullptr);
+          pos += seg_len;
+          continue;
+        }
+        // Miss: fetch the line clipped to this partition and the array.
+        const std::uint64_t fetch_begin =
+            line * kLine > part_start ? line * kLine : part_start;
+        const std::uint64_t line_end = (line + 1) * kLine;
+        const std::uint64_t fetch_end =
+            line_end < part_end ? line_end : part_end;
+        Miss& m = misses[nmiss];
+        m.line = line;
+        m.start = static_cast<std::uint32_t>(fetch_begin - line * kLine);
+        m.len = static_cast<std::uint32_t>(fetch_end - fetch_begin);
+        m.epoch = cache_->epoch(h);  // BEFORE the fetch is issued
+        m.dst = out;
+        m.want_off = static_cast<std::uint32_t>(pos - fetch_begin);
+        m.want_len = static_cast<std::uint32_t>(
+            seg_len < fetch_end - pos ? seg_len : fetch_end - pos);
+        if (nmiss == 0)
+          batch_status = task->status.load(std::memory_order_acquire);
+        task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+        CmdHeader cmd;
+        cmd.op = Op::kGet;
+        cmd.handle = h;
+        cmd.offset = span.local_offset + fetch_begin - span.global_offset;
+        cmd.token = task_token(task);
+        cmd.aux1 = reinterpret_cast<std::uint64_t>(bufs[nmiss]);
+        cmd.aux2 = m.len;
+        emit(w.agg_slot(), span.node, cmd, nullptr);
+        pos += m.want_len;
+        if (++nmiss == kMissBatch) flush();
+      }
+    }
+  }
+  flush();
+  // The line walk above already blocked per batch; the non-blocking flavour
+  // intentionally leaves its plain fetches outstanding.
+}
+
+void Node::op_get(Worker& w, gmt_handle h, std::uint64_t offset, void* data,
+                  std::uint64_t size, bool blocking) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_get outside task context");
+  const ArrayMeta meta = gm_.meta(h);
+  // Replicated arrays stay off the cache entirely (their buddy mirrors
+  // bypass the invalidation protocol); degraded ones too — a remapped
+  // partition serves replica data the cache was never told about.
+  if (cache_ != nullptr && !meta.replicated && !meta.degraded) {
+    cached_get(w, task, h, offset, data, size, meta, blocking);
+    return;
+  }
+  do_get(w, task_sink(task), h, offset, data, size, meta);
   if (blocking) w.task_block();
 }
 
@@ -519,8 +704,14 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
     }
     stats_.local_ops.add();
     mirror_value(w, task, h, meta, span, old + operand, width);
+    if (cache_ != nullptr && !meta.replicated) {
+      broadcast_inval(w, task_sink(task), h);
+      w.task_block();
+      cache_->invalidate(h);
+    }
     return old;
   }
+  const bool coherent = cache_ != nullptr && !meta.replicated;
   std::uint64_t old = 0;
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
   CmdHeader cmd;
@@ -532,7 +723,9 @@ std::uint64_t Node::op_atomic_add(Worker& w, gmt_handle h,
   cmd.aux1 = operand;
   cmd.aux2 = reinterpret_cast<std::uint64_t>(&old);
   emit(w.agg_slot(), span.node, cmd, nullptr);
+  if (coherent) broadcast_inval(w, task_sink(task), h);
   w.task_block();  // atomics return the old value, so they always block
+  if (coherent) cache_->invalidate(h);
   // Mirror the post-op value only when no op of this task failed: a
   // NODE_LOST atomic never executed, so `old` is not a real observation
   // and mirroring from it would corrupt the replica. (Conservative skips
@@ -549,6 +742,13 @@ void Node::op_atomic_add_nb(Worker& w, gmt_handle h, std::uint64_t offset,
   Task* task = w.current_task();
   GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add_nb outside task context");
   const ArrayMeta meta = gm_.meta(h);
+  if (cache_ != nullptr && !meta.replicated) {
+    // Coherent writes block on their invalidation round anyway, so the
+    // fire-and-forget (and combinable) form buys nothing; degrade to the
+    // blocking path, which runs the full protocol.
+    (void)op_atomic_add(w, h, offset, operand, width);
+    return;
+  }
   OwnedSpan spans[2];
   std::size_t count = 0;
   meta.decompose_fill(offset, width, spans, 2, &count);
@@ -607,8 +807,14 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
     }
     stats_.local_ops.add();
     if (old == expected) mirror_value(w, task, h, meta, span, desired, width);
+    if (cache_ != nullptr && !meta.replicated) {
+      broadcast_inval(w, task_sink(task), h);
+      w.task_block();
+      cache_->invalidate(h);
+    }
     return old;
   }
+  const bool coherent = cache_ != nullptr && !meta.replicated;
   std::uint64_t old = 0;
   const std::uint64_t result_addr = reinterpret_cast<std::uint64_t>(&old);
   task->pending_ops.fetch_add(1, std::memory_order_relaxed);
@@ -622,12 +828,148 @@ std::uint64_t Node::op_atomic_cas(Worker& w, gmt_handle h,
   cmd.aux2 = desired;
   cmd.payload_size = sizeof(result_addr);
   emit(w.agg_slot(), span.node, cmd, &result_addr);
+  if (coherent) broadcast_inval(w, task_sink(task), h);
   w.task_block();
+  if (coherent) cache_->invalidate(h);
   // Mirror only a successful swap, and only when nothing failed (see
   // op_atomic_add).
   if (old == expected && task->status.load(std::memory_order_acquire) == 0)
     mirror_value(w, task, h, meta, span, desired, width);
   return old;
+}
+
+// ------------------------------------------------------------- futures --
+
+::gmt::Future Node::op_get_f(Worker& w, gmt_handle h, std::uint64_t offset,
+                             void* data, std::uint64_t size) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_get_f outside task context");
+  const ArrayMeta meta = gm_.meta(h);
+  // Single-line requests interact with the cache: a hit resolves
+  // immediately (the already-resolved null future makes the caller's
+  // wait() a no-op); a miss arms a deferred install so the fetched bytes
+  // warm the cache at resolution. Multi-line requests skip both —
+  // assembling partial hits would complicate the fast path for little
+  // gain.
+  const std::uint64_t line = offset / SwCache::kLineBytes;
+  const auto line_off =
+      static_cast<std::uint32_t>(offset % SwCache::kLineBytes);
+  const bool single_line =
+      cache_ != nullptr && !meta.replicated && !meta.degraded && size > 0 &&
+      line_off + size <= SwCache::kLineBytes;
+  if (single_line && cache_->lookup(h, line, line_off,
+                                    static_cast<std::uint32_t>(size), data))
+    return ::gmt::Future{};
+  FutureCell* cell = w.acquire_future_cell();
+  const ::gmt::Future f{future_token(cell)};
+  stats_.futures_issued.add();
+  if (obs::trace_on()) obs::trace_instant("future.issue", f.token);
+  if (single_line) {
+    // Arm the install only for a clean one-span remote fetch from a live
+    // owner — the same conditions under which the blocking miss path would
+    // install. Epoch snapshot BEFORE the fetch is issued.
+    OwnedSpan span;
+    std::size_t count = 0;
+    const std::uint64_t covered =
+        meta.decompose_fill(offset, size, &span, 1, &count);
+    if (covered == size && count == 1 &&
+        !(span.node == id_ && config_.local_fast_path) &&
+        node_is_live(span.node)) {
+      cell->install_handle = h;
+      cell->install_line = line;
+      cell->install_start = line_off;
+      cell->install_len = static_cast<std::uint32_t>(size);
+      cell->install_epoch = cache_->epoch(h);
+      cell->install_src = data;
+    }
+  }
+  do_get(w, future_sink(cell), h, offset, data, size, meta);
+  return f;
+}
+
+::gmt::Future Node::op_put_f(Worker& w, gmt_handle h, std::uint64_t offset,
+                             const void* data, std::uint64_t size) {
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_put_f outside task context");
+  const ArrayMeta meta = gm_.meta(h);
+  if (meta.replicated) {
+    // Replica mirroring needs the blocking machinery; replicated arrays
+    // are small control state, so a future buys nothing here.
+    op_put(w, h, offset, data, size, /*blocking=*/true);
+    return ::gmt::Future{};
+  }
+  FutureCell* cell = w.acquire_future_cell();
+  const ::gmt::Future f{future_token(cell)};
+  stats_.futures_issued.add();
+  if (obs::trace_on()) obs::trace_instant("future.issue", f.token);
+  do_put(w, task, future_sink(cell), h, offset, data, size, meta);
+  if (cache_ != nullptr) {
+    // Self-invalidation must wait for completion (an issue-time sweep
+    // would let a concurrent reader re-install pre-write data); park the
+    // handle on the cell and let consume_future run the sweep.
+    cell->inval_handle = h;
+    broadcast_inval(w, future_sink(cell), h);
+  }
+  return f;
+}
+
+::gmt::Future Node::op_atomic_add_f(Worker& w, gmt_handle h,
+                                    std::uint64_t offset,
+                                    std::uint64_t operand,
+                                    std::uint64_t* old_out,
+                                    std::uint32_t width) {
+  GMT_CHECK_MSG(width == 4 || width == 8, "gmt atomic width must be 4 or 8");
+  Task* task = w.current_task();
+  GMT_CHECK_MSG(task != nullptr, "gmt_atomic_add_f outside task context");
+  const ArrayMeta meta = gm_.meta(h);
+  if (meta.replicated) {
+    *old_out = op_atomic_add(w, h, offset, operand, width);
+    return ::gmt::Future{};
+  }
+  OwnedSpan spans[2];
+  std::size_t count = 0;
+  meta.decompose_fill(offset, width, spans, 2, &count);
+  const OwnedSpan& span = atomic_span(spans, count, offset, width);
+
+  if (span.node == id_ && config_.local_fast_path) {
+    {
+      GlobalMemory::AccessGuard guard(gm_);
+      *old_out = apply_atomic_add(gm_.get(h).local_ptr(span.local_offset),
+                                  operand, width);
+    }
+    stats_.local_ops.add();
+    if (cache_ == nullptr) return ::gmt::Future{};
+    // The add itself is done; the future tracks only the invalidation
+    // round so wait() gives the same "no cache serves stale data" point
+    // the blocking form does.
+    FutureCell* cell = w.acquire_future_cell();
+    const ::gmt::Future f{future_token(cell)};
+    stats_.futures_issued.add();
+    if (obs::trace_on()) obs::trace_instant("future.issue", f.token);
+    cell->inval_handle = h;
+    broadcast_inval(w, future_sink(cell), h);
+    return f;
+  }
+  FutureCell* cell = w.acquire_future_cell();
+  const ::gmt::Future f{future_token(cell)};
+  stats_.futures_issued.add();
+  if (obs::trace_on()) obs::trace_instant("future.issue", f.token);
+  *old_out = 0;
+  cell->pending.fetch_add(1, std::memory_order_relaxed);
+  CmdHeader cmd;
+  cmd.op = Op::kAtomicAdd;
+  cmd.flags = width == 4 ? kWidth4 : kWidth8;
+  cmd.handle = h;
+  cmd.offset = span.local_offset;
+  cmd.token = future_token(cell);
+  cmd.aux1 = operand;
+  cmd.aux2 = reinterpret_cast<std::uint64_t>(old_out);
+  emit(w.agg_slot(), span.node, cmd, nullptr);
+  if (cache_ != nullptr) {
+    cell->inval_handle = h;
+    broadcast_inval(w, future_sink(cell), h);
+  }
+  return f;
 }
 
 // -------------------------------------------------------- waits/parfor --

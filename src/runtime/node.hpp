@@ -24,6 +24,7 @@
 #include "runtime/global_memory.hpp"
 #include "runtime/membership.hpp"
 #include "runtime/reliable_channel.hpp"
+#include "runtime/swcache.hpp"
 #include "runtime/task.hpp"
 #include "uthread/context.hpp"
 #include "uthread/stack.hpp"
@@ -47,6 +48,10 @@ struct NodeStats {
   obs::Gauge resident_tasks;     // live TCBs across the node's workers
   obs::Gauge incoming_depth;     // messages queued for helpers
   obs::Histogram task_quantum_ns;  // run_task slice length (tracing only)
+  obs::Counter futures_issued;     // gmt_get_f / gmt_put_f / gmt_atomic_add_f
+  obs::Counter futures_waits;      // wait / wait_all / wait_any resolutions
+  obs::Counter futures_parked;     // waits that actually suspended the task
+  obs::Counter futures_abandoned;  // cells drained by the end-of-task wait
 
   void bind(obs::Registry& reg);
 };
@@ -83,6 +88,28 @@ class Worker {
   // from the worker thread or at quiescence only).
   std::size_t pooled_tasks() const { return free_tasks_.size(); }
 
+  // --- futures (task context; see task.hpp's FutureCell protocol) ---
+
+  // Pops a pooled cell (or allocates one), links it into the current
+  // task's live-futures list, and returns it with pending == 0.
+  FutureCell* acquire_future_cell();
+
+  // Awaits the future behind `token`. Returns the per-op status
+  // (GMT_ERR_*); a consumed or null token returns GMT_ERR_OK immediately.
+  // Suspension, if needed, drains the task's whole pending_ops count — so
+  // a wait also completes previously issued _nb operations.
+  std::uint32_t future_wait(std::uint64_t token);
+
+  // Awaits the first of `n` futures to resolve; returns its index and (via
+  // `status`, may be null) its per-op status, consuming only that future.
+  // At most kMaxWaitAny distinct futures per call.
+  static constexpr std::size_t kMaxWaitAny = 64;
+  std::size_t future_wait_any(const ::gmt::Future* futures, std::size_t n,
+                              std::uint32_t* status);
+
+  // Non-consuming readiness probe.
+  static bool future_ready(std::uint64_t token);
+
  private:
   friend class Node;
 
@@ -95,6 +122,13 @@ class Worker {
   Task* make_task(IterBlock* itb, std::uint64_t begin, std::uint64_t end);
   Task* allocate_task();  // fresh TCB: heap Task + pooled stack + cached top
   void release_task(Task* task);
+  // Resolves + recycles `cell` (resolved: pending == 0). Runs the deferred
+  // self-invalidation for mutating futures, unlinks from the task list,
+  // bumps the generation and returns the cell to the free-list.
+  std::uint32_t consume_future(Task* task, FutureCell* cell);
+  // End-of-task drain: awaits every live cell so no in-flight reply can
+  // land after the TCB (and the futures' destination buffers) recycle.
+  void drain_futures(Task* task);
 
   Node* node_;
   std::uint32_t id_;
@@ -109,6 +143,7 @@ class Worker {
   // completers (helpers, peer workers), drained only by this worker.
   TaskWakeList wake_list_;
   std::vector<Task*> free_tasks_;  // recycled TCBs, single-owner
+  FutureCell* free_cells_ = nullptr;  // recycled future cells, single-owner
   std::uint64_t live_tasks_ = 0;
   Context sched_ctx_{};
   Task* current_ = nullptr;
@@ -216,6 +251,11 @@ class Node {
     return static_cast<std::uint32_t>(workers_.size());
   }
 
+  // Read-mostly software cache (null unless config.cache). Helpers call
+  // cache()->invalidate() for incoming kCacheInval commands; workers run
+  // the post-completion self-invalidation of their own writes.
+  SwCache* cache() { return cache_.get(); }
+
   // ---- operation layer: called from task context on this node ----
 
   gmt_handle op_alloc(Worker& w, std::uint64_t size, Alloc policy);
@@ -239,6 +279,25 @@ class Node {
   std::uint64_t op_atomic_cas(Worker& w, gmt_handle h, std::uint64_t offset,
                               std::uint64_t expected, std::uint64_t desired,
                               std::uint32_t width);
+
+  // Future-returning flavours: the commands ride a pooled FutureCell's
+  // token instead of the task's, so the task keeps running until it awaits
+  // the returned future (gmt::wait / wait_all / wait_any). A future whose
+  // work completed synchronously (local fast path, cache hit) comes back
+  // already resolved. Errors (NODE_LOST) surface per-op from wait(), not
+  // via the sticky task status. Replicated arrays degrade to the blocking
+  // forms (the buddy mirror needs the op's completed value).
+  ::gmt::Future op_get_f(Worker& w, gmt_handle h, std::uint64_t offset,
+                         void* data, std::uint64_t size);
+  ::gmt::Future op_put_f(Worker& w, gmt_handle h, std::uint64_t offset,
+                         const void* data, std::uint64_t size);
+  // The previous value is written to *old_out when the future resolves
+  // (immediately on the local fast path); old_out must stay valid until
+  // the future is awaited.
+  ::gmt::Future op_atomic_add_f(Worker& w, gmt_handle h, std::uint64_t offset,
+                                std::uint64_t operand, std::uint64_t* old_out,
+                                std::uint32_t width);
+
   void op_wait_commands(Worker& w);
   void op_parfor(Worker& w, std::uint64_t iterations, std::uint64_t chunk,
                  TaskFn fn, const void* args, std::size_t args_size,
@@ -308,6 +367,42 @@ class Node {
   void emit(AggregationSlot& slot, std::uint32_t dst, const CmdHeader& header,
             const void* payload);
 
+  // Completion sink for an operation's commands: task ops count into the
+  // task's pending_ops under the task token; future ops count into their
+  // cell under the cell token. The shared span loops below are written
+  // against this pair so both flavours use one code path.
+  struct OpSink {
+    std::uint64_t token;
+    std::atomic<std::uint32_t>* pending;
+  };
+  static OpSink task_sink(Task* task) {
+    return OpSink{task_token(task), &task->pending_ops};
+  }
+  static OpSink future_sink(FutureCell* cell) {
+    return OpSink{future_token(cell), &cell->pending};
+  }
+
+  // Core span loops shared by the blocking/_nb and future flavours. The
+  // caller took `meta` by value and decides whether/how to wait.
+  void do_put(Worker& w, Task* task, const OpSink& sink, gmt_handle h,
+              std::uint64_t offset, const void* data, std::uint64_t size,
+              const ArrayMeta& meta);
+  void do_get(Worker& w, const OpSink& sink, gmt_handle h,
+              std::uint64_t offset, void* data, std::uint64_t size,
+              const ArrayMeta& meta);
+
+  // Cache-aware blocking get: probes the software cache line-by-line,
+  // fetches misses in whole lines (batched, one suspension per batch) and
+  // installs them. Non-blocking callers probe but never install.
+  void cached_get(Worker& w, Task* task, gmt_handle h, std::uint64_t offset,
+                  void* data, std::uint64_t size, const ArrayMeta& meta,
+                  bool blocking);
+
+  // Writer-side coherence: one kCacheInval per live peer riding `sink`, so
+  // the write's completion also covers every remote cache dropping the
+  // handle's lines. No-op when the cache is off.
+  void broadcast_inval(Worker& w, const OpSink& sink, gmt_handle h);
+
   // Buddy-replication mirrors (no-ops unless meta.replicated). They ride
   // the calling task's token, so the task's next block waits for them.
   void mirror_span(Worker& w, Task* task, gmt_handle h, const ArrayMeta& meta,
@@ -339,6 +434,7 @@ class Node {
   MpmcQueue<IterBlock*> itbs_;
   MpmcQueue<net::InMessage*> incoming_;
   NodeStats stats_;
+  std::unique_ptr<SwCache> cache_;  // null unless config.cache
   std::atomic<bool> stop_{false};
   std::atomic<gmt_handle> coll_scratch_{kNullHandle};
 

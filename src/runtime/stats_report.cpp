@@ -48,6 +48,15 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
     summary.combine_installs += snap.counter(names::kAggCombineInstalls);
     summary.combine_evictions += snap.counter(names::kAggCombineEvictions);
     summary.combine_drains += snap.counter(names::kAggCombineDrains);
+    summary.cache_hits += snap.counter(names::kCacheHits);
+    summary.cache_misses += snap.counter(names::kCacheMisses);
+    summary.cache_installs += snap.counter(names::kCacheInstalls);
+    summary.cache_invals += snap.counter(names::kCacheInvals);
+    summary.cache_inval_lines += snap.counter(names::kCacheInvalLines);
+    summary.futures_issued += snap.counter(names::kFuturesIssued);
+    summary.futures_waits += snap.counter(names::kFuturesWaits);
+    summary.futures_parked += snap.counter(names::kFuturesParked);
+    summary.futures_abandoned += snap.counter(names::kFuturesAbandoned);
     const auto epoch =
         static_cast<std::uint64_t>(snap.gauge(names::kMembEpoch));
     if (epoch > summary.membership_epoch) summary.membership_epoch = epoch;
@@ -149,6 +158,31 @@ std::string format_stats_report(Cluster& cluster) {
         static_cast<unsigned long long>(summary.combine_installs),
         static_cast<unsigned long long>(summary.combine_evictions),
         static_cast<unsigned long long>(summary.combine_drains));
+    out += line;
+  }
+  if (summary.cache_hits != 0 || summary.cache_misses != 0 ||
+      summary.cache_invals != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "cache: %llu hits, %llu misses (%.1f%% hit rate), %llu installs, "
+        "%llu invalidation rounds (%llu lines dropped)\n",
+        static_cast<unsigned long long>(summary.cache_hits),
+        static_cast<unsigned long long>(summary.cache_misses),
+        summary.cache_hit_rate() * 100.0,
+        static_cast<unsigned long long>(summary.cache_installs),
+        static_cast<unsigned long long>(summary.cache_invals),
+        static_cast<unsigned long long>(summary.cache_inval_lines));
+    out += line;
+  }
+  if (summary.futures_issued != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "futures: %llu issued, %llu waits (%llu parked the task), "
+        "%llu abandoned at task end\n",
+        static_cast<unsigned long long>(summary.futures_issued),
+        static_cast<unsigned long long>(summary.futures_waits),
+        static_cast<unsigned long long>(summary.futures_parked),
+        static_cast<unsigned long long>(summary.futures_abandoned));
     out += line;
   }
   // Memory lifecycle totals across the cluster (skipped for runs that never

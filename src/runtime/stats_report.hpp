@@ -73,6 +73,26 @@ struct ClusterStatsSummary {
   std::uint64_t combine_drains = 0;
   std::uint64_t commands_elided() const { return combine_hits; }
 
+  // Read-mostly software cache (all zero when GMT_CACHE is off). Every hit
+  // is a remote read served without touching the wire.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_installs = 0;
+  std::uint64_t cache_invals = 0;        // invalidation rounds applied
+  std::uint64_t cache_inval_lines = 0;   // lines actually dropped
+  double cache_hit_rate() const {
+    const std::uint64_t probes = cache_hits + cache_misses;
+    return probes ? static_cast<double>(cache_hits) / probes : 0;
+  }
+
+  // Per-operation futures (zero when the application never used the _f
+  // API). `futures_parked` counts waits that actually suspended the task;
+  // issued minus parked is the overlap the futures bought.
+  std::uint64_t futures_issued = 0;
+  std::uint64_t futures_waits = 0;
+  std::uint64_t futures_parked = 0;
+  std::uint64_t futures_abandoned = 0;
+
   // Average commands coalesced per network message (the aggregation
   // figure of merit; 1.0 means aggregation did nothing). NaN when no
   // message went out at all — a pure-local run has no aggregation ratio,

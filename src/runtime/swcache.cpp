@@ -1,0 +1,95 @@
+#include "runtime/swcache.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace gmt::rt {
+
+void SwCacheStats::bind(obs::Registry& reg) {
+  hits = reg.counter(obs::names::kCacheHits);
+  misses = reg.counter(obs::names::kCacheMisses);
+  installs = reg.counter(obs::names::kCacheInstalls);
+  racy_skips = reg.counter(obs::names::kCacheRacySkips);
+  invals = reg.counter(obs::names::kCacheInvals);
+  inval_lines = reg.counter(obs::names::kCacheInvalLines);
+}
+
+SwCache::SwCache(std::uint64_t capacity_bytes, obs::Registry* registry) {
+  std::uint64_t lines = capacity_bytes / kLineBytes;
+  if (lines == 0) lines = 1;
+  // Round down to a power of two so entry_index is a mask.
+  while ((lines & (lines - 1)) != 0) lines &= lines - 1;
+  entries_ = std::make_unique<Entry[]>(lines);
+  mask_ = static_cast<std::size_t>(lines - 1);
+  if (registry != nullptr) stats_.bind(*registry);
+}
+
+bool SwCache::lookup(gmt_handle handle, std::uint64_t line,
+                     std::uint32_t offset_in_line, std::uint32_t len,
+                     void* out) {
+  GMT_CHECK(offset_in_line + len <= kLineBytes);
+  Entry& e = entries_[entry_index(handle, line)];
+  lock_entry(e);
+  const bool hit = e.valid && e.handle == handle && e.line == line &&
+                   offset_in_line >= e.start &&
+                   offset_in_line + len <= e.start + e.len;
+  if (hit) std::memcpy(out, e.data + offset_in_line, len);
+  unlock_entry(e);
+  if (hit)
+    stats_.hits.add();
+  else
+    stats_.misses.add();
+  return hit;
+}
+
+std::uint64_t SwCache::epoch(gmt_handle handle) const {
+  return epochs_[epoch_shard(handle)].value.load(std::memory_order_seq_cst);
+}
+
+void SwCache::install(gmt_handle handle, std::uint64_t line, const void* data,
+                      std::uint32_t start, std::uint32_t len,
+                      std::uint64_t epoch_at_fetch) {
+  GMT_CHECK(start + len <= kLineBytes);
+  Entry& e = entries_[entry_index(handle, line)];
+  lock_entry(e);
+  // The epoch must be re-read under the entry lock: invalidate() bumps the
+  // epoch before walking entries under the same lock, so if the epoch still
+  // matches here the walk has not passed this entry yet (it will clear the
+  // install) or never will (no concurrent invalidation).
+  if (epochs_[epoch_shard(handle)].value.load(std::memory_order_seq_cst) !=
+      epoch_at_fetch) {
+    unlock_entry(e);
+    stats_.racy_skips.add();
+    return;
+  }
+  e.valid = true;
+  e.handle = handle;
+  e.line = line;
+  e.start = start;
+  e.len = len;
+  std::memcpy(e.data + start, data, len);
+  unlock_entry(e);
+  stats_.installs.add();
+}
+
+void SwCache::invalidate(gmt_handle handle) {
+  // Epoch first (seq_cst): any reader that snapshotted the old epoch before
+  // its fetch will refuse to install, and any install that already made it
+  // in is cleared by the walk below.
+  epochs_[epoch_shard(handle)].value.fetch_add(1, std::memory_order_seq_cst);
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    Entry& e = entries_[i];
+    lock_entry(e);
+    if (e.valid && e.handle == handle) {
+      e.valid = false;
+      ++dropped;
+    }
+    unlock_entry(e);
+  }
+  stats_.invals.add();
+  if (dropped) stats_.inval_lines.add(dropped);
+}
+
+}  // namespace gmt::rt

@@ -1,0 +1,135 @@
+// Per-node read-mostly software cache for remote get data.
+//
+// The paper's hand-optimised UPC baseline beats naive one-sided code
+// largely through a software cache in front of remote reads; this is that
+// cache for the GMT runtime. It sits in front of op_get (blocking reads
+// probe it; misses fetch and install whole lines, so neighbouring values
+// ride along), keyed by (handle, 1 KB line of the array's global byte
+// space). Because handles embed their slot's 16-bit generation, a freed
+// and reallocated array never matches stale lines — the memory-lifecycle
+// generation IS the free/realloc invalidation token.
+//
+// Coherence protocol (writes are expected to be rare — that is the point):
+//
+//   writer  — any mutation (put, put_value, atomics) with the cache
+//             enabled broadcasts a kCacheInval command for the handle to
+//             every other live node, riding the writing op's completion
+//             token, and invalidates its own node's cache after the op
+//             completes. A blocking write therefore returns only after no
+//             cache in the cluster can serve pre-write data.
+//   reader  — a miss snapshots the handle's invalidation epoch *before*
+//             fetching the line from the owner, and installs only if the
+//             epoch is unchanged (checked under the entry lock). An
+//             invalidation bumps the epoch before walking entries, so a
+//             fetch that raced a concurrent invalidation is either cleared
+//             by the walk (installed first) or refused at install (epoch
+//             moved) — a completed write can never be masked by a stale
+//             install.
+//
+// Concurrency: entries carry a tiny spinlock held only across the memcpy
+// in or out — never across a fiber suspension or remote fetch. Readers run
+// on worker threads, invalidations on helper threads (remote kCacheInval)
+// and worker threads (post-completion self-invalidation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+#include "gmt/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace gmt::rt {
+
+struct SwCacheStats {
+  obs::Counter hits;         // read segments served from a cached line
+  obs::Counter misses;       // read segments that required a line fetch
+  obs::Counter installs;     // lines installed after a miss fetch
+  obs::Counter racy_skips;   // installs refused by the epoch check
+  obs::Counter invals;       // invalidation sweeps (local + remote)
+  obs::Counter inval_lines;  // lines dropped by those sweeps
+
+  void bind(obs::Registry& reg);
+};
+
+class SwCache {
+ public:
+  // Line size: big enough that one miss prefetches a useful neighbourhood
+  // (128 8-byte values), small enough to stay well under max_payload so a
+  // line fetch is a single command.
+  static constexpr std::uint64_t kLineBytes = 1024;
+
+  SwCache(std::uint64_t capacity_bytes, obs::Registry* registry);
+
+  // Copies bytes [line*kLineBytes + offset_in_line, +len) of `handle` into
+  // `out` if the cached entry for the line covers that range.
+  bool lookup(gmt_handle handle, std::uint64_t line,
+              std::uint32_t offset_in_line, std::uint32_t len, void* out);
+
+  // Invalidation-epoch snapshot for `handle`'s shard; taken by a reader
+  // BEFORE issuing the miss fetch and passed to install().
+  std::uint64_t epoch(gmt_handle handle) const;
+
+  // Installs `len` fetched bytes covering line bytes [start, start + len)
+  // — partial when the line straddles a partition boundary or the array
+  // tail — unless `handle`'s epoch moved past `epoch_at_fetch` (a
+  // concurrent invalidation: the data may predate the write, so it must
+  // not be cached).
+  void install(gmt_handle handle, std::uint64_t line, const void* data,
+               std::uint32_t start, std::uint32_t len,
+               std::uint64_t epoch_at_fetch);
+
+  // Drops every cached line of `handle` after bumping its epoch; called
+  // for remote kCacheInval commands and for post-completion
+  // self-invalidation on the writing node.
+  void invalidate(gmt_handle handle);
+
+  std::size_t num_lines() const { return mask_ + 1; }
+
+ private:
+  struct Entry {
+    std::atomic<std::uint8_t> lock{0};
+    bool valid = false;
+    gmt_handle handle = kNullHandle;
+    std::uint64_t line = 0;
+    std::uint32_t start = 0;  // first valid byte within the line
+    std::uint32_t len = 0;    // valid bytes from `start`
+    std::uint8_t data[kLineBytes];  // line-relative (byte i = line byte i)
+  };
+
+  struct alignas(kCacheLine) EpochCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static constexpr std::uint32_t kEpochShards = 64;
+
+  static void lock_entry(Entry& e) {
+    while (e.lock.exchange(1, std::memory_order_acquire) != 0) cpu_relax();
+  }
+  static void unlock_entry(Entry& e) {
+    e.lock.store(0, std::memory_order_release);
+  }
+
+  std::size_t entry_index(gmt_handle handle, std::uint64_t line) const {
+    // Fibonacci hashing over the (handle, line) pair; handle already mixes
+    // node/slot/generation bits.
+    std::uint64_t x = handle * 0x9e3779b97f4a7c15ull;
+    x ^= (line + 0x7f4a7c15u) * 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 29;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  std::uint32_t epoch_shard(gmt_handle handle) const {
+    return static_cast<std::uint32_t>((handle * 0x9e3779b97f4a7c15ull) >> 58) &
+           (kEpochShards - 1);
+  }
+
+  std::unique_ptr<Entry[]> entries_;
+  std::size_t mask_ = 0;
+  EpochCell epochs_[kEpochShards];
+  SwCacheStats stats_;
+};
+
+}  // namespace gmt::rt

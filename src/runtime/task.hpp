@@ -36,6 +36,7 @@
 namespace gmt::rt {
 
 class Worker;
+struct FutureCell;
 struct IterBlock;
 struct Task;
 
@@ -82,6 +83,11 @@ struct Task {
   TaskWakeList* wake = nullptr;
   Task* wake_next = nullptr;  // intrusive link, owned by the wake-list
 
+  // Live future cells issued by this task (intrusive, newest first). The
+  // implicit end-of-task wait drains them: a task must not be reclaimed
+  // while a reply could still land in a future's destination buffer.
+  FutureCell* futures = nullptr;
+
   // Work assignment: iterations [begin, end) of `itb` (null for the root
   // task, which carries fn/args directly).
   IterBlock* itb = nullptr;
@@ -102,12 +108,26 @@ struct Task {
 };
 
 // Completion tokens: commands carry an opaque 64-bit cookie identifying the
-// waiting task at the origin node; replies echo it and the origin helper
-// decrements the task. Layout: [ generation (16) | TCB address (48) ] —
-// user-space addresses fit 48 bits, so the generation rides in the spare
-// high bits. (A real-MPI backend would index a request table; the cookie
-// discipline is identical.)
+// waiter at the origin node; replies echo it and the origin helper releases
+// the waiter. Layout: [ generation (16) | address (48) ] — user-space
+// addresses fit 48 bits, so the generation rides in the spare high bits.
+// (A real-MPI backend would index a request table; the cookie discipline is
+// identical.)
+//
+// Two kinds of waiter share the token space, distinguished by address bit 0
+// (both TCBs and future cells are at least 8-byte aligned, so the bit is
+// spare): bit 0 clear = a Task (the completion decrements pending_ops and
+// may wake it), bit 0 set = a FutureCell (the completion decrements the
+// cell's own pending count; the task suspends only if and when it awaits
+// the future). complete_one / complete_one_error dispatch on the bit, so
+// every reply path — helpers, the membership death sweep, the combining
+// table — handles both without knowing which it got.
 inline constexpr std::uint64_t kTokenAddrMask = (1ull << 48) - 1;
+inline constexpr std::uint64_t kFutureTokenBit = 1;
+
+inline bool token_is_future(std::uint64_t token) {
+  return (token & kFutureTokenBit) != 0;
+}
 
 inline std::uint64_t task_token(Task* task) {
   return (static_cast<std::uint64_t>(
@@ -124,7 +144,11 @@ inline std::uint16_t token_generation(std::uint64_t token) {
   return static_cast<std::uint16_t>(token >> 48);
 }
 
-// Completes one outstanding operation of the token's task. Stale tokens
+// Completion for future-token completions (defined after FutureCell).
+inline void future_complete(std::uint64_t token, std::uint32_t status);
+
+// Completes one outstanding operation of the token's waiter. Future tokens
+// route to their cell (see future_complete). For task tokens: stale tokens
 // (generation mismatch: the TCB was recycled since the token was issued)
 // are dropped — a delayed duplicate completion must not wake whatever task
 // now owns the TCB. The decrement that drains pending_ops to zero claims
@@ -132,6 +156,10 @@ inline std::uint16_t token_generation(std::uint64_t token) {
 // through the MPSC wake-list. seq_cst pairs with the scheduler's
 // park-then-recheck sequence (Dekker-style store/load handshake).
 inline void complete_one(std::uint64_t token) {
+  if (token_is_future(token)) {
+    future_complete(token, 0);
+    return;
+  }
   Task* task = task_from_token(token);
   if (task->generation.load(std::memory_order_acquire) !=
       token_generation(token))
@@ -143,12 +171,19 @@ inline void complete_one(std::uint64_t token) {
   }
 }
 
-// Completes one outstanding operation *with an error*: latches `status` on
-// the task (first error wins; later codes do not overwrite) before the
-// regular decrement/wake. Used by the membership layer when an in-flight
+// Completes one outstanding operation *with an error*. A future token
+// latches the status on its cell — the error surfaces per-op from wait(),
+// never as the sticky task error. A task token latches `status` on the
+// task (first error wins; later codes do not overwrite) before the regular
+// decrement/wake. Used by the membership layer when an in-flight
 // operation's target node is declared dead — the waiter resumes and reads
-// gmt_last_error() instead of hanging on a reply that will never come.
+// gmt_last_error() (or the future's status) instead of hanging on a reply
+// that will never come.
 inline void complete_one_error(std::uint64_t token, std::uint32_t status) {
+  if (token_is_future(token)) {
+    future_complete(token, status);
+    return;
+  }
   Task* task = task_from_token(token);
   if (task->generation.load(std::memory_order_acquire) !=
       token_generation(token))
@@ -160,6 +195,106 @@ inline void complete_one_error(std::uint64_t token, std::uint32_t status) {
     if (task->wake != nullptr &&
         task->parked.exchange(false, std::memory_order_seq_cst))
       task->wake->push(task);
+  }
+}
+
+// ---------------------------------------------------------------- futures --
+//
+// A FutureCell is the per-operation completion object behind gmt_get_f /
+// gmt_put_f / gmt_atomic_add_f: pooled per worker (no allocation on the
+// steady path), generation-tagged exactly like TCB completion tokens so a
+// stale or duplicate reply is dropped instead of touching a recycled cell.
+// The issuing op counts its commands into `pending` — NOT into the task's
+// pending_ops — so the task keeps running until it chooses to await the
+// future. wait()/wait_any() register a stack-resident FutureWaitCtl plus
+// one pending_ops "ticket"; the completer that drains the cell claims the
+// registration (waiter.exchange), fires complete_one on the ticket exactly
+// once across all registered cells (ctl->fired), and bumps ctl->done so the
+// waiter can quiesce the stack frame before returning.
+struct FutureCell {
+  // Outstanding commands issued under this cell's token. Written by the
+  // issuing worker, decremented by completers (helpers, membership sweep).
+  std::atomic<std::uint32_t> pending{0};
+
+  // Recycling generation (embedded in the cell's tokens; bumped on release).
+  std::atomic<std::uint16_t> generation{0};
+
+  // First error among the cell's operations (GMT_ERR_* code); surfaced by
+  // wait() as the per-op status.
+  std::atomic<std::uint32_t> status{0};
+
+  // Registered waiter: a FutureWaitCtl* (as uint64), or 0 when nobody is
+  // awaiting. The completer that drains `pending` to zero claims it.
+  std::atomic<std::uint64_t> waiter{0};
+
+  // Write-invalidate hook: when the software cache is on and this cell
+  // completes a mutation, wait() invalidates the local cache for this
+  // handle after resolution (the remote caches were invalidated by the
+  // broadcast riding this cell's token).
+  std::uint64_t inval_handle = 0;
+
+  // Deferred cache install for a single-line future get: at resolution the
+  // destination buffer holds the fetched bytes, and consume_future installs
+  // them (epoch-checked, exactly like the blocking miss path) so
+  // future-routed reads warm the cache too. Only the owning worker thread
+  // touches these fields — never a completer. install_handle == 0 means no
+  // install is pending.
+  std::uint64_t install_handle = 0;
+  std::uint64_t install_line = 0;
+  std::uint64_t install_epoch = 0;
+  std::uint32_t install_start = 0;
+  std::uint32_t install_len = 0;
+  void* install_src = nullptr;
+
+  FutureCell* next_live = nullptr;  // task's live-futures list
+  FutureCell* next_free = nullptr;  // worker's cell free-list
+};
+
+// Stack-resident wait registration shared by every cell of one wait /
+// wait_any call. `fired` makes the pending_ops ticket single-shot across
+// cells; `done` counts claimers that finished touching the ctl, so the
+// waiting task can spin out the (tiny) window between a completer claiming
+// the registration and finishing with it before the frame dies.
+struct FutureWaitCtl {
+  std::uint64_t task_tok = 0;
+  std::atomic<bool> fired{false};
+  std::atomic<std::uint32_t> done{0};
+};
+
+inline std::uint64_t future_token(FutureCell* cell) {
+  return (static_cast<std::uint64_t>(
+              cell->generation.load(std::memory_order_relaxed))
+          << 48) |
+         (reinterpret_cast<std::uint64_t>(cell) & kTokenAddrMask) |
+         kFutureTokenBit;
+}
+
+inline FutureCell* future_from_token(std::uint64_t token) {
+  return reinterpret_cast<FutureCell*>(token & kTokenAddrMask &
+                                       ~kFutureTokenBit);
+}
+
+inline void future_complete(std::uint64_t token, std::uint32_t status) {
+  FutureCell* cell = future_from_token(token);
+  if (cell->generation.load(std::memory_order_acquire) !=
+      token_generation(token))
+    return;  // stale: the cell was recycled
+  if (status != 0) {
+    std::uint32_t expected = 0;
+    cell->status.compare_exchange_strong(expected, status,
+                                         std::memory_order_relaxed);
+  }
+  if (cell->pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    const std::uint64_t w = cell->waiter.exchange(0, std::memory_order_seq_cst);
+    if (w != 0) {
+      auto* ctl = reinterpret_cast<FutureWaitCtl*>(w);
+      const bool first = !ctl->fired.exchange(true, std::memory_order_acq_rel);
+      const std::uint64_t ticket = ctl->task_tok;
+      // After this increment the ctl is never touched again by this
+      // completer; the waiter spins done == claimed before its frame dies.
+      ctl->done.fetch_add(1, std::memory_order_release);
+      if (first) complete_one(ticket);  // ticket is a task token: no recursion
+    }
   }
 }
 

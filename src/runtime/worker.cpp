@@ -32,6 +32,11 @@ Worker::Worker(Node* node, std::uint32_t worker_id, AggregationSlot* slot)
 
 Worker::~Worker() {
   for (Task* task : free_tasks_) delete task;
+  while (free_cells_ != nullptr) {
+    FutureCell* next = free_cells_->next_free;
+    delete free_cells_;
+    free_cells_ = next;
+  }
 }
 
 void Worker::start() {
@@ -105,6 +110,10 @@ void Worker::task_entry(void* raw_task) {
     task->fn(i, task->args);
     worker = task->worker;  // re-read: blocking ops resume on same worker
   }
+  // Never-awaited futures must resolve before the TCB (and the futures'
+  // destination buffers) can recycle — same discipline as the implicit
+  // wait below, but per cell.
+  if (task->futures != nullptr) worker->drain_futures(task);
   // Implicit wait: a task may finish its body with non-blocking operations
   // still in flight; it must not be reclaimed until they complete.
   worker->task_block();
@@ -173,6 +182,202 @@ void Worker::task_yield() {
   task->state = TaskState::kReady;
   switch_context(&task->ctx, sched_ctx_);
   task->state = TaskState::kRunning;
+}
+
+// ---------------------------------------------------------------- futures --
+
+FutureCell* Worker::acquire_future_cell() {
+  Task* task = current_;
+  GMT_CHECK_MSG(task != nullptr, "future issued outside task context");
+  FutureCell* cell = free_cells_;
+  if (cell != nullptr) {
+    free_cells_ = cell->next_free;
+  } else {
+    cell = new FutureCell;
+  }
+  cell->pending.store(0, std::memory_order_relaxed);
+  cell->status.store(0, std::memory_order_relaxed);
+  cell->waiter.store(0, std::memory_order_relaxed);
+  cell->inval_handle = 0;
+  cell->install_handle = 0;
+  cell->next_free = nullptr;
+  cell->next_live = task->futures;
+  task->futures = cell;
+  return cell;
+}
+
+std::uint32_t Worker::consume_future(Task* task, FutureCell* cell) {
+  const std::uint32_t status = cell->status.load(std::memory_order_acquire);
+  // Deferred self-invalidation for mutating futures: runs at resolution,
+  // i.e. after the write completed everywhere — never at issue time, when
+  // a concurrent reader could still re-install pre-write data.
+  if (cell->inval_handle != 0) {
+    if (SwCache* cache = node_->cache()) cache->invalidate(cell->inval_handle);
+    cell->inval_handle = 0;
+  }
+  // Deferred install for a single-line future get: the destination buffer
+  // now holds the fetched bytes. A failed fetch (NODE_LOST) left garbage,
+  // so only a clean resolution installs.
+  if (cell->install_handle != 0) {
+    if (status == 0) {
+      if (SwCache* cache = node_->cache())
+        cache->install(cell->install_handle, cell->install_line,
+                       cell->install_src, cell->install_start,
+                       cell->install_len, cell->install_epoch);
+    }
+    cell->install_handle = 0;
+  }
+  // Token emitted before the generation bump, so it matches future.issue.
+  if (obs::trace_on()) obs::trace_instant("future.resolve", future_token(cell));
+  FutureCell** link = &task->futures;
+  while (*link != cell) link = &(*link)->next_live;
+  *link = cell->next_live;
+  cell->next_live = nullptr;
+  // Invalidate every token issued against this incarnation, then recycle.
+  cell->generation.fetch_add(1, std::memory_order_release);
+  cell->next_free = free_cells_;
+  free_cells_ = cell;
+  node_->stats().futures_waits.add();
+  return status;
+}
+
+std::uint32_t Worker::future_wait(std::uint64_t token) {
+  if (token == 0) return 0;
+  Task* task = current_;
+  GMT_CHECK_MSG(task != nullptr, "gmt::wait outside task context");
+  FutureCell* cell = future_from_token(token);
+  if (cell->generation.load(std::memory_order_acquire) !=
+      token_generation(token))
+    return 0;  // already consumed (a wait on a stale copy is a no-op)
+  if (cell->pending.load(std::memory_order_seq_cst) == 0)
+    return consume_future(task, cell);
+  // Register the wait: one pending_ops "ticket" plus the ctl pointer. The
+  // completer that drains the cell claims the registration and fires the
+  // ticket; seq_cst on the store and the recheck pairs with the completer's
+  // fetch_sub/exchange (Dekker) so exactly one side owns it.
+  FutureWaitCtl ctl;
+  ctl.task_tok = task_token(task);
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  cell->waiter.store(reinterpret_cast<std::uint64_t>(&ctl),
+                     std::memory_order_seq_cst);
+  if (cell->pending.load(std::memory_order_seq_cst) == 0) {
+    // Drained during registration. Either we take the registration back
+    // (completer never saw it — undo the ticket) or a completer claimed it
+    // (spin out its last touch before the ctl frame dies).
+    if (cell->waiter.exchange(0, std::memory_order_seq_cst) != 0) {
+      task->pending_ops.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      while (ctl.done.load(std::memory_order_acquire) < 1) cpu_relax();
+    }
+    return consume_future(task, cell);
+  }
+  node_->stats().futures_parked.add();
+  task_block();
+  // task_block returned ⇒ the ticket completed ⇒ the completer claimed the
+  // registration and bumped done before firing. Defensive clear + spin all
+  // the same — the ctl dies with this frame.
+  cell->waiter.exchange(0, std::memory_order_seq_cst);
+  while (ctl.done.load(std::memory_order_acquire) < 1) cpu_relax();
+  return consume_future(task, cell);
+}
+
+std::size_t Worker::future_wait_any(const ::gmt::Future* futures,
+                                    std::size_t n, std::uint32_t* status) {
+  Task* task = current_;
+  GMT_CHECK_MSG(task != nullptr, "gmt::wait_any outside task context");
+  GMT_CHECK_MSG(n > 0, "gmt::wait_any with no futures");
+  // Pass 1: a null/consumed/drained future wins immediately.
+  FutureCell* cells[kMaxWaitAny];
+  std::size_t index_of[kMaxWaitAny];
+  std::size_t ncells = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t tok = futures[i].token;
+    if (tok == 0) {
+      if (status != nullptr) *status = 0;
+      return i;
+    }
+    FutureCell* cell = future_from_token(tok);
+    if (cell->generation.load(std::memory_order_acquire) !=
+        token_generation(tok)) {
+      if (status != nullptr) *status = 0;
+      return i;
+    }
+    if (cell->pending.load(std::memory_order_seq_cst) == 0) {
+      const std::uint32_t st = consume_future(task, cell);
+      if (status != nullptr) *status = st;
+      return i;
+    }
+    // Dedup: registering the shared ctl twice on one cell would let its
+    // single drain double-claim.
+    bool dup = false;
+    for (std::size_t c = 0; c < ncells; ++c) dup |= cells[c] == cell;
+    if (!dup) {
+      GMT_CHECK_MSG(ncells < kMaxWaitAny,
+                    "gmt::wait_any over kMaxWaitAny distinct futures");
+      cells[ncells] = cell;
+      index_of[ncells] = i;
+      ++ncells;
+    }
+  }
+  // Register one ctl + one ticket across every cell; whichever drains
+  // first claims the registration and fires the ticket (ctl.fired keeps
+  // later drains from firing it again).
+  FutureWaitCtl ctl;
+  ctl.task_tok = task_token(task);
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t c = 0; c < ncells; ++c)
+    cells[c]->waiter.store(reinterpret_cast<std::uint64_t>(&ctl),
+                           std::memory_order_seq_cst);
+  bool drained = false;
+  for (std::size_t c = 0; c < ncells && !drained; ++c)
+    drained = cells[c]->pending.load(std::memory_order_seq_cst) == 0;
+  if (!drained) {
+    node_->stats().futures_parked.add();
+    task_block();
+  }
+  // Unregister everywhere, counting registrations a completer claimed;
+  // each claim bumps ctl.done exactly once, so spin until they all let go
+  // of the ctl before the frame dies.
+  std::uint32_t claimed = 0;
+  for (std::size_t c = 0; c < ncells; ++c)
+    if (cells[c]->waiter.exchange(0, std::memory_order_seq_cst) == 0)
+      ++claimed;
+  if (claimed == 0) {
+    // Only reachable on the no-park path: a cell drained before any
+    // registration became visible, so the ticket is still ours to undo.
+    task->pending_ops.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    while (ctl.done.load(std::memory_order_acquire) < claimed) cpu_relax();
+  }
+  for (std::size_t c = 0; c < ncells; ++c) {
+    if (cells[c]->pending.load(std::memory_order_seq_cst) == 0) {
+      const std::uint32_t st = consume_future(task, cells[c]);
+      if (status != nullptr) *status = st;
+      return index_of[c];
+    }
+  }
+  GMT_CHECK_MSG(false, "gmt::wait_any resumed with no resolved future");
+  return 0;
+}
+
+bool Worker::future_ready(std::uint64_t token) {
+  if (token == 0) return true;
+  FutureCell* cell = future_from_token(token);
+  if (cell->generation.load(std::memory_order_acquire) !=
+      token_generation(token))
+    return true;  // consumed: a wait would return immediately
+  return cell->pending.load(std::memory_order_acquire) == 0;
+}
+
+void Worker::drain_futures(Task* task) {
+  while (task->futures != nullptr) {
+    node_->stats().futures_abandoned.add();
+    // An abandoned future's destination buffer may be out of scope by now
+    // (the contract says buffers live until the wait); never let a drain
+    // install from it and poison the cache for other tasks.
+    task->futures->install_handle = 0;
+    future_wait(future_token(task->futures));
+  }
 }
 
 void Worker::finish_task(Task* task) {

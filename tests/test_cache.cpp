@@ -1,0 +1,369 @@
+// Read-mostly software cache (GMT_CACHE): hit accounting, zero-cost-off,
+// and the coherence invariants the design promises — a write followed by a
+// read never observes stale data, on the writing node (self-invalidation
+// after completion), across nodes (the kCacheInval broadcast completes
+// before the write unblocks), and across handle generations (free/realloc
+// reusing a slot can never hit the dead array's lines). Plus: a randomized
+// multi-task soak on shared cache lines, node death with the cache armed
+// (a cached line must never mask GMT_ERR_NODE_LOST), and the cached-BFS
+// smoke — identical traversal with the cache on and off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gmt/error.hpp"
+#include "gmt/gmt.hpp"
+#include "gmt/obs.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/generator.hpp"
+#include "kernels/bfs_gmt.hpp"
+#include "net/faulty_transport.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define GMT_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GMT_TEST_TSAN 1
+#endif
+#endif
+
+#ifdef GMT_TEST_TSAN
+constexpr int kSoakScale = 8;
+#else
+constexpr int kSoakScale = 1;
+#endif
+
+constexpr std::uint64_t kBlock = 4096;
+
+Config cache_config(bool on) {
+  Config config = Config::testing();
+  config.cache = on;
+  return config;
+}
+
+struct CacheDelta {
+  std::uint64_t hits, misses, installs, invals;
+};
+
+obs::Snapshot snap() { return stats_snapshot(); }
+
+CacheDelta delta(const obs::Snapshot& before, const obs::Snapshot& after) {
+  return CacheDelta{
+      after.counter(obs::names::kCacheHits) -
+          before.counter(obs::names::kCacheHits),
+      after.counter(obs::names::kCacheMisses) -
+          before.counter(obs::names::kCacheMisses),
+      after.counter(obs::names::kCacheInstalls) -
+          before.counter(obs::names::kCacheInstalls),
+      after.counter(obs::names::kCacheInvals) -
+          before.counter(obs::names::kCacheInvals),
+  };
+}
+
+// Repeated reads of a remote partition are served from the cache after the
+// first line fetch: installs and hits both move, and every byte is right.
+TEST(Cache, RepeatedRemoteReadsHit) {
+  const obs::Snapshot before = snap();
+  rt::Cluster cluster(2, cache_config(true));
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    for (int i = 0; i < 64; ++i)
+      gmt_put_value(h, kBlock + i * 8, 0x5000u + i, 8);
+    for (int pass = 0; pass < 3; ++pass) {
+      for (int i = 0; i < 64; ++i) {
+        std::uint64_t v = 0;
+        gmt_get(h, kBlock + i * 8, &v, 8);
+        EXPECT_EQ(v, 0x5000u + i) << "pass " << pass << " word " << i;
+      }
+    }
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+  const CacheDelta d = delta(before, snap());
+  EXPECT_GT(d.installs, 0u);
+  // 64 sequential words share one 1024-byte line: one miss, then hits.
+  EXPECT_GT(d.hits, d.misses);
+}
+
+// GMT_CACHE=0 is the default and must be zero-cost: no counter moves, and
+// reads (blocking and future) behave identically.
+TEST(Cache, OffMovesNoCounters) {
+  const obs::Snapshot before = snap();
+  rt::Cluster cluster(2, cache_config(false));
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    gmt_put_value(h, kBlock, 77, 8);
+    for (int pass = 0; pass < 4; ++pass) {
+      std::uint64_t v = 0;
+      gmt_get(h, kBlock, &v, 8);
+      EXPECT_EQ(v, 77u);
+      std::uint64_t w = 0;
+      EXPECT_EQ(wait(gmt_get_f(h, kBlock, &w, 8)), GMT_ERR_OK);
+      EXPECT_EQ(w, 77u);
+    }
+    gmt_free(h);
+  });
+  const CacheDelta d = delta(before, snap());
+  EXPECT_EQ(d.hits, 0u);
+  EXPECT_EQ(d.misses, 0u);
+  EXPECT_EQ(d.installs, 0u);
+  EXPECT_EQ(d.invals, 0u);
+}
+
+// Same-task write-then-read across put_value / bulk put / atomic_add: the
+// writer's own node self-invalidates after the write completes, so a
+// cached line never outlives the store it mirrors.
+TEST(Cache, WriteThenReadNeverStaleSameTask) {
+  rt::Cluster cluster(2, cache_config(true));
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    // Both a local (offset 0) and a remote (offset kBlock) slot.
+    for (const std::uint64_t base : {std::uint64_t{0}, kBlock}) {
+      for (std::uint64_t v = 1; v <= 24; ++v) {
+        gmt_put_value(h, base + 128, v, 8);
+        std::uint64_t got = 0;
+        gmt_get(h, base + 128, &got, 8);
+        EXPECT_EQ(got, v) << "base " << base;
+
+        std::uint64_t bulk[4] = {v, v + 1, v + 2, v + 3};
+        gmt_put(h, base + 256, bulk, sizeof(bulk));
+        std::uint64_t back[4] = {0};
+        gmt_get(h, base + 256, back, sizeof(back));
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(back[i], v + i);
+
+        gmt_atomic_add(h, base + 512, 1, 8);
+        std::uint64_t counter = 0;
+        gmt_get(h, base + 512, &counter, 8);
+        EXPECT_EQ(counter, v) << "base " << base;
+      }
+    }
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+}
+
+struct RemoteCheckArgs {
+  gmt_handle h;
+  std::uint64_t offset;
+  std::uint64_t expect;
+};
+
+// A write on one node is visible to reads on another immediately after the
+// writer unblocks: the invalidate broadcast rides the write's completion,
+// so the reader's warm cache line is already gone. The reader re-warms its
+// cache every round to keep the next round's invalidation load-bearing.
+TEST(Cache, InvalidateBroadcastBeatsCrossNodeReads) {
+  rt::Cluster cluster(2, cache_config(true));
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    const std::uint64_t off = 64;  // partition 0, homed on the writer
+    for (std::uint64_t r = 1; r <= 32; ++r) {
+      gmt_put_value(h, off, r, 8);  // local write + kCacheInval broadcast
+      RemoteCheckArgs args{h, off, r};
+      gmt_on(
+          1,
+          [](std::uint64_t, const void* raw) {
+            RemoteCheckArgs a;
+            std::memcpy(&a, raw, sizeof(a));
+            // Two reads: the first must miss (the broadcast dropped any
+            // line from the previous round), the second may hit — both
+            // must see this round's value.
+            for (int pass = 0; pass < 2; ++pass) {
+              std::uint64_t v = 0;
+              gmt_get(a.h, a.offset, &v, 8);
+              EXPECT_EQ(v, a.expect) << "pass " << pass;
+            }
+          },
+          &args, sizeof(args));
+    }
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+}
+
+// Randomized coherence soak: tasks spread across both nodes each own a
+// disjoint word range but share cache lines and the handle, so installs,
+// hits and whole-handle invalidation broadcasts collide constantly while
+// every task's expected values stay deterministic. Writes-then-reads must
+// never observe stale data, under any interleaving.
+TEST(Cache, RandomizedSharedLineSoakNeverStale) {
+  constexpr std::uint64_t kTasks = 8;
+  constexpr std::uint64_t kSlots = 32;  // per task, 8 bytes each
+  const int kOps = 400 / kSoakScale;
+
+  const obs::Snapshot before = snap();
+  rt::Cluster cluster(2, cache_config(true));
+  test::run_task(cluster, [&] {
+    const gmt_handle h = gmt_new(kTasks * kSlots * 8, Alloc::kPartition);
+    test::parfor_lambda(kTasks, 1, [&](std::uint64_t task) {
+      // Rotate the ownership map by half the task count: a contiguous
+      // parfor partition would otherwise hand every task its own node's
+      // slots and the whole soak would ride the local fast path.
+      const std::uint64_t owned = (task + kTasks / 2) % kTasks;
+      const std::uint64_t base = owned * kSlots * 8;
+      std::uint64_t expected[kSlots] = {0};  // fresh arrays read as zero
+      std::mt19937_64 rng(0xc0ffee + task);
+      for (int op = 0; op < kOps; ++op) {
+        const std::uint64_t slot = rng() % kSlots;
+        switch (rng() % 4) {
+          case 0:  // overwrite
+            expected[slot] = (task << 32) | static_cast<std::uint32_t>(op);
+            gmt_put_value(h, base + slot * 8, expected[slot], 8);
+            break;
+          case 1: {  // atomic increment, old value checked
+            const std::uint64_t old =
+                gmt_atomic_add(h, base + slot * 8, 3, 8);
+            EXPECT_EQ(old, expected[slot]) << "task " << task;
+            expected[slot] += 3;
+            break;
+          }
+          case 2: {  // single-word read
+            std::uint64_t v = ~0ull;
+            gmt_get(h, base + slot * 8, &v, 8);
+            EXPECT_EQ(v, expected[slot]) << "task " << task;
+            break;
+          }
+          default: {  // bulk read of the whole owned range
+            std::uint64_t all[kSlots];
+            gmt_get(h, base, all, sizeof(all));
+            for (std::uint64_t s = 0; s < kSlots; ++s)
+              EXPECT_EQ(all[s], expected[s]) << "task " << task << " s " << s;
+            break;
+          }
+        }
+      }
+    });
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+  // The soak must actually have exercised the coherence machinery.
+  const CacheDelta d = delta(before, snap());
+  EXPECT_GT(d.installs, 0u);
+  EXPECT_GT(d.invals, 0u);
+}
+
+// Free/realloc recycles handle slots under a new generation; the cache
+// keys on the full handle (generation included), so lines installed for a
+// dead array can never satisfy reads of its successor.
+TEST(Cache, GenerationBumpNeverServesDeadArray) {
+  rt::Cluster cluster(2, cache_config(true));
+  test::run_task(cluster, [] {
+    for (std::uint64_t round = 0; round < 8; ++round) {
+      const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+      const std::uint64_t base = round * 1000;
+      for (int i = 0; i < 32; ++i)
+        gmt_put_value(h, kBlock + i * 8, base + i, 8);
+      // First pass warms the cache, second pass reads through it; both
+      // must see this round's pattern, never a previous generation's.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 32; ++i) {
+          std::uint64_t v = ~0ull;
+          gmt_get(h, kBlock + i * 8, &v, 8);
+          ASSERT_EQ(v, base + i) << "round " << round << " pass " << pass;
+        }
+      }
+      gmt_free(h);
+    }
+  });
+}
+
+Config membership_cache_config() {
+  Config config = Config::testing();
+  config.reliable_transport = true;
+  config.membership = true;
+  config.heartbeat_ns = 2'000'000;          // 2 ms
+  config.suspect_timeout_ns = 200'000'000;  // 200 ms
+  config.cache = true;
+  return config;
+}
+
+// Node death with the cache armed: reads of the lost partition fail with
+// GMT_ERR_NODE_LOST every time — a cached line must never stand in for a
+// dead owner — futures surface the error per-op, and the surviving
+// partitions keep full (cached) service.
+TEST(Cache, DeadOwnerNeverServedFromCache) {
+  Config config = membership_cache_config();
+  config.fault.kill_node = 2;
+  config.fault.kill_at = 0;
+  config.fault.seed = 0x5eed;
+  ASSERT_TRUE(config.validate().empty()) << config.validate();
+
+  rt::Cluster cluster(3, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(3 * kBlock, Alloc::kPartition);
+    while (gmt_membership_epoch() == 0) gmt_yield();
+    EXPECT_FALSE(gmt_node_is_live(2));
+    gmt_clear_error();
+
+    // Blocking reads of the dead partition fail sticky, repeatedly — the
+    // buffer is never filled with fabricated (or stale cached) bytes.
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t v = 0xabad1dea;
+      gmt_get(h, 2 * kBlock, &v, 8);
+      EXPECT_EQ(gmt_last_error(), GMT_ERR_NODE_LOST);
+      EXPECT_EQ(v, 0xabad1deau);
+      gmt_clear_error();
+    }
+
+    // In-flight futures against the dead partition resolve per-op.
+    std::uint64_t dv = 0;
+    EXPECT_EQ(wait(gmt_get_f(h, 2 * kBlock + 64, &dv, 8)),
+              GMT_ERR_NODE_LOST);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+
+    // Survivors keep coherent cached service.
+    for (std::uint64_t v = 1; v <= 8; ++v) {
+      gmt_put_value(h, 1 * kBlock, v, 8);
+      std::uint64_t got = 0;
+      gmt_get(h, 1 * kBlock, &got, 8);
+      EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+  });
+}
+
+// The cached-BFS smoke: the same graph traversed with the cache on and off
+// yields bit-identical results, and the cached run actually pulled its
+// adjacency reads through the cache.
+TEST(Cache, CachedBfsMatchesUncached) {
+  graph::UniformConfig gc;
+  gc.vertices = 256;
+  gc.min_degree = 1;
+  gc.max_degree = 8;
+  gc.seed = 7;
+  const graph::Csr csr =
+      graph::build_csr(gc.vertices, graph::generate_uniform(gc));
+
+  kernels::BfsResult results[2];
+  for (int cached = 0; cached < 2; ++cached) {
+    const obs::Snapshot before = snap();
+    rt::Cluster cluster(2, cache_config(cached == 1));
+    test::run_task(cluster, [&] {
+      graph::DistGraph dist = graph::DistGraph::build(csr);
+      results[cached] = kernels::bfs_gmt(dist, 0);
+      EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+      dist.destroy();
+    });
+    const CacheDelta d = delta(before, snap());
+    if (cached == 1)
+      EXPECT_GT(d.installs, 0u);
+    else
+      EXPECT_EQ(d.installs, 0u);
+  }
+  EXPECT_GT(results[0].visited, 1u);
+  EXPECT_EQ(results[1].visited, results[0].visited);
+  EXPECT_EQ(results[1].edges_traversed, results[0].edges_traversed);
+  EXPECT_EQ(results[1].levels, results[0].levels);
+}
+
+}  // namespace
+}  // namespace gmt

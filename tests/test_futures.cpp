@@ -1,0 +1,285 @@
+// Per-operation futures: gmt_get_f / gmt_put_f / gmt_atomic_add_f return a
+// pooled, generation-tagged gmt::Future; gmt::wait / wait_all / wait_any
+// suspend the issuing task only when the awaited op is still in flight.
+// Covered here: data correctness through every future-producing op, the
+// wait-on-default / double-wait contracts, wait_any picking a resolved
+// member while the rest stay awaitable, trace-verified overlap of two
+// remote gets issued from one task, end-of-task draining of abandoned
+// futures, and per-op GMT_ERR_NODE_LOST surfacing (the sticky task status
+// stays clean when a future's peer dies).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gmt/error.hpp"
+#include "gmt/gmt.hpp"
+#include "gmt/obs.hpp"
+#include "net/faulty_transport.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+constexpr std::uint64_t kBlock = 4096;
+
+Config membership_config() {
+  Config config = Config::testing();
+  config.reliable_transport = true;
+  config.membership = true;
+  config.heartbeat_ns = 2'000'000;          // 2 ms
+  config.suspect_timeout_ns = 200'000'000;  // 200 ms
+  return config;
+}
+
+// Every future-producing op resolves with the right data / old value, and
+// a resolved future can be waited again (idempotent copy semantics).
+TEST(Futures, GetPutAtomicResolveWithCorrectData) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+
+    // put_f to the remote partition, then read it back through get_f.
+    std::uint64_t src[8];
+    for (int i = 0; i < 8; ++i) src[i] = 0x100u + i;
+    Future pf = gmt_put_f(h, kBlock, src, sizeof(src));
+    EXPECT_EQ(wait(pf), GMT_ERR_OK);
+
+    std::uint64_t dst[8] = {0};
+    Future gf = gmt_get_f(h, kBlock, dst, sizeof(dst));
+    EXPECT_EQ(wait(gf), GMT_ERR_OK);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[i], 0x100u + i);
+
+    // Double-wait on a copy of a resolved future is a no-op success.
+    EXPECT_EQ(wait(gf), GMT_ERR_OK);
+    // Waiting a default (never-issued) future is a no-op success too.
+    EXPECT_EQ(wait(Future{}), GMT_ERR_OK);
+    EXPECT_TRUE(is_ready(Future{}));
+
+    // atomic_add_f returns the previous value through old_out.
+    gmt_put_value(h, kBlock + 512, 40, 8);
+    std::uint64_t old = ~0ull;
+    Future af = gmt_atomic_add_f(h, kBlock + 512, 2, &old, 8);
+    EXPECT_EQ(wait(af), GMT_ERR_OK);
+    EXPECT_EQ(old, 40u);
+    std::uint64_t now = 0;
+    gmt_get(h, kBlock + 512, &now, 8);
+    EXPECT_EQ(now, 42u);
+
+    // Typed element-index template overloads.
+    std::array<std::uint64_t, 4> typed{};
+    Future tf = gmt_get_f<std::uint64_t>(h, kBlock / 8,
+                                         std::span<std::uint64_t>(typed));
+    EXPECT_EQ(wait(tf), GMT_ERR_OK);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(typed[i], 0x100u + i);
+
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+}
+
+// A batch of independent gets issued up front and collected with wait_all:
+// every buffer lands, statuses aggregate to OK.
+TEST(Futures, WaitAllCollectsABatch) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    constexpr int kN = 32;
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    for (int i = 0; i < kN; ++i) gmt_put_value(h, kBlock + i * 8, 7u + i, 8);
+
+    std::uint64_t vals[kN] = {0};
+    Future fs[kN];
+    for (int i = 0; i < kN; ++i)
+      fs[i] = gmt_get_f(h, kBlock + i * 8, &vals[i], 8);
+    EXPECT_EQ(wait_all(std::span<const Future>(fs, kN)), GMT_ERR_OK);
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(vals[i], 7u + i);
+    gmt_free(h);
+  });
+}
+
+// wait_any returns the index of a resolved member; the others stay
+// awaitable and resolve with correct data afterwards.
+TEST(Futures, WaitAnyLeavesRestAwaitable) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    constexpr int kN = 4;
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    for (int i = 0; i < kN; ++i)
+      gmt_put_value(h, kBlock + i * 64, 0xa0u + i, 8);
+
+    std::uint64_t vals[kN] = {0};
+    Future fs[kN];
+    for (int i = 0; i < kN; ++i)
+      fs[i] = gmt_get_f(h, kBlock + i * 64, &vals[i], 8);
+
+    bool done[kN] = {false};
+    for (int round = 0; round < kN; ++round) {
+      std::uint32_t status = ~0u;
+      const std::size_t idx =
+          wait_any(std::span<const Future>(fs, kN), &status);
+      ASSERT_LT(idx, static_cast<std::size_t>(kN));
+      EXPECT_EQ(status, GMT_ERR_OK);
+      // A consumed future reads as ready; wait_any may legitimately hand
+      // back an already-consumed index, so just record first completions.
+      if (!done[idx]) {
+        done[idx] = true;
+        EXPECT_EQ(vals[idx], 0xa0u + idx);
+      }
+      EXPECT_TRUE(is_ready(fs[idx]));
+    }
+    // Everything is eventually collectable regardless of wait_any order.
+    EXPECT_EQ(wait_all(std::span<const Future>(fs, kN)), GMT_ERR_OK);
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(vals[i], 0xa0u + i);
+    gmt_free(h);
+  });
+}
+
+// The acceptance check for pipelining: two remote gets issued from a
+// single task are both in flight before either resolves. The tracer
+// records an instant per issue and per resolution; the dump must show >= 2
+// "future.issue" events timestamped before the first "future.resolve".
+TEST(Futures, TraceShowsTwoGetsInFlightBeforeFirstResolve) {
+  trace_reset();
+  trace_enable(true);
+
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    gmt_put_value(h, kBlock, 1, 8);
+    gmt_put_value(h, kBlock + 8, 2, 8);
+
+    std::uint64_t a = 0, b = 0;
+    Future fs[2];
+    fs[0] = gmt_get_f(h, kBlock, &a, 8);
+    fs[1] = gmt_get_f(h, kBlock + 8, &b, 8);
+    std::uint32_t status = ~0u;
+    (void)wait_any(std::span<const Future>(fs, 2), &status);
+    EXPECT_EQ(status, GMT_ERR_OK);
+    EXPECT_EQ(wait_all(std::span<const Future>(fs, 2)), GMT_ERR_OK);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    gmt_free(h);
+  });
+
+  const std::string path =
+      ::testing::TempDir() + "gmt_futures_overlap_trace.json";
+  ASSERT_TRUE(dump_trace(path));
+  trace_enable(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string trace = ss.str();
+
+  // Pull the "ts" field out of every instant event with the given name.
+  const auto collect_ts = [&trace](const char* name) {
+    std::vector<double> ts;
+    const std::string needle = std::string("\"name\":\"") + name + "\"";
+    std::size_t pos = 0;
+    while ((pos = trace.find(needle, pos)) != std::string::npos) {
+      const std::size_t t = trace.find("\"ts\":", pos);
+      if (t != std::string::npos)
+        ts.push_back(std::strtod(trace.c_str() + t + 5, nullptr));
+      pos += needle.size();
+    }
+    return ts;
+  };
+  const std::vector<double> issues = collect_ts("future.issue");
+  const std::vector<double> resolves = collect_ts("future.resolve");
+  ASSERT_GE(issues.size(), 2u);
+  ASSERT_GE(resolves.size(), 2u);
+  double first_resolve = resolves[0];
+  for (const double r : resolves) first_resolve = std::min(first_resolve, r);
+  int in_flight_before_first_resolve = 0;
+  for (const double i : issues)
+    if (i <= first_resolve) ++in_flight_before_first_resolve;
+  EXPECT_GE(in_flight_before_first_resolve, 2)
+      << "expected >=2 gets issued before the first resolution; trace at "
+      << path;
+}
+
+// A task that issues futures and returns without waiting must not leak
+// cells or let the completion write a dead frame: the end-of-task drain
+// waits them out (and counts them).
+TEST(Futures, AbandonedFuturesDrainAtTaskEnd) {
+  const std::uint64_t abandoned_before =
+      stats_snapshot().counter(obs::names::kFuturesAbandoned);
+  static std::uint64_t sink[4];  // outlives the task on purpose
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    gmt_put_value(h, kBlock, 9, 8);
+    for (int i = 0; i < 4; ++i)
+      (void)gmt_get_f(h, kBlock + i * 8, &sink[i], 8);
+    // Deliberately no wait: task_entry's drain must collect all four.
+    gmt_free(h);
+  });
+  const std::uint64_t abandoned_after =
+      stats_snapshot().counter(obs::names::kFuturesAbandoned);
+  EXPECT_GE(abandoned_after - abandoned_before, 4u);
+}
+
+// Per-op error surfacing: a future whose target partition is homed on a
+// dead node resolves with GMT_ERR_NODE_LOST as the wait() return value —
+// and the task's sticky status stays GMT_ERR_OK throughout.
+TEST(Futures, DeadPeerSurfacesNodeLostPerOpNotSticky) {
+  Config config = membership_config();
+  config.fault.kill_node = 2;
+  config.fault.kill_at = 0;  // dark from the first send
+  config.fault.seed = 0x5eed;
+  ASSERT_TRUE(config.validate().empty()) << config.validate();
+
+  rt::Cluster cluster(3, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(3 * kBlock, Alloc::kPartition);
+    while (gmt_membership_epoch() == 0) gmt_yield();
+    EXPECT_FALSE(gmt_node_is_live(2));
+    gmt_clear_error();  // registration against the dead node is sticky
+
+    // One future to the dead partition, one to a live one, in flight
+    // together; each resolves with its own verdict.
+    std::uint64_t dead_val = 0, live_val = 0;
+    gmt_put_value(h, 1 * kBlock, 0x11, 8);
+    Future fs[2];
+    fs[0] = gmt_get_f(h, 2 * kBlock, &dead_val, 8);
+    fs[1] = gmt_get_f(h, 1 * kBlock, &live_val, 8);
+
+    std::uint32_t st0 = wait(fs[0]);
+    std::uint32_t st1 = wait(fs[1]);
+    EXPECT_EQ(st0, GMT_ERR_NODE_LOST);
+    EXPECT_EQ(st1, GMT_ERR_OK);
+    EXPECT_EQ(live_val, 0x11u);
+    // The whole point of the per-op model: the sticky status never saw it.
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+
+    // wait_any over a dead-partition future hands back the failed op with
+    // its status instead of hanging or aborting.
+    std::uint64_t v = 0;
+    Future f = gmt_get_f(h, 2 * kBlock + 64, &v, 8);
+    std::uint32_t status = ~0u;
+    const std::size_t idx = wait_any(std::span<const Future>(&f, 1), &status);
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(status, GMT_ERR_NODE_LOST);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+
+    // put_f and atomic_add_f follow the same contract.
+    std::uint64_t word = 0xdead;
+    EXPECT_EQ(wait(gmt_put_f(h, 2 * kBlock, &word, 8)), GMT_ERR_NODE_LOST);
+    std::uint64_t old = ~0ull;
+    EXPECT_EQ(wait(gmt_atomic_add_f(h, 2 * kBlock, 1, &old, 8)),
+              GMT_ERR_NODE_LOST);
+    EXPECT_EQ(old, 0u);  // failed atomics report a previous value of 0
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+  });
+}
+
+}  // namespace
+}  // namespace gmt

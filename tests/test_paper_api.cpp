@@ -1,6 +1,9 @@
-// The paper-faithful camelCase API (Table I spellings) must behave
-// identically to the snake_case API it aliases — a verbatim port of the
-// paper's code style runs unchanged.
+// The paper-faithful camelCase compatibility shim (Table I spellings,
+// frozen at the blocking/_nb surface) must behave identically to the
+// snake_case API it aliases — a verbatim port of the paper's code style
+// runs unchanged. The shim lives at the bottom of gmt/api.hpp; this test
+// deliberately includes it through the deprecated gmt/paper_api.hpp
+// forwarder so that the legacy include path keeps compiling too.
 #include <gtest/gtest.h>
 
 #include <cstring>
