@@ -1,0 +1,136 @@
+// Actor/mailbox programming layer over the aggregation fabric.
+//
+// A *mailbox* is a typed message endpoint addressed by (node, actor-id).
+// Sends are serialized through the runtime's command/aggregation path, so
+// they inherit everything the fabric already provides — command
+// aggregation into 64 KB buffers, credit-based flow control, reliable
+// delivery, and fail-stop membership — without any new wire machinery.
+// The selector/mailbox design follows the actor-based PGAS systems built
+// on aggregating runtimes (Paul et al., arXiv 2107.05516): productivity
+// of message passing at the throughput of aggregation.
+//
+// Guarantees:
+//  - *Per-(sender node, mailbox) FIFO.* Messages from one node to one
+//    mailbox are delivered to the handler in send order (sequence-numbered
+//    at the source, reordered at the receiver; a single delivery task per
+//    mailbox serializes handlers).
+//  - *Bounded depth.* Each sender node may have at most
+//    GMT_ACTOR_MAILBOX_DEPTH unprocessed messages in flight toward one
+//    mailbox; senders at the limit park on the flow-control stall-ticket
+//    list (latency-hiding suspension, not spinning) until deliveries ack.
+//  - *Per-op failure.* A send toward a node excluded by a membership epoch
+//    resolves its future with GMT_ERR_NODE_LOST — it never wedges, and it
+//    never latches the sticky task error (post() being the task-token
+//    exception, like the _nb data ops). A message for an unregistered
+//    actor id resolves with GMT_ERR_NO_ACTOR.
+//
+// Handlers run in task context on the mailbox's node (delivery tasks ride
+// the pooled O(1) scheduler), so they may freely use the whole GMT API —
+// including sending to other actors.
+//
+//   // server node:
+//   gmt::actor::register_mailbox(kShard, [](void*, const Message& m) {
+//     ...; m.reply(&value, sizeof(value));
+//   }, nullptr);
+//   // any node:
+//   std::uint64_t value;
+//   gmt::Future f = gmt::actor::call(srv, kShard, &req, sizeof(req),
+//                                    &value, sizeof(value));
+//   if (gmt::wait(f) == GMT_ERR_OK) ... value is filled ...
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "gmt/types.hpp"
+
+namespace gmt::actor {
+
+// One delivered message, alive only for the duration of the handler call.
+struct Message {
+  std::uint32_t src = 0;        // node that sent the message
+  const void* data = nullptr;   // message bytes (runtime-owned copy)
+  std::uint32_t size = 0;
+
+  // Stages reply bytes to ride the delivery ack back into the sender's
+  // reply buffer (the one passed to call()). Valid only inside the
+  // handler; the last reply() before the handler returns wins. Replies to
+  // senders that provided no reply buffer (send()/post()) are dropped;
+  // replies larger than the sender's buffer are a checked error.
+  void reply(const void* bytes, std::uint32_t n) const;
+
+  // Capacity of the sender's reply buffer (0 = sender expects no reply).
+  std::uint32_t reply_capacity() const { return reply_cap_; }
+
+  // Internal (set by the delivery loop; not for application use).
+  std::vector<std::uint8_t>* reply_out_ = nullptr;
+  std::uint32_t reply_cap_ = 0;
+};
+
+// A mailbox handler: invoked once per message, in send order per sender,
+// in task context on the mailbox's node. `ctx` is the registration-time
+// context pointer.
+using Handler = void (*)(void* ctx, const Message& msg);
+
+// Registers a mailbox under `id` on the calling node. False if the id is
+// already registered here. Register before traffic arrives: messages for
+// an unregistered id are rejected with GMT_ERR_NO_ACTOR, not queued.
+bool register_mailbox(std::uint64_t id, Handler fn, void* ctx);
+
+// Unregisters the mailbox; messages still queued for it are rejected with
+// GMT_ERR_NO_ACTOR. False if the id was not registered.
+bool unregister_mailbox(std::uint64_t id);
+
+// Sends `size` bytes (captured before return) to the mailbox `id` on
+// `node`. The future resolves once the handler has processed the message
+// (GMT_ERR_OK), the destination died (GMT_ERR_NODE_LOST), or no such
+// mailbox exists there (GMT_ERR_NO_ACTOR). May suspend the calling task
+// when the per-(node, mailbox) window is full.
+Future send(std::uint32_t node, std::uint64_t id, const void* data,
+            std::uint32_t size);
+
+// Request/response send: like send(), but the handler's reply() bytes land
+// in `reply` (up to reply_capacity bytes) before the future resolves.
+// `reply` must stay valid until the future is awaited.
+Future call(std::uint32_t node, std::uint64_t id, const void* data,
+            std::uint32_t size, void* reply, std::uint32_t reply_capacity);
+
+// Fire-and-forget send on the calling task's own completion count:
+// completion (or failure, via the sticky task error — like the _nb data
+// ops) is observed at the task's next blocking point / gmt_wait_commands.
+void post(std::uint32_t node, std::uint64_t id, const void* data,
+          std::uint32_t size);
+
+// True when the calling node's actor layer is quiescent: no delivery task
+// outstanding and no message buffered in any local mailbox.
+bool idle();
+
+// Largest message (and largest reply) in bytes a single send may carry.
+std::uint32_t max_message_bytes();
+
+// ---- typed sugar (trivially copyable payloads) ----
+
+template <typename T>
+Future send(std::uint32_t node, std::uint64_t id, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "actor messages cross the network as raw bytes");
+  return send(node, id, &value, sizeof(T));
+}
+
+template <typename Req, typename Rep>
+Future call(std::uint32_t node, std::uint64_t id, const Req& req, Rep* out) {
+  static_assert(std::is_trivially_copyable_v<Req> &&
+                    std::is_trivially_copyable_v<Rep>,
+                "actor messages cross the network as raw bytes");
+  return call(node, id, &req, sizeof(Req), out, sizeof(Rep));
+}
+
+template <typename T>
+void post(std::uint32_t node, std::uint64_t id, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "actor messages cross the network as raw bytes");
+  post(node, id, &value, sizeof(T));
+}
+
+}  // namespace gmt::actor

@@ -34,6 +34,10 @@ inline constexpr std::uint32_t GMT_ERR_OK = 0;
 // that was excluded from the membership; no data was transferred. Atomics
 // report a previous value of 0.
 inline constexpr std::uint32_t GMT_ERR_NODE_LOST = 1;
+// An actor message reached its destination node, but no mailbox with that
+// actor id was registered there; the message was dropped and its delivery
+// ack carries this status (gmt/actor.hpp).
+inline constexpr std::uint32_t GMT_ERR_NO_ACTOR = 2;
 
 // Returns the calling task's sticky error status (GMT_ERR_OK when every
 // operation since the last gmt_clear_error() completed). Must run inside a

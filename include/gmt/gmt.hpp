@@ -9,6 +9,7 @@
 // gmt::dump_trace). Applications never need an include from src/.
 #pragma once
 
+#include "gmt/actor.hpp"
 #include "gmt/api.hpp"
 #include "gmt/error.hpp"
 #include "gmt/global_array.hpp"

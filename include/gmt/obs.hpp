@@ -121,6 +121,15 @@ inline constexpr const char* kFuturesIssued = "gmt.futures.issued";
 inline constexpr const char* kFuturesWaits = "gmt.futures.waits";
 inline constexpr const char* kFuturesParked = "gmt.futures.parked";
 inline constexpr const char* kFuturesAbandoned = "gmt.futures.abandoned";
+// Actor/mailbox layer (src/actor, gmt/actor.hpp).
+inline constexpr const char* kActorSent = "actor.sent";
+inline constexpr const char* kActorDelivered = "actor.delivered";
+inline constexpr const char* kActorAcks = "actor.acks";
+inline constexpr const char* kActorReplies = "actor.replies";
+inline constexpr const char* kActorParks = "actor.sender_parks";
+inline constexpr const char* kActorDrains = "actor.drains";
+inline constexpr const char* kActorNoMailbox = "actor.no_mailbox";
+inline constexpr const char* kActorQueued = "actor.queued";
 inline constexpr const char* kMemLiveHandles = "gmt.mem.live_handles";
 inline constexpr const char* kMemLiveBytes = "gmt.mem.live_bytes";
 inline constexpr const char* kMemFreeListDepth = "gmt.mem.free_list";

@@ -8,11 +8,11 @@
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
 #                  sensitive labels (runtime|aggregation|flowcontrol|
-#                  memory|membership|combine|cache) — the scheduler,
-#                  aggregation pipeline, flow control, memory
+#                  memory|membership|combine|cache|actor) — the
+#                  scheduler, aggregation pipeline, flow control, memory
 #                  reclamation, the failure detector, the combining
-#                  table and the cache/futures machinery are where data
-#                  races would live
+#                  table, the cache/futures machinery and the actor
+#                  mailboxes are where data races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -49,7 +49,7 @@ builddir=build
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
   ctest --test-dir "$builddir" \
-    -L 'runtime|aggregation|flowcontrol|memory|membership|combine|cache' \
+    -L 'runtime|aggregation|flowcontrol|memory|membership|combine|cache|actor' \
     --output-on-failure
   exit 0
 fi
@@ -71,6 +71,9 @@ ctest --test-dir "$builddir" -L combine --output-on-failure
 
 echo "== cache / futures tests (incl. cached-BFS smoke) =="
 ctest --test-dir "$builddir" -L cache --output-on-failure
+
+echo "== actor/mailbox tests (incl. kill-mid-service battery) =="
+ctest --test-dir "$builddir" -L actor --output-on-failure
 
 if [[ "$soak" == 1 ]]; then
   echo "== membership soak: kill-a-node-mid-BFS x20 =="

@@ -1,0 +1,62 @@
+// Public actor API (gmt/actor.hpp): thin dispatch from the calling worker
+// thread to its node's ActorRuntime, plus the token plumbing that decides
+// who observes a send's completion (a future cell, or the task itself).
+#include "gmt/actor.hpp"
+
+#include "actor/mailbox.hpp"
+#include "common/assert.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::actor {
+
+namespace {
+
+rt::Worker& current_worker() {
+  rt::Worker* worker = rt::Worker::current();
+  GMT_CHECK_MSG(worker != nullptr && worker->current_task() != nullptr,
+                "GMT actor API called outside a task context");
+  return *worker;
+}
+
+}  // namespace
+
+bool register_mailbox(std::uint64_t id, Handler fn, void* ctx) {
+  return current_worker().node().actors().register_mailbox(id, fn, ctx);
+}
+
+bool unregister_mailbox(std::uint64_t id) {
+  return current_worker().node().actors().unregister_mailbox(id);
+}
+
+Future send(std::uint32_t node, std::uint64_t id, const void* data,
+            std::uint32_t size) {
+  return call(node, id, data, size, nullptr, 0);
+}
+
+Future call(std::uint32_t node, std::uint64_t id, const void* data,
+            std::uint32_t size, void* reply, std::uint32_t reply_capacity) {
+  rt::Worker& w = current_worker();
+  rt::FutureCell* cell = w.acquire_future_cell();
+  cell->pending.fetch_add(1, std::memory_order_relaxed);
+  w.node().stats().futures_issued.add();
+  w.node().actors().send(w, node, id, data, size, reply, reply_capacity,
+                         rt::future_token(cell));
+  return Future{rt::future_token(cell)};
+}
+
+void post(std::uint32_t node, std::uint64_t id, const void* data,
+          std::uint32_t size) {
+  rt::Worker& w = current_worker();
+  rt::Task* task = w.current_task();
+  task->pending_ops.fetch_add(1, std::memory_order_relaxed);
+  w.node().actors().send(w, node, id, data, size, /*reply=*/nullptr,
+                         /*reply_cap=*/0, rt::task_token(task));
+}
+
+bool idle() { return current_worker().node().actors().idle(); }
+
+std::uint32_t max_message_bytes() {
+  return current_worker().node().max_payload();
+}
+
+}  // namespace gmt::actor

@@ -1,0 +1,333 @@
+#include "actor/mailbox.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "gmt/error.hpp"
+#include "runtime/node.hpp"
+
+namespace gmt::actor {
+
+void Message::reply(const void* bytes, std::uint32_t n) const {
+  if (reply_out_ == nullptr || reply_cap_ == 0) return;  // sender: no reply
+  GMT_CHECK_MSG(n <= reply_cap_, "actor reply larger than caller's buffer");
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  reply_out_->assign(p, p + n);
+}
+
+}  // namespace gmt::actor
+
+namespace gmt::rt {
+
+namespace {
+
+// Messages one delivery-task activation processes before re-arming itself
+// at the back of the scheduler, so a hot mailbox shares its worker.
+constexpr std::uint32_t kDrainBatch = 128;
+
+struct DrainArgs {
+  ActorRuntime* rt;
+  std::uint64_t id;
+  std::uint64_t gen;
+};
+
+}  // namespace
+
+void ActorStats::bind(obs::Registry& reg) {
+  sent = reg.counter(obs::names::kActorSent);
+  delivered = reg.counter(obs::names::kActorDelivered);
+  acks = reg.counter(obs::names::kActorAcks);
+  replies = reg.counter(obs::names::kActorReplies);
+  sender_parks = reg.counter(obs::names::kActorParks);
+  drains = reg.counter(obs::names::kActorDrains);
+  no_mailbox = reg.counter(obs::names::kActorNoMailbox);
+  queued = reg.gauge(obs::names::kActorQueued);
+}
+
+ActorRuntime::ActorRuntime(Node* node)
+    : node_(node), depth_(node->config().actor_mailbox_depth) {
+  stats_.bind(node->obs());
+}
+
+ActorRuntime::SendState& ActorRuntime::send_state(std::uint32_t dst,
+                                                  std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return send_states_[Key{dst, id}];
+}
+
+void ActorRuntime::send(Worker& w, std::uint32_t dst, std::uint64_t id,
+                        const void* data, std::uint32_t size, void* reply,
+                        std::uint32_t reply_cap, std::uint64_t token) {
+  GMT_CHECK_MSG(dst < node_->num_nodes(), "actor send: node out of range");
+  GMT_CHECK_MSG(size <= node_->max_payload(), "actor message too large");
+  GMT_CHECK_MSG(reply_cap <= node_->max_payload(),
+                "actor reply buffer larger than a command payload");
+  stats_.sent.add();
+  SendState& st = send_state(dst, id);
+
+  CmdHeader cmd;
+  cmd.op = Op::kActorMsg;
+  cmd.handle = id;
+  cmd.token = token;
+  cmd.offset = reinterpret_cast<std::uint64_t>(reply);
+  cmd.aux2 = reply_cap;
+  cmd.payload_size = size;
+
+  // Claim one window slot toward (dst, id); park (not spin) while full.
+  // Liveness is rechecked each round: if dst died, skip the window — the
+  // emit below fails the token through the membership path, and a window
+  // wedged open by the corpse's unacked slots must not trap the sender.
+  for (;;) {
+    if (!node_->node_is_live(dst)) break;
+    std::uint32_t cur = st.inflight.load(std::memory_order_acquire);
+    if (cur < depth_) {
+      if (st.inflight.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_acq_rel))
+        break;
+      continue;
+    }
+    stats_.sender_parks.add();
+    if (!node_->aggregator().park_for_stall(&cmd)) w.task_yield();
+  }
+
+  // Sequence after the window claim: the receiver releases messages in
+  // sequence order, so a number must not be assigned to a send that could
+  // still park behind a smaller unassigned one.
+  cmd.aux1 = st.next_seq.fetch_add(1, std::memory_order_relaxed);
+  if (dst == node_->id())
+    deliver(w.agg_slot(), cmd, static_cast<const std::uint8_t*>(data),
+            node_->id());
+  else
+    node_->emit(w.agg_slot(), dst, cmd, data);
+}
+
+bool ActorRuntime::register_mailbox(std::uint64_t id, actor::Handler fn,
+                                    void* ctx) {
+  GMT_CHECK_MSG(fn != nullptr, "actor mailbox needs a handler");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = mailboxes_.try_emplace(id);
+  if (!inserted) return false;
+  it->second.fn = fn;
+  it->second.ctx = ctx;
+  it->second.gen = ++mailbox_gen_;
+  return true;
+}
+
+bool ActorRuntime::unregister_mailbox(std::uint64_t id) {
+  std::vector<OwnedMsg> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = mailboxes_.find(id);
+    if (it == mailboxes_.end()) return false;
+    for (auto& m : it->second.ready) orphans.push_back(std::move(m));
+    mailboxes_.erase(it);
+  }
+  if (!orphans.empty()) {
+    Worker* w = Worker::current();
+    GMT_CHECK_MSG(w != nullptr,
+                  "unregister_mailbox with queued messages outside a worker");
+    for (auto& m : orphans) {
+      buffered_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.queued.dec();
+      stats_.no_mailbox.add();
+      send_ack(w->agg_slot(), m, id, GMT_ERR_NO_ACTOR, nullptr);
+    }
+  }
+  return true;
+}
+
+void ActorRuntime::deliver(AggregationSlot& slot, const CmdHeader& cmd,
+                           const std::uint8_t* payload, std::uint32_t src) {
+  OwnedMsg msg;
+  msg.bytes.assign(payload, payload + cmd.payload_size);
+  msg.token = cmd.token;
+  msg.reply_addr = cmd.offset;
+  msg.reply_cap = static_cast<std::uint32_t>(cmd.aux2);
+  msg.src = src;
+
+  std::vector<OwnedMsg> nacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    purge_dead_locked();
+    RecvState& rs = recv_[Key{src, cmd.handle}];
+    if (cmd.aux1 > rs.expected) {
+      // Early arrival (helpers execute buffers concurrently): hold until
+      // the gap fills.
+      buffered_.fetch_add(1, std::memory_order_relaxed);
+      stats_.queued.inc();
+      rs.held.emplace(cmd.aux1, std::move(msg));
+    } else if (cmd.aux1 == rs.expected) {
+      rs.expected++;
+      dispatch_locked(cmd.handle, std::move(msg), &nacks);
+      // Release the run of consecutive numbers this arrival unblocked.
+      auto it = rs.held.begin();
+      while (it != rs.held.end() && it->first == rs.expected) {
+        rs.expected++;
+        buffered_.fetch_sub(1, std::memory_order_relaxed);
+        stats_.queued.dec();
+        dispatch_locked(cmd.handle, std::move(it->second), &nacks);
+        it = rs.held.erase(it);
+      }
+    }
+    // aux1 < expected cannot happen without duplicate delivery, which the
+    // reliability layer already suppresses; drop defensively.
+  }
+  for (const OwnedMsg& m : nacks) {
+    stats_.no_mailbox.add();
+    send_ack(slot, m, cmd.handle, GMT_ERR_NO_ACTOR, nullptr);
+  }
+}
+
+void ActorRuntime::dispatch_locked(std::uint64_t id, OwnedMsg&& msg,
+                                   std::vector<OwnedMsg>* nacks) {
+  auto it = mailboxes_.find(id);
+  if (it == mailboxes_.end()) {
+    nacks->push_back(std::move(msg));
+    return;
+  }
+  Mailbox& mb = it->second;
+  mb.ready.push_back(std::move(msg));
+  buffered_.fetch_add(1, std::memory_order_relaxed);
+  stats_.queued.inc();
+  if (!mb.draining) {
+    mb.draining = true;
+    schedule_drain_locked(id, mb.gen);
+  }
+}
+
+void ActorRuntime::purge_dead_locked() {
+  const std::uint64_t epoch = node_->membership_epoch();
+  if (epoch == seen_epoch_) return;
+  seen_epoch_ = epoch;
+  std::vector<OwnedMsg> nacks;
+  for (auto& [key, rs] : recv_) {
+    if (rs.held.empty() || node_->node_is_live(key.first)) continue;
+    for (auto& [seq, held] : rs.held) {
+      rs.expected = seq + 1;
+      buffered_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.queued.dec();
+      dispatch_locked(key.second, std::move(held), &nacks);
+    }
+    rs.held.clear();
+  }
+  // The nack targets are exactly the dead senders — nothing to tell them.
+  for (std::size_t i = 0; i < nacks.size(); ++i) stats_.no_mailbox.add();
+}
+
+void ActorRuntime::schedule_drain_locked(std::uint64_t id, std::uint64_t gen) {
+  anchor_.pending_ops.fetch_add(1, std::memory_order_relaxed);
+  IterBlock* itb = node_->acquire_itb();
+  itb->fn = &ActorRuntime::drain_entry;
+  itb->chunk = 1;
+  itb->begin = 0;
+  itb->end = 1;
+  itb->origin_node = node_->id();
+  itb->token = task_token(&anchor_);
+  const DrainArgs args{this, id, gen};
+  itb->set_args(&args, sizeof(args));
+  GMT_CHECK_MSG(node_->itb_queue().push(itb), "itb queue overflow");
+}
+
+void ActorRuntime::drain_entry(std::uint64_t, const void* raw_args) {
+  DrainArgs a;
+  std::memcpy(&a, raw_args, sizeof(a));
+  a.rt->drain(*Worker::current(), a.id, a.gen);
+}
+
+void ActorRuntime::drain(Worker& w, std::uint64_t id, std::uint64_t gen) {
+  stats_.drains.add();
+  std::vector<std::uint8_t> reply;
+  std::uint32_t processed = 0;
+  for (;;) {
+    OwnedMsg msg;
+    actor::Handler fn = nullptr;
+    void* ctx = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = mailboxes_.find(id);
+      // The mailbox this drainer was armed for is gone (unregistered, and
+      // possibly re-registered — the new registration arms its own).
+      if (it == mailboxes_.end() || it->second.gen != gen) return;
+      Mailbox& mb = it->second;
+      if (mb.ready.empty()) {
+        mb.draining = false;
+        return;
+      }
+      if (processed >= kDrainBatch) {
+        // Re-arm at the back of the scheduler instead of monopolising
+        // this worker; `draining` stays true for the successor.
+        schedule_drain_locked(id, gen);
+        return;
+      }
+      msg = std::move(mb.ready.front());
+      mb.ready.pop_front();
+      fn = mb.fn;
+      ctx = mb.ctx;
+    }
+    ++processed;
+    reply.clear();
+    actor::Message m;
+    m.src = msg.src;
+    m.data = msg.bytes.data();
+    m.size = static_cast<std::uint32_t>(msg.bytes.size());
+    m.reply_out_ = &reply;
+    m.reply_cap_ = msg.reply_cap;
+    fn(ctx, m);
+    stats_.delivered.add();
+    buffered_.fetch_sub(1, std::memory_order_relaxed);
+    stats_.queued.dec();
+    send_ack(w.agg_slot(), msg, id, GMT_ERR_OK, &reply);
+  }
+}
+
+void ActorRuntime::send_ack(AggregationSlot& slot, const OwnedMsg& msg,
+                            std::uint64_t id, std::uint32_t status,
+                            const std::vector<std::uint8_t>* reply) {
+  stats_.acks.add();
+  const bool has_reply = status == GMT_ERR_OK && reply != nullptr &&
+                         !reply->empty() && msg.reply_addr != 0;
+  if (has_reply) stats_.replies.add();
+  if (msg.src == node_->id()) {
+    // Local sender: open its window and complete its token in place.
+    note_ack(msg.src, id);
+    if (has_reply)
+      std::memcpy(reinterpret_cast<void*>(msg.reply_addr), reply->data(),
+                  reply->size());
+    if (status != GMT_ERR_OK)
+      complete_one_error(msg.token, status);
+    else
+      complete_one(msg.token);
+    return;
+  }
+  CmdHeader ack;
+  ack.op = Op::kActorAck;
+  ack.handle = id;
+  ack.token = msg.token;
+  ack.aux1 = has_reply ? msg.reply_addr : 0;
+  ack.aux2 = status;
+  ack.payload_size =
+      has_reply ? static_cast<std::uint32_t>(reply->size()) : 0;
+  node_->emit(slot, msg.src, ack, has_reply ? reply->data() : nullptr);
+}
+
+void ActorRuntime::note_ack(std::uint32_t src, std::uint64_t id) {
+  SendState& st = send_state(src, id);
+  // Floor-guarded: a slot leaked by a send that raced the death sweep must
+  // not let a late ack underflow the window.
+  std::uint32_t cur = st.inflight.load(std::memory_order_acquire);
+  while (cur != 0 && !st.inflight.compare_exchange_weak(
+                         cur, cur - 1, std::memory_order_acq_rel)) {
+  }
+  node_->aggregator().wake_stalled();
+}
+
+bool ActorRuntime::idle() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    purge_dead_locked();
+  }
+  return anchor_.pending_ops.load(std::memory_order_acquire) == 0 &&
+         buffered_.load(std::memory_order_acquire) == 0;
+}
+
+}  // namespace gmt::rt

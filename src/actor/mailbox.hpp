@@ -1,0 +1,189 @@
+// Actor runtime: per-node mailbox table, sender-side windows, and the
+// delivery machinery behind include/gmt/actor.hpp.
+//
+// The layer adds no transport of its own. A send is one kActorMsg command
+// through the regular emit path — command blocks, aggregation buffers,
+// combining table bypass (actor messages are never combined: they carry
+// unique sequence numbers), credit flow control, reliable delivery,
+// membership tracking — and one kActorAck back. What the layer does own:
+//
+//  - *Sequencing.* Helpers execute different aggregation buffers
+//    concurrently, so two messages from one sender can reach deliver() out
+//    of order. Each sender stamps a per-(destination, mailbox) sequence
+//    number (aux1); the receiver holds early arrivals in a small ordered
+//    map and releases runs of consecutive numbers. RecvState outlives
+//    mailbox registration so the sequence survives register/unregister
+//    races without gaps.
+//  - *Single drainer per mailbox.* The first message queued on an idle
+//    mailbox schedules one delivery task (a pooled iteration block on the
+//    O(1) scheduler); that task drains the ready deque and re-arms itself
+//    in batches, so handlers for one mailbox never run concurrently —
+//    which is what makes handler state lock-free by construction.
+//  - *Processed-not-enqueued acks.* The ack that opens the sender's window
+//    is sent *after* the handler ran, so GMT_ACTOR_MAILBOX_DEPTH bounds
+//    unprocessed messages, not merely undelivered bytes.
+//  - *Window parking.* A sender at the window limit parks on the
+//    aggregator's stall-ticket list (the same latency-hiding suspension
+//    credit exhaustion uses); note_ack wakes the stalled tasks. Liveness
+//    is rechecked before every park so a window held open by a dead peer
+//    resolves through the membership death sweep instead of wedging.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gmt/actor.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/command.hpp"
+#include "runtime/task.hpp"
+
+namespace gmt::rt {
+
+class Node;
+class Worker;
+class AggregationSlot;
+
+// Registry-backed actor counters (same discipline as NodeStats).
+struct ActorStats {
+  obs::Counter sent;          // kActorMsg commands issued from this node
+  obs::Counter delivered;     // handler invocations on this node
+  obs::Counter acks;          // delivery acks produced (incl. NO_ACTOR nacks)
+  obs::Counter replies;       // acks that carried handler reply bytes
+  obs::Counter sender_parks;  // sends that parked on a full window
+  obs::Counter drains;        // delivery-task activations
+  obs::Counter no_mailbox;    // messages rejected: no such actor id here
+  obs::Gauge queued;          // messages buffered (held + ready) right now
+
+  void bind(obs::Registry& reg);
+};
+
+// One node's actor layer; owned by Node, constructed with it.
+class ActorRuntime {
+ public:
+  explicit ActorRuntime(Node* node);
+
+  // ---- sender side (task context on this node) ----
+
+  // Issues one kActorMsg toward (dst, id) under `token` (a task or future
+  // token, already counted by the caller). Blocks — by parking the calling
+  // task — while this node's window toward (dst, id) is full. `reply` /
+  // `reply_cap` name the sender-local buffer the handler's reply() bytes
+  // land in (0 = no reply expected).
+  void send(Worker& w, std::uint32_t dst, std::uint64_t id, const void* data,
+            std::uint32_t size, void* reply, std::uint32_t reply_cap,
+            std::uint64_t token);
+
+  // ---- receiver side ----
+
+  bool register_mailbox(std::uint64_t id, actor::Handler fn, void* ctx);
+  bool unregister_mailbox(std::uint64_t id);
+
+  // Entry point for an arriving kActorMsg (called by helpers, and by the
+  // local fast path in send()). Sequences, queues, and schedules the
+  // mailbox's delivery task; nacks unregistered ids.
+  void deliver(AggregationSlot& slot, const CmdHeader& cmd,
+               const std::uint8_t* payload, std::uint32_t src);
+
+  // Window bookkeeping for an arriving kActorAck from `src` (runs before
+  // the token-echo completion, whether or not the echo is stale).
+  void note_ack(std::uint32_t src, std::uint64_t id);
+
+  // True when no delivery task is outstanding and no message is buffered.
+  // (Non-const: also sweeps resequencing state left by dead senders.)
+  bool idle();
+
+  std::uint32_t mailbox_depth() const { return depth_; }
+  ActorStats& stats() { return stats_; }
+
+ private:
+  // A message the receiver owns (payload copied out of the aggregation
+  // buffer; the buffer recycles long before the handler runs).
+  struct OwnedMsg {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t token = 0;       // sender's completion token (echoed)
+    std::uint64_t reply_addr = 0;  // sender-local reply buffer (0 = none)
+    std::uint32_t reply_cap = 0;
+    std::uint32_t src = 0;
+  };
+
+  struct Mailbox {
+    actor::Handler fn = nullptr;
+    void* ctx = nullptr;
+    // Registration generation: delivery tasks carry it, so a drainer armed
+    // for a mailbox that was unregistered and re-registered under the same
+    // id dies instead of racing the new mailbox's drainer.
+    std::uint64_t gen = 0;
+    std::deque<OwnedMsg> ready;  // in delivery order
+    bool draining = false;       // a delivery task is scheduled/running
+  };
+
+  // Receiver-side resequencing per (sender node, mailbox id). Kept outside
+  // Mailbox: sequence state must survive unregister/register cycles or a
+  // re-registered mailbox would wait forever for numbers that were nacked.
+  struct RecvState {
+    std::uint64_t expected = 0;
+    std::map<std::uint64_t, OwnedMsg> held;  // early arrivals, by seq
+  };
+
+  // Sender-side window per (destination node, mailbox id). Node-stable:
+  // created under send_mu_, then referenced without it (the maps only
+  // grow; std::map nodes never move).
+  struct SendState {
+    std::atomic<std::uint32_t> inflight{0};
+    std::atomic<std::uint64_t> next_seq{0};
+  };
+
+  using Key = std::pair<std::uint32_t, std::uint64_t>;
+
+  SendState& send_state(std::uint32_t dst, std::uint64_t id);
+
+  // Queues one in-order message (mu_ held): pushes onto the mailbox and
+  // arms its drainer, or records a NO_ACTOR nack into `nacks`.
+  void dispatch_locked(std::uint64_t id, OwnedMsg&& msg,
+                       std::vector<OwnedMsg>* nacks);
+
+  // Schedules the mailbox's delivery task (mu_ held, draining already set).
+  void schedule_drain_locked(std::uint64_t id, std::uint64_t gen);
+  static void drain_entry(std::uint64_t iter, const void* raw_args);
+  void drain(Worker& w, std::uint64_t id, std::uint64_t gen);
+
+  // Epoch-lazy sweep (mu_ held): a dead sender can never fill its sequence
+  // gaps, so release everything it managed to land (in sequence order,
+  // skipping the gaps) instead of holding it — and the node's quiescence —
+  // forever.
+  void purge_dead_locked();
+
+  // Acks `msg` back to its sender with `status`; `reply` (may be null) is
+  // the handler's staged reply bytes. Local senders complete in place.
+  void send_ack(AggregationSlot& slot, const OwnedMsg& msg, std::uint64_t id,
+                std::uint32_t status, const std::vector<std::uint8_t>* reply);
+
+  Node* node_;
+  const std::uint32_t depth_;
+  ActorStats stats_;
+
+  // Completion anchor for delivery tasks: each scheduled drain holds one
+  // pending_ops count here (wake stays null — nothing ever parks on it),
+  // so idle() can see "no delivery task outstanding" in O(1).
+  Task anchor_;
+
+  // Messages buffered on this node (held + ready), for idle().
+  std::atomic<std::int64_t> buffered_{0};
+
+  mutable std::mutex mu_;  // guards mailboxes_, recv_, and the two below
+  std::unordered_map<std::uint64_t, Mailbox> mailboxes_;
+  std::map<Key, RecvState> recv_;
+  std::uint64_t mailbox_gen_ = 0;  // registration counter (see Mailbox::gen)
+  std::uint64_t seen_epoch_ = 0;   // last membership epoch swept
+
+  std::mutex send_mu_;  // guards send_states_ growth only
+  std::map<Key, SendState> send_states_;
+};
+
+}  // namespace gmt::rt

@@ -77,6 +77,7 @@ void Config::apply_env() {
   env_u32("GMT_COMBINE_TABLE", &combine_table);
   env_bool("GMT_CACHE", &cache);
   env_u64("GMT_CACHE_BYTES", &cache_bytes);
+  env_u32("GMT_ACTOR_MAILBOX_DEPTH", &actor_mailbox_depth);
   if (const char* v = std::getenv("GMT_TASK_STACK_SIZE")) {
     std::uint64_t parsed;
     if (parse_size(v, &parsed)) task_stack_size = parsed;
@@ -171,6 +172,7 @@ std::string Config::validate() const {
     return "cache_bytes must be >= 1024 (one cache line)";
   if (cache && cache_bytes > (std::uint64_t{1} << 34))
     return "cache_bytes larger than 16 GiB is surely a typo";
+  if (actor_mailbox_depth == 0) return "actor_mailbox_depth must be >= 1";
   if (membership && !reliable_transport)
     return "membership requires reliable_transport (health rides acks)";
   if (membership && heartbeat_ns == 0) return "heartbeat_ns must be > 0";

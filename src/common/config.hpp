@@ -119,6 +119,16 @@ struct Config {
   // number of 1 KB lines, minimum one line).
   std::uint64_t cache_bytes = 4 * 1024 * 1024;
 
+  // ---- actor/mailbox layer (src/actor, include/gmt/actor.hpp).
+
+  // Bounded mailbox depth: the most *unprocessed* messages one node may
+  // have in flight toward a single (node, actor-id) mailbox. A sender at
+  // the limit parks on the aggregation layer's stall-ticket list (no
+  // spinning) until delivery acks drain the window. The bound is per
+  // sending node, so one mailbox buffers at most depth * num_nodes
+  // messages regardless of offered load.
+  std::uint32_t actor_mailbox_depth = 1024;
+
   // User-level task stack size in bytes.
   std::size_t task_stack_size = 64 * 1024;
 

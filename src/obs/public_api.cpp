@@ -171,6 +171,26 @@ std::string stats_report() {
     out += line;
   }
 
+  if (const std::uint64_t sent = total.counter(obs::names::kActorSent);
+      sent != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "actors: %llu sent, %llu delivered (%llu replies), %llu sender "
+        "parks, %llu drains, %llu no-mailbox rejects\n",
+        static_cast<unsigned long long>(sent),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kActorDelivered)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kActorReplies)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kActorParks)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kActorDrains)),
+        static_cast<unsigned long long>(
+            total.counter(obs::names::kActorNoMailbox)));
+    out += line;
+  }
+
   if (const std::uint64_t allocs = total.counter(obs::names::kMemAllocs);
       allocs != 0) {
     std::snprintf(

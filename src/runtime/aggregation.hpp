@@ -320,6 +320,16 @@ class Aggregator {
   // from poll_flush as a bounded-latency fallback against lost wakeups.
   void wake_stalled();
 
+  // Public face of park_for_aggregation for other backpressure producers
+  // (the actor layer parks window-saturated senders here, so mailbox
+  // bounds reuse the same ticket list, wake protocol, and poll_flush
+  // lost-wakeup fallback as credit exhaustion). `header` identifies the
+  // command being stalled; false when there is no parkable task context
+  // and the caller must fall back to yielding.
+  bool park_for_stall(const CmdHeader* header) {
+    return park_for_aggregation(header);
+  }
+
  private:
   // append() minus the combining-table drain: the target of evictions and
   // drains themselves (entering through append() would recurse).

@@ -33,6 +33,17 @@ enum class Op : std::uint8_t {
   kFree,           //
   kFreeAck,        //
   kCacheInval,     // drop cached lines of `handle`; acks with kPutAck
+  // Actor/mailbox layer (src/actor): handle = actor id, aux1 = per-(sender
+  // node, destination mailbox) sequence number, offset = sender-local reply
+  // buffer address (0 = none), aux2 = reply buffer capacity, payload = the
+  // message bytes. Acked with kActorAck once the receiving mailbox's
+  // delivery task has *processed* the message (not merely enqueued it), so
+  // the sender-side window genuinely bounds unprocessed messages.
+  kActorMsg,
+  // Ack/reply of kActorMsg: token echo, handle = actor id, aux1 = the
+  // sender-local reply address (0 when no reply rides along), aux2 =
+  // delivery status (0 or GMT_ERR_*), payload = reply bytes.
+  kActorAck,
 };
 
 // True for request ops whose issuer holds a pending_ops count that only a
@@ -49,6 +60,7 @@ inline bool op_expects_completion(Op op) {
     case Op::kAlloc:
     case Op::kFree:
     case Op::kCacheInval:
+    case Op::kActorMsg:
       return true;
     default:
       return false;

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "actor/mailbox.hpp"
 #include "common/backoff.hpp"
 #include "common/time.hpp"
 #include "obs/trace.hpp"
@@ -224,6 +225,28 @@ void Helper::execute(const CmdHeader& cmd, const std::uint8_t* payload,
       ack.op = Op::kPutAck;
       ack.token = cmd.token;
       node_->emit(*slot_, src, ack, nullptr);
+      break;
+    }
+    case Op::kActorMsg: {
+      // Hand the message to the actor layer: it copies the payload,
+      // resequences per (src, mailbox), and acks with kActorAck only
+      // after a delivery task has run the handler.
+      node_->actors().deliver(*slot_, cmd, payload, src);
+      break;
+    }
+    case Op::kActorAck: {
+      // Window bookkeeping first — the window must open even when the
+      // token echo is stale (the send already failed via the death
+      // sweep), or leaked slots would pile up toward a live peer.
+      node_->actors().note_ack(src, cmd.handle);
+      if (!node_->reply_ok(src, cmd.token)) break;
+      if (cmd.payload_size && cmd.aux1)
+        std::memcpy(reinterpret_cast<void*>(cmd.aux1), payload,
+                    cmd.payload_size);
+      if (cmd.aux2)
+        complete_one_error(cmd.token, static_cast<std::uint32_t>(cmd.aux2));
+      else
+        complete_one(cmd.token);
       break;
     }
   }

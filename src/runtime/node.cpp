@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "actor/mailbox.hpp"
 #include "common/log.hpp"
 #include "gmt/error.hpp"
 #include "gmt/obs.hpp"
@@ -68,6 +69,7 @@ Node::Node(std::uint32_t id, std::uint32_t num_nodes, const Config& config,
   stats_.bind(obs_);
   if (config.cache)
     cache_ = std::make_unique<SwCache>(config.cache_bytes, &obs_);
+  actors_ = std::make_unique<ActorRuntime>(this);
   workers_.reserve(config.num_workers);
   for (std::uint32_t w = 0; w < config.num_workers; ++w)
     workers_.push_back(std::make_unique<Worker>(this, w, &agg_.slot(w)));

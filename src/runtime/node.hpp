@@ -31,6 +31,7 @@
 
 namespace gmt::rt {
 
+class ActorRuntime;  // src/actor/mailbox.hpp
 class Node;
 
 // Per-node counters surfaced to benches and tests. Registry-backed
@@ -256,6 +257,10 @@ class Node {
   // the post-completion self-invalidation of their own writes.
   SwCache* cache() { return cache_.get(); }
 
+  // Actor/mailbox layer (always constructed; costs nothing until the
+  // first mailbox registers or send issues).
+  ActorRuntime& actors() { return *actors_; }
+
   // ---- operation layer: called from task context on this node ----
 
   gmt_handle op_alloc(Worker& w, std::uint64_t size, Alloc policy);
@@ -361,6 +366,7 @@ class Node {
   friend class Worker;
   friend class Helper;
   friend class CommServer;
+  friend class ActorRuntime;  // emits kActorMsg / kActorAck commands
 
   // Emits one command on behalf of `task` (pending_ops already counted by
   // the caller) or executes it locally when the fast path applies.
@@ -435,6 +441,7 @@ class Node {
   MpmcQueue<net::InMessage*> incoming_;
   NodeStats stats_;
   std::unique_ptr<SwCache> cache_;  // null unless config.cache
+  std::unique_ptr<ActorRuntime> actors_;
   std::atomic<bool> stop_{false};
   std::atomic<gmt_handle> coll_scratch_{kNullHandle};
 

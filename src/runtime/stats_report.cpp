@@ -57,6 +57,12 @@ ClusterStatsSummary summarize_stats(Cluster& cluster) {
     summary.futures_waits += snap.counter(names::kFuturesWaits);
     summary.futures_parked += snap.counter(names::kFuturesParked);
     summary.futures_abandoned += snap.counter(names::kFuturesAbandoned);
+    summary.actor_sent += snap.counter(names::kActorSent);
+    summary.actor_delivered += snap.counter(names::kActorDelivered);
+    summary.actor_replies += snap.counter(names::kActorReplies);
+    summary.actor_sender_parks += snap.counter(names::kActorParks);
+    summary.actor_drains += snap.counter(names::kActorDrains);
+    summary.actor_no_mailbox += snap.counter(names::kActorNoMailbox);
     const auto epoch =
         static_cast<std::uint64_t>(snap.gauge(names::kMembEpoch));
     if (epoch > summary.membership_epoch) summary.membership_epoch = epoch;
@@ -183,6 +189,19 @@ std::string format_stats_report(Cluster& cluster) {
         static_cast<unsigned long long>(summary.futures_waits),
         static_cast<unsigned long long>(summary.futures_parked),
         static_cast<unsigned long long>(summary.futures_abandoned));
+    out += line;
+  }
+  if (summary.actor_sent != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "actors: %llu sent, %llu delivered (%llu replies), %llu sender "
+        "parks, %llu drains, %llu no-mailbox rejects\n",
+        static_cast<unsigned long long>(summary.actor_sent),
+        static_cast<unsigned long long>(summary.actor_delivered),
+        static_cast<unsigned long long>(summary.actor_replies),
+        static_cast<unsigned long long>(summary.actor_sender_parks),
+        static_cast<unsigned long long>(summary.actor_drains),
+        static_cast<unsigned long long>(summary.actor_no_mailbox));
     out += line;
   }
   // Memory lifecycle totals across the cluster (skipped for runs that never

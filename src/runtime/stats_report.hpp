@@ -93,6 +93,16 @@ struct ClusterStatsSummary {
   std::uint64_t futures_parked = 0;
   std::uint64_t futures_abandoned = 0;
 
+  // Actor/mailbox layer (zero when the application never sent a message).
+  // `actor_replies` counts delivery acks that carried handler reply bytes;
+  // `actor_no_mailbox` counts messages rejected with GMT_ERR_NO_ACTOR.
+  std::uint64_t actor_sent = 0;
+  std::uint64_t actor_delivered = 0;
+  std::uint64_t actor_replies = 0;
+  std::uint64_t actor_sender_parks = 0;
+  std::uint64_t actor_drains = 0;
+  std::uint64_t actor_no_mailbox = 0;
+
   // Average commands coalesced per network message (the aggregation
   // figure of merit; 1.0 means aggregation did nothing). NaN when no
   // message went out at all — a pure-local run has no aggregation ratio,

@@ -1,0 +1,392 @@
+// Actor/mailbox layer invariants (gmt/actor.hpp), exercised by seeded
+// randomized multi-node traffic and a fault-injected service battery:
+//
+//  - per-(sender node, mailbox) FIFO with no loss and no duplication, under
+//    randomized destination/payload mixes from every node at once;
+//  - bounded mailbox depth: a burst past GMT_ACTOR_MAILBOX_DEPTH parks the
+//    sender on the stall-ticket list and everything still drains;
+//  - quiescence: actor::idle() flips false while a message is buffered and
+//    true once every mailbox has drained;
+//  - rejection: sends to an unregistered id resolve with GMT_ERR_NO_ACTOR;
+//  - kill-a-node mid-service: calls toward the corpse resolve with
+//    GMT_ERR_NODE_LOST (never wedge), survivors keep serving verified
+//    replies — run plain, with source-side combining enabled, and with the
+//    software cache enabled, so the fault matrix covers the full stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/config.hpp"
+#include "common/time.hpp"
+#include "gmt/error.hpp"
+#include "gmt/gmt.hpp"
+#include "gmt/obs.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace gmt {
+namespace {
+
+constexpr std::uint32_t kMaxNodes = 3;
+constexpr std::uint64_t kCheckActor = 0xc4ec;
+constexpr std::uint64_t kEchoActor = 0xec40;
+
+Config membership_config() {
+  Config config = Config::testing();
+  config.reliable_transport = true;
+  config.membership = true;
+  config.heartbeat_ns = 2'000'000;          // 2 ms
+  config.suspect_timeout_ns = 200'000'000;  // 200 ms
+  return config;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// ---- FIFO / no-loss / no-dup checker ----
+//
+// Each sender node keeps a per-destination counter and stamps it into the
+// message; the receiving handler (one per node) asserts the counter from
+// each source arrives exactly in 0,1,2,... order. Any loss, duplication,
+// or reorder per (sender node, mailbox) breaks the exact-match.
+
+struct SeqMsg {
+  std::uint64_t counter;
+  std::uint32_t pad_len;  // trailing pad bytes, value-checked for integrity
+  std::uint32_t pad0 = 0;
+};
+
+struct CheckerState {
+  std::uint64_t expected[kMaxNodes] = {0, 0, 0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> received{0};
+};
+
+CheckerState g_check[kMaxNodes];
+
+void checker_handler(void* ctx, const actor::Message& msg) {
+  auto* st = static_cast<CheckerState*>(ctx);
+  SeqMsg m;
+  std::memcpy(&m, msg.data, sizeof(m));
+  if (msg.src >= kMaxNodes || msg.size != sizeof(SeqMsg) + m.pad_len ||
+      m.counter != st->expected[msg.src]) {
+    st->violations.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    st->expected[msg.src]++;
+  }
+  // Payload integrity: the pad rides through aggregation untouched.
+  const auto* pad = static_cast<const std::uint8_t*>(msg.data) + sizeof(m);
+  for (std::uint32_t i = 0; i < m.pad_len; ++i)
+    if (pad[i] != static_cast<std::uint8_t>(m.counter * 13 + i))
+      st->violations.fetch_add(1, std::memory_order_relaxed);
+  st->received.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(Actor, FifoNoLossNoDupUnderRandomizedTraffic) {
+  constexpr std::uint64_t kPerPair = 400;  // msgs per (sender, dst) pair
+  for (CheckerState& st : g_check) {
+    for (std::uint64_t& e : st.expected) e = 0;
+    st.violations.store(0);
+    st.received.store(0);
+  }
+
+  rt::Cluster cluster(kMaxNodes, Config::testing());
+  test::run_task(cluster, [] {
+    const std::uint32_t nodes = gmt_num_nodes();
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            ASSERT_TRUE(actor::register_mailbox(kCheckActor, &checker_handler,
+                                                &g_check[gmt_node_id()]));
+          },
+          nullptr, 0);
+
+    // One sender task per node; each sends kPerPair messages to every
+    // node (self included) with a seeded-random destination order and a
+    // seeded-random pad length per message. Sequence counters are claimed
+    // in program order, so the checker's exact-order assertion is the
+    // FIFO/no-loss/no-dup proof.
+    test::parfor_lambda(nodes, 1, [nodes](std::uint64_t sender) {
+      std::uint64_t rng = 0x5eed0000 + sender;
+      std::uint64_t counter[kMaxNodes] = {0, 0, 0};
+      std::uint64_t sent = 0;
+      const std::uint64_t total = kPerPair * nodes;
+      std::uint8_t buf[sizeof(SeqMsg) + 48];
+      while (sent < total) {
+        rng = mix64(rng);
+        const auto dst = static_cast<std::uint32_t>(rng % nodes);
+        if (counter[dst] >= kPerPair) continue;
+        SeqMsg m{};
+        m.counter = counter[dst]++;
+        m.pad_len = static_cast<std::uint32_t>((rng >> 32) % 48);
+        std::memcpy(buf, &m, sizeof(m));
+        for (std::uint32_t i = 0; i < m.pad_len; ++i)
+          buf[sizeof(m) + i] = static_cast<std::uint8_t>(m.counter * 13 + i);
+        actor::post(dst, kCheckActor, buf, sizeof(m) + m.pad_len);
+        ++sent;
+      }
+    });
+    // parfor joined => every post was acked => every message processed.
+
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            // Quiescence on every node once traffic is joined.
+            const std::uint64_t deadline = wall_ns() + 5'000'000'000ull;
+            while (!actor::idle() && wall_ns() < deadline) gmt_yield();
+            EXPECT_TRUE(actor::idle());
+            EXPECT_TRUE(actor::unregister_mailbox(kCheckActor));
+          },
+          nullptr, 0);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+  });
+
+  std::uint64_t received = 0;
+  for (std::uint32_t n = 0; n < kMaxNodes; ++n) {
+    EXPECT_EQ(g_check[n].violations.load(), 0u) << "node " << n;
+    for (std::uint32_t s = 0; s < kMaxNodes; ++s)
+      EXPECT_EQ(g_check[n].expected[s], kPerPair)
+          << "node " << n << " from " << s;
+    received += g_check[n].received.load();
+  }
+  EXPECT_EQ(received, kPerPair * kMaxNodes * kMaxNodes);
+}
+
+// ---- bounded depth: parks and full drain ----
+
+std::atomic<std::uint64_t> g_sink_count{0};
+
+void sink_handler(void*, const actor::Message& msg) {
+  std::uint64_t v;
+  std::memcpy(&v, msg.data, sizeof(v));
+  g_sink_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(Actor, BoundedDepthParksSenderAndDrains) {
+  constexpr std::uint64_t kBurst = 256;
+  g_sink_count.store(0);
+  Config config = Config::testing();
+  config.actor_mailbox_depth = 4;  // tiny window: a burst must park
+  ASSERT_TRUE(config.validate().empty()) << config.validate();
+
+  const std::uint64_t parks_before =
+      stats_snapshot().counter(obs::names::kActorParks);
+
+  rt::Cluster cluster(2, config);
+  test::run_task(cluster, [] {
+    ASSERT_EQ(gmt_node_id(), 0u);
+    gmt_on(
+        1,
+        [](std::uint64_t, const void*) {
+          ASSERT_TRUE(
+              actor::register_mailbox(kEchoActor, &sink_handler, nullptr));
+        },
+        nullptr, 0);
+    // Fire-and-forget burst far past the 4-deep window, from one task:
+    // the sender must park (not spin, not drop) and the parfor-free join
+    // below (task end) collects every ack.
+    for (std::uint64_t i = 0; i < kBurst; ++i)
+      actor::post(1, kEchoActor, i);
+    gmt_wait_commands();
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_on(
+        1,
+        [](std::uint64_t, const void*) {
+          const std::uint64_t deadline = wall_ns() + 5'000'000'000ull;
+          while (!actor::idle() && wall_ns() < deadline) gmt_yield();
+          EXPECT_TRUE(actor::idle());
+          EXPECT_TRUE(actor::unregister_mailbox(kEchoActor));
+        },
+        nullptr, 0);
+  });
+
+  EXPECT_EQ(g_sink_count.load(), kBurst);
+  const std::uint64_t parks_after =
+      stats_snapshot().counter(obs::names::kActorParks);
+  EXPECT_GT(parks_after - parks_before, 0u)
+      << "a 256-message burst through a 4-deep window must park the sender";
+}
+
+// ---- quiescence tracks buffering; replies land; rejects surface ----
+
+void echo_double_handler(void*, const actor::Message& msg) {
+  std::uint64_t v;
+  std::memcpy(&v, msg.data, sizeof(v));
+  v *= 2;
+  msg.reply(&v, sizeof(v));
+}
+
+TEST(Actor, IdleFlipsWithBufferedMessagesAndRepliesLand) {
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    EXPECT_TRUE(actor::idle());  // nothing registered, nothing buffered
+    ASSERT_TRUE(
+        actor::register_mailbox(kEchoActor, &echo_double_handler, nullptr));
+    EXPECT_FALSE(actor::register_mailbox(kEchoActor, &echo_double_handler,
+                                         nullptr));  // duplicate id
+
+    // Self-send: the message is buffered in the local mailbox the moment
+    // send() returns (the delivery task has not run — this task has not
+    // yielded), so idle() must read false, then true after the reply.
+    std::uint64_t reply = 0;
+    const std::uint64_t req = 21;
+    Future f = actor::call(gmt_node_id(), kEchoActor, req, &reply);
+    EXPECT_FALSE(actor::idle());
+    EXPECT_EQ(wait(f), GMT_ERR_OK);
+    EXPECT_EQ(reply, 42u);
+    const std::uint64_t deadline = wall_ns() + 5'000'000'000ull;
+    while (!actor::idle() && wall_ns() < deadline) gmt_yield();
+    EXPECT_TRUE(actor::idle());
+
+    EXPECT_TRUE(actor::unregister_mailbox(kEchoActor));
+    EXPECT_FALSE(actor::unregister_mailbox(kEchoActor));
+
+    // Messages for an id nobody registered resolve per-op with
+    // GMT_ERR_NO_ACTOR — sticky task status untouched.
+    const std::uint64_t no_mailbox_before =
+        stats_snapshot().counter(obs::names::kActorNoMailbox);
+    EXPECT_EQ(wait(actor::send(1, /*unregistered id*/ 0xab5e47, req)),
+              GMT_ERR_NO_ACTOR);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    EXPECT_GT(stats_snapshot().counter(obs::names::kActorNoMailbox),
+              no_mailbox_before);
+  });
+}
+
+// Concurrent randomized request/response traffic: every reply must carry
+// the transform of its own request — cross-wiring a reply to the wrong
+// caller or clobbering a stale buffer fails the exact match.
+TEST(Actor, ConcurrentCallsGetTheirOwnReplies) {
+  rt::Cluster cluster(kMaxNodes, Config::testing());
+  test::run_task(cluster, [] {
+    const std::uint32_t nodes = gmt_num_nodes();
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            ASSERT_TRUE(actor::register_mailbox(kEchoActor,
+                                                &echo_double_handler, nullptr));
+          },
+          nullptr, 0);
+    test::parfor_lambda(3000, 16, [nodes](std::uint64_t i) {
+      const std::uint64_t v = mix64(i) >> 1;
+      const auto dst = static_cast<std::uint32_t>(mix64(~i) % nodes);
+      std::uint64_t reply = 0;
+      ASSERT_EQ(wait(actor::call(dst, kEchoActor, v, &reply)), GMT_ERR_OK);
+      ASSERT_EQ(reply, v * 2);
+    });
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            EXPECT_TRUE(actor::unregister_mailbox(kEchoActor));
+          },
+          nullptr, 0);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+  });
+}
+
+// ---- kill-a-node mid-service ----
+//
+// Node 2 goes dark after its first 50 sends, with request traffic in
+// flight toward it. Liveness is the core assertion: every call() resolves
+// (OK before the cut, GMT_ERR_NODE_LOST once detection fails the in-flight
+// window) and survivors answer verified replies throughout and after.
+void run_kill_mid_service(Config config) {
+  config.fault.kill_node = 2;
+  config.fault.kill_at = 50;  // dies mid-run, with traffic in flight
+  config.fault.seed = 0x5eed;
+  ASSERT_TRUE(config.validate().empty()) << config.validate();
+
+  rt::Cluster cluster(3, config);
+  test::run_task(cluster, [] {
+    for (std::uint32_t n = 0; n < 3; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            actor::register_mailbox(kEchoActor, &echo_double_handler, nullptr);
+          },
+          nullptr, 0);
+    // The spawn toward the doomed node may itself be failed by detection.
+    gmt_clear_error();
+
+    std::uint64_t corpse_losses = 0, corpse_oks = 0, rounds = 0;
+    while (gmt_membership_epoch() == 0 && rounds < 1'000'000) {
+      for (std::uint32_t dst = 0; dst < 3; ++dst) {
+        const std::uint64_t v = mix64(rounds * 3 + dst) >> 1;
+        std::uint64_t reply = 0;
+        const std::uint32_t status =
+            wait(actor::call(dst, kEchoActor, v, &reply));
+        if (dst == 2) {
+          // Toward the corpse: OK before the cut, NODE_LOST after —
+          // never a hang, never any third status.
+          ASSERT_TRUE(status == GMT_ERR_OK || status == GMT_ERR_NODE_LOST)
+              << status;
+          status == GMT_ERR_OK ? ++corpse_oks : ++corpse_losses;
+          if (status == GMT_ERR_OK) {
+            ASSERT_EQ(reply, v * 2);
+          }
+        } else {
+          ASSERT_EQ(status, GMT_ERR_OK);
+          ASSERT_EQ(reply, v * 2);
+        }
+      }
+      ++rounds;
+    }
+    ASSERT_GT(gmt_membership_epoch(), 0u);
+    EXPECT_FALSE(gmt_node_is_live(2));
+    EXPECT_GT(corpse_losses, 0u);
+    (void)corpse_oks;  // may legitimately be zero if the cut lands early
+    gmt_clear_error();  // post-style stickiness from the dying window
+
+    // After the epoch: sends toward the corpse fail fast per-op; the
+    // survivors keep serving verified replies; sticky status stays clean.
+    for (int i = 0; i < 32; ++i) {
+      std::uint64_t reply = 0;
+      EXPECT_EQ(wait(actor::call(2, kEchoActor, std::uint64_t{7}, &reply)),
+                GMT_ERR_NODE_LOST);
+      for (std::uint32_t dst = 0; dst < 2; ++dst) {
+        const std::uint64_t v = mix64(1000 + i * 2 + dst) >> 1;
+        std::uint64_t r = 0;
+        EXPECT_EQ(wait(actor::call(dst, kEchoActor, v, &r)), GMT_ERR_OK);
+        EXPECT_EQ(r, v * 2);
+      }
+    }
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+
+    for (std::uint32_t n = 0; n < 2; ++n)
+      gmt_on(
+          n,
+          [](std::uint64_t, const void*) {
+            EXPECT_TRUE(actor::unregister_mailbox(kEchoActor));
+          },
+          nullptr, 0);
+  });
+}
+
+TEST(Actor, KillMidServiceSurvivorsKeepServing) {
+  run_kill_mid_service(membership_config());
+}
+
+TEST(Actor, KillMidServiceWithCombining) {
+  Config config = membership_config();
+  config.combine = true;
+  run_kill_mid_service(config);
+}
+
+TEST(Actor, KillMidServiceWithCache) {
+  Config config = membership_config();
+  config.cache = true;
+  run_kill_mid_service(config);
+}
+
+}  // namespace
+}  // namespace gmt

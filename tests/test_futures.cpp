@@ -281,5 +281,124 @@ TEST(Futures, DeadPeerSurfacesNodeLostPerOpNotSticky) {
   });
 }
 
+// wait_any over a mixed set — one member doomed by node loss, the rest
+// healthy — hands back every index with its own verdict: the failed op
+// surfaces GMT_ERR_NODE_LOST through the status out-param, the successes
+// surface GMT_ERR_OK with correct data, and nothing hangs.
+TEST(Futures, WaitAnyMixedNodeLostAndSuccesses) {
+  Config config = membership_config();
+  config.fault.kill_node = 2;
+  config.fault.kill_at = 0;  // dark from the first send
+  config.fault.seed = 0x5eed;
+  ASSERT_TRUE(config.validate().empty()) << config.validate();
+
+  rt::Cluster cluster(3, config);
+  test::run_task(cluster, [] {
+    const gmt_handle h = gmt_new(3 * kBlock, Alloc::kPartition);
+    while (gmt_membership_epoch() == 0) gmt_yield();
+    gmt_clear_error();
+
+    constexpr int kN = 3;
+    gmt_put_value(h, 1 * kBlock, 0x21, 8);
+    gmt_put_value(h, 1 * kBlock + 8, 0x22, 8);
+    std::uint64_t vals[kN] = {0, 0, 0};
+    Future fs[kN];
+    fs[0] = gmt_get_f(h, 2 * kBlock, &vals[0], 8);  // doomed partition
+    fs[1] = gmt_get_f(h, 1 * kBlock, &vals[1], 8);
+    fs[2] = gmt_get_f(h, 1 * kBlock + 8, &vals[2], 8);
+
+    // Collect with wait_any, shrinking the set as members resolve (a
+    // consumed future reads as ready forever, so it must leave the set).
+    std::uint32_t seen_status[kN] = {~0u, ~0u, ~0u};
+    bool done[kN] = {false, false, false};
+    int remaining = kN;
+    while (remaining > 0) {
+      Future pending[kN];
+      std::size_t back_map[kN];
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < kN; ++i)
+        if (!done[i]) {
+          back_map[n] = i;
+          pending[n++] = fs[i];
+        }
+      std::uint32_t status = ~0u;
+      const std::size_t idx =
+          wait_any(std::span<const Future>(pending, n), &status);
+      ASSERT_LT(idx, n);
+      done[back_map[idx]] = true;
+      seen_status[back_map[idx]] = status;
+      --remaining;
+    }
+    EXPECT_EQ(seen_status[0], GMT_ERR_NODE_LOST);
+    EXPECT_EQ(seen_status[1], GMT_ERR_OK);
+    EXPECT_EQ(seen_status[2], GMT_ERR_OK);
+    EXPECT_EQ(vals[1], 0x21u);
+    EXPECT_EQ(vals[2], 0x22u);
+    // Per-op verdicts never leak into the sticky task status.
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+  });
+}
+
+// ---- actor replies resolve through the same future machinery ----
+
+void futures_actor_echo(void*, const actor::Message& msg) {
+  std::uint64_t v;
+  std::memcpy(&v, msg.data, sizeof(v));
+  v += 0x1000;
+  msg.reply(&v, sizeof(v));
+}
+
+// An actor call() is just another future-producing op: the reply rides the
+// delivery ack into the caller's buffer before the future resolves, the
+// future composes with wait_all alongside data-plane futures, and a
+// reply-less send() resolves OK without touching the buffer.
+TEST(Futures, ActorReplyRoundTripViaFuture) {
+  constexpr std::uint64_t kEcho = 0xfeca;
+  rt::Cluster cluster(2, Config::testing());
+  test::run_task(cluster, [] {
+    gmt_on(
+        1,
+        [](std::uint64_t, const void*) {
+          ASSERT_TRUE(
+              actor::register_mailbox(kEcho, &futures_actor_echo, nullptr));
+        },
+        nullptr, 0);
+
+    // Round trip: reply lands before wait() returns.
+    std::uint64_t reply = 0;
+    Future f = actor::call(1, kEcho, std::uint64_t{5}, &reply);
+    EXPECT_EQ(wait(f), GMT_ERR_OK);
+    EXPECT_EQ(reply, 0x1005u);
+    EXPECT_TRUE(is_ready(f));
+    EXPECT_EQ(wait(f), GMT_ERR_OK);  // double-wait stays a no-op success
+
+    // Actor futures mix with data-plane futures under wait_all.
+    const gmt_handle h = gmt_new(2 * kBlock, Alloc::kPartition);
+    gmt_put_value(h, kBlock, 0x77, 8);
+    std::uint64_t got = 0, reply2 = 0;
+    Future fs[2];
+    fs[0] = gmt_get_f(h, kBlock, &got, 8);
+    fs[1] = actor::call(1, kEcho, std::uint64_t{9}, &reply2);
+    EXPECT_EQ(wait_all(std::span<const Future>(fs, 2)), GMT_ERR_OK);
+    EXPECT_EQ(got, 0x77u);
+    EXPECT_EQ(reply2, 0x1009u);
+
+    // send() (no reply buffer) resolves once the handler ran; the
+    // handler's reply() is dropped and nothing is clobbered.
+    reply = 0xdeadbeef;
+    EXPECT_EQ(wait(actor::send(1, kEcho, std::uint64_t{1})), GMT_ERR_OK);
+    EXPECT_EQ(reply, 0xdeadbeefu);
+
+    gmt_on(
+        1,
+        [](std::uint64_t, const void*) {
+          EXPECT_TRUE(actor::unregister_mailbox(kEcho));
+        },
+        nullptr, 0);
+    EXPECT_EQ(gmt_last_error(), GMT_ERR_OK);
+    gmt_free(h);
+  });
+}
+
 }  // namespace
 }  // namespace gmt
