@@ -1,0 +1,167 @@
+// Ablation: the integer histogram-sort (count → scan → shuffle) over the
+// combining layer. Sweeps key skew (Zipf s) with GMT_COMBINE on vs off,
+// recording per-phase wall time, end-to-end sort throughput and wire
+// commands. Skewed keys concentrate both the counting atomics and the
+// shuffle's cursor fetch-adds on a few hot buckets — exactly the traffic
+// the combining table elides — so the command reduction must grow with s
+// while the sorted output stays bit-exact against the std::sort oracle at
+// every swept configuration (the bench aborts on any mismatch).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "gmt/gmt.hpp"
+#include "gmt/obs.hpp"
+#include "kernels/sort_gmt.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+using namespace gmt;
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint64_t kBuckets = 512;
+
+// Root-task context: cluster.run takes a plain function, so the bench
+// threads its state through a global (single-threaded driver).
+struct RunContext {
+  const std::vector<std::uint64_t>* keys = nullptr;
+  const std::vector<std::uint64_t>* oracle = nullptr;
+  gmt_handle handle = kNullHandle;
+  kernels::SortResult result;
+  bool exact = false;
+} g_ctx;
+
+void upload_root(std::uint64_t, const void*) {
+  g_ctx.handle = kernels::upload_keys(*g_ctx.keys);
+}
+
+void sort_root(std::uint64_t, const void*) {
+  const std::uint64_t n = g_ctx.keys->size();
+  g_ctx.result = kernels::sort_gmt(g_ctx.handle, n, kBuckets,
+                                   kernels::HistogramMode::kDirect);
+
+  // Oracle check: the sorted array must match std::sort bit-exactly.
+  std::vector<std::uint64_t> sorted(n);
+  constexpr std::uint64_t kChunk = 4096;
+  for (std::uint64_t i = 0; i < n; i += kChunk) {
+    const std::uint64_t count = n - i < kChunk ? n - i : kChunk;
+    gmt_get(g_ctx.result.sorted, i * 8, sorted.data() + i, count * 8);
+  }
+  g_ctx.exact = sorted == *g_ctx.oracle;
+
+  kernels::sort_free(g_ctx.result);
+  gmt_free(g_ctx.handle);
+  g_ctx.handle = kNullHandle;
+}
+
+std::uint64_t wire_commands(rt::Cluster& cluster) {
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    total += cluster.node(n).obs().snapshot().counter(
+        obs::names::kAggCommands);
+  return total;
+}
+
+struct RunResult {
+  double count_s = 0;
+  double scan_s = 0;
+  double shuffle_s = 0;
+  double total_s = 0;
+  double mkeys = 0;        // sorted keys per second, in millions
+  std::uint64_t cmds = 0;  // wire commands of the sort only
+};
+
+RunResult run_once(const std::vector<std::uint64_t>& keys,
+                   const std::vector<std::uint64_t>& oracle, bool combine) {
+  Config config;
+  config.combine = combine;
+  config.pin_threads = false;  // benches share one oversubscribed host
+  rt::Cluster cluster(kNodes, config);
+
+  g_ctx.keys = &keys;
+  g_ctx.oracle = &oracle;
+  cluster.run(&upload_root);
+  const std::uint64_t before = wire_commands(cluster);
+  cluster.run(&sort_root);
+  RunResult r;
+  r.cmds = wire_commands(cluster) - before;
+  r.count_s = g_ctx.result.count_seconds;
+  r.scan_s = g_ctx.result.scan_seconds;
+  r.shuffle_s = g_ctx.result.shuffle_seconds;
+  r.total_s = g_ctx.result.seconds;
+  r.mkeys = static_cast<double>(keys.size()) / g_ctx.result.seconds / 1e6;
+  if (!g_ctx.exact) {
+    std::fprintf(stderr,
+                 "FATAL: sorted output diverged from the std::sort oracle "
+                 "(combine=%d, n=%zu)\n",
+                 combine ? 1 : 0, keys.size());
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto n = static_cast<std::uint64_t>(200'000 * args.scale);
+
+  bench::BenchJson json("sort");
+  json.set_config("nodes", kNodes);
+  json.set_config("keys", n);
+  json.set_config("buckets", kBuckets);
+
+  bench::Table table({"zipf s", "combine", "count s", "scan s", "shuffle s",
+                      "total s", "M keys/s", "wire cmds", "cmds off/on",
+                      "keys/s on/off"});
+  for (const double s : {0.0, 0.75, 1.0, 1.5}) {
+    const auto keys = kernels::make_zipf_keys(n, kBuckets, s, 0xc0ffee);
+    std::vector<std::uint64_t> oracle = keys;
+    std::sort(oracle.begin(), oracle.end());
+
+    const RunResult off = run_once(keys, oracle, false);
+    const RunResult on = run_once(keys, oracle, true);
+
+    const double cmd_reduction =
+        static_cast<double>(off.cmds) / static_cast<double>(on.cmds);
+    const double speedup = on.mkeys / off.mkeys;
+    table.add_row({bench::fmt("%.2f", s), "off",
+                   bench::fmt("%.3f", off.count_s),
+                   bench::fmt("%.3f", off.scan_s),
+                   bench::fmt("%.3f", off.shuffle_s),
+                   bench::fmt("%.3f", off.total_s),
+                   bench::fmt("%.2f", off.mkeys), bench::fmt_u64(off.cmds),
+                   "", ""});
+    table.add_row({bench::fmt("%.2f", s), "on",
+                   bench::fmt("%.3f", on.count_s),
+                   bench::fmt("%.3f", on.scan_s),
+                   bench::fmt("%.3f", on.shuffle_s),
+                   bench::fmt("%.3f", on.total_s),
+                   bench::fmt("%.2f", on.mkeys), bench::fmt_u64(on.cmds),
+                   bench::fmt("%.2fx", cmd_reduction),
+                   bench::fmt("%.2fx", speedup)});
+
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "s%.2f", s);
+    json.add_metric(std::string(prefix) + "_cmds_off",
+                    static_cast<double>(off.cmds), "commands");
+    json.add_metric(std::string(prefix) + "_cmds_on",
+                    static_cast<double>(on.cmds), "commands");
+    json.add_metric(std::string(prefix) + "_cmd_reduction", cmd_reduction,
+                    "x");
+    json.add_metric(std::string(prefix) + "_mkeys_off", off.mkeys, "Mkeys/s");
+    json.add_metric(std::string(prefix) + "_mkeys_on", on.mkeys, "Mkeys/s");
+    json.add_metric(std::string(prefix) + "_speedup", speedup, "x");
+    json.add_metric(std::string(prefix) + "_count_s_on", on.count_s, "s");
+    json.add_metric(std::string(prefix) + "_scan_s_on", on.scan_s, "s");
+    json.add_metric(std::string(prefix) + "_shuffle_s_on", on.shuffle_s, "s");
+  }
+
+  table.print("Ablation: histogram-sort over the combining layer");
+  table.write_csv(args.csv_path);
+  json.write(args.json_path);
+  return 0;
+}

@@ -255,6 +255,22 @@ void gmt_atomic_cas(gmt_handle handle, std::uint64_t index,
                        static_cast<std::uint64_t>(desired[k]), sizeof(T)));
 }
 
+// ---- collectives ----
+
+// Distributed exclusive prefix scan over u64 elements:
+//   dst[dst_first + i] = Σ src[src_first .. src_first + i)   for i < count
+// Returns the total (the sum of the whole scanned range). Runs inside a
+// task and parallelises with nested gmt_parfor in ~512-element stripes
+// (partial sums → host scan of the stripe sums → rewrite), so it inherits
+// the runtime's aggregation and credit-based flow control; a <= 512-element
+// scan reuses the node's cached scratch cell and allocates nothing. src and
+// dst may be the same handle only when the ranges coincide exactly (the
+// in-place scan). The bucket-offset step of the histogram-sort
+// (src/kernels/sort_gmt.cpp) is the motivating caller.
+std::uint64_t gmt_scan(gmt_handle src, gmt_handle dst, std::uint64_t count,
+                       std::uint64_t src_first = 0,
+                       std::uint64_t dst_first = 0);
+
 // ---- parallelism (paper §III-B) ----
 
 // Executes fn(i, args_copy) for i in [0, iterations), spawning tasks of

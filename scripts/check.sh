@@ -8,11 +8,12 @@
 #   --asan         build/test the asan preset instead of default
 #   --tsan         build the tsan preset and run only the concurrency-
 #                  sensitive labels (runtime|aggregation|flowcontrol|
-#                  memory|membership|combine|cache|actor) — the
+#                  memory|membership|combine|cache|actor|sort) — the
 #                  scheduler, aggregation pipeline, flow control, memory
 #                  reclamation, the failure detector, the combining
-#                  table, the cache/futures machinery and the actor
-#                  mailboxes are where data races would live
+#                  table, the cache/futures machinery, the actor
+#                  mailboxes and the scan/shuffle cursor races of the
+#                  histogram-sort are where data races would live
 #   --bench-smoke  also run the perf-smoke benches (short task-pool
 #                  concurrency sweep; emits BENCH_*.json perf records)
 #   --obs-smoke    also run the observability smoke (traced BFS through
@@ -49,7 +50,7 @@ builddir=build
 if [[ "$preset" == "tsan" ]]; then
   echo "== thread-sanitized concurrency tests =="
   ctest --test-dir "$builddir" \
-    -L 'runtime|aggregation|flowcontrol|memory|membership|combine|cache|actor' \
+    -L 'runtime|aggregation|flowcontrol|memory|membership|combine|cache|actor|sort' \
     --output-on-failure
   exit 0
 fi
@@ -74,6 +75,9 @@ ctest --test-dir "$builddir" -L cache --output-on-failure
 
 echo "== actor/mailbox tests (incl. kill-mid-service battery) =="
 ctest --test-dir "$builddir" -L actor --output-on-failure
+
+echo "== histogram-sort / scan tests =="
+ctest --test-dir "$builddir" -L sort --output-on-failure
 
 if [[ "$soak" == 1 ]]; then
   echo "== membership soak: kill-a-node-mid-BFS x20 =="

@@ -27,6 +27,11 @@ namespace gmt::kernels {
 
 enum class HistogramMode { kDirect, kTwoPhase };
 
+// Keys handled per task across the histogram/sort kernels: big enough that
+// a task's hot-bucket increments overlap in the combining table, small
+// enough to spread across workers.
+inline constexpr std::uint64_t kKeysPerTask = 8192;
+
 struct HistogramResult {
   double seconds = 0;
   std::uint64_t keys = 0;
@@ -43,11 +48,21 @@ std::vector<std::uint64_t> make_zipf_keys(std::uint64_t n,
                                           std::uint64_t seed);
 
 // Uploads host keys into a fresh kPartition u64 array (must be called
-// from inside a GMT task; caller frees).
+// from inside a GMT task; caller frees). Empty input has no backing array:
+// returns kNullHandle, which histogram_gmt/sort_gmt accept with n = 0.
 gmt_handle upload_keys(const std::vector<std::uint64_t>& keys);
 
+// Fetches `count` u64 keys starting at element `begin` with chunked
+// blocking gets (shared by the histogram and sort slice bodies).
+std::vector<std::uint64_t> fetch_keys(gmt_handle keys, std::uint64_t begin,
+                                      std::uint64_t count);
+
 // Counts key occurrences into a fresh global array. Must be called from
-// inside a GMT task. Keys must be < buckets.
+// inside a GMT task. Requires buckets > 0; n = 0 yields all-zero counts.
+// A key >= buckets is a checked error (GMT_CHECK aborts loudly) — before
+// this check the direct strategy emitted a remote atomic past the counts
+// array and the two-phase strategy wrote its task-local table out of
+// bounds (heap OOB).
 HistogramResult histogram_gmt(gmt_handle keys, std::uint64_t n,
                               std::uint64_t buckets, HistogramMode mode);
 

@@ -1,0 +1,157 @@
+#include "kernels/sort_gmt.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "gmt/error.hpp"
+#include "runtime/collectives.hpp"
+
+namespace gmt::kernels {
+
+namespace {
+
+// Keys per wire put in the shuffle: one hot bucket's run can span a whole
+// slice (kKeysPerTask * 8 = 64 KB), which must not hit the aggregation
+// path as a single command.
+constexpr std::uint64_t kPutChunk = 4096;
+
+// Cursor reservations in flight per task before the first await.
+constexpr std::size_t kReserveBatch = 32;
+
+struct ShuffleArgs {
+  gmt_handle keys;
+  gmt_handle cursors;  // per-bucket next-write index, advanced atomically
+  gmt_handle sorted;
+  std::uint64_t n;
+  std::uint64_t buckets;
+};
+
+void shuffle_body(std::uint64_t slice, const void* raw) {
+  ShuffleArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  const std::uint64_t begin = slice * kKeysPerTask;
+  const std::uint64_t end =
+      begin + kKeysPerTask < args.n ? begin + kKeysPerTask : args.n;
+  const std::vector<std::uint64_t> keys =
+      fetch_keys(args.keys, begin, end - begin);
+
+  // Morsel-local aggregate: count the slice into a private table, so the
+  // cursor array sees one reservation per (task, nonzero bucket) instead
+  // of one atomic per key.
+  std::vector<std::uint32_t> local(args.buckets, 0);
+  for (const std::uint64_t key : keys) {
+    GMT_CHECK_MSG(key < args.buckets, "sort_gmt: key >= buckets");
+    ++local[key];
+  }
+  std::vector<std::uint64_t> nonzero;
+  for (std::uint64_t b = 0; b < args.buckets; ++b)
+    if (local[b] != 0) nonzero.push_back(b);
+
+  // Reserve a contiguous window per nonzero bucket: pipelined futures keep
+  // kReserveBatch fetch-adds in flight, so a slice touching hundreds of
+  // buckets pays a handful of round-trips, not hundreds.
+  std::vector<std::uint64_t> base(nonzero.size());
+  Future fs[kReserveBatch];
+  for (std::size_t at = 0; at < nonzero.size(); at += kReserveBatch) {
+    const std::size_t batch = nonzero.size() - at < kReserveBatch
+                                  ? nonzero.size() - at
+                                  : kReserveBatch;
+    for (std::size_t j = 0; j < batch; ++j)
+      fs[j] = gmt_atomic_add_f(args.cursors, nonzero[at + j] * 8,
+                               local[nonzero[at + j]], &base[at + j], 8);
+    wait_all(std::span<const Future>(fs, batch));
+  }
+
+  // Group the slice by bucket (one compaction pass), then stream each
+  // bucket's run to its reserved window through the aggregation path.
+  std::vector<std::uint64_t> grouped(keys.size());
+  std::vector<std::uint64_t> at(args.buckets, 0);
+  {
+    std::uint64_t running = 0;
+    for (const std::uint64_t b : nonzero) {
+      at[b] = running;
+      running += local[b];
+    }
+  }
+  std::vector<std::uint64_t> start(nonzero.size());
+  for (std::size_t j = 0; j < nonzero.size(); ++j) start[j] = at[nonzero[j]];
+  for (const std::uint64_t key : keys) grouped[at[key]++] = key;
+
+  for (std::size_t j = 0; j < nonzero.size(); ++j) {
+    const std::uint64_t run = local[nonzero[j]];
+    for (std::uint64_t off = 0; off < run; off += kPutChunk) {
+      const std::uint64_t chunk =
+          run - off < kPutChunk ? run - off : kPutChunk;
+      gmt_put_nb(args.sorted, (base[j] + off) * 8,
+                 grouped.data() + start[j] + off, chunk * 8);
+    }
+  }
+  gmt_wait_commands();
+}
+
+}  // namespace
+
+SortResult sort_gmt(gmt_handle keys, std::uint64_t n, std::uint64_t buckets,
+                    HistogramMode mode) {
+  GMT_CHECK_MSG(buckets > 0, "sort_gmt: zero buckets");
+  GMT_CHECK_MSG(n == 0 || keys != kNullHandle,
+                "sort_gmt: null key handle with n > 0");
+  SortResult result;
+  result.keys = n;
+  result.buckets = buckets;
+  result.offsets = gmt_new(buckets * 8, Alloc::kPartition);
+  if (n == 0) {
+    coll::fill_u64(result.offsets, 0, buckets, 0);
+    return result;  // sorted stays kNullHandle; offsets are all zero
+  }
+
+  StopWatch total_watch;
+  HistogramResult hist = histogram_gmt(keys, n, buckets, mode);
+  result.count_seconds = hist.seconds;
+
+  StopWatch scan_watch;
+  const std::uint64_t total = gmt_scan(hist.counts, result.offsets, buckets);
+  result.scan_seconds = scan_watch.elapsed_s();
+
+  // Node lost during count/scan: the counts are incomplete, so total != n
+  // is expected — surface the degraded run to the caller instead of
+  // treating it as the bug the GMT_CHECK below guards against.
+  if (gmt_last_error() != GMT_ERR_OK) {
+    gmt_free(hist.counts);
+    result.seconds = total_watch.elapsed_s();
+    return result;
+  }
+  GMT_CHECK_MSG(total == n, "sort_gmt: counting pass lost keys");
+
+  // The counts array retires into the shuffle's cursor array: overwrite it
+  // with the exclusive offsets and let tasks fetch-add their windows out
+  // of it, keeping `offsets` pristine for the caller.
+  coll::copy(hist.counts, 0, result.offsets, 0, buckets * 8);
+  result.sorted = gmt_new(n * 8, Alloc::kPartition);
+
+  StopWatch shuffle_watch;
+  ShuffleArgs args;
+  args.keys = keys;
+  args.cursors = hist.counts;
+  args.sorted = result.sorted;
+  args.n = n;
+  args.buckets = buckets;
+  gmt_parfor((n + kKeysPerTask - 1) / kKeysPerTask, 1, &shuffle_body, &args,
+             sizeof(args), Spawn::kPartition);
+  result.shuffle_seconds = shuffle_watch.elapsed_s();
+
+  gmt_free(hist.counts);
+  result.seconds = total_watch.elapsed_s();
+  return result;
+}
+
+void sort_free(SortResult& result) {
+  if (result.sorted != kNullHandle) gmt_free(result.sorted);
+  if (result.offsets != kNullHandle) gmt_free(result.offsets);
+  result.sorted = kNullHandle;
+  result.offsets = kNullHandle;
+}
+
+}  // namespace gmt::kernels

@@ -1,0 +1,70 @@
+// Distributed integer histogram-sort, GMT programming model.
+//
+// Sorts n u64 keys drawn from [0, buckets) — the FG-ABSP-style integer
+// sort (see PAPERS.md): the value range IS the bucket space, so a counting
+// pass plus a prefix scan fixes every key's destination exactly and the
+// "sort" reduces to one all-to-all shuffle. Three phases, each riding a
+// different part of the fabric:
+//
+//   1. Count    — the distributed histogram kernel verbatim
+//                 (histogram_gmt): fire-and-forget gmt_atomic_inc through
+//                 the source-side combining table (kDirect), or per-task
+//                 local tables merged with gmt_atomic_add_nb (kTwoPhase).
+//   2. Scan     — gmt_scan turns bucket counts into exclusive start
+//                 offsets (the new distributed prefix-scan collective).
+//   3. Shuffle  — each task counts its slice locally (the morsel-local
+//                 aggregate of Leis et al., SNIPPETS.md), reserves one
+//                 contiguous write window per nonzero bucket with
+//                 pipelined gmt_atomic_add_f futures against a cursor
+//                 array, groups the slice by bucket, and streams each run
+//                 to its window with bulk non-blocking puts — exactly the
+//                 irregular bulk traffic the aggregation layer batches and
+//                 the credit windows throttle.
+//
+// Ordering: output is ascending by key. Keys within a bucket are identical
+// integers, so bucket-internal "stability" is vacuous for this kernel; the
+// order in which tasks claim their cursor windows is nondeterministic, and
+// a future payload-carrying variant would be stable only within one task's
+// slice. The result therefore exact-matches a std::sort oracle bit for bit.
+//
+// Degraded mode: if a node is lost mid-sort the phases terminate (no hang),
+// the sticky task error reads GMT_ERR_NODE_LOST, and the partially written
+// result must be discarded — re-run after the membership epoch commits
+// (with replication on, the retry sorts exactly; see test_sort.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "gmt/gmt.hpp"
+#include "kernels/histogram_gmt.hpp"
+
+namespace gmt::kernels {
+
+struct SortResult {
+  // Phase wall times; seconds is the end-to-end figure.
+  double seconds = 0;
+  double count_seconds = 0;
+  double scan_seconds = 0;
+  double shuffle_seconds = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t buckets = 0;
+  // Sorted keys (n x u64, ascending; kNullHandle when n == 0). Caller frees.
+  gmt_handle sorted = kNullHandle;
+  // Exclusive per-bucket start offsets (buckets x u64: offsets[b] is where
+  // bucket b begins in `sorted`; all zero when n == 0). Caller frees.
+  gmt_handle offsets = kNullHandle;
+};
+
+// Sorts the `keys` array (n u64 elements, each < buckets) into a fresh
+// global array. Must be called from inside a GMT task. Requires
+// buckets > 0; accepts n = 0 (with keys == kNullHandle) and single-bucket
+// inputs. `mode` selects the counting strategy (HistogramMode above). On
+// node loss the partial result is unusable: check gmt_last_error() before
+// trusting `sorted`.
+SortResult sort_gmt(gmt_handle keys, std::uint64_t n, std::uint64_t buckets,
+                    HistogramMode mode = HistogramMode::kDirect);
+
+// Frees the result's arrays (no-ops on kNullHandle members).
+void sort_free(SortResult& result);
+
+}  // namespace gmt::kernels

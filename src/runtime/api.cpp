@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/config.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/collectives.hpp"
 #include "runtime/node.hpp"
 
 namespace gmt {
@@ -153,6 +154,12 @@ std::uint64_t gmt_atomic_cas(gmt_handle handle, std::uint64_t offset,
                              std::uint32_t width) {
   rt::Worker& w = current_worker();
   return w.node().op_atomic_cas(w, handle, offset, expected, desired, width);
+}
+
+std::uint64_t gmt_scan(gmt_handle src, gmt_handle dst, std::uint64_t count,
+                       std::uint64_t src_first, std::uint64_t dst_first) {
+  (void)current_worker();  // same task-context contract as the ops above
+  return coll::exclusive_scan_u64(src, src_first, count, dst, dst_first);
 }
 
 void gmt_parfor(std::uint64_t iterations, std::uint64_t chunk, TaskFn fn,

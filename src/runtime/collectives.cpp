@@ -130,6 +130,60 @@ void histogram_body(std::uint64_t stripe, const void* raw) {
     gmt_atomic_add(args.accumulator, (buffer[i] % args.num_bins) * 8, 1, 8);
 }
 
+struct ScanArgs {
+  gmt_handle in;
+  gmt_handle out;
+  gmt_handle partials;  // one u64 per stripe
+  std::uint64_t in_first;
+  std::uint64_t out_first;
+  std::uint64_t count;
+};
+
+void scan_bounds(const ScanArgs& args, std::uint64_t stripe,
+                 std::uint64_t* begin, std::uint64_t* n) {
+  *begin = stripe * kStripe;
+  *n = *begin < args.count
+           ? (args.count - *begin < kStripe ? args.count - *begin : kStripe)
+           : 0;
+}
+
+// Pass 1: per-stripe sums into partials[stripe].
+void scan_sum_body(std::uint64_t stripe, const void* raw) {
+  ScanArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  scan_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.in, (args.in_first + begin) * 8, buffer, n * 8);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) sum += buffer[i];
+  gmt_put_value(args.partials, stripe * 8, sum, 8);
+}
+
+// Pass 2: partials[stripe] now holds the stripe's exclusive base; re-read
+// the input slice, scan it in place and write the output slice. In-place
+// (in == out, same range) is safe because each stripe reads only the slice
+// it overwrites.
+void scan_write_body(std::uint64_t stripe, const void* raw) {
+  ScanArgs args;
+  std::memcpy(&args, raw, sizeof(args));
+  std::uint64_t begin, n;
+  scan_bounds(args, stripe, &begin, &n);
+  if (!n) return;
+  std::uint64_t base = 0;
+  gmt_get(args.partials, stripe * 8, &base, 8);
+  std::uint64_t buffer[kStripe];
+  gmt_get(args.in, (args.in_first + begin) * 8, buffer, n * 8);
+  std::uint64_t running = base;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = buffer[i];
+    buffer[i] = running;
+    running += v;
+  }
+  gmt_put(args.out, (args.out_first + begin) * 8, buffer, n * 8);
+}
+
 struct CopyArgs {
   gmt_handle dst;
   gmt_handle src;
@@ -232,6 +286,48 @@ std::uint64_t count_equal_u64(gmt_handle array, std::uint64_t first,
   gmt_get(args.accumulator, 0, &result, 8);
   scratch_release(args.accumulator);
   return result;
+}
+
+std::uint64_t exclusive_scan_u64(gmt_handle in, std::uint64_t in_first,
+                                 std::uint64_t count, gmt_handle out,
+                                 std::uint64_t out_first) {
+  if (count == 0) return 0;
+  ScanArgs args;
+  args.in = in;
+  args.out = out;
+  args.in_first = in_first;
+  args.out_first = out_first;
+  args.count = count;
+  const std::uint64_t stripes = stripe_count(count);
+  // The common case (histogram-sort over <= 512 buckets) is one stripe:
+  // its single partial-sum cell is exactly the cached scratch accumulator,
+  // so the scan allocates nothing.
+  const bool cached = stripes == 1;
+  args.partials = cached ? scratch_acquire(0)
+                         : gmt_new(stripes * 8, Alloc::kPartition);
+
+  gmt_parfor(stripes, 0, &scan_sum_body, &args, sizeof(args),
+             Spawn::kPartition);
+
+  // Host scan of the stripe sums turns partials into exclusive bases.
+  std::vector<std::uint64_t> sums(stripes);
+  gmt_get(args.partials, 0, sums.data(), stripes * 8);
+  std::uint64_t running = 0;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    const std::uint64_t v = sums[s];
+    sums[s] = running;
+    running += v;
+  }
+  gmt_put(args.partials, 0, sums.data(), stripes * 8);
+
+  gmt_parfor(stripes, 0, &scan_write_body, &args, sizeof(args),
+             Spawn::kPartition);
+
+  if (cached)
+    scratch_release(args.partials);
+  else
+    gmt_free(args.partials);
+  return running;
 }
 
 void histogram_mod_u64(gmt_handle array, std::uint64_t first,

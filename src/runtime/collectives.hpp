@@ -32,6 +32,19 @@ std::uint64_t reduce_max_u64(gmt_handle array, std::uint64_t first,
 std::uint64_t count_equal_u64(gmt_handle array, std::uint64_t first,
                               std::uint64_t count, std::uint64_t value);
 
+// Distributed exclusive prefix scan:
+//   out[out_first + i] = sum of in[in_first .. in_first + i)   for i < count
+// Returns the total (sum of the whole range). Three steps: a stripe-parallel
+// partial-sum pass, a host scan of the (count / 512) stripe sums, and a
+// stripe-parallel rewrite pass — so the wire traffic is two passes over the
+// data plus one word per stripe, all riding the aggregation path. `in` and
+// `out` may be the same handle only when the ranges coincide exactly (the
+// in-place scan); partial overlap is undefined. Single-stripe scans borrow
+// the node's cached scratch accumulator instead of allocating.
+std::uint64_t exclusive_scan_u64(gmt_handle in, std::uint64_t in_first,
+                                 std::uint64_t count, gmt_handle out,
+                                 std::uint64_t out_first);
+
 // Copies `bytes` from src[src_offset] to dst[dst_offset] (both global),
 // parallelised in aggregation-buffer-sized stripes. Ranges must not
 // overlap within the same handle.

@@ -176,6 +176,19 @@ void GlobalMemory::register_array(gmt_handle handle, std::uint64_t size,
   GMT_CHECK_MSG(handle_generation(handle) != 0,
                 "handle with null generation");
 
+  // Keep next_slot_ ahead of remotely-allocated slots too: the degrade
+  // sweep scans [1, next_slot_), so on a node that never allocates locally
+  // a stale counter would leave every broadcast-registered array out of
+  // the death sweep (its partitions on a dead node would stay routed
+  // there instead of degrading/remapping). It also stops a later local
+  // reserve_handle from re-issuing a slot another node's allocator owns.
+  std::uint32_t seen = next_slot_.load(std::memory_order_relaxed);
+  while (seen <= slot &&
+         !next_slot_.compare_exchange_weak(seen, slot + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+  }
+
   auto array = std::make_unique<LocalArray>();
   array->meta.size = size;
   array->meta.policy = policy;

@@ -224,6 +224,28 @@ TEST(GlobalMemory, RemoteNodeHoldsNoLocalPartition) {
   gm.unregister_array(h);
 }
 
+// Regression: the death sweep scans [1, next_slot_), and next_slot_ only
+// ever advanced through local reserve_handle. On a node that never
+// allocates, every broadcast-registered array sat above the sweep limit,
+// so a pre-death array never degraded/remapped there and its reads kept
+// routing to the dead owner (surfaced by Sort.KillMidSortRecoversExactly).
+TEST(GlobalMemory, DeathSweepCoversRemotelyAllocatedSlots) {
+  // Node 1 of 3, never allocates locally; slot 7 was reserved by node 0.
+  GlobalMemory gm(1, 3, 1 << 16, nullptr, /*replicate_threshold=*/1 << 20);
+  const gmt_handle h = make_handle(0, 7, 1);
+  gm.register_array(h, 3 * 64, Alloc::kPartition, 0);
+  ASSERT_FALSE(gm.meta(h).degraded);
+
+  gm.degrade_node(2);
+  const ArrayMeta meta = gm.meta(h);
+  EXPECT_TRUE(meta.degraded);
+  // Replicated array with a surviving buddy: the lost partition remaps
+  // onto the ring successor's replica.
+  EXPECT_EQ(meta.remap_partition, 2u);
+  EXPECT_EQ(meta.remap_node, meta.buddy_node(2));
+  gm.unregister_array(h);
+}
+
 // ---- slot recycling ----
 
 TEST(GlobalMemory, RecycleReusesSlotWithBumpedGeneration) {
